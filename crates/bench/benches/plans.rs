@@ -1,0 +1,153 @@
+//! Criterion benchmarks at the plan level: per-algorithm plan + schedule
+//! construction, the incremental-reoptimization ablation (Corollary 1:
+//! incremental update vs full rebuild), and the suppression round loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use m2m_core::baselines::{plan_for_algorithm, Algorithm};
+use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::schedule::build_schedule;
+use m2m_core::suppression::{OverridePolicy, SuppressionSim};
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn setup() -> (Network, m2m_core::spec::AggregationSpec, RoutingTables) {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    (network, spec, routing)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let (network, spec, routing) = setup();
+    let mut group = c.benchmark_group("plan_and_schedule");
+    group.sample_size(20);
+    for alg in Algorithm::PLANNED {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| {
+                let plan = plan_for_algorithm(&network, &spec, &routing, alg);
+                black_box(build_schedule(&spec, &routing, &plan).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Corollary 1 ablation: applying a one-source update incrementally vs
+/// rebuilding the whole plan from scratch.
+fn bench_incremental_update(c: &mut Criterion) {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
+    let d = spec.destinations().next().unwrap();
+    let s = spec
+        .all_sources()
+        .into_iter()
+        .find(|&s| !spec.is_source_of(s, d) && s != d)
+        .unwrap();
+
+    let mut group = c.benchmark_group("one_source_update");
+    group.sample_size(20);
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut m =
+                PlanMaintainer::new(network.clone(), spec.clone(), RoutingMode::ShortestPathTrees);
+            black_box(m.apply(WorkloadUpdate::AddSource {
+                destination: d,
+                source: s,
+                weight: 1.0,
+            }))
+        })
+    });
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            let mut updated = spec.clone();
+            updated.function_mut(d).unwrap().set_weight(s, 1.0);
+            let routing = RoutingTables::build(
+                &network,
+                &updated.source_to_destinations(),
+                RoutingMode::ShortestPathTrees,
+            );
+            black_box(GlobalPlan::build(&network, &updated, &routing))
+        })
+    });
+    group.finish();
+}
+
+fn bench_suppression_round(c: &mut Criterion) {
+    let (network, spec, routing) = setup();
+    let plan = GlobalPlan::build(&network, &spec, &routing);
+    let sim = SuppressionSim::new(&network, &spec, &routing, &plan);
+    let mut group = c.benchmark_group("suppression_rounds");
+    for policy in [OverridePolicy::None, OverridePolicy::Aggressive] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| b.iter(|| black_box(sim.average_cost(&spec, 0.1, 10, policy, 42))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_slots_and_distributed_round(c: &mut Criterion) {
+    use m2m_core::node_machine::run_distributed_round;
+    use m2m_core::slots::assign_slots;
+    use m2m_core::tables::NodeTables;
+    use m2m_graph::NodeId;
+    use std::collections::BTreeMap;
+
+    let (network, spec, routing) = setup();
+    let plan = GlobalPlan::build(&network, &spec, &routing);
+    let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+    let tables = NodeTables::build(&spec, &routing, &plan);
+    let readings: BTreeMap<NodeId, f64> =
+        network.nodes().map(|v| (v, f64::from(v.0))).collect();
+
+    let mut group = c.benchmark_group("runtime_kernels");
+    group.sample_size(20);
+    group.bench_function("assign_slots", |b| {
+        b.iter(|| black_box(assign_slots(&network, &schedule)))
+    });
+    group.bench_function("distributed_round", |b| {
+        b.iter(|| black_box(run_distributed_round(&spec, &tables, &readings).unwrap()))
+    });
+    group.bench_function("node_tables_build", |b| {
+        b.iter(|| black_box(NodeTables::build(&spec, &routing, &plan)))
+    });
+    group.finish();
+}
+
+fn bench_steiner_routing(c: &mut Criterion) {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
+    let demands = spec.source_to_destinations();
+    let mut group = c.benchmark_group("routing_modes");
+    group.sample_size(20);
+    for mode in [
+        RoutingMode::ShortestPathTrees,
+        RoutingMode::SteinerTrees,
+        RoutingMode::SharedSpanningTree,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(RoutingTables::build(&network, &demands, mode))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_incremental_update,
+    bench_suppression_round,
+    bench_slots_and_distributed_round,
+    bench_steiner_routing
+);
+criterion_main!(benches);

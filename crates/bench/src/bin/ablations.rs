@@ -1,0 +1,465 @@
+//! Ablation studies for the §3 design choices DESIGN.md calls out —
+//! mechanisms the paper sketches but does not plot:
+//!
+//! 1. broadcast transmission of shared units (§3 + footnote 1),
+//! 2. milestone spacing vs link-failure rate (§3 "Flexibility Trade-Off"),
+//! 3. collision-free slot scheduling: makespan and radio-on time (§3),
+//! 4. plan dissemination: full install vs Corollary 1 incremental update,
+//! 5. in-network vs out-of-network control: hotspot and lifetime (§1).
+//!
+//! ```text
+//! cargo run --release -p m2m-bench --bin ablations
+//! ```
+
+use m2m_core::baselines::{plan_for_algorithm, Algorithm};
+use m2m_core::basestation::{choose_station, BaseStationPlan};
+use m2m_core::dissemination::{full_install_cost, update_install_cost};
+use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
+use m2m_core::metrics::{project_lifetime, NodeEnergyLedger};
+use m2m_core::milestones::{build_milestone_routing, expected_round_cost, MilestoneConfig};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::schedule::build_schedule;
+use m2m_core::slots::assign_slots;
+use m2m_core::tables::NodeTables;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn main() {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+
+    broadcast_ablation(&network);
+    milestone_ablation(&network);
+    slots_ablation(&network);
+    dissemination_ablation(&network);
+    out_of_network_ablation(&network);
+    routing_mode_ablation(&network);
+    sharing_ablation(&network);
+    header_size_ablation();
+    record_size_ablation(&network);
+    topology_ablation();
+    redundancy_ablation(&network);
+}
+
+/// §3 "Handling Failures": delivery coverage around failed relay nodes,
+/// with aggregation state at the transition node only vs replicated along
+/// the path (the tech report's redundant-state technique).
+fn redundancy_ablation(network: &Network) {
+    use m2m_core::redundancy::delivery_coverage;
+    use m2m_core::suppression::{StatePlacement, SuppressionSim};
+    use std::collections::BTreeSet;
+    println!();
+    println!("# Ablation 11: node failures and redundant state (§3)");
+    println!("failed_relays,coverage_default,coverage_redundant");
+    let spec = generate_workload(network, &WorkloadConfig::paper_default(14, 15, 21));
+    let routing = RoutingTables::build(
+        network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(network, &spec, &routing);
+    let participants: BTreeSet<_> = spec
+        .all_sources()
+        .into_iter()
+        .chain(spec.destinations())
+        .collect();
+    let relays: Vec<_> = network
+        .nodes()
+        .filter(|v| !participants.contains(v))
+        .collect();
+    for k in [0usize, 2, 4, 8] {
+        let failed: BTreeSet<_> = relays.iter().copied().take(k).collect();
+        let lean = delivery_coverage(
+            network,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::TransitionOnly,
+        );
+        let fat = delivery_coverage(
+            network,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::EveryNode,
+        );
+        println!("{k},{lean:.3},{fat:.3}");
+    }
+    let sim = SuppressionSim::new(network, &spec, &routing, &plan);
+    println!(
+        "# state cost: {} entries (default) vs {} entries (redundant)",
+        sim.state_entries(StatePlacement::TransitionOnly),
+        sim.state_entries(StatePlacement::EveryNode)
+    );
+}
+
+/// Sensitivity to the per-message header: with huge headers message
+/// *count* dominates (merging is everything); with tiny headers payload
+/// bytes dominate (the cover choice is everything).
+fn header_size_ablation() {
+    use m2m_netsim::EnergyModel;
+    println!();
+    println!("# Ablation 8: header-size sensitivity (round energy, mJ)");
+    println!("header_bytes,optimal,multicast,aggregation,optimal_saving_pct");
+    for header in [0u32, 4, 12, 24, 48] {
+        let energy = EnergyModel {
+            header_bytes: header,
+            ..EnergyModel::mica2()
+        };
+        let network = Network::new(Deployment::great_duck_island(1), energy);
+        let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
+        let routing = RoutingTables::build(
+            &network,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let cost = |alg| {
+            let plan = plan_for_algorithm(&network, &spec, &routing, alg);
+            build_schedule(&spec, &routing, &plan)
+                .unwrap()
+                .round_cost(network.energy())
+                .total_mj()
+        };
+        let opt = cost(Algorithm::Optimal);
+        let mc = cost(Algorithm::Multicast);
+        let ag = cost(Algorithm::Aggregation);
+        println!(
+            "{header},{opt:.1},{mc:.1},{ag:.1},{:.1}",
+            (mc.min(ag) - opt) / mc.min(ag) * 100.0
+        );
+    }
+}
+
+/// Sensitivity to the partial-record size (§2.2's vertex weights): small
+/// records pull covers toward aggregation, large records toward raw
+/// multicast.
+fn record_size_ablation(network: &Network) {
+    use m2m_core::agg::AggregateKind;
+    println!();
+    println!("# Ablation 9: record-size sensitivity of the optimal cover");
+    println!("kind,record_bytes,raw_units,record_units,raw_fraction");
+    for kind in [
+        AggregateKind::Count,
+        AggregateKind::WeightedSum,
+        AggregateKind::WeightedAverage,
+        AggregateKind::Range,
+        AggregateKind::WeightedVariance,
+    ] {
+        let spec = generate_workload(
+            network,
+            &WorkloadConfig {
+                kind,
+                ..WorkloadConfig::paper_default(14, 20, 3)
+            },
+        );
+        let routing = RoutingTables::build(
+            network,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
+        let s = plan.summary();
+        println!(
+            "{kind:?},{},{},{},{:.2}",
+            kind.partial_record_bytes(),
+            s.raw_units,
+            s.record_units,
+            s.raw_units as f64 / (s.raw_units + s.record_units) as f64
+        );
+    }
+}
+
+/// The same workload shape over three deployment geometries.
+fn topology_ablation() {
+    println!();
+    println!("# Ablation 10: deployment geometry (optimal plan, round energy mJ)");
+    println!("topology,nodes,links,optimal,multicast,aggregation");
+    let layouts: Vec<(&str, Network)> = vec![
+        (
+            "gdi",
+            Network::with_default_energy(Deployment::great_duck_island(1)),
+        ),
+        (
+            "clustered",
+            Network::with_default_energy(Deployment::clustered(
+                68, 5, 106.0, 203.0, 22.0, 50.0, 1,
+            )),
+        ),
+        (
+            "grid",
+            Network::with_default_energy(Deployment::grid(8, 8, 22.0, 50.0)),
+        ),
+    ];
+    for (name, network) in layouts {
+        let dests = network.node_count() / 5;
+        let spec = generate_workload(&network, &WorkloadConfig::paper_default(dests, 15, 3));
+        let routing = RoutingTables::build(
+            &network,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let cost = |alg| {
+            let plan = plan_for_algorithm(&network, &spec, &routing, alg);
+            build_schedule(&spec, &routing, &plan)
+                .unwrap()
+                .round_cost(network.energy())
+                .total_mj()
+        };
+        println!(
+            "{name},{},{},{:.1},{:.1},{:.1}",
+            network.node_count(),
+            network.graph().edge_count(),
+            cost(Algorithm::Optimal),
+            cost(Algorithm::Multicast),
+            cost(Algorithm::Aggregation)
+        );
+    }
+}
+
+/// The §5 future-work direction: how much payload would sharing identical
+/// partial records across destinations save? Zero when every destination
+/// weights its sources differently (the random-weight workload);
+/// substantial when destinations run similar functions (weights unified).
+fn sharing_ablation(network: &Network) {
+    use m2m_core::agg::AggregateFunction;
+    use m2m_core::sharing::shared_record_analysis;
+    use m2m_core::spec::AggregationSpec;
+    println!();
+    println!("# Ablation 7: shared partial aggregates across destinations (§5 future work)");
+    println!("workload,records,redundant,payload_bytes,with_sharing,savings_pct");
+    let spec = generate_workload(network, &WorkloadConfig::paper_default(10, 20, 13));
+    // A twin workload — "multiple destinations have very similar
+    // aggregations": each destination gets a neighboring twin running the
+    // *identical* function, so their records coincide until their routes
+    // diverge near the end.
+    let mut twinned = AggregationSpec::new();
+    for (d, f) in spec.functions() {
+        twinned.add_function(d, f.clone());
+        if let Some(&twin) = network
+            .neighbors(d)
+            .iter()
+            .find(|&&v| spec.function(v).is_none() && !f.has_source(v))
+        {
+            twinned.add_function(
+                twin,
+                AggregateFunction::new(
+                    f.kind(),
+                    f.sources()
+                        .filter(|&s| s != twin)
+                        .map(|s| (s, f.weight(s).unwrap()))
+                        .collect::<Vec<_>>(),
+                ),
+            );
+        }
+    }
+    for (label, s) in [("random", &spec), ("twinned", &twinned)] {
+        let routing = RoutingTables::build(
+            network,
+            &s.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(network, s, &routing);
+        let report = shared_record_analysis(s, &plan);
+        println!(
+            "{label},{},{},{},{},{:.1}",
+            report.records,
+            report.redundant_records,
+            report.payload_bytes,
+            report.payload_bytes_with_sharing,
+            report.savings_fraction() * 100.0
+        );
+    }
+}
+
+/// The Figure 5 discussion: the paper's SPT construction "tends to create
+/// many edges that are not shared across trees" and joint routing/
+/// processing design is future work. Compare the optimal plan over three
+/// tree constructions as dispersion grows.
+fn routing_mode_ablation(network: &Network) {
+    use m2m_core::workload::SourceSelection;
+    println!();
+    println!("# Ablation 6: multicast tree construction (optimal plan round energy, mJ)");
+    println!("dispersion,spt,shared_spanning,steiner,spt_edges,steiner_edges");
+    for tenths in [0u32, 5, 10] {
+        let d = f64::from(tenths) / 10.0;
+        let spec = generate_workload(
+            network,
+            &WorkloadConfig {
+                selection: SourceSelection::Dispersion {
+                    dispersion: d,
+                    max_hops: 4,
+                },
+                ..WorkloadConfig::paper_default(14, 20, 11)
+            },
+        );
+        let mut energies = Vec::new();
+        let mut edge_counts = Vec::new();
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let routing =
+                RoutingTables::build(network, &spec.source_to_destinations(), mode);
+            let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
+            let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+            energies.push(schedule.round_cost(network.energy()).total_mj());
+            edge_counts.push(routing.directed_edges().len());
+        }
+        println!(
+            "{d:.1},{:.1},{:.1},{:.1},{},{}",
+            energies[0], energies[1], energies[2], edge_counts[0], edge_counts[2]
+        );
+    }
+}
+
+fn broadcast_ablation(network: &Network) {
+    println!("# Ablation 1: broadcast of shared units (round energy, mJ)");
+    println!("destinations,unicast,broadcast,saving_pct");
+    for dests in [7usize, 14, 34, 68] {
+        let spec = generate_workload(network, &WorkloadConfig::paper_default(dests, 20, 3));
+        let routing = RoutingTables::build(
+            network,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let uni = schedule.round_cost(network.energy()).total_mj();
+        let bc = schedule.round_cost_with_broadcast(network.energy()).total_mj();
+        println!("{dests},{uni:.1},{bc:.1},{:.1}", (uni - bc) / uni * 100.0);
+    }
+    println!();
+}
+
+fn milestone_ablation(network: &Network) {
+    println!("# Ablation 2: milestone spacing vs link-failure rate (expected round energy, mJ)");
+    let spec = generate_workload(network, &WorkloadConfig::paper_default(14, 15, 5));
+    let routing = RoutingTables::build(
+        network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    println!("failure_p,spacing1,spacing2,spacing4");
+    let spacings = [1u32, 2, 4];
+    let setups: Vec<_> = spacings
+        .iter()
+        .map(|&spacing| {
+            let cfg = MilestoneConfig {
+                spacing,
+                detour_overhead: 0.5,
+            };
+            let m = build_milestone_routing(network, &routing, &cfg);
+            let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
+            (cfg, m, plan)
+        })
+        .collect();
+    for p in [0.0, 0.1, 0.2, 0.4, 0.6] {
+        let row: Vec<String> = setups
+            .iter()
+            .map(|(cfg, m, plan)| {
+                format!(
+                    "{:.1}",
+                    expected_round_cost(plan, m, network.energy(), p, cfg).total_mj()
+                )
+            })
+            .collect();
+        println!("{p:.1},{}", row.join(","));
+    }
+    println!();
+}
+
+fn slots_ablation(network: &Network) {
+    println!("# Ablation 3: TDMA slots (makespan, radio-on fraction)");
+    println!("destinations,messages,slots,listen_fraction");
+    for dests in [7usize, 14, 34] {
+        let spec = generate_workload(network, &WorkloadConfig::paper_default(dests, 15, 7));
+        let routing = RoutingTables::build(
+            network,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let slots = assign_slots(network, &schedule);
+        println!(
+            "{dests},{},{},{:.3}",
+            schedule.messages.len(),
+            slots.slot_count,
+            slots.listen_fraction(&schedule, network)
+        );
+    }
+    println!();
+}
+
+fn dissemination_ablation(network: &Network) {
+    println!("# Ablation 4: plan dissemination (Corollary 1)");
+    println!("event,changed_nodes,bytes,energy_mJ");
+    let spec = generate_workload(network, &WorkloadConfig::paper_default(14, 15, 9));
+    let station = choose_station(network);
+    let mut maintainer =
+        PlanMaintainer::new(network.clone(), spec, RoutingMode::ShortestPathTrees);
+    let tables = NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+    let full = full_install_cost(network, station, &tables);
+    println!(
+        "full_install,{},{},{:.2}",
+        tables.nodes().count(),
+        full.payload_bytes,
+        full.total_mj()
+    );
+    let d = maintainer.spec().destinations().next().unwrap();
+    let s = maintainer
+        .spec()
+        .all_sources()
+        .into_iter()
+        .find(|&s| !maintainer.spec().is_source_of(s, d) && s != d)
+        .unwrap();
+    maintainer.apply(WorkloadUpdate::AddSource {
+        destination: d,
+        source: s,
+        weight: 1.0,
+    });
+    let new_tables =
+        NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+    let update = update_install_cost(network, station, &tables, &new_tables);
+    println!(
+        "add_one_source,{},{},{:.2}",
+        m2m_core::dissemination::changed_nodes(&tables, &new_tables).len(),
+        update.payload_bytes,
+        update.total_mj()
+    );
+    println!();
+}
+
+fn out_of_network_ablation(network: &Network) {
+    println!("# Ablation 5: in-network vs out-of-network control (§1)");
+    println!("strategy,round_mJ,hotspot_mJ,imbalance,lifetime_rounds");
+    let spec = generate_workload(network, &WorkloadConfig::paper_default(17, 15, 3));
+    let routing = RoutingTables::build(
+        network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let battery_uj = 2.0 * 3600.0 * 3.0 * 1e6;
+    let print_row = |name: &str, ledger: &NodeEnergyLedger| {
+        let life = project_lifetime(ledger, battery_uj);
+        println!(
+            "{name},{:.1},{:.2},{:.1},{:.0}",
+            ledger.total_uj() / 1000.0,
+            ledger.hotspot().1 / 1000.0,
+            life.imbalance,
+            life.rounds_until_first_death
+        );
+    };
+    for alg in Algorithm::PLANNED {
+        let plan = plan_for_algorithm(network, &spec, &routing, alg);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let mut ledger = NodeEnergyLedger::new(network.node_count());
+        schedule.charge_round(network.energy(), &mut ledger);
+        print_row(alg.name(), &ledger);
+    }
+    let bs = BaseStationPlan::build(network, &spec, choose_station(network));
+    let (_, ledger) = bs.round_cost(network);
+    print_row("BaseStation", &ledger);
+}

@@ -1,0 +1,22 @@
+//! Runs every figure harness in sequence (fig3 … fig7), separated by
+//! blank lines — convenient for regenerating EXPERIMENTS.md data in one
+//! command:
+//!
+//! ```text
+//! cargo run --release -p m2m-bench --bin all_figures
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("target dir");
+    for fig in ["fig3", "fig4", "fig5", "fig6", "fig7"] {
+        let path = dir.join(fig);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {fig} ({path:?}): {e}"));
+        assert!(status.success(), "{fig} exited with {status}");
+        println!();
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure 3: varying the number of aggregation functions.
+//!
+//! 68-node Great Duck Island layout, 10–100% of nodes as destinations,
+//! 20 sources per destination, dispersion d = 0.9. Series: Optimal,
+//! Multicast, Aggregation, Flood; average round energy (mJ).
+
+fn main() {
+    m2m_bench::figures::figure3_data().print_csv();
+}

@@ -1,0 +1,9 @@
+//! Figure 4: varying the number of sources per aggregation function.
+//!
+//! 68-node Great Duck Island layout, 20% of nodes as destinations,
+//! 5–40 sources per destination, dispersion d = 0.9. Series: Optimal,
+//! Multicast, Aggregation, Flood; average round energy (mJ).
+
+fn main() {
+    m2m_bench::figures::figure4_data().print_csv();
+}

@@ -1,0 +1,10 @@
+//! Figure 5: varying the dispersion factor.
+//!
+//! 68-node Great Duck Island layout, 20% of nodes as destinations, each
+//! aggregating 20 sources chosen from 1–4 hops away with dispersion
+//! factor d ∈ [0, 1]. Series: Optimal, Multicast, Aggregation; average
+//! round energy (mJ). (The paper omits Flood here.)
+
+fn main() {
+    m2m_bench::figures::figure5_data().print_csv();
+}

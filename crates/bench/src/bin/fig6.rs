@@ -1,0 +1,11 @@
+//! Figure 6: increasing network size.
+//!
+//! Five networks of 50–250 nodes with area scaled to keep density
+//! constant; 25% of nodes are destinations, each aggregating 15% of all
+//! nodes as sources (drawn uniformly). Series: Optimal, Multicast,
+//! Aggregation; average round energy (mJ). (Flood is omitted — the paper
+//! notes it is over an order of magnitude more costly here.)
+
+fn main() {
+    m2m_bench::figures::figure6_data().print_csv();
+}

@@ -1,0 +1,29 @@
+//! Renders every paper figure as an SVG chart for visual comparison with
+//! the paper's plots.
+//!
+//! ```text
+//! cargo run --release -p m2m-bench --bin plots [output_dir]
+//! ```
+//!
+//! Writes `fig3.svg` … `fig7.svg` into `output_dir` (default `plots/`).
+
+use m2m_bench::figures::{
+    figure3_data, figure4_data, figure5_data, figure6_data, figure7_data, FigureData,
+};
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "plots".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let figures: Vec<(&str, FigureData)> = vec![
+        ("fig3", figure3_data()),
+        ("fig4", figure4_data()),
+        ("fig5", figure5_data()),
+        ("fig6", figure6_data()),
+        ("fig7", figure7_data()),
+    ];
+    for (name, data) in figures {
+        let path = format!("{out_dir}/{name}.svg");
+        std::fs::write(&path, data.to_chart().render()).expect("write svg");
+        println!("{path}: {} series x {} points", data.columns.len(), data.rows.len());
+    }
+}

@@ -1,0 +1,263 @@
+//! The data behind each paper figure, computed once and shared by the
+//! CSV binaries (`fig3`…`fig7`) and the SVG plotter (`plots`).
+
+use m2m_core::baselines::Algorithm;
+use m2m_core::plan::GlobalPlan;
+use m2m_core::suppression::{OverridePolicy, SuppressionSim};
+use m2m_core::workload::{generate_workload, SourceSelection, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+use crate::averaged_energy_mj;
+
+/// One figure's table: x values down the rows, one column per series.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Figure title (paper numbering).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series names, in column order.
+    pub columns: Vec<String>,
+    /// `(x, series values)` rows.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl FigureData {
+    /// Prints the figure as the CSV table the `figN` binaries emit.
+    pub fn print_csv(&self) {
+        println!("# {}", self.title);
+        let mut header = vec![self.x_label.replace(' ', "_")];
+        header.extend(self.columns.clone());
+        println!("{}", header.join(","));
+        for (x, values) in &self.rows {
+            // Round away float-accumulation noise in the x column.
+            let x = (x * 1000.0).round() / 1000.0;
+            let mut row = vec![format!("{x}")];
+            row.extend(values.iter().map(|v| format!("{v:.1}")));
+            println!("{}", row.join(","));
+        }
+    }
+
+    /// Converts to an SVG chart.
+    pub fn to_chart(&self) -> crate::svg::Chart {
+        crate::svg::Chart {
+            title: self.title.clone(),
+            x_label: self.x_label.clone(),
+            y_label: self.y_label.clone(),
+            series: self
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, label)| crate::svg::Series {
+                    label: label.clone(),
+                    points: self.rows.iter().map(|(x, v)| (*x, v[i])).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+const FOUR_ALGS: [Algorithm; 4] = [
+    Algorithm::Optimal,
+    Algorithm::Multicast,
+    Algorithm::Aggregation,
+    Algorithm::Flood,
+];
+
+fn sweep(
+    network: &Network,
+    algorithms: &[Algorithm],
+    xs: impl IntoIterator<Item = f64>,
+    mut config_for: impl FnMut(f64, u64) -> WorkloadConfig,
+) -> Vec<(f64, Vec<f64>)> {
+    xs.into_iter()
+        .map(|x| {
+            let values = algorithms
+                .iter()
+                .map(|&alg| averaged_energy_mj(network, alg, |seed| config_for(x, seed)))
+                .collect();
+            (x, values)
+        })
+        .collect()
+}
+
+/// Figure 3: varying the number of aggregation functions.
+pub fn figure3_data() -> FigureData {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let n = network.node_count();
+    let rows = sweep(
+        &network,
+        &FOUR_ALGS,
+        (1..=10).map(|i| f64::from(i) * 10.0),
+        |pct, seed| {
+            WorkloadConfig::paper_default(((n as f64 * pct / 100.0).ceil() as usize).min(n), 20, seed)
+        },
+    );
+    FigureData {
+        title: "Figure 3: varying number of aggregation functions".into(),
+        x_label: "percent of nodes set as destinations".into(),
+        y_label: "avg round energy (mJ)".into(),
+        columns: FOUR_ALGS.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 4: varying the number of sources per function.
+pub fn figure4_data() -> FigureData {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let destinations = network.node_count() / 5;
+    let rows = sweep(
+        &network,
+        &FOUR_ALGS,
+        (1..=8).map(|i| f64::from(i) * 5.0),
+        |sources, seed| WorkloadConfig::paper_default(destinations, sources as usize, seed),
+    );
+    FigureData {
+        title: "Figure 4: varying number of sources per function".into(),
+        x_label: "number of sources per destination".into(),
+        y_label: "avg round energy (mJ)".into(),
+        columns: FOUR_ALGS.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 5: varying the dispersion factor.
+pub fn figure5_data() -> FigureData {
+    let network = Network::with_default_energy(Deployment::great_duck_island(1));
+    let destinations = network.node_count() / 5;
+    let algorithms = Algorithm::PLANNED;
+    let rows = sweep(
+        &network,
+        &algorithms,
+        (0..=10).map(|i| f64::from(i) / 10.0),
+        |d, seed| WorkloadConfig {
+            destination_count: destinations,
+            sources_per_destination: 20,
+            selection: SourceSelection::Dispersion {
+                dispersion: d,
+                max_hops: 4,
+            },
+            kind: m2m_core::agg::AggregateKind::WeightedAverage,
+            seed,
+        },
+    );
+    FigureData {
+        title: "Figure 5: varying the dispersion factor".into(),
+        x_label: "d".into(),
+        y_label: "avg round energy (mJ)".into(),
+        columns: algorithms.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 6: increasing network size.
+pub fn figure6_data() -> FigureData {
+    let node_counts = [50usize, 100, 150, 200, 250];
+    let deployments = Deployment::scaled_series(&node_counts, 1);
+    let algorithms = Algorithm::PLANNED;
+    let rows = deployments
+        .into_iter()
+        .map(|deployment| {
+            let network = Network::with_default_energy(deployment);
+            let n = network.node_count();
+            let values = algorithms
+                .iter()
+                .map(|&alg| {
+                    averaged_energy_mj(&network, alg, |seed| WorkloadConfig {
+                        destination_count: n / 4,
+                        sources_per_destination: (n * 15) / 100,
+                        selection: SourceSelection::Uniform,
+                        kind: m2m_core::agg::AggregateKind::WeightedAverage,
+                        seed,
+                    })
+                })
+                .collect();
+            (n as f64, values)
+        })
+        .collect();
+    FigureData {
+        title: "Figure 6: increasing network size".into(),
+        x_label: "number of network nodes".into(),
+        y_label: "avg round energy (mJ)".into(),
+        columns: algorithms.iter().map(|a| a.name().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Figure 7: suppression override policies — percent improvement over the
+/// default plan on the same changed values.
+pub fn figure7_data() -> FigureData {
+    let policies = [
+        OverridePolicy::Aggressive,
+        OverridePolicy::Medium,
+        OverridePolicy::Conservative,
+    ];
+    let setups: Vec<_> = (0..3u64)
+        .map(|i| {
+            let net = Network::with_default_energy(Deployment::great_duck_island(100 + i));
+            let n = net.node_count();
+            let spec = generate_workload(
+                &net,
+                &WorkloadConfig::paper_default((n * 3) / 10, 25, 7 + i),
+            );
+            let routing = RoutingTables::build(
+                &net,
+                &spec.source_to_destinations(),
+                RoutingMode::ShortestPathTrees,
+            );
+            let plan = GlobalPlan::build(&net, &spec, &routing);
+            let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+            (spec, sim, i)
+        })
+        .collect();
+    let rows = (0..=6)
+        .map(|step| {
+            let p = f64::from(step) * 0.05;
+            let values = policies
+                .iter()
+                .map(|&policy| {
+                    let mut total = 0.0;
+                    for (spec, sim, i) in &setups {
+                        let base = sim.average_cost(spec, p, 10, OverridePolicy::None, 1000 + i);
+                        let with = sim.average_cost(spec, p, 10, policy, 1000 + i);
+                        if base.total_uj() > 0.0 {
+                            total +=
+                                (base.total_uj() - with.total_uj()) / base.total_uj() * 100.0;
+                        }
+                    }
+                    total / setups.len() as f64
+                })
+                .collect();
+            (p, values)
+        })
+        .collect();
+    FigureData {
+        title: "Figure 7: override policies under temporal suppression".into(),
+        x_label: "probability of value change".into(),
+        y_label: "percent improvement in consumption".into(),
+        columns: policies.iter().map(|p| p.name().to_string()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_shape_via_shared_path() {
+        let data = figure5_data();
+        assert_eq!(data.columns, vec!["Optimal", "Multicast", "Aggregation"]);
+        assert_eq!(data.rows.len(), 11);
+        for (_, values) in &data.rows {
+            // Optimal never loses.
+            assert!(values[0] <= values[1] + 1e-9);
+            assert!(values[0] <= values[2] + 1e-9);
+        }
+        let chart = data.to_chart();
+        let svg = chart.render();
+        assert!(svg.contains("Figure 5"));
+    }
+}

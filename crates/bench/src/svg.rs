@@ -1,0 +1,274 @@
+//! Minimal dependency-free SVG line charts for the figure harnesses.
+//!
+//! Each paper figure is a handful of series over a shared x-axis; this
+//! renderer turns them into a self-contained `.svg` with axes, ticks,
+//! legend, and per-series polylines — enough to eyeball the reproduction
+//! against the paper's plots without any plotting stack.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-level options.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+/// A small categorical palette (dark, print-friendly).
+const COLORS: [&str; 6] = [
+    "#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#b9770e", "#424949",
+];
+
+impl Chart {
+    /// Renders the chart to an SVG document string.
+    ///
+    /// # Panics
+    /// Panics if no series or all series are empty.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "chart needs at least one point");
+        let (mut x0, mut x1) = min_max(all.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(all.iter().map(|p| p.1));
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        // Anchor the y-axis at zero when the data allows it (energy plots).
+        if y0 > 0.0 {
+            y0 = 0.0;
+        }
+        if y0 == y1 {
+            y1 += 1.0;
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let sy = move |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+        // Ticks (5 per axis).
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 5.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 5.0;
+            let px = sx(fx);
+            let py = sy(fy);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="black"/><text x="{px}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 5.0,
+                MARGIN_T + plot_h + 20.0,
+                tick(fx)
+            );
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{py}" x2="{MARGIN_L}" y2="{py}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 5.0,
+                MARGIN_L - 9.0,
+                py + 4.0,
+                tick(fy)
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series polylines + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+                pts.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let ly = MARGIN_T + 18.0 * i as f64;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}">{}</text>"#,
+                lx + 22.0,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn tick(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart {
+            title: "Figure X".into(),
+            x_label: "destinations".into(),
+            y_label: "energy (mJ)".into(),
+            series: vec![
+                Series {
+                    label: "Optimal".into(),
+                    points: vec![(10.0, 100.0), (20.0, 180.0), (30.0, 240.0)],
+                },
+                Series {
+                    label: "Multicast".into(),
+                    points: vec![(10.0, 130.0), (20.0, 220.0), (30.0, 310.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("Optimal"));
+        assert!(svg.contains("energy (mJ)"));
+        // Balanced tags (every element self-closed or closed).
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn points_land_inside_the_plot_area() {
+        let svg = chart().render();
+        for cap in svg.split("<circle cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((MARGIN_L..=WIDTH - MARGIN_R).contains(&x), "x={x} outside plot");
+        }
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = chart();
+        c.title = "a < b & c".into();
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_chart_panics() {
+        let c = Chart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![],
+        };
+        let _ = c.render();
+    }
+
+    #[test]
+    fn degenerate_ranges_are_padded() {
+        let c = Chart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(1.0, 5.0), (1.0, 5.0)],
+            }],
+        };
+        let svg = c.render();
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Plan-dissemination cost (§3): the node tables are "computed
+//! out-of-network according to the optimal many-to-many aggregation plan,
+//! and disseminated into the network".
+//!
+//! Dissemination is what makes Corollary 1 economically important: "if a
+//! small update were to force us to re-optimize and transmit new plans to
+//! all edges, the cost would perhaps be prohibitively high". This module
+//! prices installing node state from a base station over its
+//! shortest-path tree — for the initial plan (every participating node)
+//! and for an update (only nodes whose state actually changed).
+
+use std::collections::BTreeMap;
+
+use m2m_graph::spt::ShortestPathTree;
+use m2m_graph::NodeId;
+use m2m_netsim::Network;
+
+use crate::metrics::RoundCost;
+use crate::tables::NodeTables;
+
+/// On-air bytes per state-table entry (identifier pair + parameters; the
+/// same order of magnitude as a partial aggregate record).
+pub const STATE_ENTRY_BYTES: u32 = 6;
+
+/// Nodes whose state differs between two table sets (present in either),
+/// sorted. This is exactly the set an update must re-provision.
+pub fn changed_nodes(old: &NodeTables, new: &NodeTables) -> Vec<NodeId> {
+    let mut changed = Vec::new();
+    let old_map: BTreeMap<NodeId, _> = old.nodes().collect();
+    let new_map: BTreeMap<NodeId, _> = new.nodes().collect();
+    for (&n, state) in &new_map {
+        match old_map.get(&n) {
+            Some(prev) if *prev == *state => {}
+            _ => changed.push(n),
+        }
+    }
+    for &n in old_map.keys() {
+        if !new_map.contains_key(&n) {
+            changed.push(n);
+        }
+    }
+    changed.sort_unstable();
+    changed.dedup();
+    changed
+}
+
+/// Cost of shipping each listed node its state payload from `station`,
+/// batched per edge of the station's shortest-path tree (an edge carries
+/// the bytes of every target below it in one message).
+pub fn dissemination_cost(
+    network: &Network,
+    station: NodeId,
+    targets: &[(NodeId, u32)],
+) -> RoundCost {
+    let spt = ShortestPathTree::build(network.graph(), station);
+    let mut edge_bytes: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
+    let mut total_units = 0usize;
+    for &(target, bytes) in targets {
+        if bytes == 0 || target == station {
+            continue;
+        }
+        let path = spt
+            .path_to(target)
+            .unwrap_or_else(|| panic!("target {target} unreachable from station {station}"));
+        total_units += 1;
+        for hop in path.windows(2) {
+            *edge_bytes.entry((hop[0], hop[1])).or_insert(0) += bytes;
+        }
+    }
+    let energy = network.energy();
+    let mut cost = RoundCost::default();
+    for &body in edge_bytes.values() {
+        cost.tx_uj += energy.tx_cost_uj(body);
+        cost.rx_uj += energy.rx_cost_uj(body);
+        cost.messages += 1;
+        cost.payload_bytes += u64::from(body);
+    }
+    cost.units = total_units;
+    cost
+}
+
+/// Cost of installing a complete plan's tables from scratch.
+pub fn full_install_cost(network: &Network, station: NodeId, tables: &NodeTables) -> RoundCost {
+    let targets: Vec<(NodeId, u32)> = tables
+        .nodes()
+        .map(|(n, s)| (n, s.entry_count() as u32 * STATE_ENTRY_BYTES))
+        .collect();
+    dissemination_cost(network, station, &targets)
+}
+
+/// Cost of migrating from `old` to `new`: only changed nodes receive
+/// their (entire new) state. Removed nodes receive a zero-payload
+/// tombstone of one entry.
+pub fn update_install_cost(
+    network: &Network,
+    station: NodeId,
+    old: &NodeTables,
+    new: &NodeTables,
+) -> RoundCost {
+    let targets: Vec<(NodeId, u32)> = changed_nodes(old, new)
+        .into_iter()
+        .map(|n| {
+            let bytes = new
+                .node(n)
+                .map(|s| s.entry_count() as u32 * STATE_ENTRY_BYTES)
+                .unwrap_or(STATE_ENTRY_BYTES); // tombstone
+            (n, bytes)
+        })
+        .collect();
+    dissemination_cost(network, station, &targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basestation::choose_station;
+    use crate::dynamics::{PlanMaintainer, WorkloadUpdate};
+    use crate::tables::NodeTables;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    #[test]
+    fn empty_target_list_is_free() {
+        let net = Network::with_default_energy(Deployment::grid(3, 3, 10.0, 12.0));
+        let cost = dissemination_cost(&net, NodeId(0), &[]);
+        assert_eq!(cost, RoundCost::default());
+    }
+
+    #[test]
+    fn line_dissemination_batches_along_shared_prefix() {
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        // Targets at 2 and 3 from station 0: edges 0→1 and 1→2 carry both
+        // payloads; edge 2→3 carries one.
+        let cost = dissemination_cost(&net, NodeId(0), &[(NodeId(2), 10), (NodeId(3), 10)]);
+        assert_eq!(cost.messages, 3);
+        assert_eq!(cost.payload_bytes, 20 + 20 + 10);
+    }
+
+    #[test]
+    fn incremental_update_is_far_cheaper_than_full_install() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(14));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 14, 6));
+        let mut maintainer =
+            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let station = choose_station(&net);
+        let old_tables =
+            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+
+        let d = maintainer.spec().destinations().next().unwrap();
+        let s = maintainer
+            .spec()
+            .all_sources()
+            .into_iter()
+            .find(|&s| !maintainer.spec().is_source_of(s, d) && s != d)
+            .unwrap();
+        maintainer.apply(WorkloadUpdate::AddSource {
+            destination: d,
+            source: s,
+            weight: 1.0,
+        });
+        let new_tables =
+            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+
+        let full = full_install_cost(&net, station, &new_tables);
+        let update = update_install_cost(&net, station, &old_tables, &new_tables);
+        assert!(
+            update.total_uj() < full.total_uj() / 2.0,
+            "one-source update should cost a fraction of a full install \
+             ({:.0} vs {:.0} µJ)",
+            update.total_uj(),
+            full.total_uj()
+        );
+        // Only a handful of nodes changed.
+        let changed = changed_nodes(&old_tables, &new_tables);
+        assert!(
+            changed.len() < net.node_count() / 4,
+            "{} of {} nodes changed",
+            changed.len(),
+            net.node_count()
+        );
+    }
+
+    #[test]
+    fn removed_nodes_get_tombstones() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(14));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(6, 6, 6));
+        let mut maintainer =
+            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let station = choose_station(&net);
+        let old_tables =
+            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        // Retire a destination: some nodes drop out of the plan entirely.
+        let d = maintainer.spec().destinations().next().unwrap();
+        maintainer.apply(WorkloadUpdate::RemoveDestination { destination: d });
+        let new_tables =
+            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let changed = changed_nodes(&old_tables, &new_tables);
+        assert!(!changed.is_empty());
+        // Nodes present only in the old tables are included (tombstoned).
+        let dropped: Vec<NodeId> = old_tables
+            .nodes()
+            .map(|(n, _)| n)
+            .filter(|n| new_tables.node(*n).is_none())
+            .collect();
+        for n in dropped {
+            assert!(changed.contains(&n), "dropped node {n} must be re-provisioned");
+        }
+        let cost = update_install_cost(&net, station, &old_tables, &new_tables);
+        assert!(cost.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn identical_tables_have_no_update_cost() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(14));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 8, 6));
+        let maintainer =
+            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let tables =
+            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let cost = update_install_cost(&net, choose_station(&net), &tables, &tables);
+        assert_eq!(cost, RoundCost::default());
+    }
+}

@@ -1,0 +1,428 @@
+//! Single-edge optimization (§2.2).
+//!
+//! For each directed multicast edge `e : i → j`, decide what crosses it:
+//! per source `s ∈ S_e` a **raw** value (usable by every destination of
+//! `s` downstream), or per destination `d ∈ D_e` one **partial aggregate
+//! record** covering all of `d`'s sources routed through `e`. Any valid
+//! choice is a vertex cover of the bipartite graph `(S_e, D_e, ∼_e)`;
+//! minimizing transmitted bytes is minimum-weight bipartite vertex cover,
+//! solved exactly via min-cut ([`m2m_graph::vertex_cover`]).
+//!
+//! ## Continuation groups
+//!
+//! The paper's formulation assumes the §2.1 *path-sharing* restriction:
+//! once units for a destination converge they continue on a single path,
+//! so one record per destination per edge suffices. With per-source
+//! shortest-path trees (the paper's own experimental routing) sharing is
+//! encouraged but not guaranteed: two sources' routes to the same
+//! destination may cross an edge together and diverge later, and a single
+//! merged record could not be split again. We therefore generalize the
+//! right side of the bipartite graph from destinations to **continuation
+//! groups** — `(destination, exact remaining path)` — so a record is only
+//! ever formed from units that stay together all the way to the
+//! destination. Under the sharing restriction every destination has
+//! exactly one group per edge and the formulation reduces to the paper's
+//! (property-tested in `tests/plan_invariants.rs`).
+//!
+//! ## Tiebreaking
+//!
+//! Theorem 1 requires every single-edge problem to have a *unique*
+//! minimum, arranged by adding "minuscule weights … consistent for all
+//! instances across all edges" (§2.3). We scale byte sizes by
+//! [`WEIGHT_SCALE`] and add a per-node priority that is the same in every
+//! edge problem; the cover is then extracted from the canonical
+//! source-minimal min cut, making solutions deterministic and globally
+//! consistent.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::bipartite::BipartiteGraph;
+use m2m_graph::vertex_cover::min_weight_vertex_cover;
+use m2m_graph::NodeId;
+use m2m_netsim::RoutingTables;
+
+use crate::agg::RAW_VALUE_BYTES;
+use crate::spec::AggregationSpec;
+
+/// A directed physical edge `tail → head`.
+pub type DirectedEdge = (NodeId, NodeId);
+
+/// Byte sizes are scaled by this factor before the per-node tiebreak
+/// priorities are added, so priorities can never outweigh a real byte.
+pub const WEIGHT_SCALE: u64 = 1 << 20;
+
+/// A continuation group: a destination plus the exact remaining route of
+/// its units after the edge's head. Units in one group stay together all
+/// the way to the destination and may safely share one partial record.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AggGroup {
+    /// The destination this record is for.
+    pub destination: NodeId,
+    /// Remaining path from the edge's head to the destination, inclusive
+    /// of both endpoints (`suffix[0]` = head; `suffix.last()` =
+    /// destination). A one-element suffix means the head *is* the
+    /// destination.
+    pub suffix: Vec<NodeId>,
+}
+
+/// The inputs to one single-edge optimization: `(S_e, D_e, ∼_e)` with
+/// destinations refined into continuation groups.
+///
+/// Equality compares the full problem inputs; Corollary 1 keys on it —
+/// an edge whose problem is unchanged keeps its solution verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeProblem {
+    /// The directed edge `i → j`.
+    pub edge: DirectedEdge,
+    /// Sources routed through the edge (`S_e`), sorted.
+    pub sources: Vec<NodeId>,
+    /// Continuation groups (`D_e` refined), sorted.
+    pub groups: Vec<AggGroup>,
+    /// The `∼_e` relation as `(source index, group index)` pairs, sorted.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl EdgeProblem {
+    /// Distinct destinations in `D_e`, sorted.
+    pub fn destinations(&self) -> Vec<NodeId> {
+        let mut d: Vec<NodeId> = self.groups.iter().map(|g| g.destination).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    }
+
+    /// True if every destination has a single continuation group — i.e.
+    /// the paper's sharing restriction holds at this edge and the problem
+    /// coincides with the paper's exact formulation.
+    pub fn is_sharing_coherent(&self) -> bool {
+        self.destinations().len() == self.groups.len()
+    }
+
+    /// Sources feeding the given group, sorted.
+    pub fn group_sources(&self, group_idx: usize) -> Vec<NodeId> {
+        self.pairs
+            .iter()
+            .filter(|&&(_, g)| g == group_idx)
+            .map(|&(s, _)| self.sources[s])
+            .collect()
+    }
+}
+
+/// The optimizer's decision for one edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeSolution {
+    /// The directed edge.
+    pub edge: DirectedEdge,
+    /// Sources transmitted raw across this edge, sorted.
+    pub raw: Vec<NodeId>,
+    /// Continuation groups transmitted as partial aggregate records,
+    /// sorted.
+    pub agg: Vec<AggGroup>,
+    /// Total payload bytes crossing the edge (excluding message headers,
+    /// which depend on message merging — see [`crate::schedule`]).
+    pub cost_bytes: u64,
+}
+
+impl EdgeSolution {
+    /// Number of message units (raw values + partial records) on the edge.
+    pub fn unit_count(&self) -> usize {
+        self.raw.len() + self.agg.len()
+    }
+
+    /// True if source `s` crosses the edge raw.
+    pub fn transmits_raw(&self, s: NodeId) -> bool {
+        self.raw.binary_search(&s).is_ok()
+    }
+
+    /// True if the group is transmitted as a partial record.
+    pub fn transmits_group(&self, group: &AggGroup) -> bool {
+        self.agg.binary_search(group).is_ok()
+    }
+}
+
+/// Per-node tiebreak priority, identical across all edge problems (§2.3).
+/// Sources and destinations get disjoint odd/even priorities so a source
+/// role and a destination role of the same physical node stay distinct.
+fn source_priority(s: NodeId) -> u64 {
+    2 * u64::from(s.0) + 1
+}
+
+fn destination_priority(d: NodeId) -> u64 {
+    2 * u64::from(d.0) + 2
+}
+
+/// Solves one single-edge problem exactly.
+///
+/// The returned solution is the minimum-byte choice; ties are broken by
+/// the consistent per-node priorities and the canonical min cut.
+pub fn solve_edge(problem: &EdgeProblem, spec: &AggregationSpec) -> EdgeSolution {
+    let mut graph = BipartiteGraph::new();
+    for &s in &problem.sources {
+        graph.add_left(u64::from(RAW_VALUE_BYTES) * WEIGHT_SCALE + source_priority(s));
+    }
+    for g in &problem.groups {
+        let bytes = spec
+            .function(g.destination)
+            .expect("group destination must have a function")
+            .partial_record_bytes();
+        graph.add_right(u64::from(bytes) * WEIGHT_SCALE + destination_priority(g.destination));
+    }
+    for &(si, gi) in &problem.pairs {
+        graph.add_edge(si, gi);
+    }
+    let cover = min_weight_vertex_cover(&graph);
+    let raw: Vec<NodeId> = cover.left.iter().map(|&i| problem.sources[i]).collect();
+    let agg: Vec<AggGroup> = cover.right.iter().map(|&i| problem.groups[i].clone()).collect();
+    let cost_bytes = raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
+        + agg
+            .iter()
+            .map(|g| {
+                u64::from(
+                    spec.function(g.destination)
+                        .expect("function exists")
+                        .partial_record_bytes(),
+                )
+            })
+            .sum::<u64>();
+    debug_assert!(raw.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(agg.windows(2).all(|w| w[0] < w[1]));
+    EdgeSolution {
+        edge: problem.edge,
+        raw,
+        agg,
+        cost_bytes,
+    }
+}
+
+/// Builds the per-edge optimization problems for a whole workload: walks
+/// every source→destination multicast path and registers the source, the
+/// continuation group, and the `∼_e` pair on every edge of the path.
+pub fn build_edge_problems(
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+) -> BTreeMap<DirectedEdge, EdgeProblem> {
+    // Accumulate with maps for dedup, then freeze into dense indices.
+    struct Builder {
+        sources: BTreeMap<NodeId, usize>,
+        groups: BTreeMap<AggGroup, usize>,
+        pairs: Vec<(usize, usize)>,
+    }
+    let mut acc: BTreeMap<DirectedEdge, Builder> = BTreeMap::new();
+
+    for (s, tree) in routing.trees() {
+        for &d in tree.destinations() {
+            if !spec.is_source_of(s, d) {
+                // Routing demands are derived from the spec, so every tree
+                // destination needs this source; guard anyway for callers
+                // building routing tables by hand.
+                continue;
+            }
+            let path = tree
+                .path_to(d)
+                .expect("tree spans its destinations by construction");
+            for (idx, hop) in path.windows(2).enumerate() {
+                let edge = (hop[0], hop[1]);
+                let suffix = path[idx + 1..].to_vec();
+                let b = acc.entry(edge).or_insert_with(|| Builder {
+                    sources: BTreeMap::new(),
+                    groups: BTreeMap::new(),
+                    pairs: Vec::new(),
+                });
+                let next_source = b.sources.len();
+                let si = *b.sources.entry(s).or_insert(next_source);
+                let group = AggGroup {
+                    destination: d,
+                    suffix,
+                };
+                let next_group = b.groups.len();
+                let gi = *b.groups.entry(group).or_insert(next_group);
+                b.pairs.push((si, gi));
+            }
+        }
+    }
+
+    acc.into_iter()
+        .map(|(edge, b)| {
+            // Map insertion indices → position after sorting by key, so the
+            // frozen vectors are sorted and indices stay aligned.
+            let mut src_order: Vec<(NodeId, usize)> =
+                b.sources.iter().map(|(&s, &i)| (s, i)).collect();
+            src_order.sort_unstable();
+            let mut src_remap = vec![0usize; src_order.len()];
+            for (new_idx, &(_, old_idx)) in src_order.iter().enumerate() {
+                src_remap[old_idx] = new_idx;
+            }
+            let mut grp_order: Vec<(AggGroup, usize)> =
+                b.groups.iter().map(|(g, &i)| (g.clone(), i)).collect();
+            grp_order.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut grp_remap = vec![0usize; grp_order.len()];
+            for (new_idx, (_, old_idx)) in grp_order.iter().enumerate() {
+                grp_remap[*old_idx] = new_idx;
+            }
+            let mut pairs: Vec<(usize, usize)> = b
+                .pairs
+                .iter()
+                .map(|&(si, gi)| (src_remap[si], grp_remap[gi]))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            (
+                edge,
+                EdgeProblem {
+                    edge,
+                    sources: src_order.into_iter().map(|(s, _)| s).collect(),
+                    groups: grp_order.into_iter().map(|(g, _)| g).collect(),
+                    pairs,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+
+    /// Builds the paper's Figure 2 single-edge instance directly.
+    fn figure2_problem() -> (EdgeProblem, AggregationSpec) {
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        let (k, l, m) = (NodeId(10), NodeId(11), NodeId(12));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            k,
+            AggregateFunction::weighted_sum([(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)]),
+        );
+        spec.add_function(
+            l,
+            AggregateFunction::weighted_sum([(a, 1.0), (b, 1.0), (c, 1.0)]),
+        );
+        spec.add_function(m, AggregateFunction::weighted_sum([(a, 1.0)]));
+        let mk_group = |dest: NodeId| AggGroup {
+            destination: dest,
+            // All destinations share the continuation via node 5 (the "j"
+            // of Figure 1(C)); exact shape is irrelevant to the solve.
+            suffix: vec![NodeId(5), dest],
+        };
+        let problem = EdgeProblem {
+            edge: (NodeId(4), NodeId(5)),
+            sources: vec![a, b, c, d],
+            groups: vec![mk_group(k), mk_group(l), mk_group(m)],
+            pairs: vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (3, 0),
+            ],
+        };
+        (problem, spec)
+    }
+
+    #[test]
+    fn figure2_solution_matches_paper() {
+        // "a solution … includes source a and destinations k and l" —
+        // one raw + two records = 3 units, 12 payload bytes at 4 B each.
+        let (problem, spec) = figure2_problem();
+        let sol = solve_edge(&problem, &spec);
+        assert_eq!(sol.raw, vec![NodeId(0)]);
+        let agg_dests: Vec<NodeId> = sol.agg.iter().map(|g| g.destination).collect();
+        assert_eq!(agg_dests, vec![NodeId(10), NodeId(11)]);
+        assert_eq!(sol.unit_count(), 3);
+        assert_eq!(sol.cost_bytes, 12);
+    }
+
+    #[test]
+    fn solution_is_a_cover() {
+        let (problem, spec) = figure2_problem();
+        let sol = solve_edge(&problem, &spec);
+        for &(si, gi) in &problem.pairs {
+            let s = problem.sources[si];
+            let g = &problem.groups[gi];
+            assert!(
+                sol.transmits_raw(s) || sol.transmits_group(g),
+                "pair ({s}, {}) uncovered",
+                g.destination
+            );
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic() {
+        let (problem, spec) = figure2_problem();
+        assert_eq!(solve_edge(&problem, &spec), solve_edge(&problem, &spec));
+    }
+
+    #[test]
+    fn coherence_detection() {
+        let (problem, _) = figure2_problem();
+        assert!(problem.is_sharing_coherent());
+        let mut incoherent = problem.clone();
+        incoherent.groups.push(AggGroup {
+            destination: NodeId(10),
+            suffix: vec![NodeId(6), NodeId(10)],
+        });
+        incoherent.pairs.push((3, 3));
+        assert!(!incoherent.is_sharing_coherent());
+    }
+
+    #[test]
+    fn group_sources_lookup() {
+        let (problem, _) = figure2_problem();
+        assert_eq!(
+            problem.group_sources(0),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(problem.group_sources(2), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn build_edge_problems_merges_trees_on_shared_edges() {
+        use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+        // 4-node line: sources 0 and 1 both feed destination 3; the edge
+        // 2→3 is shared by both trees and must carry both sources.
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 2.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let problems = build_edge_problems(&spec, &routing);
+        let shared = &problems[&(NodeId(2), NodeId(3))];
+        assert_eq!(shared.sources, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(shared.groups.len(), 1, "one destination, one group");
+        assert_eq!(shared.pairs.len(), 2);
+        // Upstream edge 0→1 carries only source 0.
+        let first = &problems[&(NodeId(0), NodeId(1))];
+        assert_eq!(first.sources, vec![NodeId(0)]);
+        // No reverse edges appear.
+        assert!(!problems.contains_key(&(NodeId(3), NodeId(2))));
+    }
+
+    #[test]
+    fn build_edge_problems_dedups_repeated_pairs() {
+        use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+        let net = Network::with_default_energy(Deployment::grid(3, 1, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let problems = build_edge_problems(&spec, &routing);
+        for p in problems.values() {
+            let mut pairs = p.pairs.clone();
+            pairs.dedup();
+            assert_eq!(pairs, p.pairs, "pairs must be deduplicated and sorted");
+        }
+    }
+}

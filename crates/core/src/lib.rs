@@ -1,0 +1,125 @@
+//! Many-to-many aggregation for sensor networks.
+//!
+//! This crate implements the optimizer and runtime of *Silberstein & Yang,
+//! "Many-to-Many Aggregation for Sensor Networks" (ICDE 2007)*. Each
+//! destination node needs an aggregate over readings at a set of source
+//! nodes; sources serve many destinations. Given one multicast tree per
+//! source (built by [`m2m_netsim::routing`]), the optimizer decides — per
+//! directed tree edge, independently — which values cross the edge **raw**
+//! (sharable via multicast) and which cross as destination-specific
+//! **partial aggregate records** (compressed by in-network aggregation),
+//! by solving a minimum-weight bipartite vertex cover (§2.2). Per-edge
+//! optima compose into a consistent, globally optimal plan (Theorem 1).
+//!
+//! Crate map (paper section in parentheses):
+//!
+//! * [`agg`] — generalized algebraic aggregation functions: per-source
+//!   pre-aggregation `w_{d,s}`, merging `m_d`, evaluation `e_d` (§2.1);
+//! * [`spec`] — the many-to-many workload: which destination aggregates
+//!   which sources, with what function;
+//! * [`workload`] — the paper's workload generators (destination fraction,
+//!   sources per destination, dispersion factor `d`; §4);
+//! * [`edge_opt`] — the single-edge optimization as weighted bipartite
+//!   vertex cover (§2.2);
+//! * [`plan`] — global plan assembly, consistency verification and repair
+//!   (§2.3, Theorem 1), and the §3 node state tables (Theorem 3);
+//! * [`schedule`] — message units, wait-for graph (Theorem 2), greedy
+//!   cycle-safe message merging (§3);
+//! * [`tables`] — the §3 per-node state tables (raw / pre-aggregation /
+//!   partial-aggregate / outgoing message, Theorem 3);
+//! * [`baselines`] — the paper's comparison algorithms: multicast,
+//!   aggregation, flood (§4);
+//! * [`basestation`] — the §1 out-of-network control strawman, with
+//!   per-node energy accounting;
+//! * [`runtime`] — centralized round execution with numeric end-to-end
+//!   checking and energy accounting ([`metrics`]);
+//! * [`node_machine`] — the *distributed* counterpart: event-driven node
+//!   automata programmed solely by their §3 tables;
+//! * [`slots`] — collision-free TDMA transmission slots (§3);
+//! * [`suppression`] — temporal suppression and the dynamic override
+//!   policies (§3, Figure 7);
+//! * [`dynamics`] — incremental re-optimization after workload/route
+//!   changes (Corollary 1), priced by [`dissemination`];
+//! * [`milestones`] — milestone routing over virtual edges (§3);
+//! * [`resilience`] — slotted execution under transient link failures,
+//!   plus critical-link (bridge) analysis (§3);
+//! * [`multi`] — the "multiple functions per destination" lift (§2.1);
+//! * [`campaign`] — multi-round suppression campaigns with an audited
+//!   precision/energy trade-off (§3's "up to desired precision");
+//! * [`textio`] — plain-text persistence for deployments and workloads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use m2m_core::prelude::*;
+//! use std::collections::BTreeMap;
+//!
+//! // A small grid network.
+//! let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+//!
+//! // Two destinations, each a weighted average over three sources.
+//! let mut spec = AggregationSpec::new();
+//! spec.add_function(
+//!     NodeId(0),
+//!     AggregateFunction::weighted_average([(NodeId(5), 1.0), (NodeId(10), 2.0), (NodeId(15), 1.0)]),
+//! );
+//! spec.add_function(
+//!     NodeId(3),
+//!     AggregateFunction::weighted_average([(NodeId(5), 1.0), (NodeId(10), 1.0), (NodeId(12), 4.0)]),
+//! );
+//!
+//! // Route multicast trees and build the optimal plan.
+//! let routing = RoutingTables::build(&net, &spec.source_to_destinations(), RoutingMode::ShortestPathTrees);
+//! let plan = GlobalPlan::build(&net, &spec, &routing);
+//!
+//! // Execute one round on real readings and check every destination.
+//! let readings: BTreeMap<NodeId, f64> =
+//!     net.nodes().map(|v| (v, f64::from(v.0))).collect();
+//! let round = execute_round(&net, &spec, &routing, &plan, &readings);
+//! for (dest, result) in &round.results {
+//!     let expected = spec.function(*dest).unwrap().reference_result(&readings);
+//!     assert!((result - expected).abs() < 1e-9);
+//! }
+//! println!("round energy: {:.3} mJ", round.cost.total_mj());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod baselines;
+pub mod basestation;
+pub mod campaign;
+pub mod dissemination;
+pub mod dynamics;
+pub mod edge_opt;
+pub mod metrics;
+pub mod milestones;
+pub mod multi;
+pub mod node_machine;
+pub mod plan;
+pub mod redundancy;
+pub mod resilience;
+pub mod runtime;
+pub mod schedule;
+pub mod sharing;
+pub mod slots;
+pub mod spec;
+pub mod suppression;
+pub mod tables;
+pub mod textio;
+pub mod workload;
+
+/// Convenience re-exports for typical use.
+pub mod prelude {
+    pub use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
+    pub use crate::baselines::{Algorithm, plan_for_algorithm};
+    pub use crate::edge_opt::{EdgeProblem, EdgeSolution};
+    pub use crate::metrics::RoundCost;
+    pub use crate::plan::GlobalPlan;
+    pub use crate::runtime::execute_round;
+    pub use crate::spec::AggregationSpec;
+    pub use crate::workload::{WorkloadConfig, generate_workload};
+    pub use m2m_graph::NodeId;
+    pub use m2m_netsim::{Deployment, EnergyModel, Network, RoutingMode, RoutingTables};
+}

@@ -1,0 +1,233 @@
+//! Cost accounting shared by the runtime, baselines, and figure harnesses.
+//!
+//! Besides network-wide totals ([`RoundCost`]), per-node energy is tracked
+//! in a [`NodeEnergyLedger`] — §1 motivates in-network control partly by
+//! load distribution: out-of-network control "create\[s\] bottlenecks at
+//! nodes near the base station, which would otherwise be overburdened with
+//! message traffic and deplete their energy earlier than other nodes".
+//! The ledger exposes exactly that hotspot, and [`LifetimeReport`] turns
+//! it into the rounds-until-first-death metric.
+
+use m2m_graph::NodeId;
+
+/// Energy and traffic totals for one round of plan execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundCost {
+    /// Total transmit energy (µJ).
+    pub tx_uj: f64,
+    /// Total receive energy (µJ).
+    pub rx_uj: f64,
+    /// Number of messages transmitted.
+    pub messages: usize,
+    /// Number of message units carried (raw values + partial records).
+    pub units: usize,
+    /// Total payload bytes (message bodies, excluding headers).
+    pub payload_bytes: u64,
+}
+
+impl RoundCost {
+    /// Total energy in µJ (send + receive, as the paper measures).
+    #[inline]
+    pub fn total_uj(&self) -> f64 {
+        self.tx_uj + self.rx_uj
+    }
+
+    /// Total energy in mJ — the unit of the paper's figures.
+    #[inline]
+    pub fn total_mj(&self) -> f64 {
+        self.total_uj() / 1000.0
+    }
+
+    /// Accumulates another cost into this one.
+    pub fn accumulate(&mut self, other: &RoundCost) {
+        self.tx_uj += other.tx_uj;
+        self.rx_uj += other.rx_uj;
+        self.messages += other.messages;
+        self.units += other.units;
+        self.payload_bytes += other.payload_bytes;
+    }
+}
+
+/// Per-node energy accounting for one round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeEnergyLedger {
+    tx_uj: Vec<f64>,
+    rx_uj: Vec<f64>,
+}
+
+impl NodeEnergyLedger {
+    /// A zeroed ledger for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NodeEnergyLedger {
+            tx_uj: vec![0.0; n],
+            rx_uj: vec![0.0; n],
+        }
+    }
+
+    /// Charges transmit energy to a node.
+    #[inline]
+    pub fn charge_tx(&mut self, node: NodeId, uj: f64) {
+        self.tx_uj[node.index()] += uj;
+    }
+
+    /// Charges receive energy to a node.
+    #[inline]
+    pub fn charge_rx(&mut self, node: NodeId, uj: f64) {
+        self.rx_uj[node.index()] += uj;
+    }
+
+    /// Total energy spent by one node (µJ).
+    #[inline]
+    pub fn node_total_uj(&self, node: NodeId) -> f64 {
+        self.tx_uj[node.index()] + self.rx_uj[node.index()]
+    }
+
+    /// Network-wide total (µJ) — matches the corresponding
+    /// [`RoundCost::total_uj`] when both track the same round.
+    pub fn total_uj(&self) -> f64 {
+        self.tx_uj.iter().sum::<f64>() + self.rx_uj.iter().sum::<f64>()
+    }
+
+    /// The busiest node and its per-round energy (µJ). Ties break toward
+    /// the lower node id.
+    pub fn hotspot(&self) -> (NodeId, f64) {
+        let mut best = (NodeId(0), 0.0);
+        for i in 0..self.tx_uj.len() {
+            let v = self.tx_uj[i] + self.rx_uj[i];
+            if v > best.1 {
+                best = (NodeId::from_index(i), v);
+            }
+        }
+        best
+    }
+
+    /// Load imbalance: hotspot energy divided by mean nonzero-node energy.
+    /// 1.0 = perfectly even among active nodes.
+    pub fn imbalance(&self) -> f64 {
+        let active: Vec<f64> = (0..self.tx_uj.len())
+            .map(|i| self.tx_uj[i] + self.rx_uj[i])
+            .filter(|&v| v > 0.0)
+            .collect();
+        if active.is_empty() {
+            return 1.0;
+        }
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        self.hotspot().1 / mean
+    }
+
+    /// Iterator over `(node, total_uj)` for every node.
+    pub fn per_node(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        (0..self.tx_uj.len()).map(|i| (NodeId::from_index(i), self.tx_uj[i] + self.rx_uj[i]))
+    }
+}
+
+/// Battery-lifetime projection from a per-round ledger. The network dies
+/// when its first node does (the usual sensor-network lifetime metric —
+/// §1: overburdened nodes "deplete their energy earlier than other
+/// nodes").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LifetimeReport {
+    /// Rounds until the busiest node exhausts its battery.
+    pub rounds_until_first_death: f64,
+    /// The node that dies first.
+    pub first_death: NodeId,
+    /// Hotspot-to-mean load ratio (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+/// Projects network lifetime assuming every node starts with
+/// `battery_uj` microjoules and the given ledger repeats every round.
+///
+/// # Panics
+/// Panics if the ledger shows no energy use (lifetime would be infinite).
+pub fn project_lifetime(ledger: &NodeEnergyLedger, battery_uj: f64) -> LifetimeReport {
+    let (node, per_round) = ledger.hotspot();
+    assert!(per_round > 0.0, "no node spends energy; lifetime is unbounded");
+    LifetimeReport {
+        rounds_until_first_death: battery_uj / per_round,
+        first_death: node,
+        imbalance: ledger.imbalance(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_per_node_and_totals() {
+        let mut ledger = NodeEnergyLedger::new(3);
+        ledger.charge_tx(NodeId(0), 10.0);
+        ledger.charge_rx(NodeId(1), 4.0);
+        ledger.charge_tx(NodeId(1), 8.0);
+        assert_eq!(ledger.node_total_uj(NodeId(0)), 10.0);
+        assert_eq!(ledger.node_total_uj(NodeId(1)), 12.0);
+        assert_eq!(ledger.node_total_uj(NodeId(2)), 0.0);
+        assert_eq!(ledger.total_uj(), 22.0);
+        assert_eq!(ledger.hotspot(), (NodeId(1), 12.0));
+    }
+
+    #[test]
+    fn imbalance_of_even_load_is_one() {
+        let mut ledger = NodeEnergyLedger::new(4);
+        for i in 0..4 {
+            ledger.charge_tx(NodeId(i), 5.0);
+        }
+        assert!((ledger.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_grows_with_hotspots() {
+        let mut ledger = NodeEnergyLedger::new(4);
+        ledger.charge_tx(NodeId(0), 30.0);
+        ledger.charge_tx(NodeId(1), 10.0);
+        // mean of active = 20, hotspot 30 → 1.5.
+        assert!((ledger.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_projection() {
+        let mut ledger = NodeEnergyLedger::new(2);
+        ledger.charge_tx(NodeId(1), 100.0);
+        let report = project_lifetime(&ledger, 1_000_000.0);
+        assert_eq!(report.first_death, NodeId(1));
+        assert!((report.rounds_until_first_death - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime is unbounded")]
+    fn idle_network_has_no_lifetime() {
+        let ledger = NodeEnergyLedger::new(2);
+        project_lifetime(&ledger, 1.0);
+    }
+
+    #[test]
+    fn totals_and_units() {
+        let c = RoundCost {
+            tx_uj: 1500.0,
+            rx_uj: 500.0,
+            messages: 3,
+            units: 5,
+            payload_bytes: 20,
+        };
+        assert_eq!(c.total_uj(), 2000.0);
+        assert!((c.total_mj() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = RoundCost {
+            tx_uj: 1.0,
+            rx_uj: 2.0,
+            messages: 1,
+            units: 2,
+            payload_bytes: 4,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.units, 4);
+        assert_eq!(a.payload_bytes, 8);
+        assert_eq!(a.total_uj(), 6.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Milestone routing (§3, "Flexibility Trade-Off in Routing using
+//! Milestones").
+//!
+//! Fully specified routes give the optimizer the most aggregation
+//! opportunities but force the communication layer to push every message
+//! through every pre-selected hop, even across flaky links. The milestone
+//! approach keeps only a *subset* of each route's intermediate nodes as
+//! milestones; optimization runs over milestones and the *virtual edges*
+//! between them, while the communication layer is free to route each
+//! virtual hop however it likes at runtime.
+//!
+//! We select as milestones every `spacing`-th node of each multicast tree
+//! (plus the root and every destination — convergence points must be
+//! pinned for compile-time aggregation to be guaranteed). `spacing == 1`
+//! recovers the fully specified plan. The expected-delivery cost model:
+//!
+//! * a *pinned* hop (spacing 1) must be traversed exactly, paying an
+//!   expected `1 / (1 − p)` transmissions under per-round link failure
+//!   probability `p` (retransmit until the link is up);
+//! * a *flexible* virtual edge of physical length `L` lets the
+//!   communication layer route around failures, paying
+//!   `L · (1 + detour_overhead · p)` expected transmissions.
+//!
+//! The paper sketches this trade-off qualitatively; the concrete cost
+//! model here (and the `milestones` ablation bench built on it) is our
+//! parameterization — see DESIGN.md, "Substitutions".
+
+use std::collections::BTreeMap;
+
+use m2m_graph::spt::MulticastTree;
+use m2m_graph::NodeId;
+use m2m_netsim::{EnergyModel, Network, RoutingTables};
+
+use crate::edge_opt::DirectedEdge;
+use crate::metrics::RoundCost;
+use crate::plan::GlobalPlan;
+
+/// Milestone selection and runtime cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MilestoneConfig {
+    /// Keep every `spacing`-th tree node as a milestone (1 = every hop).
+    pub spacing: u32,
+    /// Relative extra distance the communication layer travels to route
+    /// around a failed link on a flexible segment.
+    pub detour_overhead: f64,
+}
+
+impl Default for MilestoneConfig {
+    fn default() -> Self {
+        MilestoneConfig {
+            spacing: 1,
+            detour_overhead: 0.5,
+        }
+    }
+}
+
+/// The virtual topology milestone optimization runs on: per-source virtual
+/// multicast trees plus the physical length of every virtual edge.
+#[derive(Clone, Debug)]
+pub struct MilestoneRouting {
+    /// Virtual multicast trees (edges connect consecutive milestones).
+    pub routing: RoutingTables,
+    /// Physical hop length of each virtual edge.
+    pub edge_lengths: BTreeMap<DirectedEdge, u32>,
+}
+
+/// Builds the milestone (virtual-edge) routing from physical routing.
+pub fn build_milestone_routing(
+    network: &Network,
+    physical: &RoutingTables,
+    config: &MilestoneConfig,
+) -> MilestoneRouting {
+    assert!(config.spacing >= 1, "spacing must be at least 1");
+    let mut edge_lengths: BTreeMap<DirectedEdge, u32> = BTreeMap::new();
+    let mut demands: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut virtual_trees: BTreeMap<NodeId, MulticastTree> = BTreeMap::new();
+
+    for (s, tree) in physical.trees() {
+        demands.insert(s, tree.destinations().to_vec());
+        // Milestone predicate per tree: depth multiple of spacing, the
+        // root, or a destination.
+        let is_milestone = |v: NodeId, depth: u32| -> bool {
+            depth % config.spacing == 0
+                || v == s
+                || tree.destinations().binary_search(&v).is_ok()
+        };
+        let n = network.node_count();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        for &d in tree.destinations() {
+            let path = tree.path_to(d).expect("tree spans destination");
+            let mut last_milestone = (path[0], 0u32);
+            for (depth, &v) in path.iter().enumerate().skip(1) {
+                let depth = depth as u32;
+                if is_milestone(v, depth) {
+                    let (prev, prev_depth) = last_milestone;
+                    if v != prev {
+                        parent[v.index()] = Some(prev);
+                        edge_lengths
+                            .entry((prev, v))
+                            .and_modify(|l| *l = (*l).max(depth - prev_depth))
+                            .or_insert(depth - prev_depth);
+                    }
+                    last_milestone = (v, depth);
+                }
+            }
+        }
+        virtual_trees.insert(
+            s,
+            MulticastTree::from_parents(s, parent, tree.destinations().to_vec()),
+        );
+    }
+
+    MilestoneRouting {
+        routing: RoutingTables::from_trees(physical.mode(), virtual_trees),
+        edge_lengths,
+    }
+}
+
+/// Expected per-round cost of executing `plan` over the milestone routing
+/// under per-link failure probability `p`.
+///
+/// Each virtual edge carries one message (full merging, as in the paper's
+/// experiments); the message is relayed over the virtual edge's physical
+/// length with the flexible-delivery multiplier, except that length-1
+/// virtual edges are pinned hops paying the retransmission multiplier.
+pub fn expected_round_cost(
+    plan: &GlobalPlan,
+    milestone: &MilestoneRouting,
+    energy: &EnergyModel,
+    failure_probability: f64,
+    config: &MilestoneConfig,
+) -> RoundCost {
+    assert!((0.0..1.0).contains(&failure_probability));
+    let mut cost = RoundCost::default();
+    for (&edge, sol) in plan.solutions() {
+        let body = u32::try_from(sol.cost_bytes).expect("payload fits u32");
+        let length = f64::from(milestone.edge_lengths.get(&edge).copied().unwrap_or(1));
+        let multiplier = if length <= 1.0 {
+            // Pinned hop: retransmit on this exact link until it is up.
+            1.0 / (1.0 - failure_probability)
+        } else {
+            // Flexible segment: route around failures with bounded detour.
+            length * (1.0 + config.detour_overhead * failure_probability)
+        };
+        cost.tx_uj += energy.tx_cost_uj(body) * multiplier;
+        cost.rx_uj += energy.rx_cost_uj(body) * multiplier;
+        cost.messages += length as usize;
+        cost.units += sol.unit_count();
+        cost.payload_bytes += sol.cost_bytes;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::GlobalPlan;
+    use crate::spec::AggregationSpec;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    fn setup() -> (Network, AggregationSpec, RoutingTables) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(8));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 12, 5));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        (net, spec, routing)
+    }
+
+    #[test]
+    fn spacing_one_is_identity() {
+        let (net, spec, routing) = setup();
+        let cfg = MilestoneConfig {
+            spacing: 1,
+            detour_overhead: 0.5,
+        };
+        let m = build_milestone_routing(&net, &routing, &cfg);
+        // Every physical tree edge survives with length 1.
+        assert!(m.edge_lengths.values().all(|&l| l == 1));
+        assert_eq!(
+            m.routing.directed_edges().len(),
+            routing.directed_edges().len()
+        );
+        let _ = spec;
+    }
+
+    #[test]
+    fn wider_spacing_contracts_paths() {
+        let (net, spec, routing) = setup();
+        let cfg = MilestoneConfig {
+            spacing: 3,
+            detour_overhead: 0.5,
+        };
+        let m = build_milestone_routing(&net, &routing, &cfg);
+        assert!(
+            m.routing.directed_edges().len() <= routing.directed_edges().len(),
+            "virtual topology must not be larger"
+        );
+        assert!(m.edge_lengths.values().any(|&l| l > 1), "some edges contract");
+        // The virtual plan still validates and executes symbolically.
+        let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
+        plan.validate(&spec, &m.routing).unwrap();
+    }
+
+    #[test]
+    fn milestones_win_under_heavy_failures() {
+        let (net, spec, routing) = setup();
+        let pinned_cfg = MilestoneConfig {
+            spacing: 1,
+            detour_overhead: 0.5,
+        };
+        let flex_cfg = MilestoneConfig {
+            spacing: 4,
+            detour_overhead: 0.5,
+        };
+        let pinned = build_milestone_routing(&net, &routing, &pinned_cfg);
+        let flexible = build_milestone_routing(&net, &routing, &flex_cfg);
+        let pinned_plan = GlobalPlan::build_unchecked(&spec, &pinned.routing);
+        let flex_plan = GlobalPlan::build_unchecked(&spec, &flexible.routing);
+        let cost = |plan: &GlobalPlan, m: &MilestoneRouting, cfg: &MilestoneConfig, p: f64| {
+            expected_round_cost(plan, m, net.energy(), p, cfg).total_uj()
+        };
+        // With reliable links, pinning every hop is at least as good
+        // (maximum aggregation opportunity, no failure penalty).
+        assert!(
+            cost(&pinned_plan, &pinned, &pinned_cfg, 0.0)
+                <= cost(&flex_plan, &flexible, &flex_cfg, 0.0) * 1.05
+        );
+        // Under heavy failures the trend reverses at some probability:
+        // pinned cost grows like 1/(1-p), flexible like (1 + 0.5 p).
+        let p = 0.6;
+        let pinned_hi = cost(&pinned_plan, &pinned, &pinned_cfg, p);
+        let pinned_lo = cost(&pinned_plan, &pinned, &pinned_cfg, 0.0);
+        let flex_hi = cost(&flex_plan, &flexible, &flex_cfg, p);
+        let flex_lo = cost(&flex_plan, &flexible, &flex_cfg, 0.0);
+        assert!(
+            pinned_hi / pinned_lo > flex_hi / flex_lo,
+            "pinned routing must degrade faster under failures"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be at least 1")]
+    fn zero_spacing_rejected() {
+        let (net, _, routing) = setup();
+        build_milestone_routing(
+            &net,
+            &routing,
+            &MilestoneConfig {
+                spacing: 0,
+                detour_overhead: 0.5,
+            },
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Lifting the one-function-per-destination assumption.
+//!
+//! §2.1: "we assume each node can be the destination of at most one
+//! aggregation function, though this assumption is simple to lift". The
+//! lift: partition the functions into *layers* such that each destination
+//! appears at most once per layer, plan each layer with the unmodified
+//! optimizer, and execute the layers back to back within the round. The
+//! number of layers equals the largest number of functions any single
+//! destination carries (greedy first-fit is optimal here because the only
+//! constraint is per-destination multiplicity).
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::{Network, RoutingMode, RoutingTables};
+
+use crate::agg::AggregateFunction;
+use crate::metrics::RoundCost;
+use crate::plan::GlobalPlan;
+use crate::runtime::execute_round;
+use crate::spec::AggregationSpec;
+
+/// A workload where destinations may carry any number of functions.
+#[derive(Clone, Debug, Default)]
+pub struct MultiSpec {
+    functions: Vec<(NodeId, AggregateFunction)>,
+}
+
+impl MultiSpec {
+    /// Creates an empty multi-function workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function for destination `d`. Unlike
+    /// [`AggregationSpec::add_function`], repeated destinations add
+    /// *additional* functions rather than replacing.
+    pub fn add_function(&mut self, d: NodeId, f: AggregateFunction) {
+        self.functions.push((d, f));
+    }
+
+    /// Total number of functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The functions in insertion order.
+    pub fn functions(&self) -> &[(NodeId, AggregateFunction)] {
+        &self.functions
+    }
+
+    /// Greedy first-fit layering: each layer holds at most one function
+    /// per destination. The layer count equals the maximum multiplicity of
+    /// any destination.
+    pub fn layers(&self) -> Vec<AggregationSpec> {
+        let mut layers: Vec<AggregationSpec> = Vec::new();
+        for (d, f) in &self.functions {
+            let slot = layers.iter_mut().find(|layer| layer.function(*d).is_none());
+            match slot {
+                Some(layer) => layer.add_function(*d, f.clone()),
+                None => {
+                    let mut layer = AggregationSpec::new();
+                    layer.add_function(*d, f.clone());
+                    layers.push(layer);
+                }
+            }
+        }
+        layers
+    }
+
+    /// Ground-truth results per function, insertion order.
+    pub fn reference_results(&self, readings: &BTreeMap<NodeId, f64>) -> Vec<f64> {
+        self.functions
+            .iter()
+            .map(|(_, f)| f.reference_result(readings))
+            .collect()
+    }
+}
+
+/// Plans for every layer of a [`MultiSpec`].
+#[derive(Clone, Debug)]
+pub struct MultiPlan {
+    layers: Vec<(AggregationSpec, RoutingTables, GlobalPlan)>,
+}
+
+impl MultiPlan {
+    /// Builds per-layer optimal plans.
+    pub fn build(network: &Network, multi: &MultiSpec, mode: RoutingMode) -> Self {
+        let layers = multi
+            .layers()
+            .into_iter()
+            .map(|spec| {
+                let routing =
+                    RoutingTables::build(network, &spec.source_to_destinations(), mode);
+                let plan = GlobalPlan::build(network, &spec, &routing);
+                (spec, routing, plan)
+            })
+            .collect();
+        MultiPlan { layers }
+    }
+
+    /// Number of layers (sub-rounds per round).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total per-round payload across all layers.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.layers.iter().map(|(_, _, p)| p.total_payload_bytes()).sum()
+    }
+
+    /// Executes one round: all layers in sequence. Returns one result per
+    /// original function, in insertion order, plus the summed cost.
+    pub fn execute_round(
+        &self,
+        network: &Network,
+        multi: &MultiSpec,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> (Vec<f64>, RoundCost) {
+        let mut per_layer: Vec<BTreeMap<NodeId, f64>> = Vec::new();
+        let mut cost = RoundCost::default();
+        for (spec, routing, plan) in &self.layers {
+            let round = execute_round(network, spec, routing, plan, readings);
+            cost.accumulate(&round.cost);
+            per_layer.push(round.results);
+        }
+        // Map back to insertion order by replaying the layering.
+        let mut next_layer: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let results = multi
+            .functions()
+            .iter()
+            .map(|(d, _)| {
+                let layer = *next_layer
+                    .entry(*d)
+                    .and_modify(|l| *l += 1)
+                    .or_insert(0);
+                per_layer[layer][d]
+            })
+            .collect();
+        (results, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateKind;
+    use m2m_netsim::Deployment;
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
+        net.nodes().map(|v| (v, f64::from(v.0) * 0.5 + 1.0)).collect()
+    }
+
+    #[test]
+    fn one_destination_many_functions() {
+        let net = network();
+        let vals = readings(&net);
+        let mut multi = MultiSpec::new();
+        // Node 12 wants an average, a minimum, AND a count of the same set.
+        for kind in [
+            AggregateKind::WeightedAverage,
+            AggregateKind::Min,
+            AggregateKind::Count,
+        ] {
+            multi.add_function(
+                NodeId(12),
+                AggregateFunction::new(kind, [(NodeId(0), 1.0), (NodeId(3), 1.0)]),
+            );
+        }
+        assert_eq!(multi.layers().len(), 3);
+        let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
+        assert_eq!(plan.layer_count(), 3);
+        let (results, cost) = plan.execute_round(&net, &multi, &vals);
+        let expected = multi.reference_results(&vals);
+        for (got, want) in results.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+        assert!(cost.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn layering_is_minimal() {
+        let mut multi = MultiSpec::new();
+        // d=1 has 3 functions, d=2 has 1: exactly 3 layers.
+        for _ in 0..3 {
+            multi.add_function(NodeId(1), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        }
+        multi.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        let layers = multi.layers();
+        assert_eq!(layers.len(), 3);
+        // The singleton function lands in the first layer.
+        assert!(layers[0].function(NodeId(2)).is_some());
+        assert_eq!(layers[0].destination_count(), 2);
+    }
+
+    #[test]
+    fn single_function_per_destination_is_one_layer() {
+        let net = network();
+        let vals = readings(&net);
+        let mut multi = MultiSpec::new();
+        multi.add_function(NodeId(12), AggregateFunction::weighted_sum([(NodeId(0), 2.0)]));
+        multi.add_function(NodeId(15), AggregateFunction::weighted_sum([(NodeId(0), 3.0)]));
+        let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
+        assert_eq!(plan.layer_count(), 1);
+        let (results, _) = plan.execute_round(&net, &multi, &vals);
+        assert!((results[0] - 2.0 * vals[&NodeId(0)]).abs() < 1e-12);
+        assert!((results[1] - 3.0 * vals[&NodeId(0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_functions_both_answered() {
+        // The same function twice at one destination — results repeat.
+        let net = network();
+        let vals = readings(&net);
+        let mut multi = MultiSpec::new();
+        let f = AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(5), 1.0)]);
+        multi.add_function(NodeId(10), f.clone());
+        multi.add_function(NodeId(10), f);
+        let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
+        let (results, _) = plan.execute_round(&net, &multi, &vals);
+        assert_eq!(results.len(), 2);
+        assert!((results[0] - results[1]).abs() < 1e-12);
+    }
+}

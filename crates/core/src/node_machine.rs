@@ -1,0 +1,490 @@
+//! Event-driven node automata executing straight from the §3 tables.
+//!
+//! [`crate::runtime`] evaluates a plan centrally over the unit DAG; this
+//! module is the *distributed* counterpart the paper actually deploys:
+//! each node runs an automaton whose entire program is its four state
+//! tables ("Each node, upon receiving an incoming message unit, produces
+//! and transmits all outgoing message units that are no longer waiting
+//! for any additional message units" — §3). Nodes exchange
+//! [`WireMessage`]s; nothing else is shared. The integration tests drive
+//! both runtimes over the same workloads and require identical results,
+//! which makes [`crate::tables`] load-bearing rather than merely audited.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use m2m_graph::NodeId;
+
+use crate::agg::PartialRecord;
+use crate::edge_opt::AggGroup;
+use crate::spec::AggregationSpec;
+use crate::tables::{NodeState, NodeTables, RecordTarget};
+
+/// One unit on the wire.
+#[derive(Clone, Debug)]
+pub enum WireUnit {
+    /// A raw value, tagged by its source (§3: "a raw value, tagged by the
+    /// source node identifier").
+    Raw {
+        /// The producing source.
+        source: NodeId,
+        /// The reading.
+        value: f64,
+    },
+    /// A partial aggregate record, tagged by its continuation group
+    /// ("a partial aggregate record, tagged by the destination node
+    /// identifier" — the group generalizes the tag, see
+    /// [`crate::edge_opt`]).
+    Record {
+        /// The record's group (destination + remaining route).
+        group: AggGroup,
+        /// The accumulated partial aggregate.
+        record: PartialRecord,
+    },
+}
+
+/// A radio message between neighbors.
+#[derive(Clone, Debug)]
+pub struct WireMessage {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// The merged units.
+    pub units: Vec<WireUnit>,
+}
+
+/// A record accumulator: merges `expected` inputs, then fires.
+#[derive(Clone, Debug)]
+struct Accumulator {
+    record: Option<PartialRecord>,
+    received: u32,
+    expected: u32,
+    fired: bool,
+    /// Outgoing message carrying the completed record (`None` = local
+    /// evaluation).
+    message: Option<usize>,
+}
+
+/// One node's runtime automaton.
+#[derive(Clone, Debug)]
+pub struct NodeMachine {
+    id: NodeId,
+    program: NodeState,
+    /// Accumulators keyed by merge target.
+    accumulators: BTreeMap<RecordTarget, Accumulator>,
+    /// Units staged per outgoing message index.
+    staged: Vec<Vec<WireUnit>>,
+    /// Messages already emitted (each outgoing message fires once).
+    emitted: Vec<bool>,
+    /// Final results if this node is a destination.
+    results: BTreeMap<NodeId, f64>,
+}
+
+impl NodeMachine {
+    /// Boots a node from its disseminated state tables.
+    pub fn new(id: NodeId, program: NodeState) -> Self {
+        let mut accumulators = BTreeMap::new();
+        for entry in &program.partial {
+            let target = match (&entry.group, entry.message) {
+                (Some(group), Some(msg)) => {
+                    let next_hop = program.outgoing[msg].next_hop;
+                    RecordTarget::Edge((id, next_hop), group.clone())
+                }
+                (None, None) => RecordTarget::Local(entry.destination),
+                other => unreachable!("inconsistent partial entry: {other:?}"),
+            };
+            accumulators.insert(
+                target,
+                Accumulator {
+                    record: None,
+                    received: 0,
+                    expected: entry.merge_count,
+                    fired: false,
+                    message: entry.message,
+                },
+            );
+        }
+        let staged = vec![Vec::new(); program.outgoing.len()];
+        let emitted = vec![false; program.outgoing.len()];
+        NodeMachine {
+            id,
+            program,
+            accumulators,
+            staged,
+            emitted,
+            results: BTreeMap::new(),
+        }
+    }
+
+    /// Results computed at this node so far (destination nodes only).
+    pub fn results(&self) -> &BTreeMap<NodeId, f64> {
+        &self.results
+    }
+
+    /// True if every outgoing message fired and every accumulator
+    /// completed — the node finished its round.
+    pub fn is_quiescent(&self) -> bool {
+        self.emitted.iter().all(|&e| e)
+            && self.accumulators.values().all(|a| a.fired)
+    }
+
+    /// Human-readable description of unfinished work (for deadlock
+    /// diagnostics).
+    fn pending_description(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &emitted) in self.emitted.iter().enumerate() {
+            if !emitted {
+                parts.push(format!(
+                    "message {} to {}: {}/{} units staged",
+                    i,
+                    self.program.outgoing[i].next_hop,
+                    self.staged[i].len(),
+                    self.program.outgoing[i].unit_count
+                ));
+            }
+        }
+        for (target, acc) in &self.accumulators {
+            if !acc.fired {
+                parts.push(format!(
+                    "{target:?}: {}/{} inputs",
+                    acc.received, acc.expected
+                ));
+            }
+        }
+        parts.join("; ")
+    }
+
+    /// Feeds this node's own sensor reading; returns any messages that
+    /// become ready.
+    pub fn inject_local_reading(
+        &mut self,
+        spec: &AggregationSpec,
+        value: f64,
+    ) -> Vec<WireMessage> {
+        self.handle_raw(spec, self.id, value)
+    }
+
+    /// Delivers one radio message; returns any messages that become
+    /// ready.
+    pub fn on_receive(&mut self, spec: &AggregationSpec, message: &WireMessage) -> Vec<WireMessage> {
+        debug_assert_eq!(message.to, self.id);
+        let mut out = Vec::new();
+        for unit in &message.units {
+            match unit {
+                WireUnit::Raw { source, value } => {
+                    out.extend(self.handle_raw(spec, *source, *value));
+                }
+                WireUnit::Record { group, record } => {
+                    out.extend(self.handle_record(spec, group, *record));
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes a raw value available at this node (own reading or
+    /// received): forwards it per the raw table and pre-aggregates it per
+    /// the pre-aggregation table.
+    fn handle_raw(&mut self, spec: &AggregationSpec, source: NodeId, value: f64) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        let forwards: Vec<usize> = self
+            .program
+            .raw
+            .iter()
+            .filter(|e| e.source == source)
+            .map(|e| e.message)
+            .collect();
+        for msg in forwards {
+            self.staged[msg].push(WireUnit::Raw { source, value });
+            out.extend(self.try_emit(msg));
+        }
+        let preaggs: Vec<(NodeId, RecordTarget)> = self
+            .program
+            .preagg
+            .iter()
+            .filter(|e| e.source == source)
+            .map(|e| (e.destination, e.target.clone()))
+            .collect();
+        for (destination, target) in preaggs {
+            let f = spec
+                .function(destination)
+                .expect("destination has a function");
+            let part = f.pre_aggregate(source, value);
+            out.extend(self.merge_into(spec, &target, part));
+        }
+        out
+    }
+
+    /// Merges an incoming record into its continuation accumulator.
+    fn handle_record(
+        &mut self,
+        spec: &AggregationSpec,
+        group: &AggGroup,
+        record: PartialRecord,
+    ) -> Vec<WireMessage> {
+        debug_assert_eq!(group.suffix[0], self.id, "record delivered to wrong node");
+        let target = if group.suffix.len() == 1 {
+            RecordTarget::Local(group.destination)
+        } else {
+            RecordTarget::Edge(
+                (self.id, group.suffix[1]),
+                AggGroup {
+                    destination: group.destination,
+                    suffix: group.suffix[1..].to_vec(),
+                },
+            )
+        };
+        self.merge_into(spec, &target, record)
+    }
+
+    /// Adds one input to an accumulator; fires it when complete.
+    fn merge_into(
+        &mut self,
+        spec: &AggregationSpec,
+        target: &RecordTarget,
+        part: PartialRecord,
+    ) -> Vec<WireMessage> {
+        let destination = match target {
+            RecordTarget::Edge(_, g) => g.destination,
+            RecordTarget::Local(d) => *d,
+        };
+        let f = spec
+            .function(destination)
+            .expect("destination has a function");
+        let acc = self
+            .accumulators
+            .get_mut(target)
+            .unwrap_or_else(|| panic!("{}: no accumulator for {target:?}", self.id));
+        assert!(!acc.fired, "{}: late input for {target:?}", self.id);
+        acc.record = Some(match acc.record.take() {
+            None => part,
+            Some(prev) => f.merge(prev, part),
+        });
+        acc.received += 1;
+        if acc.received < acc.expected {
+            return Vec::new();
+        }
+        acc.fired = true;
+        let record = acc.record.expect("completed accumulator has a record");
+        let message = acc.message;
+        match target.clone() {
+            RecordTarget::Local(d) => {
+                self.results.insert(d, f.evaluate(record));
+                Vec::new()
+            }
+            RecordTarget::Edge(_, group) => {
+                // The table told us which message carries this record —
+                // the same cycle-safe grouping the schedule merger chose.
+                let msg = message.expect("edge-targeted record has a message");
+                self.staged[msg].push(WireUnit::Record { group, record });
+                self.try_emit(msg)
+            }
+        }
+    }
+
+    /// Emits an outgoing message once all its units are staged (§3: the
+    /// merged message carries `unit_count` units).
+    fn try_emit(&mut self, msg: usize) -> Vec<WireMessage> {
+        let expected = self.program.outgoing[msg].unit_count as usize;
+        assert!(
+            self.staged[msg].len() <= expected,
+            "{}: message {msg} overfilled",
+            self.id
+        );
+        if self.emitted[msg] || self.staged[msg].len() < expected {
+            return Vec::new();
+        }
+        self.emitted[msg] = true;
+        vec![WireMessage {
+            from: self.id,
+            to: self.program.outgoing[msg].next_hop,
+            units: std::mem::take(&mut self.staged[msg]),
+        }]
+    }
+}
+
+/// Outcome of one distributed round.
+#[derive(Clone, Debug)]
+pub struct DistributedRound {
+    /// Final aggregate per destination.
+    pub results: BTreeMap<NodeId, f64>,
+    /// Every radio message exchanged, in delivery order.
+    pub messages: Vec<WireMessage>,
+}
+
+/// Runs one full round of the distributed automata: every node processes
+/// its own reading, messages are delivered in FIFO order until the
+/// network quiesces.
+///
+/// Returns an error if the network deadlocks (some accumulator or message
+/// never completes) — which Theorem 2 rules out for plans produced by
+/// this crate.
+pub fn run_distributed_round(
+    spec: &AggregationSpec,
+    tables: &NodeTables,
+    readings: &BTreeMap<NodeId, f64>,
+) -> Result<DistributedRound, String> {
+    let mut machines: BTreeMap<NodeId, NodeMachine> = tables
+        .nodes()
+        .map(|(n, state)| (n, NodeMachine::new(n, state.clone())))
+        .collect();
+
+    let mut in_flight: VecDeque<WireMessage> = VecDeque::new();
+    let mut log = Vec::new();
+    for (&node, machine) in machines.iter_mut() {
+        let value = *readings
+            .get(&node)
+            .unwrap_or_else(|| panic!("no reading for node {node}"));
+        in_flight.extend(machine.inject_local_reading(spec, value));
+    }
+    while let Some(message) = in_flight.pop_front() {
+        let receiver = machines
+            .get_mut(&message.to)
+            .ok_or_else(|| format!("message to {} but node has no tables", message.to))?;
+        in_flight.extend(receiver.on_receive(spec, &message));
+        log.push(message);
+    }
+
+    let mut results = BTreeMap::new();
+    for machine in machines.values() {
+        results.extend(machine.results().iter().map(|(&d, &v)| (d, v)));
+        if !machine.is_quiescent() {
+            return Err(format!(
+                "node {} did not quiesce: {}",
+                machine.id,
+                machine.pending_description()
+            ));
+        }
+    }
+    for (d, _) in spec.functions() {
+        if !results.contains_key(&d) {
+            return Err(format!("destination {d} produced no result"));
+        }
+    }
+    Ok(DistributedRound {
+        results,
+        messages: log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::plan::GlobalPlan;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+    fn run(
+        net: &Network,
+        spec: &AggregationSpec,
+        mode: RoutingMode,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> DistributedRound {
+        let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
+        let plan = GlobalPlan::build(net, spec, &routing);
+        let tables = NodeTables::build(spec, &routing, &plan);
+        run_distributed_round(spec, &tables, readings).expect("no deadlock")
+    }
+
+    #[test]
+    fn distributed_round_matches_reference_on_grid() {
+        let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, f64::from(v.0) - 4.5)).collect();
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_average([
+                (NodeId(0), 1.0),
+                (NodeId(1), 2.0),
+                (NodeId(6), 1.5),
+            ]),
+        );
+        spec.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_average([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        let round = run(&net, &spec, RoutingMode::ShortestPathTrees, &readings);
+        for (d, f) in spec.functions() {
+            let expected = f.reference_result(&readings);
+            assert!((round.results[&d] - expected).abs() < 1e-9, "dest {d}");
+        }
+    }
+
+    #[test]
+    fn message_count_matches_active_edges() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(5));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 10, 3));
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, 1.0 + f64::from(v.0 % 9))).collect();
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let tables = NodeTables::build(&spec, &routing, &plan);
+        let round = run_distributed_round(&spec, &tables, &readings).unwrap();
+        // One radio message per active plan edge (full merging).
+        assert_eq!(round.messages.len(), plan.solutions().len());
+        // Every wire message travels a plan edge with the right unit count.
+        for m in &round.messages {
+            let sol = plan.solution((m.from, m.to)).expect("message on plan edge");
+            assert_eq!(m.units.len(), sol.unit_count());
+        }
+    }
+
+    #[test]
+    fn self_sourcing_destination_quiesces() {
+        let net = Network::with_default_energy(Deployment::grid(3, 3, 10.0, 12.0));
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, f64::from(v.0))).collect();
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(4),
+            AggregateFunction::weighted_sum([(NodeId(4), 2.0), (NodeId(0), 1.0)]),
+        );
+        let round = run(&net, &spec, RoutingMode::ShortestPathTrees, &readings);
+        assert!((round.results[&NodeId(4)] - (2.0 * 4.0 + 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_routing_modes_agree() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(8));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 8, 7));
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, f64::from(v.0) * 0.25)).collect();
+        let a = run(&net, &spec, RoutingMode::ShortestPathTrees, &readings);
+        let b = run(&net, &spec, RoutingMode::SharedSpanningTree, &readings);
+        for (d, _) in spec.functions() {
+            assert!((a.results[&d] - b.results[&d]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn corrupted_tables_are_detected_as_deadlock() {
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let tables = NodeTables::build(&spec, &routing, &plan);
+        // Sabotage: drop node 1's state entirely — the relay goes silent.
+        let mut broken: BTreeMap<NodeId, _> =
+            tables.nodes().map(|(n, s)| (n, s.clone())).collect();
+        broken.remove(&NodeId(1));
+        let broken = NodeTables::from_states(broken);
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, 1.0)).collect();
+        let result = run_distributed_round(&spec, &broken, &readings);
+        assert!(result.is_err(), "silent relay must be detected");
+    }
+}

@@ -1,0 +1,502 @@
+//! Global plan assembly (§2.3).
+//!
+//! Theorem 1: optimal solutions to the individual per-edge vertex-cover
+//! problems combine into a consistent, globally optimal plan — provided
+//! the multicast trees satisfy the §2.1 path-sharing restriction and every
+//! per-edge problem has a unique minimum (arranged by the consistent
+//! tiebreak weights in [`crate::edge_opt`]).
+//!
+//! The only possible inconsistency is *raw-availability*: an upstream edge
+//! aggregates a value while a downstream edge wants it raw; once
+//! aggregated, the raw value cannot be recovered. [`GlobalPlan::build`]
+//! therefore runs a top-down sweep along every multicast tree that tracks
+//! raw availability and, if a violation is found, *repairs* the downstream
+//! edge by forcing aggregation (a strictly feasibility-preserving patch).
+//! Under the [`m2m_netsim::RoutingMode::SharedSpanningTree`] mode the
+//! sharing restriction holds by construction and — per Theorem 1 — the
+//! sweep never fires; with per-source shortest-path trees (the paper's §4
+//! setup) violations are rare and counted in
+//! [`GlobalPlan::repair_count`].
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::{Network, RoutingTables};
+
+use crate::agg::RAW_VALUE_BYTES;
+use crate::edge_opt::{
+    build_edge_problems, solve_edge, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
+};
+use crate::spec::AggregationSpec;
+
+/// The assembled network-wide many-to-many aggregation plan.
+#[derive(Clone, Debug)]
+pub struct GlobalPlan {
+    problems: BTreeMap<DirectedEdge, EdgeProblem>,
+    solutions: BTreeMap<DirectedEdge, EdgeSolution>,
+    repairs: usize,
+}
+
+impl GlobalPlan {
+    /// Builds the optimal plan: solves every single-edge problem
+    /// independently, then runs the consistency sweep.
+    pub fn build(network: &Network, spec: &AggregationSpec, routing: &RoutingTables) -> Self {
+        debug_assert!(
+            routing
+                .directed_edges()
+                .iter()
+                .all(|&(a, b)| network.graph().has_edge(a, b)),
+            "every multicast edge must be a radio link"
+        );
+        Self::build_unchecked(spec, routing)
+    }
+
+    /// Like [`GlobalPlan::build`] but without checking that the routing
+    /// edges are radio links — used for milestone routing, whose virtual
+    /// edges span multiple physical hops.
+    pub fn build_unchecked(spec: &AggregationSpec, routing: &RoutingTables) -> Self {
+        let problems = build_edge_problems(spec, routing);
+        let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = problems
+            .iter()
+            .map(|(&e, p)| (e, solve_edge(p, spec)))
+            .collect();
+        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        GlobalPlan {
+            problems,
+            solutions,
+            repairs,
+        }
+    }
+
+    /// Builds a plan from externally supplied edge solutions (used by the
+    /// baseline algorithms). The availability sweep still runs so every
+    /// plan handed out is executable.
+    pub fn from_solutions(
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        problems: BTreeMap<DirectedEdge, EdgeProblem>,
+        mut solutions: BTreeMap<DirectedEdge, EdgeSolution>,
+    ) -> Self {
+        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        GlobalPlan {
+            problems,
+            solutions,
+            repairs,
+        }
+    }
+
+    /// The per-edge problems, keyed by directed edge.
+    #[inline]
+    pub fn problems(&self) -> &BTreeMap<DirectedEdge, EdgeProblem> {
+        &self.problems
+    }
+
+    /// The per-edge solutions, keyed by directed edge.
+    #[inline]
+    pub fn solutions(&self) -> &BTreeMap<DirectedEdge, EdgeSolution> {
+        &self.solutions
+    }
+
+    /// The solution for one edge.
+    pub fn solution(&self, edge: DirectedEdge) -> Option<&EdgeSolution> {
+        self.solutions.get(&edge)
+    }
+
+    /// Number of edges patched by the consistency sweep (0 when the
+    /// sharing restriction holds — Theorem 1).
+    #[inline]
+    pub fn repair_count(&self) -> usize {
+        self.repairs
+    }
+
+    /// Total payload bytes per round across all edges (headers excluded).
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.solutions.values().map(|s| s.cost_bytes).sum()
+    }
+
+    /// One-glance statistics of the plan.
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            edges: self.solutions.len(),
+            raw_units: self.solutions.values().map(|s| s.raw.len()).sum(),
+            record_units: self.solutions.values().map(|s| s.agg.len()).sum(),
+            payload_bytes: self.total_payload_bytes(),
+            repairs: self.repairs,
+            coherent_edges: self
+                .problems
+                .values()
+                .filter(|p| p.is_sharing_coherent())
+                .count(),
+        }
+    }
+
+    /// Total message units per round across all edges.
+    pub fn total_units(&self) -> usize {
+        self.solutions.values().map(|s| s.unit_count()).sum()
+    }
+
+    /// Validates the plan by symbolically routing every `(s, d)` pair:
+    /// the value must leave its source raw, may switch to a partial record
+    /// exactly once (where its group is chosen), and every edge it crosses
+    /// must transmit it in the state the plan claims.
+    pub fn validate(&self, spec: &AggregationSpec, routing: &RoutingTables) -> Result<(), String> {
+        for (s, tree) in routing.trees() {
+            for &d in tree.destinations() {
+                if !spec.is_source_of(s, d) {
+                    continue;
+                }
+                let path = tree.path_to(d).expect("tree spans destination");
+                let mut raw = true;
+                for (idx, hop) in path.windows(2).enumerate() {
+                    let edge = (hop[0], hop[1]);
+                    let sol = self
+                        .solutions
+                        .get(&edge)
+                        .ok_or_else(|| format!("no solution for edge {edge:?}"))?;
+                    let group = AggGroup {
+                        destination: d,
+                        suffix: path[idx + 1..].to_vec(),
+                    };
+                    if raw {
+                        if sol.transmits_raw(s) {
+                            // stays raw
+                        } else if sol.transmits_group(&group) {
+                            raw = false;
+                        } else {
+                            return Err(format!(
+                                "pair ({s}, {d}) uncovered on edge {edge:?}"
+                            ));
+                        }
+                    } else if !sol.transmits_group(&group) {
+                        return Err(format!(
+                            "record for ({s}, {d}) dropped on edge {edge:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks raw-availability consistency *without* repairs, i.e. whether
+    /// the independently obtained per-edge optima already compose — the
+    /// Theorem 1 property. Returns the number of violations.
+    pub fn count_inconsistencies(
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        solutions: &BTreeMap<DirectedEdge, EdgeSolution>,
+    ) -> usize {
+        let mut violations = 0;
+        for (s, tree) in routing.trees() {
+            for &d in tree.destinations() {
+                if !spec.is_source_of(s, d) {
+                    continue;
+                }
+                let path = tree.path_to(d).expect("tree spans destination");
+                let mut avail = true;
+                for hop in path.windows(2) {
+                    let edge = (hop[0], hop[1]);
+                    let Some(sol) = solutions.get(&edge) else { continue };
+                    if sol.transmits_raw(s) {
+                        if !avail {
+                            violations += 1;
+                        }
+                    } else {
+                        avail = false;
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// The §2.3 sweep: walks every multicast tree top-down tracking whether
+/// the tree's raw value is still available, and patches any edge that
+/// wants a raw value an upstream edge already aggregated. Patching an edge
+/// for source `s` removes `s` from the raw set and forces every group `s`
+/// participates in on that edge into the aggregate set — other sources'
+/// entries are untouched, so one pass per tree suffices. Returns the
+/// number of patched edges.
+fn repair_availability(
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+    problems: &BTreeMap<DirectedEdge, EdgeProblem>,
+    solutions: &mut BTreeMap<DirectedEdge, EdgeSolution>,
+) -> usize {
+    let mut repairs = 0;
+    for (s, tree) in routing.trees() {
+        // Availability of raw v_s at each tree node, computed in BFS order
+        // (edges() yields parent→child pairs; children appear after their
+        // parents in the ascending-id node order only within path walks,
+        // so walk per destination path instead — prefixes are shared and
+        // revisiting an edge is idempotent).
+        for &d in tree.destinations() {
+            if !spec.is_source_of(s, d) {
+                continue;
+            }
+            let path = tree.path_to(d).expect("tree spans destination");
+            let mut avail = true;
+            for hop in path.windows(2) {
+                let edge = (hop[0], hop[1]);
+                let Some(sol) = solutions.get_mut(&edge) else { continue };
+                if sol.transmits_raw(s) && !avail {
+                    patch_edge(spec, &problems[&edge], sol, s);
+                    repairs += 1;
+                }
+                avail = avail && sol.transmits_raw(s);
+            }
+        }
+    }
+    repairs
+}
+
+/// Removes `s` from an edge's raw set and forces every continuation group
+/// `s` participates in into the aggregate set, preserving cover validity.
+fn patch_edge(spec: &AggregationSpec, problem: &EdgeProblem, sol: &mut EdgeSolution, s: NodeId) {
+    if let Ok(pos) = sol.raw.binary_search(&s) {
+        sol.raw.remove(pos);
+    }
+    let si = problem
+        .sources
+        .binary_search(&s)
+        .expect("patched source must be in the edge problem");
+    for &(psi, gi) in &problem.pairs {
+        if psi != si {
+            continue;
+        }
+        let group = &problem.groups[gi];
+        if let Err(pos) = sol.agg.binary_search(group) {
+            sol.agg.insert(pos, group.clone());
+        }
+    }
+    sol.cost_bytes = sol.raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
+        + sol
+            .agg
+            .iter()
+            .map(|g| {
+                u64::from(
+                    spec.function(g.destination)
+                        .expect("function exists")
+                        .partial_record_bytes(),
+                )
+            })
+            .sum::<u64>();
+}
+
+/// Aggregate statistics of a [`GlobalPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Directed edges carrying traffic.
+    pub edges: usize,
+    /// Raw message units per round.
+    pub raw_units: usize,
+    /// Partial-record message units per round.
+    pub record_units: usize,
+    /// Payload bytes per round (headers excluded).
+    pub payload_bytes: u64,
+    /// Edges patched by the consistency sweep.
+    pub repairs: usize,
+    /// Edges whose problem matches the paper's exact (sharing-coherent)
+    /// formulation.
+    pub coherent_edges: usize,
+}
+
+impl std::fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} edges, {} raw + {} record units, {} payload bytes/round, \
+             {} repairs, {}/{} coherent edges",
+            self.edges,
+            self.raw_units,
+            self.record_units,
+            self.payload_bytes,
+            self.repairs,
+            self.coherent_edges,
+            self.edges
+        )
+    }
+}
+
+/// Size of each destination's *aggregation tree* `A_d` (Theorem 3): the
+/// union of the multicast paths from `d`'s sources to `d`, measured in
+/// nodes.
+pub fn aggregation_tree_sizes(
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+) -> BTreeMap<NodeId, usize> {
+    let mut sizes = BTreeMap::new();
+    for (d, f) in spec.functions() {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for s in f.sources() {
+            if let Some(tree) = routing.tree(s) {
+                if let Some(path) = tree.path_to(d) {
+                    nodes.extend(path);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        sizes.insert(d, nodes.len());
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    fn grid_network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn build_all(
+        net: &Network,
+        spec: &AggregationSpec,
+        mode: RoutingMode,
+    ) -> (RoutingTables, GlobalPlan) {
+        let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
+        let plan = GlobalPlan::build(net, spec, &routing);
+        (routing, plan)
+    }
+
+    fn small_spec() -> AggregationSpec {
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(5), 0.5)]),
+        );
+        spec.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 1.0)]),
+        );
+        spec
+    }
+
+    #[test]
+    fn plan_validates_in_both_routing_modes() {
+        let net = grid_network();
+        let spec = small_spec();
+        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+            let (routing, plan) = build_all(&net, &spec, mode);
+            plan.validate(&spec, &routing).expect("plan must validate");
+        }
+    }
+
+    #[test]
+    fn shared_tree_mode_needs_no_repairs() {
+        // Theorem 1 under the sharing restriction.
+        let net = grid_network();
+        let spec = small_spec();
+        let (_, plan) = build_all(&net, &spec, RoutingMode::SharedSpanningTree);
+        assert_eq!(plan.repair_count(), 0);
+    }
+
+    #[test]
+    fn plan_cost_is_positive_and_bounded() {
+        let net = grid_network();
+        let spec = small_spec();
+        let (routing, plan) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
+        assert!(plan.total_payload_bytes() > 0);
+        // Upper bound: pure multicast payload (every edge carries all its
+        // raw values).
+        let multicast_bytes: u64 = plan
+            .problems()
+            .values()
+            .map(|p| p.sources.len() as u64 * u64::from(RAW_VALUE_BYTES))
+            .sum();
+        assert!(plan.total_payload_bytes() <= multicast_bytes);
+        let _ = routing;
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let net = grid_network();
+        let spec = small_spec();
+        let (routing, plan) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
+        let mut broken = plan.clone();
+        // Drop one edge's units entirely.
+        let edge = *broken.solutions.keys().next().unwrap();
+        let sol = broken.solutions.get_mut(&edge).unwrap();
+        sol.raw.clear();
+        sol.agg.clear();
+        assert!(broken.validate(&spec, &routing).is_err());
+    }
+
+    #[test]
+    fn larger_random_workload_builds_and_validates() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(2));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 10, 3));
+        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+            let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            let plan = GlobalPlan::build(&net, &spec, &routing);
+            plan.validate(&spec, &routing).expect("plan must validate");
+            if mode == RoutingMode::SharedSpanningTree {
+                assert_eq!(plan.repair_count(), 0, "Theorem 1 violated in shared mode");
+            }
+        }
+    }
+
+    #[test]
+    fn count_inconsistencies_detects_forced_violations() {
+        // Force an upstream edge to aggregate while downstream still wants
+        // the raw value — the exact §2.3 threat case.
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            m2m_netsim::RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let mut solutions = plan.solutions().clone();
+        // Corrupt the first edge: aggregate the lone source there.
+        let first = solutions.get_mut(&(NodeId(0), NodeId(1))).unwrap();
+        let group = plan.problems()[&(NodeId(0), NodeId(1))].groups[0].clone();
+        first.raw.clear();
+        first.agg = vec![group];
+        // Downstream edges still transmit raw → inconsistencies counted.
+        let violations = GlobalPlan::count_inconsistencies(&spec, &routing, &solutions);
+        assert!(violations > 0);
+        // The untouched plan is consistent.
+        assert_eq!(
+            GlobalPlan::count_inconsistencies(&spec, &routing, plan.solutions()),
+            0
+        );
+    }
+
+    #[test]
+    fn summary_is_consistent_with_accessors() {
+        let net = grid_network();
+        let spec = small_spec();
+        let (_, plan) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
+        let s = plan.summary();
+        assert_eq!(s.edges, plan.solutions().len());
+        assert_eq!(s.raw_units + s.record_units, plan.total_units());
+        assert_eq!(s.payload_bytes, plan.total_payload_bytes());
+        assert_eq!(s.repairs, plan.repair_count());
+        assert!(s.coherent_edges <= s.edges);
+        let text = s.to_string();
+        assert!(text.contains("payload bytes/round"));
+    }
+
+    #[test]
+    fn aggregation_tree_sizes_cover_paths() {
+        let net = grid_network();
+        let spec = small_spec();
+        let (routing, _) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
+        let sizes = aggregation_tree_sizes(&spec, &routing);
+        // d=15 aggregates 0,1,2; its aggregation tree must contain at
+        // least the 4 corner-path nodes.
+        assert!(sizes[&NodeId(15)] >= 4);
+        assert_eq!(sizes.len(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Node-failure coverage and redundant state (§3, "Handling Failures").
+//!
+//! "Permanent node failures may additionally necessitate changes in
+//! aggregation functions themselves. … In \[16\], we present additional
+//! techniques to further alleviate the impact of failures by introducing
+//! some redundant state into the network."
+//!
+//! Before the plan is repaired (Corollary 1 re-optimization takes time to
+//! disseminate), what fraction of (source, destination) pairs can the
+//! communication layer still deliver around a set of failed nodes? That
+//! depends on *where aggregation state lives*:
+//!
+//! * a pair that travels **raw** end to end can be rerouted along any
+//!   surviving path — raw values need no in-network state;
+//! * a pair that aggregates needs its pre-aggregation state: with the
+//!   default placement only the plan's transition node holds `w_{d,s}`,
+//!   so that node and a surviving route through it are required; with
+//!   the redundant **every-node** placement
+//!   ([`StatePlacement::EveryNode`]) any surviving route suffices.
+//!
+//! [`delivery_coverage`] quantifies the §3 claim that redundant state
+//! buys failure tolerance (at the state cost measured by
+//! [`SuppressionSim::state_entries`](crate::suppression::SuppressionSim::state_entries)).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use m2m_graph::NodeId;
+use m2m_netsim::{Network, RoutingTables};
+
+use crate::plan::GlobalPlan;
+use crate::spec::AggregationSpec;
+use crate::suppression::StatePlacement;
+
+/// Fraction of (source, destination) pairs still deliverable by runtime
+/// rerouting when `failed` nodes are down, before any plan repair.
+///
+/// Failed sources and failed destinations make their own pairs
+/// undeliverable. Failed relays can be routed around subject to the
+/// state-placement rules above.
+pub fn delivery_coverage(
+    network: &Network,
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+    plan: &GlobalPlan,
+    failed: &BTreeSet<NodeId>,
+    placement: StatePlacement,
+) -> f64 {
+    let reachable = |from: NodeId, to: NodeId| -> bool {
+        surviving_path_exists(network, failed, from, to)
+    };
+
+    let mut pairs = 0usize;
+    let mut delivered = 0usize;
+    for (s, tree) in routing.trees() {
+        for &d in tree.destinations() {
+            if !spec.is_source_of(s, d) {
+                continue;
+            }
+            pairs += 1;
+            if failed.contains(&s) || failed.contains(&d) {
+                continue;
+            }
+            let path = tree.path_to(d).expect("tree spans destination");
+            // Where does the pair transition from raw to a record under
+            // the installed plan?
+            let mut transition: Option<NodeId> = None;
+            for hop in path.windows(2) {
+                let sol = plan.solution((hop[0], hop[1])).expect("plan covers edge");
+                if !sol.transmits_raw(s) {
+                    transition = Some(hop[0]);
+                    break;
+                }
+            }
+            let ok = match (transition, placement) {
+                // Raw end to end: any surviving path will do.
+                (None, _) => reachable(s, d),
+                // Redundant state everywhere: any surviving path still
+                // lets some node pre-aggregate.
+                (Some(_), StatePlacement::EveryNode) => reachable(s, d),
+                // Default placement: must pass the single node holding
+                // the pre-aggregation state.
+                (Some(t), StatePlacement::TransitionOnly) => {
+                    !failed.contains(&t) && reachable(s, t) && reachable(t, d)
+                }
+            };
+            if ok {
+                delivered += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        delivered as f64 / pairs as f64
+    }
+}
+
+/// BFS over the radio graph avoiding failed nodes (endpoints must also
+/// survive — callers check that first).
+fn surviving_path_exists(
+    network: &Network,
+    failed: &BTreeSet<NodeId>,
+    from: NodeId,
+    to: NodeId,
+) -> bool {
+    if failed.contains(&from) || failed.contains(&to) {
+        return false;
+    }
+    if from == to {
+        return true;
+    }
+    let n = network.node_count();
+    let mut seen = vec![false; n];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for &v in network.neighbors(u) {
+            if v == to {
+                return true;
+            }
+            if !seen[v.index()] && !failed.contains(&v) {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    fn setup() -> (Network, AggregationSpec, RoutingTables, GlobalPlan) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(25));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 12, 7));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        (net, spec, routing, plan)
+    }
+
+    #[test]
+    fn no_failures_means_full_coverage() {
+        let (net, spec, routing, plan) = setup();
+        for placement in [StatePlacement::TransitionOnly, StatePlacement::EveryNode] {
+            let c = delivery_coverage(&net, &spec, &routing, &plan, &BTreeSet::new(), placement);
+            assert_eq!(c, 1.0);
+        }
+    }
+
+    #[test]
+    fn redundant_state_never_covers_less() {
+        let (net, spec, routing, plan) = setup();
+        // Kill a few relays (not sources/destinations) deterministically.
+        let participants: BTreeSet<NodeId> = spec
+            .all_sources()
+            .into_iter()
+            .chain(spec.destinations())
+            .collect();
+        let failed: BTreeSet<NodeId> = net
+            .nodes()
+            .filter(|v| !participants.contains(v))
+            .take(5)
+            .collect();
+        let lean =
+            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::TransitionOnly);
+        let fat =
+            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
+        assert!(fat >= lean, "redundant state must not reduce coverage ({fat} < {lean})");
+        assert!(fat > 0.0);
+    }
+
+    #[test]
+    fn failed_transition_node_breaks_default_but_not_redundant() {
+        // Line: source 0 → 1 → 2 → 3 → dest 4, with a parallel detour via
+        // the second row. Aggregation state sits at the transition node.
+        use crate::agg::AggregateFunction;
+        let net = Network::with_default_energy(Deployment::grid(5, 2, 10.0, 15.0));
+        let mut spec = AggregationSpec::new();
+        // Two sources so the plan aggregates somewhere.
+        spec.add_function(
+            NodeId(4),
+            AggregateFunction::weighted_average([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        // Find a transition node (if the plan aggregated at all).
+        let mut transition = None;
+        for (s, tree) in routing.trees() {
+            for &d in tree.destinations() {
+                let path = tree.path_to(d).unwrap();
+                for hop in path.windows(2) {
+                    let sol = plan.solution((hop[0], hop[1])).unwrap();
+                    if !sol.transmits_raw(s) {
+                        transition = Some(hop[0]);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(t) = transition else {
+            return; // plan kept everything raw; nothing to test
+        };
+        if spec.function(t).is_some() || spec.all_sources().contains(&t) {
+            return; // transition coincides with an endpoint on this layout
+        }
+        let failed: BTreeSet<NodeId> = [t].into_iter().collect();
+        let lean =
+            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::TransitionOnly);
+        let fat =
+            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
+        assert!(lean < 1.0, "losing the state holder must cost coverage");
+        assert_eq!(fat, 1.0, "redundant state reroutes around the failure");
+    }
+
+    #[test]
+    fn dead_source_is_never_deliverable() {
+        let (net, spec, routing, plan) = setup();
+        let s = spec.all_sources()[0];
+        let failed: BTreeSet<NodeId> = [s].into_iter().collect();
+        let c = delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
+        assert!(c < 1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Slotted execution under transient link failures (§3, "Handling
+//! Failures").
+//!
+//! The paper's fully specified routes require "reliable message delivery
+//! on every hop (using acknowledgments and retransmissions)". This module
+//! simulates exactly that: the TDMA schedule from [`crate::slots`] is
+//! executed slot by slot against a seeded
+//! [`LinkFailureModel`] — a message
+//! whose link is down in its slot is retried in subsequent slots (paying
+//! transmit energy per attempt), and downstream messages wait for their
+//! inputs. The outcome quantifies the §3 motivation for milestones: the
+//! round's makespan and energy grow with the failure rate when every hop
+//! is pinned.
+
+use m2m_graph::bridges::bridges;
+use m2m_graph::NodeId;
+use m2m_netsim::failure::LinkFailureModel;
+use m2m_netsim::Network;
+
+use crate::metrics::RoundCost;
+use crate::schedule::Schedule;
+use crate::slots::SlotSchedule;
+
+/// Radio links the communication layer cannot route around: the bridges
+/// of the connectivity graph. Milestone routing (§3) only helps where a
+/// detour exists; a deployment review should treat these links — and any
+/// plan traffic crossing them — as the dominant failure risk.
+pub fn critical_links(network: &Network) -> Vec<(NodeId, NodeId)> {
+    bridges(network.graph())
+}
+
+/// The subset of a schedule's messages that cross a critical link
+/// (in either direction), as indices into `schedule.messages`.
+pub fn messages_on_critical_links(network: &Network, schedule: &Schedule) -> Vec<usize> {
+    let critical = critical_links(network);
+    schedule
+        .messages
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| {
+            let (a, b) = m.edge;
+            let key = if a < b { (a, b) } else { (b, a) };
+            critical.binary_search(&key).is_ok()
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Result of one failure-prone round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceOutcome {
+    /// Slots actually used (≥ the failure-free makespan).
+    pub slots_used: u32,
+    /// Failed transmission attempts.
+    pub retransmissions: usize,
+    /// Energy including retransmissions (failed attempts pay transmit
+    /// energy; receive energy is paid only on successful delivery).
+    pub cost: RoundCost,
+    /// False if `max_slots` elapsed before every message was delivered.
+    pub delivered: bool,
+}
+
+/// Executes one round of `schedule` under `failures`, with `round_salt`
+/// decorrelating this round's failures from other rounds'.
+///
+/// A message becomes *ready* once every message it waits for has been
+/// delivered; it is attempted in every slot from `max(its assigned slot,
+/// readiness)` until its link is up. Retries give up after `max_slots`.
+pub fn execute_with_failures(
+    network: &Network,
+    schedule: &Schedule,
+    slots: &SlotSchedule,
+    failures: &LinkFailureModel,
+    round_salt: u64,
+    max_slots: u32,
+) -> ResilienceOutcome {
+    let energy = network.energy();
+    let message_count = schedule.messages.len();
+
+    // Message-level dependency lists (as in the slot assigner).
+    let mut message_of = vec![usize::MAX; schedule.units.len()];
+    for (m, msg) in schedule.messages.iter().enumerate() {
+        for &u in &msg.units {
+            message_of[u] = m;
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); message_count];
+    for &(u, v) in &schedule.unit_arcs {
+        let (a, b) = (message_of[u], message_of[v]);
+        if a != b && !preds[b].contains(&a) {
+            preds[b].push(a);
+        }
+    }
+
+    let bodies: Vec<u32> = schedule
+        .messages
+        .iter()
+        .map(|m| m.units.iter().map(|&u| schedule.units[u].size_bytes).sum())
+        .collect();
+
+    let mut delivered = vec![false; message_count];
+    let mut cost = RoundCost::default();
+    let mut retransmissions = 0usize;
+    let mut slots_used = 0u32;
+    let mut remaining = message_count;
+
+    for slot in 0..max_slots {
+        if remaining == 0 {
+            break;
+        }
+        let mut progressed = false;
+        for m in 0..message_count {
+            if delivered[m]
+                || slots.slots[m] > slot
+                || preds[m].iter().any(|&p| !delivered[p])
+            {
+                continue;
+            }
+            let edge = schedule.messages[m].edge;
+            // Every attempt pays transmit energy.
+            cost.tx_uj += energy.tx_cost_uj(bodies[m]);
+            if failures.is_down(edge.0, edge.1, round_salt.wrapping_add(u64::from(slot))) {
+                retransmissions += 1;
+                continue;
+            }
+            cost.rx_uj += energy.rx_cost_uj(bodies[m]);
+            cost.messages += 1;
+            cost.units += schedule.messages[m].units.len();
+            cost.payload_bytes += u64::from(bodies[m]);
+            delivered[m] = true;
+            remaining -= 1;
+            slots_used = slots_used.max(slot + 1);
+            progressed = true;
+        }
+        // Even slots with only failed attempts advance the clock.
+        if !progressed && remaining > 0 {
+            slots_used = slots_used.max(slot + 1);
+        }
+    }
+
+    ResilienceOutcome {
+        slots_used,
+        retransmissions,
+        cost,
+        delivered: remaining == 0,
+    }
+}
+
+/// Averages [`execute_with_failures`] over `rounds` independent rounds.
+/// Returns `(mean slots, mean retransmissions, mean energy µJ, delivery
+/// rate)`.
+pub fn average_over_rounds(
+    network: &Network,
+    schedule: &Schedule,
+    slots: &SlotSchedule,
+    failures: &LinkFailureModel,
+    rounds: u32,
+    max_slots: u32,
+) -> (f64, f64, f64, f64) {
+    let mut slot_sum = 0.0;
+    let mut retx_sum = 0.0;
+    let mut energy_sum = 0.0;
+    let mut delivered = 0u32;
+    for r in 0..rounds {
+        let out = execute_with_failures(
+            network,
+            schedule,
+            slots,
+            failures,
+            u64::from(r) * 1_000_003,
+            max_slots,
+        );
+        slot_sum += f64::from(out.slots_used);
+        retx_sum += out.retransmissions as f64;
+        energy_sum += out.cost.total_uj();
+        delivered += u32::from(out.delivered);
+    }
+    let n = f64::from(rounds);
+    (
+        slot_sum / n,
+        retx_sum / n,
+        energy_sum / n,
+        f64::from(delivered) / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::GlobalPlan;
+    use crate::schedule::build_schedule;
+    use crate::slots::assign_slots;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
+
+    fn setup() -> (Network, Schedule, SlotSchedule) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(6));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 10, 2));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let slots = assign_slots(&net, &schedule);
+        (net, schedule, slots)
+    }
+
+    #[test]
+    fn reliable_links_match_the_static_schedule() {
+        let (net, schedule, slots) = setup();
+        let out = execute_with_failures(
+            &net,
+            &schedule,
+            &slots,
+            &LinkFailureModel::reliable(),
+            0,
+            10_000,
+        );
+        assert!(out.delivered);
+        assert_eq!(out.retransmissions, 0);
+        assert_eq!(out.slots_used, slots.slot_count);
+        let baseline = schedule.round_cost(net.energy());
+        assert!((out.cost.total_uj() - baseline.total_uj()).abs() < 1e-6);
+        assert_eq!(out.cost.messages, baseline.messages);
+    }
+
+    #[test]
+    fn failures_cost_retransmissions_and_slots() {
+        let (net, schedule, slots) = setup();
+        let flaky = LinkFailureModel::new(0.3, 5);
+        let out = execute_with_failures(&net, &schedule, &slots, &flaky, 1, 10_000);
+        assert!(out.delivered);
+        assert!(out.retransmissions > 0);
+        assert!(out.slots_used >= slots.slot_count);
+        let baseline = schedule.round_cost(net.energy());
+        assert!(out.cost.tx_uj > baseline.tx_uj, "failed attempts burn tx energy");
+        assert!((out.cost.rx_uj - baseline.rx_uj).abs() < 1e-6, "rx only on delivery");
+    }
+
+    #[test]
+    fn energy_grows_with_failure_rate() {
+        let (net, schedule, slots) = setup();
+        let mut previous = 0.0;
+        for p in [0.0, 0.2, 0.4] {
+            let model = LinkFailureModel::new(p, 9);
+            let (_, _, energy, delivery) =
+                average_over_rounds(&net, &schedule, &slots, &model, 10, 10_000);
+            assert_eq!(delivery, 1.0, "p={p} must still deliver eventually");
+            assert!(energy >= previous, "energy must grow with p (p={p})");
+            previous = energy;
+        }
+    }
+
+    #[test]
+    fn critical_links_on_a_line_are_every_link() {
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        assert_eq!(critical_links(&net).len(), 3);
+    }
+
+    #[test]
+    fn critical_message_detection() {
+        // A line network forces every message over critical links.
+        let net = Network::with_default_energy(Deployment::grid(5, 1, 10.0, 12.0));
+        let mut spec = crate::spec::AggregationSpec::new();
+        spec.add_function(
+            m2m_graph::NodeId(4),
+            crate::agg::AggregateFunction::weighted_sum([(m2m_graph::NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let critical = messages_on_critical_links(&net, &schedule);
+        assert_eq!(critical.len(), schedule.messages.len());
+    }
+
+    #[test]
+    fn dense_networks_have_few_critical_messages() {
+        let (net, schedule, _) = setup();
+        let critical = messages_on_critical_links(&net, &schedule);
+        // The GDI layout is well-connected; only a small fraction of
+        // traffic should ride bridges.
+        assert!(
+            critical.len() * 4 <= schedule.messages.len(),
+            "{} of {} messages on bridges",
+            critical.len(),
+            schedule.messages.len()
+        );
+    }
+
+    #[test]
+    fn slot_budget_can_be_exhausted() {
+        let (net, schedule, slots) = setup();
+        let hopeless = LinkFailureModel::new(1.0, 2);
+        let out = execute_with_failures(&net, &schedule, &slots, &hopeless, 3, 50);
+        assert!(!out.delivered);
+        assert_eq!(out.cost.messages, 0);
+        assert!(out.retransmissions > 0);
+    }
+}

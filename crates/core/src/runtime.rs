@@ -1,0 +1,256 @@
+//! Round-based plan execution with end-to-end numeric checking.
+//!
+//! Executes one time step of a plan on concrete readings: every unit's
+//! value is computed in wait-for (topological) order — raw units carry the
+//! source reading, record units merge their contributions with the
+//! destination's merging function — and each destination's evaluator is
+//! applied to its final record. The result must equal the out-of-network
+//! reference computation exactly (up to floating-point associativity),
+//! which the integration tests assert for every algorithm, routing mode,
+//! and workload they touch.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::{Network, RoutingTables};
+
+use crate::agg::PartialRecord;
+use crate::metrics::RoundCost;
+use crate::plan::GlobalPlan;
+use crate::schedule::{build_schedule, Contribution, Schedule, UnitContent};
+use crate::spec::AggregationSpec;
+
+/// The outcome of executing one round.
+#[derive(Clone, Debug)]
+pub struct RoundResult {
+    /// Final aggregate value delivered at each destination.
+    pub results: BTreeMap<NodeId, f64>,
+    /// Energy and traffic spent this round.
+    pub cost: RoundCost,
+    /// The schedule the round ran on (unit and message structure).
+    pub schedule: Schedule,
+}
+
+/// Executes one round of `plan` over `readings` (one reading per node; at
+/// minimum every source must have a reading).
+///
+/// # Panics
+/// Panics if the plan is unschedulable or a source reading is missing —
+/// both indicate a bug upstream, not a runtime condition.
+pub fn execute_round(
+    network: &Network,
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+    plan: &GlobalPlan,
+    readings: &BTreeMap<NodeId, f64>,
+) -> RoundResult {
+    let schedule = build_schedule(spec, routing, plan).expect("plan must be schedulable");
+    let results = evaluate(spec, &schedule, readings);
+    let cost = schedule.round_cost(network.energy());
+    RoundResult {
+        results,
+        cost,
+        schedule,
+    }
+}
+
+/// Computes every unit's value in topological order and evaluates each
+/// destination's function.
+pub fn evaluate(
+    spec: &AggregationSpec,
+    schedule: &Schedule,
+    readings: &BTreeMap<NodeId, f64>,
+) -> BTreeMap<NodeId, f64> {
+    let reading = |s: NodeId| -> f64 {
+        *readings
+            .get(&s)
+            .unwrap_or_else(|| panic!("no reading for source {s}"))
+    };
+
+    // Record values per unit (None for raw units, whose value is just the
+    // source reading).
+    let mut records: Vec<Option<PartialRecord>> = vec![None; schedule.units.len()];
+    for &u in &schedule.topo_order {
+        let unit = &schedule.units[u];
+        let UnitContent::Record(ref group) = unit.content else {
+            continue;
+        };
+        let f = spec
+            .function(group.destination)
+            .expect("destination has a function");
+        let mut acc: Option<PartialRecord> = None;
+        for c in &schedule.contributions[u] {
+            let part = match c {
+                Contribution::Pre(s) => f.pre_aggregate(*s, reading(*s)),
+                Contribution::FromUnit(v) => records[*v]
+                    .expect("topological order computes dependencies first"),
+            };
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => f.merge(prev, part),
+            });
+        }
+        records[u] = Some(acc.unwrap_or_else(|| {
+            panic!("record unit {u} for {} has no contributions", group.destination)
+        }));
+    }
+
+    // Final evaluation at each destination.
+    let mut results = BTreeMap::new();
+    for (d, inputs) in &schedule.destination_inputs {
+        let f = spec.function(*d).expect("destination has a function");
+        let mut acc: Option<PartialRecord> = None;
+        for c in inputs {
+            let part = match c {
+                Contribution::Pre(s) => f.pre_aggregate(*s, reading(*s)),
+                Contribution::FromUnit(u) => {
+                    records[*u].expect("record computed before evaluation")
+                }
+            };
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => f.merge(prev, part),
+            });
+        }
+        let record = acc.unwrap_or_else(|| panic!("destination {d} received no inputs"));
+        results.insert(*d, f.evaluate(record));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggregateFunction, AggregateKind};
+    use crate::baselines::{plan_for_algorithm, Algorithm};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
+        net.nodes()
+            .map(|v| (v, f64::from(v.0) * 1.25 - 3.0))
+            .collect()
+    }
+
+    fn spec(kind: AggregateKind) -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::new(
+                kind,
+                [(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(3), 0.5), (NodeId(6), 1.5)],
+            ),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::new(kind, [(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 3.0)]),
+        );
+        s.add_function(
+            NodeId(3),
+            AggregateFunction::new(kind, [(NodeId(0), 2.0), (NodeId(12), 1.0)]),
+        );
+        s
+    }
+
+    #[test]
+    fn every_kind_matches_reference_on_every_algorithm() {
+        let net = network();
+        let vals = readings(&net);
+        for kind in [
+            AggregateKind::WeightedSum,
+            AggregateKind::WeightedAverage,
+            AggregateKind::WeightedVariance,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Count,
+        ] {
+            let spec = spec(kind);
+            for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+                let routing =
+                    RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+                for alg in Algorithm::PLANNED {
+                    let plan = plan_for_algorithm(&net, &spec, &routing, alg);
+                    let round = execute_round(&net, &spec, &routing, &plan, &vals);
+                    for (d, f) in spec.functions() {
+                        let expected = f.reference_result(&vals);
+                        let got = round.results[&d];
+                        assert!(
+                            (got - expected).abs() < 1e-9,
+                            "{:?}/{mode:?}/{}: dest {d} got {got}, want {expected}",
+                            kind,
+                            alg.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_round_energy_not_above_baselines() {
+        let net = network();
+        let vals = readings(&net);
+        let spec = spec(AggregateKind::WeightedSum);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let cost = |alg| {
+            let plan = plan_for_algorithm(&net, &spec, &routing, alg);
+            execute_round(&net, &spec, &routing, &plan, &vals).cost
+        };
+        let optimal = cost(Algorithm::Optimal);
+        let multicast = cost(Algorithm::Multicast);
+        let aggregation = cost(Algorithm::Aggregation);
+        assert!(optimal.payload_bytes <= multicast.payload_bytes);
+        assert!(optimal.payload_bytes <= aggregation.payload_bytes);
+        assert!(optimal.total_uj() <= multicast.total_uj() + 1e-9);
+        assert!(optimal.total_uj() <= aggregation.total_uj() + 1e-9);
+    }
+
+    #[test]
+    fn destination_that_is_its_own_source_works() {
+        let net = network();
+        let vals = readings(&net);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(5),
+            AggregateFunction::weighted_sum([(NodeId(5), 2.0), (NodeId(10), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let round = execute_round(&net, &spec, &routing, &plan, &vals);
+        let expected = 2.0 * vals[&NodeId(5)] + vals[&NodeId(10)];
+        assert!((round.results[&NodeId(5)] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_source_and_destination() {
+        let net = network();
+        let vals = readings(&net);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(1),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let round = execute_round(&net, &spec, &routing, &plan, &vals);
+        assert!((round.results[&NodeId(1)] - vals[&NodeId(0)]).abs() < 1e-12);
+        // One edge, one unit, one message.
+        assert_eq!(round.cost.messages, 1);
+        assert_eq!(round.cost.units, 1);
+    }
+}

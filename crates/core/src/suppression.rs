@@ -1,0 +1,552 @@
+//! Temporal suppression and dynamic override (§3, "Continuous Control
+//! with Suppression").
+//!
+//! With temporal suppression a source transmits only the *change* in its
+//! value (when it exceeds a threshold); for linear functions such as
+//! weighted sums the changes aggregate exactly like the values themselves.
+//! The installed ("default") plan is optimized for the all-sources-change
+//! case, so on a round where few values changed it can be suboptimal: the
+//! paper's example sends two raw deltas in two units where the default
+//! plan would send two partial records plus a raw (three units).
+//!
+//! The **override** mechanism lets a node deviate at runtime: instead of
+//! pre-aggregating a raw delta for destinations `d1, d2, …`, it may keep
+//! forwarding it raw — with the consequence that the delta stays raw *all
+//! the way* to those destinations, because only this node stores the
+//! pre-aggregation state. Three policies from the paper's evaluation:
+//!
+//! * **aggressive** — override whenever locally no worse,
+//! * **medium** — override when locally ~25% cheaper,
+//! * **conservative** — override only when locally ≥2× cheaper.
+//!
+//! Figure 7 compares the policies' per-round energy against the default
+//! plan applied to the same changed values ("full recomputation", which
+//! is optimal when the change probability is 1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use m2m_graph::NodeId;
+use m2m_netsim::{Network, RoutingTables};
+
+use crate::agg::RAW_VALUE_BYTES;
+use crate::edge_opt::{AggGroup, DirectedEdge};
+use crate::metrics::RoundCost;
+use crate::plan::GlobalPlan;
+use crate::spec::AggregationSpec;
+
+/// Runtime override policy (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OverridePolicy {
+    /// Never override: execute the default plan on the changed values.
+    None,
+    /// Override whenever raw forwarding is locally no more expensive.
+    Aggressive,
+    /// Override when raw forwarding is locally ≥25% cheaper.
+    Medium,
+    /// Override only when raw forwarding is locally ≥2× cheaper.
+    Conservative,
+}
+
+impl OverridePolicy {
+    /// `(marginal_aware, factor)`: raw forwarding must satisfy
+    /// `raw_cost * factor ≤ agg_cost` to trigger an override, where
+    /// `agg_cost` is the *marginal* record cost (shared records are free)
+    /// for marginal-aware policies, and the full record cost for the
+    /// naive aggressive policy — which is what makes aggressive overrides
+    /// backfire when other contributors would have shared the record
+    /// (the downstream-opportunity loss the paper describes).
+    fn decision(self) -> (bool, f64) {
+        match self {
+            OverridePolicy::None => (true, f64::INFINITY),
+            OverridePolicy::Aggressive => (false, 1.0),
+            OverridePolicy::Medium => (true, 1.0),
+            OverridePolicy::Conservative => (true, 2.0),
+        }
+    }
+
+    /// Display name matching the paper's Figure 7 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            OverridePolicy::None => "Recompute",
+            OverridePolicy::Aggressive => "Aggressive",
+            OverridePolicy::Medium => "Medium",
+            OverridePolicy::Conservative => "Conservative",
+        }
+    }
+}
+
+/// Where the pre-aggregation state for a value lives (§3's trade-off:
+/// "A more flexible alternative is to store the pre-aggregation function
+/// of a value at every node on the multicast path from the source to the
+/// destination, but more state would have to be stored in the network").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatePlacement {
+    /// Only the default transition node holds `w_{d,s}` (the paper's
+    /// default): an overridden delta travels raw all the way to its
+    /// destinations.
+    TransitionOnly,
+    /// Every node on the path holds `w_{d,s}`: an overridden delta can
+    /// rejoin a downstream record, at the cost of more in-network state
+    /// (quantified by [`SuppressionSim::state_entries`]).
+    EveryNode,
+}
+
+/// Per-pair routing facts extracted from the plan once, then reused every
+/// round: where the pair's value transitions from raw to a record, and the
+/// unit chain it occupies.
+#[derive(Clone, Debug)]
+struct PairPlan {
+    source: NodeId,
+    /// Edges the pair crosses raw under the default plan, in path order.
+    raw_edges: Vec<DirectedEdge>,
+    /// `Some((node, first_record))` if the pair transitions at `node`.
+    transition: Option<(NodeId, (DirectedEdge, AggGroup))>,
+    /// The record chain from the transition onward: `(edge, group)` pairs.
+    record_chain: Vec<(DirectedEdge, AggGroup)>,
+    /// Edges from the transition node to the destination, in path order —
+    /// the raw route if the transition is overridden.
+    override_raw_edges: Vec<DirectedEdge>,
+}
+
+/// Precomputed suppression executor for one plan.
+#[derive(Clone, Debug)]
+pub struct SuppressionSim {
+    pairs: Vec<PairPlan>,
+    /// Partial-record byte size per destination.
+    record_bytes: BTreeMap<NodeId, u32>,
+    header_bytes: u32,
+    tx_fixed_uj: f64,
+    rx_fixed_uj: f64,
+    tx_per_byte: f64,
+    rx_per_byte: f64,
+}
+
+impl SuppressionSim {
+    /// Prepares the simulator. The spec's functions must support delta
+    /// maintenance (checked).
+    ///
+    /// # Panics
+    /// Panics if any function cannot be maintained from deltas.
+    pub fn new(
+        network: &Network,
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        plan: &GlobalPlan,
+    ) -> Self {
+        let mut record_bytes = BTreeMap::new();
+        for (d, f) in spec.functions() {
+            assert!(
+                f.kind().supports_delta_maintenance(),
+                "temporal suppression requires delta-maintainable functions; {d} has {:?}",
+                f.kind()
+            );
+            record_bytes.insert(d, f.partial_record_bytes());
+        }
+
+        let mut pairs = Vec::new();
+        for (s, tree) in routing.trees() {
+            for &d in tree.destinations() {
+                if !spec.is_source_of(s, d) {
+                    continue;
+                }
+                let path = tree.path_to(d).expect("tree spans destination");
+                let mut raw_edges = Vec::new();
+                let mut transition = None;
+                let mut record_chain = Vec::new();
+                let mut override_raw_edges = Vec::new();
+                let mut raw = true;
+                for (idx, hop) in path.windows(2).enumerate() {
+                    let edge = (hop[0], hop[1]);
+                    let sol = plan.solution(edge).expect("plan covers edge");
+                    let group = AggGroup {
+                        destination: d,
+                        suffix: path[idx + 1..].to_vec(),
+                    };
+                    if raw && sol.transmits_raw(s) {
+                        raw_edges.push(edge);
+                    } else {
+                        if raw {
+                            transition = Some((hop[0], (edge, group.clone())));
+                            override_raw_edges = path[idx..]
+                                .windows(2)
+                                .map(|w| (w[0], w[1]))
+                                .collect();
+                            raw = false;
+                        }
+                        record_chain.push((edge, group));
+                    }
+                }
+                pairs.push(PairPlan {
+                    source: s,
+                    raw_edges,
+                    transition,
+                    record_chain,
+                    override_raw_edges,
+                });
+            }
+        }
+
+        let e = network.energy();
+        SuppressionSim {
+            pairs,
+            record_bytes,
+            header_bytes: e.header_bytes,
+            tx_fixed_uj: e.tx_fixed_uj,
+            rx_fixed_uj: e.rx_fixed_uj,
+            tx_per_byte: e.tx_uj_per_byte,
+            rx_per_byte: e.rx_uj_per_byte,
+        }
+    }
+
+    /// Cost of one round in which exactly `changed` sources transmit
+    /// deltas, under the given override policy with the paper's default
+    /// state placement ([`StatePlacement::TransitionOnly`]). Assumes
+    /// (like the paper's experiments) that all units on an edge merge
+    /// into one message.
+    pub fn round_cost(&self, changed: &BTreeSet<NodeId>, policy: OverridePolicy) -> RoundCost {
+        self.round_cost_with_placement(changed, policy, StatePlacement::TransitionOnly)
+    }
+
+    /// Like [`SuppressionSim::round_cost`] with an explicit state
+    /// placement. Under [`StatePlacement::EveryNode`] an overridden delta
+    /// rejoins its default record chain at the first point where the
+    /// record is active anyway (another contributor changed), recovering
+    /// the downstream aggregation opportunities the default placement
+    /// loses.
+    pub fn round_cost_with_placement(
+        &self,
+        changed: &BTreeSet<NodeId>,
+        policy: OverridePolicy,
+        placement: StatePlacement,
+    ) -> RoundCost {
+        // Pass A: default-plan activity — how many *active* inputs does
+        // each freshly formed record have (pre-aggregated deltas at its
+        // forming node)? Chained records inherit activity.
+        let mut forming_inputs: BTreeMap<(DirectedEdge, AggGroup), u32> = BTreeMap::new();
+        for p in &self.pairs {
+            if !changed.contains(&p.source) {
+                continue;
+            }
+            if let Some((_, ref first)) = p.transition {
+                *forming_inputs.entry(first.clone()).or_insert(0) += 1;
+            }
+        }
+
+        // Pass B: override decisions, one per (node, source).
+        // Collect each changed source's transitions per node.
+        #[derive(Default)]
+        struct Transitions {
+            /// Distinct first records the source feeds at this node.
+            records: BTreeSet<(DirectedEdge, AggGroup)>,
+            /// Distinct outgoing edges raw forwarding would use.
+            raw_out_edges: BTreeSet<DirectedEdge>,
+        }
+        let mut per_node_source: BTreeMap<(NodeId, NodeId), Transitions> = BTreeMap::new();
+        for p in &self.pairs {
+            if !changed.contains(&p.source) {
+                continue;
+            }
+            if let Some((node, ref first)) = p.transition {
+                let t = per_node_source.entry((node, p.source)).or_default();
+                t.records.insert(first.clone());
+                if let Some(&edge) = p.override_raw_edges.first() {
+                    t.raw_out_edges.insert(edge);
+                }
+            }
+        }
+        let (marginal_aware, factor) = policy.decision();
+        let mut overridden: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for (&(node, source), t) in &per_node_source {
+            // Cost of aggregating here. Marginal-aware policies treat
+            // records other changed values already activate as free; the
+            // naive aggressive policy charges every record in full.
+            let agg_cost: f64 = t
+                .records
+                .iter()
+                .map(|key| {
+                    if marginal_aware && forming_inputs[key] > 1 {
+                        0.0
+                    } else {
+                        f64::from(self.record_bytes[&key.1.destination])
+                    }
+                })
+                .sum();
+            let raw_cost = f64::from(RAW_VALUE_BYTES) * t.raw_out_edges.len() as f64;
+            if raw_cost * factor <= agg_cost {
+                overridden.insert((node, source));
+            }
+        }
+
+        // Pass C: final activity. Raw bytes per (edge, source) dedup
+        // (multicast sharing); record activity per (edge, group).
+        let mut raw_units: BTreeSet<(DirectedEdge, NodeId)> = BTreeSet::new();
+        let mut active_records: BTreeSet<(DirectedEdge, AggGroup)> = BTreeSet::new();
+        // Records activated by non-overridden pairs — the chains an
+        // EveryNode-placement override may rejoin.
+        for p in &self.pairs {
+            if !changed.contains(&p.source) {
+                continue;
+            }
+            if let Some((node, _)) = &p.transition {
+                if !overridden.contains(&(*node, p.source)) {
+                    for entry in &p.record_chain {
+                        active_records.insert(entry.clone());
+                    }
+                }
+            }
+        }
+        for p in &self.pairs {
+            if !changed.contains(&p.source) {
+                continue;
+            }
+            for &e in &p.raw_edges {
+                raw_units.insert((e, p.source));
+            }
+            match &p.transition {
+                None => {}
+                Some((node, _)) if overridden.contains(&(*node, p.source)) => {
+                    // With state only at the transition node, the delta
+                    // stays raw all the way. With state everywhere it can
+                    // rejoin the first already-active record of its chain
+                    // (record_chain[i] crosses override_raw_edges[i]).
+                    let rejoin_at = match placement {
+                        StatePlacement::TransitionOnly => p.override_raw_edges.len(),
+                        StatePlacement::EveryNode => p
+                            .record_chain
+                            .iter()
+                            .position(|entry| active_records.contains(entry))
+                            .unwrap_or(p.override_raw_edges.len()),
+                    };
+                    for &e in &p.override_raw_edges[..rejoin_at] {
+                        raw_units.insert((e, p.source));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Cost: one message per edge with ≥1 active unit.
+        let mut edge_bytes: BTreeMap<DirectedEdge, (u32, usize)> = BTreeMap::new();
+        for &(e, _) in &raw_units {
+            let slot = edge_bytes.entry(e).or_insert((0, 0));
+            slot.0 += RAW_VALUE_BYTES;
+            slot.1 += 1;
+        }
+        for (e, g) in &active_records {
+            let slot = edge_bytes.entry(*e).or_insert((0, 0));
+            slot.0 += self.record_bytes[&g.destination];
+            slot.1 += 1;
+        }
+        let mut cost = RoundCost::default();
+        for &(body, units) in edge_bytes.values() {
+            let on_air = f64::from(self.header_bytes + body);
+            cost.tx_uj += self.tx_fixed_uj + on_air * self.tx_per_byte;
+            cost.rx_uj += self.rx_fixed_uj + on_air * self.rx_per_byte;
+            cost.messages += 1;
+            cost.units += units;
+            cost.payload_bytes += u64::from(body);
+        }
+        cost
+    }
+
+    /// Number of pre-aggregation state entries the network must store
+    /// under a placement — the "more state" side of the §3 trade-off.
+    pub fn state_entries(&self, placement: StatePlacement) -> usize {
+        self.pairs
+            .iter()
+            .map(|p| match (&p.transition, placement) {
+                (None, _) => 0,
+                (Some(_), StatePlacement::TransitionOnly) => 1,
+                // One entry per node from the transition to (but not
+                // including) the destination.
+                (Some(_), StatePlacement::EveryNode) => p.override_raw_edges.len(),
+            })
+            .sum()
+    }
+
+    /// Average per-round cost over `rounds` rounds in which each source
+    /// changes independently with probability `change_probability`.
+    pub fn average_cost(
+        &self,
+        spec: &AggregationSpec,
+        change_probability: f64,
+        rounds: u32,
+        policy: OverridePolicy,
+        seed: u64,
+    ) -> RoundCost {
+        assert!((0.0..=1.0).contains(&change_probability));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources = spec.all_sources();
+        let mut total = RoundCost::default();
+        for _ in 0..rounds {
+            let changed: BTreeSet<NodeId> = sources
+                .iter()
+                .copied()
+                .filter(|_| rng.random_range(0.0..1.0) < change_probability)
+                .collect();
+            total.accumulate(&self.round_cost(&changed, policy));
+        }
+        RoundCost {
+            tx_uj: total.tx_uj / f64::from(rounds),
+            rx_uj: total.rx_uj / f64::from(rounds),
+            messages: total.messages / rounds as usize,
+            units: total.units / rounds as usize,
+            payload_bytes: total.payload_bytes / u64::from(rounds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::schedule::build_schedule;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::{Deployment, RoutingMode};
+
+    fn setup() -> (Network, AggregationSpec, RoutingTables, GlobalPlan) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(3));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 10, 7));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        (net, spec, routing, plan)
+    }
+
+    #[test]
+    fn full_change_matches_schedule_cost() {
+        // With every source changed and no overrides, the suppression
+        // model must reproduce the static schedule's cost (both assume
+        // full per-edge merging).
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let all: BTreeSet<NodeId> = spec.all_sources().into_iter().collect();
+        let supp = sim.round_cost(&all, OverridePolicy::None);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        if schedule.max_messages_on_any_edge() == 1 {
+            let sched = schedule.round_cost(net.energy());
+            assert_eq!(supp.messages, sched.messages);
+            assert_eq!(supp.payload_bytes, sched.payload_bytes);
+            assert!((supp.total_uj() - sched.total_uj()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_change_costs_nothing() {
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let cost = sim.round_cost(&BTreeSet::new(), OverridePolicy::Aggressive);
+        assert_eq!(cost, RoundCost::default());
+    }
+
+    #[test]
+    fn fewer_changes_cost_less() {
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let low = sim.average_cost(&spec, 0.05, 20, OverridePolicy::None, 1);
+        let high = sim.average_cost(&spec, 0.8, 20, OverridePolicy::None, 1);
+        assert!(low.total_uj() < high.total_uj());
+    }
+
+    #[test]
+    fn override_helps_at_low_change_probability() {
+        // The paper: "When change probability is low, override policies
+        // earn savings of 10–15%".
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let base = sim.average_cost(&spec, 0.05, 50, OverridePolicy::None, 2);
+        let aggressive = sim.average_cost(&spec, 0.05, 50, OverridePolicy::Aggressive, 2);
+        assert!(
+            aggressive.total_uj() <= base.total_uj(),
+            "aggressive {:.1} should not exceed base {:.1} at p=0.05",
+            aggressive.total_uj(),
+            base.total_uj()
+        );
+    }
+
+    #[test]
+    fn policies_are_ordered_by_eagerness() {
+        // Aggressive overrides at least as often as medium, medium at
+        // least as often as conservative — measured indirectly: at a low
+        // change probability their unit counts are weakly decreasing in
+        // caution... we assert only the well-defined relation: None never
+        // overrides, so any policy's message count is ≤ None's.
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let changed: BTreeSet<NodeId> =
+            spec.all_sources().into_iter().take(3).collect();
+        let base = sim.round_cost(&changed, OverridePolicy::None);
+        for p in [
+            OverridePolicy::Aggressive,
+            OverridePolicy::Medium,
+            OverridePolicy::Conservative,
+        ] {
+            let c = sim.round_cost(&changed, p);
+            assert!(c.messages <= base.messages + 3, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn every_node_state_never_costs_more() {
+        // With pre-aggregation state everywhere, an overridden delta
+        // rejoins active record chains downstream — cost can only drop.
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let sources = spec.all_sources();
+        for take in [3usize, 8, 20] {
+            let changed: BTreeSet<NodeId> = sources.iter().copied().take(take).collect();
+            let transition_only = sim.round_cost_with_placement(
+                &changed,
+                OverridePolicy::Aggressive,
+                StatePlacement::TransitionOnly,
+            );
+            let everywhere = sim.round_cost_with_placement(
+                &changed,
+                OverridePolicy::Aggressive,
+                StatePlacement::EveryNode,
+            );
+            assert!(
+                everywhere.total_uj() <= transition_only.total_uj() + 1e-9,
+                "take={take}: everywhere {:.1} > transition-only {:.1}",
+                everywhere.total_uj(),
+                transition_only.total_uj()
+            );
+        }
+    }
+
+    #[test]
+    fn every_node_placement_needs_more_state() {
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let lean = sim.state_entries(StatePlacement::TransitionOnly);
+        let fat = sim.state_entries(StatePlacement::EveryNode);
+        assert!(
+            fat >= lean,
+            "every-node state ({fat}) must be at least transition-only ({lean})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta-maintainable")]
+    fn non_linear_functions_rejected() {
+        let net = Network::with_default_energy(Deployment::grid(3, 3, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(0),
+            AggregateFunction::new(crate::agg::AggregateKind::Min, [(NodeId(8), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let _ = SuppressionSim::new(&net, &spec, &routing, &plan);
+    }
+}

@@ -1,0 +1,373 @@
+//! Per-node state tables (§3, "Implementing Node Behavior").
+//!
+//! The plan is executed inside the network by four tables at each node:
+//!
+//! * **Raw table** `⟨s, g⟩` — forward the raw value of source `s` into
+//!   outgoing message `g`;
+//! * **Pre-aggregation table** `⟨s, d, w_{d,s}⟩` — this node applies the
+//!   pre-aggregation function to `s`'s raw value on behalf of destination
+//!   `d` (including the case `d = n`);
+//! * **Partial aggregate table** `⟨d, c, m_d, g⟩` — this node combines `c`
+//!   partial records for `d` (received + locally pre-aggregated) and
+//!   forwards the result in message `g` (`g` omitted when `d = n`);
+//! * **Outgoing message table** `⟨g, c, n'⟩` — message `g` carries `c`
+//!   units to neighbor `n'`.
+//!
+//! Tables are computed out-of-network from the [`GlobalPlan`] and would be
+//! disseminated into the network; Theorem 3 bounds their total size by
+//! `O(min(Σ|T_s|, Σ|A_d|))` — asserted by the tests in
+//! `tests/plan_invariants.rs`.
+//!
+//! One generalization over the paper's presentation: partial-aggregate and
+//! pre-aggregation entries carry the *continuation group* (destination +
+//! remaining route) rather than the destination alone, so the tables stay
+//! executable even when the §2.1 sharing restriction does not hold (see
+//! [`crate::edge_opt`]). Under the restriction each destination has one
+//! group per node and the entries collapse to the paper's exact shape.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::RoutingTables;
+
+use crate::edge_opt::{AggGroup, DirectedEdge};
+use crate::plan::GlobalPlan;
+use crate::spec::AggregationSpec;
+
+/// Where a partial-aggregate contribution is headed: into a record on an
+/// outgoing edge, or into the local final evaluation (`d = n`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecordTarget {
+    /// Merge into the record for `group` transmitted on `edge`.
+    Edge(DirectedEdge, AggGroup),
+    /// This node is the destination: merge into the final record.
+    Local(NodeId),
+}
+
+/// Raw table entry: forward raw value of `source` into message `message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawEntry {
+    /// The source whose raw value is forwarded.
+    pub source: NodeId,
+    /// Outgoing message index (into [`NodeState::outgoing`]).
+    pub message: usize,
+}
+
+/// Pre-aggregation table entry: apply `w_{d,s}` here.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreAggEntry {
+    /// The source whose raw value is transformed.
+    pub source: NodeId,
+    /// The destination the transform is specific to.
+    pub destination: NodeId,
+    /// The weight parameterizing `w_{d,s}`.
+    pub weight: f64,
+    /// Where the resulting contribution is merged.
+    pub target: RecordTarget,
+}
+
+/// Partial aggregate table entry: merge `merge_count` records for a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialEntry {
+    /// The destination of the record.
+    pub destination: NodeId,
+    /// The continuation-group suffix identifying the record (starts at
+    /// this node's successor; see [`AggGroup`]). `None` for the local
+    /// (final) record at the destination itself.
+    pub group: Option<AggGroup>,
+    /// Number of inputs merged at this node: received records plus locally
+    /// pre-aggregated raw values (the paper's `c`).
+    pub merge_count: u32,
+    /// Outgoing message index; `None` when this node is the destination.
+    pub message: Option<usize>,
+}
+
+/// Outgoing message table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutgoingMessage {
+    /// Message index at this node.
+    pub message: usize,
+    /// Number of message units inside.
+    pub unit_count: u32,
+    /// The receiving neighbor.
+    pub next_hop: NodeId,
+}
+
+/// All four tables for one node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeState {
+    /// Raw-forwarding entries.
+    pub raw: Vec<RawEntry>,
+    /// Pre-aggregation entries.
+    pub preagg: Vec<PreAggEntry>,
+    /// Partial-aggregate entries.
+    pub partial: Vec<PartialEntry>,
+    /// Outgoing messages.
+    pub outgoing: Vec<OutgoingMessage>,
+}
+
+impl NodeState {
+    /// Total entries across the four tables (Theorem 3 accounting).
+    pub fn entry_count(&self) -> usize {
+        self.raw.len() + self.preagg.len() + self.partial.len() + self.outgoing.len()
+    }
+}
+
+/// The complete in-network state of a plan.
+#[derive(Clone, Debug)]
+pub struct NodeTables {
+    per_node: BTreeMap<NodeId, NodeState>,
+}
+
+impl NodeTables {
+    /// Builds tables directly from per-node states — used by
+    /// fault-injection tests and custom dissemination flows.
+    pub fn from_states(per_node: BTreeMap<NodeId, NodeState>) -> Self {
+        NodeTables { per_node }
+    }
+
+    /// Derives the node tables from a plan.
+    ///
+    /// The tables are derived *from the transmission schedule* rather
+    /// than re-walking the plan, so the message grouping in the outgoing
+    /// table is exactly the cycle-safe grouping the merger chose — if an
+    /// edge needed two messages to break a wait-for cycle, the tables say
+    /// so, and the node automata stay deadlock-free.
+    ///
+    /// # Panics
+    /// Panics if the plan is unschedulable (a wait-for cycle among units,
+    /// which Theorem 2 rules out for plans built by this crate).
+    pub fn build(spec: &AggregationSpec, routing: &RoutingTables, plan: &GlobalPlan) -> Self {
+        let schedule = crate::schedule::build_schedule(spec, routing, plan)
+            .expect("plan must be schedulable (Theorem 2)");
+        Self::from_schedule(spec, &schedule)
+    }
+
+    /// Derives the node tables from an already-built schedule.
+    pub fn from_schedule(spec: &AggregationSpec, schedule: &crate::schedule::Schedule) -> Self {
+        use crate::schedule::{Contribution, UnitContent};
+
+        let mut per_node: BTreeMap<NodeId, NodeState> = BTreeMap::new();
+
+        // Outgoing message table: one entry per schedule message, indexed
+        // per sender in schedule order.
+        let mut node_msg_index: Vec<usize> = Vec::with_capacity(schedule.messages.len());
+        for m in &schedule.messages {
+            let state = per_node.entry(m.edge.0).or_default();
+            let idx = state.outgoing.len();
+            node_msg_index.push(idx);
+            state.outgoing.push(OutgoingMessage {
+                message: idx,
+                unit_count: m.units.len() as u32,
+                next_hop: m.edge.1,
+            });
+        }
+        // Per-unit: the sender-local index of the message carrying it.
+        let mut unit_msg = vec![usize::MAX; schedule.units.len()];
+        for (mi, m) in schedule.messages.iter().enumerate() {
+            for &u in &m.units {
+                unit_msg[u] = node_msg_index[mi];
+            }
+        }
+
+        // Raw, partial, and pre-aggregation entries from the units.
+        for (ui, unit) in schedule.units.iter().enumerate() {
+            let n = unit.edge.0;
+            let msg = unit_msg[ui];
+            match &unit.content {
+                UnitContent::Raw(s) => {
+                    let state = per_node.entry(n).or_default();
+                    if !state.raw.iter().any(|e| e.source == *s && e.message == msg) {
+                        state.raw.push(RawEntry {
+                            source: *s,
+                            message: msg,
+                        });
+                    }
+                }
+                UnitContent::Record(group) => {
+                    let d = group.destination;
+                    let c = schedule.contributions[ui].len() as u32;
+                    let state = per_node.entry(n).or_default();
+                    state.partial.push(PartialEntry {
+                        destination: d,
+                        group: Some(group.clone()),
+                        merge_count: c.max(1),
+                        message: Some(msg),
+                    });
+                    for contrib in &schedule.contributions[ui] {
+                        if let Contribution::Pre(s) = contrib {
+                            let weight = spec
+                                .function(d)
+                                .expect("destination has a function")
+                                .weight(*s)
+                                .expect("pair in spec");
+                            state.preagg.push(PreAggEntry {
+                                source: *s,
+                                destination: d,
+                                weight,
+                                target: RecordTarget::Edge(unit.edge, group.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Destination-local evaluation entries.
+        for (&d, inputs) in &schedule.destination_inputs {
+            let state = per_node.entry(d).or_default();
+            state.partial.push(PartialEntry {
+                destination: d,
+                group: None,
+                merge_count: inputs.len() as u32,
+                message: None,
+            });
+            for contrib in inputs {
+                if let Contribution::Pre(s) = contrib {
+                    let weight = spec
+                        .function(d)
+                        .expect("destination has a function")
+                        .weight(*s)
+                        .expect("pair in spec");
+                    state.preagg.push(PreAggEntry {
+                        source: *s,
+                        destination: d,
+                        weight,
+                        target: RecordTarget::Local(d),
+                    });
+                }
+            }
+        }
+
+        NodeTables { per_node }
+    }
+
+    /// The tables at node `n`, if it participates in the plan.
+    pub fn node(&self, n: NodeId) -> Option<&NodeState> {
+        self.per_node.get(&n)
+    }
+
+    /// Iterator over `(node, state)`.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeState)> {
+        self.per_node.iter().map(|(&n, s)| (n, s))
+    }
+
+    /// Total entries across all nodes and tables (Theorem 3's measure).
+    pub fn total_entries(&self) -> usize {
+        self.per_node.values().map(|s| s.entry_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::plan::GlobalPlan;
+    use m2m_netsim::{Deployment, Network, RoutingMode};
+
+    fn build(
+        spec: &AggregationSpec,
+        mode: RoutingMode,
+    ) -> (Network, RoutingTables, GlobalPlan, NodeTables) {
+        let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+        let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+        let plan = GlobalPlan::build(&net, spec, &routing);
+        plan.validate(spec, &routing).unwrap();
+        let tables = NodeTables::build(spec, &routing, &plan);
+        (net, routing, plan, tables)
+    }
+
+    fn two_dest_spec() -> AggregationSpec {
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 2.0)]),
+        );
+        spec.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 3.0), (NodeId(1), 4.0)]),
+        );
+        spec
+    }
+
+    #[test]
+    fn destinations_get_local_entries() {
+        let spec = two_dest_spec();
+        let (_, _, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        for d in [NodeId(12), NodeId(15)] {
+            let state = tables.node(d).expect("destination has state");
+            let local = state
+                .partial
+                .iter()
+                .find(|p| p.destination == d && p.message.is_none())
+                .expect("local evaluation entry");
+            assert!(local.merge_count >= 1);
+        }
+    }
+
+    #[test]
+    fn sources_have_outgoing_state() {
+        let spec = two_dest_spec();
+        let (_, _, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        for s in [NodeId(0), NodeId(1)] {
+            let state = tables.node(s).expect("source has state");
+            assert!(!state.outgoing.is_empty(), "source must transmit something");
+        }
+    }
+
+    #[test]
+    fn outgoing_unit_counts_match_solutions() {
+        let spec = two_dest_spec();
+        let (_, _, plan, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        for (n, state) in tables.nodes() {
+            for out in &state.outgoing {
+                let edge = (n, out.next_hop);
+                let sol = plan.solution(edge).expect("edge in plan");
+                assert_eq!(out.unit_count as usize, sol.unit_count());
+            }
+        }
+    }
+
+    #[test]
+    fn preagg_weights_come_from_spec() {
+        let spec = two_dest_spec();
+        let (_, _, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        for (_, state) in tables.nodes() {
+            for e in &state.preagg {
+                let expected = spec.function(e.destination).unwrap().weight(e.source).unwrap();
+                assert_eq!(e.weight, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn self_source_destination_is_local_only() {
+        let mut spec = AggregationSpec::new();
+        // Node 5 aggregates itself and node 6.
+        spec.add_function(
+            NodeId(5),
+            AggregateFunction::weighted_sum([(NodeId(5), 1.0), (NodeId(6), 1.0)]),
+        );
+        let (_, _, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        let state = tables.node(NodeId(5)).unwrap();
+        assert!(state
+            .preagg
+            .iter()
+            .any(|e| e.source == NodeId(5) && e.destination == NodeId(5)));
+        let local = state
+            .partial
+            .iter()
+            .find(|p| p.message.is_none())
+            .unwrap();
+        assert_eq!(local.merge_count, 2);
+    }
+
+    #[test]
+    fn total_entries_positive_and_finite() {
+        let spec = two_dest_spec();
+        let (_, routing, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
+        assert!(tables.total_entries() > 0);
+        // Crude sanity ceiling: a few entries per tree node.
+        assert!(tables.total_entries() <= 8 * routing.total_tree_size());
+    }
+}

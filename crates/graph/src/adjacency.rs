@@ -1,0 +1,162 @@
+//! Undirected adjacency-list graphs.
+
+use crate::node::NodeId;
+
+/// An undirected graph over dense node ids `0..n`.
+///
+/// Neighbor lists are kept sorted by id so iteration order (and therefore
+/// every tie-break downstream) is deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Adds the undirected edge `{a, b}`. Duplicate and self edges are
+    /// ignored, so the graph stays simple.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a.index() < self.adj.len(), "node {a} out of range");
+        assert!(b.index() < self.adj.len(), "node {b} out of range");
+        if a == b || self.has_edge(a, b) {
+            return;
+        }
+        let insert_sorted = |list: &mut Vec<NodeId>, v: NodeId| {
+            let pos = list.partition_point(|&x| x < v);
+            list.insert(pos, v);
+        };
+        insert_sorted(&mut self.adj[a.index()], b);
+        insert_sorted(&mut self.adj[b.index()], a);
+        self.edge_count += 1;
+    }
+
+    /// Returns true if the undirected edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Iterator over undirected edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Returns true if every node is reachable from node 0 (vacuously true
+    /// for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let order = crate::bfs::bfs_order(self, NodeId(0));
+        order.len() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i));
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_sorted() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(2), NodeId(0));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(1));
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(0));
+        g.add_edge(NodeId(1), NodeId(1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = path_graph(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path_graph(5).is_connected());
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert!(!g.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(5));
+    }
+}

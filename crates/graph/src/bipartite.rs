@@ -1,0 +1,129 @@
+//! Bipartite graphs with weighted vertices.
+//!
+//! §2.2 reduces the single-edge optimization to weighted bipartite vertex
+//! cover: the left side `U` holds source vertices (weight = raw value
+//! size), the right side `V` holds destination vertices (weight = partial
+//! aggregate record size), and an edge `(u, v)` records `u ~_e v`.
+
+/// A vertex-weighted bipartite graph `(U, V, E)`.
+///
+/// Sides are indexed densely: `u ∈ 0..left_count`, `v ∈ 0..right_count`.
+/// Callers keep their own mapping from these indices back to domain
+/// entities (e.g. sensor-network node ids).
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteGraph {
+    left_weights: Vec<u64>,
+    right_weights: Vec<u64>,
+    /// Edges as `(u, v)` pairs, deduplicated lazily by construction order.
+    edges: Vec<(usize, usize)>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a left (source-side) vertex with the given weight; returns its
+    /// index in `U`.
+    pub fn add_left(&mut self, weight: u64) -> usize {
+        self.left_weights.push(weight);
+        self.left_weights.len() - 1
+    }
+
+    /// Adds a right (destination-side) vertex with the given weight;
+    /// returns its index in `V`.
+    pub fn add_right(&mut self, weight: u64) -> usize {
+        self.right_weights.push(weight);
+        self.right_weights.len() - 1
+    }
+
+    /// Adds the edge `(u, v)`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.left_weights.len(), "left vertex {u} out of range");
+        assert!(v < self.right_weights.len(), "right vertex {v} out of range");
+        if !self.edges.contains(&(u, v)) {
+            self.edges.push((u, v));
+        }
+    }
+
+    /// Number of left vertices `|U|`.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.left_weights.len()
+    }
+
+    /// Number of right vertices `|V|`.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.right_weights.len()
+    }
+
+    /// Weight of left vertex `u`.
+    #[inline]
+    pub fn left_weight(&self, u: usize) -> u64 {
+        self.left_weights[u]
+    }
+
+    /// Weight of right vertex `v`.
+    #[inline]
+    pub fn right_weight(&self, v: usize) -> u64 {
+        self.right_weights[v]
+    }
+
+    /// The edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Right neighbors of left vertex `u`.
+    pub fn right_neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(a, _)| a == u)
+            .map(|&(_, v)| v)
+    }
+
+    /// Left neighbors of right vertex `v`.
+    pub fn left_neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, b)| b == v)
+            .map(|&(u, _)| u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let mut g = BipartiteGraph::new();
+        let a = g.add_left(3);
+        let b = g.add_left(5);
+        let x = g.add_right(2);
+        g.add_edge(a, x);
+        g.add_edge(b, x);
+        g.add_edge(a, x); // duplicate ignored
+        assert_eq!(g.left_count(), 2);
+        assert_eq!(g.right_count(), 1);
+        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.left_weight(b), 5);
+        assert_eq!(g.right_weight(x), 2);
+        assert_eq!(g.left_neighbors(x).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(g.right_neighbors(a).collect::<Vec<_>>(), vec![x]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_with_missing_vertex_panics() {
+        let mut g = BipartiteGraph::new();
+        g.add_left(1);
+        g.add_edge(0, 0);
+    }
+}

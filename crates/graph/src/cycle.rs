@@ -1,0 +1,84 @@
+//! Directed-graph cycle detection and topological ordering.
+//!
+//! The message merger of §3 must never merge two messages if the combined
+//! wait-for relation would contain a cycle (Theorem 2 guarantees the
+//! *unmerged* plan is acyclic; merging can re-introduce cycles). These
+//! helpers operate on ad-hoc directed graphs given as arc lists over dense
+//! vertex indices.
+
+use std::collections::VecDeque;
+
+/// Returns a topological order of `0..n` under the arcs `from → to`, or
+/// `None` if the directed graph contains a cycle. (Kahn's algorithm;
+/// deterministic: ready vertices are consumed in ascending index order.)
+pub fn topological_order(n: usize, arcs: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut indegree = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in arcs {
+        assert!(a < n && b < n, "arc endpoint out of range");
+        out[a].push(b);
+        indegree[b] += 1;
+    }
+    // A BinaryHeap would give ascending order too, but with the small
+    // vertex counts here a sorted initial frontier + queue is enough for
+    // determinism.
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    ready.sort_unstable();
+    let mut queue: VecDeque<usize> = ready.into();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in &out[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Returns true if the directed graph contains a cycle.
+pub fn has_cycle(n: usize, arcs: &[(usize, usize)]) -> bool {
+    topological_order(n, arcs).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_orders_respect_arcs() {
+        let arcs = [(0, 2), (1, 2), (2, 3)];
+        let order = topological_order(4, &arcs).unwrap();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        for &(a, b) in &arcs {
+            assert!(pos(a) < pos(b));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        assert!(has_cycle(1, &[(0, 0)]));
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        assert!(has_cycle(2, &[(0, 1), (1, 0)]));
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        assert!(has_cycle(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]));
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        assert_eq!(topological_order(3, &[]), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn parallel_arcs_are_fine() {
+        assert!(!has_cycle(2, &[(0, 1), (0, 1)]));
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for the many-to-many aggregation system.
+//!
+//! This crate implements, from scratch, every graph algorithm the paper's
+//! optimizer depends on:
+//!
+//! * adjacency-list graphs with compact [`NodeId`] handles ([`Graph`]),
+//! * breadth-first shortest hop distances ([`bfs`]),
+//! * Dijkstra shortest paths for weighted links ([`dijkstra`]),
+//! * canonical shortest-path trees with deterministic tie-breaking
+//!   ([`spt`]) — the "standard algorithm" the paper uses to build
+//!   single-source multicast trees,
+//! * Dinic maximum flow ([`maxflow`]), differentially tested against an
+//!   independent push-relabel implementation ([`push_relabel`]),
+//! * Hopcroft–Karp maximum bipartite matching ([`matching`]) — used to
+//!   cross-check the cover solver through König's theorem,
+//! * **minimum-weight bipartite vertex cover** ([`vertex_cover`]) — the
+//!   kernel of the paper's single-edge optimization (§2.2),
+//! * union-find connectivity ([`unionfind`]) and directed cycle detection /
+//!   topological ordering ([`cycle`]) — used by the message merger (§3),
+//! * bridge detection ([`bridges`]) — links with no runtime detour, used
+//!   by the failure analysis around milestone routing (§3).
+//!
+//! The crate has no dependencies and is usable independently of the sensor
+//! network simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bfs;
+pub mod bipartite;
+pub mod bridges;
+pub mod cycle;
+pub mod dijkstra;
+pub mod matching;
+pub mod maxflow;
+pub mod node;
+pub mod push_relabel;
+pub mod spt;
+pub mod steiner;
+pub mod unionfind;
+pub mod vertex_cover;
+
+pub use adjacency::Graph;
+pub use bipartite::BipartiteGraph;
+pub use node::NodeId;
+pub use spt::ShortestPathTree;
+pub use vertex_cover::{CoverSolution, min_weight_vertex_cover};

@@ -1,0 +1,71 @@
+//! Compact node identifiers.
+
+use std::fmt;
+
+/// A compact handle for a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices (`0..n`), which keeps every per-node table in
+/// the workspace a flat `Vec` instead of a hash map. The id order is also
+/// the deterministic tie-breaker used throughout routing and optimization,
+/// so plans are reproducible across runs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 41, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(3) < NodeId(7));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(12).to_string(), "n12");
+        assert_eq!(format!("{:?}", NodeId(12)), "n12");
+    }
+}

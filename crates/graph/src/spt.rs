@@ -1,0 +1,347 @@
+//! Canonical shortest-path trees and multicast trees.
+//!
+//! The paper builds "a multicast tree from each source to all destinations
+//! requiring it" using a standard single-source algorithm (§4). We use the
+//! BFS shortest-path tree with a deterministic tie-break — each node's
+//! parent is its *lowest-id* neighbor among those one hop closer to the
+//! root — and then prune the tree to the union of root→destination paths,
+//! which gives the paper's *minimality* restriction (§2.1) by construction.
+
+use crate::adjacency::Graph;
+use crate::bfs::bfs_distances;
+use crate::node::NodeId;
+
+/// A shortest-path tree rooted at a node, covering every reachable node.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    dist: Vec<Option<u32>>,
+}
+
+impl ShortestPathTree {
+    /// Builds the canonical BFS shortest-path tree rooted at `root`.
+    ///
+    /// ```
+    /// use m2m_graph::{Graph, NodeId, ShortestPathTree};
+    ///
+    /// let mut g = Graph::new(4);
+    /// g.add_edge(NodeId(0), NodeId(1));
+    /// g.add_edge(NodeId(1), NodeId(2));
+    /// g.add_edge(NodeId(2), NodeId(3));
+    ///
+    /// let spt = ShortestPathTree::build(&g, NodeId(0));
+    /// assert_eq!(spt.distance(NodeId(3)), Some(3));
+    /// let multicast = spt.prune_to(&[NodeId(3)]);
+    /// assert_eq!(multicast.size(), 4);
+    /// ```
+    pub fn build(graph: &Graph, root: NodeId) -> Self {
+        let dist = bfs_distances(graph, root);
+        let mut parent: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+        for v in graph.nodes() {
+            let Some(dv) = dist[v.index()] else { continue };
+            if dv == 0 {
+                continue;
+            }
+            // Lowest-id neighbor one hop closer to the root. Neighbor lists
+            // are sorted, so the first match is the canonical parent.
+            parent[v.index()] = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|u| dist[u.index()] == Some(dv - 1));
+            debug_assert!(parent[v.index()].is_some(), "non-root reachable node must have a parent");
+        }
+        ShortestPathTree { root, parent, dist }
+    }
+
+    /// The tree root.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Hop distance from the root to `v`, or `None` if unreachable.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        self.dist[v.index()]
+    }
+
+    /// Parent of `v` in the tree (`None` for the root and unreachable nodes).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The root→`v` path (inclusive), or `None` if unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[v.index()]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.root);
+        Some(path)
+    }
+
+    /// Prunes the tree to the union of root→target paths, producing a
+    /// minimal multicast tree. Unreachable targets are skipped.
+    pub fn prune_to(&self, targets: &[NodeId]) -> MulticastTree {
+        let n = self.parent.len();
+        let mut keep = vec![false; n];
+        let mut reached = Vec::new();
+        for &t in targets {
+            if self.dist[t.index()].is_none() {
+                continue;
+            }
+            reached.push(t);
+            let mut cur = t;
+            while !keep[cur.index()] {
+                keep[cur.index()] = true;
+                match self.parent[cur.index()] {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+        keep[self.root.index()] |= !reached.is_empty();
+        let mut parent = vec![None; n];
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            if keep[i] {
+                nodes.push(NodeId::from_index(i));
+                parent[i] = self.parent[i];
+            }
+        }
+        let mut destinations = reached;
+        destinations.sort_unstable();
+        destinations.dedup();
+        MulticastTree {
+            root: self.root,
+            parent,
+            nodes,
+            destinations,
+        }
+    }
+}
+
+/// A directed multicast tree: edges point from the root (source) toward the
+/// destinations it spans (§2.1).
+///
+/// Satisfies the paper's *minimality* restriction: every leaf is a
+/// destination, so removing any edge disconnects some destination.
+#[derive(Clone, Debug)]
+pub struct MulticastTree {
+    root: NodeId,
+    /// Parent of each kept node (indexed by node id); `None` elsewhere.
+    parent: Vec<Option<NodeId>>,
+    /// Kept nodes in ascending id order.
+    nodes: Vec<NodeId>,
+    /// The destinations this tree spans, sorted.
+    destinations: Vec<NodeId>,
+}
+
+impl MulticastTree {
+    /// Builds a multicast tree directly from parent pointers.
+    ///
+    /// `parent[v]` must be `Some` exactly for the non-root members of the
+    /// tree, and following parents from any member must reach `root`.
+    /// Used by routing modes that derive trees from structures other than
+    /// a per-source SPT (e.g. a shared global spanning tree).
+    ///
+    /// # Panics
+    /// Panics if a parent chain does not terminate at `root` or if a
+    /// destination is not a member.
+    pub fn from_parents(
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        mut destinations: Vec<NodeId>,
+    ) -> Self {
+        let mut nodes: Vec<NodeId> = parent
+            .iter()
+            .enumerate()
+            .filter(|&(_i, p)| p.is_some()).map(|(i, _p)| NodeId::from_index(i))
+            .collect();
+        nodes.push(root);
+        nodes.sort_unstable();
+        nodes.dedup();
+        destinations.sort_unstable();
+        destinations.dedup();
+        let tree = MulticastTree {
+            root,
+            parent,
+            nodes,
+            destinations,
+        };
+        for &d in &tree.destinations {
+            assert!(
+                tree.path_to(d).is_some(),
+                "destination {d} is not connected to root {root} in the supplied parents"
+            );
+        }
+        tree
+    }
+
+    /// The source at the root of the tree.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Nodes in the tree, ascending id order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Destinations spanned by the tree, sorted.
+    #[inline]
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.destinations
+    }
+
+    /// Number of nodes in the tree (the paper's `|T_s|`, Theorem 3).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns true if `v` is in the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Parent of `v` within the tree (`None` for the root or non-members).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent.get(v.index()).copied().flatten()
+    }
+
+    /// Directed edges `(parent → child)` of the tree.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes
+            .iter()
+            .filter_map(move |&v| self.parent(v).map(|p| (p, v)))
+    }
+
+    /// The root→`dest` path within the tree (inclusive), or `None` if
+    /// `dest` is not a member.
+    pub fn path_to(&self, dest: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(dest) {
+            return None;
+        }
+        let mut path = vec![dest];
+        let mut cur = dest;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        if *path.last().unwrap() != self.root {
+            return None;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Destinations whose root-path traverses the directed edge `tail→head`.
+    ///
+    /// This is the `s ~_e d` relation of §2.2 restricted to this tree.
+    pub fn destinations_through(&self, tail: NodeId, head: NodeId) -> Vec<NodeId> {
+        self.destinations
+            .iter()
+            .copied()
+            .filter(|&d| {
+                self.path_to(d).is_some_and(|p| {
+                    p.windows(2).any(|w| w[0] == tail && w[1] == head)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×3 grid:
+    /// 0-1-2
+    /// | | |
+    /// 3-4-5
+    fn grid() -> Graph {
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)] {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn spt_parents_are_min_id() {
+        let spt = ShortestPathTree::build(&grid(), NodeId(0));
+        assert_eq!(spt.parent(NodeId(4)), Some(NodeId(1))); // 1 < 3
+        assert_eq!(spt.parent(NodeId(5)), Some(NodeId(2))); // 2 < 4
+        assert_eq!(spt.parent(NodeId(0)), None);
+        assert_eq!(spt.distance(NodeId(5)), Some(3));
+    }
+
+    #[test]
+    fn spt_path_reconstruction() {
+        let spt = ShortestPathTree::build(&grid(), NodeId(0));
+        assert_eq!(
+            spt.path_to(NodeId(5)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5)]
+        );
+    }
+
+    #[test]
+    fn pruned_tree_is_minimal() {
+        let spt = ShortestPathTree::build(&grid(), NodeId(0));
+        let mt = spt.prune_to(&[NodeId(5)]);
+        assert_eq!(mt.nodes(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(5)]);
+        assert_eq!(mt.size(), 4);
+        // Every leaf is a destination: removing any edge loses node 5.
+        let leaves: Vec<_> = mt
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|&v| mt.edges().all(|(p, _)| p != v))
+            .collect();
+        assert_eq!(leaves, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn pruned_tree_multiple_destinations_share_prefix() {
+        let spt = ShortestPathTree::build(&grid(), NodeId(0));
+        let mt = spt.prune_to(&[NodeId(4), NodeId(2)]);
+        assert!(mt.contains(NodeId(1)));
+        assert!(!mt.contains(NodeId(3)));
+        assert_eq!(mt.destinations(), &[NodeId(2), NodeId(4)]);
+        // Edge 0→1 carries both destinations.
+        assert_eq!(
+            mt.destinations_through(NodeId(0), NodeId(1)),
+            vec![NodeId(2), NodeId(4)]
+        );
+        // Edge 1→2 carries only destination 2.
+        assert_eq!(mt.destinations_through(NodeId(1), NodeId(2)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn unreachable_targets_skipped() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let spt = ShortestPathTree::build(&g, NodeId(0));
+        let mt = spt.prune_to(&[NodeId(2), NodeId(1)]);
+        assert_eq!(mt.destinations(), &[NodeId(1)]);
+        assert!(!mt.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn tree_edge_count_is_nodes_minus_one() {
+        let spt = ShortestPathTree::build(&grid(), NodeId(3));
+        let mt = spt.prune_to(&[NodeId(2), NodeId(5), NodeId(0)]);
+        assert_eq!(mt.edges().count(), mt.size() - 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimum-weight bipartite vertex cover — the paper's single-edge kernel.
+//!
+//! §2.2: choosing a left (source) vertex means "transmit this value raw",
+//! choosing a right (destination) vertex means "transmit one partial
+//! aggregate record for this destination". A vertex cover guarantees every
+//! producer–consumer pair `s ~_e d` is served; the minimum-weight cover
+//! minimizes the bytes crossing the edge.
+//!
+//! The classic reduction: build a flow network
+//! `s → u (cap = w_u) → v (cap = ∞) → t (cap = w_v)`; by LP duality the
+//! minimum s–t cut equals the minimum-weight vertex cover, and the cover is
+//! read off the canonical (source-minimal) cut: `u` is in the cover iff it
+//! is *not* reachable from `s` in the residual graph, `v` iff it *is*.
+
+use crate::bipartite::BipartiteGraph;
+use crate::maxflow::{FlowNetwork, INF};
+
+/// A minimum-weight vertex cover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverSolution {
+    /// Left vertices in the cover, ascending.
+    pub left: Vec<usize>,
+    /// Right vertices in the cover, ascending.
+    pub right: Vec<usize>,
+    /// Total weight of the cover.
+    pub weight: u64,
+}
+
+impl CoverSolution {
+    /// Returns true if left vertex `u` is in the cover.
+    pub fn contains_left(&self, u: usize) -> bool {
+        self.left.binary_search(&u).is_ok()
+    }
+
+    /// Returns true if right vertex `v` is in the cover.
+    pub fn contains_right(&self, v: usize) -> bool {
+        self.right.binary_search(&v).is_ok()
+    }
+
+    /// Verifies that this is a valid cover of `graph` and that `weight`
+    /// matches the vertex weights. Used by tests and debug assertions.
+    pub fn is_valid_cover(&self, graph: &BipartiteGraph) -> bool {
+        let covers_all = graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| self.contains_left(u) || self.contains_right(v));
+        let weight_ok = self.weight
+            == self
+                .left
+                .iter()
+                .map(|&u| graph.left_weight(u))
+                .chain(self.right.iter().map(|&v| graph.right_weight(v)))
+                .sum::<u64>();
+        covers_all && weight_ok
+    }
+}
+
+/// Computes the minimum-weight vertex cover of a bipartite graph.
+///
+/// The result is deterministic: among all minimum covers it returns the one
+/// induced by the canonical source-minimal min cut, which prefers keeping
+/// *left* (raw) vertices in the cover when ties allow. Vertices of weight 0
+/// are permitted (they are always safe to include).
+///
+/// ```
+/// use m2m_graph::bipartite::BipartiteGraph;
+/// use m2m_graph::vertex_cover::min_weight_vertex_cover;
+///
+/// // The paper's Figure 2: source a feeds k, l, m; b and c feed k, l;
+/// // d feeds k. Unit weights (weighted-sum sizes).
+/// let mut g = BipartiteGraph::new();
+/// let (a, b, c, d) = (g.add_left(1), g.add_left(1), g.add_left(1), g.add_left(1));
+/// let (k, l, m) = (g.add_right(1), g.add_right(1), g.add_right(1));
+/// for u in [a, b, c, d] { g.add_edge(u, k); }
+/// for u in [a, b, c] { g.add_edge(u, l); }
+/// g.add_edge(a, m);
+///
+/// let cover = min_weight_vertex_cover(&g);
+/// assert_eq!(cover.weight, 3); // raw a + records for k and l
+/// assert!(cover.is_valid_cover(&g));
+/// ```
+pub fn min_weight_vertex_cover(graph: &BipartiteGraph) -> CoverSolution {
+    let nl = graph.left_count();
+    let nr = graph.right_count();
+    // Vertex layout: 0 = source, 1..=nl = U, nl+1..=nl+nr = V, last = sink.
+    let s = 0;
+    let t = nl + nr + 1;
+    let mut net = FlowNetwork::new(nl + nr + 2);
+    for u in 0..nl {
+        net.add_arc(s, 1 + u, graph.left_weight(u));
+    }
+    for v in 0..nr {
+        net.add_arc(1 + nl + v, t, graph.right_weight(v));
+    }
+    for &(u, v) in graph.edges() {
+        net.add_arc(1 + u, 1 + nl + v, INF);
+    }
+    let cut = net.max_flow(s, t);
+    let reach = net.residual_reachable(s);
+    let left: Vec<usize> = (0..nl).filter(|&u| !reach[1 + u]).collect();
+    let right: Vec<usize> = (0..nr).filter(|&v| reach[1 + nl + v]).collect();
+    let solution = CoverSolution {
+        left,
+        right,
+        weight: cut,
+    };
+    debug_assert!(solution.is_valid_cover(graph), "min-cut cover must be valid");
+    solution
+}
+
+/// Exhaustive minimum-weight cover for small instances (≤ ~20 vertices).
+/// Exposed for differential testing of the flow-based solver.
+pub fn brute_force_min_cover(graph: &BipartiteGraph) -> CoverSolution {
+    let nl = graph.left_count();
+    let nr = graph.right_count();
+    let total = nl + nr;
+    assert!(total <= 22, "brute force limited to small instances");
+    let mut best: Option<CoverSolution> = None;
+    for mask in 0u32..(1 << total) {
+        let in_left = |u: usize| mask & (1 << u) != 0;
+        let in_right = |v: usize| mask & (1 << (nl + v)) != 0;
+        if !graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| in_left(u) || in_right(v))
+        {
+            continue;
+        }
+        let weight: u64 = (0..nl)
+            .filter(|&u| in_left(u))
+            .map(|u| graph.left_weight(u))
+            .chain(
+                (0..nr)
+                    .filter(|&v| in_right(v))
+                    .map(|v| graph.right_weight(v)),
+            )
+            .sum();
+        if best.as_ref().is_none_or(|b| weight < b.weight) {
+            best = Some(CoverSolution {
+                left: (0..nl).filter(|&u| in_left(u)).collect(),
+                right: (0..nr).filter(|&v| in_right(v)).collect(),
+                weight,
+            });
+        }
+    }
+    best.expect("the all-vertices cover always exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 2 instance: sources {a,b,c,d}, destinations
+    /// {k,l,m}; k aggregates a,b,c,d; l aggregates a,b,c; m aggregates a.
+    /// All weights 1 (weighted sum: raw values and partial records are both
+    /// single floats).
+    fn figure2() -> BipartiteGraph {
+        let mut g = BipartiteGraph::new();
+        let (a, b, c, d) = (g.add_left(1), g.add_left(1), g.add_left(1), g.add_left(1));
+        let (k, l, m) = (g.add_right(1), g.add_right(1), g.add_right(1));
+        for u in [a, b, c, d] {
+            g.add_edge(u, k);
+        }
+        for u in [a, b, c] {
+            g.add_edge(u, l);
+        }
+        g.add_edge(a, m);
+        g
+    }
+
+    #[test]
+    fn figure2_optimum_is_three_units() {
+        // The paper's solution for edge i→j: {a, k, l} — one raw value and
+        // two partial aggregate records, total message size 3 (§2.2).
+        let g = figure2();
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 3);
+        assert!(sol.is_valid_cover(&g));
+        assert_eq!(brute_force_min_cover(&g).weight, 3);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = BipartiteGraph::new();
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 0);
+        assert!(sol.left.is_empty() && sol.right.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_never_chosen() {
+        let mut g = BipartiteGraph::new();
+        g.add_left(10);
+        g.add_right(10);
+        let u = g.add_left(1);
+        let v = g.add_right(2);
+        g.add_edge(u, v);
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 1);
+        assert_eq!(sol.left, vec![u]);
+        assert!(sol.right.is_empty());
+    }
+
+    #[test]
+    fn heavy_source_forces_destination_choice() {
+        // One source feeding three destinations, but the source is huge
+        // (e.g. a large raw record): cover the destinations instead.
+        let mut g = BipartiteGraph::new();
+        let u = g.add_left(100);
+        for _ in 0..3 {
+            let v = g.add_right(5);
+            g.add_edge(u, v);
+        }
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 15);
+        assert_eq!(sol.right.len(), 3);
+    }
+
+    #[test]
+    fn star_prefers_single_shared_raw() {
+        // Figure 1(A): one source, three destinations, equal sizes —
+        // transmit the raw value once.
+        let mut g = BipartiteGraph::new();
+        let u = g.add_left(1);
+        for _ in 0..3 {
+            let v = g.add_right(1);
+            g.add_edge(u, v);
+        }
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 1);
+        assert_eq!(sol.left, vec![u]);
+    }
+
+    #[test]
+    fn converging_sources_prefer_aggregation() {
+        // Figure 1(B): three sources, one destination — aggregate.
+        let mut g = BipartiteGraph::new();
+        let v = g.add_right(1);
+        for _ in 0..3 {
+            let u = g.add_left(1);
+            g.add_edge(u, v);
+        }
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 1);
+        assert_eq!(sol.right, vec![v]);
+    }
+
+    #[test]
+    fn zero_weight_vertices_are_harmless() {
+        let mut g = BipartiteGraph::new();
+        let u = g.add_left(0);
+        let v = g.add_right(7);
+        g.add_edge(u, v);
+        let sol = min_weight_vertex_cover(&g);
+        assert_eq!(sol.weight, 0);
+        assert!(sol.is_valid_cover(&g));
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        // A couple of irregular instances with asymmetric weights.
+        let mut g = BipartiteGraph::new();
+        let us: Vec<_> = [3u64, 1, 4, 1, 5].iter().map(|&w| g.add_left(w)).collect();
+        let vs: Vec<_> = [9u64, 2, 6].iter().map(|&w| g.add_right(w)).collect();
+        for (i, &u) in us.iter().enumerate() {
+            for (j, &v) in vs.iter().enumerate() {
+                if (i + j) % 2 == 0 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let fast = min_weight_vertex_cover(&g);
+        let slow = brute_force_min_cover(&g);
+        assert_eq!(fast.weight, slow.weight);
+        assert!(fast.is_valid_cover(&g));
+    }
+}

@@ -1,0 +1,79 @@
+//! Differential testing of the two max-flow implementations: Dinic (the
+//! vertex-cover kernel's engine) and push–relabel must agree on random
+//! networks, and both must match the brute-force min cut on small ones.
+
+use m2m_graph::maxflow::FlowNetwork;
+use m2m_graph::push_relabel::{push_relabel_max_flow, CapArc};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomNetwork {
+    n: usize,
+    arcs: Vec<(usize, usize, u64)>,
+}
+
+fn network_strategy(max_n: usize) -> impl Strategy<Value = RandomNetwork> {
+    (2..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n, 1u64..50), 0..n * 3)
+            .prop_map(move |arcs| RandomNetwork { n, arcs })
+    })
+}
+
+fn dinic_value(net: &RandomNetwork) -> u64 {
+    let mut flow = FlowNetwork::new(net.n);
+    for &(u, v, c) in &net.arcs {
+        if u != v {
+            flow.add_arc(u, v, c);
+        }
+    }
+    flow.max_flow(0, net.n - 1)
+}
+
+fn push_relabel_value(net: &RandomNetwork) -> u64 {
+    let arcs: Vec<CapArc> = net
+        .arcs
+        .iter()
+        .map(|&(from, to, cap)| CapArc { from, to, cap })
+        .collect();
+    push_relabel_max_flow(net.n, &arcs, 0, net.n - 1)
+}
+
+/// Exhaustive min-cut over all source-side subsets (s inside, t outside).
+fn brute_force_min_cut(net: &RandomNetwork) -> u64 {
+    let n = net.n;
+    assert!(n <= 12);
+    let s = 0usize;
+    let t = n - 1;
+    let mut best = u64::MAX;
+    for mask in 0u32..(1 << n) {
+        if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+            continue;
+        }
+        let cut: u64 = net
+            .arcs
+            .iter()
+            .filter(|&&(u, v, _)| u != v && mask & (1 << u) != 0 && mask & (1 << v) == 0)
+            .map(|&(_, _, c)| c)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two implementations agree on arbitrary networks.
+    #[test]
+    fn dinic_equals_push_relabel(net in network_strategy(14)) {
+        prop_assert_eq!(dinic_value(&net), push_relabel_value(&net));
+    }
+
+    /// Max-flow equals min-cut (both implementations) on small networks.
+    #[test]
+    fn max_flow_min_cut_duality(net in network_strategy(9)) {
+        let cut = brute_force_min_cut(&net);
+        prop_assert_eq!(dinic_value(&net), cut);
+        prop_assert_eq!(push_relabel_value(&net), cut);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the traversal and tree substrates.
+
+use m2m_graph::adjacency::Graph;
+use m2m_graph::bfs::bfs_distances;
+use m2m_graph::dijkstra::dijkstra;
+use m2m_graph::node::NodeId;
+use m2m_graph::spt::ShortestPathTree;
+use proptest::prelude::*;
+
+/// Random simple graph on `n` nodes from an edge-pair list.
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |pairs| {
+            let mut g = Graph::new(n);
+            for (a, b) in pairs {
+                if a != b {
+                    g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Dijkstra with unit weights equals BFS hop distances.
+    #[test]
+    fn dijkstra_unit_matches_bfs(g in graph_strategy(24)) {
+        let sp = dijkstra(&g, NodeId(0), |_, _| 1);
+        let hops = bfs_distances(&g, NodeId(0));
+        for v in g.nodes() {
+            prop_assert_eq!(sp.dist[v.index()].map(|d| d as u32), hops[v.index()]);
+        }
+    }
+
+    /// BFS distances satisfy the triangle property across every edge:
+    /// |d(u) − d(v)| ≤ 1 for neighbors u, v.
+    #[test]
+    fn bfs_distance_is_1_lipschitz_on_edges(g in graph_strategy(24)) {
+        let d = bfs_distances(&g, NodeId(0));
+        for (a, b) in g.edges() {
+            if let (Some(da), Some(db)) = (d[a.index()], d[b.index()]) {
+                prop_assert!(da.abs_diff(db) <= 1);
+            } else {
+                // Neighbors are reachable together or not at all.
+                prop_assert!(d[a.index()].is_none() && d[b.index()].is_none());
+            }
+        }
+    }
+
+    /// Shortest-path-tree paths have length equal to the BFS distance, and
+    /// every hop is a real graph edge.
+    #[test]
+    fn spt_paths_are_shortest_and_real(g in graph_strategy(24)) {
+        let spt = ShortestPathTree::build(&g, NodeId(0));
+        let d = bfs_distances(&g, NodeId(0));
+        for v in g.nodes() {
+            match spt.path_to(v) {
+                Some(path) => {
+                    prop_assert_eq!(Some((path.len() - 1) as u32), d[v.index()]);
+                    for hop in path.windows(2) {
+                        prop_assert!(g.has_edge(hop[0], hop[1]));
+                    }
+                }
+                None => prop_assert!(d[v.index()].is_none()),
+            }
+        }
+    }
+
+    /// Pruning to targets keeps exactly the union of root→target paths.
+    #[test]
+    fn pruned_tree_equals_path_union(g in graph_strategy(16), picks in prop::collection::vec(0usize..16, 1..5)) {
+        let spt = ShortestPathTree::build(&g, NodeId(0));
+        let n = g.node_count();
+        let targets: Vec<NodeId> = picks.into_iter().filter(|&p| p < n).map(NodeId::from_index).collect();
+        prop_assume!(!targets.is_empty());
+        let mt = spt.prune_to(&targets);
+        let mut expected: Vec<NodeId> = Vec::new();
+        for &t in &targets {
+            if let Some(p) = spt.path_to(t) {
+                expected.extend(p);
+            }
+        }
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(mt.nodes(), &expected[..]);
+        // Tree invariant: edges = nodes − 1 when nonempty.
+        if !mt.nodes().is_empty() {
+            prop_assert_eq!(mt.edges().count(), mt.size() - 1);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the paper's Appendix A, Lemma 1 — the monotonicity
+//! facts about minimum vertex covers that the Theorem 1 proof is built on:
+//!
+//! * **(A)** adding destination vertices `Y` (with any edges `F` between
+//!   `U` and `Y`) never *evicts* a source vertex from the minimum cover:
+//!   `u ∈ mvc(U, V, E) ⇒ u ∈ mvc(U, V∪Y, E∪F)`;
+//! * **(B)** removing source vertices `X` (with their edges) never evicts
+//!   a remaining source vertex:
+//!   `u ∈ mvc(U∪X, V, E∪F) ⇒ u ∈ mvc(U, V, E)` for `u ∈ U`.
+//!
+//! The lemma requires *unique* minima; we generate instances with random
+//! weights and discard draws whose minimum cover is not unique (checked
+//! exhaustively), exactly mirroring the paper's tiebreaker assumption.
+
+use m2m_graph::bipartite::BipartiteGraph;
+use m2m_graph::vertex_cover::{min_weight_vertex_cover, CoverSolution};
+use proptest::prelude::*;
+
+/// Exhaustively checks whether the instance has a unique minimum cover;
+/// returns the unique solution if so.
+fn unique_min_cover(g: &BipartiteGraph) -> Option<CoverSolution> {
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let total = nl + nr;
+    assert!(total <= 16);
+    let mut best_weight = u64::MAX;
+    let mut best_count = 0usize;
+    let mut best: Option<(Vec<usize>, Vec<usize>)> = None;
+    for mask in 0u32..(1 << total) {
+        let in_left = |u: usize| mask & (1 << u) != 0;
+        let in_right = |v: usize| mask & (1 << (nl + v)) != 0;
+        if !g.edges().iter().all(|&(u, v)| in_left(u) || in_right(v)) {
+            continue;
+        }
+        let weight: u64 = (0..nl)
+            .filter(|&u| in_left(u))
+            .map(|u| g.left_weight(u))
+            .chain((0..nr).filter(|&v| in_right(v)).map(|v| g.right_weight(v)))
+            .sum();
+        match weight.cmp(&best_weight) {
+            std::cmp::Ordering::Less => {
+                best_weight = weight;
+                best_count = 1;
+                best = Some((
+                    (0..nl).filter(|&u| in_left(u)).collect(),
+                    (0..nr).filter(|&v| in_right(v)).collect(),
+                ));
+            }
+            std::cmp::Ordering::Equal => best_count += 1,
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    if best_count == 1 {
+        let (left, right) = best.expect("a cover always exists");
+        Some(CoverSolution {
+            left,
+            right,
+            weight: best_weight,
+        })
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Lemma1Instance {
+    base_left: Vec<u64>,
+    base_right: Vec<u64>,
+    base_edges: Vec<(usize, usize)>,
+    extra_right: Vec<u64>,
+    extra_edges: Vec<(usize, usize)>, // (left, extra-right index)
+    extra_left: Vec<u64>,
+    extra_left_edges: Vec<(usize, usize)>, // (extra-left index, right)
+}
+
+fn instance_strategy() -> impl Strategy<Value = Lemma1Instance> {
+    (2usize..5, 2usize..5, 1usize..3, 1usize..3).prop_flat_map(|(nl, nr, ny, nx)| {
+        (
+            prop::collection::vec(1u64..50, nl),
+            prop::collection::vec(1u64..50, nr),
+            prop::collection::vec((0..nl, 0..nr), 1..=(nl * nr).min(8)),
+            prop::collection::vec(1u64..50, ny),
+            prop::collection::vec((0..nl, 0..ny), 0..=(nl * ny).min(6)),
+            prop::collection::vec(1u64..50, nx),
+            prop::collection::vec((0..nx, 0..nr), 0..=(nx * nr).min(6)),
+        )
+            .prop_map(
+                |(bl, br, be, er, ee, el, ele)| Lemma1Instance {
+                    base_left: bl,
+                    base_right: br,
+                    base_edges: be,
+                    extra_right: er,
+                    extra_edges: ee,
+                    extra_left: el,
+                    extra_left_edges: ele,
+                },
+            )
+    })
+}
+
+fn build_base(inst: &Lemma1Instance) -> BipartiteGraph {
+    let mut g = BipartiteGraph::new();
+    for &w in &inst.base_left {
+        g.add_left(w);
+    }
+    for &w in &inst.base_right {
+        g.add_right(w);
+    }
+    for &(u, v) in &inst.base_edges {
+        g.add_edge(u, v);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lemma 1(A): adding destination vertices cannot evict a source
+    /// vertex from the (unique) minimum cover.
+    #[test]
+    fn lemma_1a_sources_survive_added_destinations(inst in instance_strategy()) {
+        let base = build_base(&inst);
+        // Extended graph: base + Y destination vertices + F edges.
+        let mut ext = build_base(&inst);
+        let y0 = ext.right_count();
+        for &w in &inst.extra_right {
+            ext.add_right(w);
+        }
+        for &(u, y) in &inst.extra_edges {
+            ext.add_edge(u, y0 + y);
+        }
+        // The lemma's hypothesis requires unique minima on both.
+        let (Some(base_min), Some(ext_min)) = (unique_min_cover(&base), unique_min_cover(&ext))
+        else {
+            return Ok(()); // tie — outside the lemma's hypothesis
+        };
+        for &u in &base_min.left {
+            prop_assert!(
+                ext_min.left.contains(&u),
+                "source {u} evicted by added destinations: {base_min:?} -> {ext_min:?}"
+            );
+        }
+        // The flow solver agrees with brute force on both instances.
+        prop_assert_eq!(min_weight_vertex_cover(&base).weight, base_min.weight);
+        prop_assert_eq!(min_weight_vertex_cover(&ext).weight, ext_min.weight);
+    }
+
+    /// Lemma 1(B): removing source vertices cannot evict a remaining
+    /// source vertex from the (unique) minimum cover.
+    #[test]
+    fn lemma_1b_sources_survive_removed_sources(inst in instance_strategy()) {
+        let base = build_base(&inst);
+        // Extended graph: base + X source vertices + F edges to V.
+        let mut ext = build_base(&inst);
+        let x0 = ext.left_count();
+        for &w in &inst.extra_left {
+            ext.add_left(w);
+        }
+        for &(x, v) in &inst.extra_left_edges {
+            ext.add_edge(x0 + x, v);
+        }
+        let (Some(base_min), Some(ext_min)) = (unique_min_cover(&base), unique_min_cover(&ext))
+        else {
+            return Ok(());
+        };
+        // Going from the extended graph down to the base: original
+        // sources chosen in ext stay chosen in base.
+        for &u in &ext_min.left {
+            if u < x0 {
+                prop_assert!(
+                    base_min.left.contains(&u),
+                    "source {u} evicted by removing sources: {ext_min:?} -> {base_min:?}"
+                );
+            }
+        }
+    }
+}

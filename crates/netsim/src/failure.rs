@@ -1,0 +1,130 @@
+//! Transient link-failure injection.
+//!
+//! §3 motivates milestone routing with routes that are "susceptible to
+//! transient failures": a link may be down for a round and recover later.
+//! The model here is deterministic given a seed — each (link, round) pair
+//! fails independently with probability `p` — so experiments are exactly
+//! reproducible.
+
+use m2m_graph::NodeId;
+
+/// Independent per-(link, round) Bernoulli failures.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFailureModel {
+    /// Probability a given link is down in a given round.
+    pub failure_probability: f64,
+    /// Seed decorrelating this model from other randomness.
+    pub seed: u64,
+}
+
+impl LinkFailureModel {
+    /// A model in which links never fail.
+    pub const fn reliable() -> Self {
+        LinkFailureModel {
+            failure_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Creates a model with the given failure probability.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    pub fn new(failure_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_probability),
+            "failure probability must be in [0, 1]"
+        );
+        LinkFailureModel {
+            failure_probability,
+            seed,
+        }
+    }
+
+    /// Returns true if the undirected link `{a, b}` is down in `round`.
+    /// Symmetric in `a` and `b`.
+    pub fn is_down(&self, a: NodeId, b: NodeId, round: u64) -> bool {
+        if self.failure_probability <= 0.0 {
+            return false;
+        }
+        if self.failure_probability >= 1.0 {
+            return true;
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for word in [u64::from(lo), u64::from(hi), round] {
+            h ^= word;
+            h = splitmix64(h);
+        }
+        // Map to [0, 1) with 53-bit precision.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.failure_probability
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, well-distributed integer hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_model_never_fails() {
+        let m = LinkFailureModel::reliable();
+        for r in 0..100 {
+            assert!(!m.is_down(NodeId(1), NodeId(2), r));
+        }
+    }
+
+    #[test]
+    fn certain_failure_always_fails() {
+        let m = LinkFailureModel::new(1.0, 3);
+        assert!(m.is_down(NodeId(0), NodeId(1), 0));
+    }
+
+    #[test]
+    fn symmetric_in_endpoints() {
+        let m = LinkFailureModel::new(0.5, 9);
+        for r in 0..50 {
+            assert_eq!(
+                m.is_down(NodeId(3), NodeId(8), r),
+                m.is_down(NodeId(8), NodeId(3), r)
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_rate_close_to_p() {
+        let m = LinkFailureModel::new(0.3, 77);
+        let trials = 20_000;
+        let mut down = 0;
+        for r in 0..trials {
+            if m.is_down(NodeId(0), NodeId(1), r) {
+                down += 1;
+            }
+        }
+        let rate = down as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LinkFailureModel::new(0.4, 5);
+        let b = LinkFailureModel::new(0.4, 5);
+        for r in 0..100 {
+            assert_eq!(a.is_down(NodeId(2), NodeId(4), r), b.is_down(NodeId(2), NodeId(4), r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn invalid_probability_panics() {
+        LinkFailureModel::new(1.5, 0);
+    }
+}

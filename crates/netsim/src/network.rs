@@ -1,0 +1,139 @@
+//! The sensor network: deployment + radio graph + energy model.
+
+use m2m_graph::bfs::{all_pairs_hops, HopDistances};
+use m2m_graph::{Graph, NodeId};
+
+use crate::deployment::Deployment;
+use crate::energy::EnergyModel;
+
+/// A simulated sensor network.
+///
+/// Bundles the deployment geometry, the derived unit-disk radio graph, the
+/// energy model, and a cached all-pairs hop-distance matrix (used heavily
+/// by workload generation and routing).
+#[derive(Clone, Debug)]
+pub struct Network {
+    deployment: Deployment,
+    graph: Graph,
+    energy: EnergyModel,
+    hops: Vec<HopDistances>,
+}
+
+impl Network {
+    /// Builds a network from a deployment with the given energy model.
+    pub fn new(deployment: Deployment, energy: EnergyModel) -> Self {
+        let graph = deployment.radio_graph();
+        let hops = all_pairs_hops(&graph);
+        Network {
+            deployment,
+            graph,
+            energy,
+            hops,
+        }
+    }
+
+    /// Builds a network with the default Mica2 energy model.
+    pub fn with_default_energy(deployment: Deployment) -> Self {
+        Self::new(deployment, EnergyModel::mica2())
+    }
+
+    /// Builds a network from an explicit connectivity graph, bypassing
+    /// geometry — used for worked examples (e.g. the paper's Figure 1
+    /// topology) and tests that need an exact topology. The deployment is
+    /// degenerate (all nodes at the origin).
+    pub fn from_graph(graph: Graph, energy: EnergyModel) -> Self {
+        let positions = vec![crate::position::Position::new(0.0, 0.0); graph.node_count()];
+        let deployment = Deployment::from_positions(positions, 0.0, 0.0, 1.0);
+        let hops = all_pairs_hops(&graph);
+        Network {
+            deployment,
+            graph,
+            energy,
+            hops,
+        }
+    }
+
+    /// The deployment geometry.
+    #[inline]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The radio connectivity graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The energy model.
+    #[inline]
+    pub fn energy(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// One-hop radio neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Hop distance between two nodes, `None` if disconnected.
+    #[inline]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.hops[a.index()][b.index()]
+    }
+
+    /// Nodes at exactly `h` hops from `v`, ascending id order.
+    pub fn nodes_at_hops(&self, v: NodeId, h: u32) -> Vec<NodeId> {
+        self.hops[v.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == Some(h))
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+
+    fn line_network() -> Network {
+        // 4 nodes in a row, 10 m apart, 12 m range: a path graph.
+        Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0))
+    }
+
+    #[test]
+    fn line_topology_hops() {
+        let net = line_network();
+        assert_eq!(net.hop_distance(NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(net.hop_distance(NodeId(1), NodeId(1)), Some(0));
+        assert_eq!(net.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn nodes_at_hops_rings() {
+        let net = line_network();
+        assert_eq!(net.nodes_at_hops(NodeId(0), 2), vec![NodeId(2)]);
+        assert_eq!(net.nodes_at_hops(NodeId(1), 1), vec![NodeId(0), NodeId(2)]);
+        assert!(net.nodes_at_hops(NodeId(0), 9).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pairs_have_no_distance() {
+        let net = Network::with_default_energy(Deployment::grid(2, 1, 100.0, 10.0));
+        assert_eq!(net.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! 2-D node positions.
+
+/// A node location in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[inline]
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_to(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Position::new(1.5, -2.0);
+        let b = Position::new(-3.0, 7.25);
+        assert_eq!(a.distance_to(&b), b.distance_to(&a));
+        assert_eq!(a.distance_to(&a), 0.0);
+    }
+}

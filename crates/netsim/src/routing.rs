@@ -1,0 +1,328 @@
+//! Multicast routing for many-to-many aggregation.
+//!
+//! §2.1 fixes a multicast tree per source, rooted at the source and
+//! spanning its destinations, subject to two restrictions: *minimality*
+//! (pruning) and *path sharing* (two directed i→…→j paths in different
+//! trees are identical). §4 builds the trees with "a standard algorithm for
+//! constructing single-source multicast trees", which encourages but does
+//! not guarantee sharing. We implement both:
+//!
+//! * [`RoutingMode::ShortestPathTrees`] — the paper's experimental setup:
+//!   a canonical per-source BFS shortest-path tree pruned to the source's
+//!   destinations,
+//! * [`RoutingMode::SharedSpanningTree`] — all routes constrained to one
+//!   global spanning tree, so the sharing restriction holds *by
+//!   construction* (any i→j path in any tree is the unique tree path).
+//!   This is the mode under which Theorem 1 applies unconditionally; it is
+//!   used by the property tests and available to library users who want
+//!   the guarantee at the cost of longer routes,
+//! * [`RoutingMode::SteinerTrees`] — per-source Takahashi–Matsuyama
+//!   Steiner trees, trading route length for fewer tree edges; the
+//!   direction the paper's Figure 5 discussion points at.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::spt::{MulticastTree, ShortestPathTree};
+use m2m_graph::NodeId;
+
+use crate::network::Network;
+
+/// How multicast trees are constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Per-source canonical shortest-path trees (the paper's §4 setup).
+    #[default]
+    ShortestPathTrees,
+    /// All routes restricted to a single global spanning tree; satisfies
+    /// the §2.1 path-sharing restriction by construction.
+    SharedSpanningTree,
+    /// Per-source Takahashi–Matsuyama Steiner trees: fewer edges per tree
+    /// (terminals attach to the nearest point of the growing tree) at the
+    /// cost of longer individual routes. Addresses the tree-construction
+    /// artifact the paper observes in its Figure 5 discussion.
+    SteinerTrees,
+}
+
+/// The multicast trees for a workload: one per source, keyed by source id.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    mode: RoutingMode,
+    trees: BTreeMap<NodeId, MulticastTree>,
+}
+
+impl RoutingTables {
+    /// Builds multicast trees for every `(source, destinations)` demand.
+    ///
+    /// Destinations unreachable from their source are dropped from the
+    /// tree (and therefore from the plan); with connected deployments this
+    /// does not occur.
+    pub fn build(
+        network: &Network,
+        demands: &BTreeMap<NodeId, Vec<NodeId>>,
+        mode: RoutingMode,
+    ) -> Self {
+        let trees = match mode {
+            RoutingMode::ShortestPathTrees => demands
+                .iter()
+                .map(|(&s, dests)| {
+                    let spt = ShortestPathTree::build(network.graph(), s);
+                    (s, spt.prune_to(dests))
+                })
+                .collect(),
+            RoutingMode::SharedSpanningTree => {
+                let global = ShortestPathTree::build(network.graph(), NodeId(0));
+                demands
+                    .iter()
+                    .map(|(&s, dests)| (s, shared_tree_subtree(network, &global, s, dests)))
+                    .collect()
+            }
+            RoutingMode::SteinerTrees => demands
+                .iter()
+                .map(|(&s, dests)| {
+                    (s, m2m_graph::steiner::takahashi_matsuyama(network.graph(), s, dests))
+                })
+                .collect(),
+        };
+        RoutingTables { mode, trees }
+    }
+
+    /// Builds routing tables directly from pre-constructed trees (used by
+    /// milestone routing, which synthesizes *virtual* trees whose edges
+    /// are not radio links).
+    pub fn from_trees(mode: RoutingMode, trees: BTreeMap<NodeId, MulticastTree>) -> Self {
+        RoutingTables { mode, trees }
+    }
+
+    /// The routing mode the tables were built with.
+    #[inline]
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// The multicast tree rooted at `source`, if that source has demands.
+    pub fn tree(&self, source: NodeId) -> Option<&MulticastTree> {
+        self.trees.get(&source)
+    }
+
+    /// Iterator over `(source, tree)` pairs in ascending source order.
+    pub fn trees(&self) -> impl Iterator<Item = (NodeId, &MulticastTree)> {
+        self.trees.iter().map(|(&s, t)| (s, t))
+    }
+
+    /// Number of sources with routing state.
+    #[inline]
+    pub fn source_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Sum of tree sizes, the paper's `Σ|T_s|` (Theorem 3).
+    pub fn total_tree_size(&self) -> usize {
+        self.trees.values().map(|t| t.size()).sum()
+    }
+
+    /// All distinct directed physical edges used by any tree, sorted.
+    pub fn directed_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .trees
+            .values()
+            .flat_map(|t| t.edges())
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+/// Extracts the multicast tree for `source` from a global spanning tree:
+/// the union of the unique tree paths source→destination, with parent
+/// pointers re-rooted at the source.
+fn shared_tree_subtree(
+    network: &Network,
+    global: &ShortestPathTree,
+    source: NodeId,
+    destinations: &[NodeId],
+) -> MulticastTree {
+    let n = network.node_count();
+    // Undirected adjacency of the global tree.
+    let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in network.nodes() {
+        if let Some(p) = global.parent(v) {
+            tree_adj[v.index()].push(p);
+            tree_adj[p.index()].push(v);
+        }
+    }
+    // Mark nodes on each source→destination tree path. The path is found
+    // by splicing the two root paths at their divergence point.
+    let mut keep = vec![false; n];
+    keep[source.index()] = true;
+    let mut reached = Vec::new();
+    for &d in destinations {
+        let (Some(ps), Some(pd)) = (global.path_to(source), global.path_to(d)) else {
+            continue;
+        };
+        reached.push(d);
+        // Longest common prefix of the two root paths ends at the LCA.
+        let mut lca_idx = 0;
+        while lca_idx + 1 < ps.len() && lca_idx + 1 < pd.len() && ps[lca_idx + 1] == pd[lca_idx + 1]
+        {
+            lca_idx += 1;
+        }
+        for &v in &ps[lca_idx..] {
+            keep[v.index()] = true;
+        }
+        for &v in &pd[lca_idx..] {
+            keep[v.index()] = true;
+        }
+    }
+    // Re-root the induced subtree at the source with a BFS over kept nodes.
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &tree_adj[u.index()] {
+            if keep[v.index()] && !visited[v.index()] {
+                visited[v.index()] = true;
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    MulticastTree::from_parents(source, parent, reached)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use crate::network::Network;
+
+    fn grid_network() -> Network {
+        // 4×4 grid, 10 m spacing, 12 m range (no diagonals).
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn demands(pairs: &[(u32, &[u32])]) -> BTreeMap<NodeId, Vec<NodeId>> {
+        pairs
+            .iter()
+            .map(|&(s, ds)| (NodeId(s), ds.iter().map(|&d| NodeId(d)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn spt_mode_builds_shortest_routes() {
+        let net = grid_network();
+        let d = demands(&[(0, &[15])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
+        let tree = rt.tree(NodeId(0)).unwrap();
+        let path = tree.path_to(NodeId(15)).unwrap();
+        assert_eq!(path.len() as u32 - 1, net.hop_distance(NodeId(0), NodeId(15)).unwrap());
+    }
+
+    #[test]
+    fn shared_mode_paths_live_on_one_tree() {
+        let net = grid_network();
+        let d = demands(&[(0, &[15]), (3, &[12])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::SharedSpanningTree);
+        // Collect the undirected edges used by each tree; they must all be
+        // edges of the single global spanning tree, which has n-1 edges.
+        let mut undirected: Vec<(NodeId, NodeId)> = rt
+            .directed_edges()
+            .into_iter()
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        undirected.sort_unstable();
+        undirected.dedup();
+        assert!(undirected.len() < net.node_count());
+    }
+
+    #[test]
+    fn shared_mode_sharing_restriction_holds() {
+        // For every pair of trees and every ordered node pair (i, j)
+        // reachable in both, the directed paths must be identical (§2.1).
+        let net = grid_network();
+        let d = demands(&[(0, &[15, 12]), (3, &[12, 15]), (5, &[10, 15])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::SharedSpanningTree);
+        let trees: Vec<_> = rt.trees().map(|(_, t)| t).collect();
+        let path_between = |t: &MulticastTree, i: NodeId, j: NodeId| -> Option<Vec<NodeId>> {
+            // Directed path i→j within the tree: j's root path must pass i.
+            let pj = t.path_to(j)?;
+            let pos = pj.iter().position(|&v| v == i)?;
+            Some(pj[pos..].to_vec())
+        };
+        for a in 0..trees.len() {
+            for b in (a + 1)..trees.len() {
+                for &i in trees[a].nodes() {
+                    for &j in trees[a].nodes() {
+                        if i == j {
+                            continue;
+                        }
+                        if let (Some(pa), Some(pb)) = (
+                            path_between(trees[a], i, j),
+                            path_between(trees[b], i, j),
+                        ) {
+                            assert_eq!(pa, pb, "paths {i}→{j} differ between trees");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steiner_mode_uses_no_more_edges_than_spt() {
+        let net = grid_network();
+        // Sources at two corners, each multicasting to the far column —
+        // the regime where a Steiner tree shares a spine.
+        let d = demands(&[(0, &[12, 13, 14, 15]), (3, &[12, 13, 14, 15])]);
+        let spt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
+        let steiner = RoutingTables::build(&net, &d, RoutingMode::SteinerTrees);
+        assert!(steiner.total_tree_size() <= spt.total_tree_size());
+        // Steiner trees still span every destination.
+        for (_, tree) in steiner.trees() {
+            assert_eq!(tree.destinations().len(), 4);
+        }
+    }
+
+    #[test]
+    fn trees_span_exactly_their_destinations() {
+        let net = grid_network();
+        let d = demands(&[(5, &[0, 3, 15])]);
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let rt = RoutingTables::build(&net, &d, mode);
+            let tree = rt.tree(NodeId(5)).unwrap();
+            assert_eq!(tree.destinations(), &[NodeId(0), NodeId(3), NodeId(15)]);
+            for &dest in tree.destinations() {
+                assert!(tree.path_to(dest).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn directed_edges_deduplicate_across_trees() {
+        let net = grid_network();
+        // Sources 0 and 1 both route to 15; their trees share edges.
+        let d = demands(&[(0, &[15]), (1, &[15])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
+        let edges = rt.directed_edges();
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(edges, sorted);
+    }
+
+    #[test]
+    fn source_equal_to_destination_yields_trivial_tree() {
+        let net = grid_network();
+        let d = demands(&[(4, &[4])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
+        let tree = rt.tree(NodeId(4)).unwrap();
+        assert_eq!(tree.size(), 1);
+        assert_eq!(tree.edges().count(), 0);
+    }
+}

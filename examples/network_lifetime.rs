@@ -1,0 +1,67 @@
+//! Network lifetime under the four control strategies.
+//!
+//! §1's case for in-network control is partly about *where* energy is
+//! spent: funneling everything through a base station overburdens the
+//! nodes around it, and the network is only as alive as its busiest node.
+//! This example charges one round of each strategy to a per-node energy
+//! ledger and projects rounds-until-first-death from a 2 Ah / 3 V
+//! battery.
+//!
+//! ```text
+//! cargo run --example network_lifetime
+//! ```
+
+use m2m_core::basestation::{choose_station, BaseStationPlan};
+use m2m_core::metrics::{project_lifetime, NodeEnergyLedger};
+use m2m_core::prelude::*;
+use m2m_core::schedule::build_schedule;
+use m2m_core::workload::generate_workload;
+
+fn main() {
+    let network = Network::with_default_energy(Deployment::great_duck_island(99));
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(17, 15, 3));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let battery_uj = 2.0 * 3600.0 * 3.0 * 1e6; // 2 Ah at 3 V
+
+    println!(
+        "{} nodes, {} destinations x {} sources",
+        network.node_count(),
+        spec.destination_count(),
+        15
+    );
+    println!("\nstrategy      round(mJ)  hotspot(mJ)  imbalance  lifetime(rounds)");
+
+    let report = |name: &str, ledger: &NodeEnergyLedger| {
+        let life = project_lifetime(ledger, battery_uj);
+        println!(
+            "{name:<13} {:>8.1} {:>12.2} {:>10.1} {:>17.0}",
+            ledger.total_uj() / 1000.0,
+            ledger.hotspot().1 / 1000.0,
+            life.imbalance,
+            life.rounds_until_first_death
+        );
+    };
+
+    for alg in Algorithm::PLANNED {
+        let plan = plan_for_algorithm(&network, &spec, &routing, alg);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let mut ledger = NodeEnergyLedger::new(network.node_count());
+        schedule.charge_round(network.energy(), &mut ledger);
+        report(alg.name(), &ledger);
+    }
+
+    let station = choose_station(&network);
+    let bs = BaseStationPlan::build(&network, &spec, station);
+    let (_, ledger) = bs.round_cost(&network);
+    report("BaseStation", &ledger);
+    println!(
+        "\nbase station at {station}; its hotspot is {} hop(s) away",
+        network
+            .hop_distance(station, ledger.hotspot().0)
+            .unwrap()
+    );
+}

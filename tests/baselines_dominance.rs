@@ -1,0 +1,108 @@
+//! Dominance and ordering relations among the four algorithms, across
+//! randomized workloads: the optimal plan never loses to either
+//! single-technique baseline (the core §2.2 guarantee), and the flood
+//! baseline behaves as §4 describes.
+
+use proptest::prelude::*;
+
+use m2m_core::baselines::{flood_round_cost, plan_for_algorithm, Algorithm};
+use m2m_core::schedule::build_schedule;
+use m2m_core::spec::AggregationSpec;
+use m2m_core::workload::{generate_workload, SourceSelection, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn network() -> Network {
+    Network::with_default_energy(Deployment::great_duck_island(55))
+}
+
+fn energy_uj(net: &Network, spec: &AggregationSpec, routing: &RoutingTables, alg: Algorithm) -> f64 {
+    let plan = plan_for_algorithm(net, spec, routing, alg);
+    build_schedule(spec, routing, &plan)
+        .expect("schedulable")
+        .round_cost(net.energy())
+        .total_uj()
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..16, 3usize..16, 0u32..=10, any::<u64>()).prop_map(
+        |(dests, sources, tenths, seed)| WorkloadConfig {
+            destination_count: dests,
+            sources_per_destination: sources,
+            selection: SourceSelection::Dispersion {
+                dispersion: f64::from(tenths) / 10.0,
+                max_hops: 4,
+            },
+            kind: m2m_core::agg::AggregateKind::WeightedAverage,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Optimal ≤ multicast and optimal ≤ aggregation — in payload bytes
+    /// and in total round energy — in both routing modes.
+    #[test]
+    fn optimal_dominates_baselines(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree, RoutingMode::SteinerTrees] {
+            let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            let opt_plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
+            let mc_plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Multicast);
+            let ag_plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Aggregation);
+            prop_assert!(opt_plan.total_payload_bytes() <= mc_plan.total_payload_bytes());
+            prop_assert!(opt_plan.total_payload_bytes() <= ag_plan.total_payload_bytes());
+
+            let opt = energy_uj(&net, &spec, &routing, Algorithm::Optimal);
+            let mc = energy_uj(&net, &spec, &routing, Algorithm::Multicast);
+            let ag = energy_uj(&net, &spec, &routing, Algorithm::Aggregation);
+            prop_assert!(opt <= mc + 1e-6, "{mode:?}: optimal {opt} > multicast {mc}");
+            prop_assert!(opt <= ag + 1e-6, "{mode:?}: optimal {opt} > aggregation {ag}");
+        }
+    }
+
+    /// Per-edge: the optimal solution's unit count never exceeds the
+    /// multicast unit count (|S_e|) nor the aggregation unit count
+    /// (number of groups), matching the §2.2 cover bound.
+    #[test]
+    fn per_edge_unit_counts_bounded(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
+        for (edge, sol) in plan.solutions() {
+            let p = &plan.problems()[edge];
+            prop_assert!(sol.unit_count() <= p.sources.len().max(p.groups.len()));
+        }
+    }
+
+    /// Flood cost is independent of how destinations are arranged — it
+    /// depends only on the number of distinct sources — and is far more
+    /// expensive than optimal on sparse workloads.
+    #[test]
+    fn flood_behaves_as_described(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let flood = flood_round_cost(&net, &spec);
+        prop_assert_eq!(flood.messages, net.node_count());
+        prop_assert_eq!(
+            flood.payload_bytes,
+            (net.node_count() * spec.all_sources().len() * 4) as u64
+        );
+        // Sparse workloads (the strategy caps at 15 destinations ×
+        // 15 sources on 68 nodes): flood ≫ optimal.
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let opt = energy_uj(&net, &spec, &routing, Algorithm::Optimal);
+        prop_assert!(flood.total_uj() > opt);
+    }
+}

@@ -1,0 +1,116 @@
+//! The §1 argument for in-network control, measured: out-of-network
+//! (base-station) control concentrates traffic near the station, creating
+//! the energy bottleneck and shorter network lifetime the paper predicts,
+//! while the in-network optimal plan spreads load and — combined with the
+//! §3 slot schedule — keeps radios off most of the round.
+
+use m2m_core::baselines::{plan_for_algorithm, Algorithm};
+use m2m_core::basestation::{choose_station, BaseStationPlan};
+use m2m_core::metrics::{project_lifetime, NodeEnergyLedger};
+use m2m_core::schedule::build_schedule;
+use m2m_core::slots::assign_slots;
+use m2m_core::spec::AggregationSpec;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn setup() -> (Network, AggregationSpec) {
+    let net = Network::with_default_energy(Deployment::great_duck_island(21));
+    let spec = generate_workload(&net, &WorkloadConfig::paper_default(17, 15, 5));
+    (net, spec)
+}
+
+fn in_network_ledger(net: &Network, spec: &AggregationSpec) -> NodeEnergyLedger {
+    let routing = RoutingTables::build(
+        net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = plan_for_algorithm(net, spec, &routing, Algorithm::Optimal);
+    let schedule = build_schedule(spec, &routing, &plan).unwrap();
+    let mut ledger = NodeEnergyLedger::new(net.node_count());
+    schedule.charge_round(net.energy(), &mut ledger);
+    ledger
+}
+
+#[test]
+fn base_station_creates_a_hotspot_in_network_avoids() {
+    let (net, spec) = setup();
+    let station = choose_station(&net);
+    let bs = BaseStationPlan::build(&net, &spec, station);
+    let (_, bs_ledger) = bs.round_cost(&net);
+    let in_ledger = in_network_ledger(&net, &spec);
+
+    // The bottleneck claim: the station-side hotspot burns more per round
+    // than any node under the in-network plan.
+    let (bs_hot_node, bs_hot) = bs_ledger.hotspot();
+    let (_, in_hot) = in_ledger.hotspot();
+    assert!(
+        bs_hot > in_hot,
+        "base-station hotspot ({bs_hot_node}: {bs_hot:.0} µJ) should exceed \
+         in-network hotspot ({in_hot:.0} µJ)"
+    );
+    // And it sits at or next to the station.
+    assert!(net.hop_distance(station, bs_hot_node).unwrap() <= 1);
+    // Load is also less evenly spread.
+    assert!(bs_ledger.imbalance() > in_ledger.imbalance());
+}
+
+#[test]
+fn in_network_control_extends_network_lifetime() {
+    let (net, spec) = setup();
+    let battery_uj = 2.0 * 3600.0 * 3.0 * 1e6; // 2 Ah × 3 V in µJ
+    let bs = BaseStationPlan::build(&net, &spec, choose_station(&net));
+    let (_, bs_ledger) = bs.round_cost(&net);
+    let in_ledger = in_network_ledger(&net, &spec);
+    let bs_life = project_lifetime(&bs_ledger, battery_uj);
+    let in_life = project_lifetime(&in_ledger, battery_uj);
+    assert!(
+        in_life.rounds_until_first_death > bs_life.rounds_until_first_death,
+        "in-network {:.0} rounds should outlive base-station {:.0} rounds",
+        in_life.rounds_until_first_death,
+        bs_life.rounds_until_first_death
+    );
+}
+
+#[test]
+fn broadcast_optimization_never_listed_as_worse_in_aggregate() {
+    // §3's broadcast optimization: across several workloads its total is
+    // no worse than the unicast accounting on the same schedule (raw
+    // fan-outs exist in optimal plans near sources).
+    let net = Network::with_default_energy(Deployment::great_duck_island(21));
+    let mut improved = 0;
+    for seed in [1u64, 2, 3, 4] {
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(20, 20, seed));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
+        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let unicast = schedule.round_cost(net.energy()).total_uj();
+        let broadcast = schedule.round_cost_with_broadcast(net.energy()).total_uj();
+        if broadcast < unicast {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 2, "broadcast should help on most workloads ({improved}/4)");
+}
+
+#[test]
+fn slot_schedule_keeps_radios_mostly_off() {
+    let (net, spec) = setup();
+    let routing = RoutingTables::build(
+        &net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
+    let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+    let slots = assign_slots(&net, &schedule);
+    let fraction = slots.listen_fraction(&schedule, &net);
+    assert!(
+        fraction < 0.5,
+        "participating nodes should be radio-on under half the round, got {fraction:.2}"
+    );
+}

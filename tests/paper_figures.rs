@@ -1,0 +1,238 @@
+//! Integration tests pinning the paper's worked example (Figures 1–2) and
+//! the qualitative shape of every evaluation figure (Figures 3–7).
+//!
+//! Absolute energies depend on radio constants; what these tests pin is
+//! who wins where — the relationships the paper's text calls out.
+
+use std::collections::BTreeSet;
+
+use m2m_core::agg::AggregateFunction;
+use m2m_core::baselines::{flood_round_cost, plan_for_algorithm, Algorithm};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::schedule::build_schedule;
+use m2m_core::spec::AggregationSpec;
+use m2m_core::suppression::{OverridePolicy, SuppressionSim};
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_graph::{Graph, NodeId};
+use m2m_netsim::{Deployment, EnergyModel, Network, RoutingMode, RoutingTables};
+
+/// Average round energy (mJ) of an algorithm on a workload.
+fn energy_mj(net: &Network, spec: &AggregationSpec, alg: Algorithm) -> f64 {
+    if alg == Algorithm::Flood {
+        return flood_round_cost(net, spec).total_mj();
+    }
+    let routing = RoutingTables::build(
+        net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = plan_for_algorithm(net, spec, &routing, alg);
+    build_schedule(spec, &routing, &plan)
+        .expect("schedulable")
+        .round_cost(net.energy())
+        .total_mj()
+}
+
+fn gdi() -> Network {
+    Network::with_default_energy(Deployment::great_duck_island(1))
+}
+
+/// Figure 1(C) / Figure 2: the worked example's optimal plan for edge
+/// i→j is raw {a} plus partial records for {k, l} — three message units.
+#[test]
+fn figure_1c_and_2_worked_example() {
+    let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+    let (i, j) = (NodeId(4), NodeId(5));
+    let (k, l, m) = (NodeId(6), NodeId(7), NodeId(8));
+    let mut graph = Graph::new(9);
+    for s in [a, b, c, d] {
+        graph.add_edge(s, i);
+    }
+    graph.add_edge(i, j);
+    for t in [k, l, m] {
+        graph.add_edge(j, t);
+    }
+    let net = Network::from_graph(graph, EnergyModel::mica2());
+    let mut spec = AggregationSpec::new();
+    spec.add_function(
+        k,
+        AggregateFunction::weighted_sum([(a, 1.0), (b, 1.0), (c, 1.0), (d, 1.0)]),
+    );
+    spec.add_function(
+        l,
+        AggregateFunction::weighted_sum([(a, 1.0), (b, 1.0), (c, 1.0)]),
+    );
+    spec.add_function(m, AggregateFunction::weighted_sum([(a, 1.0)]));
+    let routing = RoutingTables::build(
+        &net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(&net, &spec, &routing);
+    plan.validate(&spec, &routing).unwrap();
+
+    let sol = plan.solution((i, j)).expect("edge i->j exists");
+    assert_eq!(sol.raw, vec![a], "v_a travels raw (it serves k, l, and m)");
+    let record_dests: Vec<NodeId> = sol.agg.iter().map(|g| g.destination).collect();
+    assert_eq!(record_dests, vec![k, l], "records for k and l");
+    assert_eq!(sol.unit_count(), 3, "total message size three (§2.2)");
+
+    // Figure 1(A) sub-case: i's upstream edges each carry one raw value.
+    for s in [a, b, c, d] {
+        let up = plan.solution((s, i)).unwrap();
+        assert_eq!(up.raw, vec![s]);
+        assert!(up.agg.is_empty());
+    }
+}
+
+/// Figure 3: (i) at few destinations aggregation beats multicast, (ii) at
+/// many destinations multicast beats aggregation, (iii) optimal beats
+/// both everywhere and its margin grows, (iv) flood is far worse at light
+/// workloads but approaches the baselines at the heaviest.
+#[test]
+fn figure_3_shape() {
+    let net = gdi();
+    let n = net.node_count();
+    let light = generate_workload(&net, &WorkloadConfig::paper_default(n / 10, 20, 11));
+    let heavy = generate_workload(&net, &WorkloadConfig::paper_default(n, 20, 11));
+
+    let opt_l = energy_mj(&net, &light, Algorithm::Optimal);
+    let mc_l = energy_mj(&net, &light, Algorithm::Multicast);
+    let ag_l = energy_mj(&net, &light, Algorithm::Aggregation);
+    let fl_l = energy_mj(&net, &light, Algorithm::Flood);
+    assert!(ag_l <= mc_l * 1.02, "few destinations: aggregation ≈ or beats multicast");
+    assert!(opt_l <= mc_l && opt_l <= ag_l);
+    assert!(fl_l > 3.0 * opt_l, "flood is much more expensive on light workloads");
+
+    let opt_h = energy_mj(&net, &heavy, Algorithm::Optimal);
+    let mc_h = energy_mj(&net, &heavy, Algorithm::Multicast);
+    let ag_h = energy_mj(&net, &heavy, Algorithm::Aggregation);
+    let fl_h = energy_mj(&net, &heavy, Algorithm::Flood);
+    assert!(mc_h < ag_h, "many destinations: multicast beats aggregation");
+    assert!(opt_h < mc_h && opt_h < ag_h);
+    assert!(
+        fl_h < ag_h * 1.1,
+        "at the heaviest workload flood approaches the baselines"
+    );
+
+    // Optimal's absolute advantage grows with the workload.
+    assert!(mc_h - opt_h > mc_l - opt_l);
+}
+
+/// Figure 4: multicast wins at the fewest sources per destination;
+/// aggregation catches up as sources (and thus convergence) grow.
+#[test]
+fn figure_4_shape() {
+    let net = gdi();
+    let n = net.node_count();
+    let few = generate_workload(&net, &WorkloadConfig::paper_default(n / 5, 5, 13));
+    let many = generate_workload(&net, &WorkloadConfig::paper_default(n / 5, 40, 13));
+
+    let mc_few = energy_mj(&net, &few, Algorithm::Multicast);
+    let ag_few = energy_mj(&net, &few, Algorithm::Aggregation);
+    assert!(mc_few < ag_few, "fewest sources: multicast beats aggregation");
+
+    let mc_many = energy_mj(&net, &many, Algorithm::Multicast);
+    let ag_many = energy_mj(&net, &many, Algorithm::Aggregation);
+    // Aggregation's relative position improves with more sources.
+    assert!(ag_many / mc_many < ag_few / mc_few);
+
+    for spec in [&few, &many] {
+        let opt = energy_mj(&net, spec, Algorithm::Optimal);
+        assert!(opt <= energy_mj(&net, spec, Algorithm::Multicast));
+        assert!(opt <= energy_mj(&net, spec, Algorithm::Aggregation));
+    }
+}
+
+/// Figure 5: optimal dominates across the whole dispersion range.
+#[test]
+fn figure_5_shape() {
+    let net = gdi();
+    let n = net.node_count();
+    for tenths in [0u32, 5, 10] {
+        let d = f64::from(tenths) / 10.0;
+        let spec = generate_workload(
+            &net,
+            &WorkloadConfig {
+                selection: m2m_core::workload::SourceSelection::Dispersion {
+                    dispersion: d,
+                    max_hops: 4,
+                },
+                ..WorkloadConfig::paper_default(n / 5, 20, 17)
+            },
+        );
+        let opt = energy_mj(&net, &spec, Algorithm::Optimal);
+        assert!(opt <= energy_mj(&net, &spec, Algorithm::Multicast));
+        assert!(opt <= energy_mj(&net, &spec, Algorithm::Aggregation));
+    }
+}
+
+/// Figure 6: optimal's advantage grows with network size.
+#[test]
+fn figure_6_shape() {
+    let series = Deployment::scaled_series(&[50, 150], 5);
+    let mut advantage = Vec::new();
+    for deployment in series {
+        let net = Network::with_default_energy(deployment);
+        let n = net.node_count();
+        let spec = generate_workload(
+            &net,
+            &WorkloadConfig {
+                selection: m2m_core::workload::SourceSelection::Uniform,
+                ..WorkloadConfig::paper_default(n / 4, (n * 15) / 100, 19)
+            },
+        );
+        let opt = energy_mj(&net, &spec, Algorithm::Optimal);
+        let mc = energy_mj(&net, &spec, Algorithm::Multicast);
+        let ag = energy_mj(&net, &spec, Algorithm::Aggregation);
+        assert!(opt <= mc && opt <= ag);
+        advantage.push(mc.min(ag) - opt);
+    }
+    assert!(
+        advantage[1] > advantage[0],
+        "larger network, larger absolute savings: {advantage:?}"
+    );
+}
+
+/// Figure 7: override saves energy at low change probability; the
+/// aggressive policy degrades (relative to itself) as changes become
+/// frequent, while conservative stays close to the default plan.
+#[test]
+fn figure_7_shape() {
+    let net = gdi();
+    let n = net.node_count();
+    let spec = generate_workload(&net, &WorkloadConfig::paper_default((n * 3) / 10, 25, 23));
+    let routing = RoutingTables::build(
+        &net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(&net, &spec, &routing);
+    let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+
+    let improvement = |p: f64, policy: OverridePolicy| -> f64 {
+        let base = sim.average_cost(&spec, p, 20, OverridePolicy::None, 99);
+        let with = sim.average_cost(&spec, p, 20, policy, 99);
+        (base.total_uj() - with.total_uj()) / base.total_uj() * 100.0
+    };
+
+    let aggr_low = improvement(0.05, OverridePolicy::Aggressive);
+    let aggr_high = improvement(0.3, OverridePolicy::Aggressive);
+    assert!(aggr_low > 0.0, "aggressive override saves at low p ({aggr_low:.1}%)");
+    assert!(
+        aggr_high < aggr_low,
+        "aggressive degrades at high p ({aggr_high:.1}% vs {aggr_low:.1}%)"
+    );
+    let cons_high = improvement(0.3, OverridePolicy::Conservative);
+    assert!(
+        cons_high >= aggr_high,
+        "conservative degrades less than aggressive at high p"
+    );
+
+    // Suppression itself: fewer changes, less energy.
+    let any: BTreeSet<NodeId> = spec.all_sources().into_iter().take(2).collect();
+    let tiny = sim.round_cost(&any, OverridePolicy::None);
+    let all: BTreeSet<NodeId> = spec.all_sources().into_iter().collect();
+    let full = sim.round_cost(&all, OverridePolicy::None);
+    assert!(tiny.total_uj() < full.total_uj());
+}

@@ -1,0 +1,232 @@
+//! Property tests for the paper's theorems.
+//!
+//! * **Theorem 1** — under the path-sharing restriction (the
+//!   shared-spanning-tree routing mode), independently solved per-edge
+//!   optima are already consistent: no raw-availability violation exists
+//!   before any repair, and every edge problem has exactly one
+//!   continuation group per destination.
+//! * **Theorem 2** — the wait-for relation among message units is acyclic.
+//! * **Theorem 3** — total node-table state is `O(min(Σ|T_s|, Σ|A_d|))`.
+//! * Per-edge optimality: every solved cover weighs no more than either
+//!   trivial cover, and matches brute force on small instances.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use m2m_core::edge_opt::{build_edge_problems, solve_edge};
+use m2m_core::plan::{aggregation_tree_sizes, GlobalPlan};
+use m2m_core::schedule::build_schedule;
+use m2m_core::tables::NodeTables;
+use m2m_core::workload::{generate_workload, SourceSelection, WorkloadConfig};
+use m2m_graph::bipartite::BipartiteGraph;
+use m2m_graph::vertex_cover::brute_force_min_cover;
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+/// A compact strategy over workload shapes on a fixed 68-node network.
+fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
+    (2usize..14, 3usize..14, 0u32..=10, any::<u64>()).prop_map(
+        |(dests, sources, tenths, seed)| WorkloadConfig {
+            destination_count: dests,
+            sources_per_destination: sources,
+            selection: SourceSelection::Dispersion {
+                dispersion: f64::from(tenths) / 10.0,
+                max_hops: 4,
+            },
+            kind: m2m_core::agg::AggregateKind::WeightedAverage,
+            seed,
+        },
+    )
+}
+
+fn network() -> Network {
+    Network::with_default_energy(Deployment::great_duck_island(77))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1: with the sharing restriction, per-edge optima compose
+    /// with zero inconsistencies and zero repairs, and the per-edge
+    /// problems coincide with the paper's exact formulation (one
+    /// continuation group per destination).
+    #[test]
+    fn theorem_1_composability_under_sharing(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::SharedSpanningTree,
+        );
+        let problems = build_edge_problems(&spec, &routing);
+        for p in problems.values() {
+            prop_assert!(
+                p.is_sharing_coherent(),
+                "edge {:?} has split continuation groups under sharing",
+                p.edge
+            );
+        }
+        let solutions: BTreeMap<_, _> = problems
+            .iter()
+            .map(|(&e, p)| (e, solve_edge(p, &spec)))
+            .collect();
+        prop_assert_eq!(
+            GlobalPlan::count_inconsistencies(&spec, &routing, &solutions),
+            0
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        prop_assert_eq!(plan.repair_count(), 0);
+        prop_assert!(plan.validate(&spec, &routing).is_ok());
+    }
+
+    /// Theorem 2: wait-for acyclicity, in both routing modes.
+    #[test]
+    fn theorem_2_acyclic_wait_for(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree, RoutingMode::SteinerTrees] {
+            let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            let plan = GlobalPlan::build(&net, &spec, &routing);
+            let schedule = build_schedule(&spec, &routing, &plan);
+            prop_assert!(schedule.is_ok(), "{mode:?}: {:?}", schedule.err());
+            let schedule = schedule.unwrap();
+            prop_assert_eq!(schedule.topo_order.len(), schedule.units.len());
+        }
+    }
+
+    /// Theorem 3: total node-table state is within a small constant of
+    /// `min(Σ|T_s|, Σ|A_d|)`.
+    #[test]
+    fn theorem_3_state_bound(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let tables = NodeTables::build(&spec, &routing, &plan);
+        let tree_total: usize = routing.total_tree_size();
+        let agg_total: usize = aggregation_tree_sizes(&spec, &routing).values().sum();
+        let bound = 6 * tree_total.min(agg_total);
+        prop_assert!(
+            tables.total_entries() <= bound,
+            "state {} exceeds 6·min(Σ|T_s|={tree_total}, Σ|A_d|={agg_total})",
+            tables.total_entries()
+        );
+    }
+
+    /// Every per-edge solution is a minimum-byte cover: no worse than the
+    /// all-raw (multicast) or all-records (aggregation) trivial covers,
+    /// and exactly optimal vs brute force on small instances.
+    #[test]
+    fn per_edge_solutions_are_optimal(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let problems = build_edge_problems(&spec, &routing);
+        for p in problems.values() {
+            let sol = solve_edge(p, &spec);
+            let all_raw = p.sources.len() as u64 * 4;
+            let all_records: u64 = p
+                .groups
+                .iter()
+                .map(|g| u64::from(spec.function(g.destination).unwrap().partial_record_bytes()))
+                .sum();
+            prop_assert!(sol.cost_bytes <= all_raw);
+            prop_assert!(sol.cost_bytes <= all_records);
+
+            if p.sources.len() + p.groups.len() <= 14 {
+                // Brute-force the unscaled byte-weight instance.
+                let mut g = BipartiteGraph::new();
+                for _ in &p.sources {
+                    g.add_left(4);
+                }
+                for grp in &p.groups {
+                    g.add_right(u64::from(
+                        spec.function(grp.destination).unwrap().partial_record_bytes(),
+                    ));
+                }
+                for &(si, gi) in &p.pairs {
+                    g.add_edge(si, gi);
+                }
+                let best = brute_force_min_cover(&g);
+                prop_assert_eq!(sol.cost_bytes, best.weight, "edge {:?}", p.edge);
+            }
+        }
+    }
+
+    /// Plan construction is deterministic.
+    #[test]
+    fn plan_is_deterministic(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let a = GlobalPlan::build(&net, &spec, &routing);
+        let b = GlobalPlan::build(&net, &spec, &routing);
+        prop_assert_eq!(a.solutions(), b.solutions());
+    }
+
+    /// Repairs are rare even without the sharing guarantee, and the plan
+    /// always validates.
+    #[test]
+    fn spt_mode_plans_validate(cfg in workload_strategy()) {
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        prop_assert!(plan.validate(&spec, &routing).is_ok());
+        // Not asserting zero — just that the sweep terminates with a
+        // bounded number of patches.
+        prop_assert!(plan.repair_count() <= plan.solutions().len());
+    }
+
+    /// The distributed node automata reproduce the central runtime's
+    /// results on arbitrary workloads (the §3 tables are load-bearing).
+    #[test]
+    fn distributed_runtime_matches_central(cfg in workload_strategy()) {
+        use m2m_core::node_machine::run_distributed_round;
+        use m2m_core::runtime::execute_round;
+        use m2m_core::tables::NodeTables;
+        use std::collections::BTreeMap as Map;
+        let net = network();
+        let spec = generate_workload(&net, &cfg);
+        let readings: Map<m2m_graph::NodeId, f64> = net
+            .nodes()
+            .map(|v| (v, f64::from(v.0) * 0.37 - 11.0))
+            .collect();
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let central = execute_round(&net, &spec, &routing, &plan, &readings);
+        let tables = NodeTables::build(&spec, &routing, &plan);
+        let distributed = run_distributed_round(&spec, &tables, &readings);
+        prop_assert!(distributed.is_ok(), "{:?}", distributed.err());
+        let distributed = distributed.unwrap();
+        for (d, _) in spec.functions() {
+            prop_assert!(
+                (central.results[&d] - distributed.results[&d]).abs() < 1e-9,
+                "dest {d}: {} vs {}",
+                central.results[&d],
+                distributed.results[&d]
+            );
+        }
+    }
+}

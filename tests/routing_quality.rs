@@ -1,0 +1,93 @@
+//! ETX-aware routing: when links near the edge of the radio range are
+//! lossy, ETX-weighted multicast trees should beat hop-count trees on
+//! *expected* transmissions, without giving up plan correctness.
+
+use std::collections::BTreeMap;
+
+use m2m_core::plan::GlobalPlan;
+use m2m_core::runtime::execute_round;
+use m2m_core::schedule::build_schedule;
+use m2m_core::spec::AggregationSpec;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_graph::NodeId;
+use m2m_netsim::quality::weighted_routing;
+use m2m_netsim::{Deployment, LinkQuality, Network, RoutingMode, RoutingTables};
+
+/// Expected on-air energy of a schedule under per-link loss: each
+/// message's unicast cost is scaled by its link's ETX (retransmit until
+/// delivered).
+fn expected_energy_uj(
+    net: &Network,
+    schedule: &m2m_core::schedule::Schedule,
+    quality: &LinkQuality,
+) -> f64 {
+    schedule
+        .messages
+        .iter()
+        .map(|m| {
+            let body: u32 = m.units.iter().map(|&u| schedule.units[u].size_bytes).sum();
+            net.energy().unicast_cost_uj(body) * quality.etx(m.edge.0, m.edge.1)
+        })
+        .sum()
+}
+
+fn setup() -> (Network, AggregationSpec, LinkQuality) {
+    let net = Network::with_default_energy(Deployment::great_duck_island(33));
+    let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 15, 4));
+    let quality = LinkQuality::distance_based(&net, 0.6, 9);
+    (net, spec, quality)
+}
+
+#[test]
+fn etx_routing_reduces_expected_energy_under_loss() {
+    let (net, spec, quality) = setup();
+    let demands = spec.source_to_destinations();
+
+    let hop_routing = RoutingTables::build(&net, &demands, RoutingMode::ShortestPathTrees);
+    let hop_plan = GlobalPlan::build(&net, &spec, &hop_routing);
+    let hop_schedule = build_schedule(&spec, &hop_routing, &hop_plan).unwrap();
+
+    let etx_routing = weighted_routing(&net, &demands, &quality);
+    let etx_plan = GlobalPlan::build(&net, &spec, &etx_routing);
+    let etx_schedule = build_schedule(&spec, &etx_routing, &etx_plan).unwrap();
+
+    let hop_cost = expected_energy_uj(&net, &hop_schedule, &quality);
+    let etx_cost = expected_energy_uj(&net, &etx_schedule, &quality);
+    assert!(
+        etx_cost < hop_cost,
+        "ETX routing ({etx_cost:.0} µJ) should beat hop routing ({hop_cost:.0} µJ) \
+         under distance-based loss"
+    );
+}
+
+#[test]
+fn etx_routed_plans_stay_correct() {
+    let (net, spec, quality) = setup();
+    let routing = weighted_routing(&net, &spec.source_to_destinations(), &quality);
+    let plan = GlobalPlan::build(&net, &spec, &routing);
+    plan.validate(&spec, &routing).unwrap();
+    let readings: BTreeMap<NodeId, f64> = net
+        .nodes()
+        .map(|v| (v, f64::from(v.0 % 13) - 6.0))
+        .collect();
+    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    for (d, f) in spec.functions() {
+        let expected = f.reference_result(&readings);
+        assert!((round.results[&d] - expected).abs() < 1e-9, "dest {d}");
+    }
+}
+
+#[test]
+fn etx_routes_are_never_shorter_than_hop_routes() {
+    // Weighted routes may take extra hops to dodge lossy links, never
+    // fewer than the hop-optimal count.
+    let (net, spec, quality) = setup();
+    let demands = spec.source_to_destinations();
+    let etx_routing = weighted_routing(&net, &demands, &quality);
+    for (s, tree) in etx_routing.trees() {
+        for &d in tree.destinations() {
+            let hops = tree.path_to(d).unwrap().len() as u32 - 1;
+            assert!(hops >= net.hop_distance(s, d).unwrap());
+        }
+    }
+}
