@@ -1,0 +1,236 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses: benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing model: each benchmark is warmed up briefly, then `sample_size`
+//! samples are taken; each sample runs the closure enough times to fill
+//! a minimum measurement window, and the per-iteration time is the
+//! sample's mean. The reported statistic is the median across samples,
+//! with min/max as the spread. Results are printed to stdout in a
+//! stable, machine-greppable single-line format:
+//!
+//! ```text
+//! bench: <group>/<id> ... median <t> ns (min <t> ns, max <t> ns, N samples)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock window per sample; short enough to keep whole
+/// suites quick on small containers, long enough to swamp timer noise.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(4);
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--bench` is accepted and
+    /// ignored; the first free argument becomes a substring filter, as
+    /// with the real crate).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--profile-time" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.filter.as_deref(), id, 30, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| full_id.contains(needle))
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_one(None, &full, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Benchmarks a closure under a plain string id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(None, &full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iterations fill the window?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= SAMPLE_WINDOW || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            let scale = (SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0) as u64;
+            iters_per_sample = (iters_per_sample * scale.max(2)).min(1 << 20);
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(per_iter);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_size: usize, mut f: F) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("bench: {id} ... no samples recorded");
+        return;
+    }
+    b.samples_ns.sort_by(|x, y| x.total_cmp(y));
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let min = b.samples_ns[0];
+    let max = *b.samples_ns.last().expect("nonempty");
+    println!(
+        "bench: {id} ... median {} (min {}, max {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        b.samples_ns.len()
+    );
+}
+
+/// Formats nanoseconds with a human-friendly unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,10 +1,14 @@
 //! Criterion micro-benchmarks for the optimizer kernels: the weighted
-//! bipartite vertex-cover solve (the paper's single-edge optimization) and
-//! full global plan construction on the Great Duck Island layout.
+//! bipartite vertex-cover solve (the paper's single-edge optimization),
+//! full global plan construction on the Great Duck Island layout, and the
+//! serial-vs-parallel thread sweep on the largest scaled-series
+//! deployment (see also `src/bin/bench_optimizer.rs` for the
+//! machine-readable variant).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use m2m_core::memo::SolveCache;
 use m2m_core::plan::GlobalPlan;
 use m2m_core::workload::{generate_workload, WorkloadConfig};
 use m2m_graph::bipartite::BipartiteGraph;
@@ -66,6 +70,35 @@ fn bench_global_plan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel plan builds on the largest scaled-series
+/// deployment (Figure 6's 250-node point). The plans are bit-identical
+/// at every thread count; only wall-clock may differ.
+fn bench_parallel_build(c: &mut Criterion) {
+    let deployment = Deployment::scaled_series(&[250], 7).remove(0);
+    let network = Network::with_default_energy(deployment);
+    let n = network.node_count();
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(n / 4, 20, 7));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let mut group = c.benchmark_group("plan_build_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(GlobalPlan::build_with_threads(&network, &spec, &routing, t)))
+        });
+    }
+    // Corollary-1 memo: every rebuild after the first is all cache hits.
+    let mut cache = SolveCache::new();
+    let _warm = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+    group.bench_function("memoized_rebuild", |b| {
+        b.iter(|| black_box(GlobalPlan::build_cached(&network, &spec, &routing, &mut cache)))
+    });
+    group.finish();
+}
+
 fn bench_routing(c: &mut Criterion) {
     let network = Network::with_default_energy(Deployment::great_duck_island(1));
     let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
@@ -81,5 +114,11 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vertex_cover, bench_global_plan, bench_routing);
+criterion_group!(
+    benches,
+    bench_vertex_cover,
+    bench_global_plan,
+    bench_parallel_build,
+    bench_routing
+);
 criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Machine-readable optimizer benchmark.
+//!
+//! Builds the global plan for the largest scaled-series deployment
+//! (Figure 6's 250-node point) at several worker counts, verifies that
+//! every parallel build is bit-identical to the serial one, and writes
+//! the medians to `BENCH_optimizer.json` so regressions are diffable in
+//! CI and across machines. Also measures the Corollary-1 memoized
+//! rebuild ([`m2m_core::memo::SolveCache`]).
+//!
+//! Usage: `cargo run --release -p m2m-bench --bin bench_optimizer \
+//!         [output.json] [samples]`
+
+use std::time::Instant;
+
+use m2m_core::memo::SolveCache;
+use m2m_core::plan::GlobalPlan;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_optimizer.json".to_string());
+    let samples: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+
+    let deployment = Deployment::scaled_series(&[250], 7).remove(0);
+    let network = Network::with_default_energy(deployment);
+    let n = network.node_count();
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(n / 4, 20, 7));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+
+    let reference = GlobalPlan::build_with_threads(&network, &spec, &routing, 1);
+    let edge_count = reference.problems().len();
+    eprintln!(
+        "deployment: {n} nodes, {} destinations, {edge_count} solved edges",
+        spec.destinations().count()
+    );
+
+    let mut rows = Vec::new();
+    let mut serial_median = 0.0f64;
+    for &threads in &THREAD_COUNTS {
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let plan = GlobalPlan::build_with_threads(&network, &spec, &routing, threads);
+            times.push(t0.elapsed().as_secs_f64() * 1e9);
+            assert_eq!(
+                plan.solutions(),
+                reference.solutions(),
+                "parallel build diverged at {threads} threads"
+            );
+        }
+        let med = median_ns(&mut times);
+        if threads == 1 {
+            serial_median = med;
+        }
+        let speedup = serial_median / med;
+        eprintln!("threads {threads}: median {:.2} ms (speedup {speedup:.2}x)", med / 1e6);
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"median_ns\": {med:.0}, \"speedup_vs_serial\": {speedup:.3} }}"
+        ));
+    }
+
+    // Memoized rebuild: first build fills the cache, rebuilds are hits.
+    let mut cache = SolveCache::new();
+    let warm_plan = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+    assert_eq!(warm_plan.solutions(), reference.solutions());
+    let mut warm_times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let plan = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+        warm_times.push(t0.elapsed().as_secs_f64() * 1e9);
+        assert_eq!(plan.solutions(), reference.solutions());
+    }
+    let warm_median = median_ns(&mut warm_times);
+    eprintln!(
+        "memoized rebuild: median {:.2} ms ({} hits / {} misses)",
+        warm_median / 1e6,
+        cache.hits(),
+        cache.misses()
+    );
+
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"plan_build\",\n  \"deployment\": \"scaled_series_250\",\n  \
+         \"nodes\": {n},\n  \"destinations\": {dests},\n  \"edge_count\": {edge_count},\n  \
+         \"samples\": {samples},\n  \"available_parallelism\": {parallelism},\n  \
+         \"builds\": [\n{rows}\n  ],\n  \
+         \"memoized_rebuild\": {{ \"median_ns\": {warm_median:.0}, \"hits\": {hits}, \"misses\": {misses} }}\n}}\n",
+        dests = spec.destinations().count(),
+        rows = rows.join(",\n"),
+        hits = cache.hits(),
+        misses = cache.misses(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

@@ -16,7 +16,10 @@ use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingMode, RoutingTables};
 
 use crate::agg::AggregateFunction;
-use crate::edge_opt::{build_edge_problems, solve_edge, DirectedEdge, EdgeProblem, EdgeSolution};
+use crate::edge_opt::{
+    build_edge_problems, solve_edge_batch, DirectedEdge, EdgeProblem, EdgeSolution,
+};
+use crate::parallel;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
 
@@ -99,10 +102,11 @@ impl PlanMaintainer {
     pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
         let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
         let problems = build_edge_problems(&spec, &routing);
-        let base_solutions: BTreeMap<DirectedEdge, EdgeSolution> = problems
-            .iter()
-            .map(|(&e, p)| (e, solve_edge(p, &spec)))
-            .collect();
+        let entries: Vec<(DirectedEdge, &EdgeProblem)> =
+            problems.iter().map(|(&e, p)| (e, p)).collect();
+        let solved = solve_edge_batch(&entries, &spec, parallel::max_threads());
+        let base_solutions: BTreeMap<DirectedEdge, EdgeSolution> =
+            entries.iter().map(|&(e, _)| e).zip(solved).collect();
         let plan = GlobalPlan::from_solutions(
             &spec,
             &routing,
@@ -202,11 +206,16 @@ impl PlanMaintainer {
     }
 
     /// Shared Corollary 1 machinery: diff, reuse, re-solve, reassemble.
+    /// The re-solve set — the edges whose problems actually changed — is
+    /// fanned out across worker threads; Theorem 1 makes the solves
+    /// independent and ordered collection keeps the plan bit-identical to
+    /// a serial re-solve.
     fn install(&mut self, new_routing: RoutingTables) -> UpdateStats {
         let new_problems = build_edge_problems(&self.spec, &new_routing);
 
         let mut stats = UpdateStats::default();
         let mut new_solutions: BTreeMap<DirectedEdge, EdgeSolution> = BTreeMap::new();
+        let mut to_solve: Vec<(DirectedEdge, &EdgeProblem)> = Vec::new();
         for (&edge, problem) in &new_problems {
             match self.problems.get(&edge) {
                 Some(old) if old == problem => {
@@ -218,9 +227,13 @@ impl PlanMaintainer {
                     if existing.is_none() {
                         stats.edges_added_or_removed += 1;
                     }
-                    new_solutions.insert(edge, solve_edge(problem, &self.spec));
+                    to_solve.push((edge, problem));
                 }
             }
+        }
+        let solved = solve_edge_batch(&to_solve, &self.spec, parallel::max_threads());
+        for (&(edge, _), solution) in to_solve.iter().zip(solved) {
+            new_solutions.insert(edge, solution);
         }
         stats.edges_added_or_removed += self
             .problems

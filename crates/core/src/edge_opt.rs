@@ -34,14 +34,16 @@
 //! source-minimal min cut, making solutions deterministic and globally
 //! consistent.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use m2m_graph::bipartite::BipartiteGraph;
-use m2m_graph::vertex_cover::min_weight_vertex_cover;
+use m2m_graph::vertex_cover::{min_weight_vertex_cover_with, CoverScratch};
 use m2m_graph::NodeId;
 use m2m_netsim::RoutingTables;
 
 use crate::agg::RAW_VALUE_BYTES;
+use crate::parallel::parallel_map_with;
 use crate::spec::AggregationSpec;
 
 /// A directed physical edge `tail → head`.
@@ -54,7 +56,14 @@ pub const WEIGHT_SCALE: u64 = 1 << 20;
 /// A continuation group: a destination plus the exact remaining route of
 /// its units after the edge's head. Units in one group stay together all
 /// the way to the destination and may safely share one partial record.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// The suffix is a shared slice: every edge along a route stores a *view*
+/// of the same interned path tail, so cloning a group (which the
+/// optimizer does once per chosen record, per problem snapshot, and per
+/// Corollary-1 reuse) is a reference-count bump instead of a path copy.
+/// `Ord`/`Eq`/`Hash` all delegate to the slice contents, so interning is
+/// invisible to every map and comparison.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AggGroup {
     /// The destination this record is for.
     pub destination: NodeId,
@@ -62,15 +71,17 @@ pub struct AggGroup {
     /// of both endpoints (`suffix[0]` = head; `suffix.last()` =
     /// destination). A one-element suffix means the head *is* the
     /// destination.
-    pub suffix: Vec<NodeId>,
+    pub suffix: Arc<[NodeId]>,
 }
 
 /// The inputs to one single-edge optimization: `(S_e, D_e, ∼_e)` with
 /// destinations refined into continuation groups.
 ///
 /// Equality compares the full problem inputs; Corollary 1 keys on it —
-/// an edge whose problem is unchanged keeps its solution verbatim.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// an edge whose problem is unchanged keeps its solution verbatim, both
+/// across incremental updates ([`crate::dynamics`]) and across whole plan
+/// builds ([`crate::memo::SolveCache`], which hashes the problem).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EdgeProblem {
     /// The directed edge `i → j`.
     pub edge: DirectedEdge,
@@ -109,7 +120,7 @@ impl EdgeProblem {
 }
 
 /// The optimizer's decision for one edge.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct EdgeSolution {
     /// The directed edge.
     pub edge: DirectedEdge,
@@ -151,12 +162,42 @@ fn destination_priority(d: NodeId) -> u64 {
     2 * u64::from(d.0) + 2
 }
 
+/// Reusable workspace for [`solve_edge_with`]: the bipartite graph and
+/// the min-cut solver's flow network. One per worker thread; a plan build
+/// solving thousands of edges through one scratch performs no per-solve
+/// graph allocations in the steady state.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSolveScratch {
+    graph: BipartiteGraph,
+    cover: CoverScratch,
+}
+
+impl EdgeSolveScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Solves one single-edge problem exactly.
 ///
 /// The returned solution is the minimum-byte choice; ties are broken by
 /// the consistent per-node priorities and the canonical min cut.
 pub fn solve_edge(problem: &EdgeProblem, spec: &AggregationSpec) -> EdgeSolution {
-    let mut graph = BipartiteGraph::new();
+    solve_edge_with(&mut EdgeSolveScratch::new(), problem, spec)
+}
+
+/// [`solve_edge`] with caller-provided scratch buffers. Output is
+/// identical to a fresh-workspace solve for identical inputs — the
+/// scratch is fully reset per call, so solutions stay deterministic no
+/// matter which worker thread (and solve history) a problem lands on.
+pub fn solve_edge_with(
+    scratch: &mut EdgeSolveScratch,
+    problem: &EdgeProblem,
+    spec: &AggregationSpec,
+) -> EdgeSolution {
+    let graph = &mut scratch.graph;
+    graph.clear();
     for &s in &problem.sources {
         graph.add_left(u64::from(RAW_VALUE_BYTES) * WEIGHT_SCALE + source_priority(s));
     }
@@ -168,9 +209,11 @@ pub fn solve_edge(problem: &EdgeProblem, spec: &AggregationSpec) -> EdgeSolution
         graph.add_right(u64::from(bytes) * WEIGHT_SCALE + destination_priority(g.destination));
     }
     for &(si, gi) in &problem.pairs {
-        graph.add_edge(si, gi);
+        // Pairs are sorted + deduplicated by construction, so skip the
+        // linear duplicate scan of `add_edge`.
+        graph.add_edge_unchecked(si, gi);
     }
-    let cover = min_weight_vertex_cover(&graph);
+    let cover = min_weight_vertex_cover_with(&mut scratch.cover, graph);
     let raw: Vec<NodeId> = cover.left.iter().map(|&i| problem.sources[i]).collect();
     let agg: Vec<AggGroup> = cover.right.iter().map(|&i| problem.groups[i].clone()).collect();
     let cost_bytes = raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
@@ -194,6 +237,28 @@ pub fn solve_edge(problem: &EdgeProblem, spec: &AggregationSpec) -> EdgeSolution
     }
 }
 
+/// Solves a batch of single-edge problems on up to `threads` workers,
+/// returning solutions in entry order.
+///
+/// Theorem 1 is the license for the fan-out: each problem is solved
+/// independently and composes into the global optimum, so scheduling is
+/// free to be arbitrary as long as collection is ordered — which
+/// [`parallel_map_with`] guarantees. The output is bit-identical to a
+/// serial `entries.iter().map(|(_, p)| solve_edge(p, spec))` at any
+/// thread count.
+pub fn solve_edge_batch(
+    entries: &[(DirectedEdge, &EdgeProblem)],
+    spec: &AggregationSpec,
+    threads: usize,
+) -> Vec<EdgeSolution> {
+    parallel_map_with(
+        entries,
+        threads,
+        EdgeSolveScratch::new,
+        |scratch, &(_, problem)| solve_edge_with(scratch, problem, spec),
+    )
+}
+
 /// Builds the per-edge optimization problems for a whole workload: walks
 /// every source→destination multicast path and registers the source, the
 /// continuation group, and the `∼_e` pair on every edge of the path.
@@ -208,6 +273,10 @@ pub fn build_edge_problems(
         pairs: Vec<(usize, usize)>,
     }
     let mut acc: BTreeMap<DirectedEdge, Builder> = BTreeMap::new();
+    // Suffix interner: routes that converge share their remaining path,
+    // and one route of length L contributes L nested suffixes — interning
+    // collapses all equal tails to one shared allocation.
+    let mut suffixes: HashSet<Arc<[NodeId]>> = HashSet::new();
 
     for (s, tree) in routing.trees() {
         for &d in tree.destinations() {
@@ -222,7 +291,15 @@ pub fn build_edge_problems(
                 .expect("tree spans its destinations by construction");
             for (idx, hop) in path.windows(2).enumerate() {
                 let edge = (hop[0], hop[1]);
-                let suffix = path[idx + 1..].to_vec();
+                let tail = &path[idx + 1..];
+                let suffix: Arc<[NodeId]> = match suffixes.get(tail) {
+                    Some(shared) => Arc::clone(shared),
+                    None => {
+                        let fresh: Arc<[NodeId]> = tail.into();
+                        suffixes.insert(Arc::clone(&fresh));
+                        fresh
+                    }
+                };
                 let b = acc.entry(edge).or_insert_with(|| Builder {
                     sources: BTreeMap::new(),
                     groups: BTreeMap::new(),
@@ -302,7 +379,7 @@ mod tests {
             destination: dest,
             // All destinations share the continuation via node 5 (the "j"
             // of Figure 1(C)); exact shape is irrelevant to the solve.
-            suffix: vec![NodeId(5), dest],
+            suffix: vec![NodeId(5), dest].into(),
         };
         let problem = EdgeProblem {
             edge: (NodeId(4), NodeId(5)),
@@ -363,7 +440,7 @@ mod tests {
         let mut incoherent = problem.clone();
         incoherent.groups.push(AggGroup {
             destination: NodeId(10),
-            suffix: vec![NodeId(6), NodeId(10)],
+            suffix: vec![NodeId(6), NodeId(10)].into(),
         });
         incoherent.pairs.push((3, 3));
         assert!(!incoherent.is_sharing_coherent());

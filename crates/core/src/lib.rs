@@ -40,6 +40,11 @@
 //!   policies (§3, Figure 7);
 //! * [`dynamics`] — incremental re-optimization after workload/route
 //!   changes (Corollary 1), priced by [`dissemination`];
+//! * [`parallel`] — the scoped worker pool fanning per-edge solves across
+//!   threads with deterministic, order-preserving collection (Theorem 1
+//!   makes the fan-out safe);
+//! * [`memo`] — cross-build solve memoization ([`memo::SolveCache`]),
+//!   Corollary 1 applied across independent plan builds;
 //! * [`milestones`] — milestone routing over virtual edges (§3);
 //! * [`resilience`] — slotted execution under transient link failures,
 //!   plus critical-link (bridge) analysis (§3);
@@ -93,10 +98,12 @@ pub mod campaign;
 pub mod dissemination;
 pub mod dynamics;
 pub mod edge_opt;
+pub mod memo;
 pub mod metrics;
 pub mod milestones;
 pub mod multi;
 pub mod node_machine;
+pub mod parallel;
 pub mod plan;
 pub mod redundancy;
 pub mod resilience;

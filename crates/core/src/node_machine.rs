@@ -230,7 +230,7 @@ impl NodeMachine {
                 (self.id, group.suffix[1]),
                 AggGroup {
                     destination: group.destination,
-                    suffix: group.suffix[1..].to_vec(),
+                    suffix: group.suffix[1..].into(),
                 },
             )
         };

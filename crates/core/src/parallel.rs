@@ -1,0 +1,157 @@
+//! A small scoped worker pool for deterministic fan-out.
+//!
+//! Theorem 1 makes the plan optimizer embarrassingly parallel: every
+//! single-edge problem is solved independently and the global plan is just
+//! their union, so the per-edge solves can be fanned out across threads
+//! with **no** effect on the result — provided the results are collected
+//! back in input order, which [`parallel_map_with`] guarantees by tagging
+//! each result with its item index. The workspace bans external
+//! dependencies, so this is `std::thread::scope` plus an atomic work
+//! counter rather than rayon; for the coarse-grained work here (one
+//! min-cut per item) that is all the machinery required.
+//!
+//! Worker count defaults to the machine's available parallelism and can be
+//! pinned with the `M2M_THREADS` environment variable (useful for the
+//! serial-vs-parallel benchmarks and for reproducing single-thread runs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "M2M_THREADS";
+
+/// The worker count used by plan builds when none is given explicitly:
+/// `M2M_THREADS` if set to a positive integer, otherwise the machine's
+/// available parallelism, otherwise 1.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, each with its own
+/// scratch state from `init`, returning results in item order.
+///
+/// Determinism: the output is exactly
+/// `items.iter().map(|x| f(&mut init(), x)).collect()` regardless of the
+/// thread count or how the OS schedules the workers — items are claimed
+/// from a shared atomic counter, but every result is placed back at its
+/// item's index. `f` must be a pure function of `(scratch-reset-state,
+/// item)` for this to hold; all solvers routed through here reset their
+/// scratch fully per call.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        let mut scratch = init();
+        return items.iter().map(|x| f(&mut scratch, x)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items.len() {
+                            break;
+                        }
+                        out.push((idx, f(&mut scratch, &items[idx])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in item order. `#![forbid(unsafe_code)]` rules out
+    // writing into uninitialized slots, so go through Option.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for chunk in &mut per_worker {
+        for (idx, r) in chunk.drain(..) {
+            debug_assert!(slots[idx].is_none(), "item {idx} claimed twice");
+            slots[idx] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map_with(&items, threads, || (), |(), &x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(&none, 8, || (), |(), &x| x).is_empty());
+        assert_eq!(parallel_map_with(&[5u32], 8, || (), |(), &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn scratch_state_is_per_worker() {
+        // Each worker counts its own items; totals must sum to the input
+        // length even though workers race on the claim counter.
+        let items: Vec<u32> = (0..100).collect();
+        let results = parallel_map_with(
+            &items,
+            4,
+            || 0usize,
+            |count, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(results.len(), 100);
+        // Per-worker counts are contiguous 1..=k sequences; the global
+        // result order still matches the input order.
+        for (i, &(x, _)) in results.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn zero_threads_behaves_like_one() {
+        let items = [1u8, 2, 3];
+        assert_eq!(
+            parallel_map_with(&items, 0, || (), |(), &x| x * 2),
+            vec![2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -25,8 +25,10 @@ use m2m_netsim::{Network, RoutingTables};
 
 use crate::agg::RAW_VALUE_BYTES;
 use crate::edge_opt::{
-    build_edge_problems, solve_edge, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
+    build_edge_problems, solve_edge_batch, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
 };
+use crate::memo::SolveCache;
+use crate::parallel;
 use crate::spec::AggregationSpec;
 
 /// The assembled network-wide many-to-many aggregation plan.
@@ -39,8 +41,21 @@ pub struct GlobalPlan {
 
 impl GlobalPlan {
     /// Builds the optimal plan: solves every single-edge problem
-    /// independently, then runs the consistency sweep.
+    /// independently — fanned out across worker threads, see
+    /// [`crate::parallel`] — then runs the consistency sweep. The result
+    /// is bit-identical at every thread count (Theorem 1 plus ordered
+    /// collection); `M2M_THREADS=1` reproduces a serial build exactly.
     pub fn build(network: &Network, spec: &AggregationSpec, routing: &RoutingTables) -> Self {
+        Self::build_with_threads(network, spec, routing, parallel::max_threads())
+    }
+
+    /// [`GlobalPlan::build`] with an explicit worker count.
+    pub fn build_with_threads(
+        network: &Network,
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        threads: usize,
+    ) -> Self {
         debug_assert!(
             routing
                 .directed_edges()
@@ -48,18 +63,60 @@ impl GlobalPlan {
                 .all(|&(a, b)| network.graph().has_edge(a, b)),
             "every multicast edge must be a radio link"
         );
-        Self::build_unchecked(spec, routing)
+        Self::build_unchecked_with_threads(spec, routing, threads)
     }
 
     /// Like [`GlobalPlan::build`] but without checking that the routing
     /// edges are radio links — used for milestone routing, whose virtual
     /// edges span multiple physical hops.
     pub fn build_unchecked(spec: &AggregationSpec, routing: &RoutingTables) -> Self {
+        Self::build_unchecked_with_threads(spec, routing, parallel::max_threads())
+    }
+
+    /// [`GlobalPlan::build_unchecked`] with an explicit worker count.
+    pub fn build_unchecked_with_threads(
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        threads: usize,
+    ) -> Self {
         let problems = build_edge_problems(spec, routing);
-        let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = problems
+        let entries: Vec<(DirectedEdge, &EdgeProblem)> =
+            problems.iter().map(|(&e, p)| (e, p)).collect();
+        let solved = solve_edge_batch(&entries, spec, threads);
+        let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = entries
             .iter()
-            .map(|(&e, p)| (e, solve_edge(p, spec)))
+            .map(|&(e, _)| e)
+            .zip(solved)
             .collect();
+        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        GlobalPlan {
+            problems,
+            solutions,
+            repairs,
+        }
+    }
+
+    /// [`GlobalPlan::build`] through a [`SolveCache`]: edges whose
+    /// single-edge problem was already solved in an earlier build (same
+    /// spec record sizes) reuse that solution verbatim — Corollary 1
+    /// applied *across* plan builds. Misses are fanned out in parallel.
+    /// The resulting plan is bit-identical to [`GlobalPlan::build`].
+    pub fn build_cached(
+        network: &Network,
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        cache: &mut SolveCache,
+    ) -> Self {
+        debug_assert!(
+            routing
+                .directed_edges()
+                .iter()
+                .all(|&(a, b)| network.graph().has_edge(a, b)),
+            "every multicast edge must be a radio link"
+        );
+        let problems = build_edge_problems(spec, routing);
+        let mut solutions =
+            cache.solve_all(&problems, spec, parallel::max_threads());
         let repairs = repair_availability(spec, routing, &problems, &mut solutions);
         GlobalPlan {
             problems,
@@ -155,7 +212,7 @@ impl GlobalPlan {
                         .ok_or_else(|| format!("no solution for edge {edge:?}"))?;
                     let group = AggGroup {
                         destination: d,
-                        suffix: path[idx + 1..].to_vec(),
+                        suffix: path[idx + 1..].into(),
                     };
                     if raw {
                         if sol.transmits_raw(s) {

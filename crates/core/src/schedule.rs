@@ -257,7 +257,7 @@ pub fn build_schedule(
                 let edge = (hop[0], hop[1]);
                 let group = AggGroup {
                     destination: d,
-                    suffix: path[idx + 1..].to_vec(),
+                    suffix: path[idx + 1..].into(),
                 };
                 let cur = if raw {
                     if let Some(&u) = unit_index.get(&(edge, UnitContent::Raw(s))) {

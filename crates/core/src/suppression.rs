@@ -163,7 +163,7 @@ impl SuppressionSim {
                     let sol = plan.solution(edge).expect("plan covers edge");
                     let group = AggGroup {
                         destination: d,
-                        suffix: path[idx + 1..].to_vec(),
+                        suffix: path[idx + 1..].into(),
                     };
                     if raw && sol.transmits_raw(s) {
                         raw_edges.push(edge);

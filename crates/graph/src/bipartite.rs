@@ -50,6 +50,27 @@ impl BipartiteGraph {
         }
     }
 
+    /// Adds the edge `(u, v)` without scanning for duplicates — for
+    /// callers whose pairs are already deduplicated (the linear
+    /// `contains` check in [`BipartiteGraph::add_edge`] is quadratic over
+    /// a whole edge list). A duplicate inserted here would not change any
+    /// cover's validity or weight, but would inflate `edges().len()`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added.
+    pub fn add_edge_unchecked(&mut self, u: usize, v: usize) {
+        assert!(u < self.left_weights.len(), "left vertex {u} out of range");
+        assert!(v < self.right_weights.len(), "right vertex {v} out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Removes all vertices and edges, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.left_weights.clear();
+        self.right_weights.clear();
+        self.edges.clear();
+    }
+
     /// Number of left vertices `|U|`.
     #[inline]
     pub fn left_count(&self) -> usize {

@@ -5,6 +5,13 @@
 //! paper cites standard network-flow techniques [Ahuja–Magnanti–Orlin];
 //! Dinic's algorithm is the usual choice and runs in `O(E·√V)` on the unit
 //! networks that arise here.
+//!
+//! The optimizer solves one small flow problem per multicast edge —
+//! thousands per plan build — so the network is built to be **reused**:
+//! [`FlowNetwork::reset`] rewinds an instance to an empty `n`-vertex
+//! network while keeping every internal allocation (arc pool, adjacency
+//! lists, BFS/DFS scratch), and the traversal buffers live in the struct
+//! so repeated solves allocate nothing in the steady state.
 
 use std::collections::VecDeque;
 
@@ -21,30 +28,53 @@ struct Arc {
 }
 
 /// A flow network under construction / after a max-flow run.
-#[derive(Clone, Debug)]
+///
+/// Reusable: [`FlowNetwork::reset`] clears the network for a new problem
+/// without releasing buffers.
+#[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
     arcs: Vec<Arc>,
     head: Vec<Vec<usize>>, // per-vertex arc indices
+    /// Number of live vertices (`head[..n]` are valid). `head` itself only
+    /// ever grows so its inner `Vec`s keep their capacity across resets.
+    n: usize,
+    // Traversal scratch, reused across max_flow/reachability calls.
+    level: Vec<i32>,
+    iter: Vec<usize>,
+    queue: VecDeque<usize>,
 }
 
 impl FlowNetwork {
     /// Creates a network with `n` vertices and no arcs.
     pub fn new(n: usize) -> Self {
-        FlowNetwork {
-            arcs: Vec::new(),
-            head: vec![Vec::new(); n],
+        let mut net = FlowNetwork::default();
+        net.reset(n);
+        net
+    }
+
+    /// Rewinds to an empty network with `n` vertices, keeping all internal
+    /// allocations for reuse.
+    pub fn reset(&mut self, n: usize) {
+        self.arcs.clear();
+        let live = n.min(self.head.len());
+        for adj in self.head.iter_mut().take(live) {
+            adj.clear();
         }
+        if self.head.len() < n {
+            self.head.resize_with(n, Vec::new);
+        }
+        self.n = n;
     }
 
     /// Number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.head.len()
+        self.n
     }
 
     /// Adds a directed arc `from → to` with the given capacity and returns
     /// its handle (usable with [`FlowNetwork::flow_on`]).
     pub fn add_arc(&mut self, from: usize, to: usize, cap: u64) -> usize {
-        assert!(from < self.head.len() && to < self.head.len(), "arc endpoint out of range");
+        assert!(from < self.n && to < self.n, "arc endpoint out of range");
         let a = self.arcs.len();
         let b = a + 1;
         self.arcs.push(Arc { to, cap, rev: b });
@@ -61,31 +91,27 @@ impl FlowNetwork {
         self.arcs[self.arcs[arc].rev].cap
     }
 
-    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
-        let mut level = vec![-1i32; self.head.len()];
-        let mut q = VecDeque::new();
-        level[s] = 0;
-        q.push_back(s);
-        while let Some(u) = q.pop_front() {
-            for &ai in &self.head[u] {
-                let arc = &self.arcs[ai];
-                if arc.cap > 0 && level[arc.to] < 0 {
-                    level[arc.to] = level[u] + 1;
-                    q.push_back(arc.to);
+    /// Fills `self.level` with BFS levels; true if `t` is reachable.
+    fn bfs_levels(&mut self, s: usize, t: usize) -> bool {
+        self.level.clear();
+        self.level.resize(self.n, -1);
+        self.queue.clear();
+        self.level[s] = 0;
+        self.queue.push_back(s);
+        while let Some(u) = self.queue.pop_front() {
+            for k in 0..self.head[u].len() {
+                let ai = self.head[u][k];
+                let (to, cap) = (self.arcs[ai].to, self.arcs[ai].cap);
+                if cap > 0 && self.level[to] < 0 {
+                    self.level[to] = self.level[u] + 1;
+                    self.queue.push_back(to);
                 }
             }
         }
-        (level[t] >= 0).then_some(level)
+        self.level[t] >= 0
     }
 
-    fn dfs_push(
-        &mut self,
-        u: usize,
-        t: usize,
-        pushed: u64,
-        level: &[i32],
-        iter: &mut [usize],
-    ) -> u64 {
+    fn dfs_push(&mut self, u: usize, t: usize, pushed: u64, level: &[i32], iter: &mut [usize]) -> u64 {
         if u == t {
             return pushed;
         }
@@ -113,8 +139,19 @@ impl FlowNetwork {
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
         let mut total = 0u64;
-        while let Some(level) = self.bfs_levels(s, t) {
-            let mut iter = vec![0usize; self.head.len()];
+        // The scratch vectors are moved out for the duration of the phase
+        // so the recursive DFS can borrow `self` mutably alongside them.
+        let mut level = std::mem::take(&mut self.level);
+        let mut iter = std::mem::take(&mut self.iter);
+        loop {
+            self.level = level;
+            if !self.bfs_levels(s, t) {
+                level = std::mem::take(&mut self.level);
+                break;
+            }
+            level = std::mem::take(&mut self.level);
+            iter.clear();
+            iter.resize(self.n, 0);
             loop {
                 let pushed = self.dfs_push(s, t, INF, &level, &mut iter);
                 if pushed == 0 {
@@ -123,28 +160,40 @@ impl FlowNetwork {
                 total += pushed;
             }
         }
+        self.level = level;
+        self.iter = iter;
         total
     }
 
-    /// Vertices reachable from `s` in the residual graph. After
-    /// [`FlowNetwork::max_flow`], this is the source side of the *canonical*
-    /// (source-minimal) minimum cut — a deterministic choice among all
-    /// minimum cuts, which is what makes the extracted vertex covers
-    /// reproducible.
-    pub fn residual_reachable(&self, s: usize) -> Vec<bool> {
-        let mut seen = vec![false; self.head.len()];
-        let mut q = VecDeque::new();
+    /// Vertices reachable from `s` in the residual graph, written into
+    /// `seen` (resized to the vertex count). After
+    /// [`FlowNetwork::max_flow`], this is the source side of the
+    /// *canonical* (source-minimal) minimum cut — a deterministic choice
+    /// among all minimum cuts, which is what makes the extracted vertex
+    /// covers reproducible.
+    pub fn residual_reachable_into(&mut self, s: usize, seen: &mut Vec<bool>) {
+        seen.clear();
+        seen.resize(self.n, false);
+        self.queue.clear();
         seen[s] = true;
-        q.push_back(s);
-        while let Some(u) = q.pop_front() {
-            for &ai in &self.head[u] {
-                let arc = &self.arcs[ai];
-                if arc.cap > 0 && !seen[arc.to] {
-                    seen[arc.to] = true;
-                    q.push_back(arc.to);
+        self.queue.push_back(s);
+        while let Some(u) = self.queue.pop_front() {
+            for k in 0..self.head[u].len() {
+                let ai = self.head[u][k];
+                let (to, cap) = (self.arcs[ai].to, self.arcs[ai].cap);
+                if cap > 0 && !seen[to] {
+                    seen[to] = true;
+                    self.queue.push_back(to);
                 }
             }
         }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`FlowNetwork::residual_reachable_into`].
+    pub fn residual_reachable(&mut self, s: usize) -> Vec<bool> {
+        let mut seen = Vec::new();
+        self.residual_reachable_into(s, &mut seen);
         seen
     }
 }
@@ -222,5 +271,24 @@ mod tests {
         assert!(reach[1] && reach[2]);
         assert!(reach[3] && reach[4]);
         assert!(!reach[5]);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_solves_correctly() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 2);
+        net.add_arc(1, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 2);
+        // Shrink: new, unrelated network on 3 vertices.
+        net.reset(3);
+        assert_eq!(net.vertex_count(), 3);
+        net.add_arc(0, 1, 9);
+        net.add_arc(1, 2, 4);
+        assert_eq!(net.max_flow(0, 2), 4);
+        // Grow again.
+        net.reset(6);
+        net.add_arc(0, 5, 11);
+        assert_eq!(net.max_flow(0, 5), 11);
+        assert_eq!(net.max_flow(0, 5), 0, "capacities stay consumed until reset");
     }
 }

@@ -55,6 +55,27 @@ impl CoverSolution {
     }
 }
 
+/// Reusable workspace for [`min_weight_vertex_cover_with`].
+///
+/// The plan optimizer solves one cover problem per multicast edge —
+/// thousands per plan build. Holding the flow network and reachability
+/// buffer in a scratch that lives across calls (one per worker thread)
+/// removes every per-solve heap allocation except the returned cover's
+/// two index vectors.
+#[derive(Clone, Debug, Default)]
+pub struct CoverScratch {
+    net: FlowNetwork,
+    reach: Vec<bool>,
+}
+
+impl CoverScratch {
+    /// Creates an empty workspace; buffers grow to fit the largest
+    /// instance solved through it and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the minimum-weight vertex cover of a bipartite graph.
 ///
 /// The result is deterministic: among all minimum covers it returns the one
@@ -80,12 +101,24 @@ impl CoverSolution {
 /// assert!(cover.is_valid_cover(&g));
 /// ```
 pub fn min_weight_vertex_cover(graph: &BipartiteGraph) -> CoverSolution {
+    min_weight_vertex_cover_with(&mut CoverScratch::new(), graph)
+}
+
+/// [`min_weight_vertex_cover`] with caller-provided scratch buffers.
+///
+/// Identical output for identical input regardless of what the scratch
+/// was previously used for — the workspace is fully reset per call.
+pub fn min_weight_vertex_cover_with(
+    scratch: &mut CoverScratch,
+    graph: &BipartiteGraph,
+) -> CoverSolution {
     let nl = graph.left_count();
     let nr = graph.right_count();
     // Vertex layout: 0 = source, 1..=nl = U, nl+1..=nl+nr = V, last = sink.
     let s = 0;
     let t = nl + nr + 1;
-    let mut net = FlowNetwork::new(nl + nr + 2);
+    let net = &mut scratch.net;
+    net.reset(nl + nr + 2);
     for u in 0..nl {
         net.add_arc(s, 1 + u, graph.left_weight(u));
     }
@@ -96,7 +129,8 @@ pub fn min_weight_vertex_cover(graph: &BipartiteGraph) -> CoverSolution {
         net.add_arc(1 + u, 1 + nl + v, INF);
     }
     let cut = net.max_flow(s, t);
-    let reach = net.residual_reachable(s);
+    net.residual_reachable_into(s, &mut scratch.reach);
+    let reach = &scratch.reach;
     let left: Vec<usize> = (0..nl).filter(|&u| !reach[1 + u]).collect();
     let right: Vec<usize> = (0..nr).filter(|&v| reach[1 + nl + v]).collect();
     let solution = CoverSolution {
@@ -254,6 +288,29 @@ mod tests {
         let sol = min_weight_vertex_cover(&g);
         assert_eq!(sol.weight, 0);
         assert!(sol.is_valid_cover(&g));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_solves() {
+        let mut scratch = CoverScratch::new();
+        // Solve a sequence of differently-shaped instances through one
+        // scratch; every answer must match a fresh-workspace solve.
+        let mut instances: Vec<BipartiteGraph> = Vec::new();
+        instances.push(figure2());
+        let mut small = BipartiteGraph::new();
+        let u = small.add_left(100);
+        for _ in 0..3 {
+            let v = small.add_right(5);
+            small.add_edge(u, v);
+        }
+        instances.push(small);
+        instances.push(BipartiteGraph::new());
+        instances.push(figure2());
+        for g in &instances {
+            let reused = min_weight_vertex_cover_with(&mut scratch, g);
+            let fresh = min_weight_vertex_cover(g);
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, and a
+# warnings-as-errors clippy pass over every target (libs, bins, tests,
+# benches, examples). Run from anywhere; works on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

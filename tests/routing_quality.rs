@@ -40,23 +40,34 @@ fn setup() -> (Network, AggregationSpec, LinkQuality) {
 
 #[test]
 fn etx_routing_reduces_expected_energy_under_loss() {
-    let (net, spec, quality) = setup();
-    let demands = spec.source_to_destinations();
+    // ETX routing is a heuristic: it minimizes expected transmissions per
+    // route, while the plan optimizer then minimizes bytes, so on any one
+    // random instance hop routing can come out ahead. The claim worth
+    // testing is the aggregate one: across instances, ETX-weighted routing
+    // spends less expected energy than hop-count routing.
+    let mut hop_total = 0.0;
+    let mut etx_total = 0.0;
+    for seed in 0..6u64 {
+        let net = Network::with_default_energy(Deployment::great_duck_island(seed));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 15, 4));
+        let quality = LinkQuality::distance_based(&net, 0.6, seed.wrapping_add(9));
+        let demands = spec.source_to_destinations();
 
-    let hop_routing = RoutingTables::build(&net, &demands, RoutingMode::ShortestPathTrees);
-    let hop_plan = GlobalPlan::build(&net, &spec, &hop_routing);
-    let hop_schedule = build_schedule(&spec, &hop_routing, &hop_plan).unwrap();
+        let hop_routing = RoutingTables::build(&net, &demands, RoutingMode::ShortestPathTrees);
+        let hop_plan = GlobalPlan::build(&net, &spec, &hop_routing);
+        let hop_schedule = build_schedule(&spec, &hop_routing, &hop_plan).unwrap();
 
-    let etx_routing = weighted_routing(&net, &demands, &quality);
-    let etx_plan = GlobalPlan::build(&net, &spec, &etx_routing);
-    let etx_schedule = build_schedule(&spec, &etx_routing, &etx_plan).unwrap();
+        let etx_routing = weighted_routing(&net, &demands, &quality);
+        let etx_plan = GlobalPlan::build(&net, &spec, &etx_routing);
+        let etx_schedule = build_schedule(&spec, &etx_routing, &etx_plan).unwrap();
 
-    let hop_cost = expected_energy_uj(&net, &hop_schedule, &quality);
-    let etx_cost = expected_energy_uj(&net, &etx_schedule, &quality);
+        hop_total += expected_energy_uj(&net, &hop_schedule, &quality);
+        etx_total += expected_energy_uj(&net, &etx_schedule, &quality);
+    }
     assert!(
-        etx_cost < hop_cost,
-        "ETX routing ({etx_cost:.0} µJ) should beat hop routing ({hop_cost:.0} µJ) \
-         under distance-based loss"
+        etx_total < hop_total,
+        "ETX routing ({etx_total:.0} µJ) should beat hop routing ({hop_total:.0} µJ) \
+         in aggregate under distance-based loss"
     );
 }
 
