@@ -16,7 +16,7 @@ use m2m_core::basestation::{choose_station, BaseStationPlan};
 use m2m_core::dissemination::{full_install_cost, update_install_cost};
 use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
 use m2m_core::metrics::{project_lifetime, NodeEnergyLedger};
-use m2m_core::milestones::{build_milestone_routing, expected_round_cost, MilestoneConfig};
+use m2m_core::milestones::{build_milestone_routing, CompiledMilestoneCost, MilestoneConfig};
 use m2m_core::plan::GlobalPlan;
 use m2m_core::schedule::build_schedule;
 use m2m_core::slots::assign_slots;
@@ -352,18 +352,13 @@ fn milestone_ablation(network: &Network) {
             };
             let m = build_milestone_routing(network, &routing, &cfg);
             let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
-            (cfg, m, plan)
+            CompiledMilestoneCost::new(&plan, &m, network.energy(), &cfg)
         })
         .collect();
     for p in [0.0, 0.1, 0.2, 0.4, 0.6] {
         let row: Vec<String> = setups
             .iter()
-            .map(|(cfg, m, plan)| {
-                format!(
-                    "{:.1}",
-                    expected_round_cost(plan, m, network.energy(), p, cfg).total_mj()
-                )
-            })
+            .map(|compiled| format!("{:.1}", compiled.expected_cost(p).total_mj()))
             .collect();
         println!("{p:.1},{}", row.join(","));
     }

@@ -1,0 +1,199 @@
+//! Machine-readable round-execution benchmark.
+//!
+//! Compares the naive per-round path ([`m2m_core::runtime::execute_round`],
+//! which rebuilds the schedule every round) against the compiled executor
+//! ([`m2m_core::exec::CompiledSchedule`], built once and run over flat
+//! arrays) on the largest scaled-series deployment (Figure 6's 250-node
+//! point). Verifies bit-exact agreement before timing anything, sweeps
+//! the epoch driver over several thread counts, and writes the medians
+//! to `BENCH_runtime.json` so regressions are diffable in CI and across
+//! machines.
+//!
+//! Usage: `cargo run --release -p m2m-bench --bin bench_runtime \
+//!         [--smoke] [output.json] [samples]`
+//!
+//! `--smoke` runs a handful of samples and exits non-zero if the
+//! compiled path is not at least as fast as the naive one — the cheap
+//! regression gate wired into `scripts/verify.sh`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use m2m_core::exec::{run_epochs, CompiledSchedule, ExecState};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::runtime::execute_round;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_graph::NodeId;
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Deterministic synthetic reading for `(source, round)` — no RNG so the
+/// benchmark is reproducible byte-for-byte across runs and machines.
+fn reading(source: NodeId, round: usize) -> f64 {
+    let s = source.index() as f64;
+    let r = round as f64;
+    (s * 0.37 + r * 1.13).sin() * 50.0 + s * 0.01
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let samples: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 9 });
+    // The naive path rebuilds the schedule every round, so one sample is
+    // one round; the compiled path is so much faster that a sample times
+    // a whole batch of rounds to stay above clock resolution.
+    let compiled_batch: usize = if smoke { 64 } else { 512 };
+
+    let deployment = Deployment::scaled_series(&[250], 7).remove(0);
+    let network = Network::with_default_energy(deployment);
+    let n = network.node_count();
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(n / 4, 20, 7));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(&network, &spec, &routing);
+
+    let compiled =
+        CompiledSchedule::compile(&network, &spec, &routing, &plan).expect("schedulable plan");
+    let mut state = ExecState::for_schedule(&compiled);
+
+    // Correctness first: the compiled path must be bit-identical to the
+    // reference executor before any of its timings mean anything.
+    let probe: BTreeMap<NodeId, f64> = compiled
+        .sources()
+        .ids()
+        .iter()
+        .map(|&s| (s, reading(s, 0)))
+        .collect();
+    let reference = execute_round(&network, &spec, &routing, &plan, &probe);
+    let cost = compiled.run_round_on(&probe, &mut state);
+    assert_eq!(state.result_map(&compiled), reference.results);
+    assert_eq!(cost, reference.cost);
+
+    eprintln!(
+        "deployment: {n} nodes, {} destinations, {} sources, {} schedule units",
+        spec.destinations().count(),
+        compiled.sources().len(),
+        compiled.schedule().units.len(),
+    );
+
+    // Naive: schedule rebuilt from the plan on every round.
+    let mut naive_times: Vec<f64> = Vec::with_capacity(samples);
+    for round in 0..samples {
+        let readings: BTreeMap<NodeId, f64> = compiled
+            .sources()
+            .ids()
+            .iter()
+            .map(|&s| (s, reading(s, round)))
+            .collect();
+        let t0 = Instant::now();
+        let result = execute_round(&network, &spec, &routing, &plan, &readings);
+        naive_times.push(t0.elapsed().as_secs_f64() * 1e9);
+        assert!(result.cost.total_uj() > 0.0);
+    }
+    let naive_ns = median_ns(&mut naive_times);
+    let naive_rps = 1e9 / naive_ns;
+    eprintln!("naive execute_round: {naive_ns:.0} ns/round ({naive_rps:.1} rounds/sec)");
+
+    // Compiled, single state, serial: the per-round hot path.
+    let batch: Vec<Vec<f64>> = (0..compiled_batch)
+        .map(|round| {
+            compiled
+                .sources()
+                .ids()
+                .iter()
+                .map(|&s| reading(s, round))
+                .collect()
+        })
+        .collect();
+    let mut compiled_times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for row in &batch {
+            state.readings_mut().copy_from_slice(row);
+            compiled.run_round(&mut state);
+        }
+        compiled_times.push(t0.elapsed().as_secs_f64() * 1e9 / compiled_batch as f64);
+    }
+    let compiled_ns = median_ns(&mut compiled_times);
+    let compiled_rps = 1e9 / compiled_ns;
+    let speedup = naive_ns / compiled_ns;
+    eprintln!(
+        "compiled run_round: {compiled_ns:.0} ns/round ({compiled_rps:.1} rounds/sec, \
+         {speedup:.1}x vs naive)"
+    );
+
+    // Epoch driver at several worker counts. The serial outcome is the
+    // reference: every thread count must reproduce it exactly.
+    let serial_outcomes = run_epochs(&compiled, &batch, 1);
+    let mut thread_rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let outcomes = run_epochs(&compiled, &batch, threads);
+            times.push(t0.elapsed().as_secs_f64() * 1e9 / compiled_batch as f64);
+            assert_eq!(outcomes, serial_outcomes, "divergence at {threads} threads");
+        }
+        let med = median_ns(&mut times);
+        let rps = 1e9 / med;
+        eprintln!(
+            "run_epochs threads {threads}: {med:.0} ns/round ({rps:.1} rounds/sec, \
+             {:.1}x vs naive)",
+            naive_ns / med
+        );
+        thread_rows.push(format!(
+            "    {{ \"threads\": {threads}, \"median_ns_per_round\": {med:.0}, \
+             \"rounds_per_sec\": {rps:.1}, \"speedup_vs_naive\": {:.3} }}",
+            naive_ns / med
+        ));
+    }
+
+    if smoke {
+        assert!(
+            compiled_ns <= naive_ns,
+            "regression: compiled path ({compiled_ns:.0} ns/round) slower than naive \
+             execute_round ({naive_ns:.0} ns/round)"
+        );
+        eprintln!("smoke: compiled path is {speedup:.1}x the naive path — OK");
+        return;
+    }
+
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"round_execution\",\n  \"deployment\": \"scaled_series_250\",\n  \
+         \"nodes\": {n},\n  \"destinations\": {dests},\n  \"sources\": {sources},\n  \
+         \"schedule_units\": {units},\n  \"samples\": {samples},\n  \
+         \"rounds_per_sample\": {compiled_batch},\n  \
+         \"available_parallelism\": {parallelism},\n  \
+         \"naive\": {{ \"median_ns_per_round\": {naive_ns:.0}, \"rounds_per_sec\": {naive_rps:.1} }},\n  \
+         \"compiled\": {{ \"median_ns_per_round\": {compiled_ns:.0}, \"rounds_per_sec\": {compiled_rps:.1}, \
+         \"speedup_vs_naive\": {speedup:.3} }},\n  \
+         \"epochs\": [\n{rows}\n  ]\n}}\n",
+        dests = spec.destinations().count(),
+        sources = compiled.sources().len(),
+        units = compiled.schedule().units.len(),
+        rows = thread_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

@@ -71,6 +71,127 @@ impl AggregateKind {
             AggregateKind::WeightedSum | AggregateKind::WeightedAverage
         )
     }
+
+    /// The pre-aggregation function with the source weight `alpha` already
+    /// resolved. [`AggregateFunction::pre_aggregate`] delegates here after
+    /// its weight lookup, and the compiled executor
+    /// ([`crate::exec::CompiledSchedule`]) calls it directly with weights
+    /// resolved at compile time — both paths share this single arithmetic
+    /// implementation, which is what makes them bit-identical.
+    pub fn pre_aggregate_weighted(self, alpha: f64, value: f64) -> PartialRecord {
+        let x = alpha * value;
+        match self {
+            AggregateKind::WeightedSum => PartialRecord::Sum(x),
+            AggregateKind::WeightedAverage => PartialRecord::Avg { sum: x, count: 1 },
+            AggregateKind::WeightedVariance => PartialRecord::Var {
+                sum: x,
+                sum_sq: x * x,
+                count: 1,
+            },
+            AggregateKind::Min => PartialRecord::Min(x),
+            AggregateKind::Max => PartialRecord::Max(x),
+            AggregateKind::Count => PartialRecord::Count(1),
+            AggregateKind::Range => PartialRecord::MinMax { min: x, max: x },
+            AggregateKind::GeometricMean => {
+                assert!(value > 0.0, "geometric mean requires positive readings");
+                PartialRecord::LogSum {
+                    log_sum: alpha * value.ln(),
+                    weight_sum: alpha,
+                }
+            }
+        }
+    }
+
+    /// The merging function `m_d` at the kind level.
+    ///
+    /// # Panics
+    /// Panics if the records are of mismatched shapes for this kind.
+    pub fn merge_records(self, a: PartialRecord, b: PartialRecord) -> PartialRecord {
+        use PartialRecord as P;
+        match (self, a, b) {
+            (AggregateKind::WeightedSum, P::Sum(x), P::Sum(y)) => P::Sum(x + y),
+            (
+                AggregateKind::WeightedAverage,
+                P::Avg { sum: x, count: a },
+                P::Avg { sum: y, count: b },
+            ) => P::Avg {
+                sum: x + y,
+                count: a + b,
+            },
+            (
+                AggregateKind::WeightedVariance,
+                P::Var {
+                    sum: xs,
+                    sum_sq: xq,
+                    count: xc,
+                },
+                P::Var {
+                    sum: ys,
+                    sum_sq: yq,
+                    count: yc,
+                },
+            ) => P::Var {
+                sum: xs + ys,
+                sum_sq: xq + yq,
+                count: xc + yc,
+            },
+            (AggregateKind::Min, P::Min(x), P::Min(y)) => P::Min(x.min(y)),
+            (AggregateKind::Max, P::Max(x), P::Max(y)) => P::Max(x.max(y)),
+            (AggregateKind::Count, P::Count(x), P::Count(y)) => P::Count(x + y),
+            (
+                AggregateKind::Range,
+                P::MinMax { min: a_min, max: a_max },
+                P::MinMax { min: b_min, max: b_max },
+            ) => P::MinMax {
+                min: a_min.min(b_min),
+                max: a_max.max(b_max),
+            },
+            (
+                AggregateKind::GeometricMean,
+                P::LogSum {
+                    log_sum: xs,
+                    weight_sum: xw,
+                },
+                P::LogSum {
+                    log_sum: ys,
+                    weight_sum: yw,
+                },
+            ) => P::LogSum {
+                log_sum: xs + ys,
+                weight_sum: xw + yw,
+            },
+            (kind, a, b) => panic!("cannot merge {a:?} and {b:?} under {kind:?}"),
+        }
+    }
+
+    /// The evaluator `e_d` at the kind level.
+    ///
+    /// # Panics
+    /// Panics if the record's shape does not match this kind.
+    pub fn evaluate_record(self, record: PartialRecord) -> f64 {
+        use PartialRecord as P;
+        match (self, record) {
+            (AggregateKind::WeightedSum, P::Sum(x)) => x,
+            (AggregateKind::WeightedAverage, P::Avg { sum, count }) => sum / f64::from(count),
+            (AggregateKind::WeightedVariance, P::Var { sum, sum_sq, count }) => {
+                let n = f64::from(count);
+                let mean = sum / n;
+                (sum_sq / n - mean * mean).max(0.0)
+            }
+            (AggregateKind::Min, P::Min(x)) => x,
+            (AggregateKind::Max, P::Max(x)) => x,
+            (AggregateKind::Count, P::Count(c)) => f64::from(c),
+            (AggregateKind::Range, P::MinMax { min, max }) => max - min,
+            (
+                AggregateKind::GeometricMean,
+                P::LogSum {
+                    log_sum,
+                    weight_sum,
+                },
+            ) => (log_sum / weight_sum).exp(),
+            (kind, r) => panic!("cannot evaluate {r:?} under {kind:?}"),
+        }
+    }
 }
 
 /// A partial aggregate record — the unit of in-network aggregation state.
@@ -209,27 +330,7 @@ impl AggregateFunction {
             .weights
             .get(&s)
             .unwrap_or_else(|| panic!("{s} is not a source of this function"));
-        let x = alpha * value;
-        match self.kind {
-            AggregateKind::WeightedSum => PartialRecord::Sum(x),
-            AggregateKind::WeightedAverage => PartialRecord::Avg { sum: x, count: 1 },
-            AggregateKind::WeightedVariance => PartialRecord::Var {
-                sum: x,
-                sum_sq: x * x,
-                count: 1,
-            },
-            AggregateKind::Min => PartialRecord::Min(x),
-            AggregateKind::Max => PartialRecord::Max(x),
-            AggregateKind::Count => PartialRecord::Count(1),
-            AggregateKind::Range => PartialRecord::MinMax { min: x, max: x },
-            AggregateKind::GeometricMean => {
-                assert!(value > 0.0, "geometric mean requires positive readings");
-                PartialRecord::LogSum {
-                    log_sum: alpha * value.ln(),
-                    weight_sum: *alpha,
-                }
-            }
-        }
+        self.kind.pre_aggregate_weighted(*alpha, value)
     }
 
     /// The merging function `m_d`: combines two partial records.
@@ -237,88 +338,13 @@ impl AggregateFunction {
     /// # Panics
     /// Panics if the records are of mismatched shapes for this kind.
     pub fn merge(&self, a: PartialRecord, b: PartialRecord) -> PartialRecord {
-        use PartialRecord as P;
-        match (self.kind, a, b) {
-            (AggregateKind::WeightedSum, P::Sum(x), P::Sum(y)) => P::Sum(x + y),
-            (
-                AggregateKind::WeightedAverage,
-                P::Avg { sum: x, count: a },
-                P::Avg { sum: y, count: b },
-            ) => P::Avg {
-                sum: x + y,
-                count: a + b,
-            },
-            (
-                AggregateKind::WeightedVariance,
-                P::Var {
-                    sum: xs,
-                    sum_sq: xq,
-                    count: xc,
-                },
-                P::Var {
-                    sum: ys,
-                    sum_sq: yq,
-                    count: yc,
-                },
-            ) => P::Var {
-                sum: xs + ys,
-                sum_sq: xq + yq,
-                count: xc + yc,
-            },
-            (AggregateKind::Min, P::Min(x), P::Min(y)) => P::Min(x.min(y)),
-            (AggregateKind::Max, P::Max(x), P::Max(y)) => P::Max(x.max(y)),
-            (AggregateKind::Count, P::Count(x), P::Count(y)) => P::Count(x + y),
-            (
-                AggregateKind::Range,
-                P::MinMax { min: a_min, max: a_max },
-                P::MinMax { min: b_min, max: b_max },
-            ) => P::MinMax {
-                min: a_min.min(b_min),
-                max: a_max.max(b_max),
-            },
-            (
-                AggregateKind::GeometricMean,
-                P::LogSum {
-                    log_sum: xs,
-                    weight_sum: xw,
-                },
-                P::LogSum {
-                    log_sum: ys,
-                    weight_sum: yw,
-                },
-            ) => P::LogSum {
-                log_sum: xs + ys,
-                weight_sum: xw + yw,
-            },
-            (kind, a, b) => panic!("cannot merge {a:?} and {b:?} under {kind:?}"),
-        }
+        self.kind.merge_records(a, b)
     }
 
     /// The evaluator `e_d`: produces the final aggregate from a complete
     /// partial record.
     pub fn evaluate(&self, record: PartialRecord) -> f64 {
-        use PartialRecord as P;
-        match (self.kind, record) {
-            (AggregateKind::WeightedSum, P::Sum(x)) => x,
-            (AggregateKind::WeightedAverage, P::Avg { sum, count }) => sum / f64::from(count),
-            (AggregateKind::WeightedVariance, P::Var { sum, sum_sq, count }) => {
-                let n = f64::from(count);
-                let mean = sum / n;
-                (sum_sq / n - mean * mean).max(0.0)
-            }
-            (AggregateKind::Min, P::Min(x)) => x,
-            (AggregateKind::Max, P::Max(x)) => x,
-            (AggregateKind::Count, P::Count(c)) => f64::from(c),
-            (AggregateKind::Range, P::MinMax { min, max }) => max - min,
-            (
-                AggregateKind::GeometricMean,
-                P::LogSum {
-                    log_sum,
-                    weight_sum,
-                },
-            ) => (log_sum / weight_sum).exp(),
-            (kind, r) => panic!("cannot evaluate {r:?} under {kind:?}"),
-        }
+        self.kind.evaluate_record(record)
     }
 
     /// Direct (out-of-network) computation of the function over readings —

@@ -12,8 +12,6 @@
 //! analytic bound along the way. This is the precision/energy trade-off
 //! a deployment actually tunes.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -21,10 +19,11 @@ use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingTables};
 
 use crate::agg::AggregateKind;
+use crate::exec::{CompiledSchedule, ExecState};
 use crate::metrics::RoundCost;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
-use crate::suppression::{OverridePolicy, SuppressionSim};
+use crate::suppression::{OverridePolicy, StatePlacement, SuppressionSim};
 
 /// Campaign parameters.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +83,11 @@ fn function_error_bound(spec: &AggregationSpec, d: NodeId, threshold: f64) -> f6
 
 /// Runs a campaign. Functions must be delta-maintainable (weighted sum or
 /// weighted average — checked by [`SuppressionSim::new`]).
+///
+/// Everything per-plan is compiled once up front — the suppression
+/// executor's dense cost model and the [`CompiledSchedule`] used for the
+/// error audit — so the per-round loop runs over flat arrays with no
+/// schedule rebuilds and no map-keyed state.
 pub fn run_campaign(
     network: &Network,
     spec: &AggregationSpec,
@@ -94,12 +98,29 @@ pub fn run_campaign(
     assert!(config.suppression_threshold >= 0.0);
     assert!((0.0..=1.0).contains(&config.change_probability));
     let sim = SuppressionSim::new(network, spec, routing, plan);
+    let mut scratch = sim.scratch();
+    let compiled = CompiledSchedule::compile(network, spec, routing, plan)
+        .expect("plan must be schedulable");
+    let mut believed_state = ExecState::for_schedule(&compiled);
+    let mut actual_state = ExecState::for_schedule(&compiled);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let sources = spec.all_sources();
-    // Physical truth and the last value each source actually transmitted.
-    let mut truth: BTreeMap<NodeId, f64> = sources.iter().map(|&s| (s, 0.0)).collect();
-    let mut transmitted_view: BTreeMap<NodeId, f64> = truth.clone();
+    // Physical truth and the last value each source actually transmitted,
+    // dense in ascending source order (== the sim's changed-mask slots).
+    let sources = sim.sources().to_vec();
+    let mut truth: Vec<f64> = vec![0.0; sources.len()];
+    let mut transmitted_view: Vec<f64> = vec![0.0; sources.len()];
+    // Compiled reading slot -> campaign source index.
+    let slot_sources: Vec<usize> = compiled
+        .sources()
+        .ids()
+        .iter()
+        .map(|s| {
+            sources
+                .binary_search(s)
+                .expect("every compiled source is a spec source")
+        })
+        .collect();
 
     let mut total = RoundCost::default();
     let mut suppressed = 0usize;
@@ -109,35 +130,45 @@ pub fn run_campaign(
     let mut err_count = 0usize;
 
     for _ in 0..config.rounds {
-        // Physical drift.
-        for (_, v) in truth.iter_mut() {
+        // Physical drift, in ascending source order (the RNG call
+        // sequence of the original map-keyed implementation).
+        for v in truth.iter_mut() {
             if rng.random_range(0.0..1.0) < config.change_probability {
                 *v += rng.random_range(-config.step..config.step);
             }
         }
         // Suppression decision per source.
-        let mut changed: BTreeSet<NodeId> = BTreeSet::new();
-        for &s in &sources {
-            let residual = truth[&s] - transmitted_view[&s];
-            if residual.abs() > config.suppression_threshold {
-                changed.insert(s);
-                transmitted_view.insert(s, truth[&s]);
+        let changed = scratch.changed_mask_mut();
+        for (i, flag) in changed.iter_mut().enumerate() {
+            let residual = truth[i] - transmitted_view[i];
+            *flag = residual.abs() > config.suppression_threshold;
+            if *flag {
+                transmitted_view[i] = truth[i];
                 transmitted += 1;
             } else if residual != 0.0 {
                 suppressed += 1;
             }
         }
-        total.accumulate(&sim.round_cost(&changed, config.policy));
-        // Error audit: what each destination believes (its function over
-        // the transmitted values) vs the truth.
-        for (d, f) in spec.functions() {
-            let believed = f.reference_result(&transmitted_view);
-            let actual = f.reference_result(&truth);
+        total.accumulate(&sim.round_cost_prepared(
+            config.policy,
+            StatePlacement::TransitionOnly,
+            &mut scratch,
+        ));
+        // Error audit: what each destination believes (the in-network
+        // computation over the transmitted values) vs the same
+        // computation over the truth. Both sides run the compiled
+        // executor, so a zero threshold is *exactly* error-free.
+        for (slot, &i) in slot_sources.iter().enumerate() {
+            believed_state.readings_mut()[slot] = transmitted_view[i];
+            actual_state.readings_mut()[slot] = truth[i];
+        }
+        compiled.run_round(&mut believed_state);
+        compiled.run_round(&mut actual_state);
+        for (believed, actual) in believed_state.results().iter().zip(actual_state.results()) {
             let err = (believed - actual).abs();
             max_err = max_err.max(err);
             err_sum += err;
             err_count += 1;
-            let _ = d;
         }
     }
 

@@ -136,6 +136,12 @@ impl PlanMaintainer {
         &self.spec
     }
 
+    /// The network the plan is maintained for.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
     /// The current routing tables.
     #[inline]
     pub fn routing(&self) -> &RoutingTables {

@@ -1,0 +1,787 @@
+//! Compiled round execution: build the schedule once, run epochs
+//! allocation-free.
+//!
+//! The paper's steady-state model (§2) runs one plan unchanged for
+//! thousands of epochs between workload updates, yet the reference
+//! executor ([`crate::runtime::execute_round`]) rebuilds the full
+//! [`Schedule`] — including the greedy message merger and its per-edge
+//! acyclicity checks — on every round. [`CompiledSchedule`] lowers the
+//! schedule **once** into flat dense-index arrays:
+//!
+//! * source node ids are interned to dense `u32` slots by a [`NodeIndex`];
+//! * record units are listed in topological (wait-for) order, so every
+//!   dependency is computed before its consumer, exactly as the reference
+//!   path walks `Schedule::topo_order`;
+//! * each unit's contributions become a contiguous run of [`Op`]s —
+//!   `Pre { slot, alpha }` with the pre-aggregation weight baked in, or
+//!   `FromUnit { unit }` pointing at an already-computed record;
+//! * per-destination final evaluations are laid out in ascending
+//!   destination order (the `BTreeMap` iteration order of the reference);
+//! * the round's [`RoundCost`] is precomputed (it only depends on the
+//!   message structure, not the readings).
+//!
+//! [`CompiledSchedule::run_round`] then executes one epoch against an
+//! [`ExecState`] scratch arena with **zero heap allocation** and no map
+//! lookups: every access is an index into a flat array. Because the ops
+//! preserve the reference path's contribution order and use the same
+//! kind-level arithmetic ([`AggregateKind::pre_aggregate_weighted`],
+//! [`AggregateKind::merge_records`], [`AggregateKind::evaluate_record`]),
+//! the results are **bit-identical** to `execute_round` — the same float
+//! associativity order, asserted by `tests/exec_equivalence.rs`.
+//!
+//! [`run_epochs`] fans independent rounds (distinct reading vectors)
+//! across the [`crate::parallel`] worker pool with deterministic in-order
+//! collection, and [`EpochDriver`] pairs a compiled schedule with a
+//! [`PlanMaintainer`] so a long-running campaign recompiles only when an
+//! update actually changed the plan's structure (Corollary 1) and merely
+//! refreshes baked-in weights otherwise.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use m2m_graph::NodeId;
+use m2m_netsim::{EnergyModel, Network, RoutingMode, RoutingTables};
+
+use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
+use crate::dynamics::{PlanMaintainer, UpdateStats, WorkloadUpdate};
+use crate::metrics::RoundCost;
+use crate::parallel;
+use crate::plan::GlobalPlan;
+use crate::schedule::{build_schedule, Contribution, Schedule, UnitContent};
+use crate::spec::AggregationSpec;
+
+/// Dense interning of node ids: the sorted set of ids is the slot space,
+/// so `slot` is a binary search (compile/load time only — the hot path
+/// works purely in slots).
+#[derive(Clone, Debug)]
+pub struct NodeIndex {
+    ids: Vec<NodeId>,
+}
+
+impl NodeIndex {
+    fn from_ids(mut ids: Vec<NodeId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        NodeIndex { ids }
+    }
+
+    /// The dense slot of `id`, if interned.
+    #[inline]
+    pub fn slot(&self, id: NodeId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The node id at `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn id(&self, slot: usize) -> NodeId {
+        self.ids[slot]
+    }
+
+    /// All interned ids in slot order (ascending).
+    #[inline]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of interned ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no ids are interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// One lowered contribution. Mirrors [`Contribution`] with all lookups
+/// (weight, reading slot) resolved at compile time.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Pre-aggregate the reading in `slot` with weight `alpha`.
+    Pre { slot: u32, alpha: f64 },
+    /// Merge the record computed for unit `unit`.
+    FromUnit { unit: u32 },
+}
+
+/// One record unit to compute, in topological order. The ops in
+/// `first_op .. first_op + op_count` are folded left-to-right in the
+/// reference path's contribution order.
+#[derive(Clone, Debug)]
+struct RecordStep {
+    /// Index into [`ExecState::records`] (== the unit's schedule index).
+    unit: u32,
+    /// The destination whose merging function applies.
+    dest: NodeId,
+    kind: AggregateKind,
+    first_op: u32,
+    op_count: u32,
+}
+
+/// One destination's final evaluation, in ascending destination order.
+#[derive(Clone, Debug)]
+struct DestStep {
+    dest: NodeId,
+    kind: AggregateKind,
+    first_op: u32,
+    op_count: u32,
+}
+
+/// A schedule lowered to flat dense-index arrays, executable with zero
+/// heap allocation per round. Built once per plan; see the module docs.
+#[derive(Clone, Debug)]
+pub struct CompiledSchedule {
+    sources: NodeIndex,
+    ops: Vec<Op>,
+    record_steps: Vec<RecordStep>,
+    dest_steps: Vec<DestStep>,
+    unit_count: usize,
+    round_cost: RoundCost,
+    schedule: Arc<Schedule>,
+}
+
+impl CompiledSchedule {
+    /// Builds the schedule for `plan` and lowers it. Errors if the plan
+    /// is unschedulable (wait-for cycle, Theorem 2).
+    pub fn compile(
+        network: &Network,
+        spec: &AggregationSpec,
+        routing: &RoutingTables,
+        plan: &GlobalPlan,
+    ) -> Result<Self, String> {
+        let schedule = build_schedule(spec, routing, plan)?;
+        Ok(Self::from_schedule(network.energy(), spec, schedule))
+    }
+
+    /// Lowers an already-built schedule.
+    pub fn from_schedule(
+        energy: &EnergyModel,
+        spec: &AggregationSpec,
+        schedule: Schedule,
+    ) -> Self {
+        // Intern every source that appears as a Pre contribution.
+        let mut source_ids: Vec<NodeId> = Vec::new();
+        let pres = schedule
+            .contributions
+            .iter()
+            .chain(schedule.destination_inputs.values());
+        for contribs in pres {
+            for c in contribs {
+                if let Contribution::Pre(s) = c {
+                    source_ids.push(*s);
+                }
+            }
+        }
+        let sources = NodeIndex::from_ids(source_ids);
+
+        let function = |d: NodeId| -> &AggregateFunction {
+            spec.function(d).expect("destination has a function")
+        };
+        let mut ops: Vec<Op> = Vec::new();
+        let mut lower_run = |f: &AggregateFunction, contribs: &[Contribution]| -> (u32, u32) {
+            let first_op = ops.len() as u32;
+            for c in contribs {
+                ops.push(match *c {
+                    Contribution::Pre(s) => Op::Pre {
+                        slot: sources.slot(s).expect("source interned above") as u32,
+                        alpha: f
+                            .weight(s)
+                            .unwrap_or_else(|| panic!("{s} is not a source of this function")),
+                    },
+                    Contribution::FromUnit(u) => Op::FromUnit { unit: u as u32 },
+                });
+            }
+            (first_op, ops.len() as u32 - first_op)
+        };
+
+        // Record units in topological order — dependencies first, exactly
+        // like the reference walk over `topo_order`.
+        let mut record_steps: Vec<RecordStep> = Vec::new();
+        for &u in &schedule.topo_order {
+            let UnitContent::Record(ref group) = schedule.units[u].content else {
+                continue;
+            };
+            let f = function(group.destination);
+            let (first_op, op_count) = lower_run(f, &schedule.contributions[u]);
+            record_steps.push(RecordStep {
+                unit: u as u32,
+                dest: group.destination,
+                kind: f.kind(),
+                first_op,
+                op_count,
+            });
+        }
+
+        // Destination evaluations in ascending id order (BTreeMap order).
+        let mut dest_steps: Vec<DestStep> = Vec::new();
+        for (&d, inputs) in &schedule.destination_inputs {
+            let f = function(d);
+            let (first_op, op_count) = lower_run(f, inputs);
+            dest_steps.push(DestStep {
+                dest: d,
+                kind: f.kind(),
+                first_op,
+                op_count,
+            });
+        }
+
+        let round_cost = schedule.round_cost(energy);
+        CompiledSchedule {
+            sources,
+            ops,
+            record_steps,
+            dest_steps,
+            unit_count: schedule.units.len(),
+            round_cost,
+            schedule: Arc::new(schedule),
+        }
+    }
+
+    /// The interned source ids (slot order defines the layout of
+    /// [`ExecState::readings_mut`] and of each row passed to
+    /// [`run_epochs`]).
+    #[inline]
+    pub fn sources(&self) -> &NodeIndex {
+        &self.sources
+    }
+
+    /// Destinations in result order (ascending id).
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dest_steps.iter().map(|s| s.dest)
+    }
+
+    /// Number of destinations (length of [`ExecState::results`]).
+    #[inline]
+    pub fn destination_count(&self) -> usize {
+        self.dest_steps.len()
+    }
+
+    /// The underlying schedule (message structure, per-edge counts).
+    #[inline]
+    pub fn schedule(&self) -> &Arc<Schedule> {
+        &self.schedule
+    }
+
+    /// The precomputed per-round cost (independent of readings).
+    #[inline]
+    pub fn round_cost(&self) -> RoundCost {
+        self.round_cost
+    }
+
+    /// Executes one round against the readings already loaded in `state`
+    /// (see [`ExecState::load_readings`] / [`ExecState::readings_mut`]),
+    /// leaving per-destination results in [`ExecState::results`].
+    ///
+    /// This is the hot path: no heap allocation, no map lookups.
+    ///
+    /// # Panics
+    /// Panics if `state` was sized for a different compiled schedule.
+    pub fn run_round(&self, state: &mut ExecState) -> RoundCost {
+        assert_eq!(state.records.len(), self.unit_count, "state/schedule mismatch");
+        assert_eq!(state.readings.len(), self.sources.len(), "state/schedule mismatch");
+        assert_eq!(state.results.len(), self.dest_steps.len(), "state/schedule mismatch");
+        for step in &self.record_steps {
+            let ops = &self.ops
+                [step.first_op as usize..(step.first_op + step.op_count) as usize];
+            let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
+            state.records[step.unit as usize] = Some(acc.unwrap_or_else(|| {
+                panic!("record unit {} for {} has no contributions", step.unit, step.dest)
+            }));
+        }
+        for (i, step) in self.dest_steps.iter().enumerate() {
+            let ops = &self.ops
+                [step.first_op as usize..(step.first_op + step.op_count) as usize];
+            let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
+            let record =
+                acc.unwrap_or_else(|| panic!("destination {} received no inputs", step.dest));
+            state.results[i] = step.kind.evaluate_record(record);
+        }
+        self.round_cost
+    }
+
+    /// Convenience wrapper: loads `readings` (keyed by node id, as the
+    /// reference path takes them) into `state` and runs one round.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_round_on(
+        &self,
+        readings: &BTreeMap<NodeId, f64>,
+        state: &mut ExecState,
+    ) -> RoundCost {
+        state.load_readings(self, readings);
+        self.run_round(state)
+    }
+
+    /// Re-bakes the pre-aggregation weights `α_{d,s}` from `spec` into the
+    /// compiled ops, in place. Sound only for pure re-weight updates —
+    /// ones that change no `(source, destination)` pair, no aggregate
+    /// kind, and no routing — because those leave every per-edge problem
+    /// (and hence the schedule structure) unchanged while still changing
+    /// the arithmetic. [`EpochDriver`] decides refresh-vs-recompile.
+    ///
+    /// # Panics
+    /// Panics if a destination or source disappeared from `spec`, or if a
+    /// destination's aggregate kind changed (both require a recompile).
+    pub fn refresh_weights(&mut self, spec: &AggregationSpec) {
+        let runs: Vec<(NodeId, AggregateKind, u32, u32)> = self
+            .record_steps
+            .iter()
+            .map(|s| (s.dest, s.kind, s.first_op, s.op_count))
+            .chain(self.dest_steps.iter().map(|s| (s.dest, s.kind, s.first_op, s.op_count)))
+            .collect();
+        for (dest, kind, first_op, op_count) in runs {
+            let f = spec
+                .function(dest)
+                .unwrap_or_else(|| panic!("no function at {dest}; recompile instead"));
+            assert_eq!(
+                f.kind(),
+                kind,
+                "aggregate kind changed at {dest}; recompile instead"
+            );
+            for op in &mut self.ops[first_op as usize..(first_op + op_count) as usize] {
+                if let Op::Pre { slot, alpha } = op {
+                    let s = self.sources.ids[*slot as usize];
+                    *alpha = f
+                        .weight(s)
+                        .unwrap_or_else(|| panic!("{s} no longer a source of {dest}; recompile"));
+                }
+            }
+        }
+    }
+}
+
+/// Left fold of a contiguous op run, in the reference path's contribution
+/// order — the float associativity is identical by construction.
+#[inline]
+fn fold_ops(
+    kind: AggregateKind,
+    ops: &[Op],
+    readings: &[f64],
+    records: &[Option<PartialRecord>],
+) -> Option<PartialRecord> {
+    let mut acc: Option<PartialRecord> = None;
+    for op in ops {
+        let part = match *op {
+            Op::Pre { slot, alpha } => {
+                kind.pre_aggregate_weighted(alpha, readings[slot as usize])
+            }
+            Op::FromUnit { unit } => records[unit as usize]
+                .expect("topological order computes dependencies first"),
+        };
+        acc = Some(match acc {
+            None => part,
+            Some(prev) => kind.merge_records(prev, part),
+        });
+    }
+    acc
+}
+
+/// Reusable scratch arena for [`CompiledSchedule::run_round`]. Allocate
+/// once (per worker), run any number of rounds.
+#[derive(Clone, Debug)]
+pub struct ExecState {
+    /// One reading per interned source, in slot order.
+    readings: Vec<f64>,
+    /// One record slot per schedule unit (raw units stay `None`).
+    records: Vec<Option<PartialRecord>>,
+    /// One result per destination, in ascending destination order.
+    results: Vec<f64>,
+}
+
+impl ExecState {
+    /// Allocates scratch sized for `compiled`.
+    pub fn for_schedule(compiled: &CompiledSchedule) -> Self {
+        ExecState {
+            readings: vec![0.0; compiled.sources.len()],
+            records: vec![None; compiled.unit_count],
+            results: vec![0.0; compiled.dest_steps.len()],
+        }
+    }
+
+    /// Copies the readings of every interned source out of a per-node map
+    /// (the reference path's input shape).
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn load_readings(
+        &mut self,
+        compiled: &CompiledSchedule,
+        readings: &BTreeMap<NodeId, f64>,
+    ) {
+        for (slot, &s) in compiled.sources.ids().iter().enumerate() {
+            self.readings[slot] = *readings
+                .get(&s)
+                .unwrap_or_else(|| panic!("no reading for source {s}"));
+        }
+    }
+
+    /// Mutable access to the reading slots (slot order =
+    /// [`CompiledSchedule::sources`] order), for callers that already
+    /// keep readings dense.
+    #[inline]
+    pub fn readings_mut(&mut self) -> &mut [f64] {
+        &mut self.readings
+    }
+
+    /// Per-destination results of the last round, in ascending
+    /// destination order ([`CompiledSchedule::destinations`]).
+    #[inline]
+    pub fn results(&self) -> &[f64] {
+        &self.results
+    }
+
+    /// The last round's results keyed by destination id (allocates — use
+    /// [`ExecState::results`] on the hot path).
+    pub fn result_map(&self, compiled: &CompiledSchedule) -> BTreeMap<NodeId, f64> {
+        compiled
+            .dest_steps
+            .iter()
+            .zip(&self.results)
+            .map(|(s, &r)| (s.dest, r))
+            .collect()
+    }
+}
+
+/// One epoch's outcome from [`run_epochs`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochOutcome {
+    /// Per-destination results in ascending destination order.
+    pub results: Vec<f64>,
+    /// The (readings-independent) round cost.
+    pub cost: RoundCost,
+}
+
+/// Runs one round per entry of `rounds` — each a dense reading vector in
+/// [`CompiledSchedule::sources`] slot order — fanned across up to
+/// `threads` workers from the [`crate::parallel`] pool. Each worker owns
+/// one [`ExecState`]; results come back in input order regardless of
+/// scheduling, so the output is identical at any thread count.
+///
+/// # Panics
+/// Panics if any reading vector has the wrong length.
+pub fn run_epochs(
+    compiled: &CompiledSchedule,
+    rounds: &[Vec<f64>],
+    threads: usize,
+) -> Vec<EpochOutcome> {
+    parallel::parallel_map_with(
+        rounds,
+        threads,
+        || ExecState::for_schedule(compiled),
+        |state, readings| {
+            assert_eq!(
+                readings.len(),
+                compiled.sources.len(),
+                "reading vector length must match the interned source count"
+            );
+            state.readings_mut().copy_from_slice(readings);
+            let cost = compiled.run_round(state);
+            EpochOutcome {
+                results: state.results().to_vec(),
+                cost,
+            }
+        },
+    )
+}
+
+/// A [`PlanMaintainer`] paired with the compiled executor for its current
+/// plan. Workload/route updates go through the maintainer's incremental
+/// re-optimization (Corollary 1); the driver then recompiles **only** if
+/// the update changed the plan structure — any re-solved, added, or
+/// removed edge, or any change to the `(source, destination)` pair set or
+/// an aggregate kind (which can change the schedule without touching an
+/// edge problem, e.g. a destination adding itself as a local source).
+/// Pure re-weights — the common steady-state tuning case — just re-bake
+/// the `α` weights into the existing ops.
+#[derive(Clone, Debug)]
+pub struct EpochDriver {
+    maintainer: PlanMaintainer,
+    compiled: CompiledSchedule,
+    recompiles: usize,
+    refreshes: usize,
+}
+
+/// Structure-relevant view of a workload: per destination, its kind and
+/// sorted source set (weights excluded on purpose).
+fn spec_shape(spec: &AggregationSpec) -> Vec<(NodeId, AggregateKind, Vec<NodeId>)> {
+    spec.functions()
+        .map(|(d, f)| (d, f.kind(), f.sources().collect()))
+        .collect()
+}
+
+impl EpochDriver {
+    /// Builds the initial plan and compiles it.
+    ///
+    /// # Panics
+    /// Panics if the initial plan is unschedulable.
+    pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
+        Self::from_maintainer(PlanMaintainer::new(network, spec, mode))
+    }
+
+    /// Wraps an existing maintainer, compiling its current plan.
+    ///
+    /// # Panics
+    /// Panics if the maintained plan is unschedulable.
+    pub fn from_maintainer(maintainer: PlanMaintainer) -> Self {
+        let compiled = CompiledSchedule::compile(
+            maintainer.network(),
+            maintainer.spec(),
+            maintainer.routing(),
+            maintainer.plan(),
+        )
+        .expect("maintained plan must be schedulable");
+        EpochDriver {
+            maintainer,
+            compiled,
+            recompiles: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// The compiled executor for the current plan.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+
+    /// The underlying maintainer (plan, spec, routing).
+    #[inline]
+    pub fn maintainer(&self) -> &PlanMaintainer {
+        &self.maintainer
+    }
+
+    /// How many updates forced a full recompile.
+    #[inline]
+    pub fn recompiles(&self) -> usize {
+        self.recompiles
+    }
+
+    /// How many updates were absorbed as in-place weight refreshes.
+    #[inline]
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Applies one workload update and resynchronizes the compiled
+    /// executor (recompile or weight refresh, as the update demands).
+    pub fn apply(&mut self, update: WorkloadUpdate) -> UpdateStats {
+        let shape_before = spec_shape(self.maintainer.spec());
+        let stats = self.maintainer.apply(update);
+        self.resync(stats, &shape_before);
+        stats
+    }
+
+    /// Installs new routing tables (see
+    /// [`PlanMaintainer::apply_route_change`]) and resynchronizes.
+    pub fn apply_route_change(&mut self, new_routing: RoutingTables) -> UpdateStats {
+        let shape_before = spec_shape(self.maintainer.spec());
+        let stats = self.maintainer.apply_route_change(new_routing);
+        self.resync(stats, &shape_before);
+        stats
+    }
+
+    fn resync(&mut self, stats: UpdateStats, shape_before: &[(NodeId, AggregateKind, Vec<NodeId>)]) {
+        let structural = stats.edges_reoptimized > 0
+            || stats.edges_added_or_removed > 0
+            || spec_shape(self.maintainer.spec()) != shape_before;
+        if structural {
+            self.compiled = CompiledSchedule::compile(
+                self.maintainer.network(),
+                self.maintainer.spec(),
+                self.maintainer.routing(),
+                self.maintainer.plan(),
+            )
+            .expect("maintained plan must be schedulable");
+            self.recompiles += 1;
+        } else {
+            self.compiled.refresh_weights(self.maintainer.spec());
+            self.refreshes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateKind;
+    use crate::baselines::{plan_for_algorithm, Algorithm};
+    use crate::runtime::execute_round;
+    use m2m_netsim::Deployment;
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
+        net.nodes()
+            .map(|v| (v, f64::from(v.0) * 1.25 - 3.0))
+            .collect()
+    }
+
+    fn spec(kind: AggregateKind) -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::new(
+                kind,
+                [(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(3), 0.5), (NodeId(6), 1.5)],
+            ),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::new(kind, [(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 3.0)]),
+        );
+        s.add_function(
+            NodeId(3),
+            AggregateFunction::new(kind, [(NodeId(0), 2.0), (NodeId(12), 1.0)]),
+        );
+        s
+    }
+
+    #[test]
+    fn compiled_is_bit_identical_to_reference() {
+        let net = network();
+        let vals = readings(&net);
+        for kind in [
+            AggregateKind::WeightedSum,
+            AggregateKind::WeightedAverage,
+            AggregateKind::WeightedVariance,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Count,
+        ] {
+            let spec = spec(kind);
+            for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+                let routing =
+                    RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+                for alg in Algorithm::PLANNED {
+                    let plan = plan_for_algorithm(&net, &spec, &routing, alg);
+                    let reference = execute_round(&net, &spec, &routing, &plan, &vals);
+                    let compiled =
+                        CompiledSchedule::compile(&net, &spec, &routing, &plan).unwrap();
+                    let mut state = ExecState::for_schedule(&compiled);
+                    let cost = compiled.run_round_on(&vals, &mut state);
+                    assert_eq!(cost, reference.cost, "{kind:?}/{mode:?}");
+                    assert_eq!(
+                        state.result_map(&compiled),
+                        reference.results,
+                        "{kind:?}/{mode:?}: results must be bit-identical"
+                    );
+                    assert_eq!(
+                        compiled.schedule().messages_per_edge(),
+                        reference.schedule.messages_per_edge()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_epochs_matches_serial_at_any_thread_count() {
+        let net = network();
+        let spec = spec(AggregateKind::WeightedAverage);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let compiled = CompiledSchedule::compile(&net, &spec, &routing, &plan).unwrap();
+        let slots = compiled.sources().len();
+        let rounds: Vec<Vec<f64>> = (0..17)
+            .map(|r| (0..slots).map(|s| (r * 31 + s) as f64 * 0.5 - 4.0).collect())
+            .collect();
+        let serial = run_epochs(&compiled, &rounds, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_epochs(&compiled, &rounds, threads), serial, "threads={threads}");
+        }
+        // And each epoch equals a standalone run_round.
+        let mut state = ExecState::for_schedule(&compiled);
+        for (round, outcome) in rounds.iter().zip(&serial) {
+            state.readings_mut().copy_from_slice(round);
+            let cost = compiled.run_round(&mut state);
+            assert_eq!(state.results(), outcome.results.as_slice());
+            assert_eq!(cost, outcome.cost);
+        }
+    }
+
+    #[test]
+    fn reweight_refreshes_without_recompile() {
+        let net = network();
+        let vals = readings(&net);
+        let mut driver =
+            EpochDriver::new(net.clone(), spec(AggregateKind::WeightedSum), RoutingMode::ShortestPathTrees);
+        // Re-weight an existing pair: no edge problem changes, so the
+        // driver must absorb it as a weight refresh.
+        let stats = driver.apply(WorkloadUpdate::AddSource {
+            destination: NodeId(12),
+            source: NodeId(1),
+            weight: 7.5,
+        });
+        assert_eq!(stats.edges_reoptimized, 0, "pure re-weight must reuse every edge");
+        assert_eq!(driver.refreshes(), 1);
+        assert_eq!(driver.recompiles(), 0);
+        let reference = execute_round(
+            driver.maintainer().network(),
+            driver.maintainer().spec(),
+            driver.maintainer().routing(),
+            driver.maintainer().plan(),
+            &vals,
+        );
+        let mut state = ExecState::for_schedule(driver.compiled());
+        let cost = driver.compiled().run_round_on(&vals, &mut state);
+        assert_eq!(state.result_map(driver.compiled()), reference.results);
+        assert_eq!(cost, reference.cost);
+    }
+
+    #[test]
+    fn structural_updates_recompile_and_stay_correct() {
+        let net = network();
+        let vals = readings(&net);
+        let mut driver =
+            EpochDriver::new(net.clone(), spec(AggregateKind::WeightedSum), RoutingMode::ShortestPathTrees);
+        let check = |driver: &EpochDriver| {
+            let reference = execute_round(
+                driver.maintainer().network(),
+                driver.maintainer().spec(),
+                driver.maintainer().routing(),
+                driver.maintainer().plan(),
+                &vals,
+            );
+            let mut state = ExecState::for_schedule(driver.compiled());
+            driver.compiled().run_round_on(&vals, &mut state);
+            assert_eq!(state.result_map(driver.compiled()), reference.results);
+        };
+        // New destination: edges change, recompile.
+        driver.apply(WorkloadUpdate::AddDestination {
+            destination: NodeId(5),
+            function: AggregateFunction::weighted_sum([(NodeId(10), 1.0), (NodeId(14), 2.0)]),
+        });
+        assert_eq!(driver.recompiles(), 1);
+        check(&driver);
+        // A destination adding *itself* as a source touches no edge
+        // problem (the path has length one) but changes the schedule's
+        // final inputs — the shape diff must force a recompile.
+        let stats = driver.apply(WorkloadUpdate::AddSource {
+            destination: NodeId(5),
+            source: NodeId(5),
+            weight: 3.0,
+        });
+        assert_eq!(stats.edges_reoptimized, 0, "local source touches no edge");
+        assert_eq!(driver.recompiles(), 2, "shape change must recompile");
+        check(&driver);
+        // Source removal: edges shrink, recompile.
+        driver.apply(WorkloadUpdate::RemoveSource {
+            destination: NodeId(12),
+            source: NodeId(6),
+        });
+        assert_eq!(driver.recompiles(), 3);
+        check(&driver);
+    }
+}

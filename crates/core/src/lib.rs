@@ -33,6 +33,10 @@
 //!   per-node energy accounting;
 //! * [`runtime`] — centralized round execution with numeric end-to-end
 //!   checking and energy accounting ([`metrics`]);
+//! * [`exec`] — the compiled steady-state executor: the schedule lowered
+//!   once into flat dense-index arrays, epochs run allocation-free and
+//!   bit-identical to [`runtime`], with batch fan-out over [`parallel`]
+//!   and recompile-only-on-structure-change driving ([`dynamics`]);
 //! * [`node_machine`] — the *distributed* counterpart: event-driven node
 //!   automata programmed solely by their §3 tables;
 //! * [`slots`] — collision-free TDMA transmission slots (§3);
@@ -98,6 +102,7 @@ pub mod campaign;
 pub mod dissemination;
 pub mod dynamics;
 pub mod edge_opt;
+pub mod exec;
 pub mod memo;
 pub mod metrics;
 pub mod milestones;
@@ -122,6 +127,7 @@ pub mod prelude {
     pub use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
     pub use crate::baselines::{Algorithm, plan_for_algorithm};
     pub use crate::edge_opt::{EdgeProblem, EdgeSolution};
+    pub use crate::exec::{run_epochs, CompiledSchedule, EpochDriver, ExecState};
     pub use crate::metrics::RoundCost;
     pub use crate::plan::GlobalPlan;
     pub use crate::runtime::execute_round;

@@ -116,6 +116,81 @@ pub fn build_milestone_routing(
     }
 }
 
+/// One virtual edge's precomputed cost facts.
+#[derive(Clone, Copy, Debug)]
+struct MilestoneEdgeCost {
+    /// Per-delivery energies for the edge's merged message.
+    tx_uj: f64,
+    rx_uj: f64,
+    /// Physical hop length of the virtual edge.
+    length: f64,
+    units: usize,
+    cost_bytes: u64,
+}
+
+/// The milestone cost model compiled once per `(plan, routing)`: per-edge
+/// message energies and lengths are resolved up front (in ascending edge
+/// order, matching the reference accumulation), so sweeping failure
+/// probabilities — as the `ablations` bench does — is a flat-array pass
+/// per probe instead of a `BTreeMap` walk with energy-model calls.
+#[derive(Clone, Debug)]
+pub struct CompiledMilestoneCost {
+    entries: Vec<MilestoneEdgeCost>,
+    detour_overhead: f64,
+}
+
+impl CompiledMilestoneCost {
+    /// Precomputes the per-edge facts for `plan` over `milestone`.
+    pub fn new(
+        plan: &GlobalPlan,
+        milestone: &MilestoneRouting,
+        energy: &EnergyModel,
+        config: &MilestoneConfig,
+    ) -> Self {
+        let entries = plan
+            .solutions()
+            .iter()
+            .map(|(&edge, sol)| {
+                let body = u32::try_from(sol.cost_bytes).expect("payload fits u32");
+                MilestoneEdgeCost {
+                    tx_uj: energy.tx_cost_uj(body),
+                    rx_uj: energy.rx_cost_uj(body),
+                    length: f64::from(milestone.edge_lengths.get(&edge).copied().unwrap_or(1)),
+                    units: sol.unit_count(),
+                    cost_bytes: sol.cost_bytes,
+                }
+            })
+            .collect();
+        CompiledMilestoneCost {
+            entries,
+            detour_overhead: config.detour_overhead,
+        }
+    }
+
+    /// Expected per-round cost under per-link failure probability `p`
+    /// (see [`expected_round_cost`] for the model).
+    pub fn expected_cost(&self, failure_probability: f64) -> RoundCost {
+        assert!((0.0..1.0).contains(&failure_probability));
+        let mut cost = RoundCost::default();
+        for e in &self.entries {
+            let multiplier = if e.length <= 1.0 {
+                // Pinned hop: retransmit on this exact link until it is up.
+                1.0 / (1.0 - failure_probability)
+            } else {
+                // Flexible segment: route around failures with bounded
+                // detour.
+                e.length * (1.0 + self.detour_overhead * failure_probability)
+            };
+            cost.tx_uj += e.tx_uj * multiplier;
+            cost.rx_uj += e.rx_uj * multiplier;
+            cost.messages += e.length as usize;
+            cost.units += e.units;
+            cost.payload_bytes += e.cost_bytes;
+        }
+        cost
+    }
+}
+
 /// Expected per-round cost of executing `plan` over the milestone routing
 /// under per-link failure probability `p`.
 ///
@@ -123,6 +198,10 @@ pub fn build_milestone_routing(
 /// experiments); the message is relayed over the virtual edge's physical
 /// length with the flexible-delivery multiplier, except that length-1
 /// virtual edges are pinned hops paying the retransmission multiplier.
+///
+/// One-shot convenience over [`CompiledMilestoneCost`]; probability
+/// sweeps should compile once and call
+/// [`CompiledMilestoneCost::expected_cost`] per probe.
 pub fn expected_round_cost(
     plan: &GlobalPlan,
     milestone: &MilestoneRouting,
@@ -130,25 +209,7 @@ pub fn expected_round_cost(
     failure_probability: f64,
     config: &MilestoneConfig,
 ) -> RoundCost {
-    assert!((0.0..1.0).contains(&failure_probability));
-    let mut cost = RoundCost::default();
-    for (&edge, sol) in plan.solutions() {
-        let body = u32::try_from(sol.cost_bytes).expect("payload fits u32");
-        let length = f64::from(milestone.edge_lengths.get(&edge).copied().unwrap_or(1));
-        let multiplier = if length <= 1.0 {
-            // Pinned hop: retransmit on this exact link until it is up.
-            1.0 / (1.0 - failure_probability)
-        } else {
-            // Flexible segment: route around failures with bounded detour.
-            length * (1.0 + config.detour_overhead * failure_probability)
-        };
-        cost.tx_uj += energy.tx_cost_uj(body) * multiplier;
-        cost.rx_uj += energy.rx_cost_uj(body) * multiplier;
-        cost.messages += length as usize;
-        cost.units += sol.unit_count();
-        cost.payload_bytes += sol.cost_bytes;
-    }
-    cost
+    CompiledMilestoneCost::new(plan, milestone, energy, config).expected_cost(failure_probability)
 }
 
 #[cfg(test)]
@@ -203,6 +264,25 @@ mod tests {
         // The virtual plan still validates and executes symbolically.
         let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
         plan.validate(&spec, &m.routing).unwrap();
+    }
+
+    #[test]
+    fn compiled_sweep_matches_one_shot() {
+        let (net, spec, routing) = setup();
+        let cfg = MilestoneConfig {
+            spacing: 3,
+            detour_overhead: 0.5,
+        };
+        let m = build_milestone_routing(&net, &routing, &cfg);
+        let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
+        let compiled = CompiledMilestoneCost::new(&plan, &m, net.energy(), &cfg);
+        for p in [0.0, 0.3, 0.6] {
+            assert_eq!(
+                compiled.expected_cost(p),
+                expected_round_cost(&plan, &m, net.energy(), p, &cfg),
+                "p={p}"
+            );
+        }
     }
 
     #[test]

@@ -60,12 +60,159 @@ pub struct ResilienceOutcome {
     pub delivered: bool,
 }
 
+/// One message's precomputed execution facts.
+#[derive(Clone, Debug)]
+struct MessageExec {
+    edge: (NodeId, NodeId),
+    unit_count: usize,
+    body: u32,
+    /// Energy of one transmission attempt / one successful reception.
+    tx_uj: f64,
+    rx_uj: f64,
+    /// Range into [`ResilienceExec::pred_pool`].
+    preds: (u32, u32),
+}
+
+/// Failure-prone round executor compiled once per schedule: message-level
+/// dependencies, bodies, and per-attempt energies are derived up front,
+/// so each simulated round only walks flat arrays (the reference
+/// implementation recomputed all of it per round — the dominant cost of
+/// [`average_over_rounds`] sweeps).
+#[derive(Clone, Debug)]
+pub struct ResilienceExec {
+    messages: Vec<MessageExec>,
+    pred_pool: Vec<u32>,
+}
+
+/// Reusable per-round scratch for [`ResilienceExec::run`].
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceScratch {
+    delivered: Vec<bool>,
+}
+
+impl ResilienceExec {
+    /// Precomputes the message-level execution facts for `schedule`.
+    pub fn new(network: &Network, schedule: &Schedule) -> Self {
+        let energy = network.energy();
+        let message_count = schedule.messages.len();
+
+        // Message-level dependency lists (as in the slot assigner).
+        let mut message_of = vec![usize::MAX; schedule.units.len()];
+        for (m, msg) in schedule.messages.iter().enumerate() {
+            for &u in &msg.units {
+                message_of[u] = m;
+            }
+        }
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); message_count];
+        for &(u, v) in &schedule.unit_arcs {
+            let (a, b) = (message_of[u], message_of[v]);
+            if a != b && !preds[b].contains(&(a as u32)) {
+                preds[b].push(a as u32);
+            }
+        }
+
+        let mut messages = Vec::with_capacity(message_count);
+        let mut pred_pool: Vec<u32> = Vec::new();
+        for (m, msg) in schedule.messages.iter().enumerate() {
+            let body: u32 = msg.units.iter().map(|&u| schedule.units[u].size_bytes).sum();
+            let start = pred_pool.len() as u32;
+            pred_pool.extend(&preds[m]);
+            messages.push(MessageExec {
+                edge: msg.edge,
+                unit_count: msg.units.len(),
+                body,
+                tx_uj: energy.tx_cost_uj(body),
+                rx_uj: energy.rx_cost_uj(body),
+                preds: (start, pred_pool.len() as u32),
+            });
+        }
+        ResilienceExec { messages, pred_pool }
+    }
+
+    /// Allocates a scratch arena sized for this executor.
+    pub fn scratch(&self) -> ResilienceScratch {
+        ResilienceScratch {
+            delivered: vec![false; self.messages.len()],
+        }
+    }
+
+    /// Executes one round under `failures` (see [`execute_with_failures`]
+    /// for the model), reusing `scratch` — no allocation per round.
+    pub fn run(
+        &self,
+        slots: &SlotSchedule,
+        failures: &LinkFailureModel,
+        round_salt: u64,
+        max_slots: u32,
+        scratch: &mut ResilienceScratch,
+    ) -> ResilienceOutcome {
+        let message_count = self.messages.len();
+        assert_eq!(scratch.delivered.len(), message_count, "scratch/exec mismatch");
+        scratch.delivered.fill(false);
+        let delivered = &mut scratch.delivered;
+
+        let mut cost = RoundCost::default();
+        let mut retransmissions = 0usize;
+        let mut slots_used = 0u32;
+        let mut remaining = message_count;
+
+        for slot in 0..max_slots {
+            if remaining == 0 {
+                break;
+            }
+            let mut progressed = false;
+            for m in 0..message_count {
+                let msg = &self.messages[m];
+                let preds = &self.pred_pool[msg.preds.0 as usize..msg.preds.1 as usize];
+                if delivered[m]
+                    || slots.slots[m] > slot
+                    || preds.iter().any(|&p| !delivered[p as usize])
+                {
+                    continue;
+                }
+                // Every attempt pays transmit energy.
+                cost.tx_uj += msg.tx_uj;
+                if failures.is_down(
+                    msg.edge.0,
+                    msg.edge.1,
+                    round_salt.wrapping_add(u64::from(slot)),
+                ) {
+                    retransmissions += 1;
+                    continue;
+                }
+                cost.rx_uj += msg.rx_uj;
+                cost.messages += 1;
+                cost.units += msg.unit_count;
+                cost.payload_bytes += u64::from(msg.body);
+                delivered[m] = true;
+                remaining -= 1;
+                slots_used = slots_used.max(slot + 1);
+                progressed = true;
+            }
+            // Even slots with only failed attempts advance the clock.
+            if !progressed && remaining > 0 {
+                slots_used = slots_used.max(slot + 1);
+            }
+        }
+
+        ResilienceOutcome {
+            slots_used,
+            retransmissions,
+            cost,
+            delivered: remaining == 0,
+        }
+    }
+}
+
 /// Executes one round of `schedule` under `failures`, with `round_salt`
 /// decorrelating this round's failures from other rounds'.
 ///
 /// A message becomes *ready* once every message it waits for has been
 /// delivered; it is attempted in every slot from `max(its assigned slot,
 /// readiness)` until its link is up. Retries give up after `max_slots`.
+///
+/// One-shot convenience over [`ResilienceExec`]; multi-round callers
+/// should build the executor once.
 pub fn execute_with_failures(
     network: &Network,
     schedule: &Schedule,
@@ -74,81 +221,14 @@ pub fn execute_with_failures(
     round_salt: u64,
     max_slots: u32,
 ) -> ResilienceOutcome {
-    let energy = network.energy();
-    let message_count = schedule.messages.len();
-
-    // Message-level dependency lists (as in the slot assigner).
-    let mut message_of = vec![usize::MAX; schedule.units.len()];
-    for (m, msg) in schedule.messages.iter().enumerate() {
-        for &u in &msg.units {
-            message_of[u] = m;
-        }
-    }
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); message_count];
-    for &(u, v) in &schedule.unit_arcs {
-        let (a, b) = (message_of[u], message_of[v]);
-        if a != b && !preds[b].contains(&a) {
-            preds[b].push(a);
-        }
-    }
-
-    let bodies: Vec<u32> = schedule
-        .messages
-        .iter()
-        .map(|m| m.units.iter().map(|&u| schedule.units[u].size_bytes).sum())
-        .collect();
-
-    let mut delivered = vec![false; message_count];
-    let mut cost = RoundCost::default();
-    let mut retransmissions = 0usize;
-    let mut slots_used = 0u32;
-    let mut remaining = message_count;
-
-    for slot in 0..max_slots {
-        if remaining == 0 {
-            break;
-        }
-        let mut progressed = false;
-        for m in 0..message_count {
-            if delivered[m]
-                || slots.slots[m] > slot
-                || preds[m].iter().any(|&p| !delivered[p])
-            {
-                continue;
-            }
-            let edge = schedule.messages[m].edge;
-            // Every attempt pays transmit energy.
-            cost.tx_uj += energy.tx_cost_uj(bodies[m]);
-            if failures.is_down(edge.0, edge.1, round_salt.wrapping_add(u64::from(slot))) {
-                retransmissions += 1;
-                continue;
-            }
-            cost.rx_uj += energy.rx_cost_uj(bodies[m]);
-            cost.messages += 1;
-            cost.units += schedule.messages[m].units.len();
-            cost.payload_bytes += u64::from(bodies[m]);
-            delivered[m] = true;
-            remaining -= 1;
-            slots_used = slots_used.max(slot + 1);
-            progressed = true;
-        }
-        // Even slots with only failed attempts advance the clock.
-        if !progressed && remaining > 0 {
-            slots_used = slots_used.max(slot + 1);
-        }
-    }
-
-    ResilienceOutcome {
-        slots_used,
-        retransmissions,
-        cost,
-        delivered: remaining == 0,
-    }
+    let exec = ResilienceExec::new(network, schedule);
+    let mut scratch = exec.scratch();
+    exec.run(slots, failures, round_salt, max_slots, &mut scratch)
 }
 
 /// Averages [`execute_with_failures`] over `rounds` independent rounds.
 /// Returns `(mean slots, mean retransmissions, mean energy µJ, delivery
-/// rate)`.
+/// rate)`. The executor is compiled once and reused for every round.
 pub fn average_over_rounds(
     network: &Network,
     schedule: &Schedule,
@@ -157,18 +237,19 @@ pub fn average_over_rounds(
     rounds: u32,
     max_slots: u32,
 ) -> (f64, f64, f64, f64) {
+    let exec = ResilienceExec::new(network, schedule);
+    let mut scratch = exec.scratch();
     let mut slot_sum = 0.0;
     let mut retx_sum = 0.0;
     let mut energy_sum = 0.0;
     let mut delivered = 0u32;
     for r in 0..rounds {
-        let out = execute_with_failures(
-            network,
-            schedule,
+        let out = exec.run(
             slots,
             failures,
             u64::from(r) * 1_000_003,
             max_slots,
+            &mut scratch,
         );
         slot_sum += f64::from(out.slots_used);
         retx_sum += out.retransmissions as f64;
@@ -224,6 +305,19 @@ mod tests {
         let baseline = schedule.round_cost(net.energy());
         assert!((out.cost.total_uj() - baseline.total_uj()).abs() < 1e-6);
         assert_eq!(out.cost.messages, baseline.messages);
+    }
+
+    #[test]
+    fn compiled_exec_reuse_matches_one_shot() {
+        let (net, schedule, slots) = setup();
+        let exec = ResilienceExec::new(&net, &schedule);
+        let mut scratch = exec.scratch();
+        let flaky = LinkFailureModel::new(0.3, 5);
+        for salt in [0u64, 7, 99] {
+            let fresh = execute_with_failures(&net, &schedule, &slots, &flaky, salt, 10_000);
+            let reused = exec.run(&slots, &flaky, salt, 10_000, &mut scratch);
+            assert_eq!(fresh, reused, "salt={salt}");
+        }
     }
 
     #[test]

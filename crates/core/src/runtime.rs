@@ -10,6 +10,7 @@
 //! and workload they touch.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingTables};
@@ -27,8 +28,10 @@ pub struct RoundResult {
     pub results: BTreeMap<NodeId, f64>,
     /// Energy and traffic spent this round.
     pub cost: RoundCost,
-    /// The schedule the round ran on (unit and message structure).
-    pub schedule: Schedule,
+    /// The schedule the round ran on (unit and message structure). Shared,
+    /// not cloned: per-round results no longer deep-copy the message
+    /// structure, so holding many [`RoundResult`]s is cheap.
+    pub schedule: Arc<Schedule>,
 }
 
 /// Executes one round of `plan` over `readings` (one reading per node; at
@@ -50,7 +53,7 @@ pub fn execute_round(
     RoundResult {
         results,
         cost,
-        schedule,
+        schedule: Arc::new(schedule),
     }
 }
 

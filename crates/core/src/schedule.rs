@@ -82,22 +82,22 @@ pub struct Schedule {
     pub topo_order: Vec<usize>,
     /// The messages after greedy merging.
     pub messages: Vec<Message>,
+    /// Messages per edge, computed once from `messages` at construction
+    /// (the schedule is immutable, so this never changes).
+    pub per_edge_messages: BTreeMap<DirectedEdge, usize>,
 }
 
 impl Schedule {
     /// Number of messages per edge, keyed by edge. The paper's greedy
-    /// merger achieves one per edge in all its experiments.
-    pub fn messages_per_edge(&self) -> BTreeMap<DirectedEdge, usize> {
-        let mut map = BTreeMap::new();
-        for m in &self.messages {
-            *map.entry(m.edge).or_insert(0) += 1;
-        }
-        map
+    /// merger achieves one per edge in all its experiments. Computed once
+    /// at construction; this accessor is free.
+    pub fn messages_per_edge(&self) -> &BTreeMap<DirectedEdge, usize> {
+        &self.per_edge_messages
     }
 
     /// The largest number of messages any edge needs.
     pub fn max_messages_on_any_edge(&self) -> usize {
-        self.messages_per_edge().values().copied().max().unwrap_or(0)
+        self.per_edge_messages.values().copied().max().unwrap_or(0)
     }
 
     /// Energy and traffic totals for transmitting this schedule once.
@@ -310,6 +310,10 @@ pub fn build_schedule(
     // common case (all units on the edge in one message); if that creates
     // a cycle at the message level, fall back to incremental merging.
     let messages = merge_messages(&units, &unit_arcs);
+    let mut per_edge_messages: BTreeMap<DirectedEdge, usize> = BTreeMap::new();
+    for m in &messages {
+        *per_edge_messages.entry(m.edge).or_insert(0) += 1;
+    }
 
     Ok(Schedule {
         units,
@@ -324,6 +328,7 @@ pub fn build_schedule(
             .collect(),
         topo_order,
         messages,
+        per_edge_messages,
     })
 }
 

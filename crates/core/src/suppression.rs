@@ -22,6 +22,13 @@
 //! Figure 7 compares the policies' per-round energy against the default
 //! plan applied to the same changed values ("full recomputation", which
 //! is optimal when the change probability is 1).
+//!
+//! Like the compiled executor ([`crate::exec`]), the simulator interns
+//! everything — sources, edges, raw units, record groups, transition
+//! decisions — into dense `u32` ids at construction, so the per-round
+//! cost evaluation runs over flat arrays and a reusable
+//! [`SuppressionScratch`] with zero heap allocation. Campaigns
+//! ([`crate::campaign`]) call it thousands of times per plan.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -94,34 +101,107 @@ pub enum StatePlacement {
     EveryNode,
 }
 
-/// Per-pair routing facts extracted from the plan once, then reused every
-/// round: where the pair's value transitions from raw to a record, and the
-/// unit chain it occupies.
+/// Sentinel for "no transition" / "no record" in the dense pair layout.
+const NONE_ID: u32 = u32::MAX;
+
+/// One `(source, destination)` pair lowered to dense ids. Ranges index
+/// the simulator's flat pools.
 #[derive(Clone, Debug)]
-struct PairPlan {
-    source: NodeId,
-    /// Edges the pair crosses raw under the default plan, in path order.
-    raw_edges: Vec<DirectedEdge>,
-    /// `Some((node, first_record))` if the pair transitions at `node`.
-    transition: Option<(NodeId, (DirectedEdge, AggGroup))>,
-    /// The record chain from the transition onward: `(edge, group)` pairs.
-    record_chain: Vec<(DirectedEdge, AggGroup)>,
-    /// Edges from the transition node to the destination, in path order —
-    /// the raw route if the transition is overridden.
-    override_raw_edges: Vec<DirectedEdge>,
+struct DensePair {
+    /// Slot into [`SuppressionSim::sources`].
+    source: u32,
+    /// Range into `raw_pool`: raw units under the default plan.
+    raw_units: (u32, u32),
+    /// Transition group id, or [`NONE_ID`] if the pair never transitions.
+    group: u32,
+    /// Record id of the pair's first (forming) record, or [`NONE_ID`].
+    first_rec: u32,
+    /// Range into `chain_pool`: the record chain from the transition on.
+    chain: (u32, u32),
+    /// Range into `override_pool`: raw units of the override route.
+    /// Aligned with `chain` — `chain[i]` crosses `override[i]`'s edge.
+    overrides: (u32, u32),
 }
 
-/// Precomputed suppression executor for one plan.
+/// One `(transition node, source)` override decision point. All pairs in
+/// a group share the source, so the whole group is active exactly when
+/// that source changed — its record set and raw fan-out are fixed at
+/// construction.
+#[derive(Clone, Debug)]
+struct TransitionGroup {
+    /// Slot into [`SuppressionSim::sources`].
+    source: u32,
+    /// Range into `group_rec_pool`: distinct first records the source
+    /// feeds here, in ascending `(edge, group)` order.
+    records: (u32, u32),
+    /// Distinct outgoing edges raw forwarding would use.
+    raw_out_count: u32,
+}
+
+/// Precomputed suppression executor for one plan. See the module docs
+/// for the dense layout; the legacy BTreeMap-per-round evaluation was
+/// replaced by flat-array passes over a [`SuppressionScratch`].
 #[derive(Clone, Debug)]
 pub struct SuppressionSim {
-    pairs: Vec<PairPlan>,
-    /// Partial-record byte size per destination.
-    record_bytes: BTreeMap<NodeId, u32>,
+    /// All sources, ascending; defines the changed-mask slot order.
+    sources: Vec<NodeId>,
+    pairs: Vec<DensePair>,
+    /// Transition groups in ascending `(node, source)` order — the
+    /// decision iteration order of the reference three-pass model.
+    groups: Vec<TransitionGroup>,
+    group_rec_pool: Vec<u32>,
+    /// Raw unit ids, per pair in path order.
+    raw_pool: Vec<u32>,
+    /// Record ids, per pair in chain order.
+    chain_pool: Vec<u32>,
+    /// Raw unit ids of override routes, per pair in path order.
+    override_pool: Vec<u32>,
+    /// Per raw unit id: its edge id. Raw unit ids ascend in
+    /// `(edge, source)` order, deduplicating multicast sharing.
+    raw_unit_edge: Vec<u32>,
+    /// Per record id: its edge id. Record ids ascend in `(edge, group)`
+    /// order.
+    rec_edge: Vec<u32>,
+    /// Per record id: the partial-record byte size of its destination.
+    rec_bytes: Vec<u32>,
+    /// All directed edges any unit can cross, ascending; the final cost
+    /// accumulation runs in this (the reference `BTreeMap`) order.
+    edges: Vec<DirectedEdge>,
     header_bytes: u32,
     tx_fixed_uj: f64,
     rx_fixed_uj: f64,
     tx_per_byte: f64,
     rx_per_byte: f64,
+}
+
+/// Reusable per-round scratch for [`SuppressionSim`]: allocate once, run
+/// any number of rounds allocation-free.
+#[derive(Clone, Debug)]
+pub struct SuppressionScratch {
+    /// Which sources changed this round, by source slot.
+    changed: Vec<bool>,
+    /// Active pre-aggregated inputs per forming record.
+    forming: Vec<u32>,
+    /// Override decision per transition group.
+    overridden: Vec<bool>,
+    /// Record activity per record id.
+    active_rec: Vec<bool>,
+    /// Raw activity per raw unit id.
+    raw_active: Vec<bool>,
+    /// Accumulated body bytes per edge id.
+    edge_body: Vec<u32>,
+    /// Accumulated unit count per edge id.
+    edge_units: Vec<usize>,
+}
+
+impl SuppressionScratch {
+    /// The changed-source mask, in [`SuppressionSim::sources`] slot
+    /// order. Set it, then call
+    /// [`SuppressionSim::round_cost_prepared`].
+    #[inline]
+    pub fn changed_mask_mut(&mut self) -> &mut [bool] {
+        &mut self.changed
+    }
 }
 
 impl SuppressionSim {
@@ -136,17 +216,26 @@ impl SuppressionSim {
         routing: &RoutingTables,
         plan: &GlobalPlan,
     ) -> Self {
-        let mut record_bytes = BTreeMap::new();
+        let mut record_bytes_of: BTreeMap<NodeId, u32> = BTreeMap::new();
         for (d, f) in spec.functions() {
             assert!(
                 f.kind().supports_delta_maintenance(),
                 "temporal suppression requires delta-maintainable functions; {d} has {:?}",
                 f.kind()
             );
-            record_bytes.insert(d, f.partial_record_bytes());
+            record_bytes_of.insert(d, f.partial_record_bytes());
         }
 
-        let mut pairs = Vec::new();
+        // Build-time view of one pair, interned below.
+        struct PairPlan {
+            source: NodeId,
+            raw_edges: Vec<DirectedEdge>,
+            transition: Option<(NodeId, (DirectedEdge, AggGroup))>,
+            record_chain: Vec<(DirectedEdge, AggGroup)>,
+            override_raw_edges: Vec<DirectedEdge>,
+        }
+
+        let mut pair_plans = Vec::new();
         for (s, tree) in routing.trees() {
             for &d in tree.destinations() {
                 if !spec.is_source_of(s, d) {
@@ -179,7 +268,7 @@ impl SuppressionSim {
                         record_chain.push((edge, group));
                     }
                 }
-                pairs.push(PairPlan {
+                pair_plans.push(PairPlan {
                     source: s,
                     raw_edges,
                     transition,
@@ -189,15 +278,145 @@ impl SuppressionSim {
             }
         }
 
+        // Intern: sources, edges, raw units (edge, source), records
+        // (edge, group). All id spaces ascend in their key order, so
+        // id-order iteration reproduces the reference BTree orders.
+        let sources = spec.all_sources();
+        let slot_of = |s: NodeId| -> u32 {
+            sources
+                .binary_search(&s)
+                .expect("pair source is a spec source") as u32
+        };
+
+        let mut edge_keys: BTreeSet<DirectedEdge> = BTreeSet::new();
+        let mut raw_keys: BTreeSet<(DirectedEdge, NodeId)> = BTreeSet::new();
+        let mut rec_keys: BTreeSet<(DirectedEdge, AggGroup)> = BTreeSet::new();
+        for p in &pair_plans {
+            for &e in &p.raw_edges {
+                edge_keys.insert(e);
+                raw_keys.insert((e, p.source));
+            }
+            for &e in &p.override_raw_edges {
+                edge_keys.insert(e);
+                raw_keys.insert((e, p.source));
+            }
+            for (e, g) in &p.record_chain {
+                edge_keys.insert(*e);
+                rec_keys.insert((*e, g.clone()));
+            }
+        }
+        let edges: Vec<DirectedEdge> = edge_keys.into_iter().collect();
+        let edge_id = |e: DirectedEdge| -> u32 {
+            edges.binary_search(&e).expect("edge interned") as u32
+        };
+        let raw_list: Vec<(DirectedEdge, NodeId)> = raw_keys.into_iter().collect();
+        let raw_id = |e: DirectedEdge, s: NodeId| -> u32 {
+            raw_list.binary_search(&(e, s)).expect("raw unit interned") as u32
+        };
+        let rec_list: Vec<(DirectedEdge, AggGroup)> = rec_keys.into_iter().collect();
+        let rec_id = |key: &(DirectedEdge, AggGroup)| -> u32 {
+            rec_list.binary_search(key).expect("record interned") as u32
+        };
+        let raw_unit_edge: Vec<u32> = raw_list.iter().map(|&(e, _)| edge_id(e)).collect();
+        let rec_edge: Vec<u32> = rec_list.iter().map(|&(e, _)| edge_id(e)).collect();
+        let rec_bytes: Vec<u32> = rec_list
+            .iter()
+            .map(|(_, g)| record_bytes_of[&g.destination])
+            .collect();
+
+        // Transition groups per (node, source), ascending.
+        let mut group_map: BTreeMap<(NodeId, NodeId), (BTreeSet<u32>, BTreeSet<DirectedEdge>)> =
+            BTreeMap::new();
+        for p in &pair_plans {
+            if let Some((node, ref first)) = p.transition {
+                let entry = group_map.entry((node, p.source)).or_default();
+                entry.0.insert(rec_id(first));
+                if let Some(&edge) = p.override_raw_edges.first() {
+                    entry.1.insert(edge);
+                }
+            }
+        }
+        let group_ids: BTreeMap<(NodeId, NodeId), u32> = group_map
+            .keys()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        let mut groups = Vec::with_capacity(group_map.len());
+        let mut group_rec_pool: Vec<u32> = Vec::new();
+        for (&(_, source), (records, raw_out)) in &group_map {
+            let start = group_rec_pool.len() as u32;
+            group_rec_pool.extend(records.iter().copied());
+            groups.push(TransitionGroup {
+                source: slot_of(source),
+                records: (start, group_rec_pool.len() as u32),
+                raw_out_count: raw_out.len() as u32,
+            });
+        }
+
+        // Dense pairs over flat pools.
+        let mut pairs = Vec::with_capacity(pair_plans.len());
+        let mut raw_pool: Vec<u32> = Vec::new();
+        let mut chain_pool: Vec<u32> = Vec::new();
+        let mut override_pool: Vec<u32> = Vec::new();
+        for p in &pair_plans {
+            let raw_start = raw_pool.len() as u32;
+            raw_pool.extend(p.raw_edges.iter().map(|&e| raw_id(e, p.source)));
+            let chain_start = chain_pool.len() as u32;
+            chain_pool.extend(p.record_chain.iter().map(&rec_id));
+            let override_start = override_pool.len() as u32;
+            override_pool.extend(p.override_raw_edges.iter().map(|&e| raw_id(e, p.source)));
+            let (group, first_rec) = match &p.transition {
+                Some((node, first)) => (group_ids[&(*node, p.source)], rec_id(first)),
+                None => (NONE_ID, NONE_ID),
+            };
+            pairs.push(DensePair {
+                source: slot_of(p.source),
+                raw_units: (raw_start, raw_pool.len() as u32),
+                group,
+                first_rec,
+                chain: (chain_start, chain_pool.len() as u32),
+                overrides: (override_start, override_pool.len() as u32),
+            });
+        }
+
         let e = network.energy();
         SuppressionSim {
+            sources,
             pairs,
-            record_bytes,
+            groups,
+            group_rec_pool,
+            raw_pool,
+            chain_pool,
+            override_pool,
+            raw_unit_edge,
+            rec_edge,
+            rec_bytes,
+            edges,
             header_bytes: e.header_bytes,
             tx_fixed_uj: e.tx_fixed_uj,
             rx_fixed_uj: e.rx_fixed_uj,
             tx_per_byte: e.tx_uj_per_byte,
             rx_per_byte: e.rx_uj_per_byte,
+        }
+    }
+
+    /// All sources, ascending — the slot order of
+    /// [`SuppressionScratch::changed_mask_mut`].
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Allocates a scratch arena sized for this simulator.
+    pub fn scratch(&self) -> SuppressionScratch {
+        SuppressionScratch {
+            changed: vec![false; self.sources.len()],
+            forming: vec![0; self.rec_edge.len()],
+            overridden: vec![false; self.groups.len()],
+            active_rec: vec![false; self.rec_edge.len()],
+            raw_active: vec![false; self.raw_unit_edge.len()],
+            edge_body: vec![0; self.edges.len()],
+            edge_units: vec![0; self.edges.len()],
         }
     }
 
@@ -222,132 +441,146 @@ impl SuppressionSim {
         policy: OverridePolicy,
         placement: StatePlacement,
     ) -> RoundCost {
+        let mut scratch = self.scratch();
+        self.round_cost_with(changed, policy, placement, &mut scratch)
+    }
+
+    /// Allocation-free variant: reuses `scratch` across rounds.
+    pub fn round_cost_with(
+        &self,
+        changed: &BTreeSet<NodeId>,
+        policy: OverridePolicy,
+        placement: StatePlacement,
+        scratch: &mut SuppressionScratch,
+    ) -> RoundCost {
+        for (slot, s) in self.sources.iter().enumerate() {
+            scratch.changed[slot] = changed.contains(s);
+        }
+        self.round_cost_prepared(policy, placement, scratch)
+    }
+
+    /// Evaluates one round against the changed-source mask already set in
+    /// `scratch` (see [`SuppressionScratch::changed_mask_mut`]). This is
+    /// the hot path: three passes over flat arrays, no allocation.
+    ///
+    /// # Panics
+    /// Panics if `scratch` was sized for a different simulator.
+    pub fn round_cost_prepared(
+        &self,
+        policy: OverridePolicy,
+        placement: StatePlacement,
+        scratch: &mut SuppressionScratch,
+    ) -> RoundCost {
+        assert_eq!(scratch.changed.len(), self.sources.len(), "scratch/sim mismatch");
+        let range = |r: (u32, u32)| r.0 as usize..r.1 as usize;
+
         // Pass A: default-plan activity — how many *active* inputs does
         // each freshly formed record have (pre-aggregated deltas at its
         // forming node)? Chained records inherit activity.
-        let mut forming_inputs: BTreeMap<(DirectedEdge, AggGroup), u32> = BTreeMap::new();
+        scratch.forming.fill(0);
         for p in &self.pairs {
-            if !changed.contains(&p.source) {
-                continue;
-            }
-            if let Some((_, ref first)) = p.transition {
-                *forming_inputs.entry(first.clone()).or_insert(0) += 1;
+            if p.first_rec != NONE_ID && scratch.changed[p.source as usize] {
+                scratch.forming[p.first_rec as usize] += 1;
             }
         }
 
-        // Pass B: override decisions, one per (node, source).
-        // Collect each changed source's transitions per node.
-        #[derive(Default)]
-        struct Transitions {
-            /// Distinct first records the source feeds at this node.
-            records: BTreeSet<(DirectedEdge, AggGroup)>,
-            /// Distinct outgoing edges raw forwarding would use.
-            raw_out_edges: BTreeSet<DirectedEdge>,
-        }
-        let mut per_node_source: BTreeMap<(NodeId, NodeId), Transitions> = BTreeMap::new();
-        for p in &self.pairs {
-            if !changed.contains(&p.source) {
+        // Pass B: override decisions, one per (node, source), in
+        // ascending (node, source) order.
+        let (marginal_aware, factor) = policy.decision();
+        for (g, group) in self.groups.iter().enumerate() {
+            if !scratch.changed[group.source as usize] {
+                scratch.overridden[g] = false;
                 continue;
             }
-            if let Some((node, ref first)) = p.transition {
-                let t = per_node_source.entry((node, p.source)).or_default();
-                t.records.insert(first.clone());
-                if let Some(&edge) = p.override_raw_edges.first() {
-                    t.raw_out_edges.insert(edge);
-                }
-            }
-        }
-        let (marginal_aware, factor) = policy.decision();
-        let mut overridden: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for (&(node, source), t) in &per_node_source {
             // Cost of aggregating here. Marginal-aware policies treat
             // records other changed values already activate as free; the
             // naive aggressive policy charges every record in full.
-            let agg_cost: f64 = t
-                .records
+            let agg_cost: f64 = self.group_rec_pool[range(group.records)]
                 .iter()
-                .map(|key| {
-                    if marginal_aware && forming_inputs[key] > 1 {
+                .map(|&rec| {
+                    if marginal_aware && scratch.forming[rec as usize] > 1 {
                         0.0
                     } else {
-                        f64::from(self.record_bytes[&key.1.destination])
+                        f64::from(self.rec_bytes[rec as usize])
                     }
                 })
                 .sum();
-            let raw_cost = f64::from(RAW_VALUE_BYTES) * t.raw_out_edges.len() as f64;
-            if raw_cost * factor <= agg_cost {
-                overridden.insert((node, source));
-            }
+            let raw_cost = f64::from(RAW_VALUE_BYTES) * f64::from(group.raw_out_count);
+            scratch.overridden[g] = raw_cost * factor <= agg_cost;
         }
 
-        // Pass C: final activity. Raw bytes per (edge, source) dedup
-        // (multicast sharing); record activity per (edge, group).
-        let mut raw_units: BTreeSet<(DirectedEdge, NodeId)> = BTreeSet::new();
-        let mut active_records: BTreeSet<(DirectedEdge, AggGroup)> = BTreeSet::new();
-        // Records activated by non-overridden pairs — the chains an
-        // EveryNode-placement override may rejoin.
+        // Pass C: final activity. Records first — the chains an
+        // EveryNode-placement override may rejoin — then raw units,
+        // deduplicated per (edge, source) by the raw-unit interning
+        // (multicast sharing).
+        scratch.active_rec.fill(false);
+        scratch.raw_active.fill(false);
         for p in &self.pairs {
-            if !changed.contains(&p.source) {
+            if !scratch.changed[p.source as usize] {
                 continue;
             }
-            if let Some((node, _)) = &p.transition {
-                if !overridden.contains(&(*node, p.source)) {
-                    for entry in &p.record_chain {
-                        active_records.insert(entry.clone());
-                    }
+            if p.group != NONE_ID && !scratch.overridden[p.group as usize] {
+                for &rec in &self.chain_pool[range(p.chain)] {
+                    scratch.active_rec[rec as usize] = true;
                 }
             }
         }
         for p in &self.pairs {
-            if !changed.contains(&p.source) {
+            if !scratch.changed[p.source as usize] {
                 continue;
             }
-            for &e in &p.raw_edges {
-                raw_units.insert((e, p.source));
+            for &ru in &self.raw_pool[range(p.raw_units)] {
+                scratch.raw_active[ru as usize] = true;
             }
-            match &p.transition {
-                None => {}
-                Some((node, _)) if overridden.contains(&(*node, p.source)) => {
-                    // With state only at the transition node, the delta
-                    // stays raw all the way. With state everywhere it can
-                    // rejoin the first already-active record of its chain
-                    // (record_chain[i] crosses override_raw_edges[i]).
-                    let rejoin_at = match placement {
-                        StatePlacement::TransitionOnly => p.override_raw_edges.len(),
-                        StatePlacement::EveryNode => p
-                            .record_chain
-                            .iter()
-                            .position(|entry| active_records.contains(entry))
-                            .unwrap_or(p.override_raw_edges.len()),
-                    };
-                    for &e in &p.override_raw_edges[..rejoin_at] {
-                        raw_units.insert((e, p.source));
-                    }
+            if p.group != NONE_ID && scratch.overridden[p.group as usize] {
+                // With state only at the transition node, the delta
+                // stays raw all the way. With state everywhere it can
+                // rejoin the first already-active record of its chain
+                // (chain[i] crosses the same hop as overrides[i]).
+                let chain = &self.chain_pool[range(p.chain)];
+                let overrides = &self.override_pool[range(p.overrides)];
+                let rejoin_at = match placement {
+                    StatePlacement::TransitionOnly => overrides.len(),
+                    StatePlacement::EveryNode => chain
+                        .iter()
+                        .position(|&rec| scratch.active_rec[rec as usize])
+                        .unwrap_or(overrides.len()),
+                };
+                for &ru in &overrides[..rejoin_at] {
+                    scratch.raw_active[ru as usize] = true;
                 }
-                Some(_) => {}
             }
         }
 
-        // Cost: one message per edge with ≥1 active unit.
-        let mut edge_bytes: BTreeMap<DirectedEdge, (u32, usize)> = BTreeMap::new();
-        for &(e, _) in &raw_units {
-            let slot = edge_bytes.entry(e).or_insert((0, 0));
-            slot.0 += RAW_VALUE_BYTES;
-            slot.1 += 1;
+        // Cost: one message per edge with ≥1 active unit, accumulated in
+        // ascending edge order (the reference BTreeMap order).
+        scratch.edge_body.fill(0);
+        scratch.edge_units.fill(0);
+        for (ru, &active) in scratch.raw_active.iter().enumerate() {
+            if active {
+                let e = self.raw_unit_edge[ru] as usize;
+                scratch.edge_body[e] += RAW_VALUE_BYTES;
+                scratch.edge_units[e] += 1;
+            }
         }
-        for (e, g) in &active_records {
-            let slot = edge_bytes.entry(*e).or_insert((0, 0));
-            slot.0 += self.record_bytes[&g.destination];
-            slot.1 += 1;
+        for (rec, &active) in scratch.active_rec.iter().enumerate() {
+            if active {
+                let e = self.rec_edge[rec] as usize;
+                scratch.edge_body[e] += self.rec_bytes[rec];
+                scratch.edge_units[e] += 1;
+            }
         }
         let mut cost = RoundCost::default();
-        for &(body, units) in edge_bytes.values() {
+        for (body, &units) in scratch.edge_body.iter().zip(&scratch.edge_units) {
+            if units == 0 {
+                continue;
+            }
             let on_air = f64::from(self.header_bytes + body);
             cost.tx_uj += self.tx_fixed_uj + on_air * self.tx_per_byte;
             cost.rx_uj += self.rx_fixed_uj + on_air * self.rx_per_byte;
             cost.messages += 1;
             cost.units += units;
-            cost.payload_bytes += u64::from(body);
+            cost.payload_bytes += u64::from(*body);
         }
         cost
     }
@@ -357,12 +590,12 @@ impl SuppressionSim {
     pub fn state_entries(&self, placement: StatePlacement) -> usize {
         self.pairs
             .iter()
-            .map(|p| match (&p.transition, placement) {
-                (None, _) => 0,
-                (Some(_), StatePlacement::TransitionOnly) => 1,
+            .map(|p| match (p.group, placement) {
+                (NONE_ID, _) => 0,
+                (_, StatePlacement::TransitionOnly) => 1,
                 // One entry per node from the transition to (but not
                 // including) the destination.
-                (Some(_), StatePlacement::EveryNode) => p.override_raw_edges.len(),
+                (_, StatePlacement::EveryNode) => (p.overrides.1 - p.overrides.0) as usize,
             })
             .sum()
     }
@@ -380,14 +613,23 @@ impl SuppressionSim {
         assert!((0.0..=1.0).contains(&change_probability));
         let mut rng = StdRng::seed_from_u64(seed);
         let sources = spec.all_sources();
+        let mut scratch = self.scratch();
+        let mut changed: BTreeSet<NodeId> = BTreeSet::new();
         let mut total = RoundCost::default();
         for _ in 0..rounds {
-            let changed: BTreeSet<NodeId> = sources
-                .iter()
-                .copied()
-                .filter(|_| rng.random_range(0.0..1.0) < change_probability)
-                .collect();
-            total.accumulate(&self.round_cost(&changed, policy));
+            changed.clear();
+            changed.extend(
+                sources
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random_range(0.0..1.0) < change_probability),
+            );
+            total.accumulate(&self.round_cost_with(
+                &changed,
+                policy,
+                StatePlacement::TransitionOnly,
+                &mut scratch,
+            ));
         }
         RoundCost {
             tx_uj: total.tx_uj / f64::from(rounds),
@@ -443,6 +685,36 @@ mod tests {
         let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
         let cost = sim.round_cost(&BTreeSet::new(), OverridePolicy::Aggressive);
         assert_eq!(cost, RoundCost::default());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // Interleaving rounds through one scratch must give the same
+        // costs as fresh evaluations — the scratch resets fully per call.
+        let (net, spec, routing, plan) = setup();
+        let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
+        let sources = spec.all_sources();
+        let rounds: Vec<BTreeSet<NodeId>> = vec![
+            sources.iter().copied().take(5).collect(),
+            BTreeSet::new(),
+            sources.iter().copied().collect(),
+            sources.iter().copied().step_by(3).collect(),
+        ];
+        let mut scratch = sim.scratch();
+        for changed in &rounds {
+            for policy in [
+                OverridePolicy::None,
+                OverridePolicy::Aggressive,
+                OverridePolicy::Medium,
+            ] {
+                for placement in [StatePlacement::TransitionOnly, StatePlacement::EveryNode] {
+                    let fresh = sim.round_cost_with_placement(changed, policy, placement);
+                    let reused =
+                        sim.round_cost_with(changed, policy, placement, &mut scratch);
+                    assert_eq!(fresh, reused, "{policy:?}/{placement:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub enum RoutingMode {
 pub struct RoutingTables {
     mode: RoutingMode,
     trees: BTreeMap<NodeId, MulticastTree>,
+    /// All distinct directed physical edges used by any tree, sorted —
+    /// computed once at construction (trees are immutable afterwards).
+    directed_edges: Vec<(NodeId, NodeId)>,
 }
 
 impl RoutingTables {
@@ -83,14 +86,22 @@ impl RoutingTables {
                 })
                 .collect(),
         };
-        RoutingTables { mode, trees }
+        Self::from_trees(mode, trees)
     }
 
     /// Builds routing tables directly from pre-constructed trees (used by
     /// milestone routing, which synthesizes *virtual* trees whose edges
     /// are not radio links).
     pub fn from_trees(mode: RoutingMode, trees: BTreeMap<NodeId, MulticastTree>) -> Self {
-        RoutingTables { mode, trees }
+        let mut directed_edges: Vec<(NodeId, NodeId)> =
+            trees.values().flat_map(|t| t.edges()).collect();
+        directed_edges.sort_unstable();
+        directed_edges.dedup();
+        RoutingTables {
+            mode,
+            trees,
+            directed_edges,
+        }
     }
 
     /// The routing mode the tables were built with.
@@ -121,15 +132,10 @@ impl RoutingTables {
     }
 
     /// All distinct directed physical edges used by any tree, sorted.
-    pub fn directed_edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut edges: Vec<(NodeId, NodeId)> = self
-            .trees
-            .values()
-            .flat_map(|t| t.edges())
-            .collect();
-        edges.sort_unstable();
-        edges.dedup();
-        edges
+    /// Cached at construction — calling this in a loop is free.
+    #[inline]
+    pub fn directed_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.directed_edges
     }
 }
 
@@ -229,8 +235,8 @@ mod tests {
         // edges of the single global spanning tree, which has n-1 edges.
         let mut undirected: Vec<(NodeId, NodeId)> = rt
             .directed_edges()
-            .into_iter()
-            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .iter()
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
             .collect();
         undirected.sort_unstable();
         undirected.dedup();
@@ -310,10 +316,10 @@ mod tests {
         let d = demands(&[(0, &[15]), (1, &[15])]);
         let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
         let edges = rt.directed_edges();
-        let mut sorted = edges.clone();
+        let mut sorted = edges.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(edges, sorted);
+        assert_eq!(edges, sorted.as_slice());
     }
 
     #[test]

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: release build, full test suite, and a
+# Tier-1 verification gate: release build, full test suite, a
 # warnings-as-errors clippy pass over every target (libs, bins, tests,
-# benches, examples). Run from anywhere; works on the repo root.
+# benches, examples), and a smoke run of the round-execution benchmark
+# (fails if the compiled executor is slower than the naive per-round
+# path on the stock 250-node deployment). Run from anywhere; works on
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+./target/release/bench_runtime --smoke
 
 echo "verify: OK"
