@@ -5,26 +5,26 @@
 //! every parallel build is bit-identical to the serial one, and writes
 //! the medians to `BENCH_optimizer.json` so regressions are diffable in
 //! CI and across machines. Also measures the Corollary-1 memoized
-//! rebuild ([`m2m_core::memo::SolveCache`]).
+//! rebuild ([`m2m_core::memo::SolveCache`]) and, after the timed phases,
+//! replays the workload with tracing enabled to embed a telemetry
+//! counter snapshot (solves, max-flow work, memo hit rate) into the
+//! artifact.
 //!
 //! Usage: `cargo run --release -p m2m-bench --bin bench_optimizer \
 //!         [output.json] [samples]`
 
-use std::time::Instant;
-
+use m2m_bench::report::{bench_report, median_ns, telemetry_section, time_ns, JsonValue};
 use m2m_core::memo::SolveCache;
 use m2m_core::plan::GlobalPlan;
+use m2m_core::telemetry::Level;
 use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_core::{m2m_log, telemetry};
 use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn median_ns(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
-}
-
 fn main() {
+    telemetry::init_logging(Level::Info);
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_optimizer.json".to_string());
@@ -45,21 +45,23 @@ fn main() {
 
     let reference = GlobalPlan::build_with_threads(&network, &spec, &routing, 1);
     let edge_count = reference.problems().len();
-    eprintln!(
+    m2m_log!(
+        Level::Info,
         "deployment: {n} nodes, {} destinations, {edge_count} solved edges",
         spec.destinations().count()
     );
 
-    let mut rows = Vec::new();
+    let mut builds = Vec::new();
     let mut serial_median = 0.0f64;
     for &threads in &THREAD_COUNTS {
         let mut times: Vec<f64> = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let t0 = Instant::now();
-            let plan = GlobalPlan::build_with_threads(&network, &spec, &routing, threads);
-            times.push(t0.elapsed().as_secs_f64() * 1e9);
+            let mut plan = None;
+            times.push(time_ns(|| {
+                plan = Some(GlobalPlan::build_with_threads(&network, &spec, &routing, threads));
+            }));
             assert_eq!(
-                plan.solutions(),
+                plan.expect("built").solutions(),
                 reference.solutions(),
                 "parallel build diverged at {threads} threads"
             );
@@ -69,10 +71,17 @@ fn main() {
             serial_median = med;
         }
         let speedup = serial_median / med;
-        eprintln!("threads {threads}: median {:.2} ms (speedup {speedup:.2}x)", med / 1e6);
-        rows.push(format!(
-            "    {{ \"threads\": {threads}, \"median_ns\": {med:.0}, \"speedup_vs_serial\": {speedup:.3} }}"
-        ));
+        m2m_log!(
+            Level::Info,
+            "threads {threads}: median {:.2} ms (speedup {speedup:.2}x)",
+            med / 1e6
+        );
+        builds.push(
+            JsonValue::object()
+                .with("threads", threads)
+                .with("median_ns", JsonValue::float(med, 0))
+                .with("speedup_vs_serial", JsonValue::float(speedup, 3)),
+        );
     }
 
     // Memoized rebuild: first build fills the cache, rebuilds are hits.
@@ -81,34 +90,47 @@ fn main() {
     assert_eq!(warm_plan.solutions(), reference.solutions());
     let mut warm_times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let t0 = Instant::now();
-        let plan = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
-        warm_times.push(t0.elapsed().as_secs_f64() * 1e9);
-        assert_eq!(plan.solutions(), reference.solutions());
+        let mut plan = None;
+        warm_times.push(time_ns(|| {
+            plan = Some(GlobalPlan::build_cached(&network, &spec, &routing, &mut cache));
+        }));
+        assert_eq!(plan.expect("built").solutions(), reference.solutions());
     }
     let warm_median = median_ns(&mut warm_times);
-    eprintln!(
+    m2m_log!(
+        Level::Info,
         "memoized rebuild: median {:.2} ms ({} hits / {} misses)",
         warm_median / 1e6,
         cache.hits(),
         cache.misses()
     );
 
-    let parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let json = format!(
-        "{{\n  \"benchmark\": \"plan_build\",\n  \"deployment\": \"scaled_series_250\",\n  \
-         \"nodes\": {n},\n  \"destinations\": {dests},\n  \"edge_count\": {edge_count},\n  \
-         \"samples\": {samples},\n  \"available_parallelism\": {parallelism},\n  \
-         \"builds\": [\n{rows}\n  ],\n  \
-         \"memoized_rebuild\": {{ \"median_ns\": {warm_median:.0}, \"hits\": {hits}, \"misses\": {misses} }}\n}}\n",
-        dests = spec.destinations().count(),
-        rows = rows.join(",\n"),
-        hits = cache.hits(),
-        misses = cache.misses(),
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    eprintln!("wrote {out_path}");
-    println!("{json}");
+    // Instrumented replay, outside the timed phases: one cold build and
+    // one memoized rebuild with every counter live, so the artifact
+    // records how much work the numbers above actually represent.
+    let telemetry = telemetry_section(|| {
+        let mut cache = SolveCache::new();
+        let cold = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+        let warm = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+        assert_eq!(cold.solutions(), warm.solutions());
+    });
+
+    let report = bench_report("plan_build", "scaled_series_250")
+        .with("nodes", n)
+        .with("destinations", spec.destinations().count())
+        .with("edge_count", edge_count)
+        .with("samples", samples)
+        .with("builds", JsonValue::Array(builds))
+        .with(
+            "memoized_rebuild",
+            JsonValue::object()
+                .with("median_ns", JsonValue::float(warm_median, 0))
+                .with("hits", cache.hits())
+                .with("misses", cache.misses()),
+        )
+        .with("telemetry", telemetry);
+    m2m_bench::report::write_report(&out_path, &report);
+    if let Some(path) = telemetry::export_if_requested() {
+        m2m_log!(Level::Info, "exported telemetry snapshot to {path}");
+    }
 }

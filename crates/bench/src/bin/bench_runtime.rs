@@ -5,33 +5,39 @@
 //! ([`m2m_core::exec::CompiledSchedule`], built once and run over flat
 //! arrays) on the largest scaled-series deployment (Figure 6's 250-node
 //! point). Verifies bit-exact agreement before timing anything, sweeps
-//! the epoch driver over several thread counts, and writes the medians
-//! to `BENCH_runtime.json` so regressions are diffable in CI and across
-//! machines.
+//! the epoch driver over several thread counts, writes the medians to
+//! `BENCH_runtime.json` so regressions are diffable in CI and across
+//! machines, and then replays the workload with tracing enabled so the
+//! artifact embeds a telemetry counter snapshot (solves, memo hit rate,
+//! recompiles vs refreshes, per-phase wall time).
 //!
 //! Usage: `cargo run --release -p m2m-bench --bin bench_runtime \
 //!         [--smoke] [output.json] [samples]`
 //!
 //! `--smoke` runs a handful of samples and exits non-zero if the
 //! compiled path is not at least as fast as the naive one — the cheap
-//! regression gate wired into `scripts/verify.sh`.
+//! regression gate wired into `scripts/verify.sh`. Smoke mode also
+//! prints machine-readable `smoke_*` lines on stdout: a digest folding
+//! every epoch result and round cost (so the verify gate can assert that
+//! a traced run computes bit-identical numbers to an untraced one) and
+//! an in-process tracing-off vs tracing-on timing of the compiled hot
+//! path (so the gate can bound instrumentation overhead without
+//! cross-process timing noise).
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
-use m2m_core::exec::{run_epochs, CompiledSchedule, ExecState};
+use m2m_bench::report::{bench_report, median_ns, telemetry_section, time_ns, JsonValue};
+use m2m_core::exec::{run_epochs, CompiledSchedule, EpochDriver, EpochOutcome, ExecState};
+use m2m_core::memo::SolveCache;
 use m2m_core::plan::GlobalPlan;
 use m2m_core::runtime::execute_round;
+use m2m_core::telemetry::Level;
 use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_core::{dynamics::WorkloadUpdate, m2m_log, telemetry};
 use m2m_graph::NodeId;
 use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-fn median_ns(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
-}
 
 /// Deterministic synthetic reading for `(source, round)` — no RNG so the
 /// benchmark is reproducible byte-for-byte across runs and machines.
@@ -41,7 +47,29 @@ fn reading(source: NodeId, round: usize) -> f64 {
     (s * 0.37 + r * 1.13).sin() * 50.0 + s * 0.01
 }
 
+/// FNV-1a over the bit patterns of every result and cost field, so two
+/// runs agree on the digest iff they computed bit-identical outcomes.
+fn digest_outcomes(outcomes: &[EpochOutcome]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for outcome in outcomes {
+        for &r in &outcome.results {
+            fold(r.to_bits());
+        }
+        fold(outcome.cost.tx_uj.to_bits());
+        fold(outcome.cost.rx_uj.to_bits());
+        fold(outcome.cost.messages as u64);
+        fold(outcome.cost.units as u64);
+        fold(outcome.cost.payload_bytes);
+    }
+    h
+}
+
 fn main() {
+    telemetry::init_logging(Level::Info);
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
@@ -52,7 +80,7 @@ fn main() {
     let samples: usize = args
         .get(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 3 } else { 9 });
+        .unwrap_or(if smoke { 5 } else { 9 });
     // The naive path rebuilds the schedule every round, so one sample is
     // one round; the compiled path is so much faster that a sample times
     // a whole batch of rounds to stay above clock resolution.
@@ -86,7 +114,8 @@ fn main() {
     assert_eq!(state.result_map(&compiled), reference.results);
     assert_eq!(cost, reference.cost);
 
-    eprintln!(
+    m2m_log!(
+        Level::Info,
         "deployment: {n} nodes, {} destinations, {} sources, {} schedule units",
         spec.destinations().count(),
         compiled.sources().len(),
@@ -102,14 +131,18 @@ fn main() {
             .iter()
             .map(|&s| (s, reading(s, round)))
             .collect();
-        let t0 = Instant::now();
-        let result = execute_round(&network, &spec, &routing, &plan, &readings);
-        naive_times.push(t0.elapsed().as_secs_f64() * 1e9);
-        assert!(result.cost.total_uj() > 0.0);
+        let mut result = None;
+        naive_times.push(time_ns(|| {
+            result = Some(execute_round(&network, &spec, &routing, &plan, &readings));
+        }));
+        assert!(result.expect("executed").cost.total_uj() > 0.0);
     }
     let naive_ns = median_ns(&mut naive_times);
     let naive_rps = 1e9 / naive_ns;
-    eprintln!("naive execute_round: {naive_ns:.0} ns/round ({naive_rps:.1} rounds/sec)");
+    m2m_log!(
+        Level::Info,
+        "naive execute_round: {naive_ns:.0} ns/round ({naive_rps:.1} rounds/sec)"
+    );
 
     // Compiled, single state, serial: the per-round hot path.
     let batch: Vec<Vec<f64>> = (0..compiled_batch)
@@ -122,19 +155,21 @@ fn main() {
                 .collect()
         })
         .collect();
-    let mut compiled_times: Vec<f64> = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let t0 = Instant::now();
+    let run_batch = |state: &mut ExecState| {
         for row in &batch {
             state.readings_mut().copy_from_slice(row);
-            compiled.run_round(&mut state);
+            compiled.run_round(state);
         }
-        compiled_times.push(t0.elapsed().as_secs_f64() * 1e9 / compiled_batch as f64);
+    };
+    let mut compiled_times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        compiled_times.push(time_ns(|| run_batch(&mut state)) / compiled_batch as f64);
     }
     let compiled_ns = median_ns(&mut compiled_times);
     let compiled_rps = 1e9 / compiled_ns;
     let speedup = naive_ns / compiled_ns;
-    eprintln!(
+    m2m_log!(
+        Level::Info,
         "compiled run_round: {compiled_ns:.0} ns/round ({compiled_rps:.1} rounds/sec, \
          {speedup:.1}x vs naive)"
     );
@@ -142,27 +177,35 @@ fn main() {
     // Epoch driver at several worker counts. The serial outcome is the
     // reference: every thread count must reproduce it exactly.
     let serial_outcomes = run_epochs(&compiled, &batch, 1);
-    let mut thread_rows = Vec::new();
+    let mut epoch_rows = Vec::new();
     for &threads in &THREAD_COUNTS {
         let mut times: Vec<f64> = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let t0 = Instant::now();
-            let outcomes = run_epochs(&compiled, &batch, threads);
-            times.push(t0.elapsed().as_secs_f64() * 1e9 / compiled_batch as f64);
-            assert_eq!(outcomes, serial_outcomes, "divergence at {threads} threads");
+            let mut outcomes = None;
+            times.push(time_ns(|| {
+                outcomes = Some(run_epochs(&compiled, &batch, threads));
+            }) / compiled_batch as f64);
+            assert_eq!(
+                outcomes.expect("ran"),
+                serial_outcomes,
+                "divergence at {threads} threads"
+            );
         }
         let med = median_ns(&mut times);
         let rps = 1e9 / med;
-        eprintln!(
+        m2m_log!(
+            Level::Info,
             "run_epochs threads {threads}: {med:.0} ns/round ({rps:.1} rounds/sec, \
              {:.1}x vs naive)",
             naive_ns / med
         );
-        thread_rows.push(format!(
-            "    {{ \"threads\": {threads}, \"median_ns_per_round\": {med:.0}, \
-             \"rounds_per_sec\": {rps:.1}, \"speedup_vs_naive\": {:.3} }}",
-            naive_ns / med
-        ));
+        epoch_rows.push(
+            JsonValue::object()
+                .with("threads", threads)
+                .with("median_ns_per_round", JsonValue::float(med, 0))
+                .with("rounds_per_sec", JsonValue::float(rps, 1))
+                .with("speedup_vs_naive", JsonValue::float(naive_ns / med, 3)),
+        );
     }
 
     if smoke {
@@ -171,29 +214,111 @@ fn main() {
             "regression: compiled path ({compiled_ns:.0} ns/round) slower than naive \
              execute_round ({naive_ns:.0} ns/round)"
         );
-        eprintln!("smoke: compiled path is {speedup:.1}x the naive path — OK");
+
+        // Tracing on must compute the exact same numbers as tracing off.
+        // Measure both states in the same process, interleaved, so the
+        // comparison is immune to cross-process scheduling noise.
+        let was_enabled = telemetry::enabled();
+        let probes = samples.max(9);
+        let mut off_times: Vec<f64> = Vec::with_capacity(probes);
+        let mut on_times: Vec<f64> = Vec::with_capacity(probes);
+        for _ in 0..probes {
+            telemetry::set_enabled(false);
+            off_times.push(time_ns(|| run_batch(&mut state)) / compiled_batch as f64);
+            telemetry::set_enabled(true);
+            on_times.push(time_ns(|| run_batch(&mut state)) / compiled_batch as f64);
+        }
+        telemetry::set_enabled(false);
+        let traced_off = run_epochs(&compiled, &batch, 2);
+        telemetry::set_enabled(true);
+        let traced_on = run_epochs(&compiled, &batch, 2);
+        telemetry::set_enabled(was_enabled);
+        assert_eq!(traced_off, serial_outcomes, "tracing-off run diverged");
+        assert_eq!(traced_on, serial_outcomes, "tracing-on run diverged");
+
+        // Minimum over the probes: the most repeatable estimator of the
+        // loop's true cost (every slower sample is the same code plus
+        // scheduler interference), so two processes gating on
+        // `smoke_disabled_ns` agree far more tightly than medians would.
+        let off_ns = off_times.iter().copied().fold(f64::INFINITY, f64::min);
+        let on_ns = on_times.iter().copied().fold(f64::INFINITY, f64::min);
+        let overhead_pct = (on_ns - off_ns) / off_ns * 100.0;
+        // Machine-readable lines for scripts/verify.sh. The digest folds
+        // every epoch result and cost computed above under the ambient
+        // M2M_TRACE state, so runs with different trace settings must
+        // print the same digest.
+        println!("smoke_digest=0x{:016x}", digest_outcomes(&serial_outcomes));
+        println!("smoke_disabled_ns={off_ns:.1}");
+        println!("smoke_enabled_ns={on_ns:.1}");
+        println!("smoke_overhead_pct={overhead_pct:.2}");
+        m2m_log!(
+            Level::Info,
+            "smoke: compiled path is {speedup:.1}x the naive path, tracing overhead \
+             {overhead_pct:.2}% ({off_ns:.0} ns off / {on_ns:.0} ns on) — OK"
+        );
+        if let Some(path) = telemetry::export_if_requested() {
+            m2m_log!(Level::Info, "exported telemetry snapshot to {path}");
+        }
         return;
     }
 
-    let parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let json = format!(
-        "{{\n  \"benchmark\": \"round_execution\",\n  \"deployment\": \"scaled_series_250\",\n  \
-         \"nodes\": {n},\n  \"destinations\": {dests},\n  \"sources\": {sources},\n  \
-         \"schedule_units\": {units},\n  \"samples\": {samples},\n  \
-         \"rounds_per_sample\": {compiled_batch},\n  \
-         \"available_parallelism\": {parallelism},\n  \
-         \"naive\": {{ \"median_ns_per_round\": {naive_ns:.0}, \"rounds_per_sec\": {naive_rps:.1} }},\n  \
-         \"compiled\": {{ \"median_ns_per_round\": {compiled_ns:.0}, \"rounds_per_sec\": {compiled_rps:.1}, \
-         \"speedup_vs_naive\": {speedup:.3} }},\n  \
-         \"epochs\": [\n{rows}\n  ]\n}}\n",
-        dests = spec.destinations().count(),
-        sources = compiled.sources().len(),
-        units = compiled.schedule().units.len(),
-        rows = thread_rows.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    eprintln!("wrote {out_path}");
-    println!("{json}");
+    // Instrumented replay, outside the timed phases: a memoized plan
+    // build, a compile, an epoch batch, and one refresh plus one
+    // recompile through the epoch driver, so the artifact records the
+    // optimizer/executor work behind the timings above.
+    let telemetry_json = telemetry_section(|| {
+        let mut cache = SolveCache::new();
+        let cold = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+        let warm = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
+        assert_eq!(cold.solutions(), warm.solutions());
+        let traced = CompiledSchedule::compile(&network, &spec, &routing, &warm)
+            .expect("schedulable plan");
+        let outcomes = run_epochs(&traced, &batch, 2);
+        assert_eq!(outcomes, serial_outcomes, "traced replay diverged");
+
+        let mut driver =
+            EpochDriver::new(network.clone(), spec.clone(), RoutingMode::ShortestPathTrees);
+        let (dest, source, weight) = spec
+            .functions()
+            .flat_map(|(d, f)| {
+                f.sources().map(move |s| (d, s, f.weight(s).expect("weighted")))
+            })
+            .next()
+            .expect("workload has at least one pair");
+        driver.apply(WorkloadUpdate::AddSource {
+            destination: dest,
+            source,
+            weight: weight * 1.5,
+        });
+        driver.apply(WorkloadUpdate::RemoveSource { destination: dest, source });
+        assert!(driver.refreshes() >= 1, "reweight should refresh in place");
+        assert!(driver.recompiles() >= 1, "source removal should recompile");
+    });
+
+    let report = bench_report("round_execution", "scaled_series_250")
+        .with("nodes", n)
+        .with("destinations", spec.destinations().count())
+        .with("sources", compiled.sources().len())
+        .with("schedule_units", compiled.schedule().units.len())
+        .with("samples", samples)
+        .with("rounds_per_sample", compiled_batch)
+        .with(
+            "naive",
+            JsonValue::object()
+                .with("median_ns_per_round", JsonValue::float(naive_ns, 0))
+                .with("rounds_per_sec", JsonValue::float(naive_rps, 1)),
+        )
+        .with(
+            "compiled",
+            JsonValue::object()
+                .with("median_ns_per_round", JsonValue::float(compiled_ns, 0))
+                .with("rounds_per_sec", JsonValue::float(compiled_rps, 1))
+                .with("speedup_vs_naive", JsonValue::float(speedup, 3)),
+        )
+        .with("epochs", JsonValue::Array(epoch_rows))
+        .with("telemetry", telemetry_json);
+    m2m_bench::report::write_report(&out_path, &report);
+    if let Some(path) = telemetry::export_if_requested() {
+        m2m_log!(Level::Info, "exported telemetry snapshot to {path}");
+    }
 }

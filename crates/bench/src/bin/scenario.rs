@@ -99,10 +99,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() {
+    m2m_core::telemetry::init_logging(m2m_core::telemetry::Level::Info);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            m2m_core::m2m_log!(m2m_core::telemetry::Level::Error, "error: {e}");
             std::process::exit(2);
         }
     };

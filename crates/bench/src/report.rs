@@ -1,0 +1,117 @@
+//! Shared emission for the committed `BENCH_*.json` artifacts.
+//!
+//! Both benchmark binaries (`bench_optimizer`, `bench_runtime`) used to
+//! hand-format their JSON with `format!` strings, which drifted apart
+//! field by field. They now build a [`JsonValue`] tree through this
+//! module: one schema version, one header shape, one writer. The schema
+//! is versioned so additive sections (like the `"telemetry"` counters
+//! introduced in version 2) never silently change the meaning of an
+//! artifact a downstream diff is watching.
+
+use std::time::Instant;
+
+pub use m2m_core::telemetry::json::JsonValue;
+
+/// Schema version stamped into every benchmark artifact.
+///
+/// * v1 (implicit): the hand-formatted artifacts, no version field.
+/// * v2: adds `schema_version` itself plus the additive `telemetry`
+///   section holding a counter/histogram snapshot from an instrumented
+///   run. Existing fields keep their v1 names and meanings.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Starts a benchmark report with the header fields every artifact
+/// shares: schema version, benchmark name, deployment label, and the
+/// machine's available parallelism.
+pub fn bench_report(benchmark: &str, deployment: &str) -> JsonValue {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    JsonValue::object()
+        .with("schema_version", BENCH_SCHEMA_VERSION)
+        .with("benchmark", benchmark)
+        .with("deployment", deployment)
+        .with("available_parallelism", parallelism)
+}
+
+/// Runs `instrumented` with tracing forced on, then returns the counter
+/// snapshot as the report's additive `"telemetry"` section.
+///
+/// When the process started with tracing off (the default), the registry
+/// is cleared before and after so the section covers exactly the closure
+/// and the timed phases of the benchmark never pay more than the
+/// relaxed-load check. When the operator already enabled tracing via
+/// `M2M_TRACE=1`, the flag and accumulated counters are left alone so a
+/// trailing `export_if_requested` still sees the whole run.
+pub fn telemetry_section(instrumented: impl FnOnce()) -> JsonValue {
+    let was_enabled = m2m_core::telemetry::enabled();
+    if !was_enabled {
+        m2m_core::telemetry::reset();
+        m2m_core::telemetry::set_enabled(true);
+    }
+    instrumented();
+    let section = m2m_core::telemetry::snapshot().to_json();
+    if !was_enabled {
+        m2m_core::telemetry::set_enabled(false);
+        m2m_core::telemetry::reset();
+    }
+    section
+}
+
+/// Renders a report, writes it to `path`, and echoes it to stdout (the
+/// artifacts double as the benchmark's machine-readable output).
+pub fn write_report(path: &str, report: &JsonValue) {
+    let text = report.render();
+    std::fs::write(path, &text).expect("write benchmark json");
+    print!("{text}");
+    m2m_core::m2m_log!(m2m_core::telemetry::Level::Info, "wrote {path}");
+}
+
+/// Median of a sample set, in place. Benchmarks report medians so a
+/// single descheduled sample cannot move the committed artifact.
+pub fn median_ns(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Times `f` once, returning nanoseconds.
+pub fn time_ns(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_header_has_versioned_shape() {
+        let report = bench_report("unit_test", "nowhere");
+        let text = report.render();
+        assert!(text.starts_with("{\n  \"schema_version\": 2,\n  \"benchmark\": \"unit_test\""));
+        assert!(text.contains("\"deployment\": \"nowhere\""));
+        assert!(text.contains("\"available_parallelism\": "));
+    }
+
+    #[test]
+    fn telemetry_section_drains_only_the_instrumented_closure() {
+        let section = telemetry_section(|| {
+            m2m_core::telemetry::counter("bench.report.test", 3);
+        });
+        let text = section.render();
+        assert!(text.contains("\"bench.report.test\": 3"), "got {text}");
+        // The registry was drained and tracing disabled on the way out.
+        assert!(!m2m_core::telemetry::enabled());
+        assert_eq!(m2m_core::telemetry::snapshot().counter("bench.report.test"), 0);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut a = [3.0, 1.0, 2.0];
+        let mut b = [2.0, 3.0, 1.0];
+        assert_eq!(median_ns(&mut a), 2.0);
+        assert_eq!(median_ns(&mut b), 2.0);
+    }
+}

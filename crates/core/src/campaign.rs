@@ -177,6 +177,13 @@ pub fn run_campaign(
         .map(|d| function_error_bound(spec, d, config.suppression_threshold))
         .fold(0.0f64, f64::max);
 
+    crate::m2m_log!(
+        crate::telemetry::Level::Debug,
+        "campaign done: {} rounds, {transmitted} transmitted / {suppressed} suppressed, \
+         max |err| {max_err:.3e} (bound {error_bound:.3e})",
+        config.rounds
+    );
+
     CampaignReport {
         rounds: config.rounds,
         total,

@@ -217,6 +217,7 @@ impl PlanMaintainer {
     /// independent and ordered collection keeps the plan bit-identical to
     /// a serial re-solve.
     fn install(&mut self, new_routing: RoutingTables) -> UpdateStats {
+        let _span = crate::telemetry::span(crate::telemetry::names::DYNAMICS_INSTALL_NS);
         let new_problems = build_edge_problems(&self.spec, &new_routing);
 
         let mut stats = UpdateStats::default();
@@ -247,6 +248,15 @@ impl PlanMaintainer {
             .filter(|e| !new_problems.contains_key(e))
             .count();
 
+        if crate::telemetry::enabled() {
+            use crate::telemetry::names;
+            crate::telemetry::counter(names::DYNAMICS_UPDATES, 1);
+            crate::telemetry::counter(names::DYNAMICS_EDGES_REUSED, stats.edges_reused as u64);
+            crate::telemetry::counter(
+                names::DYNAMICS_EDGES_REOPTIMIZED,
+                stats.edges_reoptimized as u64,
+            );
+        }
         self.plan = GlobalPlan::from_solutions(
             &self.spec,
             &new_routing,

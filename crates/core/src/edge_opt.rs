@@ -214,6 +214,19 @@ pub fn solve_edge_with(
         graph.add_edge_unchecked(si, gi);
     }
     let cover = min_weight_vertex_cover_with(&mut scratch.cover, graph);
+    if crate::telemetry::enabled() {
+        use crate::telemetry::names;
+        let flow = scratch.cover.last_flow_stats();
+        crate::telemetry::counter(names::EDGE_OPT_SOLVES, 1);
+        crate::telemetry::counter(names::EDGE_OPT_RAW_UNITS, cover.left.len() as u64);
+        crate::telemetry::counter(names::EDGE_OPT_RECORD_UNITS, cover.right.len() as u64);
+        crate::telemetry::counter(names::MAXFLOW_BFS_PHASES, flow.bfs_phases);
+        crate::telemetry::counter(names::MAXFLOW_AUGMENTING_PATHS, flow.augmenting_paths);
+        crate::telemetry::observe(
+            names::EDGE_OPT_COVER_SIZE,
+            (cover.left.len() + cover.right.len()) as u64,
+        );
+    }
     let raw: Vec<NodeId> = cover.left.iter().map(|&i| problem.sources[i]).collect();
     let agg: Vec<AggGroup> = cover.right.iter().map(|&i| problem.groups[i].clone()).collect();
     let cost_bytes = raw.len() as u64 * u64::from(RAW_VALUE_BYTES)

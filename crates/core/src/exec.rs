@@ -154,6 +154,8 @@ impl CompiledSchedule {
         routing: &RoutingTables,
         plan: &GlobalPlan,
     ) -> Result<Self, String> {
+        let _span = crate::telemetry::span(crate::telemetry::names::EXEC_COMPILE_NS);
+        crate::telemetry::counter(crate::telemetry::names::EXEC_COMPILES, 1);
         let schedule = build_schedule(spec, routing, plan)?;
         Ok(Self::from_schedule(network.energy(), spec, schedule))
     }
@@ -282,6 +284,9 @@ impl CompiledSchedule {
     /// # Panics
     /// Panics if `state` was sized for a different compiled schedule.
     pub fn run_round(&self, state: &mut ExecState) -> RoundCost {
+        // One relaxed load when tracing is off — the documented cost of
+        // instrumenting the hot path.
+        crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, 1);
         assert_eq!(state.records.len(), self.unit_count, "state/schedule mismatch");
         assert_eq!(state.readings.len(), self.sources.len(), "state/schedule mismatch");
         assert_eq!(state.results.len(), self.dest_steps.len(), "state/schedule mismatch");
@@ -470,6 +475,7 @@ pub fn run_epochs(
     rounds: &[Vec<f64>],
     threads: usize,
 ) -> Vec<EpochOutcome> {
+    let _span = crate::telemetry::span(crate::telemetry::names::EXEC_RUN_EPOCHS_NS);
     parallel::parallel_map_with(
         rounds,
         threads,
@@ -599,9 +605,11 @@ impl EpochDriver {
             )
             .expect("maintained plan must be schedulable");
             self.recompiles += 1;
+            crate::telemetry::counter(crate::telemetry::names::EXEC_RECOMPILES, 1);
         } else {
             self.compiled.refresh_weights(self.maintainer.spec());
             self.refreshes += 1;
+            crate::telemetry::counter(crate::telemetry::names::EXEC_REFRESHES, 1);
         }
     }
 }

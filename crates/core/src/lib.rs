@@ -55,6 +55,9 @@
 //! * [`multi`] — the "multiple functions per destination" lift (§2.1);
 //! * [`campaign`] — multi-round suppression campaigns with an audited
 //!   precision/energy trade-off (§3's "up to desired precision");
+//! * [`telemetry`] — the zero-overhead instrumentation facade (counters,
+//!   span timers, histograms, `M2M_TRACE` control) plus the per-edge
+//!   plan-explainability report;
 //! * [`textio`] — plain-text persistence for deployments and workloads.
 //!
 //! # Quickstart
@@ -119,8 +122,11 @@ pub mod slots;
 pub mod spec;
 pub mod suppression;
 pub mod tables;
+pub mod telemetry;
 pub mod textio;
 pub mod workload;
+
+pub use m2m_telemetry::m2m_log;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {

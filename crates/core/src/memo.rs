@@ -34,6 +34,7 @@ pub struct SolveCache {
     record_sizes: BTreeMap<NodeId, u32>,
     hits: u64,
     misses: u64,
+    invalidations: u64,
 }
 
 impl SolveCache {
@@ -60,6 +61,23 @@ impl SolveCache {
     /// Lookups that required a fresh solve since construction.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Whole-cache invalidations since construction: batches where a
+    /// destination the cache had already seen arrived with a different
+    /// partial-record size, forcing every entry out.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Fraction of lookups served from the cache (1.0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 
     /// Drops all cached solutions (counters are kept).
@@ -89,6 +107,8 @@ impl SolveCache {
         if conflict {
             self.entries.clear();
             self.record_sizes.clear();
+            self.invalidations += 1;
+            crate::telemetry::counter(crate::telemetry::names::MEMO_INVALIDATIONS, 1);
         }
         for (d, f) in spec.functions() {
             self.record_sizes.insert(d, f.partial_record_bytes());
@@ -96,6 +116,7 @@ impl SolveCache {
 
         let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = BTreeMap::new();
         let mut missing: Vec<(DirectedEdge, &EdgeProblem)> = Vec::new();
+        let (hits_before, misses_before) = (self.hits, self.misses);
         for (&edge, problem) in problems {
             match self.entries.get(problem) {
                 Some(cached) => {
@@ -107,6 +128,11 @@ impl SolveCache {
                     missing.push((edge, problem));
                 }
             }
+        }
+        if crate::telemetry::enabled() {
+            use crate::telemetry::names;
+            crate::telemetry::counter(names::MEMO_HITS, self.hits - hits_before);
+            crate::telemetry::counter(names::MEMO_MISSES, self.misses - misses_before);
         }
         let solved = solve_edge_batch(&missing, spec, threads);
         for (&(edge, problem), solution) in missing.iter().zip(&solved) {
@@ -120,9 +146,111 @@ impl SolveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::edge_opt::AggGroup;
     use crate::plan::GlobalPlan;
     use crate::workload::{generate_workload, WorkloadConfig};
     use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+    /// One hand-built single-edge problem feeding destination `d` from
+    /// two sources across the edge `4 → 5`.
+    fn tiny_problem(d: NodeId) -> (DirectedEdge, EdgeProblem) {
+        let edge = (NodeId(4), NodeId(5));
+        let group = AggGroup {
+            destination: d,
+            suffix: vec![NodeId(5), d].into(),
+        };
+        let problem = EdgeProblem {
+            edge,
+            sources: vec![NodeId(0), NodeId(1)],
+            groups: vec![group],
+            pairs: vec![(0, 0), (1, 0)],
+        };
+        (edge, problem)
+    }
+
+    #[test]
+    fn direct_hit_and_miss_accounting() {
+        let d = NodeId(9);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            d,
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        let (edge, problem) = tiny_problem(d);
+        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+
+        let mut cache = SolveCache::new();
+        assert_eq!((cache.hits(), cache.misses(), cache.invalidations()), (0, 0, 0));
+        assert_eq!(cache.hit_rate(), 1.0, "no lookups yet");
+
+        let first = cache.solve_all(&problems, &spec, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1), "cold solve misses");
+        assert_eq!(cache.len(), 1);
+
+        let second = cache.solve_all(&problems, &spec, 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "repeat is a hit");
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!(first, second, "cached result is bit-identical");
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_invalidation_accounting() {
+        let d = NodeId(9);
+        let mut sum_spec = AggregationSpec::new();
+        sum_spec.add_function(
+            d,
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        // Same destination, different aggregate kind ⇒ different
+        // partial-record size ⇒ remembered entries must be dropped.
+        let mut avg_spec = AggregationSpec::new();
+        avg_spec.add_function(
+            d,
+            AggregateFunction::weighted_average([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        assert_ne!(
+            sum_spec.function(d).unwrap().partial_record_bytes(),
+            avg_spec.function(d).unwrap().partial_record_bytes(),
+            "test needs kinds with distinct record sizes"
+        );
+        let (edge, problem) = tiny_problem(d);
+        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+
+        let mut cache = SolveCache::new();
+        cache.solve_all(&problems, &sum_spec, 1);
+        assert_eq!(cache.len(), 1);
+        let solved_avg = cache.solve_all(&problems, &avg_spec, 1);
+        assert_eq!(cache.invalidations(), 1, "size conflict clears the cache");
+        assert_eq!((cache.hits(), cache.misses()), (0, 2), "re-solve is a miss");
+        assert_eq!(solved_avg[&edge], crate::edge_opt::solve_edge(&problems[&edge], &avg_spec));
+        // Back to the original sizes: conflicts again (the avg size is
+        // now the remembered one).
+        cache.solve_all(&problems, &sum_spec, 1);
+        assert_eq!(cache.invalidations(), 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let d = NodeId(9);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            d,
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        let (edge, problem) = tiny_problem(d);
+        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+        let mut cache = SolveCache::new();
+        cache.solve_all(&problems, &spec, 1);
+        cache.solve_all(&problems, &spec, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "clear keeps counters");
+        cache.solve_all(&problems, &spec, 1);
+        assert_eq!(cache.misses(), 2, "cleared entry must be re-solved");
+        assert_eq!(cache.invalidations(), 0, "explicit clear is not an invalidation");
+    }
 
     fn setup() -> (Network, AggregationSpec, RoutingTables) {
         let net = Network::with_default_energy(Deployment::great_duck_island(11));

@@ -110,6 +110,13 @@ pub fn build_milestone_routing(
         );
     }
 
+    crate::m2m_log!(
+        crate::telemetry::Level::Debug,
+        "milestone routing built: {} virtual trees, {} virtual edges (spacing {})",
+        virtual_trees.len(),
+        edge_lengths.len(),
+        config.spacing
+    );
     MilestoneRouting {
         routing: RoutingTables::from_trees(physical.mode(), virtual_trees),
         edge_lengths,

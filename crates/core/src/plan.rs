@@ -79,6 +79,7 @@ impl GlobalPlan {
         routing: &RoutingTables,
         threads: usize,
     ) -> Self {
+        let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
         let problems = build_edge_problems(spec, routing);
         let entries: Vec<(DirectedEdge, &EdgeProblem)> =
             problems.iter().map(|(&e, p)| (e, p)).collect();
@@ -89,6 +90,10 @@ impl GlobalPlan {
             .zip(solved)
             .collect();
         let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        if crate::telemetry::enabled() {
+            crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
+            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, repairs as u64);
+        }
         GlobalPlan {
             problems,
             solutions,
@@ -114,10 +119,15 @@ impl GlobalPlan {
                 .all(|&(a, b)| network.graph().has_edge(a, b)),
             "every multicast edge must be a radio link"
         );
+        let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
         let problems = build_edge_problems(spec, routing);
         let mut solutions =
             cache.solve_all(&problems, spec, parallel::max_threads());
         let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        if crate::telemetry::enabled() {
+            crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
+            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, repairs as u64);
+        }
         GlobalPlan {
             problems,
             solutions,

@@ -126,6 +126,12 @@ impl ResilienceExec {
                 preds: (start, pred_pool.len() as u32),
             });
         }
+        crate::m2m_log!(
+            crate::telemetry::Level::Debug,
+            "resilience exec compiled: {} messages, {} dependency arcs",
+            messages.len(),
+            pred_pool.len()
+        );
         ResilienceExec { messages, pred_pool }
     }
 

@@ -379,6 +379,16 @@ impl SuppressionSim {
             });
         }
 
+        crate::m2m_log!(
+            crate::telemetry::Level::Debug,
+            "suppression sim compiled: {} pairs, {} edges, {} raw units, {} records, {} transition groups",
+            pairs.len(),
+            edges.len(),
+            raw_list.len(),
+            rec_list.len(),
+            groups.len()
+        );
+
         let e = network.energy();
         SuppressionSim {
             sources,

@@ -19,6 +19,20 @@ use std::collections::VecDeque;
 /// capacities can reach it, small enough that additions cannot overflow.
 pub const INF: u64 = u64::MAX / 4;
 
+/// Work counters from the most recent [`FlowNetwork::max_flow`] run.
+///
+/// The graph crate stays dependency-free, so it does not talk to the
+/// telemetry facade itself; callers that want Dinic effort attributed
+/// (the plan optimizer) read these via [`FlowNetwork::last_flow_stats`]
+/// and emit them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Number of BFS level-graph phases (outer Dinic iterations).
+    pub bfs_phases: u64,
+    /// Number of augmenting paths pushed across all phases.
+    pub augmenting_paths: u64,
+}
+
 #[derive(Clone, Debug)]
 struct Arc {
     to: usize,
@@ -42,6 +56,8 @@ pub struct FlowNetwork {
     level: Vec<i32>,
     iter: Vec<usize>,
     queue: VecDeque<usize>,
+    /// Work counters from the most recent `max_flow` call.
+    stats: FlowStats,
 }
 
 impl FlowNetwork {
@@ -138,6 +154,7 @@ impl FlowNetwork {
     /// Computes the maximum s→t flow, mutating residual capacities.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
+        self.stats = FlowStats::default();
         let mut total = 0u64;
         // The scratch vectors are moved out for the duration of the phase
         // so the recursive DFS can borrow `self` mutably alongside them.
@@ -150,6 +167,7 @@ impl FlowNetwork {
                 break;
             }
             level = std::mem::take(&mut self.level);
+            self.stats.bfs_phases += 1;
             iter.clear();
             iter.resize(self.n, 0);
             loop {
@@ -157,12 +175,19 @@ impl FlowNetwork {
                 if pushed == 0 {
                     break;
                 }
+                self.stats.augmenting_paths += 1;
                 total += pushed;
             }
         }
         self.level = level;
         self.iter = iter;
         total
+    }
+
+    /// Work counters from the most recent [`FlowNetwork::max_flow`] run
+    /// (zeroes if `max_flow` has never been called).
+    pub fn last_flow_stats(&self) -> FlowStats {
+        self.stats
     }
 
     /// Vertices reachable from `s` in the residual graph, written into
@@ -271,6 +296,24 @@ mod tests {
         assert!(reach[1] && reach[2]);
         assert!(reach[3] && reach[4]);
         assert!(!reach[5]);
+    }
+
+    #[test]
+    fn flow_stats_count_phases_and_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 2);
+        net.add_arc(1, 3, 2);
+        net.add_arc(0, 2, 3);
+        net.add_arc(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 5);
+        let stats = net.last_flow_stats();
+        // Both disjoint routes saturate inside the first level graph; a
+        // final BFS discovers the sink is no longer reachable.
+        assert_eq!(stats.augmenting_paths, 2);
+        assert_eq!(stats.bfs_phases, 1);
+        // Stats are per-run: a saturated re-run resets them.
+        assert_eq!(net.max_flow(0, 3), 0);
+        assert_eq!(net.last_flow_stats(), FlowStats { bfs_phases: 0, augmenting_paths: 0 });
     }
 
     #[test]

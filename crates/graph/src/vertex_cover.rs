@@ -74,6 +74,12 @@ impl CoverScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Dinic work counters from the most recent solve through this
+    /// scratch (see [`crate::maxflow::FlowStats`]).
+    pub fn last_flow_stats(&self) -> crate::maxflow::FlowStats {
+        self.net.last_flow_stats()
+    }
 }
 
 /// Computes the minimum-weight vertex cover of a bipartite graph.

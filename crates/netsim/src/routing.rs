@@ -27,6 +27,16 @@ use m2m_graph::NodeId;
 
 use crate::network::Network;
 
+/// Telemetry counter: routing-table constructions.
+pub const ROUTING_BUILDS: &str = "routing.builds";
+/// Telemetry counter: multicast trees constructed across all builds.
+pub const ROUTING_TREES: &str = "routing.trees";
+/// Telemetry counter: directed tree edges summed across all builds
+/// (the paper's `Σ|T_s|` state bound, Theorem 3).
+pub const ROUTING_TREE_EDGES: &str = "routing.tree_edges";
+/// Telemetry span: wall time of [`RoutingTables::build`] in nanoseconds.
+pub const ROUTING_BUILD_NS: &str = "routing.build.ns";
+
 /// How multicast trees are constructed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum RoutingMode {
@@ -64,6 +74,7 @@ impl RoutingTables {
         demands: &BTreeMap<NodeId, Vec<NodeId>>,
         mode: RoutingMode,
     ) -> Self {
+        let _span = m2m_telemetry::span(ROUTING_BUILD_NS);
         let trees = match mode {
             RoutingMode::ShortestPathTrees => demands
                 .iter()
@@ -97,6 +108,12 @@ impl RoutingTables {
             trees.values().flat_map(|t| t.edges()).collect();
         directed_edges.sort_unstable();
         directed_edges.dedup();
+        if m2m_telemetry::enabled() {
+            m2m_telemetry::counter(ROUTING_BUILDS, 1);
+            m2m_telemetry::counter(ROUTING_TREES, trees.len() as u64);
+            let tree_edges: usize = trees.values().map(|t| t.size().saturating_sub(1)).sum();
+            m2m_telemetry::counter(ROUTING_TREE_EDGES, tree_edges as u64);
+        }
         RoutingTables {
             mode,
             trees,

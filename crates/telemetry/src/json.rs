@@ -1,0 +1,225 @@
+//! A minimal JSON emitter, shared by every artifact writer in the
+//! workspace (telemetry snapshots, plan-explainability reports, the
+//! committed `BENCH_*.json` benchmark files).
+//!
+//! The workspace bans external dependencies, so this is a small tree
+//! model rather than serde: build a [`JsonValue`], call
+//! [`JsonValue::render`]. Objects preserve insertion order (the committed
+//! benchmark artifacts are diffed as text, so field order must be
+//! stable), integers render exactly, and floats render with an explicit
+//! decimal count so output never depends on shortest-float formatting.
+
+/// A JSON value under construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered exactly.
+    UInt(u64),
+    /// A signed integer, rendered exactly.
+    Int(i64),
+    /// A float rendered with a fixed number of decimals
+    /// (non-finite values render as `null`).
+    Float(f64, usize),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved on render.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl JsonValue {
+    /// An empty object, ready for [`JsonValue::push`].
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a field to an object (panics on non-objects — a builder
+    /// misuse, not a data error).
+    pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("push on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`JsonValue::push`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// A float field rendered with `decimals` decimal places.
+    pub fn float(value: f64, decimals: usize) -> Self {
+        JsonValue::Float(value, decimals)
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent) with a
+    /// trailing newline, matching the committed artifact style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => out.push_str(&v.to_string()),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v, decimals) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.decimals$}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_object_with_stable_order() {
+        let v = JsonValue::object()
+            .with("b", 2u64)
+            .with("a", JsonValue::Array(vec![1u64.into(), JsonValue::Null]))
+            .with("s", "x\"y\\z");
+        let text = v.render();
+        assert_eq!(
+            text,
+            "{\n  \"b\": 2,\n  \"a\": [\n    1,\n    null\n  ],\n  \"s\": \"x\\\"y\\\\z\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_use_fixed_decimals_and_nonfinite_is_null() {
+        assert_eq!(JsonValue::float(1.25, 3).render(), "1.250\n");
+        assert_eq!(JsonValue::float(f64::NAN, 1).render(), "null\n");
+        assert_eq!(JsonValue::float(f64::INFINITY, 1).render(), "null\n");
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(JsonValue::object().render(), "{}\n");
+        assert_eq!(JsonValue::Array(Vec::new()).render(), "[]\n");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(JsonValue::from("a\u{01}b\nc").render(), "\"a\\u0001b\\nc\"\n");
+    }
+}

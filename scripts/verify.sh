@@ -5,12 +5,51 @@
 # (fails if the compiled executor is slower than the naive per-round
 # path on the stock 250-node deployment). Run from anywhere; works on
 # the repo root.
+#
+# Telemetry gate: the smoke benchmark runs twice, with M2M_TRACE=0 and
+# M2M_TRACE=1. The two runs must print the same `smoke_digest=` line
+# (tracing must be unobservable in results and costs), the traced run
+# must export a non-empty counter snapshot, and the in-process timing of
+# the tracing-*disabled* hot path must agree across the two runs within
+# M2M_SMOKE_TOL percent (default 2 — the disabled path is the same code
+# either way, so anything beyond noise means the flag leaked into it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
-./target/release/bench_runtime --smoke
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+M2M_TRACE=0 ./target/release/bench_runtime --smoke > "$tmpdir/off.txt"
+M2M_TRACE=1 M2M_TRACE_OUT="$tmpdir/trace.json" \
+    ./target/release/bench_runtime --smoke > "$tmpdir/on.txt"
+
+get() { grep "^$2=" "$tmpdir/$1.txt" | cut -d= -f2; }
+
+digest_off=$(get off smoke_digest)
+digest_on=$(get on smoke_digest)
+if [ "$digest_off" != "$digest_on" ]; then
+    echo "verify: FAIL — tracing changed benchmark results" \
+         "($digest_off vs $digest_on)" >&2
+    exit 1
+fi
+
+if ! [ -s "$tmpdir/trace.json" ] || ! grep -q '"counters"' "$tmpdir/trace.json"; then
+    echo "verify: FAIL — traced run exported no counter snapshot" >&2
+    exit 1
+fi
+
+tol="${M2M_SMOKE_TOL:-2}"
+awk -v a="$(get off smoke_disabled_ns)" -v b="$(get on smoke_disabled_ns)" -v tol="$tol" '
+BEGIN {
+    lo = (a < b) ? a : b; hi = (a < b) ? b : a
+    pct = (hi - lo) / lo * 100
+    printf "verify: disabled-path hot loop %.1f ns vs %.1f ns (%.2f%% apart, tol %s%%)\n", a, b, pct, tol
+    exit (pct <= tol) ? 0 : 1
+}' || { echo "verify: FAIL — disabled-path timing drifted beyond tolerance" >&2; exit 1; }
+
+echo "verify: telemetry gate OK (digest $digest_off)"
 echo "verify: OK"

@@ -1,0 +1,75 @@
+//! Golden-file test for the plan-explainability report.
+//!
+//! [`m2m_core::telemetry::explain`] promises a *deterministic* text
+//! rendering: same deployment, same workload, same report, byte for
+//! byte, independent of thread counts or tracing state. This pins the
+//! report for one small fixed deployment against a committed fixture so
+//! any drift in the decision rationale, the cost arithmetic, or the
+//! formatting shows up as a reviewable diff.
+//!
+//! Regenerate after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test -p m2m-core --test explain_golden`
+
+use m2m_core::plan::GlobalPlan;
+use m2m_core::telemetry::explain;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn golden_path() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/core; the fixture lives in the
+    // workspace-level tests/ directory next to this file.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/explain_small.txt")
+}
+
+fn small_report() -> String {
+    let deployment = Deployment::scaled_series(&[20], 7).remove(0);
+    let network = Network::with_default_energy(deployment);
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(3, 4, 7));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(&network, &spec, &routing);
+    explain(&plan, &spec).to_text()
+}
+
+#[test]
+fn explain_text_matches_the_committed_golden_file() {
+    let text = small_report();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &text).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    assert_eq!(
+        text, golden,
+        "explain text drifted from tests/golden/explain_small.txt \
+         (bless intentional changes with UPDATE_GOLDEN=1)"
+    );
+}
+
+#[test]
+fn explain_text_is_reproducible_across_builds() {
+    // Two independent plan builds at different thread counts must render
+    // the identical report — determinism is what makes golden-testing
+    // (and diffing reports between deployments) meaningful at all.
+    let deployment = Deployment::scaled_series(&[20], 7).remove(0);
+    let network = Network::with_default_energy(deployment);
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(3, 4, 7));
+    let routing = RoutingTables::build(
+        &network,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let serial = GlobalPlan::build_with_threads(&network, &spec, &routing, 1);
+    let parallel = GlobalPlan::build_with_threads(&network, &spec, &routing, 4);
+    assert_eq!(
+        explain(&serial, &spec).to_text(),
+        explain(&parallel, &spec).to_text()
+    );
+    assert_eq!(small_report(), explain(&serial, &spec).to_text());
+}
