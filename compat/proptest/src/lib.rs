@@ -110,7 +110,9 @@ macro_rules! prop_assert_ne {
         if *a == *b {
             return Err($crate::test_runner::TestCaseError::fail(format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($a), stringify!($b), a
+                stringify!($a),
+                stringify!($b),
+                a
             )));
         }
     }};

@@ -52,10 +52,7 @@ fn bench_global_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("global_plan_build");
     group.sample_size(20);
     for &(dests, sources) in &[(7usize, 10usize), (14, 20), (34, 20)] {
-        let spec = generate_workload(
-            &network,
-            &WorkloadConfig::paper_default(dests, sources, 3),
-        );
+        let spec = generate_workload(&network, &WorkloadConfig::paper_default(dests, sources, 3));
         let routing = RoutingTables::build(
             &network,
             &spec.source_to_destinations(),
@@ -94,7 +91,11 @@ fn bench_parallel_build(c: &mut Criterion) {
     let mut cache = SolveCache::new();
     let _warm = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
     group.bench_function("memoized_rebuild", |b| {
-        b.iter(|| black_box(GlobalPlan::build_cached(&network, &spec, &routing, &mut cache)))
+        b.iter(|| {
+            black_box(GlobalPlan::build_cached(
+                &network, &spec, &routing, &mut cache,
+            ))
+        })
     });
     group.finish();
 }
@@ -104,7 +105,10 @@ fn bench_routing(c: &mut Criterion) {
     let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 20, 3));
     let demands = spec.source_to_destinations();
     let mut group = c.benchmark_group("routing_build");
-    for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+    for mode in [
+        RoutingMode::ShortestPathTrees,
+        RoutingMode::SharedSpanningTree,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{mode:?}")),
             &mode,

@@ -32,7 +32,7 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
             b.iter(|| {
                 let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-                black_box(build_schedule(&spec, &routing, &plan).unwrap())
+                black_box(build_schedule(&spec, &plan).unwrap())
             })
         });
     }
@@ -55,8 +55,11 @@ fn bench_incremental_update(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("incremental", |b| {
         b.iter(|| {
-            let mut m =
-                PlanMaintainer::new(network.clone(), spec.clone(), RoutingMode::ShortestPathTrees);
+            let mut m = PlanMaintainer::new(
+                network.clone(),
+                spec.clone(),
+                RoutingMode::ShortestPathTrees,
+            );
             black_box(m.apply(WorkloadUpdate::AddSource {
                 destination: d,
                 source: s,
@@ -103,10 +106,9 @@ fn bench_slots_and_distributed_round(c: &mut Criterion) {
 
     let (network, spec, routing) = setup();
     let plan = GlobalPlan::build(&network, &spec, &routing);
-    let schedule = build_schedule(&spec, &routing, &plan).unwrap();
-    let tables = NodeTables::build(&spec, &routing, &plan);
-    let readings: BTreeMap<NodeId, f64> =
-        network.nodes().map(|v| (v, f64::from(v.0))).collect();
+    let schedule = build_schedule(&spec, &plan).unwrap();
+    let tables = NodeTables::build(&spec, &plan);
+    let readings: BTreeMap<NodeId, f64> = network.nodes().map(|v| (v, f64::from(v.0))).collect();
 
     let mut group = c.benchmark_group("runtime_kernels");
     group.sample_size(20);
@@ -117,7 +119,7 @@ fn bench_slots_and_distributed_round(c: &mut Criterion) {
         b.iter(|| black_box(run_distributed_round(&spec, &tables, &readings).unwrap()))
     });
     group.bench_function("node_tables_build", |b| {
-        b.iter(|| black_box(NodeTables::build(&spec, &routing, &plan)))
+        b.iter(|| black_box(NodeTables::build(&spec, &plan)))
     });
     group.finish();
 }

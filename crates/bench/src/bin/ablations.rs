@@ -116,7 +116,7 @@ fn header_size_ablation() {
         );
         let cost = |alg| {
             let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-            build_schedule(&spec, &routing, &plan)
+            build_schedule(&spec, &plan)
                 .unwrap()
                 .round_cost(network.energy())
                 .total_mj()
@@ -182,9 +182,7 @@ fn topology_ablation() {
         ),
         (
             "clustered",
-            Network::with_default_energy(Deployment::clustered(
-                68, 5, 106.0, 203.0, 22.0, 50.0, 1,
-            )),
+            Network::with_default_energy(Deployment::clustered(68, 5, 106.0, 203.0, 22.0, 50.0, 1)),
         ),
         (
             "grid",
@@ -201,7 +199,7 @@ fn topology_ablation() {
         );
         let cost = |alg| {
             let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-            build_schedule(&spec, &routing, &plan)
+            build_schedule(&spec, &plan)
                 .unwrap()
                 .round_cost(network.energy())
                 .total_mj()
@@ -300,10 +298,9 @@ fn routing_mode_ablation(network: &Network) {
             RoutingMode::SharedSpanningTree,
             RoutingMode::SteinerTrees,
         ] {
-            let routing =
-                RoutingTables::build(network, &spec.source_to_destinations(), mode);
+            let routing = RoutingTables::build(network, &spec.source_to_destinations(), mode);
             let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
-            let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+            let schedule = build_schedule(&spec, &plan).unwrap();
             energies.push(schedule.round_cost(network.energy()).total_mj());
             edge_counts.push(routing.directed_edges().len());
         }
@@ -325,9 +322,11 @@ fn broadcast_ablation(network: &Network) {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let uni = schedule.round_cost(network.energy()).total_mj();
-        let bc = schedule.round_cost_with_broadcast(network.energy()).total_mj();
+        let bc = schedule
+            .round_cost_with_broadcast(network.energy())
+            .total_mj();
         println!("{dests},{uni:.1},{bc:.1},{:.1}", (uni - bc) / uni * 100.0);
     }
     println!();
@@ -376,7 +375,7 @@ fn slots_ablation(network: &Network) {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(network, &spec, &routing, Algorithm::Optimal);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let slots = assign_slots(network, &schedule);
         println!(
             "{dests},{},{},{:.3}",
@@ -393,9 +392,8 @@ fn dissemination_ablation(network: &Network) {
     println!("event,changed_nodes,bytes,energy_mJ");
     let spec = generate_workload(network, &WorkloadConfig::paper_default(14, 15, 9));
     let station = choose_station(network);
-    let mut maintainer =
-        PlanMaintainer::new(network.clone(), spec, RoutingMode::ShortestPathTrees);
-    let tables = NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+    let mut maintainer = PlanMaintainer::new(network.clone(), spec, RoutingMode::ShortestPathTrees);
+    let tables = NodeTables::build(maintainer.spec(), maintainer.plan());
     let full = full_install_cost(network, station, &tables);
     println!(
         "full_install,{},{},{:.2}",
@@ -415,8 +413,7 @@ fn dissemination_ablation(network: &Network) {
         source: s,
         weight: 1.0,
     });
-    let new_tables =
-        NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+    let new_tables = NodeTables::build(maintainer.spec(), maintainer.plan());
     let update = update_install_cost(network, station, &tables, &new_tables);
     println!(
         "add_one_source,{},{},{:.2}",
@@ -449,7 +446,7 @@ fn out_of_network_ablation(network: &Network) {
     };
     for alg in Algorithm::PLANNED {
         let plan = plan_for_algorithm(network, &spec, &routing, alg);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let mut ledger = NodeEnergyLedger::new(network.node_count());
         schedule.charge_round(network.energy(), &mut ledger);
         print_row(alg.name(), &ledger);

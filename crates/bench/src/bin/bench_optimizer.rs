@@ -14,9 +14,12 @@
 //!         [output.json] [samples]`
 
 use m2m_bench::report::{bench_report, median_ns, telemetry_section, time_ns, JsonValue};
+use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
+use m2m_core::edge_opt::build_edge_problems;
 use m2m_core::memo::SolveCache;
 use m2m_core::plan::GlobalPlan;
 use m2m_core::telemetry::Level;
+use m2m_core::topo::Topology;
 use m2m_core::workload::{generate_workload, WorkloadConfig};
 use m2m_core::{m2m_log, telemetry};
 use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
@@ -58,7 +61,9 @@ fn main() {
         for _ in 0..samples {
             let mut plan = None;
             times.push(time_ns(|| {
-                plan = Some(GlobalPlan::build_with_threads(&network, &spec, &routing, threads));
+                plan = Some(GlobalPlan::build_with_threads(
+                    &network, &spec, &routing, threads,
+                ));
             }));
             assert_eq!(
                 plan.expect("built").solutions(),
@@ -92,7 +97,9 @@ fn main() {
     for _ in 0..samples {
         let mut plan = None;
         warm_times.push(time_ns(|| {
-            plan = Some(GlobalPlan::build_cached(&network, &spec, &routing, &mut cache));
+            plan = Some(GlobalPlan::build_cached(
+                &network, &spec, &routing, &mut cache,
+            ));
         }));
         assert_eq!(plan.expect("built").solutions(), reference.solutions());
     }
@@ -115,6 +122,52 @@ fn main() {
         assert_eq!(cold.solutions(), warm.solutions());
     });
 
+    // Dense-core section (schema v2, additive): how much of a build is
+    // topology interning + problem construction, how big the interned
+    // slabs are, and how local a one-pair maintainer update stays
+    // (dirty-edge counts from the Corollary-1 diff).
+    let mut intern_times: Vec<f64> = Vec::with_capacity(samples);
+    let mut last_edges = 0usize;
+    for _ in 0..samples {
+        intern_times.push(time_ns(|| {
+            let topo = Topology::snapshot(&spec, &routing);
+            last_edges = build_edge_problems(&topo).len();
+        }));
+    }
+    assert_eq!(last_edges, edge_count);
+    let intern_median = median_ns(&mut intern_times);
+    let topo = reference.topology();
+    let dest_paths: usize = topo.trees().iter().map(|t| t.dest_paths().len()).sum();
+
+    let mut maintainer = PlanMaintainer::new(
+        network.clone(),
+        spec.clone(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let d = maintainer
+        .spec()
+        .destinations()
+        .next()
+        .expect("destination");
+    let s = maintainer
+        .spec()
+        .all_sources()
+        .into_iter()
+        .find(|&s| !maintainer.spec().is_source_of(s, d) && s != d)
+        .expect("addable source");
+    let stats = maintainer.apply(WorkloadUpdate::AddSource {
+        destination: d,
+        source: s,
+        weight: 1.0,
+    });
+    m2m_log!(
+        Level::Info,
+        "dense core: intern median {:.2} ms, one-pair update dirtied {}/{} edges",
+        intern_median / 1e6,
+        stats.edges_reoptimized,
+        stats.edges_total()
+    );
+
     let report = bench_report("plan_build", "scaled_series_250")
         .with("nodes", n)
         .with("destinations", spec.destinations().count())
@@ -127,6 +180,31 @@ fn main() {
                 .with("median_ns", JsonValue::float(warm_median, 0))
                 .with("hits", cache.hits())
                 .with("misses", cache.misses()),
+        )
+        .with(
+            "dense_core",
+            JsonValue::object()
+                .with("intern_median_ns", JsonValue::float(intern_median, 0))
+                .with("plan_build_median_ns", JsonValue::float(serial_median, 0))
+                .with(
+                    "slab_sizes",
+                    JsonValue::object()
+                        .with("nodes", topo.nodes().len())
+                        .with("edges", topo.edge_count())
+                        .with("trees", topo.trees().len())
+                        .with("dest_paths", dest_paths),
+                )
+                .with(
+                    "maintainer_update",
+                    JsonValue::object()
+                        .with("dirty_edges", stats.edges_reoptimized)
+                        .with("reused_edges", stats.edges_reused)
+                        .with("added_or_removed_edges", stats.edges_added_or_removed)
+                        .with(
+                            "reuse_fraction",
+                            JsonValue::float(stats.reuse_fraction(), 3),
+                        ),
+                ),
         )
         .with("telemetry", telemetry);
     m2m_bench::report::write_report(&out_path, &report);

@@ -97,8 +97,7 @@ fn main() {
     );
     let plan = GlobalPlan::build(&network, &spec, &routing);
 
-    let compiled =
-        CompiledSchedule::compile(&network, &spec, &routing, &plan).expect("schedulable plan");
+    let compiled = CompiledSchedule::compile(&network, &spec, &plan).expect("schedulable plan");
     let mut state = ExecState::for_schedule(&compiled);
 
     // Correctness first: the compiled path must be bit-identical to the
@@ -109,7 +108,7 @@ fn main() {
         .iter()
         .map(|&s| (s, reading(s, 0)))
         .collect();
-    let reference = execute_round(&network, &spec, &routing, &plan, &probe);
+    let reference = execute_round(&network, &spec, &plan, &probe);
     let cost = compiled.run_round_on(&probe, &mut state);
     assert_eq!(state.result_map(&compiled), reference.results);
     assert_eq!(cost, reference.cost);
@@ -133,7 +132,7 @@ fn main() {
             .collect();
         let mut result = None;
         naive_times.push(time_ns(|| {
-            result = Some(execute_round(&network, &spec, &routing, &plan, &readings));
+            result = Some(execute_round(&network, &spec, &plan, &readings));
         }));
         assert!(result.expect("executed").cost.total_uj() > 0.0);
     }
@@ -182,9 +181,11 @@ fn main() {
         let mut times: Vec<f64> = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut outcomes = None;
-            times.push(time_ns(|| {
-                outcomes = Some(run_epochs(&compiled, &batch, threads));
-            }) / compiled_batch as f64);
+            times.push(
+                time_ns(|| {
+                    outcomes = Some(run_epochs(&compiled, &batch, threads));
+                }) / compiled_batch as f64,
+            );
             assert_eq!(
                 outcomes.expect("ran"),
                 serial_outcomes,
@@ -271,17 +272,20 @@ fn main() {
         let cold = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
         let warm = GlobalPlan::build_cached(&network, &spec, &routing, &mut cache);
         assert_eq!(cold.solutions(), warm.solutions());
-        let traced = CompiledSchedule::compile(&network, &spec, &routing, &warm)
-            .expect("schedulable plan");
+        let traced = CompiledSchedule::compile(&network, &spec, &warm).expect("schedulable plan");
         let outcomes = run_epochs(&traced, &batch, 2);
         assert_eq!(outcomes, serial_outcomes, "traced replay diverged");
 
-        let mut driver =
-            EpochDriver::new(network.clone(), spec.clone(), RoutingMode::ShortestPathTrees);
+        let mut driver = EpochDriver::new(
+            network.clone(),
+            spec.clone(),
+            RoutingMode::ShortestPathTrees,
+        );
         let (dest, source, weight) = spec
             .functions()
             .flat_map(|(d, f)| {
-                f.sources().map(move |s| (d, s, f.weight(s).expect("weighted")))
+                f.sources()
+                    .map(move |s| (d, s, f.weight(s).expect("weighted")))
             })
             .next()
             .expect("workload has at least one pair");
@@ -290,7 +294,10 @@ fn main() {
             source,
             weight: weight * 1.5,
         });
-        driver.apply(WorkloadUpdate::RemoveSource { destination: dest, source });
+        driver.apply(WorkloadUpdate::RemoveSource {
+            destination: dest,
+            source,
+        });
         assert!(driver.refreshes() >= 1, "reweight should refresh in place");
         assert!(driver.recompiles() >= 1, "source removal should recompile");
     });

@@ -52,7 +52,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--nodes" => args.nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--destinations" => {
-                args.destinations = value()?.parse().map_err(|e| format!("--destinations: {e}"))?
+                args.destinations = value()?
+                    .parse()
+                    .map_err(|e| format!("--destinations: {e}"))?
             }
             "--sources" => {
                 args.sources = value()?.parse().map_err(|e| format!("--sources: {e}"))?
@@ -84,8 +86,8 @@ fn main() {
     };
 
     let (network, spec) = if let Some(path) = &args.load {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let (deployment, spec) = m2m_core::textio::from_text(&text)
             .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
         (Network::with_default_energy(deployment), spec)

@@ -12,7 +12,9 @@ use m2m_bench::figures::{
 };
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "plots".to_string());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "plots".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let figures: Vec<(&str, FigureData)> = vec![
         ("fig3", figure3_data()),
@@ -24,6 +26,10 @@ fn main() {
     for (name, data) in figures {
         let path = format!("{out_dir}/{name}.svg");
         std::fs::write(&path, data.to_chart().render()).expect("write svg");
-        println!("{path}: {} series x {} points", data.columns.len(), data.rows.len());
+        println!(
+            "{path}: {} series x {} points",
+            data.columns.len(),
+            data.rows.len()
+        );
     }
 }

@@ -60,7 +60,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--nodes" => args.nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--destinations" => {
-                args.destinations = value()?.parse().map_err(|e| format!("--destinations: {e}"))?
+                args.destinations = value()?
+                    .parse()
+                    .map_err(|e| format!("--destinations: {e}"))?
             }
             "--sources" => {
                 args.sources = value()?.parse().map_err(|e| format!("--sources: {e}"))?
@@ -111,8 +113,8 @@ fn main() {
     // Load a saved scenario, or generate one (scaling the area with the
     // node count at GDI density).
     let (network, spec) = if let Some(path) = &args.load {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let (deployment, spec) = m2m_core::textio::from_text(&text)
             .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
         (Network::with_default_energy(deployment), spec)
@@ -155,7 +157,7 @@ fn main() {
     let battery_uj = 2.0 * 3600.0 * 3.0 * 1e6;
     for alg in Algorithm::PLANNED {
         let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-        let schedule = build_schedule(&spec, &routing, &plan).expect("schedulable");
+        let schedule = build_schedule(&spec, &plan).expect("schedulable");
         let mut ledger = NodeEnergyLedger::new(network.node_count());
         let cost = schedule.charge_round(network.energy(), &mut ledger);
         let slots = assign_slots(&network, &schedule);

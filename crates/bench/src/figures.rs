@@ -92,7 +92,11 @@ pub fn figure3_data() -> FigureData {
         &FOUR_ALGS,
         (1..=10).map(|i| f64::from(i) * 10.0),
         |pct, seed| {
-            WorkloadConfig::paper_default(((n as f64 * pct / 100.0).ceil() as usize).min(n), 20, seed)
+            WorkloadConfig::paper_default(
+                ((n as f64 * pct / 100.0).ceil() as usize).min(n),
+                20,
+                seed,
+            )
         },
     );
     FigureData {
@@ -223,8 +227,7 @@ pub fn figure7_data() -> FigureData {
                         let base = sim.average_cost(spec, p, 10, OverridePolicy::None, 1000 + i);
                         let with = sim.average_cost(spec, p, 10, policy, 1000 + i);
                         if base.total_uj() > 0.0 {
-                            total +=
-                                (base.total_uj() - with.total_uj()) / base.total_uj() * 100.0;
+                            total += (base.total_uj() - with.total_uj()) / base.total_uj() * 100.0;
                         }
                     }
                     total / setups.len() as f64

@@ -39,8 +39,7 @@ pub fn round_energy_mj(network: &Network, spec: &AggregationSpec, algorithm: Alg
                 RoutingMode::ShortestPathTrees,
             );
             let plan = plan_for_algorithm(network, spec, &routing, algorithm);
-            let schedule =
-                build_schedule(spec, &routing, &plan).expect("plan must be schedulable");
+            let schedule = build_schedule(spec, &plan).expect("plan must be schedulable");
             schedule.round_cost(network.energy()).total_mj()
         }
     }

@@ -104,7 +104,10 @@ mod tests {
         assert!(text.contains("\"bench.report.test\": 3"), "got {text}");
         // The registry was drained and tracing disabled on the way out.
         assert!(!m2m_core::telemetry::enabled());
-        assert_eq!(m2m_core::telemetry::snapshot().counter("bench.report.test"), 0);
+        assert_eq!(
+            m2m_core::telemetry::snapshot().counter("bench.report.test"),
+            0
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl Chart {
             out,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
         );
-        let _ = writeln!(out, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = writeln!(
             out,
             r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,
@@ -189,7 +192,9 @@ fn tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -232,7 +237,10 @@ mod tests {
         let svg = chart().render();
         for cap in svg.split("<circle cx=\"").skip(1) {
             let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
-            assert!((MARGIN_L..=WIDTH - MARGIN_R).contains(&x), "x={x} outside plot");
+            assert!(
+                (MARGIN_L..=WIDTH - MARGIN_R).contains(&x),
+                "x={x} outside plot"
+            );
         }
     }
 

@@ -140,8 +140,14 @@ impl AggregateKind {
             (AggregateKind::Count, P::Count(x), P::Count(y)) => P::Count(x + y),
             (
                 AggregateKind::Range,
-                P::MinMax { min: a_min, max: a_max },
-                P::MinMax { min: b_min, max: b_max },
+                P::MinMax {
+                    min: a_min,
+                    max: a_max,
+                },
+                P::MinMax {
+                    min: b_min,
+                    max: b_max,
+                },
             ) => P::MinMax {
                 min: a_min.min(b_min),
                 max: a_max.max(b_max),
@@ -254,7 +260,10 @@ impl AggregateFunction {
     /// Panics if no sources are given.
     pub fn new(kind: AggregateKind, weights: impl IntoIterator<Item = (NodeId, f64)>) -> Self {
         let weights: BTreeMap<NodeId, f64> = weights.into_iter().collect();
-        assert!(!weights.is_empty(), "an aggregation function needs at least one source");
+        assert!(
+            !weights.is_empty(),
+            "an aggregation function needs at least one source"
+        );
         AggregateFunction { kind, weights }
     }
 
@@ -416,7 +425,12 @@ mod tests {
     fn variance_matches_direct_formula() {
         let f = AggregateFunction::new(
             AggregateKind::WeightedVariance,
-            [(NodeId(1), 1.0), (NodeId(2), 1.0), (NodeId(3), 1.0), (NodeId(4), 1.0)],
+            [
+                (NodeId(1), 1.0),
+                (NodeId(2), 1.0),
+                (NodeId(3), 1.0),
+                (NodeId(4), 1.0),
+            ],
         );
         let r = readings(&[(1, 2.0), (2, 4.0), (3, 4.0), (4, 6.0)]);
         // mean 4, squared deviations {4,0,0,4} → variance 2.
@@ -504,7 +518,10 @@ mod tests {
     fn record_sizes_match_paper_reasoning() {
         // "for weighted sum, source and destination weights would be equal
         //  … but for weighted average, destinations would weigh more" (§2.2)
-        assert_eq!(AggregateKind::WeightedSum.partial_record_bytes(), RAW_VALUE_BYTES);
+        assert_eq!(
+            AggregateKind::WeightedSum.partial_record_bytes(),
+            RAW_VALUE_BYTES
+        );
         assert!(AggregateKind::WeightedAverage.partial_record_bytes() > RAW_VALUE_BYTES);
     }
 

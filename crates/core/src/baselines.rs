@@ -19,6 +19,8 @@
 //! and energy accounting; flood does not route on multicast trees, so its
 //! cost is computed directly from the broadcast model.
 
+use std::sync::Arc;
+
 use m2m_netsim::Network;
 use m2m_netsim::RoutingTables;
 
@@ -27,6 +29,7 @@ use crate::edge_opt::{build_edge_problems, EdgeSolution};
 use crate::metrics::RoundCost;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
+use crate::topo::Topology;
 
 /// The algorithms compared in the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -74,28 +77,25 @@ pub fn plan_for_algorithm(
     match algorithm {
         Algorithm::Optimal => GlobalPlan::build(network, spec, routing),
         Algorithm::Multicast => {
-            let problems = build_edge_problems(spec, routing);
+            let topo = Arc::new(Topology::snapshot(spec, routing));
+            let problems = build_edge_problems(&topo);
             let solutions = problems
                 .iter()
-                .map(|(&edge, p)| {
-                    (
-                        edge,
-                        EdgeSolution {
-                            edge,
-                            raw: p.sources.clone(),
-                            agg: Vec::new(),
-                            cost_bytes: p.sources.len() as u64 * u64::from(RAW_VALUE_BYTES),
-                        },
-                    )
+                .map(|p| EdgeSolution {
+                    edge: p.edge,
+                    raw: p.sources.clone(),
+                    agg: Vec::new(),
+                    cost_bytes: p.sources.len() as u64 * u64::from(RAW_VALUE_BYTES),
                 })
                 .collect();
-            GlobalPlan::from_solutions(spec, routing, problems, solutions)
+            GlobalPlan::from_solutions(spec, topo, problems, solutions)
         }
         Algorithm::Aggregation => {
-            let problems = build_edge_problems(spec, routing);
+            let topo = Arc::new(Topology::snapshot(spec, routing));
+            let problems = build_edge_problems(&topo);
             let solutions = problems
                 .iter()
-                .map(|(&edge, p)| {
+                .map(|p| {
                     let cost: u64 = p
                         .groups
                         .iter()
@@ -107,18 +107,15 @@ pub fn plan_for_algorithm(
                             )
                         })
                         .sum();
-                    (
-                        edge,
-                        EdgeSolution {
-                            edge,
-                            raw: Vec::new(),
-                            agg: p.groups.clone(),
-                            cost_bytes: cost,
-                        },
-                    )
+                    EdgeSolution {
+                        edge: p.edge,
+                        raw: Vec::new(),
+                        agg: p.groups.clone(),
+                        cost_bytes: cost,
+                    }
                 })
                 .collect();
-            GlobalPlan::from_solutions(spec, routing, problems, solutions)
+            GlobalPlan::from_solutions(spec, topo, problems, solutions)
         }
         Algorithm::Flood => panic!("flood has no multicast-tree plan; use flood_round_cost"),
     }
@@ -204,7 +201,7 @@ mod tests {
     fn multicast_plan_has_no_records() {
         let (net, spec, routing) = setup();
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Multicast);
-        assert!(plan.solutions().values().all(|s| s.agg.is_empty()));
+        assert!(plan.solutions().iter().all(|s| s.agg.is_empty()));
         assert_eq!(plan.repair_count(), 0);
     }
 
@@ -212,7 +209,7 @@ mod tests {
     fn aggregation_plan_has_no_raws() {
         let (net, spec, routing) = setup();
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Aggregation);
-        assert!(plan.solutions().values().all(|s| s.raw.is_empty()));
+        assert!(plan.solutions().iter().all(|s| s.raw.is_empty()));
     }
 
     #[test]
@@ -220,8 +217,8 @@ mod tests {
         let (net, spec, routing) = setup();
         for alg in Algorithm::PLANNED {
             let plan = plan_for_algorithm(&net, &spec, &routing, alg);
-            let schedule = build_schedule(&spec, &routing, &plan)
-                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            let schedule =
+                build_schedule(&spec, &plan).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
             assert!(!schedule.units.is_empty());
         }
     }

@@ -37,7 +37,10 @@ pub fn choose_station(network: &Network) -> NodeId {
     let mut best: Option<(u64, NodeId)> = None;
     for v in network.nodes() {
         let dist = bfs_distances(network.graph(), v);
-        let total: u64 = dist.iter().map(|d| u64::from(d.unwrap_or(u32::MAX / 2))).sum();
+        let total: u64 = dist
+            .iter()
+            .map(|d| u64::from(d.unwrap_or(u32::MAX / 2)))
+            .sum();
         if best.is_none_or(|(b, _)| total < b) {
             best = Some((total, v));
         }
@@ -160,7 +163,10 @@ mod tests {
         let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
         let mut spec = AggregationSpec::new();
         // Destination 0 aggregates source 3; station at 0.
-        spec.add_function(NodeId(0), AggregateFunction::weighted_sum([(NodeId(3), 1.0)]));
+        spec.add_function(
+            NodeId(0),
+            AggregateFunction::weighted_sum([(NodeId(3), 1.0)]),
+        );
         let plan = BaseStationPlan::build(&net, &spec, NodeId(0));
         let (cost, _) = plan.round_cost(&net);
         // 3 collection hops; destination 0 == station, so no delivery.
@@ -217,7 +223,10 @@ mod tests {
     fn disconnected_source_panics() {
         let net = Network::with_default_energy(Deployment::grid(2, 1, 100.0, 10.0));
         let mut spec = AggregationSpec::new();
-        spec.add_function(NodeId(0), AggregateFunction::weighted_sum([(NodeId(1), 1.0)]));
+        spec.add_function(
+            NodeId(0),
+            AggregateFunction::weighted_sum([(NodeId(1), 1.0)]),
+        );
         let _ = BaseStationPlan::build(&net, &spec, NodeId(0));
     }
 }

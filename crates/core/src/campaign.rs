@@ -99,8 +99,8 @@ pub fn run_campaign(
     assert!((0.0..=1.0).contains(&config.change_probability));
     let sim = SuppressionSim::new(network, spec, routing, plan);
     let mut scratch = sim.scratch();
-    let compiled = CompiledSchedule::compile(network, spec, routing, plan)
-        .expect("plan must be schedulable");
+    let compiled =
+        CompiledSchedule::compile(network, spec, plan).expect("plan must be schedulable");
     let mut believed_state = ExecState::for_schedule(&compiled);
     let mut actual_state = ExecState::for_schedule(&compiled);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -190,7 +190,11 @@ pub fn run_campaign(
         suppressed,
         transmitted,
         max_abs_error: max_err,
-        mean_abs_error: if err_count > 0 { err_sum / err_count as f64 } else { 0.0 },
+        mean_abs_error: if err_count > 0 {
+            err_sum / err_count as f64
+        } else {
+            0.0
+        },
         error_bound,
     }
 }

@@ -140,11 +140,9 @@ mod tests {
     fn incremental_update_is_far_cheaper_than_full_install() {
         let net = Network::with_default_energy(Deployment::great_duck_island(14));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 14, 6));
-        let mut maintainer =
-            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let mut maintainer = PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
         let station = choose_station(&net);
-        let old_tables =
-            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let old_tables = NodeTables::build(maintainer.spec(), maintainer.plan());
 
         let d = maintainer.spec().destinations().next().unwrap();
         let s = maintainer
@@ -158,8 +156,7 @@ mod tests {
             source: s,
             weight: 1.0,
         });
-        let new_tables =
-            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let new_tables = NodeTables::build(maintainer.spec(), maintainer.plan());
 
         let full = full_install_cost(&net, station, &new_tables);
         let update = update_install_cost(&net, station, &old_tables, &new_tables);
@@ -184,16 +181,13 @@ mod tests {
     fn removed_nodes_get_tombstones() {
         let net = Network::with_default_energy(Deployment::great_duck_island(14));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(6, 6, 6));
-        let mut maintainer =
-            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let mut maintainer = PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
         let station = choose_station(&net);
-        let old_tables =
-            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let old_tables = NodeTables::build(maintainer.spec(), maintainer.plan());
         // Retire a destination: some nodes drop out of the plan entirely.
         let d = maintainer.spec().destinations().next().unwrap();
         maintainer.apply(WorkloadUpdate::RemoveDestination { destination: d });
-        let new_tables =
-            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let new_tables = NodeTables::build(maintainer.spec(), maintainer.plan());
         let changed = changed_nodes(&old_tables, &new_tables);
         assert!(!changed.is_empty());
         // Nodes present only in the old tables are included (tombstoned).
@@ -203,7 +197,10 @@ mod tests {
             .filter(|n| new_tables.node(*n).is_none())
             .collect();
         for n in dropped {
-            assert!(changed.contains(&n), "dropped node {n} must be re-provisioned");
+            assert!(
+                changed.contains(&n),
+                "dropped node {n} must be re-provisioned"
+            );
         }
         let cost = update_install_cost(&net, station, &old_tables, &new_tables);
         assert!(cost.total_uj() > 0.0);
@@ -213,10 +210,8 @@ mod tests {
     fn identical_tables_have_no_update_cost() {
         let net = Network::with_default_energy(Deployment::great_duck_island(14));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 8, 6));
-        let maintainer =
-            PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
-        let tables =
-            NodeTables::build(maintainer.spec(), maintainer.routing(), maintainer.plan());
+        let maintainer = PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+        let tables = NodeTables::build(maintainer.spec(), maintainer.plan());
         let cost = update_install_cost(&net, choose_station(&net), &tables, &tables);
         assert_eq!(cost, RoundCost::default());
     }

@@ -10,18 +10,17 @@
 //! solutions for unchanged problems verbatim, re-solves the rest, and
 //! reports how local the update was.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingMode, RoutingTables};
 
 use crate::agg::AggregateFunction;
-use crate::edge_opt::{
-    build_edge_problems, solve_edge_batch, DirectedEdge, EdgeProblem, EdgeSolution,
-};
+use crate::edge_opt::{build_edge_problems, solve_edge_batch, EdgeProblem, EdgeSolution};
 use crate::parallel;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
+use crate::topo::{BitSet, Topology};
 
 /// A change to the aggregation workload.
 #[derive(Clone, Debug)]
@@ -90,10 +89,13 @@ pub struct PlanMaintainer {
     spec: AggregationSpec,
     mode: RoutingMode,
     routing: RoutingTables,
-    /// Pre-repair per-edge optima, reusable across updates (repairs are
-    /// applied on a copy when the public plan is assembled).
-    base_solutions: BTreeMap<DirectedEdge, EdgeSolution>,
-    problems: BTreeMap<DirectedEdge, EdgeProblem>,
+    /// The interned topology the slabs below are laid out over.
+    topo: Arc<Topology>,
+    /// Pre-repair per-edge optima in `EdgeIdx` order, reusable across
+    /// updates (repairs are applied on a copy when the public plan is
+    /// assembled).
+    base_solutions: Vec<EdgeSolution>,
+    problems: Vec<EdgeProblem>,
     plan: GlobalPlan,
 }
 
@@ -101,15 +103,13 @@ impl PlanMaintainer {
     /// Builds the initial plan.
     pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
         let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
-        let problems = build_edge_problems(&spec, &routing);
-        let entries: Vec<(DirectedEdge, &EdgeProblem)> =
-            problems.iter().map(|(&e, p)| (e, p)).collect();
-        let solved = solve_edge_batch(&entries, &spec, parallel::max_threads());
-        let base_solutions: BTreeMap<DirectedEdge, EdgeSolution> =
-            entries.iter().map(|&(e, _)| e).zip(solved).collect();
+        let topo = Arc::new(Topology::snapshot(&spec, &routing));
+        let problems = build_edge_problems(&topo);
+        let refs: Vec<&EdgeProblem> = problems.iter().collect();
+        let base_solutions = solve_edge_batch(&refs, &spec, parallel::max_threads());
         let plan = GlobalPlan::from_solutions(
             &spec,
-            &routing,
+            Arc::clone(&topo),
             problems.clone(),
             base_solutions.clone(),
         );
@@ -118,6 +118,7 @@ impl PlanMaintainer {
             spec,
             mode,
             routing,
+            topo,
             base_solutions,
             problems,
             plan,
@@ -218,34 +219,54 @@ impl PlanMaintainer {
     /// a serial re-solve.
     fn install(&mut self, new_routing: RoutingTables) -> UpdateStats {
         let _span = crate::telemetry::span(crate::telemetry::names::DYNAMICS_INSTALL_NS);
-        let new_problems = build_edge_problems(&self.spec, &new_routing);
+        let new_topo = Arc::new(Topology::snapshot(&self.spec, &new_routing));
+        let new_problems = build_edge_problems(&new_topo);
 
+        // Dirty-edge bitset over the *new* slab: an edge is dirty when
+        // its problem is brand new or changed; everything else reuses its
+        // solution verbatim (Corollary 1). The old snapshot's O(1) edge
+        // lookup does the diff — no map re-keying.
         let mut stats = UpdateStats::default();
-        let mut new_solutions: BTreeMap<DirectedEdge, EdgeSolution> = BTreeMap::new();
-        let mut to_solve: Vec<(DirectedEdge, &EdgeProblem)> = Vec::new();
-        for (&edge, problem) in &new_problems {
-            match self.problems.get(&edge) {
-                Some(old) if old == problem => {
+        let mut dirty = BitSet::with_capacity(new_problems.len());
+        for (idx, problem) in new_problems.iter().enumerate() {
+            match self.topo.edge_idx(problem.edge) {
+                Some(old) if self.problems[old.index()] == *problem => {
                     stats.edges_reused += 1;
-                    new_solutions.insert(edge, self.base_solutions[&edge].clone());
                 }
                 existing => {
                     stats.edges_reoptimized += 1;
                     if existing.is_none() {
                         stats.edges_added_or_removed += 1;
                     }
-                    to_solve.push((edge, problem));
+                    dirty.insert(idx);
                 }
             }
         }
+        let to_solve: Vec<&EdgeProblem> = new_problems
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| dirty.contains(idx))
+            .map(|(_, p)| p)
+            .collect();
         let solved = solve_edge_batch(&to_solve, &self.spec, parallel::max_threads());
-        for (&(edge, _), solution) in to_solve.iter().zip(solved) {
-            new_solutions.insert(edge, solution);
-        }
+        let mut fresh = solved.into_iter();
+        let new_solutions: Vec<EdgeSolution> = new_problems
+            .iter()
+            .enumerate()
+            .map(|(idx, problem)| {
+                if dirty.contains(idx) {
+                    fresh.next().expect("one solve per dirty edge")
+                } else {
+                    let old = self.topo.edge_idx(problem.edge).expect("reused edge");
+                    self.base_solutions[old.index()].clone()
+                }
+            })
+            .collect();
         stats.edges_added_or_removed += self
-            .problems
-            .keys()
-            .filter(|e| !new_problems.contains_key(e))
+            .topo
+            .edges()
+            .iter()
+            .filter(|&&e| new_topo.edge_idx(e).is_none())
             .count();
 
         if crate::telemetry::enabled() {
@@ -259,11 +280,12 @@ impl PlanMaintainer {
         }
         self.plan = GlobalPlan::from_solutions(
             &self.spec,
-            &new_routing,
+            Arc::clone(&new_topo),
             new_problems.clone(),
             new_solutions.clone(),
         );
         self.routing = new_routing;
+        self.topo = new_topo;
         self.problems = new_problems;
         self.base_solutions = new_solutions;
         stats
@@ -403,7 +425,10 @@ mod tests {
         // Some edges typically survive (shared short routes), and the
         // plan matches a from-scratch build over the same routing.
         let scratch = GlobalPlan::build_unchecked(m.spec(), m.routing());
-        assert_eq!(m.plan().total_payload_bytes(), scratch.total_payload_bytes());
+        assert_eq!(
+            m.plan().total_payload_bytes(),
+            scratch.total_payload_bytes()
+        );
         let _ = before_bytes;
     }
 
@@ -411,7 +436,11 @@ mod tests {
     #[should_panic(expected = "no function at")]
     fn bad_update_panics() {
         let mut m = maintainer();
-        let ghost = m.network.nodes().find(|v| m.spec().function(*v).is_none()).unwrap();
+        let ghost = m
+            .network
+            .nodes()
+            .find(|v| m.spec().function(*v).is_none())
+            .unwrap();
         m.apply(WorkloadUpdate::RemoveDestination { destination: ghost });
     }
 }

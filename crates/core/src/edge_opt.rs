@@ -34,17 +34,17 @@
 //! source-minimal min cut, making solutions deterministic and globally
 //! consistent.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use m2m_graph::bipartite::BipartiteGraph;
 use m2m_graph::vertex_cover::{min_weight_vertex_cover_with, CoverScratch};
 use m2m_graph::NodeId;
-use m2m_netsim::RoutingTables;
 
 use crate::agg::RAW_VALUE_BYTES;
 use crate::parallel::parallel_map_with;
 use crate::spec::AggregationSpec;
+use crate::topo::Topology;
 
 /// A directed physical edge `tail → head`.
 pub type DirectedEdge = (NodeId, NodeId);
@@ -228,7 +228,11 @@ pub fn solve_edge_with(
         );
     }
     let raw: Vec<NodeId> = cover.left.iter().map(|&i| problem.sources[i]).collect();
-    let agg: Vec<AggGroup> = cover.right.iter().map(|&i| problem.groups[i].clone()).collect();
+    let agg: Vec<AggGroup> = cover
+        .right
+        .iter()
+        .map(|&i| problem.groups[i].clone())
+        .collect();
     let cost_bytes = raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
         + agg
             .iter()
@@ -251,78 +255,64 @@ pub fn solve_edge_with(
 }
 
 /// Solves a batch of single-edge problems on up to `threads` workers,
-/// returning solutions in entry order.
+/// returning solutions in input order (one per problem reference).
 ///
 /// Theorem 1 is the license for the fan-out: each problem is solved
 /// independently and composes into the global optimum, so scheduling is
 /// free to be arbitrary as long as collection is ordered — which
 /// [`parallel_map_with`] guarantees. The output is bit-identical to a
-/// serial `entries.iter().map(|(_, p)| solve_edge(p, spec))` at any
-/// thread count.
+/// serial `problems.iter().map(|p| solve_edge(p, spec))` at any thread
+/// count.
 pub fn solve_edge_batch(
-    entries: &[(DirectedEdge, &EdgeProblem)],
+    problems: &[&EdgeProblem],
     spec: &AggregationSpec,
     threads: usize,
 ) -> Vec<EdgeSolution> {
     parallel_map_with(
-        entries,
+        problems,
         threads,
         EdgeSolveScratch::new,
-        |scratch, &(_, problem)| solve_edge_with(scratch, problem, spec),
+        |scratch, &problem| solve_edge_with(scratch, problem, spec),
     )
 }
 
-/// Builds the per-edge optimization problems for a whole workload: walks
-/// every source→destination multicast path and registers the source, the
-/// continuation group, and the `∼_e` pair on every edge of the path.
-pub fn build_edge_problems(
-    spec: &AggregationSpec,
-    routing: &RoutingTables,
-) -> BTreeMap<DirectedEdge, EdgeProblem> {
+/// Builds the per-edge optimization problems for a whole workload,
+/// returning one [`EdgeProblem`] per demanded edge in
+/// [`crate::topo::EdgeIdx`] order: walks every demanded
+/// source→destination route in the snapshot and registers the source,
+/// the continuation group, and the `∼_e` pair on every edge.
+///
+/// Demand filtering and suffix interning happen once, inside
+/// [`Topology::snapshot`]; the slab this returns is aligned with
+/// `topo.edges()`, and since that slab is sorted the problems come out
+/// in exactly the ascending-edge order the old `BTreeMap` builder
+/// produced.
+pub fn build_edge_problems(topo: &Topology) -> Vec<EdgeProblem> {
     // Accumulate with maps for dedup, then freeze into dense indices.
     struct Builder {
         sources: BTreeMap<NodeId, usize>,
         groups: BTreeMap<AggGroup, usize>,
         pairs: Vec<(usize, usize)>,
     }
-    let mut acc: BTreeMap<DirectedEdge, Builder> = BTreeMap::new();
-    // Suffix interner: routes that converge share their remaining path,
-    // and one route of length L contributes L nested suffixes — interning
-    // collapses all equal tails to one shared allocation.
-    let mut suffixes: HashSet<Arc<[NodeId]>> = HashSet::new();
+    let mut acc: Vec<Builder> = (0..topo.edge_count())
+        .map(|_| Builder {
+            sources: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            pairs: Vec::new(),
+        })
+        .collect();
 
-    for (s, tree) in routing.trees() {
-        for &d in tree.destinations() {
-            if !spec.is_source_of(s, d) {
-                // Routing demands are derived from the spec, so every tree
-                // destination needs this source; guard anyway for callers
-                // building routing tables by hand.
-                continue;
-            }
-            let path = tree
-                .path_to(d)
-                .expect("tree spans its destinations by construction");
-            for (idx, hop) in path.windows(2).enumerate() {
-                let edge = (hop[0], hop[1]);
-                let tail = &path[idx + 1..];
-                let suffix: Arc<[NodeId]> = match suffixes.get(tail) {
-                    Some(shared) => Arc::clone(shared),
-                    None => {
-                        let fresh: Arc<[NodeId]> = tail.into();
-                        suffixes.insert(Arc::clone(&fresh));
-                        fresh
-                    }
-                };
-                let b = acc.entry(edge).or_insert_with(|| Builder {
-                    sources: BTreeMap::new(),
-                    groups: BTreeMap::new(),
-                    pairs: Vec::new(),
-                });
+    for tree in topo.trees() {
+        let s = tree.source();
+        for dp in tree.dest_paths() {
+            let d = dp.destination();
+            for (edge_idx, suffix) in dp.hops() {
+                let b = &mut acc[edge_idx.index()];
                 let next_source = b.sources.len();
                 let si = *b.sources.entry(s).or_insert(next_source);
                 let group = AggGroup {
                     destination: d,
-                    suffix,
+                    suffix: Arc::clone(suffix),
                 };
                 let next_group = b.groups.len();
                 let gi = *b.groups.entry(group).or_insert(next_group);
@@ -332,7 +322,9 @@ pub fn build_edge_problems(
     }
 
     acc.into_iter()
-        .map(|(edge, b)| {
+        .enumerate()
+        .map(|(idx, b)| {
+            let edge = topo.edges()[idx];
             // Map insertion indices → position after sorting by key, so the
             // frozen vectors are sorted and indices stay aligned.
             let mut src_order: Vec<(NodeId, usize)> =
@@ -356,15 +348,12 @@ pub fn build_edge_problems(
                 .collect();
             pairs.sort_unstable();
             pairs.dedup();
-            (
+            EdgeProblem {
                 edge,
-                EdgeProblem {
-                    edge,
-                    sources: src_order.into_iter().map(|(s, _)| s).collect(),
-                    groups: grp_order.into_iter().map(|(g, _)| g).collect(),
-                    pairs,
-                },
-            )
+                sources: src_order.into_iter().map(|(s, _)| s).collect(),
+                groups: grp_order.into_iter().map(|(g, _)| g).collect(),
+                pairs,
+            }
         })
         .collect()
 }
@@ -485,16 +474,21 @@ mod tests {
             &spec.source_to_destinations(),
             RoutingMode::ShortestPathTrees,
         );
-        let problems = build_edge_problems(&spec, &routing);
-        let shared = &problems[&(NodeId(2), NodeId(3))];
+        let topo = Topology::snapshot(&spec, &routing);
+        let problems = build_edge_problems(&topo);
+        let at = |edge| {
+            let idx = topo.edge_idx(edge).expect("edge is demanded");
+            &problems[idx.index()]
+        };
+        let shared = at((NodeId(2), NodeId(3)));
         assert_eq!(shared.sources, vec![NodeId(0), NodeId(1)]);
         assert_eq!(shared.groups.len(), 1, "one destination, one group");
         assert_eq!(shared.pairs.len(), 2);
         // Upstream edge 0→1 carries only source 0.
-        let first = &problems[&(NodeId(0), NodeId(1))];
+        let first = at((NodeId(0), NodeId(1)));
         assert_eq!(first.sources, vec![NodeId(0)]);
         // No reverse edges appear.
-        assert!(!problems.contains_key(&(NodeId(3), NodeId(2))));
+        assert!(topo.edge_idx((NodeId(3), NodeId(2))).is_none());
     }
 
     #[test]
@@ -502,14 +496,17 @@ mod tests {
         use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
         let net = Network::with_default_energy(Deployment::grid(3, 1, 10.0, 12.0));
         let mut spec = AggregationSpec::new();
-        spec.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        spec.add_function(
+            NodeId(2),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
         let routing = RoutingTables::build(
             &net,
             &spec.source_to_destinations(),
             RoutingMode::ShortestPathTrees,
         );
-        let problems = build_edge_problems(&spec, &routing);
-        for p in problems.values() {
+        let problems = build_edge_problems(&Topology::snapshot(&spec, &routing));
+        for p in &problems {
             let mut pairs = p.pairs.clone();
             pairs.dedup();
             assert_eq!(pairs, p.pairs, "pairs must be deduplicated and sorted");

@@ -148,39 +148,48 @@ pub struct CompiledSchedule {
 impl CompiledSchedule {
     /// Builds the schedule for `plan` and lowers it. Errors if the plan
     /// is unschedulable (wait-for cycle, Theorem 2).
+    ///
+    /// Source interning reuses the plan's [`crate::topo::Topology`]
+    /// snapshot: every demanded `(s, d)` pair produces exactly one `Pre(s)`
+    /// contribution somewhere in the schedule (at the raw→record
+    /// transition, or as a destination input when the pair stays raw or is
+    /// local), so the topology's source set equals the set of `Pre`
+    /// sources and no scan over the contributions is needed.
     pub fn compile(
         network: &Network,
         spec: &AggregationSpec,
-        routing: &RoutingTables,
         plan: &GlobalPlan,
     ) -> Result<Self, String> {
         let _span = crate::telemetry::span(crate::telemetry::names::EXEC_COMPILE_NS);
         crate::telemetry::counter(crate::telemetry::names::EXEC_COMPILES, 1);
-        let schedule = build_schedule(spec, routing, plan)?;
-        Ok(Self::from_schedule(network.energy(), spec, schedule))
+        let schedule = build_schedule(spec, plan)?;
+        let sources = NodeIndex::from_ids(plan.topology().sources().to_vec());
+        Ok(Self::from_schedule_with_sources(
+            network.energy(),
+            spec,
+            schedule,
+            sources,
+        ))
     }
 
-    /// Lowers an already-built schedule.
-    pub fn from_schedule(
+    /// Lowers an already-built schedule, deriving the source set by
+    /// scanning its `Pre` contributions.
+    pub fn from_schedule(energy: &EnergyModel, spec: &AggregationSpec, schedule: Schedule) -> Self {
+        let sources = NodeIndex::from_ids(pre_sources(&schedule));
+        Self::from_schedule_with_sources(energy, spec, schedule, sources)
+    }
+
+    fn from_schedule_with_sources(
         energy: &EnergyModel,
         spec: &AggregationSpec,
         schedule: Schedule,
+        sources: NodeIndex,
     ) -> Self {
-        // Intern every source that appears as a Pre contribution.
-        let mut source_ids: Vec<NodeId> = Vec::new();
-        let pres = schedule
-            .contributions
-            .iter()
-            .chain(schedule.destination_inputs.values());
-        for contribs in pres {
-            for c in contribs {
-                if let Contribution::Pre(s) = c {
-                    source_ids.push(*s);
-                }
-            }
-        }
-        let sources = NodeIndex::from_ids(source_ids);
-
+        debug_assert_eq!(
+            sources.ids(),
+            NodeIndex::from_ids(pre_sources(&schedule)).ids(),
+            "interned sources must equal the schedule's Pre sources"
+        );
         let function = |d: NodeId| -> &AggregateFunction {
             spec.function(d).expect("destination has a function")
         };
@@ -287,20 +296,33 @@ impl CompiledSchedule {
         // One relaxed load when tracing is off — the documented cost of
         // instrumenting the hot path.
         crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, 1);
-        assert_eq!(state.records.len(), self.unit_count, "state/schedule mismatch");
-        assert_eq!(state.readings.len(), self.sources.len(), "state/schedule mismatch");
-        assert_eq!(state.results.len(), self.dest_steps.len(), "state/schedule mismatch");
+        assert_eq!(
+            state.records.len(),
+            self.unit_count,
+            "state/schedule mismatch"
+        );
+        assert_eq!(
+            state.readings.len(),
+            self.sources.len(),
+            "state/schedule mismatch"
+        );
+        assert_eq!(
+            state.results.len(),
+            self.dest_steps.len(),
+            "state/schedule mismatch"
+        );
         for step in &self.record_steps {
-            let ops = &self.ops
-                [step.first_op as usize..(step.first_op + step.op_count) as usize];
+            let ops = &self.ops[step.first_op as usize..(step.first_op + step.op_count) as usize];
             let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
             state.records[step.unit as usize] = Some(acc.unwrap_or_else(|| {
-                panic!("record unit {} for {} has no contributions", step.unit, step.dest)
+                panic!(
+                    "record unit {} for {} has no contributions",
+                    step.unit, step.dest
+                )
             }));
         }
         for (i, step) in self.dest_steps.iter().enumerate() {
-            let ops = &self.ops
-                [step.first_op as usize..(step.first_op + step.op_count) as usize];
+            let ops = &self.ops[step.first_op as usize..(step.first_op + step.op_count) as usize];
             let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
             let record =
                 acc.unwrap_or_else(|| panic!("destination {} received no inputs", step.dest));
@@ -338,7 +360,11 @@ impl CompiledSchedule {
             .record_steps
             .iter()
             .map(|s| (s.dest, s.kind, s.first_op, s.op_count))
-            .chain(self.dest_steps.iter().map(|s| (s.dest, s.kind, s.first_op, s.op_count)))
+            .chain(
+                self.dest_steps
+                    .iter()
+                    .map(|s| (s.dest, s.kind, s.first_op, s.op_count)),
+            )
             .collect();
         for (dest, kind, first_op, op_count) in runs {
             let f = spec
@@ -361,6 +387,24 @@ impl CompiledSchedule {
     }
 }
 
+/// Every source that appears as a `Pre` contribution in `schedule`
+/// (duplicates included; callers dedup via [`NodeIndex::from_ids`]).
+fn pre_sources(schedule: &Schedule) -> Vec<NodeId> {
+    let mut source_ids: Vec<NodeId> = Vec::new();
+    let pres = schedule
+        .contributions
+        .iter()
+        .chain(schedule.destination_inputs.values());
+    for contribs in pres {
+        for c in contribs {
+            if let Contribution::Pre(s) = c {
+                source_ids.push(*s);
+            }
+        }
+    }
+    source_ids
+}
+
 /// Left fold of a contiguous op run, in the reference path's contribution
 /// order — the float associativity is identical by construction.
 #[inline]
@@ -373,11 +417,10 @@ fn fold_ops(
     let mut acc: Option<PartialRecord> = None;
     for op in ops {
         let part = match *op {
-            Op::Pre { slot, alpha } => {
-                kind.pre_aggregate_weighted(alpha, readings[slot as usize])
+            Op::Pre { slot, alpha } => kind.pre_aggregate_weighted(alpha, readings[slot as usize]),
+            Op::FromUnit { unit } => {
+                records[unit as usize].expect("topological order computes dependencies first")
             }
-            Op::FromUnit { unit } => records[unit as usize]
-                .expect("topological order computes dependencies first"),
         };
         acc = Some(match acc {
             None => part,
@@ -414,11 +457,7 @@ impl ExecState {
     ///
     /// # Panics
     /// Panics if a source reading is missing.
-    pub fn load_readings(
-        &mut self,
-        compiled: &CompiledSchedule,
-        readings: &BTreeMap<NodeId, f64>,
-    ) {
+    pub fn load_readings(&mut self, compiled: &CompiledSchedule, readings: &BTreeMap<NodeId, f64>) {
         for (slot, &s) in compiled.sources.ids().iter().enumerate() {
             self.readings[slot] = *readings
                 .get(&s)
@@ -535,13 +574,9 @@ impl EpochDriver {
     /// # Panics
     /// Panics if the maintained plan is unschedulable.
     pub fn from_maintainer(maintainer: PlanMaintainer) -> Self {
-        let compiled = CompiledSchedule::compile(
-            maintainer.network(),
-            maintainer.spec(),
-            maintainer.routing(),
-            maintainer.plan(),
-        )
-        .expect("maintained plan must be schedulable");
+        let compiled =
+            CompiledSchedule::compile(maintainer.network(), maintainer.spec(), maintainer.plan())
+                .expect("maintained plan must be schedulable");
         EpochDriver {
             maintainer,
             compiled,
@@ -592,7 +627,11 @@ impl EpochDriver {
         stats
     }
 
-    fn resync(&mut self, stats: UpdateStats, shape_before: &[(NodeId, AggregateKind, Vec<NodeId>)]) {
+    fn resync(
+        &mut self,
+        stats: UpdateStats,
+        shape_before: &[(NodeId, AggregateKind, Vec<NodeId>)],
+    ) {
         let structural = stats.edges_reoptimized > 0
             || stats.edges_added_or_removed > 0
             || spec_shape(self.maintainer.spec()) != shape_before;
@@ -600,7 +639,6 @@ impl EpochDriver {
             self.compiled = CompiledSchedule::compile(
                 self.maintainer.network(),
                 self.maintainer.spec(),
-                self.maintainer.routing(),
                 self.maintainer.plan(),
             )
             .expect("maintained plan must be schedulable");
@@ -638,7 +676,12 @@ mod tests {
             NodeId(12),
             AggregateFunction::new(
                 kind,
-                [(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(3), 0.5), (NodeId(6), 1.5)],
+                [
+                    (NodeId(0), 1.0),
+                    (NodeId(1), 2.0),
+                    (NodeId(3), 0.5),
+                    (NodeId(6), 1.5),
+                ],
             ),
         );
         s.add_function(
@@ -665,14 +708,15 @@ mod tests {
             AggregateKind::Count,
         ] {
             let spec = spec(kind);
-            for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
-                let routing =
-                    RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            for mode in [
+                RoutingMode::ShortestPathTrees,
+                RoutingMode::SharedSpanningTree,
+            ] {
+                let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
                 for alg in Algorithm::PLANNED {
                     let plan = plan_for_algorithm(&net, &spec, &routing, alg);
-                    let reference = execute_round(&net, &spec, &routing, &plan, &vals);
-                    let compiled =
-                        CompiledSchedule::compile(&net, &spec, &routing, &plan).unwrap();
+                    let reference = execute_round(&net, &spec, &plan, &vals);
+                    let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
                     let mut state = ExecState::for_schedule(&compiled);
                     let cost = compiled.run_round_on(&vals, &mut state);
                     assert_eq!(cost, reference.cost, "{kind:?}/{mode:?}");
@@ -700,14 +744,22 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let compiled = CompiledSchedule::compile(&net, &spec, &routing, &plan).unwrap();
+        let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
         let slots = compiled.sources().len();
         let rounds: Vec<Vec<f64>> = (0..17)
-            .map(|r| (0..slots).map(|s| (r * 31 + s) as f64 * 0.5 - 4.0).collect())
+            .map(|r| {
+                (0..slots)
+                    .map(|s| (r * 31 + s) as f64 * 0.5 - 4.0)
+                    .collect()
+            })
             .collect();
         let serial = run_epochs(&compiled, &rounds, 1);
         for threads in [2, 4, 8] {
-            assert_eq!(run_epochs(&compiled, &rounds, threads), serial, "threads={threads}");
+            assert_eq!(
+                run_epochs(&compiled, &rounds, threads),
+                serial,
+                "threads={threads}"
+            );
         }
         // And each epoch equals a standalone run_round.
         let mut state = ExecState::for_schedule(&compiled);
@@ -723,8 +775,11 @@ mod tests {
     fn reweight_refreshes_without_recompile() {
         let net = network();
         let vals = readings(&net);
-        let mut driver =
-            EpochDriver::new(net.clone(), spec(AggregateKind::WeightedSum), RoutingMode::ShortestPathTrees);
+        let mut driver = EpochDriver::new(
+            net.clone(),
+            spec(AggregateKind::WeightedSum),
+            RoutingMode::ShortestPathTrees,
+        );
         // Re-weight an existing pair: no edge problem changes, so the
         // driver must absorb it as a weight refresh.
         let stats = driver.apply(WorkloadUpdate::AddSource {
@@ -732,13 +787,15 @@ mod tests {
             source: NodeId(1),
             weight: 7.5,
         });
-        assert_eq!(stats.edges_reoptimized, 0, "pure re-weight must reuse every edge");
+        assert_eq!(
+            stats.edges_reoptimized, 0,
+            "pure re-weight must reuse every edge"
+        );
         assert_eq!(driver.refreshes(), 1);
         assert_eq!(driver.recompiles(), 0);
         let reference = execute_round(
             driver.maintainer().network(),
             driver.maintainer().spec(),
-            driver.maintainer().routing(),
             driver.maintainer().plan(),
             &vals,
         );
@@ -752,13 +809,15 @@ mod tests {
     fn structural_updates_recompile_and_stay_correct() {
         let net = network();
         let vals = readings(&net);
-        let mut driver =
-            EpochDriver::new(net.clone(), spec(AggregateKind::WeightedSum), RoutingMode::ShortestPathTrees);
+        let mut driver = EpochDriver::new(
+            net.clone(),
+            spec(AggregateKind::WeightedSum),
+            RoutingMode::ShortestPathTrees,
+        );
         let check = |driver: &EpochDriver| {
             let reference = execute_round(
                 driver.maintainer().network(),
                 driver.maintainer().spec(),
-                driver.maintainer().routing(),
                 driver.maintainer().plan(),
                 &vals,
             );

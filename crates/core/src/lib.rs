@@ -58,6 +58,9 @@
 //! * [`telemetry`] — the zero-overhead instrumentation facade (counters,
 //!   span timers, histograms, `M2M_TRACE` control) plus the per-edge
 //!   plan-explainability report;
+//! * [`topo`] — the interned topology snapshot: dense [`topo::NodeIdx`] /
+//!   [`topo::EdgeIdx`] indices, sorted edge slab with O(1) lookup, and
+//!   per-tree CSR adjacency that every planning stage shares;
 //! * [`textio`] — plain-text persistence for deployments and workloads.
 //!
 //! # Quickstart
@@ -87,7 +90,7 @@
 //! // Execute one round on real readings and check every destination.
 //! let readings: BTreeMap<NodeId, f64> =
 //!     net.nodes().map(|v| (v, f64::from(v.0))).collect();
-//! let round = execute_round(&net, &spec, &routing, &plan, &readings);
+//! let round = execute_round(&net, &spec, &plan, &readings);
 //! for (dest, result) in &round.results {
 //!     let expected = spec.function(*dest).unwrap().reference_result(&readings);
 //!     assert!((result - expected).abs() < 1e-9);
@@ -124,6 +127,7 @@ pub mod suppression;
 pub mod tables;
 pub mod telemetry;
 pub mod textio;
+pub mod topo;
 pub mod workload;
 
 pub use m2m_telemetry::m2m_log;
@@ -131,14 +135,15 @@ pub use m2m_telemetry::m2m_log;
 /// Convenience re-exports for typical use.
 pub mod prelude {
     pub use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
-    pub use crate::baselines::{Algorithm, plan_for_algorithm};
+    pub use crate::baselines::{plan_for_algorithm, Algorithm};
     pub use crate::edge_opt::{EdgeProblem, EdgeSolution};
     pub use crate::exec::{run_epochs, CompiledSchedule, EpochDriver, ExecState};
     pub use crate::metrics::RoundCost;
     pub use crate::plan::GlobalPlan;
     pub use crate::runtime::execute_round;
     pub use crate::spec::AggregationSpec;
-    pub use crate::workload::{WorkloadConfig, generate_workload};
+    pub use crate::topo::{EdgeIdx, NodeIdx, Topology};
+    pub use crate::workload::{generate_workload, WorkloadConfig};
     pub use m2m_graph::NodeId;
     pub use m2m_netsim::{Deployment, EnergyModel, Network, RoutingMode, RoutingTables};
 }

@@ -10,13 +10,17 @@
 //! Soundness: [`crate::edge_opt::solve_edge`] is a pure function of the
 //! problem and of the byte sizes the spec assigns (each destination's
 //! partial-record size; the raw size is a global constant). The cache
-//! therefore keys entries on the hash of the full [`EdgeProblem`] and
-//! remembers the record size every cached solve assumed per destination:
-//! a later build whose spec assigns a *different* size to any remembered
-//! destination clears the cache instead of serving stale solutions,
-//! while merely adding or removing destinations (the common campaign
-//! shape) keeps every still-valid entry. Per-node tiebreak priorities
-//! depend only on node ids, which are part of the problem itself.
+//! keeps its entries aligned with the caller's edge slab — one slot per
+//! [`crate::topo::EdgeIdx`] — and remembers the record size every cached
+//! solve assumed per destination. A later build whose spec assigns a
+//! *different* size to any remembered destination marks that destination
+//! dirty in a bitset and drops exactly the entries whose problems
+//! mention a dirty destination; entries mentioning only clean
+//! destinations would re-solve to the same bits (the solve depends only
+//! on the problem and the record sizes of the destinations it names), so
+//! keeping them is sound where the old policy — clearing the whole cache
+//! — merely wasted them. Per-node tiebreak priorities depend only on
+//! node ids, which are part of the problem itself.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -24,12 +28,26 @@ use m2m_graph::NodeId;
 
 use crate::edge_opt::{solve_edge_batch, DirectedEdge, EdgeProblem, EdgeSolution};
 use crate::spec::AggregationSpec;
+use crate::topo::BitSet;
+
+/// One cached per-edge solve: the exact problem it answered and its
+/// solution. A slot hits only if the stored problem equals the incoming
+/// one bit-for-bit.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    problem: EdgeProblem,
+    solution: EdgeSolution,
+}
 
 /// A reusable `EdgeProblem → EdgeSolution` memo shared across plan
-/// builds. See the module docs for the soundness argument.
+/// builds, slab-aligned by [`crate::topo::EdgeIdx`]. See the module docs
+/// for the soundness argument.
 #[derive(Clone, Debug, Default)]
 pub struct SolveCache {
-    entries: HashMap<EdgeProblem, EdgeSolution>,
+    /// The edge of each slot, mirroring the last batch's slab order.
+    edges: Vec<DirectedEdge>,
+    /// One slot per edge; `None` = never solved or invalidated.
+    entries: Vec<Option<CacheEntry>>,
     /// The partial-record size each cached solve assumed, per destination.
     record_sizes: BTreeMap<NodeId, u32>,
     hits: u64,
@@ -45,12 +63,12 @@ impl SolveCache {
 
     /// Cached solutions currently held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.iter().filter(|e| e.is_some()).count()
     }
 
     /// True if no solutions are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.iter().all(|e| e.is_none())
     }
 
     /// Lookups served from the cache since construction.
@@ -63,18 +81,19 @@ impl SolveCache {
         self.misses
     }
 
-    /// Whole-cache invalidations since construction: batches where a
+    /// Record-size invalidations since construction: batches where a
     /// destination the cache had already seen arrived with a different
-    /// partial-record size, forcing every entry out.
+    /// partial-record size, forcing the entries that mention it out.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
     }
 
-    /// Fraction of lookups served from the cache (1.0 when no lookups).
+    /// Fraction of lookups served from the cache (0.0 when no lookups
+    /// have happened yet — an empty history serves nothing).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
@@ -82,50 +101,85 @@ impl SolveCache {
 
     /// Drops all cached solutions (counters are kept).
     pub fn clear(&mut self) {
+        self.edges.clear();
         self.entries.clear();
         self.record_sizes.clear();
     }
 
-    /// Solves every problem in the batch, serving repeats from the cache
+    /// Solves every problem in the batch — one per demanded edge, in
+    /// [`crate::topo::EdgeIdx`] order — serving repeats from the cache
     /// and fanning the misses out over `threads` workers. The returned
-    /// map is bit-identical to solving every problem fresh — cached or
+    /// slab is bit-identical to solving every problem fresh — cached or
     /// not, a problem has exactly one solution (unique minima, §2.3).
     pub fn solve_all(
         &mut self,
-        problems: &BTreeMap<DirectedEdge, EdgeProblem>,
+        problems: &[EdgeProblem],
         spec: &AggregationSpec,
         threads: usize,
-    ) -> BTreeMap<DirectedEdge, EdgeSolution> {
-        // Invalidate only when a destination the cache has already seen
-        // now has a different record size — cached problems mentioning it
-        // would be solved with different weights today.
-        let conflict = spec.functions().any(|(d, f)| {
-            self.record_sizes
+    ) -> Vec<EdgeSolution> {
+        // Per-destination dirty bitset: a destination whose remembered
+        // record size disagrees with today's spec invalidates exactly the
+        // entries that mention it.
+        let mut dirty = BitSet::default();
+        for (d, f) in spec.functions() {
+            if self
+                .record_sizes
                 .get(&d)
                 .is_some_and(|&bytes| bytes != f.partial_record_bytes())
-        });
-        if conflict {
-            self.entries.clear();
-            self.record_sizes.clear();
+            {
+                dirty.insert(d.0 as usize);
+            }
+        }
+        if dirty.any() {
             self.invalidations += 1;
             crate::telemetry::counter(crate::telemetry::names::MEMO_INVALIDATIONS, 1);
+            for slot in &mut self.entries {
+                let stale = slot.as_ref().is_some_and(|e| {
+                    e.problem
+                        .groups
+                        .iter()
+                        .any(|g| dirty.contains(g.destination.0 as usize))
+                });
+                if stale {
+                    *slot = None;
+                }
+            }
         }
         for (d, f) in spec.functions() {
             self.record_sizes.insert(d, f.partial_record_bytes());
         }
 
-        let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = BTreeMap::new();
-        let mut missing: Vec<(DirectedEdge, &EdgeProblem)> = Vec::new();
+        // Re-align the slots when the topology (and hence the edge slab)
+        // changed since the last batch: surviving entries follow their
+        // edge to its new index; entries for edges no longer demanded
+        // are dropped.
+        let aligned = self.edges.len() == problems.len()
+            && self.edges.iter().zip(problems).all(|(&e, p)| e == p.edge);
+        if !aligned {
+            let mut by_edge: HashMap<DirectedEdge, CacheEntry> = self
+                .entries
+                .drain(..)
+                .flatten()
+                .map(|e| (e.problem.edge, e))
+                .collect();
+            self.edges = problems.iter().map(|p| p.edge).collect();
+            self.entries = self.edges.iter().map(|e| by_edge.remove(e)).collect();
+        }
+
+        // Hit/miss partition, slot by slot.
         let (hits_before, misses_before) = (self.hits, self.misses);
-        for (&edge, problem) in problems {
-            match self.entries.get(problem) {
-                Some(cached) => {
+        let mut out: Vec<Option<EdgeSolution>> = Vec::with_capacity(problems.len());
+        let mut missing: Vec<(usize, &EdgeProblem)> = Vec::new();
+        for (idx, problem) in problems.iter().enumerate() {
+            match self.entries[idx].as_ref().filter(|e| e.problem == *problem) {
+                Some(entry) => {
                     self.hits += 1;
-                    solutions.insert(edge, cached.clone());
+                    out.push(Some(entry.solution.clone()));
                 }
                 None => {
                     self.misses += 1;
-                    missing.push((edge, problem));
+                    missing.push((idx, problem));
+                    out.push(None);
                 }
             }
         }
@@ -134,12 +188,18 @@ impl SolveCache {
             crate::telemetry::counter(names::MEMO_HITS, self.hits - hits_before);
             crate::telemetry::counter(names::MEMO_MISSES, self.misses - misses_before);
         }
-        let solved = solve_edge_batch(&missing, spec, threads);
-        for (&(edge, problem), solution) in missing.iter().zip(&solved) {
-            self.entries.insert(problem.clone(), solution.clone());
-            solutions.insert(edge, solution.clone());
+        let refs: Vec<&EdgeProblem> = missing.iter().map(|&(_, p)| p).collect();
+        let solved = solve_edge_batch(&refs, spec, threads);
+        for (&(idx, problem), solution) in missing.iter().zip(&solved) {
+            self.entries[idx] = Some(CacheEntry {
+                problem: problem.clone(),
+                solution: solution.clone(),
+            });
+            out[idx] = Some(solution.clone());
         }
-        solutions
+        out.into_iter()
+            .map(|s| s.expect("every slot is filled by a hit or a solve"))
+            .collect()
     }
 }
 
@@ -153,20 +213,28 @@ mod tests {
     use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
     /// One hand-built single-edge problem feeding destination `d` from
-    /// two sources across the edge `4 → 5`.
-    fn tiny_problem(d: NodeId) -> (DirectedEdge, EdgeProblem) {
-        let edge = (NodeId(4), NodeId(5));
+    /// two sources across the given edge.
+    fn tiny_problem_on(edge: DirectedEdge, d: NodeId) -> EdgeProblem {
         let group = AggGroup {
             destination: d,
-            suffix: vec![NodeId(5), d].into(),
+            suffix: vec![edge.1, d].into(),
         };
-        let problem = EdgeProblem {
+        EdgeProblem {
             edge,
             sources: vec![NodeId(0), NodeId(1)],
             groups: vec![group],
             pairs: vec![(0, 0), (1, 0)],
-        };
-        (edge, problem)
+        }
+    }
+
+    fn tiny_problem(d: NodeId) -> EdgeProblem {
+        tiny_problem_on((NodeId(4), NodeId(5)), d)
+    }
+
+    #[test]
+    fn hit_rate_is_zero_before_any_lookup() {
+        let cache = SolveCache::new();
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups: nothing was served");
     }
 
     #[test]
@@ -177,12 +245,14 @@ mod tests {
             d,
             AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
         );
-        let (edge, problem) = tiny_problem(d);
-        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+        let problems = vec![tiny_problem(d)];
 
         let mut cache = SolveCache::new();
-        assert_eq!((cache.hits(), cache.misses(), cache.invalidations()), (0, 0, 0));
-        assert_eq!(cache.hit_rate(), 1.0, "no lookups yet");
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.invalidations()),
+            (0, 0, 0)
+        );
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups yet");
 
         let first = cache.solve_all(&problems, &spec, 1);
         assert_eq!((cache.hits(), cache.misses()), (0, 1), "cold solve misses");
@@ -215,20 +285,63 @@ mod tests {
             avg_spec.function(d).unwrap().partial_record_bytes(),
             "test needs kinds with distinct record sizes"
         );
-        let (edge, problem) = tiny_problem(d);
-        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+        let problems = vec![tiny_problem(d)];
 
         let mut cache = SolveCache::new();
         cache.solve_all(&problems, &sum_spec, 1);
         assert_eq!(cache.len(), 1);
         let solved_avg = cache.solve_all(&problems, &avg_spec, 1);
-        assert_eq!(cache.invalidations(), 1, "size conflict clears the cache");
+        assert_eq!(cache.invalidations(), 1, "size conflict drops the entry");
         assert_eq!((cache.hits(), cache.misses()), (0, 2), "re-solve is a miss");
-        assert_eq!(solved_avg[&edge], crate::edge_opt::solve_edge(&problems[&edge], &avg_spec));
+        assert_eq!(
+            solved_avg[0],
+            crate::edge_opt::solve_edge(&problems[0], &avg_spec)
+        );
         // Back to the original sizes: conflicts again (the avg size is
         // now the remembered one).
         cache.solve_all(&problems, &sum_spec, 1);
         assert_eq!(cache.invalidations(), 2);
+    }
+
+    #[test]
+    fn selective_invalidation_matches_full_resolve() {
+        // Two edges: one problem mentions the destination whose record
+        // size changes, the other does not. The old policy cleared both;
+        // the dirty-bitset policy keeps the clean one — and must still
+        // return exactly what a from-scratch solve returns.
+        let (d_changed, d_stable) = (NodeId(9), NodeId(11));
+        let mk_spec = |avg: bool| {
+            let mut spec = AggregationSpec::new();
+            let weights = [(NodeId(0), 1.0), (NodeId(1), 1.0)];
+            if avg {
+                spec.add_function(d_changed, AggregateFunction::weighted_average(weights));
+            } else {
+                spec.add_function(d_changed, AggregateFunction::weighted_sum(weights));
+            }
+            spec.add_function(d_stable, AggregateFunction::weighted_sum(weights));
+            spec
+        };
+        let problems = vec![
+            tiny_problem_on((NodeId(4), NodeId(5)), d_changed),
+            tiny_problem_on((NodeId(5), NodeId(6)), d_stable),
+        ];
+
+        let mut cache = SolveCache::new();
+        cache.solve_all(&problems, &mk_spec(false), 1);
+        assert_eq!(cache.len(), 2);
+
+        let after = cache.solve_all(&problems, &mk_spec(true), 1);
+        assert_eq!(cache.invalidations(), 1);
+        // Bit-identical to the old full-clear policy's answer: a fresh
+        // per-problem solve under the new spec.
+        let fresh: Vec<_> = problems
+            .iter()
+            .map(|p| crate::edge_opt::solve_edge(p, &mk_spec(true)))
+            .collect();
+        assert_eq!(after, fresh);
+        // The refinement: only the entry naming the dirty destination
+        // re-solved; the clean one was served from cache.
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
     }
 
     #[test]
@@ -239,24 +352,34 @@ mod tests {
             d,
             AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
         );
-        let (edge, problem) = tiny_problem(d);
-        let problems: BTreeMap<_, _> = [(edge, problem)].into();
+        let problems = vec![tiny_problem(d)];
         let mut cache = SolveCache::new();
         cache.solve_all(&problems, &spec, 1);
         cache.solve_all(&problems, &spec, 1);
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!((cache.hits(), cache.misses()), (1, 1), "clear keeps counters");
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 1),
+            "clear keeps counters"
+        );
         cache.solve_all(&problems, &spec, 1);
         assert_eq!(cache.misses(), 2, "cleared entry must be re-solved");
-        assert_eq!(cache.invalidations(), 0, "explicit clear is not an invalidation");
+        assert_eq!(
+            cache.invalidations(),
+            0,
+            "explicit clear is not an invalidation"
+        );
     }
 
     fn setup() -> (Network, AggregationSpec, RoutingTables) {
         let net = Network::with_default_energy(Deployment::great_duck_island(11));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 10, 5));
-        let routing =
-            RoutingTables::build(&net, &spec.source_to_destinations(), RoutingMode::ShortestPathTrees);
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
         (net, spec, routing)
     }
 
@@ -292,10 +415,7 @@ mod tests {
         // Grow the workload: unchanged edges must hit the cache, and the
         // result must still match a fresh build.
         let mut bigger = spec.clone();
-        let extra_dest = net
-            .nodes()
-            .find(|&v| bigger.function(v).is_none())
-            .unwrap();
+        let extra_dest = net.nodes().find(|&v| bigger.function(v).is_none()).unwrap();
         let sources: Vec<_> = bigger
             .all_sources()
             .into_iter()
@@ -303,7 +423,10 @@ mod tests {
             .take(3)
             .map(|s| (s, 1.0))
             .collect();
-        bigger.add_function(extra_dest, crate::agg::AggregateFunction::weighted_sum(sources));
+        bigger.add_function(
+            extra_dest,
+            crate::agg::AggregateFunction::weighted_sum(sources),
+        );
         let routing2 = RoutingTables::build(
             &net,
             &bigger.source_to_destinations(),
@@ -312,7 +435,10 @@ mod tests {
         let cached = GlobalPlan::build_cached(&net, &bigger, &routing2, &mut cache);
         let fresh = GlobalPlan::build(&net, &bigger, &routing2);
         assert_eq!(cached.solutions(), fresh.solutions());
-        assert!(cache.hits() > 0, "overlapping edges should be served cached");
+        assert!(
+            cache.hits() > 0,
+            "overlapping edges should be served cached"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ pub struct LifetimeReport {
 /// Panics if the ledger shows no energy use (lifetime would be infinite).
 pub fn project_lifetime(ledger: &NodeEnergyLedger, battery_uj: f64) -> LifetimeReport {
     let (node, per_round) = ledger.hotspot();
-    assert!(per_round > 0.0, "no node spends energy; lifetime is unbounded");
+    assert!(
+        per_round > 0.0,
+        "no node spends energy; lifetime is unbounded"
+    );
     LifetimeReport {
         rounds_until_first_death: battery_uj / per_round,
         first_death: node,

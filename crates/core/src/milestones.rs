@@ -80,9 +80,7 @@ pub fn build_milestone_routing(
         // Milestone predicate per tree: depth multiple of spacing, the
         // root, or a destination.
         let is_milestone = |v: NodeId, depth: u32| -> bool {
-            depth % config.spacing == 0
-                || v == s
-                || tree.destinations().binary_search(&v).is_ok()
+            depth % config.spacing == 0 || v == s || tree.destinations().binary_search(&v).is_ok()
         };
         let n = network.node_count();
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -155,9 +153,8 @@ impl CompiledMilestoneCost {
         config: &MilestoneConfig,
     ) -> Self {
         let entries = plan
-            .solutions()
-            .iter()
-            .map(|(&edge, sol)| {
+            .iter_solutions()
+            .map(|(edge, sol)| {
                 let body = u32::try_from(sol.cost_bytes).expect("payload fits u32");
                 MilestoneEdgeCost {
                     tx_uj: energy.tx_cost_uj(body),
@@ -267,7 +264,10 @@ mod tests {
             m.routing.directed_edges().len() <= routing.directed_edges().len(),
             "virtual topology must not be larger"
         );
-        assert!(m.edge_lengths.values().any(|&l| l > 1), "some edges contract");
+        assert!(
+            m.edge_lengths.values().any(|&l| l > 1),
+            "some edges contract"
+        );
         // The virtual plan still validates and executes symbolically.
         let plan = GlobalPlan::build_unchecked(&spec, &m.routing);
         plan.validate(&spec, &m.routing).unwrap();

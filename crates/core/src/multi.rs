@@ -90,8 +90,7 @@ impl MultiPlan {
             .layers()
             .into_iter()
             .map(|spec| {
-                let routing =
-                    RoutingTables::build(network, &spec.source_to_destinations(), mode);
+                let routing = RoutingTables::build(network, &spec.source_to_destinations(), mode);
                 let plan = GlobalPlan::build(network, &spec, &routing);
                 (spec, routing, plan)
             })
@@ -106,7 +105,10 @@ impl MultiPlan {
 
     /// Total per-round payload across all layers.
     pub fn total_payload_bytes(&self) -> u64 {
-        self.layers.iter().map(|(_, _, p)| p.total_payload_bytes()).sum()
+        self.layers
+            .iter()
+            .map(|(_, _, p)| p.total_payload_bytes())
+            .sum()
     }
 
     /// Executes one round: all layers in sequence. Returns one result per
@@ -119,8 +121,8 @@ impl MultiPlan {
     ) -> (Vec<f64>, RoundCost) {
         let mut per_layer: Vec<BTreeMap<NodeId, f64>> = Vec::new();
         let mut cost = RoundCost::default();
-        for (spec, routing, plan) in &self.layers {
-            let round = execute_round(network, spec, routing, plan, readings);
+        for (spec, _, plan) in &self.layers {
+            let round = execute_round(network, spec, plan, readings);
             cost.accumulate(&round.cost);
             per_layer.push(round.results);
         }
@@ -130,10 +132,7 @@ impl MultiPlan {
             .functions()
             .iter()
             .map(|(d, _)| {
-                let layer = *next_layer
-                    .entry(*d)
-                    .and_modify(|l| *l += 1)
-                    .or_insert(0);
+                let layer = *next_layer.entry(*d).and_modify(|l| *l += 1).or_insert(0);
                 per_layer[layer][d]
             })
             .collect();
@@ -152,7 +151,9 @@ mod tests {
     }
 
     fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
-        net.nodes().map(|v| (v, f64::from(v.0) * 0.5 + 1.0)).collect()
+        net.nodes()
+            .map(|v| (v, f64::from(v.0) * 0.5 + 1.0))
+            .collect()
     }
 
     #[test]
@@ -187,9 +188,15 @@ mod tests {
         let mut multi = MultiSpec::new();
         // d=1 has 3 functions, d=2 has 1: exactly 3 layers.
         for _ in 0..3 {
-            multi.add_function(NodeId(1), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+            multi.add_function(
+                NodeId(1),
+                AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+            );
         }
-        multi.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        multi.add_function(
+            NodeId(2),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
         let layers = multi.layers();
         assert_eq!(layers.len(), 3);
         // The singleton function lands in the first layer.
@@ -202,8 +209,14 @@ mod tests {
         let net = network();
         let vals = readings(&net);
         let mut multi = MultiSpec::new();
-        multi.add_function(NodeId(12), AggregateFunction::weighted_sum([(NodeId(0), 2.0)]));
-        multi.add_function(NodeId(15), AggregateFunction::weighted_sum([(NodeId(0), 3.0)]));
+        multi.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_sum([(NodeId(0), 2.0)]),
+        );
+        multi.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 3.0)]),
+        );
         let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
         assert_eq!(plan.layer_count(), 1);
         let (results, _) = plan.execute_round(&net, &multi, &vals);

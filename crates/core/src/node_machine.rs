@@ -124,8 +124,7 @@ impl NodeMachine {
     /// True if every outgoing message fired and every accumulator
     /// completed — the node finished its round.
     pub fn is_quiescent(&self) -> bool {
-        self.emitted.iter().all(|&e| e)
-            && self.accumulators.values().all(|a| a.fired)
+        self.emitted.iter().all(|&e| e) && self.accumulators.values().all(|a| a.fired)
     }
 
     /// Human-readable description of unfinished work (for deadlock
@@ -156,17 +155,17 @@ impl NodeMachine {
 
     /// Feeds this node's own sensor reading; returns any messages that
     /// become ready.
-    pub fn inject_local_reading(
-        &mut self,
-        spec: &AggregationSpec,
-        value: f64,
-    ) -> Vec<WireMessage> {
+    pub fn inject_local_reading(&mut self, spec: &AggregationSpec, value: f64) -> Vec<WireMessage> {
         self.handle_raw(spec, self.id, value)
     }
 
     /// Delivers one radio message; returns any messages that become
     /// ready.
-    pub fn on_receive(&mut self, spec: &AggregationSpec, message: &WireMessage) -> Vec<WireMessage> {
+    pub fn on_receive(
+        &mut self,
+        spec: &AggregationSpec,
+        message: &WireMessage,
+    ) -> Vec<WireMessage> {
         debug_assert_eq!(message.to, self.id);
         let mut out = Vec::new();
         for unit in &message.units {
@@ -185,7 +184,12 @@ impl NodeMachine {
     /// Processes a raw value available at this node (own reading or
     /// received): forwards it per the raw table and pre-aggregates it per
     /// the pre-aggregation table.
-    fn handle_raw(&mut self, spec: &AggregationSpec, source: NodeId, value: f64) -> Vec<WireMessage> {
+    fn handle_raw(
+        &mut self,
+        spec: &AggregationSpec,
+        source: NodeId,
+        value: f64,
+    ) -> Vec<WireMessage> {
         let mut out = Vec::new();
         let forwards: Vec<usize> = self
             .program
@@ -383,7 +387,7 @@ mod tests {
     ) -> DistributedRound {
         let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
         let plan = GlobalPlan::build(net, spec, &routing);
-        let tables = NodeTables::build(spec, &routing, &plan);
+        let tables = NodeTables::build(spec, &plan);
         run_distributed_round(spec, &tables, readings).expect("no deadlock")
     }
 
@@ -424,7 +428,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let tables = NodeTables::build(&spec, &routing, &plan);
+        let tables = NodeTables::build(&spec, &plan);
         let round = run_distributed_round(&spec, &tables, &readings).unwrap();
         // One radio message per active plan edge (full merging).
         assert_eq!(round.messages.len(), plan.solutions().len());
@@ -438,8 +442,7 @@ mod tests {
     #[test]
     fn self_sourcing_destination_quiesces() {
         let net = Network::with_default_energy(Deployment::grid(3, 3, 10.0, 12.0));
-        let readings: BTreeMap<NodeId, f64> =
-            net.nodes().map(|v| (v, f64::from(v.0))).collect();
+        let readings: BTreeMap<NodeId, f64> = net.nodes().map(|v| (v, f64::from(v.0))).collect();
         let mut spec = AggregationSpec::new();
         spec.add_function(
             NodeId(4),
@@ -476,14 +479,12 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let tables = NodeTables::build(&spec, &routing, &plan);
+        let tables = NodeTables::build(&spec, &plan);
         // Sabotage: drop node 1's state entirely — the relay goes silent.
-        let mut broken: BTreeMap<NodeId, _> =
-            tables.nodes().map(|(n, s)| (n, s.clone())).collect();
+        let mut broken: BTreeMap<NodeId, _> = tables.nodes().map(|(n, s)| (n, s.clone())).collect();
         broken.remove(&NodeId(1));
         let broken = NodeTables::from_states(broken);
-        let readings: BTreeMap<NodeId, f64> =
-            net.nodes().map(|v| (v, 1.0)).collect();
+        let readings: BTreeMap<NodeId, f64> = net.nodes().map(|v| (v, 1.0)).collect();
         let result = run_distributed_round(&spec, &broken, &readings);
         assert!(result.is_err(), "silent relay must be detected");
     }

@@ -116,7 +116,10 @@ mod tests {
     fn empty_and_single_item_inputs() {
         let none: Vec<u32> = Vec::new();
         assert!(parallel_map_with(&none, 8, || (), |(), &x| x).is_empty());
-        assert_eq!(parallel_map_with(&[5u32], 8, || (), |(), &x| x + 1), vec![6]);
+        assert_eq!(
+            parallel_map_with(&[5u32], 8, || (), |(), &x| x + 1),
+            vec![6]
+        );
     }
 
     #[test]

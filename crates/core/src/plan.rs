@@ -17,8 +17,19 @@
 //! sweep never fires; with per-source shortest-path trees (the paper's §4
 //! setup) violations are rare and counted in
 //! [`GlobalPlan::repair_count`].
+//!
+//! ## Dense layout
+//!
+//! The plan stores flat slabs — `Vec<EdgeProblem>` / `Vec<EdgeSolution>`
+//! in [`crate::topo::EdgeIdx`] order — plus the shared
+//! [`Topology`] snapshot that defines that order. Because the edge slab
+//! is sorted, slab order coincides with the ascending-key iteration of
+//! the `BTreeMap`s this module used to hold, so downstream consumers
+//! (scheduling, execution) see the exact same edge sequence. Ordered
+//! maps survive only as boundary *views* ([`GlobalPlan::solution_map`]).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingTables};
@@ -30,12 +41,14 @@ use crate::edge_opt::{
 use crate::memo::SolveCache;
 use crate::parallel;
 use crate::spec::AggregationSpec;
+use crate::topo::Topology;
 
 /// The assembled network-wide many-to-many aggregation plan.
 #[derive(Clone, Debug)]
 pub struct GlobalPlan {
-    problems: BTreeMap<DirectedEdge, EdgeProblem>,
-    solutions: BTreeMap<DirectedEdge, EdgeSolution>,
+    topo: Arc<Topology>,
+    problems: Vec<EdgeProblem>,
+    solutions: Vec<EdgeSolution>,
     repairs: usize,
 }
 
@@ -80,25 +93,16 @@ impl GlobalPlan {
         threads: usize,
     ) -> Self {
         let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
-        let problems = build_edge_problems(spec, routing);
-        let entries: Vec<(DirectedEdge, &EdgeProblem)> =
-            problems.iter().map(|(&e, p)| (e, p)).collect();
-        let solved = solve_edge_batch(&entries, spec, threads);
-        let mut solutions: BTreeMap<DirectedEdge, EdgeSolution> = entries
-            .iter()
-            .map(|&(e, _)| e)
-            .zip(solved)
-            .collect();
-        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        let topo = Arc::new(Topology::snapshot(spec, routing));
+        let problems = build_edge_problems(&topo);
+        let refs: Vec<&EdgeProblem> = problems.iter().collect();
+        let solutions = solve_edge_batch(&refs, spec, threads);
+        let plan = Self::assemble(spec, topo, problems, solutions, true);
         if crate::telemetry::enabled() {
             crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
-            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, repairs as u64);
+            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, plan.repairs as u64);
         }
-        GlobalPlan {
-            problems,
-            solutions,
-            repairs,
-        }
+        plan
     }
 
     /// [`GlobalPlan::build`] through a [`SolveCache`]: edges whose
@@ -120,53 +124,107 @@ impl GlobalPlan {
             "every multicast edge must be a radio link"
         );
         let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
-        let problems = build_edge_problems(spec, routing);
-        let mut solutions =
-            cache.solve_all(&problems, spec, parallel::max_threads());
-        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        let topo = Arc::new(Topology::snapshot(spec, routing));
+        let problems = build_edge_problems(&topo);
+        let solutions = cache.solve_all(&problems, spec, parallel::max_threads());
+        let plan = Self::assemble(spec, topo, problems, solutions, true);
         if crate::telemetry::enabled() {
             crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
-            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, repairs as u64);
+            crate::telemetry::counter(crate::telemetry::names::PLAN_REPAIRS, plan.repairs as u64);
         }
-        GlobalPlan {
-            problems,
-            solutions,
-            repairs,
-        }
+        plan
     }
 
-    /// Builds a plan from externally supplied edge solutions (used by the
-    /// baseline algorithms). The availability sweep still runs so every
-    /// plan handed out is executable.
+    /// Builds a plan from externally supplied edge solutions in
+    /// [`crate::topo::EdgeIdx`] order (used by the baseline algorithms
+    /// and the incremental maintainer). The availability sweep still runs
+    /// so every plan handed out is executable.
     pub fn from_solutions(
         spec: &AggregationSpec,
-        routing: &RoutingTables,
-        problems: BTreeMap<DirectedEdge, EdgeProblem>,
-        mut solutions: BTreeMap<DirectedEdge, EdgeSolution>,
+        topo: Arc<Topology>,
+        problems: Vec<EdgeProblem>,
+        solutions: Vec<EdgeSolution>,
     ) -> Self {
-        let repairs = repair_availability(spec, routing, &problems, &mut solutions);
+        Self::assemble(spec, topo, problems, solutions, true)
+    }
+
+    /// The one true constructor: every public build path funnels through
+    /// here, parameterized by whether the §2.3 repair sweep runs.
+    /// Skipping the sweep is only sound when the solutions are already
+    /// known to be availability-consistent.
+    fn assemble(
+        spec: &AggregationSpec,
+        topo: Arc<Topology>,
+        problems: Vec<EdgeProblem>,
+        mut solutions: Vec<EdgeSolution>,
+        run_repair_sweep: bool,
+    ) -> Self {
+        debug_assert_eq!(problems.len(), topo.edge_count());
+        debug_assert_eq!(solutions.len(), topo.edge_count());
+        let repairs = if run_repair_sweep {
+            repair_availability(spec, &topo, &problems, &mut solutions)
+        } else {
+            0
+        };
         GlobalPlan {
+            topo,
             problems,
             solutions,
             repairs,
         }
     }
 
-    /// The per-edge problems, keyed by directed edge.
+    /// The per-edge problems, one per demanded edge in
+    /// [`crate::topo::EdgeIdx`] order.
     #[inline]
-    pub fn problems(&self) -> &BTreeMap<DirectedEdge, EdgeProblem> {
+    pub fn problems(&self) -> &[EdgeProblem] {
         &self.problems
     }
 
-    /// The per-edge solutions, keyed by directed edge.
+    /// The per-edge solutions, one per demanded edge in
+    /// [`crate::topo::EdgeIdx`] order (ascending by directed edge).
     #[inline]
-    pub fn solutions(&self) -> &BTreeMap<DirectedEdge, EdgeSolution> {
+    pub fn solutions(&self) -> &[EdgeSolution] {
         &self.solutions
     }
 
-    /// The solution for one edge.
+    /// The interned topology this plan's slabs are laid out over.
+    #[inline]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The demanded directed edges, ascending — the slab order of
+    /// [`GlobalPlan::problems`] and [`GlobalPlan::solutions`].
+    #[inline]
+    pub fn edges(&self) -> &[DirectedEdge] {
+        self.topo.edges()
+    }
+
+    /// Iterates `(edge, solution)` pairs in ascending edge order —
+    /// the same sequence the old `BTreeMap` iteration produced.
+    pub fn iter_solutions(&self) -> impl Iterator<Item = (DirectedEdge, &EdgeSolution)> {
+        self.topo.edges().iter().copied().zip(self.solutions.iter())
+    }
+
+    /// The solution for one edge (O(1) via the topology's edge lookup).
     pub fn solution(&self, edge: DirectedEdge) -> Option<&EdgeSolution> {
-        self.solutions.get(&edge)
+        self.topo
+            .edge_idx(edge)
+            .map(|idx| &self.solutions[idx.index()])
+    }
+
+    /// The problem for one edge (O(1) via the topology's edge lookup).
+    pub fn problem(&self, edge: DirectedEdge) -> Option<&EdgeProblem> {
+        self.topo
+            .edge_idx(edge)
+            .map(|idx| &self.problems[idx.index()])
+    }
+
+    /// An ordered-map *view* of the solutions, cloned from the slab —
+    /// for API boundaries and diagnostics only; hot paths use the slab.
+    pub fn solution_map(&self) -> BTreeMap<DirectedEdge, EdgeSolution> {
+        self.iter_solutions().map(|(e, s)| (e, s.clone())).collect()
     }
 
     /// Number of edges patched by the consistency sweep (0 when the
@@ -178,20 +236,20 @@ impl GlobalPlan {
 
     /// Total payload bytes per round across all edges (headers excluded).
     pub fn total_payload_bytes(&self) -> u64 {
-        self.solutions.values().map(|s| s.cost_bytes).sum()
+        self.solutions.iter().map(|s| s.cost_bytes).sum()
     }
 
     /// One-glance statistics of the plan.
     pub fn summary(&self) -> PlanSummary {
         PlanSummary {
             edges: self.solutions.len(),
-            raw_units: self.solutions.values().map(|s| s.raw.len()).sum(),
-            record_units: self.solutions.values().map(|s| s.agg.len()).sum(),
+            raw_units: self.solutions.iter().map(|s| s.raw.len()).sum(),
+            record_units: self.solutions.iter().map(|s| s.agg.len()).sum(),
             payload_bytes: self.total_payload_bytes(),
             repairs: self.repairs,
             coherent_edges: self
                 .problems
-                .values()
+                .iter()
                 .filter(|p| p.is_sharing_coherent())
                 .count(),
         }
@@ -199,7 +257,7 @@ impl GlobalPlan {
 
     /// Total message units per round across all edges.
     pub fn total_units(&self) -> usize {
-        self.solutions.values().map(|s| s.unit_count()).sum()
+        self.solutions.iter().map(|s| s.unit_count()).sum()
     }
 
     /// Validates the plan by symbolically routing every `(s, d)` pair:
@@ -217,8 +275,7 @@ impl GlobalPlan {
                 for (idx, hop) in path.windows(2).enumerate() {
                     let edge = (hop[0], hop[1]);
                     let sol = self
-                        .solutions
-                        .get(&edge)
+                        .solution(edge)
                         .ok_or_else(|| format!("no solution for edge {edge:?}"))?;
                     let group = AggGroup {
                         destination: d,
@@ -230,14 +287,10 @@ impl GlobalPlan {
                         } else if sol.transmits_group(&group) {
                             raw = false;
                         } else {
-                            return Err(format!(
-                                "pair ({s}, {d}) uncovered on edge {edge:?}"
-                            ));
+                            return Err(format!("pair ({s}, {d}) uncovered on edge {edge:?}"));
                         }
                     } else if !sol.transmits_group(&group) {
-                        return Err(format!(
-                            "record for ({s}, {d}) dropped on edge {edge:?}"
-                        ));
+                        return Err(format!("record for ({s}, {d}) dropped on edge {edge:?}"));
                     }
                 }
             }
@@ -247,7 +300,9 @@ impl GlobalPlan {
 
     /// Checks raw-availability consistency *without* repairs, i.e. whether
     /// the independently obtained per-edge optima already compose — the
-    /// Theorem 1 property. Returns the number of violations.
+    /// Theorem 1 property. Returns the number of violations. Takes a map
+    /// view (see [`GlobalPlan::solution_map`]) so diagnostics can probe
+    /// partial or hand-edited solution sets.
     pub fn count_inconsistencies(
         spec: &AggregationSpec,
         routing: &RoutingTables,
@@ -263,7 +318,9 @@ impl GlobalPlan {
                 let mut avail = true;
                 for hop in path.windows(2) {
                     let edge = (hop[0], hop[1]);
-                    let Some(sol) = solutions.get(&edge) else { continue };
+                    let Some(sol) = solutions.get(&edge) else {
+                        continue;
+                    };
                     if sol.transmits_raw(s) {
                         if !avail {
                             violations += 1;
@@ -278,40 +335,42 @@ impl GlobalPlan {
     }
 }
 
-/// The §2.3 sweep: walks every multicast tree top-down tracking whether
-/// the tree's raw value is still available, and patches any edge that
-/// wants a raw value an upstream edge already aggregated. Patching an edge
-/// for source `s` removes `s` from the raw set and forces every group `s`
-/// participates in on that edge into the aggregate set — other sources'
-/// entries are untouched, so one pass per tree suffices. Returns the
+/// The §2.3 sweep over the interned topology: one depth-first descent of
+/// each tree's CSR adjacency, tracking whether the tree's raw value is
+/// still available, patching any edge that wants a raw value an upstream
+/// edge already aggregated.
+///
+/// This visits each tree edge exactly once, where the old per-destination
+/// path walks revisited shared prefixes — yet the patch set and count are
+/// identical: within a tree the path to any edge is unique, a patch fires
+/// only where upstream availability is *already* false, and patching
+/// (raw → aggregated) cannot flip any downstream availability from false
+/// to true. So the set of patched edges is a function of the original
+/// solutions — `{e : raw(e) ∧ ¬avail(tail(e))}` — independent of visit
+/// order, and the old walks counted each such edge once too (after the
+/// first patch the `transmits_raw` guard fails on revisits). Returns the
 /// number of patched edges.
 fn repair_availability(
     spec: &AggregationSpec,
-    routing: &RoutingTables,
-    problems: &BTreeMap<DirectedEdge, EdgeProblem>,
-    solutions: &mut BTreeMap<DirectedEdge, EdgeSolution>,
+    topo: &Topology,
+    problems: &[EdgeProblem],
+    solutions: &mut [EdgeSolution],
 ) -> usize {
     let mut repairs = 0;
-    for (s, tree) in routing.trees() {
-        // Availability of raw v_s at each tree node, computed in BFS order
-        // (edges() yields parent→child pairs; children appear after their
-        // parents in the ascending-id node order only within path walks,
-        // so walk per destination path instead — prefixes are shared and
-        // revisiting an edge is idempotent).
-        for &d in tree.destinations() {
-            if !spec.is_source_of(s, d) {
-                continue;
-            }
-            let path = tree.path_to(d).expect("tree spans destination");
-            let mut avail = true;
-            for hop in path.windows(2) {
-                let edge = (hop[0], hop[1]);
-                let Some(sol) = solutions.get_mut(&edge) else { continue };
-                if sol.transmits_raw(s) && !avail {
-                    patch_edge(spec, &problems[&edge], sol, s);
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for tree in topo.trees() {
+        let s = tree.source();
+        stack.clear();
+        stack.push((0, true));
+        while let Some((pos, avail)) = stack.pop() {
+            for &(child, e) in tree.children_of(pos) {
+                let sol = &mut solutions[e.index()];
+                let raw = sol.transmits_raw(s);
+                if raw && !avail {
+                    patch_edge(spec, &problems[e.index()], sol, s);
                     repairs += 1;
                 }
-                avail = avail && sol.transmits_raw(s);
+                stack.push((child, avail && raw));
             }
         }
     }
@@ -448,7 +507,10 @@ mod tests {
     fn plan_validates_in_both_routing_modes() {
         let net = grid_network();
         let spec = small_spec();
-        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+        ] {
             let (routing, plan) = build_all(&net, &spec, mode);
             plan.validate(&spec, &routing).expect("plan must validate");
         }
@@ -473,7 +535,7 @@ mod tests {
         // raw values).
         let multicast_bytes: u64 = plan
             .problems()
-            .values()
+            .iter()
             .map(|p| p.sources.len() as u64 * u64::from(RAW_VALUE_BYTES))
             .sum();
         assert!(plan.total_payload_bytes() <= multicast_bytes);
@@ -487,18 +549,40 @@ mod tests {
         let (routing, plan) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
         let mut broken = plan.clone();
         // Drop one edge's units entirely.
-        let edge = *broken.solutions.keys().next().unwrap();
-        let sol = broken.solutions.get_mut(&edge).unwrap();
-        sol.raw.clear();
-        sol.agg.clear();
+        broken.solutions[0].raw.clear();
+        broken.solutions[0].agg.clear();
         assert!(broken.validate(&spec, &routing).is_err());
+    }
+
+    #[test]
+    fn slab_order_matches_sorted_edges() {
+        let net = grid_network();
+        let spec = small_spec();
+        let (_, plan) = build_all(&net, &spec, RoutingMode::ShortestPathTrees);
+        assert!(plan.edges().windows(2).all(|w| w[0] < w[1]));
+        for (i, (edge, sol)) in plan.iter_solutions().enumerate() {
+            assert_eq!(plan.edges()[i], edge);
+            assert_eq!(sol.edge, edge);
+            assert_eq!(plan.problems()[i].edge, edge);
+            assert_eq!(plan.solution(edge).unwrap(), sol);
+        }
+        // The boundary view is the slab, re-keyed.
+        let view = plan.solution_map();
+        assert_eq!(view.len(), plan.solutions().len());
+        assert!(view
+            .iter()
+            .map(|(&e, _)| e)
+            .eq(plan.edges().iter().copied()));
     }
 
     #[test]
     fn larger_random_workload_builds_and_validates() {
         let net = Network::with_default_energy(Deployment::great_duck_island(2));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 10, 3));
-        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+        ] {
             let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
             let plan = GlobalPlan::build(&net, &spec, &routing);
             plan.validate(&spec, &routing).expect("plan must validate");
@@ -524,10 +608,10 @@ mod tests {
             m2m_netsim::RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let mut solutions = plan.solutions().clone();
+        let mut solutions = plan.solution_map();
         // Corrupt the first edge: aggregate the lone source there.
         let first = solutions.get_mut(&(NodeId(0), NodeId(1))).unwrap();
-        let group = plan.problems()[&(NodeId(0), NodeId(1))].groups[0].clone();
+        let group = plan.problem((NodeId(0), NodeId(1))).unwrap().groups[0].clone();
         first.raw.clear();
         first.agg = vec![group];
         // Downstream edges still transmit raw → inconsistencies counted.
@@ -535,9 +619,55 @@ mod tests {
         assert!(violations > 0);
         // The untouched plan is consistent.
         assert_eq!(
-            GlobalPlan::count_inconsistencies(&spec, &routing, plan.solutions()),
+            GlobalPlan::count_inconsistencies(&spec, &routing, &plan.solution_map()),
             0
         );
+    }
+
+    #[test]
+    fn assemble_without_sweep_skips_repairs() {
+        // Same corruption as above: upstream aggregates, downstream wants
+        // raw. `from_solutions` (sweep on) must repair; the private
+        // constructor with the sweep off must hand the slabs back as-is.
+        let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let mut corrupted = plan.solutions().to_vec();
+        let idx = plan
+            .topology()
+            .edge_idx((NodeId(0), NodeId(1)))
+            .unwrap()
+            .index();
+        let group = plan.problems()[idx].groups[0].clone();
+        corrupted[idx].raw.clear();
+        corrupted[idx].agg = vec![group];
+
+        let swept = GlobalPlan::from_solutions(
+            &spec,
+            Arc::clone(plan.topology()),
+            plan.problems().to_vec(),
+            corrupted.clone(),
+        );
+        assert!(swept.repair_count() > 0, "sweep must patch the violation");
+
+        let unswept = GlobalPlan::assemble(
+            &spec,
+            Arc::clone(plan.topology()),
+            plan.problems().to_vec(),
+            corrupted.clone(),
+            false,
+        );
+        assert_eq!(unswept.repair_count(), 0);
+        assert_eq!(unswept.solutions(), &corrupted[..], "slabs pass through");
     }
 
     #[test]

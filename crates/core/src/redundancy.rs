@@ -45,9 +45,8 @@ pub fn delivery_coverage(
     failed: &BTreeSet<NodeId>,
     placement: StatePlacement,
 ) -> f64 {
-    let reachable = |from: NodeId, to: NodeId| -> bool {
-        surviving_path_exists(network, failed, from, to)
-    };
+    let reachable =
+        |from: NodeId, to: NodeId| -> bool { surviving_path_exists(network, failed, from, to) };
 
     let mut pairs = 0usize;
     let mut delivered = 0usize;
@@ -168,11 +167,26 @@ mod tests {
             .filter(|v| !participants.contains(v))
             .take(5)
             .collect();
-        let lean =
-            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::TransitionOnly);
-        let fat =
-            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
-        assert!(fat >= lean, "redundant state must not reduce coverage ({fat} < {lean})");
+        let lean = delivery_coverage(
+            &net,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::TransitionOnly,
+        );
+        let fat = delivery_coverage(
+            &net,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::EveryNode,
+        );
+        assert!(
+            fat >= lean,
+            "redundant state must not reduce coverage ({fat} < {lean})"
+        );
         assert!(fat > 0.0);
     }
 
@@ -215,10 +229,22 @@ mod tests {
             return; // transition coincides with an endpoint on this layout
         }
         let failed: BTreeSet<NodeId> = [t].into_iter().collect();
-        let lean =
-            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::TransitionOnly);
-        let fat =
-            delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
+        let lean = delivery_coverage(
+            &net,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::TransitionOnly,
+        );
+        let fat = delivery_coverage(
+            &net,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::EveryNode,
+        );
         assert!(lean < 1.0, "losing the state holder must cost coverage");
         assert_eq!(fat, 1.0, "redundant state reroutes around the failure");
     }
@@ -228,7 +254,14 @@ mod tests {
         let (net, spec, routing, plan) = setup();
         let s = spec.all_sources()[0];
         let failed: BTreeSet<NodeId> = [s].into_iter().collect();
-        let c = delivery_coverage(&net, &spec, &routing, &plan, &failed, StatePlacement::EveryNode);
+        let c = delivery_coverage(
+            &net,
+            &spec,
+            &routing,
+            &plan,
+            &failed,
+            StatePlacement::EveryNode,
+        );
         assert!(c < 1.0);
     }
 }

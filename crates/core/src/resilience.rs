@@ -114,7 +114,11 @@ impl ResilienceExec {
         let mut messages = Vec::with_capacity(message_count);
         let mut pred_pool: Vec<u32> = Vec::new();
         for (m, msg) in schedule.messages.iter().enumerate() {
-            let body: u32 = msg.units.iter().map(|&u| schedule.units[u].size_bytes).sum();
+            let body: u32 = msg
+                .units
+                .iter()
+                .map(|&u| schedule.units[u].size_bytes)
+                .sum();
             let start = pred_pool.len() as u32;
             pred_pool.extend(&preds[m]);
             messages.push(MessageExec {
@@ -132,7 +136,10 @@ impl ResilienceExec {
             messages.len(),
             pred_pool.len()
         );
-        ResilienceExec { messages, pred_pool }
+        ResilienceExec {
+            messages,
+            pred_pool,
+        }
     }
 
     /// Allocates a scratch arena sized for this executor.
@@ -153,7 +160,11 @@ impl ResilienceExec {
         scratch: &mut ResilienceScratch,
     ) -> ResilienceOutcome {
         let message_count = self.messages.len();
-        assert_eq!(scratch.delivered.len(), message_count, "scratch/exec mismatch");
+        assert_eq!(
+            scratch.delivered.len(),
+            message_count,
+            "scratch/exec mismatch"
+        );
         scratch.delivered.fill(false);
         let delivered = &mut scratch.delivered;
 
@@ -289,7 +300,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let slots = assign_slots(&net, &schedule);
         (net, schedule, slots)
     }
@@ -335,8 +346,14 @@ mod tests {
         assert!(out.retransmissions > 0);
         assert!(out.slots_used >= slots.slot_count);
         let baseline = schedule.round_cost(net.energy());
-        assert!(out.cost.tx_uj > baseline.tx_uj, "failed attempts burn tx energy");
-        assert!((out.cost.rx_uj - baseline.rx_uj).abs() < 1e-6, "rx only on delivery");
+        assert!(
+            out.cost.tx_uj > baseline.tx_uj,
+            "failed attempts burn tx energy"
+        );
+        assert!(
+            (out.cost.rx_uj - baseline.rx_uj).abs() < 1e-6,
+            "rx only on delivery"
+        );
     }
 
     #[test]
@@ -374,7 +391,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let critical = messages_on_critical_links(&net, &schedule);
         assert_eq!(critical.len(), schedule.messages.len());
     }

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use m2m_graph::NodeId;
-use m2m_netsim::{Network, RoutingTables};
+use m2m_netsim::Network;
 
 use crate::agg::PartialRecord;
 use crate::metrics::RoundCost;
@@ -43,11 +43,10 @@ pub struct RoundResult {
 pub fn execute_round(
     network: &Network,
     spec: &AggregationSpec,
-    routing: &RoutingTables,
     plan: &GlobalPlan,
     readings: &BTreeMap<NodeId, f64>,
 ) -> RoundResult {
-    let schedule = build_schedule(spec, routing, plan).expect("plan must be schedulable");
+    let schedule = build_schedule(spec, plan).expect("plan must be schedulable");
     let results = evaluate(spec, &schedule, readings);
     let cost = schedule.round_cost(network.energy());
     RoundResult {
@@ -85,8 +84,9 @@ pub fn evaluate(
         for c in &schedule.contributions[u] {
             let part = match c {
                 Contribution::Pre(s) => f.pre_aggregate(*s, reading(*s)),
-                Contribution::FromUnit(v) => records[*v]
-                    .expect("topological order computes dependencies first"),
+                Contribution::FromUnit(v) => {
+                    records[*v].expect("topological order computes dependencies first")
+                }
             };
             acc = Some(match acc {
                 None => part,
@@ -94,7 +94,10 @@ pub fn evaluate(
             });
         }
         records[u] = Some(acc.unwrap_or_else(|| {
-            panic!("record unit {u} for {} has no contributions", group.destination)
+            panic!(
+                "record unit {u} for {} has no contributions",
+                group.destination
+            )
         }));
     }
 
@@ -126,7 +129,7 @@ mod tests {
     use super::*;
     use crate::agg::{AggregateFunction, AggregateKind};
     use crate::baselines::{plan_for_algorithm, Algorithm};
-    use m2m_netsim::{Deployment, RoutingMode};
+    use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
 
     fn network() -> Network {
         Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
@@ -144,7 +147,12 @@ mod tests {
             NodeId(12),
             AggregateFunction::new(
                 kind,
-                [(NodeId(0), 1.0), (NodeId(1), 2.0), (NodeId(3), 0.5), (NodeId(6), 1.5)],
+                [
+                    (NodeId(0), 1.0),
+                    (NodeId(1), 2.0),
+                    (NodeId(3), 0.5),
+                    (NodeId(6), 1.5),
+                ],
             ),
         );
         s.add_function(
@@ -171,12 +179,14 @@ mod tests {
             AggregateKind::Count,
         ] {
             let spec = spec(kind);
-            for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
-                let routing =
-                    RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            for mode in [
+                RoutingMode::ShortestPathTrees,
+                RoutingMode::SharedSpanningTree,
+            ] {
+                let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
                 for alg in Algorithm::PLANNED {
                     let plan = plan_for_algorithm(&net, &spec, &routing, alg);
-                    let round = execute_round(&net, &spec, &routing, &plan, &vals);
+                    let round = execute_round(&net, &spec, &plan, &vals);
                     for (d, f) in spec.functions() {
                         let expected = f.reference_result(&vals);
                         let got = round.results[&d];
@@ -204,7 +214,7 @@ mod tests {
         );
         let cost = |alg| {
             let plan = plan_for_algorithm(&net, &spec, &routing, alg);
-            execute_round(&net, &spec, &routing, &plan, &vals).cost
+            execute_round(&net, &spec, &plan, &vals).cost
         };
         let optimal = cost(Algorithm::Optimal);
         let multicast = cost(Algorithm::Multicast);
@@ -230,7 +240,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let round = execute_round(&net, &spec, &routing, &plan, &vals);
+        let round = execute_round(&net, &spec, &plan, &vals);
         let expected = 2.0 * vals[&NodeId(5)] + vals[&NodeId(10)];
         assert!((round.results[&NodeId(5)] - expected).abs() < 1e-9);
     }
@@ -250,7 +260,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let round = execute_round(&net, &spec, &routing, &plan, &vals);
+        let round = execute_round(&net, &spec, &plan, &vals);
         assert!((round.results[&NodeId(1)] - vals[&NodeId(0)]).abs() < 1e-12);
         // One edge, one unit, one message.
         assert_eq!(round.cost.messages, 1);

@@ -19,13 +19,14 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use m2m_graph::cycle::topological_order;
 use m2m_graph::NodeId;
-use m2m_netsim::{EnergyModel, RoutingTables};
+use m2m_netsim::EnergyModel;
 
 use crate::agg::RAW_VALUE_BYTES;
 use crate::edge_opt::{AggGroup, DirectedEdge};
 use crate::metrics::{NodeEnergyLedger, RoundCost};
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
+use crate::topo::EdgeIdx;
 
 /// What a message unit carries.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -200,82 +201,99 @@ impl Schedule {
 /// relation and per-record contributions by walking every `(s, d)` pair,
 /// verifies acyclicity (Theorem 2), and merges messages greedily.
 ///
+/// Unit enumeration follows the plan's solution slab in
+/// [`crate::topo::EdgeIdx`] order — ascending by edge, raws before
+/// records within an edge — which is exactly the order the old
+/// `BTreeMap` iteration produced, so unit indices (and everything hung
+/// off them: arcs, topological order, merging) are unchanged by the
+/// dense layout. Unit lookups binary-search within one edge's solution
+/// instead of probing a global ordered map.
+///
 /// Returns an error if the wait-for relation is cyclic, which would make
 /// the plan unschedulable.
-pub fn build_schedule(
-    spec: &AggregationSpec,
-    routing: &RoutingTables,
-    plan: &GlobalPlan,
-) -> Result<Schedule, String> {
-    // 1. Enumerate units from the per-edge solutions.
+pub fn build_schedule(spec: &AggregationSpec, plan: &GlobalPlan) -> Result<Schedule, String> {
+    let topo = plan.topology();
+    let sols = plan.solutions();
+
+    // 1. Enumerate units from the per-edge solutions, recording each
+    // edge's first unit index.
     let mut units: Vec<Unit> = Vec::new();
-    let mut unit_index: BTreeMap<(DirectedEdge, UnitContent), usize> = BTreeMap::new();
-    for (&edge, sol) in plan.solutions() {
+    let mut unit_base: Vec<usize> = Vec::with_capacity(sols.len());
+    for sol in sols {
+        unit_base.push(units.len());
         for &s in &sol.raw {
-            let content = UnitContent::Raw(s);
-            unit_index.insert((edge, content.clone()), units.len());
             units.push(Unit {
-                edge,
-                content,
+                edge: sol.edge,
+                content: UnitContent::Raw(s),
                 size_bytes: RAW_VALUE_BYTES,
             });
         }
         for g in &sol.agg {
-            let content = UnitContent::Record(g.clone());
             let size = spec
                 .function(g.destination)
                 .expect("destination has a function")
                 .partial_record_bytes();
-            unit_index.insert((edge, content.clone()), units.len());
             units.push(Unit {
-                edge,
-                content,
+                edge: sol.edge,
+                content: UnitContent::Record(g.clone()),
                 size_bytes: size,
             });
         }
     }
+    // Within an edge: raws first (sorted), then records (sorted by
+    // group), mirroring the enumeration above.
+    let raw_unit = |e: EdgeIdx, s: NodeId| -> Option<usize> {
+        let sol = &sols[e.index()];
+        sol.raw
+            .binary_search(&s)
+            .ok()
+            .map(|pos| unit_base[e.index()] + pos)
+    };
+    let record_unit = |e: EdgeIdx, d: NodeId, suffix: &[NodeId]| -> Option<usize> {
+        let sol = &sols[e.index()];
+        sol.agg
+            .binary_search_by(|g| (g.destination, &g.suffix[..]).cmp(&(d, suffix)))
+            .ok()
+            .map(|pos| unit_base[e.index()] + sol.raw.len() + pos)
+    };
 
     // 2. Walk every pair to collect arcs, contributions, and final inputs.
     let mut arcs: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut contributions: Vec<BTreeSet<Contribution>> = vec![BTreeSet::new(); units.len()];
     let mut dest_inputs: BTreeMap<NodeId, BTreeSet<Contribution>> = BTreeMap::new();
 
-    for (s, tree) in routing.trees() {
-        for &d in tree.destinations() {
-            if !spec.is_source_of(s, d) {
-                continue;
-            }
-            let path = tree.path_to(d).expect("tree spans destination");
-            if path.len() == 1 {
+    for tree in topo.trees() {
+        let s = tree.source();
+        for dp in tree.dest_paths() {
+            let d = dp.destination();
+            if dp.hops().is_empty() {
                 // s == d: local contribution only.
-                dest_inputs.entry(d).or_default().insert(Contribution::Pre(s));
+                dest_inputs
+                    .entry(d)
+                    .or_default()
+                    .insert(Contribution::Pre(s));
                 continue;
             }
             let mut prev: Option<usize> = None;
             let mut raw = true;
-            for (idx, hop) in path.windows(2).enumerate() {
-                let edge = (hop[0], hop[1]);
-                let group = AggGroup {
-                    destination: d,
-                    suffix: path[idx + 1..].into(),
-                };
+            for (e, suffix) in dp.hops() {
                 let cur = if raw {
-                    if let Some(&u) = unit_index.get(&(edge, UnitContent::Raw(s))) {
+                    if let Some(u) = raw_unit(*e, s) {
                         u
                     } else {
-                        let u = *unit_index
-                            .get(&(edge, UnitContent::Record(group.clone())))
-                            .ok_or_else(|| {
-                                format!("pair ({s}, {d}) uncovered on edge {edge:?}")
-                            })?;
+                        let u = record_unit(*e, d, suffix).ok_or_else(|| {
+                            let edge = topo.edge(*e);
+                            format!("pair ({s}, {d}) uncovered on edge {edge:?}")
+                        })?;
                         contributions[u].insert(Contribution::Pre(s));
                         raw = false;
                         u
                     }
                 } else {
-                    let u = *unit_index
-                        .get(&(edge, UnitContent::Record(group.clone())))
-                        .ok_or_else(|| format!("record for ({s}, {d}) dropped on {edge:?}"))?;
+                    let u = record_unit(*e, d, suffix).ok_or_else(|| {
+                        let edge = topo.edge(*e);
+                        format!("record for ({s}, {d}) dropped on {edge:?}")
+                    })?;
                     if let Some(p) = prev {
                         if p != u {
                             contributions[u].insert(Contribution::FromUnit(p));
@@ -418,7 +436,7 @@ fn merge_messages(units: &[Unit], unit_arcs: &[(usize, usize)]) -> Vec<Message> 
 mod tests {
     use super::*;
     use crate::agg::AggregateFunction;
-    use m2m_netsim::{Deployment, Network, RoutingMode};
+    use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
     fn build(
         spec: &AggregationSpec,
@@ -427,7 +445,7 @@ mod tests {
         let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
         let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
         let plan = GlobalPlan::build(&net, spec, &routing);
-        let schedule = build_schedule(spec, &routing, &plan).expect("schedulable");
+        let schedule = build_schedule(spec, &plan).expect("schedulable");
         (net, routing, plan, schedule)
     }
 
@@ -454,7 +472,10 @@ mod tests {
     #[test]
     fn wait_for_is_acyclic_in_both_modes() {
         let s = spec();
-        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree] {
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+        ] {
             let (_, _, _, schedule) = build(&s, mode);
             assert_eq!(schedule.topo_order.len(), schedule.units.len());
         }
@@ -536,7 +557,7 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &s, &routing);
-        let schedule = build_schedule(&s, &routing, &plan).unwrap();
+        let schedule = build_schedule(&s, &plan).unwrap();
         let unicast = schedule.round_cost(net.energy());
         let broadcast = schedule.round_cost_with_broadcast(net.energy());
         assert!(
@@ -564,7 +585,7 @@ mod tests {
                 RoutingMode::ShortestPathTrees,
             );
             let plan = GlobalPlan::build(&net, &s, &routing);
-            let schedule = build_schedule(&s, &routing, &plan).unwrap();
+            let schedule = build_schedule(&s, &plan).unwrap();
             (net, routing, plan, schedule)
         };
         let unicast = schedule.round_cost(net.energy());

@@ -44,8 +44,7 @@ impl SharingReport {
         if self.payload_bytes == 0 {
             return 0.0;
         }
-        (self.payload_bytes - self.payload_bytes_with_sharing) as f64
-            / self.payload_bytes as f64
+        (self.payload_bytes - self.payload_bytes_with_sharing) as f64 / self.payload_bytes as f64
     }
 }
 
@@ -62,8 +61,7 @@ pub fn shared_record_analysis(spec: &AggregationSpec, plan: &GlobalPlan) -> Shar
     let mut redundant = 0usize;
     let mut saved_bytes = 0u64;
 
-    for (edge, sol) in plan.solutions() {
-        let problem = &plan.problems()[edge];
+    for (problem, sol) in plan.problems().iter().zip(plan.solutions()) {
         let mut classes: BTreeMap<Signature, usize> = BTreeMap::new();
         for group in &sol.agg {
             records += 1;

@@ -155,11 +155,7 @@ pub fn assign_slots(network: &Network, schedule: &Schedule) -> SlotSchedule {
     let mut assigned = vec![false; message_count];
     let mut slot_count = 0u32;
     for &m in &order {
-        let earliest = preds[m]
-            .iter()
-            .map(|&p| slots[p] + 1)
-            .max()
-            .unwrap_or(0);
+        let earliest = preds[m].iter().map(|&p| slots[p] + 1).max().unwrap_or(0);
         let mut slot = earliest;
         'search: loop {
             for other in 0..message_count {
@@ -194,17 +190,14 @@ mod tests {
     use crate::workload::{generate_workload, WorkloadConfig};
     use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
 
-    fn slot_all(
-        net: &Network,
-        spec: &AggregationSpec,
-    ) -> (Schedule, SlotSchedule) {
+    fn slot_all(net: &Network, spec: &AggregationSpec) -> (Schedule, SlotSchedule) {
         let routing = RoutingTables::build(
             net,
             &spec.source_to_destinations(),
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(net, spec, &routing);
-        let schedule = build_schedule(spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(spec, &plan).unwrap();
         let slots = assign_slots(net, &schedule);
         (schedule, slots)
     }
@@ -248,7 +241,10 @@ mod tests {
         // A 4-node chain: each hop must wait for the previous one.
         let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
         let mut spec = AggregationSpec::new();
-        spec.add_function(NodeId(3), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
         let (schedule, slots) = slot_all(&net, &spec);
         verify(&net, &schedule, &slots);
         assert_eq!(slots.slot_count, 3, "three dependent hops need three slots");
@@ -297,14 +293,20 @@ mod tests {
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 12, 9));
         let (schedule, slots) = slot_all(&net, &spec);
         let fraction = slots.listen_fraction(&schedule, &net);
-        assert!(fraction > 0.0 && fraction < 0.8, "listen fraction {fraction}");
+        assert!(
+            fraction > 0.0 && fraction < 0.8,
+            "listen fraction {fraction}"
+        );
     }
 
     #[test]
     fn destination_latency_on_a_line_equals_path_length() {
         let net = Network::with_default_energy(Deployment::grid(4, 1, 10.0, 12.0));
         let mut spec = AggregationSpec::new();
-        spec.add_function(NodeId(3), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
+        spec.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
         let (schedule, slots) = slot_all(&net, &spec);
         // Three hops, delivered after slot 3.
         assert_eq!(slots.destination_latency(&schedule, NodeId(3)), 3);
@@ -345,8 +347,14 @@ mod tests {
         // grid can go simultaneously.
         let net = Network::with_default_energy(Deployment::grid(8, 1, 10.0, 12.0));
         let mut spec = AggregationSpec::new();
-        spec.add_function(NodeId(1), AggregateFunction::weighted_sum([(NodeId(0), 1.0)]));
-        spec.add_function(NodeId(6), AggregateFunction::weighted_sum([(NodeId(7), 1.0)]));
+        spec.add_function(
+            NodeId(1),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        spec.add_function(
+            NodeId(6),
+            AggregateFunction::weighted_sum([(NodeId(7), 1.0)]),
+        );
         let (schedule, slots) = slot_all(&net, &spec);
         verify(&net, &schedule, &slots);
         assert_eq!(slots.slot_count, 1, "independent distant hops fit one slot");

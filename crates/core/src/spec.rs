@@ -64,11 +64,7 @@ impl AggregationSpec {
 
     /// All sources `S` (union over functions), sorted ascending.
     pub fn all_sources(&self) -> Vec<NodeId> {
-        let mut sources: Vec<NodeId> = self
-            .functions
-            .values()
-            .flat_map(|f| f.sources())
-            .collect();
+        let mut sources: Vec<NodeId> = self.functions.values().flat_map(|f| f.sources()).collect();
         sources.sort_unstable();
         sources.dedup();
         sources
@@ -145,7 +141,10 @@ mod tests {
     fn one_function_per_destination() {
         let mut s = spec();
         // Replacing the function at a destination keeps the invariant.
-        s.add_function(NodeId(10), AggregateFunction::weighted_sum([(NodeId(5), 1.0)]));
+        s.add_function(
+            NodeId(10),
+            AggregateFunction::weighted_sum([(NodeId(5), 1.0)]),
+        );
         assert_eq!(s.destination_count(), 2);
         assert!(s.is_source_of(NodeId(5), NodeId(10)));
         assert!(!s.is_source_of(NodeId(1), NodeId(10)));
@@ -154,8 +153,14 @@ mod tests {
     #[test]
     fn node_can_be_source_and_destination() {
         let mut s = AggregationSpec::new();
-        s.add_function(NodeId(1), AggregateFunction::weighted_sum([(NodeId(2), 1.0)]));
-        s.add_function(NodeId(2), AggregateFunction::weighted_sum([(NodeId(1), 1.0)]));
+        s.add_function(
+            NodeId(1),
+            AggregateFunction::weighted_sum([(NodeId(2), 1.0)]),
+        );
+        s.add_function(
+            NodeId(2),
+            AggregateFunction::weighted_sum([(NodeId(1), 1.0)]),
+        );
         assert!(s.is_source_of(NodeId(1), NodeId(2)));
         assert!(s.is_source_of(NodeId(2), NodeId(1)));
         assert_eq!(s.all_sources(), vec![NodeId(1), NodeId(2)]);

@@ -259,10 +259,8 @@ impl SuppressionSim {
                     } else {
                         if raw {
                             transition = Some((hop[0], (edge, group.clone())));
-                            override_raw_edges = path[idx..]
-                                .windows(2)
-                                .map(|w| (w[0], w[1]))
-                                .collect();
+                            override_raw_edges =
+                                path[idx..].windows(2).map(|w| (w[0], w[1])).collect();
                             raw = false;
                         }
                         record_chain.push((edge, group));
@@ -306,9 +304,8 @@ impl SuppressionSim {
             }
         }
         let edges: Vec<DirectedEdge> = edge_keys.into_iter().collect();
-        let edge_id = |e: DirectedEdge| -> u32 {
-            edges.binary_search(&e).expect("edge interned") as u32
-        };
+        let edge_id =
+            |e: DirectedEdge| -> u32 { edges.binary_search(&e).expect("edge interned") as u32 };
         let raw_list: Vec<(DirectedEdge, NodeId)> = raw_keys.into_iter().collect();
         let raw_id = |e: DirectedEdge, s: NodeId| -> u32 {
             raw_list.binary_search(&(e, s)).expect("raw unit interned") as u32
@@ -481,7 +478,11 @@ impl SuppressionSim {
         placement: StatePlacement,
         scratch: &mut SuppressionScratch,
     ) -> RoundCost {
-        assert_eq!(scratch.changed.len(), self.sources.len(), "scratch/sim mismatch");
+        assert_eq!(
+            scratch.changed.len(),
+            self.sources.len(),
+            "scratch/sim mismatch"
+        );
         let range = |r: (u32, u32)| r.0 as usize..r.1 as usize;
 
         // Pass A: default-plan activity — how many *active* inputs does
@@ -680,7 +681,7 @@ mod tests {
         let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
         let all: BTreeSet<NodeId> = spec.all_sources().into_iter().collect();
         let supp = sim.round_cost(&all, OverridePolicy::None);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         if schedule.max_messages_on_any_edge() == 1 {
             let sched = schedule.round_cost(net.energy());
             assert_eq!(supp.messages, sched.messages);
@@ -719,8 +720,7 @@ mod tests {
             ] {
                 for placement in [StatePlacement::TransitionOnly, StatePlacement::EveryNode] {
                     let fresh = sim.round_cost_with_placement(changed, policy, placement);
-                    let reused =
-                        sim.round_cost_with(changed, policy, placement, &mut scratch);
+                    let reused = sim.round_cost_with(changed, policy, placement, &mut scratch);
                     assert_eq!(fresh, reused, "{policy:?}/{placement:?}");
                 }
             }
@@ -761,8 +761,7 @@ mod tests {
         // overrides, so any policy's message count is ≤ None's.
         let (net, spec, routing, plan) = setup();
         let sim = SuppressionSim::new(&net, &spec, &routing, &plan);
-        let changed: BTreeSet<NodeId> =
-            spec.all_sources().into_iter().take(3).collect();
+        let changed: BTreeSet<NodeId> = spec.all_sources().into_iter().take(3).collect();
         let base = sim.round_cost(&changed, OverridePolicy::None);
         for p in [
             OverridePolicy::Aggressive,

@@ -28,7 +28,6 @@
 use std::collections::BTreeMap;
 
 use m2m_graph::NodeId;
-use m2m_netsim::RoutingTables;
 
 use crate::edge_opt::{AggGroup, DirectedEdge};
 use crate::plan::GlobalPlan;
@@ -137,8 +136,8 @@ impl NodeTables {
     /// # Panics
     /// Panics if the plan is unschedulable (a wait-for cycle among units,
     /// which Theorem 2 rules out for plans built by this crate).
-    pub fn build(spec: &AggregationSpec, routing: &RoutingTables, plan: &GlobalPlan) -> Self {
-        let schedule = crate::schedule::build_schedule(spec, routing, plan)
+    pub fn build(spec: &AggregationSpec, plan: &GlobalPlan) -> Self {
+        let schedule = crate::schedule::build_schedule(spec, plan)
             .expect("plan must be schedulable (Theorem 2)");
         Self::from_schedule(spec, &schedule)
     }
@@ -263,7 +262,7 @@ mod tests {
     use super::*;
     use crate::agg::AggregateFunction;
     use crate::plan::GlobalPlan;
-    use m2m_netsim::{Deployment, Network, RoutingMode};
+    use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
     fn build(
         spec: &AggregationSpec,
@@ -273,7 +272,7 @@ mod tests {
         let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
         let plan = GlobalPlan::build(&net, spec, &routing);
         plan.validate(spec, &routing).unwrap();
-        let tables = NodeTables::build(spec, &routing, &plan);
+        let tables = NodeTables::build(spec, &plan);
         (net, routing, plan, tables)
     }
 
@@ -334,7 +333,11 @@ mod tests {
         let (_, _, _, tables) = build(&spec, RoutingMode::ShortestPathTrees);
         for (_, state) in tables.nodes() {
             for e in &state.preagg {
-                let expected = spec.function(e.destination).unwrap().weight(e.source).unwrap();
+                let expected = spec
+                    .function(e.destination)
+                    .unwrap()
+                    .weight(e.source)
+                    .unwrap();
                 assert_eq!(e.weight, expected);
             }
         }
@@ -354,11 +357,7 @@ mod tests {
             .preagg
             .iter()
             .any(|e| e.source == NodeId(5) && e.destination == NodeId(5)));
-        let local = state
-            .partial
-            .iter()
-            .find(|p| p.message.is_none())
-            .unwrap();
+        let local = state.partial.iter().find(|p| p.message.is_none()).unwrap();
         assert_eq!(local.merge_count, 2);
     }
 

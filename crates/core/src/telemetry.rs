@@ -200,12 +200,10 @@ pub struct PlanExplain {
 /// thing that ever moves a solution off its per-edge optimum.
 pub fn explain(plan: &GlobalPlan, spec: &AggregationSpec) -> PlanExplain {
     let edges = plan
-        .solutions()
+        .problems()
         .iter()
-        .map(|(&edge, solution)| {
-            let problem = &plan.problems()[&edge];
-            explain_edge(problem, solution, spec)
-        })
+        .zip(plan.solutions())
+        .map(|(problem, solution)| explain_edge(problem, solution, spec))
         .collect();
     PlanExplain {
         edges,
@@ -328,7 +326,11 @@ impl PlanExplain {
                 e.edge.1,
                 e.sources,
                 e.groups,
-                if e.sharing_coherent { ", coherent" } else { ", incoherent" },
+                if e.sharing_coherent {
+                    ", coherent"
+                } else {
+                    ", incoherent"
+                },
                 if e.repaired { ", repaired" } else { "" },
             );
             for r in &e.raw {

@@ -247,7 +247,9 @@ mod tests {
     #[test]
     fn helpful_errors() {
         assert!(from_text("").unwrap_err().contains("missing deployment"));
-        assert!(from_text("deployment 1 1 1\n").unwrap_err().contains("no nodes"));
+        assert!(from_text("deployment 1 1 1\n")
+            .unwrap_err()
+            .contains("no nodes"));
         let gap = "deployment 1 1 1\nnode 1 0 0\n";
         assert!(from_text(gap).unwrap_err().contains("dense"));
         let orphan = "deployment 1 1 1\nnode 0 0 0\nsource 0 0 1.0\n";

@@ -58,7 +58,11 @@ impl WorkloadConfig {
     /// *average* functions — the paper's §2.1 running example, whose
     /// partial record (value + count) is larger than a raw value, which is
     /// exactly the raw-vs-aggregate size asymmetry §2.2 discusses.
-    pub fn paper_default(destination_count: usize, sources_per_destination: usize, seed: u64) -> Self {
+    pub fn paper_default(
+        destination_count: usize,
+        sources_per_destination: usize,
+        seed: u64,
+    ) -> Self {
         WorkloadConfig {
             destination_count,
             sources_per_destination,
@@ -116,8 +120,7 @@ pub fn generate_workload(network: &Network, config: &WorkloadConfig) -> Aggregat
                 &mut rng,
             ),
             SourceSelection::Uniform => {
-                let mut candidates: Vec<NodeId> =
-                    network.nodes().filter(|&v| v != dest).collect();
+                let mut candidates: Vec<NodeId> = network.nodes().filter(|&v| v != dest).collect();
                 candidates.shuffle(&mut rng);
                 candidates[..config.sources_per_destination].to_vec()
             }
@@ -145,7 +148,10 @@ fn pick_dispersed_sources(
     max_hops: u32,
     rng: &mut StdRng,
 ) -> Vec<NodeId> {
-    assert!((0.0..=1.0).contains(&dispersion), "dispersion must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&dispersion),
+        "dispersion must be in [0, 1]"
+    );
     let ring = |h: u32| -> Vec<NodeId> { network.nodes_at_hops(dest, h) };
     let mut rings: Vec<Vec<NodeId>> = (1..=max_hops).map(ring).collect();
     let mut picked = Vec::with_capacity(count);
@@ -278,7 +284,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(max_hop >= 3, "uniform dispersion should reach ≥3 hops, got {max_hop}");
+        assert!(
+            max_hop >= 3,
+            "uniform dispersion should reach ≥3 hops, got {max_hop}"
+        );
     }
 
     #[test]

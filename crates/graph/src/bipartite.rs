@@ -44,7 +44,10 @@ impl BipartiteGraph {
     /// Panics if either endpoint has not been added.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(u < self.left_weights.len(), "left vertex {u} out of range");
-        assert!(v < self.right_weights.len(), "right vertex {v} out of range");
+        assert!(
+            v < self.right_weights.len(),
+            "right vertex {v} out of range"
+        );
         if !self.edges.contains(&(u, v)) {
             self.edges.push((u, v));
         }
@@ -60,7 +63,10 @@ impl BipartiteGraph {
     /// Panics if either endpoint has not been added.
     pub fn add_edge_unchecked(&mut self, u: usize, v: usize) {
         assert!(u < self.left_weights.len(), "left vertex {u} out of range");
-        assert!(v < self.right_weights.len(), "right vertex {v} out of range");
+        assert!(
+            v < self.right_weights.len(),
+            "right vertex {v} out of range"
+        );
         self.edges.push((u, v));
     }
 

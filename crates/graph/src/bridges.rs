@@ -123,7 +123,17 @@ mod tests {
         // Differential check on a random-ish fixed graph: removing each
         // reported bridge disconnects; removing each non-bridge does not.
         let mut g = Graph::new(8);
-        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)] {
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+            (6, 7),
+        ] {
             g.add_edge(NodeId(a), NodeId(b));
         }
         let bs = bridges(&g);

@@ -64,9 +64,7 @@ where
                 None => true,
                 Some(dv) if cand < dv => true,
                 // Equal distance: keep the lower-id parent for determinism.
-                Some(dv) if cand == dv => {
-                    parent[v.index()].is_some_and(|p| u < p)
-                }
+                Some(dv) if cand == dv => parent[v.index()].is_some_and(|p| u < p),
                 Some(_) => false,
             };
             if better {

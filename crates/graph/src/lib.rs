@@ -45,4 +45,4 @@ pub use adjacency::Graph;
 pub use bipartite::BipartiteGraph;
 pub use node::NodeId;
 pub use spt::ShortestPathTree;
-pub use vertex_cover::{CoverSolution, min_weight_vertex_cover};
+pub use vertex_cover::{min_weight_vertex_cover, CoverSolution};

@@ -94,7 +94,11 @@ impl FlowNetwork {
         let a = self.arcs.len();
         let b = a + 1;
         self.arcs.push(Arc { to, cap, rev: b });
-        self.arcs.push(Arc { to: from, cap: 0, rev: a });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            rev: a,
+        });
         self.head[from].push(a);
         self.head[to].push(b);
         a
@@ -127,7 +131,14 @@ impl FlowNetwork {
         self.level[t] >= 0
     }
 
-    fn dfs_push(&mut self, u: usize, t: usize, pushed: u64, level: &[i32], iter: &mut [usize]) -> u64 {
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: u64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> u64 {
         if u == t {
             return pushed;
         }
@@ -313,7 +324,13 @@ mod tests {
         assert_eq!(stats.bfs_phases, 1);
         // Stats are per-run: a saturated re-run resets them.
         assert_eq!(net.max_flow(0, 3), 0);
-        assert_eq!(net.last_flow_stats(), FlowStats { bfs_phases: 0, augmenting_paths: 0 });
+        assert_eq!(
+            net.last_flow_stats(),
+            FlowStats {
+                bfs_phases: 0,
+                augmenting_paths: 0
+            }
+        );
     }
 
     #[test]
@@ -332,6 +349,10 @@ mod tests {
         net.reset(6);
         net.add_arc(0, 5, 11);
         assert_eq!(net.max_flow(0, 5), 11);
-        assert_eq!(net.max_flow(0, 5), 0, "capacities stay consumed until reset");
+        assert_eq!(
+            net.max_flow(0, 5),
+            0,
+            "capacities stay consumed until reset"
+        );
     }
 }

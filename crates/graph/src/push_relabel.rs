@@ -44,8 +44,16 @@ pub fn push_relabel_max_flow(n: usize, arcs: &[CapArc], s: usize, t: usize) -> u
     for (&(u, v), &cap) in &merged {
         let ru = adj[u].len();
         let rv = adj[v].len();
-        adj[u].push(Edge { to: v, cap, rev: rv });
-        adj[v].push(Edge { to: u, cap: 0, rev: ru });
+        adj[u].push(Edge {
+            to: v,
+            cap,
+            rev: rv,
+        });
+        adj[v].push(Edge {
+            to: u,
+            cap: 0,
+            rev: ru,
+        });
     }
 
     let mut height = vec![0usize; n];

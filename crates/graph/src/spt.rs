@@ -50,7 +50,10 @@ impl ShortestPathTree {
                 .iter()
                 .copied()
                 .find(|u| dist[u.index()] == Some(dv - 1));
-            debug_assert!(parent[v.index()].is_some(), "non-root reachable node must have a parent");
+            debug_assert!(
+                parent[v.index()].is_some(),
+                "non-root reachable node must have a parent"
+            );
         }
         ShortestPathTree { root, parent, dist }
     }
@@ -163,7 +166,8 @@ impl MulticastTree {
         let mut nodes: Vec<NodeId> = parent
             .iter()
             .enumerate()
-            .filter(|&(_i, p)| p.is_some()).map(|(i, _p)| NodeId::from_index(i))
+            .filter(|&(_i, p)| p.is_some())
+            .map(|(i, _p)| NodeId::from_index(i))
             .collect();
         nodes.push(root);
         nodes.sort_unstable();
@@ -254,9 +258,8 @@ impl MulticastTree {
             .iter()
             .copied()
             .filter(|&d| {
-                self.path_to(d).is_some_and(|p| {
-                    p.windows(2).any(|w| w[0] == tail && w[1] == head)
-                })
+                self.path_to(d)
+                    .is_some_and(|p| p.windows(2).any(|w| w[0] == tail && w[1] == head))
             })
             .collect()
     }
@@ -325,7 +328,10 @@ mod tests {
             vec![NodeId(2), NodeId(4)]
         );
         // Edge 1→2 carries only destination 2.
-        assert_eq!(mt.destinations_through(NodeId(1), NodeId(2)), vec![NodeId(2)]);
+        assert_eq!(
+            mt.destinations_through(NodeId(1), NodeId(2)),
+            vec![NodeId(2)]
+        );
     }
 
     #[test]

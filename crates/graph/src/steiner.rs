@@ -28,11 +28,7 @@ pub fn takahashi_matsuyama(graph: &Graph, root: NodeId, terminals: &[NodeId]) ->
     // from the root; MulticastTree stores child → parent).
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
 
-    let mut remaining: Vec<NodeId> = terminals
-        .iter()
-        .copied()
-        .filter(|&t| t != root)
-        .collect();
+    let mut remaining: Vec<NodeId> = terminals.iter().copied().filter(|&t| t != root).collect();
     remaining.sort_unstable();
     remaining.dedup();
     let mut reached: Vec<NodeId> = if terminals.contains(&root) {
@@ -141,8 +137,8 @@ mod tests {
             g.add_edge(NodeId(a), NodeId(b));
         }
         let steiner = takahashi_matsuyama(&g, NodeId(0), &[NodeId(4), NodeId(5)]);
-        let spt = crate::spt::ShortestPathTree::build(&g, NodeId(0))
-            .prune_to(&[NodeId(4), NodeId(5)]);
+        let spt =
+            crate::spt::ShortestPathTree::build(&g, NodeId(0)).prune_to(&[NodeId(4), NodeId(5)]);
         assert!(
             steiner.size() <= spt.size(),
             "steiner {} nodes vs spt {} nodes",

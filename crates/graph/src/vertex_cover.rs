@@ -144,7 +144,10 @@ pub fn min_weight_vertex_cover_with(
         right,
         weight: cut,
     };
-    debug_assert!(solution.is_valid_cover(graph), "min-cut cover must be valid");
+    debug_assert!(
+        solution.is_valid_cover(graph),
+        "min-cut cover must be valid"
+    );
     solution
 }
 

@@ -84,17 +84,15 @@ fn instance_strategy() -> impl Strategy<Value = Lemma1Instance> {
             prop::collection::vec(1u64..50, nx),
             prop::collection::vec((0..nx, 0..nr), 0..=(nx * nr).min(6)),
         )
-            .prop_map(
-                |(bl, br, be, er, ee, el, ele)| Lemma1Instance {
-                    base_left: bl,
-                    base_right: br,
-                    base_edges: be,
-                    extra_right: er,
-                    extra_edges: ee,
-                    extra_left: el,
-                    extra_left_edges: ele,
-                },
-            )
+            .prop_map(|(bl, br, be, er, ee, el, ele)| Lemma1Instance {
+                base_left: bl,
+                base_right: br,
+                base_edges: be,
+                extra_right: er,
+                extra_edges: ee,
+                extra_left: el,
+                extra_left_edges: ele,
+            })
     })
 }
 

@@ -288,7 +288,10 @@ mod tests {
         let g = d.radio_graph();
         let hops = m2m_graph::bfs::bfs_distances(&g, m2m_graph::NodeId(0));
         let max_hop = hops.iter().flatten().max().copied().unwrap();
-        assert!(max_hop >= 3, "expected a multi-hop topology, max hop {max_hop}");
+        assert!(
+            max_hop >= 3,
+            "expected a multi-hop topology, max hop {max_hop}"
+        );
     }
 
     #[test]
@@ -329,7 +332,10 @@ mod tests {
             })
             .sum::<f64>()
             / 60.0;
-        assert!(nn_mean < 10.0, "mean nearest neighbor {nn_mean:.1} m not clumped");
+        assert!(
+            nn_mean < 10.0,
+            "mean nearest neighbor {nn_mean:.1} m not clumped"
+        );
     }
 
     #[test]

@@ -118,7 +118,10 @@ mod tests {
         let a = LinkFailureModel::new(0.4, 5);
         let b = LinkFailureModel::new(0.4, 5);
         for r in 0..100 {
-            assert_eq!(a.is_down(NodeId(2), NodeId(4), r), b.is_down(NodeId(2), NodeId(4), r));
+            assert_eq!(
+                a.is_down(NodeId(2), NodeId(4), r),
+                b.is_down(NodeId(2), NodeId(4), r)
+            );
         }
     }
 

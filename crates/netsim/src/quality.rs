@@ -34,11 +34,7 @@ pub struct LinkQuality {
 impl LinkQuality {
     /// Perfect links everywhere.
     pub fn perfect(network: &Network) -> Self {
-        let loss = network
-            .graph()
-            .edges()
-            .map(|e| (e, 0.0))
-            .collect();
+        let loss = network.graph().edges().map(|e| (e, 0.0)).collect();
         LinkQuality { loss }
     }
 
@@ -55,7 +51,11 @@ impl LinkQuality {
             .edges()
             .map(|(a, b)| {
                 let dist = positions[a.index()].distance_to(&positions[b.index()]);
-                let rel = if range > 0.0 { (dist / range).min(1.0) } else { 0.0 };
+                let rel = if range > 0.0 {
+                    (dist / range).min(1.0)
+                } else {
+                    0.0
+                };
                 let jitter = hash_unit(a.0, b.0, seed) * 0.1;
                 let p = (max_loss * rel * rel + jitter * max_loss).min(0.95);
                 ((a, b), p)
@@ -162,7 +162,10 @@ mod tests {
         // a specific pair to stay deterministic.
         let side = q.loss(NodeId(0), NodeId(1));
         let diag = q.loss(NodeId(0), NodeId(4));
-        assert!(diag > side, "diagonal {diag} should lose more than side {side}");
+        assert!(
+            diag > side,
+            "diagonal {diag} should lose more than side {side}"
+        );
         assert!(q.etx(NodeId(0), NodeId(4)) > 1.0);
     }
 
@@ -186,8 +189,9 @@ mod tests {
     #[test]
     fn perfect_quality_matches_hop_routing_lengths() {
         let net = grid_network();
-        let demands: BTreeMap<NodeId, Vec<NodeId>> =
-            [(NodeId(0), vec![NodeId(15), NodeId(12)])].into_iter().collect();
+        let demands: BTreeMap<NodeId, Vec<NodeId>> = [(NodeId(0), vec![NodeId(15), NodeId(12)])]
+            .into_iter()
+            .collect();
         let q = LinkQuality::perfect(&net);
         let weighted = weighted_routing(&net, &demands, &q);
         let hops = RoutingTables::build(&net, &demands, RoutingMode::ShortestPathTrees);

@@ -93,7 +93,10 @@ impl RoutingTables {
             RoutingMode::SteinerTrees => demands
                 .iter()
                 .map(|(&s, dests)| {
-                    (s, m2m_graph::steiner::takahashi_matsuyama(network.graph(), s, dests))
+                    (
+                        s,
+                        m2m_graph::steiner::takahashi_matsuyama(network.graph(), s, dests),
+                    )
                 })
                 .collect(),
         };
@@ -240,7 +243,10 @@ mod tests {
         let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
         let tree = rt.tree(NodeId(0)).unwrap();
         let path = tree.path_to(NodeId(15)).unwrap();
-        assert_eq!(path.len() as u32 - 1, net.hop_distance(NodeId(0), NodeId(15)).unwrap());
+        assert_eq!(
+            path.len() as u32 - 1,
+            net.hop_distance(NodeId(0), NodeId(15)).unwrap()
+        );
     }
 
     #[test]
@@ -281,10 +287,9 @@ mod tests {
                         if i == j {
                             continue;
                         }
-                        if let (Some(pa), Some(pb)) = (
-                            path_between(trees[a], i, j),
-                            path_between(trees[b], i, j),
-                        ) {
+                        if let (Some(pa), Some(pb)) =
+                            (path_between(trees[a], i, j), path_between(trees[b], i, j))
+                        {
                             assert_eq!(pa, pb, "paths {i}→{j} differ between trees");
                         }
                     }

@@ -220,6 +220,9 @@ mod tests {
 
     #[test]
     fn control_characters_are_escaped() {
-        assert_eq!(JsonValue::from("a\u{01}b\nc").render(), "\"a\\u0001b\\nc\"\n");
+        assert_eq!(
+            JsonValue::from("a\u{01}b\nc").render(),
+            "\"a\\u0001b\\nc\"\n"
+        );
     }
 }

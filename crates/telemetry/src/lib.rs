@@ -199,7 +199,10 @@ fn with_shard(f: impl FnOnce(&mut ShardData)) {
             let shard = Arc::new(Shard {
                 data: Mutex::new(ShardData::default()),
             });
-            registry().lock().expect("registry poisoned").push(Arc::clone(&shard));
+            registry()
+                .lock()
+                .expect("registry poisoned")
+                .push(Arc::clone(&shard));
             shard
         });
         f(&mut shard.data.lock().expect("shard poisoned"));
@@ -332,7 +335,10 @@ impl fmt::Display for Snapshot {
             writeln!(
                 f,
                 "{name}: count {} sum {} max {} mean {:.1}",
-                dist.count, dist.sum, dist.max, dist.mean()
+                dist.count,
+                dist.sum,
+                dist.max,
+                dist.mean()
             )?;
         }
         Ok(())
@@ -608,7 +614,10 @@ mod tests {
         set_enabled(false);
         assert!(json.contains("\"test.json.counter\": 2"));
         assert!(json.contains("\"test.json.dist\""));
-        assert!(json.contains("\"le_7\": 1"), "value 5 lands in the le_7 bucket: {json}");
+        assert!(
+            json.contains("\"le_7\": 1"),
+            "value 5 lands in the le_7 bucket: {json}"
+        );
     }
 
     #[test]

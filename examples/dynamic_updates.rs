@@ -18,8 +18,7 @@ use m2m_core::workload::{generate_workload, WorkloadConfig};
 fn main() {
     let network = Network::with_default_energy(Deployment::great_duck_island(31));
     let spec = generate_workload(&network, &WorkloadConfig::paper_default(14, 15, 8));
-    let mut maintainer =
-        PlanMaintainer::new(network.clone(), spec, RoutingMode::ShortestPathTrees);
+    let mut maintainer = PlanMaintainer::new(network.clone(), spec, RoutingMode::ShortestPathTrees);
     println!(
         "initial plan: {} edges, {} payload bytes/round",
         maintainer.plan().solutions().len(),

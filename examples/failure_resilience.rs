@@ -24,7 +24,7 @@ fn main() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = GlobalPlan::build(&network, &spec, &routing);
-    let schedule = build_schedule(&spec, &routing, &plan).expect("schedulable");
+    let schedule = build_schedule(&spec, &plan).expect("schedulable");
     let slots = assign_slots(&network, &schedule);
 
     println!(

@@ -48,7 +48,7 @@ fn main() {
 
     for alg in Algorithm::PLANNED {
         let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let mut ledger = NodeEnergyLedger::new(network.node_count());
         schedule.charge_round(network.energy(), &mut ledger);
         report(alg.name(), &ledger);
@@ -60,8 +60,6 @@ fn main() {
     report("BaseStation", &ledger);
     println!(
         "\nbase station at {station}; its hotspot is {} hop(s) away",
-        network
-            .hop_distance(station, ledger.hotspot().0)
-            .unwrap()
+        network.hop_distance(station, ledger.hotspot().0).unwrap()
     );
 }

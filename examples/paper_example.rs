@@ -65,7 +65,7 @@ fn main() {
     plan.validate(&spec, &routing).expect("plan is consistent");
 
     println!("per-edge plan (Figure 1(C)):");
-    for (&(tail, head), sol) in plan.solutions() {
+    for ((tail, head), sol) in plan.iter_solutions() {
         let raw: Vec<&str> = sol.raw.iter().map(|&s| name(s)).collect();
         let agg: Vec<&str> = sol.agg.iter().map(|g| name(g.destination)).collect();
         println!(
@@ -89,7 +89,7 @@ fn main() {
     println!("\nedge i->j matches the paper: raw {{a}} + records {{k, l}} = 3 units");
 
     // §3 node tables at the relay i (where b, c, d are pre-aggregated).
-    let tables = NodeTables::build(&spec, &routing, &plan);
+    let tables = NodeTables::build(&spec, &plan);
     let state = tables.node(i).expect("relay i has state");
     println!("\nnode i state tables:");
     println!("  raw table: {} entries", state.raw.len());
@@ -112,7 +112,7 @@ fn main() {
     // Execute a round and check every destination.
     let readings: BTreeMap<NodeId, f64> =
         network.nodes().map(|v| (v, f64::from(v.0) + 1.0)).collect();
-    let round = execute_round(&network, &spec, &routing, &plan, &readings);
+    let round = execute_round(&network, &spec, &plan, &readings);
     println!("\nround results:");
     for (dest, value) in &round.results {
         let expected = spec.function(*dest).unwrap().reference_result(&readings);

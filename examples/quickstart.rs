@@ -63,7 +63,7 @@ fn main() {
         .nodes()
         .map(|v| (v, 20.0 + f64::from(v.0 % 7)))
         .collect();
-    let round = execute_round(&network, &spec, &routing, &plan, &readings);
+    let round = execute_round(&network, &spec, &plan, &readings);
     for (dest, value) in &round.results {
         let expected = spec.function(*dest).unwrap().reference_result(&readings);
         println!("destination {dest}: aggregate = {value:.4} (expected {expected:.4})");
@@ -78,7 +78,7 @@ fn main() {
     // Compare with the single-technique baselines.
     for alg in [Algorithm::Multicast, Algorithm::Aggregation] {
         let baseline = plan_for_algorithm(&network, &spec, &routing, alg);
-        let cost = execute_round(&network, &spec, &routing, &baseline, &readings).cost;
+        let cost = execute_round(&network, &spec, &baseline, &readings).cost;
         println!("{:<12} {:.2} mJ", alg.name(), cost.total_mj());
     }
 }

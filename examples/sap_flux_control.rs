@@ -78,9 +78,8 @@ fn main() {
                 (v, value + f64::from(v.0 % 5) * 0.1)
             })
             .collect();
-        let round = execute_round(&network, &spec, &routing, &plan, &readings);
-        let mean: f64 =
-            round.results.values().sum::<f64>() / round.results.len() as f64;
+        let round = execute_round(&network, &spec, &plan, &readings);
+        let mean: f64 = round.results.values().sum::<f64>() / round.results.len() as f64;
         total_mj += round.cost.total_mj();
         if hour % 4 == 0 {
             println!("{hour:>4}  {mean:>12.2}  {:>16.2}", round.cost.total_mj());

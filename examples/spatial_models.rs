@@ -49,7 +49,10 @@ fn main() {
             .iter()
             .map(|&s| (s, positions[s.index()].x))
             .collect();
-        multi.add_function(m, AggregateFunction::new(AggregateKind::Count, unit.clone()));
+        multi.add_function(
+            m,
+            AggregateFunction::new(AggregateKind::Count, unit.clone()),
+        );
         // Σx and Σx² are data-independent; computing them in-network with
         // constant readings keeps the whole model in one machinery.
         multi.add_function(m, AggregateFunction::weighted_sum(xs.clone()));

@@ -68,7 +68,7 @@ fn main() {
     let mut optimal_mj = 0.0;
     for alg in Algorithm::PLANNED {
         let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-        let round = execute_round(&network, &spec, &routing, &plan, &readings);
+        let round = execute_round(&network, &spec, &plan, &readings);
         if alg == Algorithm::Optimal {
             optimal_mj = round.cost.total_mj();
             // Confirm the hot camera sees far more activity than cameras

@@ -18,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo fmt --all -- --check
 cargo clippy --all-targets -- -D warnings
 
 tmpdir=$(mktemp -d)

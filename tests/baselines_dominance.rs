@@ -15,17 +15,22 @@ fn network() -> Network {
     Network::with_default_energy(Deployment::great_duck_island(55))
 }
 
-fn energy_uj(net: &Network, spec: &AggregationSpec, routing: &RoutingTables, alg: Algorithm) -> f64 {
+fn energy_uj(
+    net: &Network,
+    spec: &AggregationSpec,
+    routing: &RoutingTables,
+    alg: Algorithm,
+) -> f64 {
     let plan = plan_for_algorithm(net, spec, routing, alg);
-    build_schedule(spec, routing, &plan)
+    build_schedule(spec, &plan)
         .expect("schedulable")
         .round_cost(net.energy())
         .total_uj()
 }
 
 fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
-    (2usize..16, 3usize..16, 0u32..=10, any::<u64>()).prop_map(
-        |(dests, sources, tenths, seed)| WorkloadConfig {
+    (2usize..16, 3usize..16, 0u32..=10, any::<u64>()).prop_map(|(dests, sources, tenths, seed)| {
+        WorkloadConfig {
             destination_count: dests,
             sources_per_destination: sources,
             selection: SourceSelection::Dispersion {
@@ -34,8 +39,8 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadConfig> {
             },
             kind: m2m_core::agg::AggregateKind::WeightedAverage,
             seed,
-        },
-    )
+        }
+    })
 }
 
 proptest! {
@@ -76,8 +81,7 @@ proptest! {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-        for (edge, sol) in plan.solutions() {
-            let p = &plan.problems()[edge];
+        for (p, sol) in plan.problems().iter().zip(plan.solutions()) {
             prop_assert!(sol.unit_count() <= p.sources.len().max(p.groups.len()));
         }
     }

@@ -28,13 +28,17 @@ fn all_algorithms_all_modes_match_reference() {
     for seed in [1u64, 2, 3] {
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 12, seed));
         let readings = readings_for(&net, seed);
-        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree, RoutingMode::SteinerTrees] {
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
             let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
             for alg in Algorithm::PLANNED {
                 let plan = plan_for_algorithm(&net, &spec, &routing, alg);
                 plan.validate(&spec, &routing)
                     .unwrap_or_else(|e| panic!("{seed}/{mode:?}/{}: {e}", alg.name()));
-                let round = execute_round(&net, &spec, &routing, &plan, &readings);
+                let round = execute_round(&net, &spec, &plan, &readings);
                 assert_eq!(round.results.len(), spec.destination_count());
                 for (d, f) in spec.functions() {
                     let expected = f.reference_result(&readings);
@@ -76,7 +80,7 @@ fn every_aggregate_kind_survives_the_full_pipeline() {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-        let round = execute_round(&net, &spec, &routing, &plan, &readings);
+        let round = execute_round(&net, &spec, &plan, &readings);
         for (d, f) in spec.functions() {
             let expected = f.reference_result(&readings);
             assert!(
@@ -107,7 +111,7 @@ fn geometric_mean_end_to_end_on_positive_readings() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    let round = execute_round(&net, &spec, &plan, &readings);
     for (d, f) in spec.functions() {
         let expected = f.reference_result(&readings);
         assert!(
@@ -131,7 +135,7 @@ fn one_message_per_edge_as_in_the_paper() {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-        let schedule = m2m_core::schedule::build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = m2m_core::schedule::build_schedule(&spec, &plan).unwrap();
         assert_eq!(schedule.max_messages_on_any_edge(), 1, "seed {seed}");
         // Theorem 2 witnessed by the topological order's existence.
         assert_eq!(schedule.topo_order.len(), schedule.units.len());
@@ -142,9 +146,8 @@ fn one_message_per_edge_as_in_the_paper() {
 fn uniform_source_selection_end_to_end() {
     // The Figure 6 style workload (sources uniform over the network)
     // exercises long routes; results must still be exact.
-    let net = Network::with_default_energy(Deployment::connected_uniform(
-        80, 130.0, 220.0, 50.0, 44,
-    ));
+    let net =
+        Network::with_default_energy(Deployment::connected_uniform(80, 130.0, 220.0, 50.0, 44));
     let spec = generate_workload(
         &net,
         &WorkloadConfig {
@@ -159,7 +162,7 @@ fn uniform_source_selection_end_to_end() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    let round = execute_round(&net, &spec, &plan, &readings);
     for (d, f) in spec.functions() {
         assert!((round.results[&d] - f.reference_result(&readings)).abs() < 1e-9);
     }
@@ -176,12 +179,16 @@ fn distributed_automata_agree_with_central_runtime() {
     for seed in [2u64, 9] {
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 12, seed));
         let readings = readings_for(&net, seed);
-        for mode in [RoutingMode::ShortestPathTrees, RoutingMode::SharedSpanningTree, RoutingMode::SteinerTrees] {
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
             let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
             for alg in Algorithm::PLANNED {
                 let plan = plan_for_algorithm(&net, &spec, &routing, alg);
-                let central = execute_round(&net, &spec, &routing, &plan, &readings);
-                let tables = NodeTables::build(&spec, &routing, &plan);
+                let central = execute_round(&net, &spec, &plan, &readings);
+                let tables = NodeTables::build(&spec, &plan);
                 let distributed = run_distributed_round(&spec, &tables, &readings)
                     .unwrap_or_else(|e| panic!("{seed}/{mode:?}/{}: {e}", alg.name()));
                 for (d, _) in spec.functions() {
@@ -211,7 +218,7 @@ fn energy_accounting_is_internally_consistent() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    let round = execute_round(&net, &spec, &plan, &readings);
     // Payload bytes in the cost equal the plan's payload accounting.
     assert_eq!(round.cost.payload_bytes, plan.total_payload_bytes());
     assert_eq!(round.cost.units, plan.total_units());

@@ -53,7 +53,7 @@ proptest! {
         let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
         let plan = GlobalPlan::build(&net, &spec, &routing);
 
-        let compiled = CompiledSchedule::compile(&net, &spec, &routing, &plan)
+        let compiled = CompiledSchedule::compile(&net, &spec, &plan)
             .expect("plan must be schedulable");
         let mut state = ExecState::for_schedule(&compiled);
 
@@ -67,7 +67,7 @@ proptest! {
                 .iter()
                 .map(|&s| (s, reading(s, round, value_salt)))
                 .collect();
-            let reference = execute_round(&net, &spec, &routing, &plan, &readings);
+            let reference = execute_round(&net, &spec, &plan, &readings);
             let cost = compiled.run_round_on(&readings, &mut state);
 
             // Same results (exact f64 bits), same cost, same traffic.
@@ -93,6 +93,53 @@ proptest! {
         for threads in [2usize, 8] {
             let parallel = run_epochs(&compiled, &batch, threads);
             prop_assert_eq!(&parallel, &serial, "threads = {}", threads);
+        }
+    }
+
+    /// The plan-build thread count never leaks into execution: plans
+    /// assembled at 2 or 8 workers have the same solution slabs and repair
+    /// count as the serial build, and the schedules compiled from them
+    /// produce the same `f64` bits and round cost — across all three
+    /// routing modes.
+    #[test]
+    fn plan_thread_count_never_changes_executed_bits(
+        place_seed in 0u64..10_000,
+        wl_seed in 0u64..10_000,
+        value_salt in 0u64..10_000,
+        mode_pick in 0usize..3,
+    ) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(place_seed));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 6, wl_seed));
+        let mode = match mode_pick {
+            0 => RoutingMode::ShortestPathTrees,
+            1 => RoutingMode::SharedSpanningTree,
+            _ => RoutingMode::SteinerTrees,
+        };
+        let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+
+        let reference = GlobalPlan::build_with_threads(&net, &spec, &routing, 1);
+        let compiled_ref = CompiledSchedule::compile(&net, &spec, &reference)
+            .expect("plan must be schedulable");
+        let readings: BTreeMap<NodeId, f64> = compiled_ref
+            .sources()
+            .ids()
+            .iter()
+            .map(|&s| (s, reading(s, 0, value_salt)))
+            .collect();
+        let mut state = ExecState::for_schedule(&compiled_ref);
+        let ref_cost = compiled_ref.run_round_on(&readings, &mut state);
+        let ref_results = state.result_map(&compiled_ref);
+
+        for threads in [2usize, 8] {
+            let plan = GlobalPlan::build_with_threads(&net, &spec, &routing, threads);
+            prop_assert_eq!(plan.solutions(), reference.solutions(), "threads = {}", threads);
+            prop_assert_eq!(plan.repair_count(), reference.repair_count());
+            let compiled = CompiledSchedule::compile(&net, &spec, &plan)
+                .expect("plan must be schedulable");
+            let mut st = ExecState::for_schedule(&compiled);
+            let cost = compiled.run_round_on(&readings, &mut st);
+            prop_assert_eq!(st.result_map(&compiled), ref_results.clone());
+            prop_assert_eq!(cost, ref_cost);
         }
     }
 }

@@ -18,8 +18,7 @@ use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 fn golden_path() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR is crates/core; the fixture lives in the
     // workspace-level tests/ directory next to this file.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../tests/golden/explain_small.txt")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/explain_small.txt")
 }
 
 fn small_report() -> String {

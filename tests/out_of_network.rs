@@ -26,7 +26,7 @@ fn in_network_ledger(net: &Network, spec: &AggregationSpec) -> NodeEnergyLedger 
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(net, spec, &routing, Algorithm::Optimal);
-    let schedule = build_schedule(spec, &routing, &plan).unwrap();
+    let schedule = build_schedule(spec, &plan).unwrap();
     let mut ledger = NodeEnergyLedger::new(net.node_count());
     schedule.charge_round(net.energy(), &mut ledger);
     ledger
@@ -87,14 +87,17 @@ fn broadcast_optimization_never_listed_as_worse_in_aggregate() {
             RoutingMode::ShortestPathTrees,
         );
         let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         let unicast = schedule.round_cost(net.energy()).total_uj();
         let broadcast = schedule.round_cost_with_broadcast(net.energy()).total_uj();
         if broadcast < unicast {
             improved += 1;
         }
     }
-    assert!(improved >= 2, "broadcast should help on most workloads ({improved}/4)");
+    assert!(
+        improved >= 2,
+        "broadcast should help on most workloads ({improved}/4)"
+    );
 }
 
 #[test]
@@ -106,7 +109,7 @@ fn slot_schedule_keeps_radios_mostly_off() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
-    let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+    let schedule = build_schedule(&spec, &plan).unwrap();
     let slots = assign_slots(&net, &schedule);
     let fraction = slots.listen_fraction(&schedule, &net);
     assert!(

@@ -27,7 +27,7 @@ fn energy_mj(net: &Network, spec: &AggregationSpec, alg: Algorithm) -> f64 {
         RoutingMode::ShortestPathTrees,
     );
     let plan = plan_for_algorithm(net, spec, &routing, alg);
-    build_schedule(spec, &routing, &plan)
+    build_schedule(spec, &plan)
         .expect("schedulable")
         .round_cost(net.energy())
         .total_mj()
@@ -100,15 +100,24 @@ fn figure_3_shape() {
     let mc_l = energy_mj(&net, &light, Algorithm::Multicast);
     let ag_l = energy_mj(&net, &light, Algorithm::Aggregation);
     let fl_l = energy_mj(&net, &light, Algorithm::Flood);
-    assert!(ag_l <= mc_l * 1.02, "few destinations: aggregation ≈ or beats multicast");
+    assert!(
+        ag_l <= mc_l * 1.02,
+        "few destinations: aggregation ≈ or beats multicast"
+    );
     assert!(opt_l <= mc_l && opt_l <= ag_l);
-    assert!(fl_l > 3.0 * opt_l, "flood is much more expensive on light workloads");
+    assert!(
+        fl_l > 3.0 * opt_l,
+        "flood is much more expensive on light workloads"
+    );
 
     let opt_h = energy_mj(&net, &heavy, Algorithm::Optimal);
     let mc_h = energy_mj(&net, &heavy, Algorithm::Multicast);
     let ag_h = energy_mj(&net, &heavy, Algorithm::Aggregation);
     let fl_h = energy_mj(&net, &heavy, Algorithm::Flood);
-    assert!(mc_h < ag_h, "many destinations: multicast beats aggregation");
+    assert!(
+        mc_h < ag_h,
+        "many destinations: multicast beats aggregation"
+    );
     assert!(opt_h < mc_h && opt_h < ag_h);
     assert!(
         fl_h < ag_h * 1.1,
@@ -130,7 +139,10 @@ fn figure_4_shape() {
 
     let mc_few = energy_mj(&net, &few, Algorithm::Multicast);
     let ag_few = energy_mj(&net, &few, Algorithm::Aggregation);
-    assert!(mc_few < ag_few, "fewest sources: multicast beats aggregation");
+    assert!(
+        mc_few < ag_few,
+        "fewest sources: multicast beats aggregation"
+    );
 
     let mc_many = energy_mj(&net, &many, Algorithm::Multicast);
     let ag_many = energy_mj(&net, &many, Algorithm::Aggregation);
@@ -218,7 +230,10 @@ fn figure_7_shape() {
 
     let aggr_low = improvement(0.05, OverridePolicy::Aggressive);
     let aggr_high = improvement(0.3, OverridePolicy::Aggressive);
-    assert!(aggr_low > 0.0, "aggressive override saves at low p ({aggr_low:.1}%)");
+    assert!(
+        aggr_low > 0.0,
+        "aggressive override saves at low p ({aggr_low:.1}%)"
+    );
     assert!(
         aggr_high < aggr_low,
         "aggressive degrades at high p ({aggr_high:.1}% vs {aggr_low:.1}%)"

@@ -55,11 +55,11 @@ fn etx_routing_reduces_expected_energy_under_loss() {
 
         let hop_routing = RoutingTables::build(&net, &demands, RoutingMode::ShortestPathTrees);
         let hop_plan = GlobalPlan::build(&net, &spec, &hop_routing);
-        let hop_schedule = build_schedule(&spec, &hop_routing, &hop_plan).unwrap();
+        let hop_schedule = build_schedule(&spec, &hop_plan).unwrap();
 
         let etx_routing = weighted_routing(&net, &demands, &quality);
         let etx_plan = GlobalPlan::build(&net, &spec, &etx_routing);
-        let etx_schedule = build_schedule(&spec, &etx_routing, &etx_plan).unwrap();
+        let etx_schedule = build_schedule(&spec, &etx_plan).unwrap();
 
         hop_total += expected_energy_uj(&net, &hop_schedule, &quality);
         etx_total += expected_energy_uj(&net, &etx_schedule, &quality);
@@ -81,7 +81,7 @@ fn etx_routed_plans_stay_correct() {
         .nodes()
         .map(|v| (v, f64::from(v.0 % 13) - 6.0))
         .collect();
-    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    let round = execute_round(&net, &spec, &plan, &readings);
     for (d, f) in spec.functions() {
         let expected = f.reference_result(&readings);
         assert!((round.results[&d] - expected).abs() < 1e-9, "dest {d}");

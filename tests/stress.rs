@@ -37,12 +37,12 @@ fn hundred_fifty_node_network_end_to_end() {
         .nodes()
         .map(|v| (v, f64::from(v.0) * 0.3 - 20.0))
         .collect();
-    let round = execute_round(&net, &spec, &routing, &plan, &readings);
+    let round = execute_round(&net, &spec, &plan, &readings);
     for (d, f) in spec.functions() {
         assert!((round.results[&d] - f.reference_result(&readings)).abs() < 1e-9);
     }
     // The distributed automata agree at this scale too.
-    let tables = NodeTables::build(&spec, &routing, &plan);
+    let tables = NodeTables::build(&spec, &plan);
     let distributed = run_distributed_round(&spec, &tables, &readings).unwrap();
     for (d, _) in spec.functions() {
         assert!((round.results[&d] - distributed.results[&d]).abs() < 1e-9);
@@ -62,7 +62,7 @@ fn dense_workload_every_node_is_a_destination() {
     );
     let plan = plan_for_algorithm(&net, &spec, &routing, Algorithm::Optimal);
     plan.validate(&spec, &routing).unwrap();
-    let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+    let schedule = build_schedule(&spec, &plan).unwrap();
     // Theorem 2: units on an edge merge into one message unless a
     // wait-for cycle forces a split, which dense shortest-path-tree
     // workloads occasionally do. Perfect merging must still be the
@@ -91,13 +91,14 @@ fn dense_workload_every_node_is_a_destination() {
 fn twenty_update_churn_sequence_stays_consistent() {
     let net = Network::with_default_energy(Deployment::great_duck_island(51));
     let spec = generate_workload(&net, &WorkloadConfig::paper_default(12, 10, 5));
-    let mut maintainer =
-        PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+    let mut maintainer = PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
 
     // A deterministic pseudo-random churn stream.
     let mut state = 0x1234_5678u64;
     let mut next = |m: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) % m
     };
     for step in 0..20 {
@@ -128,11 +129,8 @@ fn twenty_update_churn_sequence_stays_consistent() {
             .validate(maintainer.spec(), maintainer.routing())
             .unwrap_or_else(|e| panic!("step {step}: {e}"));
         // Incremental result matches a from-scratch rebuild.
-        let scratch = m2m_core::plan::GlobalPlan::build(
-            &net,
-            maintainer.spec(),
-            maintainer.routing(),
-        );
+        let scratch =
+            m2m_core::plan::GlobalPlan::build(&net, maintainer.spec(), maintainer.routing());
         assert_eq!(
             maintainer.plan().total_payload_bytes(),
             scratch.total_payload_bytes(),
@@ -160,7 +158,10 @@ fn long_suppression_run_is_stable() {
     for p in [0.1, 0.3, 0.6, 0.9] {
         let a = sim.average_cost(&spec, p, 200, OverridePolicy::Medium, 99);
         let b = sim.average_cost(&spec, p, 200, OverridePolicy::Medium, 99);
-        assert!((a.total_uj() - b.total_uj()).abs() < 1e-9, "p={p} not reproducible");
+        assert!(
+            (a.total_uj() - b.total_uj()).abs() < 1e-9,
+            "p={p} not reproducible"
+        );
         assert!(a.total_uj().is_finite() && a.total_uj() >= last);
         last = a.total_uj();
     }

@@ -30,7 +30,7 @@ fn setup(seed: u64) -> (Network, AggregationSpec, RoutingTables, GlobalPlan) {
 fn suppression_full_change_reproduces_static_cost() {
     for seed in [3u64, 8, 21] {
         let (net, spec, routing, plan) = setup(seed);
-        let schedule = build_schedule(&spec, &routing, &plan).unwrap();
+        let schedule = build_schedule(&spec, &plan).unwrap();
         if schedule.max_messages_on_any_edge() != 1 {
             continue; // the model's one-message-per-edge assumption
         }
@@ -40,7 +40,10 @@ fn suppression_full_change_reproduces_static_cost() {
         let stat = schedule.round_cost(net.energy());
         assert_eq!(supp.payload_bytes, stat.payload_bytes, "seed {seed}");
         assert_eq!(supp.messages, stat.messages, "seed {seed}");
-        assert!((supp.total_uj() - stat.total_uj()).abs() < 1e-6, "seed {seed}");
+        assert!(
+            (supp.total_uj() - stat.total_uj()).abs() < 1e-6,
+            "seed {seed}"
+        );
     }
 }
 
@@ -68,7 +71,9 @@ fn override_single_lonely_change_saves_energy() {
     for s in spec.all_sources().into_iter().take(10) {
         let changed: BTreeSet<NodeId> = [s].into_iter().collect();
         let base = sim.round_cost(&changed, OverridePolicy::None).total_uj();
-        let aggr = sim.round_cost(&changed, OverridePolicy::Aggressive).total_uj();
+        let aggr = sim
+            .round_cost(&changed, OverridePolicy::Aggressive)
+            .total_uj();
         assert!(
             aggr <= base + 1e-9,
             "single-change override must not hurt (source {s}: {aggr} vs {base})"
@@ -80,8 +85,7 @@ fn override_single_lonely_change_saves_energy() {
 fn incremental_updates_match_scratch_builds() {
     let net = Network::with_default_energy(Deployment::great_duck_island(30));
     let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 10, 4));
-    let mut maintainer =
-        PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
+    let mut maintainer = PlanMaintainer::new(net.clone(), spec, RoutingMode::ShortestPathTrees);
 
     // A churn sequence touching every update type.
     let d = maintainer.spec().destinations().nth(2).unwrap();
@@ -91,7 +95,13 @@ fn incremental_updates_match_scratch_builds() {
         .into_iter()
         .find(|&s| !maintainer.spec().is_source_of(s, d) && s != d)
         .unwrap();
-    let remove = maintainer.spec().function(d).unwrap().sources().next().unwrap();
+    let remove = maintainer
+        .spec()
+        .function(d)
+        .unwrap()
+        .sources()
+        .next()
+        .unwrap();
     let fresh = net
         .nodes()
         .find(|&v| maintainer.spec().function(v).is_none())
@@ -142,8 +152,7 @@ fn incremental_updates_match_scratch_builds() {
 fn corollary_1_updates_are_local() {
     let net = Network::with_default_energy(Deployment::great_duck_island(42));
     let spec = generate_workload(&net, &WorkloadConfig::paper_default(14, 14, 2));
-    let mut maintainer =
-        PlanMaintainer::new(net, spec, RoutingMode::ShortestPathTrees);
+    let mut maintainer = PlanMaintainer::new(net, spec, RoutingMode::ShortestPathTrees);
     let d = maintainer.spec().destinations().next().unwrap();
     let s = maintainer
         .spec()
@@ -185,10 +194,9 @@ fn milestone_trade_off() {
     // byte·hop volume can only stay equal or grow (a virtual edge's
     // payload is relayed over every physical hop it spans).
     let byte_hops = |plan: &GlobalPlan, m: &m2m_core::milestones::MilestoneRouting| -> u64 {
-        plan.solutions()
-            .iter()
+        plan.iter_solutions()
             .map(|(e, sol)| {
-                sol.cost_bytes * u64::from(m.edge_lengths.get(e).copied().unwrap_or(1))
+                sol.cost_bytes * u64::from(m.edge_lengths.get(&e).copied().unwrap_or(1))
             })
             .sum()
     };
@@ -198,15 +206,13 @@ fn milestone_trade_off() {
     );
 
     // But pinned routing degrades faster as links get flaky.
-    let ratio = |plan: &GlobalPlan,
-                 m: &m2m_core::milestones::MilestoneRouting,
-                 cfg: &MilestoneConfig| {
-        let lo = expected_round_cost(plan, m, net.energy(), 0.0, cfg).total_uj();
-        let hi = expected_round_cost(plan, m, net.energy(), 0.5, cfg).total_uj();
-        hi / lo
-    };
+    let ratio =
+        |plan: &GlobalPlan, m: &m2m_core::milestones::MilestoneRouting, cfg: &MilestoneConfig| {
+            let lo = expected_round_cost(plan, m, net.energy(), 0.0, cfg).total_uj();
+            let hi = expected_round_cost(plan, m, net.energy(), 0.5, cfg).total_uj();
+            hi / lo
+        };
     assert!(
-        ratio(&pinned_plan, &pinned, &pinned_cfg)
-            > ratio(&flexible_plan, &flexible, &flexible_cfg)
+        ratio(&pinned_plan, &pinned, &pinned_cfg) > ratio(&flexible_plan, &flexible, &flexible_cfg)
     );
 }

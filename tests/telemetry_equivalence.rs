@@ -42,8 +42,8 @@ fn full_pass(
         .iter()
         .map(|&threads| GlobalPlan::build_with_threads(net, spec, routing, threads))
         .collect();
-    let compiled = CompiledSchedule::compile(net, spec, routing, &plans[0])
-        .expect("plan must be schedulable");
+    let compiled =
+        CompiledSchedule::compile(net, spec, &plans[0]).expect("plan must be schedulable");
     let mut state = ExecState::for_schedule(&compiled);
     let batch: Vec<Vec<f64>> = (0..4)
         .map(|round| {
