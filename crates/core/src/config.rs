@@ -1,0 +1,367 @@
+//! Typed runtime configuration: one entry point for every knob the
+//! workspace used to read straight out of the environment.
+//!
+//! Historically `M2M_THREADS`, `M2M_TRACE`, `M2M_TRACE_OUT`, and `M2M_LOG`
+//! were each parsed at their point of use (`parallel`, the telemetry
+//! facade, the bench bins). [`Config`] centralizes them — plus the
+//! fault-pipeline knobs (`M2M_RETRIES`, `M2M_BACKOFF`, `M2M_MAX_SLOTS`,
+//! `M2M_HYSTERESIS`) — behind a builder:
+//!
+//! ```
+//! use m2m_core::config::Config;
+//! let cfg = Config::builder().threads(2).retries(3).build();
+//! assert_eq!(cfg.resolved_threads(), 2);
+//! assert_eq!(cfg.retry_policy().max_attempts, 3);
+//! ```
+//!
+//! The environment variables remain the *defaults*: [`Config::from_env`]
+//! (and therefore [`Config::builder`], which starts from it) reads them,
+//! so existing scripts keep working unchanged. Library code that needs
+//! the process-wide configuration goes through [`global`], a lazily
+//! initialized snapshot; embedders that want explicit control call
+//! [`install`] before first use.
+
+use std::sync::OnceLock;
+
+use crate::faults::RetryPolicy;
+use crate::telemetry::Level;
+
+/// Environment variable pinning the worker count (see [`crate::parallel`]).
+pub const THREADS_ENV: &str = "M2M_THREADS";
+/// Environment variable enabling telemetry collection (`1`/`true`/…).
+pub const TRACE_ENV: &str = "M2M_TRACE";
+/// Environment variable naming the telemetry snapshot output file.
+pub const TRACE_OUT_ENV: &str = "M2M_TRACE_OUT";
+/// Environment variable setting the log threshold (`off`…`trace`).
+pub const LOG_ENV: &str = "M2M_LOG";
+/// Environment variable bounding transmission attempts per message
+/// (`0` = unlimited retries).
+pub const RETRIES_ENV: &str = "M2M_RETRIES";
+/// Environment variable adding backoff slots after a failed attempt.
+pub const BACKOFF_ENV: &str = "M2M_BACKOFF";
+/// Environment variable bounding the slots a fault-tolerant round may use.
+pub const MAX_SLOTS_ENV: &str = "M2M_MAX_SLOTS";
+/// Environment variable setting the relative ETX-drift threshold past
+/// which the churn driver recomputes routes.
+pub const HYSTERESIS_ENV: &str = "M2M_HYSTERESIS";
+
+/// Default for [`Config::retries`] when `M2M_RETRIES` is unset.
+pub const DEFAULT_RETRIES: u32 = 8;
+/// Default for [`Config::max_slots`] when `M2M_MAX_SLOTS` is unset.
+pub const DEFAULT_MAX_SLOTS: u32 = 10_000;
+/// Default for [`Config::hysteresis`] when `M2M_HYSTERESIS` is unset.
+pub const DEFAULT_HYSTERESIS: f64 = 0.25;
+
+/// A resolved runtime configuration. Construct with [`Config::from_env`]
+/// or [`Config::builder`]; read through the accessors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    threads: Option<usize>,
+    trace: bool,
+    trace_out: Option<String>,
+    log: Level,
+    retries: u32,
+    backoff_slots: u32,
+    max_slots: u32,
+    hysteresis: f64,
+}
+
+impl Config {
+    /// Reads every knob from the environment, falling back to the
+    /// documented defaults. This is exactly the configuration the
+    /// scattered `std::env::var` call sites used to assemble implicitly.
+    pub fn from_env() -> Self {
+        let parse_u32 = |name: &str, default: u32| -> u32 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .unwrap_or(default)
+        };
+        Config {
+            threads: std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0),
+            trace: std::env::var(TRACE_ENV).is_ok_and(|v| parse_bool(&v)),
+            trace_out: std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.is_empty()),
+            log: std::env::var(LOG_ENV)
+                .ok()
+                .and_then(|v| Level::parse(&v))
+                .unwrap_or(Level::Off),
+            retries: parse_u32(RETRIES_ENV, DEFAULT_RETRIES),
+            backoff_slots: parse_u32(BACKOFF_ENV, 0),
+            max_slots: parse_u32(MAX_SLOTS_ENV, DEFAULT_MAX_SLOTS).max(1),
+            hysteresis: std::env::var(HYSTERESIS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .filter(|h| h.is_finite() && *h >= 0.0)
+                .unwrap_or(DEFAULT_HYSTERESIS),
+        }
+    }
+
+    /// A builder seeded from [`Config::from_env`], so explicit settings
+    /// override the environment and everything else keeps its env-derived
+    /// default.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::from_env(),
+        }
+    }
+
+    /// The pinned worker count, if any (`None` = auto-detect).
+    #[inline]
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The worker count plan builds and epoch fan-outs should use: the
+    /// pinned count if set, otherwise the machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Whether telemetry collection is on.
+    #[inline]
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Where to write the telemetry snapshot, if anywhere.
+    #[inline]
+    pub fn trace_out(&self) -> Option<&str> {
+        self.trace_out.as_deref()
+    }
+
+    /// The log threshold.
+    #[inline]
+    pub fn log(&self) -> Level {
+        self.log
+    }
+
+    /// Maximum transmission attempts per message (`0` = unlimited).
+    #[inline]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Extra wait slots after a failed attempt.
+    #[inline]
+    pub fn backoff_slots(&self) -> u32 {
+        self.backoff_slots
+    }
+
+    /// Slot budget per fault-tolerant round.
+    #[inline]
+    pub fn max_slots(&self) -> u32 {
+        self.max_slots
+    }
+
+    /// Relative ETX-drift threshold for the churn driver.
+    #[inline]
+    pub fn hysteresis(&self) -> f64 {
+        self.hysteresis
+    }
+
+    /// The retry/backoff/budget knobs as a [`RetryPolicy`] for the
+    /// fault-tolerant executor.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.retries,
+            backoff_slots: self.backoff_slots,
+            max_slots: self.max_slots,
+        }
+    }
+
+    /// Pushes the telemetry knobs into the process-wide facade:
+    /// collection on/off and the log threshold. Does **not** write any
+    /// file — see [`Config::export_telemetry`].
+    pub fn apply(&self) {
+        crate::telemetry::set_enabled(self.trace);
+        crate::telemetry::set_log_threshold(self.log);
+    }
+
+    /// Writes the current telemetry snapshot to [`Config::trace_out`]
+    /// (if configured), returning the path written. The config-driven
+    /// counterpart of [`crate::telemetry::export_if_requested`].
+    pub fn export_telemetry(&self) -> Option<String> {
+        let path = self.trace_out.clone()?;
+        std::fs::write(&path, crate::telemetry::snapshot().to_json().render()).ok()?;
+        Some(path)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::from_env()
+    }
+}
+
+fn parse_bool(v: &str) -> bool {
+    matches!(
+        v.trim().to_ascii_lowercase().as_str(),
+        "1" | "true" | "yes" | "on"
+    )
+}
+
+/// Builder for [`Config`]; see [`Config::builder`].
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Pins the worker count (must be positive).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (use auto-detection by not calling this).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "thread count must be positive");
+        self.config.threads = Some(n);
+        self
+    }
+
+    /// Turns telemetry collection on or off.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Sets the telemetry snapshot output path.
+    #[must_use]
+    pub fn trace_out(mut self, path: impl Into<String>) -> Self {
+        self.config.trace_out = Some(path.into());
+        self
+    }
+
+    /// Sets the log threshold.
+    #[must_use]
+    pub fn log(mut self, level: Level) -> Self {
+        self.config.log = level;
+        self
+    }
+
+    /// Bounds transmission attempts per message (`0` = unlimited).
+    #[must_use]
+    pub fn retries(mut self, attempts: u32) -> Self {
+        self.config.retries = attempts;
+        self
+    }
+
+    /// Adds backoff slots after each failed attempt.
+    #[must_use]
+    pub fn backoff_slots(mut self, slots: u32) -> Self {
+        self.config.backoff_slots = slots;
+        self
+    }
+
+    /// Bounds the slots a fault-tolerant round may use.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0` (a round needs at least one slot).
+    #[must_use]
+    pub fn max_slots(mut self, slots: u32) -> Self {
+        assert!(slots > 0, "slot budget must be positive");
+        self.config.max_slots = slots;
+        self
+    }
+
+    /// Sets the relative ETX-drift threshold for the churn driver.
+    ///
+    /// # Panics
+    /// Panics unless `h` is finite and non-negative.
+    #[must_use]
+    pub fn hysteresis(mut self, h: f64) -> Self {
+        assert!(
+            h.is_finite() && h >= 0.0,
+            "hysteresis must be finite and >= 0"
+        );
+        self.config.hysteresis = h;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Config {
+        self.config
+    }
+}
+
+static GLOBAL: OnceLock<Config> = OnceLock::new();
+
+/// The process-wide configuration: the installed one, or a lazily read
+/// [`Config::from_env`] snapshot. Library call sites (the worker pool,
+/// session defaults) read through here, so one `install` governs them all.
+pub fn global() -> &'static Config {
+    GLOBAL.get_or_init(Config::from_env)
+}
+
+/// Installs `config` as the process-wide configuration and applies its
+/// telemetry knobs. Returns `Err(config)` if a global was already
+/// installed (or lazily initialized) — first write wins, matching the
+/// facade's first-read-wins env semantics.
+pub fn install(config: Config) -> Result<(), Config> {
+    config.apply();
+    GLOBAL.set(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_and_defaults() {
+        let cfg = Config::builder()
+            .threads(3)
+            .trace(true)
+            .retries(2)
+            .backoff_slots(4)
+            .max_slots(77)
+            .hysteresis(0.5)
+            .log(Level::Warn)
+            .build();
+        assert_eq!(cfg.threads(), Some(3));
+        assert_eq!(cfg.resolved_threads(), 3);
+        assert!(cfg.trace());
+        assert_eq!(cfg.log(), Level::Warn);
+        let policy = cfg.retry_policy();
+        assert_eq!(policy.max_attempts, 2);
+        assert_eq!(policy.backoff_slots, 4);
+        assert_eq!(policy.max_slots, 77);
+        assert_eq!(cfg.hysteresis(), 0.5);
+    }
+
+    #[test]
+    fn env_free_defaults_are_sane() {
+        // The test environment does not set the fault knobs, so from_env
+        // must land on the documented defaults.
+        let cfg = Config::from_env();
+        assert_eq!(cfg.retries(), DEFAULT_RETRIES);
+        assert_eq!(cfg.backoff_slots(), 0);
+        assert_eq!(cfg.max_slots(), DEFAULT_MAX_SLOTS);
+        assert_eq!(cfg.hysteresis(), DEFAULT_HYSTERESIS);
+        assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn default_is_from_env() {
+        assert_eq!(Config::default(), Config::from_env());
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        let _ = Config::builder().threads(0);
+    }
+
+    #[test]
+    fn global_is_stable_across_reads() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -357,6 +357,17 @@ mod tests {
     }
 
     #[test]
+    fn reuse_fraction_of_an_edgeless_plan_is_total() {
+        // Regression: an update can leave a plan with zero edges (e.g. the
+        // last destination removed, or every source co-located with its
+        // destination). The fraction must not divide by zero — "nothing
+        // needed re-solving" reads as full reuse.
+        let stats = UpdateStats::default();
+        assert_eq!(stats.edges_total(), 0);
+        assert_eq!(stats.reuse_fraction(), 1.0);
+    }
+
+    #[test]
     fn remove_then_readd_is_identity() {
         let mut m = maintainer();
         let before = m.plan().total_payload_bytes();

@@ -100,9 +100,11 @@ impl NodeIndex {
 }
 
 /// One lowered contribution. Mirrors [`Contribution`] with all lookups
-/// (weight, reading slot) resolved at compile time.
+/// (weight, reading slot) resolved at compile time. Crate-visible so the
+/// fault-tolerant executor ([`crate::faults`]) can replay the same op
+/// stream under degraded delivery.
 #[derive(Clone, Copy, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// Pre-aggregate the reading in `slot` with weight `alpha`.
     Pre { slot: u32, alpha: f64 },
     /// Merge the record computed for unit `unit`.
@@ -113,34 +115,34 @@ enum Op {
 /// `first_op .. first_op + op_count` are folded left-to-right in the
 /// reference path's contribution order.
 #[derive(Clone, Debug)]
-struct RecordStep {
+pub(crate) struct RecordStep {
     /// Index into [`ExecState::records`] (== the unit's schedule index).
-    unit: u32,
+    pub(crate) unit: u32,
     /// The destination whose merging function applies.
-    dest: NodeId,
-    kind: AggregateKind,
-    first_op: u32,
-    op_count: u32,
+    pub(crate) dest: NodeId,
+    pub(crate) kind: AggregateKind,
+    pub(crate) first_op: u32,
+    pub(crate) op_count: u32,
 }
 
 /// One destination's final evaluation, in ascending destination order.
 #[derive(Clone, Debug)]
-struct DestStep {
-    dest: NodeId,
-    kind: AggregateKind,
-    first_op: u32,
-    op_count: u32,
+pub(crate) struct DestStep {
+    pub(crate) dest: NodeId,
+    pub(crate) kind: AggregateKind,
+    pub(crate) first_op: u32,
+    pub(crate) op_count: u32,
 }
 
 /// A schedule lowered to flat dense-index arrays, executable with zero
 /// heap allocation per round. Built once per plan; see the module docs.
 #[derive(Clone, Debug)]
 pub struct CompiledSchedule {
-    sources: NodeIndex,
-    ops: Vec<Op>,
-    record_steps: Vec<RecordStep>,
-    dest_steps: Vec<DestStep>,
-    unit_count: usize,
+    pub(crate) sources: NodeIndex,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) record_steps: Vec<RecordStep>,
+    pub(crate) dest_steps: Vec<DestStep>,
+    pub(crate) unit_count: usize,
     round_cost: RoundCost,
     schedule: Arc<Schedule>,
 }
@@ -408,7 +410,7 @@ fn pre_sources(schedule: &Schedule) -> Vec<NodeId> {
 /// Left fold of a contiguous op run, in the reference path's contribution
 /// order — the float associativity is identical by construction.
 #[inline]
-fn fold_ops(
+pub(crate) fn fold_ops(
     kind: AggregateKind,
     ops: &[Op],
     readings: &[f64],

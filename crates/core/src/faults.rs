@@ -1,0 +1,1191 @@
+//! The fault-tolerant epoch pipeline: loss-aware execution of a compiled
+//! schedule, with bounded retransmission, per-destination degradation
+//! accounting, and a hysteresis-gated churn driver.
+//!
+//! The paper's evaluation context — Mica2-class radios — is exactly where
+//! an optimal static plan meets lossy links. This module closes that gap
+//! in three pieces:
+//!
+//! * [`FaultyExec`] — a loss-aware mode of [`CompiledSchedule`]: the TDMA
+//!   slot schedule is simulated against a seeded
+//!   [`DeliveryModel`] (uniform Bernoulli, per-link ETX-derived, or a
+//!   scripted [`m2m_netsim::failure::FailureTrace`]), each message retried
+//!   under a [`RetryPolicy`] with every attempt charged through the Mica2
+//!   energy model; the compiled op stream is then replayed over whatever
+//!   actually arrived, producing per-destination results, coverage
+//!   fractions, and missing-source sets ([`FaultOutcome`]).
+//! * [`DegradationTracker`] — per-destination staleness: how many
+//!   consecutive rounds a destination has gone without full coverage.
+//! * [`ChurnController`] — the loop closure: when observed link quality
+//!   drifts past a relative-ETX hysteresis threshold, it fires a reroute
+//!   (the caller rebuilds [`m2m_netsim::quality::weighted_routing`] tables
+//!   and pushes them through
+//!   [`crate::dynamics::PlanMaintainer::apply_route_change`]); drift below
+//!   the threshold is absorbed, so the plan tracks the network without
+//!   thrashing.
+//!
+//! **Equivalence contract**: with a reliable delivery model (or loss
+//! probability 0) and any retry policy, every message is delivered on its
+//! first attempt, the degraded replay includes every op in the compiled
+//! order, and [`FaultOutcome::results`] / [`FaultOutcome::cost`] are
+//! **bit-identical** to [`CompiledSchedule::run_round`] — the same float
+//! associativity, the same cost accumulation order. The property test
+//! `tests/fault_equivalence.rs` pins this across routing modes and thread
+//! counts.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::quality::LinkQuality;
+use m2m_netsim::{DeliveryModel, Network};
+
+use crate::agg::PartialRecord;
+use crate::exec::{fold_ops, CompiledSchedule, Op};
+use crate::metrics::RoundCost;
+use crate::parallel;
+use crate::schedule::{Contribution, UnitContent};
+use crate::slots::{assign_slots, SlotSchedule};
+use crate::telemetry::names;
+
+/// Per-message retry discipline for one fault-tolerant round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per message; `0` means unlimited
+    /// (retry until the slot budget runs out — the §3 "acknowledgments
+    /// and retransmissions" discipline).
+    pub max_attempts: u32,
+    /// Extra slots to wait after a failed attempt before retrying.
+    pub backoff_slots: u32,
+    /// Slot budget for the whole round.
+    pub max_slots: u32,
+}
+
+impl RetryPolicy {
+    /// Unlimited retries, no backoff — the legacy resilience semantics.
+    pub const fn unlimited(max_slots: u32) -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff_slots: 0,
+            max_slots,
+        }
+    }
+
+    /// Bounded retries with backoff.
+    pub const fn bounded(max_attempts: u32, backoff_slots: u32, max_slots: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff_slots,
+            max_slots,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::bounded(8, 0, 10_000)
+    }
+}
+
+/// One message's precomputed execution facts.
+#[derive(Clone, Debug)]
+struct MessageFacts {
+    edge: (NodeId, NodeId),
+    unit_count: usize,
+    body: u32,
+    /// Energy of one transmission attempt / one successful reception.
+    tx_uj: f64,
+    rx_uj: f64,
+    /// Range into [`FaultyExec::pred_pool`].
+    preds: (u32, u32),
+}
+
+/// Per-destination coverage after a degraded round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DestCoverage {
+    /// The destination.
+    pub destination: NodeId,
+    /// Sources whose contributions reached the destination this round.
+    pub covered: usize,
+    /// Sources the destination's function demands.
+    pub demanded: usize,
+    /// The demanded sources that did **not** arrive (ascending).
+    pub missing: Vec<NodeId>,
+}
+
+impl DestCoverage {
+    /// Covered fraction in `[0, 1]` (1.0 for a zero-source function).
+    pub fn fraction(&self) -> f64 {
+        if self.demanded == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.demanded as f64
+        }
+    }
+
+    /// True if every demanded source arrived.
+    pub fn complete(&self) -> bool {
+        self.covered == self.demanded
+    }
+}
+
+/// The outcome of one fault-tolerant round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultOutcome {
+    /// Per-destination results in ascending destination order
+    /// ([`CompiledSchedule::destinations`]); `None` when no input at all
+    /// survived for that destination.
+    pub results: Vec<Option<f64>>,
+    /// Per-destination coverage, aligned with `results`.
+    pub coverage: Vec<DestCoverage>,
+    /// Energy including retransmissions: every attempt pays transmit
+    /// energy, reception is paid only on delivery.
+    pub cost: RoundCost,
+    /// Slots actually used (≥ the failure-free makespan when lossy).
+    pub slots_used: u32,
+    /// Failed transmission attempts.
+    pub retransmissions: usize,
+    /// Messages abandoned after exhausting their retry budget.
+    pub dropped_messages: usize,
+    /// True if every message was delivered within the slot budget.
+    pub delivered: bool,
+}
+
+impl FaultOutcome {
+    /// Destinations with partial coverage this round.
+    pub fn degraded_destinations(&self) -> usize {
+        self.coverage.iter().filter(|c| !c.complete()).count()
+    }
+}
+
+/// Reusable scratch for [`FaultyExec::run`] — allocate once (per worker),
+/// run any number of rounds without further allocation (outcomes excepted).
+#[derive(Clone, Debug, Default)]
+pub struct FaultScratch {
+    delivered: Vec<bool>,
+    dropped: Vec<bool>,
+    attempts: Vec<u32>,
+    next_attempt: Vec<u32>,
+    readings: Vec<f64>,
+    records: Vec<Option<PartialRecord>>,
+    gate_ok: Vec<bool>,
+    unit_cover: Vec<u64>,
+    tmp_cover: Vec<u64>,
+}
+
+/// The loss-aware executor: a [`CompiledSchedule`] paired with its TDMA
+/// slot assignment, message-level dependency graph, and an *op gate*
+/// table mapping every compiled op to the message unit whose delivery it
+/// depends on. Built once per plan; see the module docs for the two-phase
+/// round (delivery simulation, then degraded replay).
+#[derive(Clone, Debug)]
+pub struct FaultyExec {
+    compiled: CompiledSchedule,
+    slots: SlotSchedule,
+    messages: Vec<MessageFacts>,
+    pred_pool: Vec<u32>,
+    /// Unit index → message index.
+    message_of: Vec<u32>,
+    /// Aligned 1:1 with the compiled op stream: the unit that must be
+    /// delivered for the op's datum to be present at its consumption
+    /// point, or `u32::MAX` for locally available data.
+    op_gate: Vec<u32>,
+    /// Per unit: the upstream raw unit this unit's datum was relayed
+    /// from ([`RAW_ORIGIN`] at the source itself, [`NOT_RAW`] for record
+    /// units). A raw datum is present only if *every* hop of its relay
+    /// chain was delivered — a node cannot forward a raw value it never
+    /// received — whereas a record unit usefully re-forms from whatever
+    /// survived, so it gates on its own hop alone.
+    raw_parent: Vec<u32>,
+    /// Bitset words per coverage row.
+    words: usize,
+    /// Per-destination demanded-source bitsets (row-major, `words` each).
+    demanded_bits: Vec<u64>,
+    /// Per-destination demanded-source counts.
+    demanded: Vec<usize>,
+}
+
+/// [`FaultyExec::raw_parent`] marker: the unit is not a raw relay (record
+/// units gate on their own hop only).
+const NOT_RAW: u32 = u32::MAX;
+/// [`FaultyExec::raw_parent`] marker: the raw unit leaves the source node
+/// itself — the head of its relay chain.
+const RAW_ORIGIN: u32 = u32::MAX - 1;
+
+impl FaultyExec {
+    /// Lowers `compiled` for fault-tolerant execution: assigns TDMA slots,
+    /// derives message dependencies and per-attempt energies, and builds
+    /// the op gate table by replaying the compiler's lowering walk against
+    /// the schedule's contribution lists.
+    ///
+    /// # Panics
+    /// Panics if the schedule violates the structural invariants the gate
+    /// construction relies on (it cannot, for a schedule produced by
+    /// [`crate::schedule::build_schedule`]).
+    pub fn new(network: &Network, compiled: &CompiledSchedule) -> Self {
+        crate::telemetry::counter(names::FAULTS_BUILDS, 1);
+        let schedule = compiled.schedule().clone();
+        let slots = assign_slots(network, &schedule);
+        let energy = network.energy();
+        let message_count = schedule.messages.len();
+
+        // Message-level dependency lists (as in the slot assigner).
+        let mut message_of = vec![u32::MAX; schedule.units.len()];
+        for (m, msg) in schedule.messages.iter().enumerate() {
+            for &u in &msg.units {
+                message_of[u] = m as u32;
+            }
+        }
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); message_count];
+        for &(u, v) in &schedule.unit_arcs {
+            let (a, b) = (message_of[u], message_of[v]);
+            if a != b && !preds[b as usize].contains(&a) {
+                preds[b as usize].push(a);
+            }
+        }
+        let mut messages = Vec::with_capacity(message_count);
+        let mut pred_pool: Vec<u32> = Vec::new();
+        for (m, msg) in schedule.messages.iter().enumerate() {
+            let body: u32 = msg
+                .units
+                .iter()
+                .map(|&u| schedule.units[u].size_bytes)
+                .sum();
+            let start = pred_pool.len() as u32;
+            pred_pool.extend(&preds[m]);
+            messages.push(MessageFacts {
+                edge: msg.edge,
+                unit_count: msg.units.len(),
+                body,
+                tx_uj: energy.tx_cost_uj(body),
+                rx_uj: energy.rx_cost_uj(body),
+                preds: (start, pred_pool.len() as u32),
+            });
+        }
+
+        // The raw unit delivering source `s` into node `v` is unique: a
+        // multicast tree has one path from `s` through `v`.
+        let mut raw_into: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
+        for (i, u) in schedule.units.iter().enumerate() {
+            if let UnitContent::Raw(s) = u.content {
+                let prev = raw_into.insert((u.edge.1, s), i as u32);
+                assert!(
+                    prev.is_none(),
+                    "source {s} delivered raw into {} twice",
+                    u.edge.1
+                );
+            }
+        }
+        // Relay chains: a raw unit leaving any node other than the source
+        // itself carries a datum that first had to arrive there raw.
+        let mut raw_parent = vec![NOT_RAW; schedule.units.len()];
+        for (i, u) in schedule.units.iter().enumerate() {
+            if let UnitContent::Raw(s) = u.content {
+                raw_parent[i] = if u.edge.0 == s {
+                    RAW_ORIGIN
+                } else {
+                    *raw_into.get(&(u.edge.0, s)).unwrap_or_else(|| {
+                        panic!(
+                            "raw unit {i} relays {s} from {} without an inbound hop",
+                            u.edge.0
+                        )
+                    })
+                };
+            }
+        }
+        let gate_for = |c: &Contribution, at: NodeId| -> u32 {
+            match *c {
+                Contribution::Pre(s) if s == at => u32::MAX,
+                Contribution::Pre(s) => *raw_into
+                    .get(&(at, s))
+                    .unwrap_or_else(|| panic!("no raw unit carries {s} into {at}")),
+                Contribution::FromUnit(p) => p as u32,
+            }
+        };
+
+        // Replay the lowering walk in the compiler's order — record steps
+        // in topological order, then destination steps ascending — so the
+        // gates align 1:1 with the compiled op stream.
+        let mut op_gate: Vec<u32> = Vec::with_capacity(compiled.ops.len());
+        for step in &compiled.record_steps {
+            let u = step.unit as usize;
+            let contribs = &schedule.contributions[u];
+            assert_eq!(
+                contribs.len(),
+                step.op_count as usize,
+                "op run of unit {u} diverged from its contribution list"
+            );
+            let at = schedule.units[u].edge.0; // records form at the tail
+            for c in contribs {
+                op_gate.push(gate_for(c, at));
+            }
+        }
+        for (i, step) in compiled.dest_steps.iter().enumerate() {
+            let (d, inputs) = schedule
+                .destination_inputs
+                .iter()
+                .nth(i)
+                .expect("dest step beyond destination_inputs");
+            assert_eq!(*d, step.dest, "destination order diverged");
+            assert_eq!(inputs.len(), step.op_count as usize);
+            for c in inputs {
+                op_gate.push(gate_for(c, *d));
+            }
+        }
+        assert_eq!(op_gate.len(), compiled.ops.len(), "op gate misaligned");
+        // Each gate must agree with its op's variant: FromUnit gates on
+        // the referenced unit itself.
+        for (op, &gate) in compiled.ops.iter().zip(&op_gate) {
+            if let Op::FromUnit { unit } = *op {
+                assert_eq!(gate, unit, "FromUnit op must gate on its own unit");
+            }
+        }
+
+        let words = compiled.sources.len().div_ceil(64).max(1);
+        let mut this = FaultyExec {
+            compiled: compiled.clone(),
+            slots,
+            messages,
+            pred_pool,
+            message_of,
+            op_gate,
+            raw_parent,
+            words,
+            demanded_bits: Vec::new(),
+            demanded: Vec::new(),
+        };
+        // Full-delivery replay fixes each destination's demanded set.
+        let mut scratch = this.scratch();
+        scratch.delivered.resize(this.messages.len(), true);
+        scratch.delivered.fill(true);
+        scratch.dropped.resize(this.messages.len(), false);
+        let mut demanded_bits = vec![0u64; this.compiled.dest_steps.len() * words];
+        this.replay_coverage(&mut scratch, &mut demanded_bits);
+        this.demanded = demanded_bits
+            .chunks(words)
+            .map(|row| row.iter().map(|w| w.count_ones() as usize).sum())
+            .collect();
+        this.demanded_bits = demanded_bits;
+        crate::m2m_log!(
+            crate::telemetry::Level::Debug,
+            "fault exec compiled: {} messages, {} ops gated, {} slot makespan",
+            this.messages.len(),
+            this.op_gate.len(),
+            this.slots.slot_count
+        );
+        this
+    }
+
+    /// The compiled schedule this executor runs.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+
+    /// The TDMA slot assignment the delivery simulation follows.
+    #[inline]
+    pub fn slot_schedule(&self) -> &SlotSchedule {
+        &self.slots
+    }
+
+    /// Allocates a scratch arena sized for this executor.
+    pub fn scratch(&self) -> FaultScratch {
+        FaultScratch {
+            delivered: vec![false; self.messages.len()],
+            dropped: vec![false; self.messages.len()],
+            attempts: vec![0; self.messages.len()],
+            next_attempt: vec![0; self.messages.len()],
+            readings: vec![0.0; self.compiled.sources.len()],
+            records: vec![None; self.compiled.unit_count],
+            gate_ok: vec![false; self.op_gate.len()],
+            unit_cover: vec![0; self.compiled.unit_count * self.words],
+            tmp_cover: vec![0; self.words],
+        }
+    }
+
+    /// Phase A: the slot-by-slot delivery simulation. A message is
+    /// attempted once per eligible slot — at or after its assigned slot,
+    /// past its backoff, with every predecessor *resolved* (delivered or
+    /// dropped) — until it is delivered, exhausts `policy.max_attempts`,
+    /// or the slot budget ends. Returns `(slots_used, retransmissions,
+    /// dropped)` and fills `scratch.delivered` / `scratch.attempts`.
+    fn simulate_delivery(
+        &self,
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        scratch: &mut FaultScratch,
+    ) -> (u32, usize, usize) {
+        let message_count = self.messages.len();
+        scratch.delivered.fill(false);
+        scratch.dropped.fill(false);
+        scratch.attempts.fill(0);
+        scratch.next_attempt.fill(0);
+        let mut slots_used = 0u32;
+        let mut retransmissions = 0usize;
+        let mut dropped_count = 0usize;
+        let mut remaining = message_count;
+        for slot in 0..policy.max_slots {
+            if remaining == 0 {
+                break;
+            }
+            let mut progressed = false;
+            for m in 0..message_count {
+                let msg = &self.messages[m];
+                if scratch.delivered[m]
+                    || scratch.dropped[m]
+                    || self.slots.slots[m] > slot
+                    || scratch.next_attempt[m] > slot
+                {
+                    continue;
+                }
+                let preds = &self.pred_pool[msg.preds.0 as usize..msg.preds.1 as usize];
+                if preds
+                    .iter()
+                    .any(|&p| !scratch.delivered[p as usize] && !scratch.dropped[p as usize])
+                {
+                    continue;
+                }
+                scratch.attempts[m] += 1;
+                if model.is_down(
+                    msg.edge.0,
+                    msg.edge.1,
+                    round_salt.wrapping_add(u64::from(slot)),
+                ) {
+                    retransmissions += 1;
+                    if policy.max_attempts > 0 && scratch.attempts[m] >= policy.max_attempts {
+                        scratch.dropped[m] = true;
+                        dropped_count += 1;
+                        remaining -= 1;
+                    } else {
+                        scratch.next_attempt[m] = slot + 1 + policy.backoff_slots;
+                    }
+                    continue;
+                }
+                scratch.delivered[m] = true;
+                remaining -= 1;
+                slots_used = slots_used.max(slot + 1);
+                progressed = true;
+            }
+            // Even slots with only failed attempts advance the clock.
+            if !progressed && remaining > 0 {
+                slots_used = slots_used.max(slot + 1);
+            }
+        }
+        (slots_used, retransmissions, dropped_count)
+    }
+
+    /// The round's cost, accumulated in message order — the same order
+    /// (and hence the same float sum) as [`crate::schedule::Schedule::round_cost`],
+    /// so a lossless round's cost is bit-identical to the static one.
+    fn accumulate_cost(&self, scratch: &FaultScratch) -> RoundCost {
+        let mut cost = RoundCost::default();
+        for (m, msg) in self.messages.iter().enumerate() {
+            if scratch.attempts[m] > 0 {
+                cost.tx_uj += msg.tx_uj * f64::from(scratch.attempts[m]);
+            }
+            if scratch.delivered[m] {
+                cost.rx_uj += msg.rx_uj;
+                cost.messages += 1;
+                cost.units += msg.unit_count;
+                cost.payload_bytes += u64::from(msg.body);
+            }
+        }
+        cost
+    }
+
+    /// Phase B (coverage half): replays the op stream over the delivery
+    /// outcome in `scratch.delivered`, filling `cover` with one
+    /// source-coverage bitset row per destination. Also maintains the
+    /// per-unit rows in `scratch.unit_cover`.
+    fn replay_coverage(&self, scratch: &mut FaultScratch, cover: &mut [u64]) {
+        let words = self.words;
+        scratch.unit_cover.fill(0);
+        for step in &self.compiled.record_steps {
+            scratch.tmp_cover.fill(0);
+            let base = step.first_op as usize;
+            for k in 0..step.op_count as usize {
+                let gate = self.op_gate[base + k];
+                match self.compiled.ops[base + k] {
+                    Op::Pre { slot, .. } => {
+                        if self.gate_open(gate, scratch) {
+                            scratch.tmp_cover[slot as usize / 64] |= 1 << (slot % 64);
+                        }
+                    }
+                    Op::FromUnit { unit } => {
+                        if self.gate_open(gate, scratch) {
+                            let src = unit as usize * words;
+                            for w in 0..words {
+                                scratch.tmp_cover[w] |= scratch.unit_cover[src + w];
+                            }
+                        }
+                    }
+                }
+            }
+            let dst = step.unit as usize * words;
+            scratch.unit_cover[dst..dst + words].copy_from_slice(&scratch.tmp_cover);
+        }
+        for (i, step) in self.compiled.dest_steps.iter().enumerate() {
+            scratch.tmp_cover.fill(0);
+            let base = step.first_op as usize;
+            for k in 0..step.op_count as usize {
+                let gate = self.op_gate[base + k];
+                match self.compiled.ops[base + k] {
+                    Op::Pre { slot, .. } => {
+                        if self.gate_open(gate, scratch) {
+                            scratch.tmp_cover[slot as usize / 64] |= 1 << (slot % 64);
+                        }
+                    }
+                    Op::FromUnit { unit } => {
+                        if self.gate_open(gate, scratch) {
+                            let src = unit as usize * words;
+                            for w in 0..words {
+                                scratch.tmp_cover[w] |= scratch.unit_cover[src + w];
+                            }
+                        }
+                    }
+                }
+            }
+            cover[i * words..(i + 1) * words].copy_from_slice(&scratch.tmp_cover);
+        }
+    }
+
+    /// True if the datum behind `gate` is present: locally available, or
+    /// its carrying unit's message was delivered — and, for a raw datum,
+    /// every upstream hop of its relay chain too (a node cannot forward a
+    /// raw value it never received; record units re-form at each hop, so
+    /// they gate on their own hop alone).
+    fn gate_open(&self, gate: u32, scratch: &FaultScratch) -> bool {
+        if gate == u32::MAX {
+            return true;
+        }
+        let mut unit = gate;
+        loop {
+            if !scratch.delivered[self.message_of[unit as usize] as usize] {
+                return false;
+            }
+            match self.raw_parent[unit as usize] {
+                NOT_RAW | RAW_ORIGIN => return true,
+                parent => unit = parent,
+            }
+        }
+    }
+
+    /// Left-folds one op run like [`fold_ops`], but skipping ops whose
+    /// gate is closed (see `scratch.gate_ok`) or whose source record came
+    /// up empty. Identical to [`fold_ops`] when every gate is open.
+    fn fold_degraded(
+        &self,
+        first_op: u32,
+        op_count: u32,
+        kind: crate::agg::AggregateKind,
+        scratch: &FaultScratch,
+    ) -> Option<PartialRecord> {
+        let base = first_op as usize;
+        let mut acc: Option<PartialRecord> = None;
+        for k in base..base + op_count as usize {
+            if !scratch.gate_ok[k] {
+                continue;
+            }
+            let part = match self.compiled.ops[k] {
+                Op::Pre { slot, alpha } => {
+                    kind.pre_aggregate_weighted(alpha, scratch.readings[slot as usize])
+                }
+                Op::FromUnit { unit } => match scratch.records[unit as usize] {
+                    Some(r) => r,
+                    None => continue, // delivered, but nothing survived upstream
+                },
+            };
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => kind.merge_records(prev, part),
+            });
+        }
+        acc
+    }
+
+    /// Runs one fault-tolerant round: delivery simulation under `model`
+    /// and `policy`, then the degraded replay over `readings` (dense, in
+    /// [`CompiledSchedule::sources`] slot order). `round_salt`
+    /// decorrelates this round's losses from other rounds'.
+    ///
+    /// # Panics
+    /// Panics if `readings` or `scratch` is sized for a different
+    /// executor.
+    pub fn run(
+        &self,
+        readings: &[f64],
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        scratch: &mut FaultScratch,
+    ) -> FaultOutcome {
+        let _span = crate::telemetry::span(names::FAULTS_ROUND_NS);
+        crate::telemetry::counter(names::FAULTS_ROUNDS, 1);
+        assert_eq!(
+            readings.len(),
+            self.compiled.sources.len(),
+            "reading vector length must match the interned source count"
+        );
+        assert_eq!(
+            scratch.delivered.len(),
+            self.messages.len(),
+            "scratch/executor mismatch"
+        );
+        scratch.readings.copy_from_slice(readings);
+        let (slots_used, retransmissions, dropped) =
+            self.simulate_delivery(model, policy, round_salt, scratch);
+        crate::telemetry::counter(names::FAULTS_RETRANSMISSIONS, retransmissions as u64);
+        crate::telemetry::counter(names::FAULTS_DROPPED_MESSAGES, dropped as u64);
+        let cost = self.accumulate_cost(scratch);
+        let delivered_all = scratch.delivered.iter().all(|&d| d);
+
+        // Degraded dataflow: fold each op run in the compiled order,
+        // skipping ops whose gate is closed (or whose source record ended
+        // up empty). With everything delivered this includes every op and
+        // is bit-identical to `CompiledSchedule::run_round`.
+        scratch.records.fill(None);
+        let mut results: Vec<Option<f64>> = Vec::with_capacity(self.compiled.dest_steps.len());
+        if delivered_all {
+            // Fast path: nothing lost — the exact compiled fold.
+            for step in &self.compiled.record_steps {
+                let base = step.first_op as usize;
+                let ops = &self.compiled.ops[base..base + step.op_count as usize];
+                let acc = fold_ops(step.kind, ops, &scratch.readings, &scratch.records);
+                scratch.records[step.unit as usize] = acc;
+            }
+            for step in &self.compiled.dest_steps {
+                let base = step.first_op as usize;
+                let ops = &self.compiled.ops[base..base + step.op_count as usize];
+                let acc = fold_ops(step.kind, ops, &scratch.readings, &scratch.records);
+                results.push(acc.map(|r| step.kind.evaluate_record(r)));
+            }
+        } else {
+            // Resolve every gate once, then fold without re-touching the
+            // delivery state (keeps the record-table borrow simple).
+            for k in 0..self.op_gate.len() {
+                let ok = self.gate_open(self.op_gate[k], scratch);
+                scratch.gate_ok[k] = ok;
+            }
+            for step in &self.compiled.record_steps {
+                let acc = self.fold_degraded(step.first_op, step.op_count, step.kind, scratch);
+                scratch.records[step.unit as usize] = acc;
+            }
+            for step in &self.compiled.dest_steps {
+                let acc = self.fold_degraded(step.first_op, step.op_count, step.kind, scratch);
+                results.push(acc.map(|r| step.kind.evaluate_record(r)));
+            }
+        }
+
+        // Coverage accounting.
+        let words = self.words;
+        let mut cover = vec![0u64; self.compiled.dest_steps.len() * words];
+        if delivered_all {
+            cover.copy_from_slice(&self.demanded_bits);
+        } else {
+            self.replay_coverage(scratch, &mut cover);
+        }
+        let coverage: Vec<DestCoverage> = self
+            .compiled
+            .dest_steps
+            .iter()
+            .enumerate()
+            .map(|(i, step)| {
+                let row = &cover[i * words..(i + 1) * words];
+                let demanded_row = &self.demanded_bits[i * words..(i + 1) * words];
+                let covered: usize = row.iter().map(|w| w.count_ones() as usize).sum();
+                let mut missing = Vec::new();
+                if covered < self.demanded[i] {
+                    for (w, (&have, &want)) in row.iter().zip(demanded_row).enumerate() {
+                        let mut lost = want & !have;
+                        while lost != 0 {
+                            let bit = lost.trailing_zeros() as usize;
+                            missing.push(self.compiled.sources.id(w * 64 + bit));
+                            lost &= lost - 1;
+                        }
+                    }
+                }
+                DestCoverage {
+                    destination: step.dest,
+                    covered,
+                    demanded: self.demanded[i],
+                    missing,
+                }
+            })
+            .collect();
+        let degraded = coverage.iter().filter(|c| !c.complete()).count();
+        crate::telemetry::counter(names::FAULTS_DEGRADED_DESTINATIONS, degraded as u64);
+
+        FaultOutcome {
+            results,
+            coverage,
+            cost,
+            slots_used,
+            retransmissions,
+            dropped_messages: dropped,
+            delivered: delivered_all,
+        }
+    }
+
+    /// Like [`FaultyExec::run`] but taking readings keyed by node id (the
+    /// reference input shape).
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_on(
+        &self,
+        readings: &BTreeMap<NodeId, f64>,
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        scratch: &mut FaultScratch,
+    ) -> FaultOutcome {
+        let dense: Vec<f64> = self
+            .compiled
+            .sources
+            .ids()
+            .iter()
+            .map(|s| {
+                *readings
+                    .get(s)
+                    .unwrap_or_else(|| panic!("no reading for source {s}"))
+            })
+            .collect();
+        self.run(&dense, model, policy, round_salt, scratch)
+    }
+
+    /// Delivery simulation only — no readings, no dataflow. Returns the
+    /// legacy resilience view of the round: makespan, retransmissions,
+    /// cost, and whether everything was delivered. This is what
+    /// [`crate::resilience`] is built on.
+    pub fn run_delivery_only(
+        &self,
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        scratch: &mut FaultScratch,
+    ) -> (u32, usize, usize, RoundCost, bool) {
+        let (slots_used, retransmissions, dropped) =
+            self.simulate_delivery(model, policy, round_salt, scratch);
+        let cost = self.accumulate_cost(scratch);
+        let delivered = scratch.delivered.iter().all(|&d| d);
+        (slots_used, retransmissions, dropped, cost, delivered)
+    }
+
+    /// Runs one round per entry of `rounds` (dense reading vectors)
+    /// across up to `threads` workers, salting round `i` with
+    /// `base_salt + i * SALT_STRIDE`. Results come back in input order, so
+    /// the output is identical at any thread count.
+    pub fn run_rounds(
+        &self,
+        rounds: &[Vec<f64>],
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        base_salt: u64,
+        threads: usize,
+    ) -> Vec<FaultOutcome> {
+        let indexed: Vec<(usize, &Vec<f64>)> = rounds.iter().enumerate().collect();
+        parallel::parallel_map_with(
+            &indexed,
+            threads,
+            || self.scratch(),
+            |scratch, &(i, readings)| {
+                let salt = base_salt.wrapping_add(i as u64 * SALT_STRIDE);
+                self.run(readings, model, policy, salt, scratch)
+            },
+        )
+    }
+}
+
+/// Per-round salt stride: a prime far larger than any slot budget, so no
+/// two rounds share a `(link, tick)` coordinate.
+pub const SALT_STRIDE: u64 = 1_000_003;
+
+/// Per-destination staleness: how many consecutive rounds each
+/// destination has ended with partial coverage. Complements the per-round
+/// [`DestCoverage`] with the time dimension — a controller steering an
+/// actuator cares whether its signal is one round stale or fifty.
+#[derive(Clone, Debug, Default)]
+pub struct DegradationTracker {
+    staleness: BTreeMap<NodeId, u64>,
+    rounds: u64,
+}
+
+impl DegradationTracker {
+    /// A tracker with no history.
+    pub fn new() -> Self {
+        DegradationTracker::default()
+    }
+
+    /// Folds one round's outcome in: destinations with full coverage
+    /// reset to 0, degraded ones age by one round.
+    pub fn observe(&mut self, outcome: &FaultOutcome) {
+        self.rounds += 1;
+        for c in &outcome.coverage {
+            if c.complete() {
+                self.staleness.insert(c.destination, 0);
+            } else {
+                *self.staleness.entry(c.destination).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Rounds since destination `d` last saw full coverage (0 if it was
+    /// complete last round or has never been observed).
+    pub fn staleness(&self, d: NodeId) -> u64 {
+        self.staleness.get(&d).copied().unwrap_or(0)
+    }
+
+    /// The worst staleness over all observed destinations.
+    pub fn max_staleness(&self) -> u64 {
+        self.staleness.values().copied().max().unwrap_or(0)
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// The churn driver's gate: compares observed link quality against the
+/// baseline the current routes were built for, and fires a reroute only
+/// when the worst relative ETX drift exceeds the hysteresis threshold.
+/// The caller owns the actual loop closure (recompute
+/// [`m2m_netsim::quality::weighted_routing`], push it through
+/// [`crate::dynamics::PlanMaintainer::apply_route_change`], then
+/// [`ChurnController::rebase`]); [`crate::session::Session`] wires the
+/// whole cycle together.
+#[derive(Clone, Debug)]
+pub struct ChurnController {
+    baseline: LinkQuality,
+    hysteresis: f64,
+    reroutes: usize,
+    suppressed: usize,
+}
+
+impl ChurnController {
+    /// A controller whose current routes were built for `baseline`.
+    ///
+    /// # Panics
+    /// Panics unless `hysteresis` is finite and non-negative.
+    pub fn new(baseline: LinkQuality, hysteresis: f64) -> Self {
+        assert!(
+            hysteresis.is_finite() && hysteresis >= 0.0,
+            "hysteresis must be finite and >= 0"
+        );
+        ChurnController {
+            baseline,
+            hysteresis,
+            reroutes: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// The worst relative ETX drift of any baseline link:
+    /// `max |etx_now − etx_base| / etx_base`.
+    pub fn drift(&self, current: &LinkQuality) -> f64 {
+        self.baseline
+            .links()
+            .map(|((a, b), _)| {
+                let base = self.baseline.etx(a, b);
+                let now = current.etx(a, b);
+                (now - base).abs() / base
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Observes `current` quality: returns true (and counts a reroute) if
+    /// drift exceeds the hysteresis threshold, false (and counts a
+    /// suppression) otherwise. On true the caller must rebuild routes and
+    /// then [`ChurnController::rebase`].
+    pub fn should_reroute(&mut self, current: &LinkQuality) -> bool {
+        if self.drift(current) > self.hysteresis {
+            self.reroutes += 1;
+            crate::telemetry::counter(names::FAULTS_REROUTES, 1);
+            true
+        } else {
+            self.suppressed += 1;
+            crate::telemetry::counter(names::FAULTS_REROUTES_SUPPRESSED, 1);
+            false
+        }
+    }
+
+    /// Adopts `baseline` as the quality the (just rebuilt) routes match.
+    pub fn rebase(&mut self, baseline: LinkQuality) {
+        self.baseline = baseline;
+    }
+
+    /// Reroutes fired so far.
+    pub fn reroutes(&self) -> usize {
+        self.reroutes
+    }
+
+    /// Observations absorbed below the threshold so far.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggregateFunction, AggregateKind};
+    use crate::exec::ExecState;
+    use crate::plan::GlobalPlan;
+    use crate::spec::AggregationSpec;
+    use m2m_netsim::failure::FailureTrace;
+    use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn spec() -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::new(
+                AggregateKind::WeightedAverage,
+                [
+                    (NodeId(0), 1.0),
+                    (NodeId(1), 2.0),
+                    (NodeId(3), 0.5),
+                    (NodeId(6), 1.5),
+                ],
+            ),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 3.0)]),
+        );
+        s.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 2.0), (NodeId(3), 1.0)]),
+        );
+        s
+    }
+
+    fn compile(net: &Network, spec: &AggregationSpec, mode: RoutingMode) -> CompiledSchedule {
+        let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
+        let plan = GlobalPlan::build(net, spec, &routing);
+        CompiledSchedule::compile(net, spec, &plan).unwrap()
+    }
+
+    fn dense_readings(compiled: &CompiledSchedule) -> Vec<f64> {
+        compiled
+            .sources()
+            .ids()
+            .iter()
+            .map(|s| f64::from(s.0) * 1.25 - 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_round_is_bit_identical_to_compiled() {
+        let net = network();
+        let spec = spec();
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let compiled = compile(&net, &spec, mode);
+            let faulty = FaultyExec::new(&net, &compiled);
+            let readings = dense_readings(&compiled);
+            let mut state = ExecState::for_schedule(&compiled);
+            state.readings_mut().copy_from_slice(&readings);
+            let plain_cost = compiled.run_round(&mut state);
+            let mut scratch = faulty.scratch();
+            for policy in [
+                RetryPolicy::unlimited(10_000),
+                RetryPolicy::bounded(1, 0, 10_000),
+                RetryPolicy::bounded(0, 3, 10_000),
+            ] {
+                let out = faulty.run(
+                    &readings,
+                    &DeliveryModel::reliable(),
+                    &policy,
+                    42,
+                    &mut scratch,
+                );
+                assert!(out.delivered);
+                assert_eq!(out.retransmissions, 0);
+                assert_eq!(out.dropped_messages, 0);
+                assert_eq!(out.cost, plain_cost, "{mode:?}: cost must be bitwise equal");
+                let exact: Vec<Option<f64>> = state.results().iter().map(|&r| Some(r)).collect();
+                assert_eq!(
+                    out.results, exact,
+                    "{mode:?}: results must be bitwise equal"
+                );
+                assert_eq!(out.degraded_destinations(), 0);
+                for c in &out.coverage {
+                    assert!(c.complete());
+                    assert_eq!(c.fraction(), 1.0);
+                    assert!(c.missing.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demanded_sources_match_the_spec() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::ShortestPathTrees);
+        let faulty = FaultyExec::new(&net, &compiled);
+        let readings = dense_readings(&compiled);
+        let mut scratch = faulty.scratch();
+        let out = faulty.run(
+            &readings,
+            &DeliveryModel::reliable(),
+            &RetryPolicy::default(),
+            0,
+            &mut scratch,
+        );
+        for c in &out.coverage {
+            let f = spec.function(c.destination).unwrap();
+            assert_eq!(
+                c.demanded,
+                f.sources().count(),
+                "destination {} demanded-set size",
+                c.destination
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_rounds_retransmit_and_still_deliver_with_unlimited_retries() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::ShortestPathTrees);
+        let faulty = FaultyExec::new(&net, &compiled);
+        let readings = dense_readings(&compiled);
+        let mut scratch = faulty.scratch();
+        let out = faulty.run(
+            &readings,
+            &DeliveryModel::uniform(0.3, 7),
+            &RetryPolicy::unlimited(10_000),
+            1,
+            &mut scratch,
+        );
+        assert!(out.delivered);
+        assert!(out.retransmissions > 0);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.degraded_destinations(), 0);
+        assert!(out.slots_used >= faulty.slot_schedule().slot_count);
+        // Retransmissions burn tx energy beyond the static round.
+        assert!(out.cost.tx_uj > compiled.round_cost().tx_uj);
+        assert!((out.cost.rx_uj - compiled.round_cost().rx_uj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_dead_link_degrades_exactly_its_downstream_destinations() {
+        // Line network 0-1-2-3-4: dest 4 aggregates 0 and 3. Killing link
+        // 0-1 forever loses source 0 but not source 3.
+        let net = Network::with_default_energy(Deployment::grid(5, 1, 10.0, 12.0));
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(4),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(3), 1.0)]),
+        );
+        let compiled = compile(&net, &s, RoutingMode::ShortestPathTrees);
+        let faulty = FaultyExec::new(&net, &compiled);
+        let trace = FailureTrace::new().down(NodeId(0), NodeId(1), 0, u64::MAX);
+        let model = DeliveryModel::trace(trace);
+        let readings = dense_readings(&compiled);
+        let mut scratch = faulty.scratch();
+        let out = faulty.run(
+            &readings,
+            &model,
+            &RetryPolicy::bounded(3, 0, 1_000),
+            0,
+            &mut scratch,
+        );
+        assert!(!out.delivered);
+        assert!(out.dropped_messages >= 1);
+        assert_eq!(out.coverage.len(), 1);
+        let c = &out.coverage[0];
+        assert_eq!(c.destination, NodeId(4));
+        assert_eq!(c.demanded, 2);
+        assert_eq!(c.covered, 1);
+        assert_eq!(c.missing, vec![NodeId(0)]);
+        assert!((c.fraction() - 0.5).abs() < 1e-12);
+        // The surviving half still evaluates: result is Σ over {3} only.
+        let idx = compiled.sources().slot(NodeId(3)).unwrap();
+        let expected = readings[idx];
+        assert_eq!(out.results[0], Some(expected));
+    }
+
+    #[test]
+    fn run_rounds_is_deterministic_across_thread_counts() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::ShortestPathTrees);
+        let faulty = FaultyExec::new(&net, &compiled);
+        let slots = compiled.sources().len();
+        let rounds: Vec<Vec<f64>> = (0..13)
+            .map(|r| (0..slots).map(|s| (r * 17 + s) as f64 * 0.25).collect())
+            .collect();
+        let model = DeliveryModel::uniform(0.25, 11);
+        let policy = RetryPolicy::bounded(4, 1, 5_000);
+        let serial = faulty.run_rounds(&rounds, &model, &policy, 99, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                faulty.run_rounds(&rounds, &model, &policy, 99, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+        // And rerunning gives the same outcomes (seeded, replayable).
+        assert_eq!(faulty.run_rounds(&rounds, &model, &policy, 99, 4), serial);
+    }
+
+    #[test]
+    fn degradation_tracker_ages_and_resets() {
+        let mk = |complete: bool| FaultOutcome {
+            results: vec![None],
+            coverage: vec![DestCoverage {
+                destination: NodeId(9),
+                covered: usize::from(complete),
+                demanded: 1,
+                missing: if complete { vec![] } else { vec![NodeId(1)] },
+            }],
+            cost: RoundCost::default(),
+            slots_used: 0,
+            retransmissions: 0,
+            dropped_messages: 0,
+            delivered: complete,
+        };
+        let mut t = DegradationTracker::new();
+        t.observe(&mk(false));
+        t.observe(&mk(false));
+        assert_eq!(t.staleness(NodeId(9)), 2);
+        assert_eq!(t.max_staleness(), 2);
+        t.observe(&mk(true));
+        assert_eq!(t.staleness(NodeId(9)), 0);
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.staleness(NodeId(1)), 0, "unobserved dest is fresh");
+    }
+
+    #[test]
+    fn churn_controller_respects_hysteresis() {
+        let net = network();
+        let base = LinkQuality::distance_based(&net, 0.2, 3);
+        let mut ctl = ChurnController::new(base.clone(), 0.3);
+        // No drift: suppressed.
+        assert!(!ctl.should_reroute(&base));
+        assert_eq!(ctl.suppressed(), 1);
+        // Small drift stays under the threshold.
+        let small = base.with_drift(0.05, 7);
+        assert!(ctl.drift(&small) < 0.3);
+        assert!(!ctl.should_reroute(&small));
+        // A link collapsing to near-unusable blows way past it.
+        let mut bad = base.clone();
+        let ((a, b), _) = base.links().next().unwrap();
+        bad.set_loss(a, b, 0.95);
+        assert!(ctl.drift(&bad) > 0.3);
+        assert!(ctl.should_reroute(&bad));
+        assert_eq!(ctl.reroutes(), 1);
+        ctl.rebase(bad.clone());
+        assert!(!ctl.should_reroute(&bad), "rebase resets the reference");
+    }
+}

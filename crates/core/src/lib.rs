@@ -31,12 +31,23 @@
 //!   aggregation, flood (§4);
 //! * [`basestation`] — the §1 out-of-network control strawman, with
 //!   per-node energy accounting;
-//! * [`runtime`] — centralized round execution with numeric end-to-end
-//!   checking and energy accounting ([`metrics`]);
+//! * `runtime` — the interpreted reference executor, kept as a
+//!   test-only oracle behind the `test-oracle` feature; the public
+//!   execution surface is [`exec`];
 //! * [`exec`] — the compiled steady-state executor: the schedule lowered
 //!   once into flat dense-index arrays, epochs run allocation-free and
-//!   bit-identical to [`runtime`], with batch fan-out over [`parallel`]
-//!   and recompile-only-on-structure-change driving ([`dynamics`]);
+//!   bit-identical to the reference oracle, with batch fan-out over
+//!   [`parallel`] and recompile-only-on-structure-change driving
+//!   ([`dynamics`]);
+//! * [`faults`] — the fault-tolerant epoch pipeline: seeded per-edge loss
+//!   ([`m2m_netsim::failure::DeliveryModel`]), bounded retransmission
+//!   charged through the energy model, per-destination coverage /
+//!   staleness accounting, and the ETX-drift churn gate;
+//! * [`config`] — the typed configuration surface ([`config::Config`]):
+//!   one builder (seeded from the `M2M_*` environment) feeding threads,
+//!   tracing, logging, and retry/hysteresis knobs to every layer;
+//! * [`session`] — the unified [`session::Session`] facade wiring
+//!   routing → plan → compiled executor → fault engine → churn loop;
 //! * [`node_machine`] — the *distributed* counterpart: event-driven node
 //!   automata programmed solely by their §3 tables;
 //! * [`slots`] — collision-free TDMA transmission slots (§3);
@@ -83,19 +94,20 @@
 //!     AggregateFunction::weighted_average([(NodeId(5), 1.0), (NodeId(10), 1.0), (NodeId(12), 4.0)]),
 //! );
 //!
-//! // Route multicast trees and build the optimal plan.
-//! let routing = RoutingTables::build(&net, &spec.source_to_destinations(), RoutingMode::ShortestPathTrees);
-//! let plan = GlobalPlan::build(&net, &spec, &routing);
+//! // One Session wires routing, planning, and compiled execution.
+//! let session = Session::builder(net, spec.clone())
+//!     .routing_mode(RoutingMode::ShortestPathTrees)
+//!     .build();
 //!
 //! // Execute one round on real readings and check every destination.
 //! let readings: BTreeMap<NodeId, f64> =
-//!     net.nodes().map(|v| (v, f64::from(v.0))).collect();
-//! let round = execute_round(&net, &spec, &plan, &readings);
-//! for (dest, result) in &round.results {
+//!     session.network().nodes().map(|v| (v, f64::from(v.0))).collect();
+//! let (results, cost) = session.run_round(&readings);
+//! for (dest, result) in &results {
 //!     let expected = spec.function(*dest).unwrap().reference_result(&readings);
 //!     assert!((result - expected).abs() < 1e-9);
 //! }
-//! println!("round energy: {:.3} mJ", round.cost.total_mj());
+//! println!("round energy: {:.3} mJ", cost.total_mj());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -105,10 +117,12 @@ pub mod agg;
 pub mod baselines;
 pub mod basestation;
 pub mod campaign;
+pub mod config;
 pub mod dissemination;
 pub mod dynamics;
 pub mod edge_opt;
 pub mod exec;
+pub mod faults;
 pub mod memo;
 pub mod metrics;
 pub mod milestones;
@@ -118,8 +132,10 @@ pub mod parallel;
 pub mod plan;
 pub mod redundancy;
 pub mod resilience;
+#[cfg(any(test, feature = "test-oracle"))]
 pub mod runtime;
 pub mod schedule;
+pub mod session;
 pub mod sharing;
 pub mod slots;
 pub mod spec;
@@ -136,14 +152,22 @@ pub use m2m_telemetry::m2m_log;
 pub mod prelude {
     pub use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
     pub use crate::baselines::{plan_for_algorithm, Algorithm};
+    pub use crate::config::Config;
+    pub use crate::dynamics::{PlanMaintainer, WorkloadUpdate};
     pub use crate::edge_opt::{EdgeProblem, EdgeSolution};
     pub use crate::exec::{run_epochs, CompiledSchedule, EpochDriver, ExecState};
+    pub use crate::faults::{
+        ChurnController, DegradationTracker, DestCoverage, FaultOutcome, FaultyExec, RetryPolicy,
+    };
     pub use crate::metrics::RoundCost;
     pub use crate::plan::GlobalPlan;
-    pub use crate::runtime::execute_round;
+    pub use crate::session::{Session, SessionBuilder};
     pub use crate::spec::AggregationSpec;
     pub use crate::topo::{EdgeIdx, NodeIdx, Topology};
     pub use crate::workload::{generate_workload, WorkloadConfig};
     pub use m2m_graph::NodeId;
-    pub use m2m_netsim::{Deployment, EnergyModel, Network, RoutingMode, RoutingTables};
+    pub use m2m_netsim::{
+        DeliveryModel, Deployment, EnergyModel, FailureTrace, LinkQuality, Network, RoutingMode,
+        RoutingTables,
+    };
 }

@@ -15,9 +15,9 @@ use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingMode, RoutingTables};
 
 use crate::agg::AggregateFunction;
+use crate::exec::{CompiledSchedule, ExecState};
 use crate::metrics::RoundCost;
 use crate::plan::GlobalPlan;
-use crate::runtime::execute_round;
 use crate::spec::AggregationSpec;
 
 /// A workload where destinations may carry any number of functions.
@@ -77,14 +77,19 @@ impl MultiSpec {
     }
 }
 
-/// Plans for every layer of a [`MultiSpec`].
+/// Plans for every layer of a [`MultiSpec`], each lowered once into a
+/// [`CompiledSchedule`] so rounds run on the single public executor.
 #[derive(Clone, Debug)]
 pub struct MultiPlan {
-    layers: Vec<(AggregationSpec, RoutingTables, GlobalPlan)>,
+    layers: Vec<(AggregationSpec, GlobalPlan, CompiledSchedule)>,
 }
 
 impl MultiPlan {
-    /// Builds per-layer optimal plans.
+    /// Builds per-layer optimal plans and compiles each.
+    ///
+    /// # Panics
+    /// Panics if a layer's plan is unschedulable (it cannot be, for
+    /// plans produced by [`GlobalPlan::build`]).
     pub fn build(network: &Network, multi: &MultiSpec, mode: RoutingMode) -> Self {
         let layers = multi
             .layers()
@@ -92,7 +97,9 @@ impl MultiPlan {
             .map(|spec| {
                 let routing = RoutingTables::build(network, &spec.source_to_destinations(), mode);
                 let plan = GlobalPlan::build(network, &spec, &routing);
-                (spec, routing, plan)
+                let compiled = CompiledSchedule::compile(network, &spec, &plan)
+                    .expect("layer plan must be schedulable");
+                (spec, plan, compiled)
             })
             .collect();
         MultiPlan { layers }
@@ -107,24 +114,24 @@ impl MultiPlan {
     pub fn total_payload_bytes(&self) -> u64 {
         self.layers
             .iter()
-            .map(|(_, _, p)| p.total_payload_bytes())
+            .map(|(_, p, _)| p.total_payload_bytes())
             .sum()
     }
 
-    /// Executes one round: all layers in sequence. Returns one result per
-    /// original function, in insertion order, plus the summed cost.
+    /// Executes one round: all layers in sequence on the compiled
+    /// executor. Returns one result per original function, in insertion
+    /// order, plus the summed cost.
     pub fn execute_round(
         &self,
-        network: &Network,
         multi: &MultiSpec,
         readings: &BTreeMap<NodeId, f64>,
     ) -> (Vec<f64>, RoundCost) {
         let mut per_layer: Vec<BTreeMap<NodeId, f64>> = Vec::new();
         let mut cost = RoundCost::default();
-        for (spec, _, plan) in &self.layers {
-            let round = execute_round(network, spec, plan, readings);
-            cost.accumulate(&round.cost);
-            per_layer.push(round.results);
+        for (_, _, compiled) in &self.layers {
+            let mut state = ExecState::for_schedule(compiled);
+            cost.accumulate(&compiled.run_round_on(readings, &mut state));
+            per_layer.push(state.result_map(compiled));
         }
         // Map back to insertion order by replaying the layering.
         let mut next_layer: BTreeMap<NodeId, usize> = BTreeMap::new();
@@ -175,7 +182,7 @@ mod tests {
         assert_eq!(multi.layers().len(), 3);
         let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
         assert_eq!(plan.layer_count(), 3);
-        let (results, cost) = plan.execute_round(&net, &multi, &vals);
+        let (results, cost) = plan.execute_round(&multi, &vals);
         let expected = multi.reference_results(&vals);
         for (got, want) in results.iter().zip(&expected) {
             assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
@@ -219,7 +226,7 @@ mod tests {
         );
         let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
         assert_eq!(plan.layer_count(), 1);
-        let (results, _) = plan.execute_round(&net, &multi, &vals);
+        let (results, _) = plan.execute_round(&multi, &vals);
         assert!((results[0] - 2.0 * vals[&NodeId(0)]).abs() < 1e-12);
         assert!((results[1] - 3.0 * vals[&NodeId(0)]).abs() < 1e-12);
     }
@@ -234,7 +241,7 @@ mod tests {
         multi.add_function(NodeId(10), f.clone());
         multi.add_function(NodeId(10), f);
         let plan = MultiPlan::build(&net, &multi, RoutingMode::ShortestPathTrees);
-        let (results, _) = plan.execute_round(&net, &multi, &vals);
+        let (results, _) = plan.execute_round(&multi, &vals);
         assert_eq!(results.len(), 2);
         assert!((results[0] - results[1]).abs() < 1e-12);
     }

@@ -11,28 +11,24 @@
 //! min-cut per item) that is all the machinery required.
 //!
 //! Worker count defaults to the machine's available parallelism and can be
-//! pinned with the `M2M_THREADS` environment variable (useful for the
-//! serial-vs-parallel benchmarks and for reproducing single-thread runs).
+//! pinned through [`crate::config::Config`] (or its `M2M_THREADS`
+//! environment default — useful for the serial-vs-parallel benchmarks and
+//! for reproducing single-thread runs).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the default worker count.
-pub const THREADS_ENV: &str = "M2M_THREADS";
+/// Re-exported for compatibility; [`crate::config::THREADS_ENV`] is the
+/// canonical definition.
+pub const THREADS_ENV: &str = crate::config::THREADS_ENV;
 
 /// The worker count used by plan builds when none is given explicitly:
-/// `M2M_THREADS` if set to a positive integer, otherwise the machine's
-/// available parallelism, otherwise 1.
+/// the process-wide [`crate::config::global`] configuration's
+/// [`resolved_threads`](crate::config::Config::resolved_threads) —
+/// `M2M_THREADS` if pinned (by env or [`crate::config::install`]),
+/// otherwise the machine's available parallelism, otherwise 1.
 pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    crate::config::global().resolved_threads()
 }
 
 /// Maps `f` over `items` on up to `threads` workers, each with its own

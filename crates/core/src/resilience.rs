@@ -3,23 +3,25 @@
 //!
 //! The paper's fully specified routes require "reliable message delivery
 //! on every hop (using acknowledgments and retransmissions)". This module
-//! simulates exactly that: the TDMA schedule from [`crate::slots`] is
-//! executed slot by slot against a seeded
-//! [`LinkFailureModel`] — a message
-//! whose link is down in its slot is retried in subsequent slots (paying
-//! transmit energy per attempt), and downstream messages wait for their
-//! inputs. The outcome quantifies the §3 motivation for milestones: the
-//! round's makespan and energy grow with the failure rate when every hop
-//! is pinned.
+//! is the legacy *delivery-level* view of that simulation: makespan,
+//! retransmission count, and energy for one round under a seeded
+//! [`DeliveryModel`], with unlimited retries up to a slot budget. It is a
+//! thin façade over the fault engine ([`crate::faults::FaultyExec`]) —
+//! the same compiled executor that also computes degraded results and
+//! per-destination coverage; here only the delivery ledger is reported.
+//! The outcome quantifies the §3 motivation for milestones: the round's
+//! makespan and energy grow with the failure rate when every hop is
+//! pinned.
 
 use m2m_graph::bridges::bridges;
 use m2m_graph::NodeId;
-use m2m_netsim::failure::LinkFailureModel;
+use m2m_netsim::failure::DeliveryModel;
 use m2m_netsim::Network;
 
+use crate::exec::CompiledSchedule;
+use crate::faults::{FaultyExec, RetryPolicy};
 use crate::metrics::RoundCost;
 use crate::schedule::Schedule;
-use crate::slots::SlotSchedule;
 
 /// Radio links the communication layer cannot route around: the bridges
 /// of the connectivity graph. Milestone routing (§3) only helps where a
@@ -60,225 +62,70 @@ pub struct ResilienceOutcome {
     pub delivered: bool,
 }
 
-/// One message's precomputed execution facts.
-#[derive(Clone, Debug)]
-struct MessageExec {
-    edge: (NodeId, NodeId),
-    unit_count: usize,
-    body: u32,
-    /// Energy of one transmission attempt / one successful reception.
-    tx_uj: f64,
-    rx_uj: f64,
-    /// Range into [`ResilienceExec::pred_pool`].
-    preds: (u32, u32),
-}
-
-/// Failure-prone round executor compiled once per schedule: message-level
-/// dependencies, bodies, and per-attempt energies are derived up front,
-/// so each simulated round only walks flat arrays (the reference
-/// implementation recomputed all of it per round — the dominant cost of
-/// [`average_over_rounds`] sweeps).
-#[derive(Clone, Debug)]
-pub struct ResilienceExec {
-    messages: Vec<MessageExec>,
-    pred_pool: Vec<u32>,
-}
-
-/// Reusable per-round scratch for [`ResilienceExec::run`].
-#[derive(Clone, Debug, Default)]
-pub struct ResilienceScratch {
-    delivered: Vec<bool>,
-}
-
-impl ResilienceExec {
-    /// Precomputes the message-level execution facts for `schedule`.
-    pub fn new(network: &Network, schedule: &Schedule) -> Self {
-        let energy = network.energy();
-        let message_count = schedule.messages.len();
-
-        // Message-level dependency lists (as in the slot assigner).
-        let mut message_of = vec![usize::MAX; schedule.units.len()];
-        for (m, msg) in schedule.messages.iter().enumerate() {
-            for &u in &msg.units {
-                message_of[u] = m;
-            }
-        }
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); message_count];
-        for &(u, v) in &schedule.unit_arcs {
-            let (a, b) = (message_of[u], message_of[v]);
-            if a != b && !preds[b].contains(&(a as u32)) {
-                preds[b].push(a as u32);
-            }
-        }
-
-        let mut messages = Vec::with_capacity(message_count);
-        let mut pred_pool: Vec<u32> = Vec::new();
-        for (m, msg) in schedule.messages.iter().enumerate() {
-            let body: u32 = msg
-                .units
-                .iter()
-                .map(|&u| schedule.units[u].size_bytes)
-                .sum();
-            let start = pred_pool.len() as u32;
-            pred_pool.extend(&preds[m]);
-            messages.push(MessageExec {
-                edge: msg.edge,
-                unit_count: msg.units.len(),
-                body,
-                tx_uj: energy.tx_cost_uj(body),
-                rx_uj: energy.rx_cost_uj(body),
-                preds: (start, pred_pool.len() as u32),
-            });
-        }
-        crate::m2m_log!(
-            crate::telemetry::Level::Debug,
-            "resilience exec compiled: {} messages, {} dependency arcs",
-            messages.len(),
-            pred_pool.len()
-        );
-        ResilienceExec {
-            messages,
-            pred_pool,
-        }
-    }
-
-    /// Allocates a scratch arena sized for this executor.
-    pub fn scratch(&self) -> ResilienceScratch {
-        ResilienceScratch {
-            delivered: vec![false; self.messages.len()],
-        }
-    }
-
-    /// Executes one round under `failures` (see [`execute_with_failures`]
-    /// for the model), reusing `scratch` — no allocation per round.
-    pub fn run(
-        &self,
-        slots: &SlotSchedule,
-        failures: &LinkFailureModel,
-        round_salt: u64,
-        max_slots: u32,
-        scratch: &mut ResilienceScratch,
-    ) -> ResilienceOutcome {
-        let message_count = self.messages.len();
-        assert_eq!(
-            scratch.delivered.len(),
-            message_count,
-            "scratch/exec mismatch"
-        );
-        scratch.delivered.fill(false);
-        let delivered = &mut scratch.delivered;
-
-        let mut cost = RoundCost::default();
-        let mut retransmissions = 0usize;
-        let mut slots_used = 0u32;
-        let mut remaining = message_count;
-
-        for slot in 0..max_slots {
-            if remaining == 0 {
-                break;
-            }
-            let mut progressed = false;
-            for m in 0..message_count {
-                let msg = &self.messages[m];
-                let preds = &self.pred_pool[msg.preds.0 as usize..msg.preds.1 as usize];
-                if delivered[m]
-                    || slots.slots[m] > slot
-                    || preds.iter().any(|&p| !delivered[p as usize])
-                {
-                    continue;
-                }
-                // Every attempt pays transmit energy.
-                cost.tx_uj += msg.tx_uj;
-                if failures.is_down(
-                    msg.edge.0,
-                    msg.edge.1,
-                    round_salt.wrapping_add(u64::from(slot)),
-                ) {
-                    retransmissions += 1;
-                    continue;
-                }
-                cost.rx_uj += msg.rx_uj;
-                cost.messages += 1;
-                cost.units += msg.unit_count;
-                cost.payload_bytes += u64::from(msg.body);
-                delivered[m] = true;
-                remaining -= 1;
-                slots_used = slots_used.max(slot + 1);
-                progressed = true;
-            }
-            // Even slots with only failed attempts advance the clock.
-            if !progressed && remaining > 0 {
-                slots_used = slots_used.max(slot + 1);
-            }
-        }
-
-        ResilienceOutcome {
-            slots_used,
-            retransmissions,
-            cost,
-            delivered: remaining == 0,
-        }
-    }
-}
-
-/// Executes one round of `schedule` under `failures`, with `round_salt`
+/// Executes one round of `compiled` under `failures`, with `round_salt`
 /// decorrelating this round's failures from other rounds'.
 ///
 /// A message becomes *ready* once every message it waits for has been
 /// delivered; it is attempted in every slot from `max(its assigned slot,
-/// readiness)` until its link is up. Retries give up after `max_slots`.
+/// readiness)` until its link is up. Retries never give up on a message
+/// (the paper's acknowledge-and-retransmit hop contract), but the round
+/// as a whole is abandoned after `max_slots`.
 ///
-/// One-shot convenience over [`ResilienceExec`]; multi-round callers
-/// should build the executor once.
+/// One-shot convenience over [`FaultyExec`]; multi-round callers should
+/// build the engine once and call [`FaultyExec::run_delivery_only`] per
+/// round.
 pub fn execute_with_failures(
     network: &Network,
-    schedule: &Schedule,
-    slots: &SlotSchedule,
-    failures: &LinkFailureModel,
+    compiled: &CompiledSchedule,
+    failures: &DeliveryModel,
     round_salt: u64,
     max_slots: u32,
 ) -> ResilienceOutcome {
-    let exec = ResilienceExec::new(network, schedule);
-    let mut scratch = exec.scratch();
-    exec.run(slots, failures, round_salt, max_slots, &mut scratch)
+    let engine = FaultyExec::new(network, compiled);
+    let mut scratch = engine.scratch();
+    let policy = RetryPolicy::unlimited(max_slots);
+    let (slots_used, retransmissions, _dropped, cost, delivered) =
+        engine.run_delivery_only(failures, &policy, round_salt, &mut scratch);
+    ResilienceOutcome {
+        slots_used,
+        retransmissions,
+        cost,
+        delivered,
+    }
 }
 
 /// Averages [`execute_with_failures`] over `rounds` independent rounds.
 /// Returns `(mean slots, mean retransmissions, mean energy µJ, delivery
-/// rate)`. The executor is compiled once and reused for every round.
+/// rate)`. The fault engine is built once and reused for every round.
 pub fn average_over_rounds(
     network: &Network,
-    schedule: &Schedule,
-    slots: &SlotSchedule,
-    failures: &LinkFailureModel,
+    compiled: &CompiledSchedule,
+    failures: &DeliveryModel,
     rounds: u32,
     max_slots: u32,
 ) -> (f64, f64, f64, f64) {
-    let exec = ResilienceExec::new(network, schedule);
-    let mut scratch = exec.scratch();
+    let engine = FaultyExec::new(network, compiled);
+    let mut scratch = engine.scratch();
+    let policy = RetryPolicy::unlimited(max_slots);
     let mut slot_sum = 0.0;
     let mut retx_sum = 0.0;
     let mut energy_sum = 0.0;
-    let mut delivered = 0u32;
+    let mut delivered_rounds = 0u32;
     for r in 0..rounds {
-        let out = exec.run(
-            slots,
-            failures,
-            u64::from(r) * 1_000_003,
-            max_slots,
-            &mut scratch,
-        );
-        slot_sum += f64::from(out.slots_used);
-        retx_sum += out.retransmissions as f64;
-        energy_sum += out.cost.total_uj();
-        delivered += u32::from(out.delivered);
+        let salt = u64::from(r).wrapping_mul(crate::faults::SALT_STRIDE);
+        let (slots_used, retransmissions, _dropped, cost, delivered) =
+            engine.run_delivery_only(failures, &policy, salt, &mut scratch);
+        slot_sum += f64::from(slots_used);
+        retx_sum += retransmissions as f64;
+        energy_sum += cost.total_uj();
+        delivered_rounds += u32::from(delivered);
     }
     let n = f64::from(rounds);
     (
         slot_sum / n,
         retx_sum / n,
         energy_sum / n,
-        f64::from(delivered) / n,
+        f64::from(delivered_rounds) / n,
     )
 }
 
@@ -286,12 +133,11 @@ pub fn average_over_rounds(
 mod tests {
     use super::*;
     use crate::plan::GlobalPlan;
-    use crate::schedule::build_schedule;
     use crate::slots::assign_slots;
     use crate::workload::{generate_workload, WorkloadConfig};
     use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
 
-    fn setup() -> (Network, Schedule, SlotSchedule) {
+    fn setup() -> (Network, CompiledSchedule) {
         let net = Network::with_default_energy(Deployment::great_duck_island(6));
         let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 10, 2));
         let routing = RoutingTables::build(
@@ -300,52 +146,54 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let schedule = build_schedule(&spec, &plan).unwrap();
-        let slots = assign_slots(&net, &schedule);
-        (net, schedule, slots)
+        let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
+        (net, compiled)
     }
 
     #[test]
     fn reliable_links_match_the_static_schedule() {
-        let (net, schedule, slots) = setup();
-        let out = execute_with_failures(
-            &net,
-            &schedule,
-            &slots,
-            &LinkFailureModel::reliable(),
-            0,
-            10_000,
-        );
+        let (net, compiled) = setup();
+        let out = execute_with_failures(&net, &compiled, &DeliveryModel::reliable(), 0, 10_000);
         assert!(out.delivered);
         assert_eq!(out.retransmissions, 0);
+        let slots = assign_slots(&net, compiled.schedule());
         assert_eq!(out.slots_used, slots.slot_count);
-        let baseline = schedule.round_cost(net.energy());
+        let baseline = compiled.schedule().round_cost(net.energy());
         assert!((out.cost.total_uj() - baseline.total_uj()).abs() < 1e-6);
         assert_eq!(out.cost.messages, baseline.messages);
     }
 
     #[test]
-    fn compiled_exec_reuse_matches_one_shot() {
-        let (net, schedule, slots) = setup();
-        let exec = ResilienceExec::new(&net, &schedule);
-        let mut scratch = exec.scratch();
-        let flaky = LinkFailureModel::new(0.3, 5);
+    fn fault_engine_reuse_matches_one_shot() {
+        let (net, compiled) = setup();
+        let engine = FaultyExec::new(&net, &compiled);
+        let mut scratch = engine.scratch();
+        let policy = RetryPolicy::unlimited(10_000);
+        let flaky = DeliveryModel::uniform(0.3, 5);
         for salt in [0u64, 7, 99] {
-            let fresh = execute_with_failures(&net, &schedule, &slots, &flaky, salt, 10_000);
-            let reused = exec.run(&slots, &flaky, salt, 10_000, &mut scratch);
+            let fresh = execute_with_failures(&net, &compiled, &flaky, salt, 10_000);
+            let (slots_used, retransmissions, _, cost, delivered) =
+                engine.run_delivery_only(&flaky, &policy, salt, &mut scratch);
+            let reused = ResilienceOutcome {
+                slots_used,
+                retransmissions,
+                cost,
+                delivered,
+            };
             assert_eq!(fresh, reused, "salt={salt}");
         }
     }
 
     #[test]
     fn failures_cost_retransmissions_and_slots() {
-        let (net, schedule, slots) = setup();
-        let flaky = LinkFailureModel::new(0.3, 5);
-        let out = execute_with_failures(&net, &schedule, &slots, &flaky, 1, 10_000);
+        let (net, compiled) = setup();
+        let flaky = DeliveryModel::uniform(0.3, 5);
+        let out = execute_with_failures(&net, &compiled, &flaky, 1, 10_000);
         assert!(out.delivered);
         assert!(out.retransmissions > 0);
+        let slots = assign_slots(&net, compiled.schedule());
         assert!(out.slots_used >= slots.slot_count);
-        let baseline = schedule.round_cost(net.energy());
+        let baseline = compiled.schedule().round_cost(net.energy());
         assert!(
             out.cost.tx_uj > baseline.tx_uj,
             "failed attempts burn tx energy"
@@ -358,12 +206,11 @@ mod tests {
 
     #[test]
     fn energy_grows_with_failure_rate() {
-        let (net, schedule, slots) = setup();
+        let (net, compiled) = setup();
         let mut previous = 0.0;
         for p in [0.0, 0.2, 0.4] {
-            let model = LinkFailureModel::new(p, 9);
-            let (_, _, energy, delivery) =
-                average_over_rounds(&net, &schedule, &slots, &model, 10, 10_000);
+            let model = DeliveryModel::uniform(p, 9);
+            let (_, _, energy, delivery) = average_over_rounds(&net, &compiled, &model, 10, 10_000);
             assert_eq!(delivery, 1.0, "p={p} must still deliver eventually");
             assert!(energy >= previous, "energy must grow with p (p={p})");
             previous = energy;
@@ -391,30 +238,30 @@ mod tests {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let schedule = build_schedule(&spec, &plan).unwrap();
-        let critical = messages_on_critical_links(&net, &schedule);
-        assert_eq!(critical.len(), schedule.messages.len());
+        let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
+        let critical = messages_on_critical_links(&net, compiled.schedule());
+        assert_eq!(critical.len(), compiled.schedule().messages.len());
     }
 
     #[test]
     fn dense_networks_have_few_critical_messages() {
-        let (net, schedule, _) = setup();
-        let critical = messages_on_critical_links(&net, &schedule);
+        let (net, compiled) = setup();
+        let critical = messages_on_critical_links(&net, compiled.schedule());
         // The GDI layout is well-connected; only a small fraction of
         // traffic should ride bridges.
         assert!(
-            critical.len() * 4 <= schedule.messages.len(),
+            critical.len() * 4 <= compiled.schedule().messages.len(),
             "{} of {} messages on bridges",
             critical.len(),
-            schedule.messages.len()
+            compiled.schedule().messages.len()
         );
     }
 
     #[test]
     fn slot_budget_can_be_exhausted() {
-        let (net, schedule, slots) = setup();
-        let hopeless = LinkFailureModel::new(1.0, 2);
-        let out = execute_with_failures(&net, &schedule, &slots, &hopeless, 3, 50);
+        let (net, compiled) = setup();
+        let hopeless = DeliveryModel::uniform(1.0, 2);
+        let out = execute_with_failures(&net, &compiled, &hopeless, 3, 50);
         assert!(!out.delivered);
         assert_eq!(out.cost.messages, 0);
         assert!(out.retransmissions > 0);

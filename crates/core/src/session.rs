@@ -1,0 +1,503 @@
+//! The unified Session API: one object that owns the whole pipeline —
+//! plan maintenance, compiled execution, fault-tolerant rounds, and the
+//! quality-drift churn loop — configured through one typed
+//! [`Config`].
+//!
+//! Before this module, a full deployment required wiring five layers by
+//! hand: build routing tables, assemble a [`crate::plan::GlobalPlan`],
+//! compile it, keep a [`crate::dynamics::PlanMaintainer`] in sync, and
+//! (for lossy links) drive [`FaultyExec`] with fresh salts. [`Session`]
+//! packages that wiring behind a builder:
+//!
+//! ```
+//! use m2m_core::prelude::*;
+//!
+//! let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+//! let mut spec = AggregationSpec::new();
+//! spec.add_function(
+//!     NodeId(12),
+//!     AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(5), 2.0)]),
+//! );
+//! let session = Session::builder(net, spec)
+//!     .routing_mode(RoutingMode::ShortestPathTrees)
+//!     .build();
+//! let readings: std::collections::BTreeMap<NodeId, f64> =
+//!     session.network().nodes().map(|v| (v, 1.0)).collect();
+//! let (results, cost) = session.run_round(&readings);
+//! assert!((results[&NodeId(12)] - 3.0).abs() < 1e-9);
+//! assert!(cost.total_uj() > 0.0);
+//! ```
+//!
+//! The fault-tolerant loop adds a [`DeliveryModel`] and, optionally, a
+//! tracked [`LinkQuality`]: [`Session::run_round_lossy`] executes rounds
+//! under loss with the configured [`RetryPolicy`], feeding a
+//! [`DegradationTracker`]; [`Session::observe_quality`] closes the churn
+//! loop — ETX drift past the configured hysteresis rebuilds the routing
+//! tables ([`m2m_netsim::quality::weighted_routing`]), pushes them through
+//! the incremental maintainer, and recompiles only what changed.
+
+use std::collections::BTreeMap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::quality::{weighted_routing, LinkQuality};
+use m2m_netsim::{DeliveryModel, Network, RoutingMode, RoutingTables};
+
+use crate::config::Config;
+use crate::dynamics::{UpdateStats, WorkloadUpdate};
+use crate::exec::{run_epochs, CompiledSchedule, EpochDriver, EpochOutcome, ExecState};
+use crate::faults::{
+    ChurnController, DegradationTracker, FaultOutcome, FaultyExec, RetryPolicy, SALT_STRIDE,
+};
+use crate::metrics::RoundCost;
+use crate::spec::AggregationSpec;
+
+/// The default base salt for lossy rounds; chosen arbitrarily, fixed for
+/// replayability. Override with [`SessionBuilder::base_salt`].
+const DEFAULT_BASE_SALT: u64 = 0x6d32_6d5f_7365_6564; // "m2m_seed"
+
+/// Builder for [`Session`] — see the module docs for the full tour.
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    network: Network,
+    spec: AggregationSpec,
+    mode: RoutingMode,
+    config: Config,
+    delivery: DeliveryModel,
+    quality: Option<LinkQuality>,
+    base_salt: u64,
+}
+
+impl SessionBuilder {
+    /// Routing-tree construction mode (default:
+    /// [`RoutingMode::ShortestPathTrees`], the paper's standard
+    /// algorithm). Ignored for the *initial* routes when a tracked
+    /// quality is set (they are then ETX-weighted), but still used by
+    /// the maintainer for workload-driven re-routes.
+    #[must_use]
+    pub fn routing_mode(mut self, mode: RoutingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the configuration (default: [`Config::from_env`]).
+    #[must_use]
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The delivery model lossy rounds run under (default: reliable).
+    #[must_use]
+    pub fn delivery(mut self, model: DeliveryModel) -> Self {
+        self.delivery = model;
+        self
+    }
+
+    /// Tracks link quality: initial routes become ETX-weighted for this
+    /// baseline, and [`Session::observe_quality`] arms the churn loop
+    /// with the configured hysteresis.
+    #[must_use]
+    pub fn quality(mut self, quality: LinkQuality) -> Self {
+        self.quality = Some(quality);
+        self
+    }
+
+    /// Base salt for the lossy-round failure stream (fixed default, so
+    /// sessions are replayable; change it to decorrelate experiments).
+    #[must_use]
+    pub fn base_salt(mut self, salt: u64) -> Self {
+        self.base_salt = salt;
+        self
+    }
+
+    /// Builds the session: routes, plans, compiles.
+    ///
+    /// # Panics
+    /// Panics if the initial plan is unschedulable (Theorem 2 cycle).
+    pub fn build(self) -> Session {
+        self.config.apply();
+        let churn = self
+            .quality
+            .as_ref()
+            .map(|q| ChurnController::new(q.clone(), self.config.hysteresis()));
+        let mut driver = EpochDriver::new(self.network, self.spec, self.mode);
+        if let Some(quality) = &self.quality {
+            let demands = driver.maintainer().spec().source_to_destinations();
+            let routing = weighted_routing(driver.maintainer().network(), &demands, quality);
+            driver.apply_route_change(routing);
+        }
+        Session {
+            config: self.config,
+            driver,
+            delivery: self.delivery,
+            faults: None,
+            churn,
+            tracker: DegradationTracker::new(),
+            base_salt: self.base_salt,
+            rounds_run: 0,
+        }
+    }
+}
+
+/// One live aggregation deployment: plan, compiled executor, fault
+/// engine, and churn loop behind a single facade. Construct with
+/// [`Session::builder`].
+#[derive(Debug)]
+pub struct Session {
+    config: Config,
+    driver: EpochDriver,
+    delivery: DeliveryModel,
+    /// Lazily built, invalidated whenever the compiled schedule moves.
+    faults: Option<FaultyExec>,
+    churn: Option<ChurnController>,
+    tracker: DegradationTracker,
+    base_salt: u64,
+    /// Lossy rounds executed so far — advances the per-round salt.
+    rounds_run: u64,
+}
+
+impl Session {
+    /// Starts building a session for `spec` over `network`.
+    pub fn builder(network: Network, spec: AggregationSpec) -> SessionBuilder {
+        SessionBuilder {
+            network,
+            spec,
+            mode: RoutingMode::ShortestPathTrees,
+            config: Config::default(),
+            delivery: DeliveryModel::reliable(),
+            quality: None,
+            base_salt: DEFAULT_BASE_SALT,
+        }
+    }
+
+    /// The session's configuration.
+    #[inline]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The network the plan is maintained for.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        self.driver.maintainer().network()
+    }
+
+    /// The current workload.
+    #[inline]
+    pub fn spec(&self) -> &AggregationSpec {
+        self.driver.maintainer().spec()
+    }
+
+    /// The compiled executor for the current plan.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledSchedule {
+        self.driver.compiled()
+    }
+
+    /// The underlying epoch driver (maintainer, recompile counters).
+    #[inline]
+    pub fn driver(&self) -> &EpochDriver {
+        &self.driver
+    }
+
+    /// The delivery model lossy rounds run under.
+    #[inline]
+    pub fn delivery(&self) -> &DeliveryModel {
+        &self.delivery
+    }
+
+    /// Swaps the delivery model (takes effect from the next lossy round).
+    pub fn set_delivery(&mut self, model: DeliveryModel) {
+        self.delivery = model;
+    }
+
+    /// Per-destination staleness accumulated over lossy rounds.
+    #[inline]
+    pub fn degradation(&self) -> &DegradationTracker {
+        &self.tracker
+    }
+
+    /// The churn controller, if a tracked quality was configured.
+    #[inline]
+    pub fn churn(&self) -> Option<&ChurnController> {
+        self.churn.as_ref()
+    }
+
+    /// Executes one reliable round and returns `(results, cost)` — the
+    /// compiled fast path, numerically identical to the reference
+    /// executor.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_round(
+        &self,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> (BTreeMap<NodeId, f64>, RoundCost) {
+        let compiled = self.driver.compiled();
+        let mut state = ExecState::for_schedule(compiled);
+        let cost = compiled.run_round_on(readings, &mut state);
+        (state.result_map(compiled), cost)
+    }
+
+    /// Runs one reliable round per dense reading row (in
+    /// [`CompiledSchedule::sources`] slot order) across the configured
+    /// thread count.
+    pub fn run_epochs(&self, rounds: &[Vec<f64>]) -> Vec<EpochOutcome> {
+        run_epochs(
+            self.driver.compiled(),
+            rounds,
+            self.config.resolved_threads(),
+        )
+    }
+
+    /// The retry policy lossy rounds run under (from the configuration).
+    #[inline]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.config.retry_policy()
+    }
+
+    /// Executes one round under the session's delivery model and retry
+    /// policy, advancing the replayable salt stream and feeding the
+    /// degradation tracker.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_round_lossy(&mut self, readings: &BTreeMap<NodeId, f64>) -> FaultOutcome {
+        self.ensure_faults();
+        let policy = self.config.retry_policy();
+        let salt = self
+            .base_salt
+            .wrapping_add(self.rounds_run.wrapping_mul(SALT_STRIDE));
+        self.rounds_run += 1;
+        let faults = self.faults.as_ref().expect("ensured above");
+        let mut scratch = faults.scratch();
+        let out = faults.run_on(readings, &self.delivery, &policy, salt, &mut scratch);
+        self.tracker.observe(&out);
+        out
+    }
+
+    /// Runs one lossy round per dense reading row across the configured
+    /// thread count. Outcomes are in input order and identical at any
+    /// thread count; each round draws its own salt from the session's
+    /// stream, and every outcome feeds the degradation tracker.
+    pub fn run_rounds_lossy(&mut self, rounds: &[Vec<f64>]) -> Vec<FaultOutcome> {
+        self.ensure_faults();
+        let policy = self.config.retry_policy();
+        let salt = self
+            .base_salt
+            .wrapping_add(self.rounds_run.wrapping_mul(SALT_STRIDE));
+        self.rounds_run += rounds.len() as u64;
+        let faults = self.faults.as_ref().expect("ensured above");
+        let outcomes = faults.run_rounds(
+            rounds,
+            &self.delivery,
+            &policy,
+            salt,
+            self.config.resolved_threads(),
+        );
+        for out in &outcomes {
+            self.tracker.observe(out);
+        }
+        outcomes
+    }
+
+    /// Applies one workload update through the incremental maintainer;
+    /// the compiled executor (and the fault engine, lazily) resync.
+    pub fn apply(&mut self, update: WorkloadUpdate) -> UpdateStats {
+        let stats = self.driver.apply(update);
+        self.faults = None;
+        stats
+    }
+
+    /// Installs externally built routing tables and resyncs.
+    pub fn apply_route_change(&mut self, routing: RoutingTables) -> UpdateStats {
+        let stats = self.driver.apply_route_change(routing);
+        self.faults = None;
+        stats
+    }
+
+    /// The churn loop: compares `current` quality against the tracked
+    /// baseline; if the worst relative ETX drift exceeds the configured
+    /// hysteresis, rebuilds ETX-weighted routes, pushes them through the
+    /// maintainer (incremental re-optimization + recompile), and adopts
+    /// `current` as the new baseline. Returns the update stats when a
+    /// reroute fired, `None` when the drift was absorbed (or no quality
+    /// is tracked).
+    pub fn observe_quality(&mut self, current: &LinkQuality) -> Option<UpdateStats> {
+        let churn = self.churn.as_mut()?;
+        if !churn.should_reroute(current) {
+            return None;
+        }
+        churn.rebase(current.clone());
+        let demands = self.driver.maintainer().spec().source_to_destinations();
+        let routing = weighted_routing(self.driver.maintainer().network(), &demands, current);
+        let stats = self.driver.apply_route_change(routing);
+        self.faults = None;
+        Some(stats)
+    }
+
+    /// Writes the telemetry snapshot to the configured trace output, if
+    /// any, returning the path written (see [`Config::export_telemetry`]).
+    pub fn export_telemetry(&self) -> Option<String> {
+        self.config.export_telemetry()
+    }
+
+    fn ensure_faults(&mut self) {
+        if self.faults.is_none() {
+            self.faults = Some(FaultyExec::new(
+                self.driver.maintainer().network(),
+                self.driver.compiled(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use m2m_netsim::Deployment;
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn spec() -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_average([
+                (NodeId(0), 1.0),
+                (NodeId(1), 2.0),
+                (NodeId(6), 1.5),
+            ]),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(2), 3.0)]),
+        );
+        s
+    }
+
+    fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
+        net.nodes()
+            .map(|v| (v, f64::from(v.0) * 0.5 + 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn session_round_matches_the_reference_results() {
+        let net = network();
+        let spec = spec();
+        let session = Session::builder(net, spec.clone()).build();
+        let vals = readings(session.network());
+        let (results, cost) = session.run_round(&vals);
+        assert!(cost.total_uj() > 0.0);
+        for (d, f) in spec.functions() {
+            let expected = f.reference_result(&vals);
+            assert!((results[&d] - expected).abs() < 1e-9, "destination {d}");
+        }
+    }
+
+    #[test]
+    fn reliable_lossy_rounds_agree_with_the_plain_path() {
+        let net = network();
+        let mut session = Session::builder(net, spec())
+            .config(Config::builder().retries(4).build())
+            .build();
+        let vals = readings(session.network());
+        let (plain, _) = session.run_round(&vals);
+        let out = session.run_round_lossy(&vals);
+        assert!(out.delivered);
+        let dests: Vec<NodeId> = session.compiled().destinations().collect();
+        for (i, d) in dests.iter().enumerate() {
+            assert_eq!(out.results[i], Some(plain[d]), "destination {d}");
+        }
+        assert_eq!(session.degradation().rounds(), 1);
+        assert_eq!(session.degradation().max_staleness(), 0);
+    }
+
+    #[test]
+    fn lossy_batches_are_replayable_and_feed_the_tracker() {
+        let net = network();
+        let build = || {
+            Session::builder(network(), spec())
+                .delivery(DeliveryModel::uniform(0.3, 9))
+                .build()
+        };
+        let slots = build().compiled().sources().len();
+        let rounds: Vec<Vec<f64>> = (0..6)
+            .map(|r| (0..slots).map(|s| (r + s) as f64).collect())
+            .collect();
+        let _ = net;
+        let mut a = build();
+        let mut b = build();
+        let batch = a.run_rounds_lossy(&rounds);
+        assert_eq!(batch, b.run_rounds_lossy(&rounds));
+        assert_eq!(a.degradation().rounds(), 6);
+        // Sequential singles draw the same salts as the batch.
+        let mut c = build();
+        let dense_maps: Vec<BTreeMap<NodeId, f64>> = rounds
+            .iter()
+            .map(|row| {
+                c.compiled()
+                    .sources()
+                    .ids()
+                    .iter()
+                    .zip(row)
+                    .map(|(&s, &v)| (s, v))
+                    .collect()
+            })
+            .collect();
+        let singles: Vec<FaultOutcome> = dense_maps.iter().map(|m| c.run_round_lossy(m)).collect();
+        assert_eq!(singles, batch);
+    }
+
+    #[test]
+    fn quality_drift_past_hysteresis_reroutes_once() {
+        let net = network();
+        let base = LinkQuality::distance_based(&net, 0.15, 3);
+        let mut session = Session::builder(net, spec())
+            .quality(base.clone())
+            .config(Config::builder().hysteresis(0.3).build())
+            .build();
+        // In-threshold drift: absorbed.
+        assert!(session.observe_quality(&base.with_drift(0.02, 5)).is_none());
+        assert_eq!(session.churn().unwrap().suppressed(), 1);
+        let recompiles_before = session.driver().recompiles();
+        // Collapse one link the plan uses: drift blows past 30%.
+        let mut bad = base.clone();
+        let ((a, b), _) = base.links().next().unwrap();
+        bad.set_loss(a, b, 0.9);
+        let stats = session.observe_quality(&bad);
+        assert!(stats.is_some(), "reroute must fire");
+        assert_eq!(session.churn().unwrap().reroutes(), 1);
+        assert!(session.driver().recompiles() >= recompiles_before);
+        // Rebased: the same quality no longer trips the gate.
+        assert!(session.observe_quality(&bad).is_none());
+        // The session still answers correctly after the reroute.
+        let vals = readings(session.network());
+        let (results, _) = session.run_round(&vals);
+        let expected = session
+            .spec()
+            .function(NodeId(15))
+            .unwrap()
+            .reference_result(&vals);
+        assert!((results[&NodeId(15)] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_updates_invalidate_the_fault_engine() {
+        let mut session = Session::builder(network(), spec()).build();
+        let vals = readings(session.network());
+        let out = session.run_round_lossy(&vals);
+        assert_eq!(out.results.len(), 2);
+        session.apply(WorkloadUpdate::AddDestination {
+            destination: NodeId(9),
+            function: AggregateFunction::weighted_sum([(NodeId(4), 1.0), (NodeId(8), 1.0)]),
+        });
+        let out = session.run_round_lossy(&vals);
+        assert_eq!(out.results.len(), 3, "new destination joins the results");
+        assert!(out.delivered);
+    }
+}

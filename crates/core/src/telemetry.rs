@@ -85,6 +85,24 @@ pub mod names {
     /// Updates absorbed as in-place weight refreshes.
     pub const EXEC_REFRESHES: &str = "exec.refreshes";
 
+    /// Fault-tolerant rounds executed ([`crate::faults::FaultyExec`]).
+    pub const FAULTS_ROUNDS: &str = "faults.rounds";
+    /// Failed transmission attempts, summed over fault-tolerant rounds.
+    pub const FAULTS_RETRANSMISSIONS: &str = "faults.retransmissions";
+    /// Messages abandoned after exhausting their retry budget.
+    pub const FAULTS_DROPPED_MESSAGES: &str = "faults.dropped_messages";
+    /// Destinations that ended a round with partial source coverage.
+    pub const FAULTS_DEGRADED_DESTINATIONS: &str = "faults.degraded_destinations";
+    /// Fault-executor lowerings ([`crate::faults::FaultyExec::new`]).
+    pub const FAULTS_BUILDS: &str = "faults.builds";
+    /// Distribution of fault-tolerant round wall time, ns.
+    pub const FAULTS_ROUND_NS: &str = "faults.round.ns";
+    /// Route recomputations triggered by ETX drift past the hysteresis
+    /// threshold ([`crate::faults::ChurnController`]).
+    pub const FAULTS_REROUTES: &str = "faults.reroutes";
+    /// Drift observations absorbed below the hysteresis threshold.
+    pub const FAULTS_REROUTES_SUPPRESSED: &str = "faults.reroutes_suppressed";
+
     // Routing-tree construction counters are defined next to their site
     // in `m2m-netsim` (which cannot depend on this crate); re-exported
     // here so consumers have one namespace.

@@ -2,11 +2,24 @@
 //!
 //! §3 motivates milestone routing with routes that are "susceptible to
 //! transient failures": a link may be down for a round and recover later.
-//! The model here is deterministic given a seed — each (link, round) pair
-//! fails independently with probability `p` — so experiments are exactly
-//! reproducible.
+//! The models here are deterministic given a seed — reproducibility is a
+//! hard requirement for the fault-tolerant executor, whose outcomes are
+//! digest-compared across runs and thread counts.
+//!
+//! Three delivery models are provided behind one dispatch type,
+//! [`DeliveryModel`]:
+//!
+//! * [`LinkFailureModel`] — uniform per-(link, tick) Bernoulli loss,
+//! * a per-link Bernoulli map derived from [`crate::quality::LinkQuality`]
+//!   (lossier links drop more frames, matching their ETX),
+//! * [`FailureTrace`] — scripted down-intervals for exact replay of a
+//!   specific failure scenario.
+
+use std::collections::BTreeMap;
 
 use m2m_graph::NodeId;
+
+use crate::quality::LinkQuality;
 
 /// Independent per-(link, round) Bernoulli failures.
 #[derive(Clone, Copy, Debug)]
@@ -50,15 +63,143 @@ impl LinkFailureModel {
         if self.failure_probability >= 1.0 {
             return true;
         }
-        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for word in [u64::from(lo), u64::from(hi), round] {
-            h ^= word;
-            h = splitmix64(h);
+        link_tick_unit(a, b, round, self.seed) < self.failure_probability
+    }
+}
+
+/// Maps a (link, tick, seed) triple to a uniform value in `[0, 1)` with
+/// 53-bit precision; symmetric in the endpoints.
+fn link_tick_unit(a: NodeId, b: NodeId, tick: u64, seed: u64) -> f64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for word in [u64::from(lo), u64::from(hi), tick] {
+        h ^= word;
+        h = splitmix64(h);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A scripted failure schedule: each undirected link is down during an
+/// explicit set of half-open tick intervals `[from, until)`. Unlike the
+/// Bernoulli models, a trace replays one *specific* scenario — the same
+/// partition at the same tick every run, independent of any seed — which
+/// is what the resilience benchmarks commit to disk.
+#[derive(Clone, Debug, Default)]
+pub struct FailureTrace {
+    /// Down intervals per undirected link, keyed `(min, max)`.
+    down: BTreeMap<(NodeId, NodeId), Vec<(u64, u64)>>,
+}
+
+impl FailureTrace {
+    /// An empty trace (no link ever fails).
+    pub fn new() -> Self {
+        FailureTrace::default()
+    }
+
+    /// Marks link `{a, b}` down for ticks `from..until` (half-open).
+    /// Builder-style; intervals may overlap.
+    ///
+    /// # Panics
+    /// Panics if `from >= until` (an empty interval is a scripting bug).
+    #[must_use]
+    pub fn down(mut self, a: NodeId, b: NodeId, from: u64, until: u64) -> Self {
+        assert!(from < until, "empty down interval [{from}, {until})");
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.down.entry(key).or_default().push((from, until));
+        self
+    }
+
+    /// True if link `{a, b}` is scripted down at `tick`.
+    pub fn is_down(&self, a: NodeId, b: NodeId, tick: u64) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.down
+            .get(&key)
+            .is_some_and(|iv| iv.iter().any(|&(from, until)| from <= tick && tick < until))
+    }
+
+    /// Number of links with at least one scripted down interval.
+    pub fn link_count(&self) -> usize {
+        self.down.len()
+    }
+}
+
+/// A per-(link, tick) delivery oracle: the one question the fault-aware
+/// executor asks — "does a frame sent on `{a, b}` at `tick` get through?"
+/// — answered deterministically by one of three models.
+#[derive(Clone, Debug)]
+pub enum DeliveryModel {
+    /// Uniform Bernoulli loss: every link drops with the same probability.
+    Bernoulli(LinkFailureModel),
+    /// Per-link Bernoulli loss (each link drops with its own probability,
+    /// typically its [`LinkQuality`] loss).
+    PerLink {
+        /// Loss probability per undirected link, keyed `(min, max)`.
+        /// Links absent from the map never drop.
+        loss: BTreeMap<(NodeId, NodeId), f64>,
+        /// Seed decorrelating drops from other randomness.
+        seed: u64,
+    },
+    /// Scripted down intervals.
+    Trace(FailureTrace),
+}
+
+impl DeliveryModel {
+    /// Every frame is delivered.
+    pub fn reliable() -> Self {
+        DeliveryModel::Bernoulli(LinkFailureModel::reliable())
+    }
+
+    /// Uniform loss probability `p` on every link.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    pub fn uniform(p: f64, seed: u64) -> Self {
+        DeliveryModel::Bernoulli(LinkFailureModel::new(p, seed))
+    }
+
+    /// Per-link loss taken from a [`LinkQuality`] map: each link drops
+    /// frames with exactly its modeled loss probability, so ETX and
+    /// realized retransmission counts agree in expectation.
+    pub fn from_quality(quality: &LinkQuality, seed: u64) -> Self {
+        DeliveryModel::PerLink {
+            loss: quality.links().collect(),
+            seed,
         }
-        // Map to [0, 1) with 53-bit precision.
-        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.failure_probability
+    }
+
+    /// A scripted trace.
+    pub fn trace(trace: FailureTrace) -> Self {
+        DeliveryModel::Trace(trace)
+    }
+
+    /// True if a frame sent on link `{a, b}` at `tick` is lost.
+    /// Deterministic and symmetric in the endpoints.
+    pub fn is_down(&self, a: NodeId, b: NodeId, tick: u64) -> bool {
+        match self {
+            DeliveryModel::Bernoulli(m) => m.is_down(a, b, tick),
+            DeliveryModel::PerLink { loss, seed } => {
+                let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                let p = loss.get(&key).copied().unwrap_or(0.0);
+                if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    link_tick_unit(a, b, tick, *seed) < p
+                }
+            }
+            DeliveryModel::Trace(t) => t.is_down(a, b, tick),
+        }
+    }
+
+    /// True if no frame can ever be lost under this model (used to skip
+    /// fault bookkeeping entirely on the lossless fast path).
+    pub fn is_reliable(&self) -> bool {
+        match self {
+            DeliveryModel::Bernoulli(m) => m.failure_probability <= 0.0,
+            DeliveryModel::PerLink { loss, .. } => loss.values().all(|&p| p <= 0.0),
+            DeliveryModel::Trace(t) => t.down.is_empty(),
+        }
     }
 }
 
@@ -129,5 +270,83 @@ mod tests {
     #[should_panic(expected = "must be in")]
     fn invalid_probability_panics() {
         LinkFailureModel::new(1.5, 0);
+    }
+
+    #[test]
+    fn trace_intervals_are_half_open_and_symmetric() {
+        let t =
+            FailureTrace::new()
+                .down(NodeId(4), NodeId(1), 3, 6)
+                .down(NodeId(1), NodeId(4), 10, 11);
+        assert!(!t.is_down(NodeId(1), NodeId(4), 2));
+        assert!(t.is_down(NodeId(1), NodeId(4), 3));
+        assert!(t.is_down(NodeId(4), NodeId(1), 5));
+        assert!(!t.is_down(NodeId(1), NodeId(4), 6));
+        assert!(t.is_down(NodeId(1), NodeId(4), 10));
+        assert!(!t.is_down(NodeId(1), NodeId(4), 11));
+        assert_eq!(t.link_count(), 1);
+        assert!(
+            !t.is_down(NodeId(0), NodeId(1), 4),
+            "unscripted link stays up"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty down interval")]
+    fn empty_trace_interval_panics() {
+        let _ = FailureTrace::new().down(NodeId(0), NodeId(1), 5, 5);
+    }
+
+    #[test]
+    fn delivery_model_reliable_and_uniform_match_bernoulli() {
+        let reliable = DeliveryModel::reliable();
+        assert!(reliable.is_reliable());
+        let uniform = DeliveryModel::uniform(0.5, 9);
+        assert!(!uniform.is_reliable());
+        let raw = LinkFailureModel::new(0.5, 9);
+        for tick in 0..200 {
+            assert!(!reliable.is_down(NodeId(0), NodeId(1), tick));
+            assert_eq!(
+                uniform.is_down(NodeId(3), NodeId(8), tick),
+                raw.is_down(NodeId(3), NodeId(8), tick)
+            );
+        }
+    }
+
+    #[test]
+    fn per_link_model_respects_individual_probabilities() {
+        let mut loss = BTreeMap::new();
+        loss.insert((NodeId(0), NodeId(1)), 0.0);
+        loss.insert((NodeId(1), NodeId(2)), 1.0);
+        loss.insert((NodeId(2), NodeId(3)), 0.4);
+        let m = DeliveryModel::PerLink { loss, seed: 21 };
+        let mut drops = 0u32;
+        for tick in 0..5_000 {
+            assert!(!m.is_down(NodeId(0), NodeId(1), tick));
+            assert!(
+                m.is_down(NodeId(2), NodeId(1), tick),
+                "p=1 link always down"
+            );
+            // Unknown links never drop.
+            assert!(!m.is_down(NodeId(7), NodeId(9), tick));
+            if m.is_down(NodeId(2), NodeId(3), tick) {
+                drops += 1;
+            }
+        }
+        let rate = f64::from(drops) / 5_000.0;
+        assert!((rate - 0.4).abs() < 0.03, "rate {rate} too far from 0.4");
+    }
+
+    #[test]
+    fn trace_model_is_exactly_reproducible() {
+        let build = || DeliveryModel::trace(FailureTrace::new().down(NodeId(2), NodeId(5), 1, 4));
+        let (a, b) = (build(), build());
+        assert!(!a.is_reliable());
+        for tick in 0..10 {
+            assert_eq!(
+                a.is_down(NodeId(2), NodeId(5), tick),
+                b.is_down(NodeId(2), NodeId(5), tick)
+            );
+        }
     }
 }

@@ -17,7 +17,9 @@
 //!   algorithm") plus a strict shared-spanning-tree mode that satisfies the
 //!   §2.1 path-sharing restriction by construction,
 //! * [`failure`] — seeded transient link-failure injection used by the
-//!   milestone-routing experiments.
+//!   milestone-routing experiments, plus the [`DeliveryModel`] /
+//!   [`FailureTrace`] per-frame delivery oracles behind the fault-aware
+//!   executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +34,7 @@ pub mod routing;
 
 pub use deployment::Deployment;
 pub use energy::EnergyModel;
+pub use failure::{DeliveryModel, FailureTrace, LinkFailureModel};
 pub use network::Network;
 pub use position::Position;
 pub use quality::LinkQuality;

@@ -84,6 +84,44 @@ impl LinkQuality {
     pub fn path_etx(&self, path: &[NodeId]) -> f64 {
         path.windows(2).map(|w| self.etx(w[0], w[1])).sum()
     }
+
+    /// Iterates all modeled links as `((min, max), loss)`.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), f64)> + '_ {
+        self.loss.iter().map(|(&k, &p)| (k, p))
+    }
+
+    /// Overrides the loss probability of link `{a, b}` (inserting the
+    /// link if it was not modeled). Used by churn drivers that degrade or
+    /// repair individual links over time.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ p ≤ 1.0`.
+    pub fn set_loss(&mut self, a: NodeId, b: NodeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss must be in [0, 1]");
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.loss.insert(key, p);
+    }
+
+    /// A drifted copy: each link's loss is scaled by a seeded factor in
+    /// `[1 − magnitude, 1 + magnitude]` and clamped to `[0, 0.99]`. Models
+    /// gradual environment-driven quality drift for churn experiments;
+    /// deterministic per seed.
+    #[must_use]
+    pub fn with_drift(&self, magnitude: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&magnitude),
+            "magnitude must be in [0, 1]"
+        );
+        let loss = self
+            .loss
+            .iter()
+            .map(|(&(a, b), &p)| {
+                let jitter = (hash_unit(a.0, b.0, seed) * 2.0 - 1.0) * magnitude;
+                ((a, b), (p * (1.0 + jitter)).clamp(0.0, 0.99))
+            })
+            .collect();
+        LinkQuality { loss }
+    }
 }
 
 /// Deterministic unit-interval hash for per-link jitter.

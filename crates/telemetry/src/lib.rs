@@ -419,7 +419,8 @@ impl Level {
         }
     }
 
-    fn parse(v: &str) -> Option<Level> {
+    /// Parses a level name (`"warn"`, `"3"`, …) as accepted by `M2M_LOG`.
+    pub fn parse(v: &str) -> Option<Level> {
         Some(match v.trim().to_ascii_lowercase().as_str() {
             "off" | "0" | "none" | "quiet" => Level::Off,
             "error" | "1" => Level::Error,

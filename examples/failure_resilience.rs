@@ -6,14 +6,14 @@
 //! cargo run --example failure_resilience
 //! ```
 
+use m2m_core::exec::CompiledSchedule;
 use m2m_core::milestones::{build_milestone_routing, expected_round_cost, MilestoneConfig};
 use m2m_core::plan::GlobalPlan;
 use m2m_core::prelude::*;
 use m2m_core::resilience::{average_over_rounds, critical_links, messages_on_critical_links};
-use m2m_core::schedule::build_schedule;
 use m2m_core::slots::assign_slots;
 use m2m_core::workload::generate_workload;
-use m2m_netsim::failure::LinkFailureModel;
+use m2m_netsim::failure::DeliveryModel;
 
 fn main() {
     let network = Network::with_default_energy(Deployment::great_duck_island(77));
@@ -24,33 +24,33 @@ fn main() {
         RoutingMode::ShortestPathTrees,
     );
     let plan = GlobalPlan::build(&network, &spec, &routing);
-    let schedule = build_schedule(&spec, &plan).expect("schedulable");
-    let slots = assign_slots(&network, &schedule);
+    let compiled = CompiledSchedule::compile(&network, &spec, &plan).expect("schedulable");
+    let slots = assign_slots(&network, compiled.schedule());
 
     println!(
         "plan: {} | slots: {} (radio-on {:.0}% of round)",
         plan.summary(),
         slots.slot_count,
-        slots.listen_fraction(&schedule, &network) * 100.0
+        slots.listen_fraction(compiled.schedule(), &network) * 100.0
     );
 
     // Critical links: bridges of the radio graph have no detour.
     let bridges = critical_links(&network);
-    let risky = messages_on_critical_links(&network, &schedule);
+    let risky = messages_on_critical_links(&network, compiled.schedule());
     println!(
         "critical links: {} of {} radio links; {} of {} messages cross one",
         bridges.len(),
         network.graph().edge_count(),
         risky.len(),
-        schedule.messages.len()
+        compiled.schedule().messages.len()
     );
 
     // Retransmissions under increasing failure rates.
     println!("\nfailure_p  slots  retransmissions  energy(mJ)  delivery");
     for p in [0.0, 0.1, 0.2, 0.4] {
-        let model = LinkFailureModel::new(p, 11);
+        let model = DeliveryModel::uniform(p, 11);
         let (mean_slots, retx, energy, delivery) =
-            average_over_rounds(&network, &schedule, &slots, &model, 20, 10_000);
+            average_over_rounds(&network, &compiled, &model, 20, 10_000);
         println!(
             "{p:>9.1} {mean_slots:>6.1} {retx:>16.1} {:>11.2} {delivery:>9.2}",
             energy / 1000.0

@@ -112,16 +112,19 @@ fn main() {
     // Execute a round and check every destination.
     let readings: BTreeMap<NodeId, f64> =
         network.nodes().map(|v| (v, f64::from(v.0) + 1.0)).collect();
-    let round = execute_round(&network, &spec, &plan, &readings);
+    let compiled = CompiledSchedule::compile(&network, &spec, &plan).expect("plan is schedulable");
+    let mut state = ExecState::for_schedule(&compiled);
+    let cost = compiled.run_round_on(&readings, &mut state);
+    let results = state.result_map(&compiled);
     println!("\nround results:");
-    for (dest, value) in &round.results {
+    for (dest, value) in &results {
         let expected = spec.function(*dest).unwrap().reference_result(&readings);
         assert!((value - expected).abs() < 1e-9);
         println!("  f_{} = {value}", name(*dest));
     }
     println!(
         "round energy: {:.2} mJ in {} messages (one per tree edge)",
-        round.cost.total_mj(),
-        round.cost.messages
+        cost.total_mj(),
+        cost.messages
     );
 }

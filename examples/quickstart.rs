@@ -1,6 +1,6 @@
 //! Quickstart: build a network, declare two aggregation functions, let the
 //! optimizer balance multicast against in-network aggregation, and execute
-//! one round.
+//! one round through the [`Session`] facade.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -41,14 +41,13 @@ fn main() {
         ]),
     );
 
-    // One multicast tree per source, then the per-edge optimal plan.
-    let routing = RoutingTables::build(
-        &network,
-        &spec.source_to_destinations(),
-        RoutingMode::ShortestPathTrees,
-    );
-    let plan = GlobalPlan::build(&network, &spec, &routing);
-    plan.validate(&spec, &routing).expect("plan is consistent");
+    // One Session wires routing, the per-edge optimal plan, and the
+    // compiled executor together; `Config` would add thread/trace/retry
+    // knobs here if the defaults ever need overriding.
+    let session = Session::builder(network, spec.clone())
+        .routing_mode(RoutingMode::ShortestPathTrees)
+        .build();
+    let plan = session.driver().maintainer().plan();
     println!(
         "plan: {} edges, {} message units, {} payload bytes/round, {} repairs",
         plan.solutions().len(),
@@ -59,26 +58,37 @@ fn main() {
 
     // Execute one round on synthetic readings and verify the results
     // against direct computation.
-    let readings: BTreeMap<NodeId, f64> = network
+    let readings: BTreeMap<NodeId, f64> = session
+        .network()
         .nodes()
         .map(|v| (v, 20.0 + f64::from(v.0 % 7)))
         .collect();
-    let round = execute_round(&network, &spec, &plan, &readings);
-    for (dest, value) in &round.results {
+    let (results, cost) = session.run_round(&readings);
+    for (dest, value) in &results {
         let expected = spec.function(*dest).unwrap().reference_result(&readings);
         println!("destination {dest}: aggregate = {value:.4} (expected {expected:.4})");
         assert!((value - expected).abs() < 1e-9);
     }
     println!(
         "round energy: {:.2} mJ across {} messages",
-        round.cost.total_mj(),
-        round.cost.messages
+        cost.total_mj(),
+        cost.messages
     );
 
     // Compare with the single-technique baselines.
+    let routing = RoutingTables::build(
+        session.network(),
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
     for alg in [Algorithm::Multicast, Algorithm::Aggregation] {
-        let baseline = plan_for_algorithm(&network, &spec, &routing, alg);
-        let cost = execute_round(&network, &spec, &baseline, &readings).cost;
-        println!("{:<12} {:.2} mJ", alg.name(), cost.total_mj());
+        let baseline = plan_for_algorithm(session.network(), &spec, &routing, alg);
+        let compiled = CompiledSchedule::compile(session.network(), &spec, &baseline)
+            .expect("baseline plan is schedulable");
+        println!(
+            "{:<12} {:.2} mJ",
+            alg.name(),
+            compiled.round_cost().total_mj()
+        );
     }
 }

@@ -89,8 +89,8 @@ fn main() {
     // Functions 0..3 in each node's block run on unit readings (their
     // weights encode the regressors); functions 3..5 run on the field.
     // Execute both rounds and stitch the statistics per model node.
-    let (unit_results, cost_a) = plan.execute_round(&network, &multi, &unit_readings);
-    let (field_results, cost_b) = plan.execute_round(&network, &multi, &field_readings);
+    let (unit_results, cost_a) = plan.execute_round(&multi, &unit_readings);
+    let (field_results, cost_b) = plan.execute_round(&multi, &field_readings);
 
     println!("\nmodel    n    slope(est)  slope(true)");
     let mut i = 0;

@@ -68,29 +68,33 @@ fn main() {
     let mut optimal_mj = 0.0;
     for alg in Algorithm::PLANNED {
         let plan = plan_for_algorithm(&network, &spec, &routing, alg);
-        let round = execute_round(&network, &spec, &plan, &readings);
+        let compiled =
+            CompiledSchedule::compile(&network, &spec, &plan).expect("plan is schedulable");
+        let mut state = ExecState::for_schedule(&compiled);
+        let cost = compiled.run_round_on(&readings, &mut state);
+        let results = state.result_map(&compiled);
         if alg == Algorithm::Optimal {
-            optimal_mj = round.cost.total_mj();
+            optimal_mj = cost.total_mj();
             // Confirm the hot camera sees far more activity than cameras
             // far from the burst (nearby cameras may legitimately see it
             // too — node ids do not correlate with geography).
-            let hot_score = round.results[&hot];
+            let hot_score = results[&hot];
             for &cam in &cameras[1..] {
                 if network.hop_distance(hot, cam).unwrap_or(0) > 4 {
-                    assert!(round.results[&cam] < hot_score);
+                    assert!(results[&cam] < hot_score);
                 }
             }
         }
-        for (d, v) in &round.results {
+        for (d, v) in &results {
             let expected = spec.function(*d).unwrap().reference_result(&readings);
             assert!((v - expected).abs() < 1e-9);
         }
         println!(
             "{:<12} {:>11.2} {:>9} {:>6}",
             alg.name(),
-            round.cost.total_mj(),
-            round.cost.messages,
-            round.cost.units
+            cost.total_mj(),
+            cost.messages,
+            cost.units
         );
     }
     let flood = flood_round_cost(&network, &spec);

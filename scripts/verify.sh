@@ -13,11 +13,20 @@
 # the tracing-*disabled* hot path must agree across the two runs within
 # M2M_SMOKE_TOL percent (default 2 — the disabled path is the same code
 # either way, so anything beyond noise means the flag leaked into it).
+#
+# Resilience gate: a smoke run of the fault-tolerance benchmark (asserts
+# the lossy executor at p=0 is bit-identical to the compiled path and
+# that lossy batches are thread-count invariant, and must print the same
+# per-scenario digests across two back-to-back runs), plus a schema
+# check of the committed BENCH_resilience.json artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The interpreted reference executor is feature-gated out of the default
+# build; keep its equivalence property in the gate explicitly.
+cargo test -q -p m2m-core --features test-oracle --test exec_equivalence
 cargo fmt --all -- --check
 cargo clippy --all-targets -- -D warnings
 
@@ -53,4 +62,15 @@ BEGIN {
 }' || { echo "verify: FAIL — disabled-path timing drifted beyond tolerance" >&2; exit 1; }
 
 echo "verify: telemetry gate OK (digest $digest_off)"
+
+./target/release/bench_resilience --smoke > "$tmpdir/res1.txt"
+./target/release/bench_resilience --smoke > "$tmpdir/res2.txt"
+if ! diff <(grep '^smoke_digest_' "$tmpdir/res1.txt") \
+          <(grep '^smoke_digest_' "$tmpdir/res2.txt"); then
+    echo "verify: FAIL — resilience smoke digests drifted between runs" >&2
+    exit 1
+fi
+./target/release/bench_resilience --check BENCH_resilience.json
+
+echo "verify: resilience gate OK ($(grep -c '^smoke_digest_' "$tmpdir/res1.txt") scenarios)"
 echo "verify: OK"

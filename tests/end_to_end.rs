@@ -8,10 +8,34 @@ use std::collections::BTreeMap;
 
 use m2m_core::agg::AggregateKind;
 use m2m_core::baselines::{plan_for_algorithm, Algorithm};
-use m2m_core::runtime::execute_round;
+use m2m_core::exec::{CompiledSchedule, ExecState};
+use m2m_core::metrics::RoundCost;
+use m2m_core::plan::GlobalPlan;
+use m2m_core::spec::AggregationSpec;
 use m2m_core::workload::{generate_workload, SourceSelection, WorkloadConfig};
 use m2m_graph::NodeId;
 use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+struct Round {
+    results: BTreeMap<NodeId, f64>,
+    cost: RoundCost,
+}
+
+/// One round on the compiled executor (the public execution surface).
+fn execute_round(
+    net: &Network,
+    spec: &AggregationSpec,
+    plan: &GlobalPlan,
+    readings: &BTreeMap<NodeId, f64>,
+) -> Round {
+    let compiled = CompiledSchedule::compile(net, spec, plan).expect("plan must be schedulable");
+    let mut state = ExecState::for_schedule(&compiled);
+    let cost = compiled.run_round_on(readings, &mut state);
+    Round {
+        results: state.result_map(&compiled),
+        cost,
+    }
+}
 
 fn readings_for(net: &Network, salt: u64) -> BTreeMap<NodeId, f64> {
     net.nodes()

@@ -10,6 +10,9 @@
 //! counts — over any deployment, workload, and routing mode, and the
 //! batched epoch driver must reproduce the serial outcome at any thread
 //! count.
+//!
+//! The reference executor only exists behind the `test-oracle` feature
+//! (run with `cargo test --features test-oracle --test exec_equivalence`).
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,146 @@
+//! Property: the loss-aware executor is the compiled executor plus loss.
+//!
+//! With a perfectly reliable [`DeliveryModel`] every retry policy must be
+//! inert: [`m2m_core::faults::FaultyExec`] has to reproduce the plain
+//! [`m2m_core::exec::CompiledSchedule`] round *bit for bit* — same `f64`
+//! bits at every destination, same [`m2m_core::metrics::RoundCost`], full
+//! coverage, zero retransmissions — over any deployment, workload, and
+//! routing mode. And under real loss, the batched
+//! [`m2m_core::faults::FaultyExec::run_rounds`] driver must be a pure
+//! function of `(readings, model, policy, base_salt)`: identical outcomes
+//! at 1, 2, and 8 worker threads.
+
+use std::collections::BTreeMap;
+
+use m2m_core::exec::{CompiledSchedule, ExecState};
+use m2m_core::faults::{FaultyExec, RetryPolicy};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_graph::NodeId;
+use m2m_netsim::{DeliveryModel, Deployment, Network, RoutingMode, RoutingTables};
+use proptest::prelude::*;
+
+fn reading(source: NodeId, round: usize, salt: u64) -> f64 {
+    let s = source.index() as f64;
+    let r = round as f64;
+    let k = salt as f64;
+    (s * 0.73 + r * 1.19 + k * 0.057).sin() * 35.0 + s * 0.01
+}
+
+fn compile_for(
+    net: &Network,
+    spec: &m2m_core::spec::AggregationSpec,
+    mode: RoutingMode,
+) -> CompiledSchedule {
+    let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
+    let plan = GlobalPlan::build(net, spec, &routing);
+    CompiledSchedule::compile(net, spec, &plan).expect("plan must be schedulable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// p = 0 with any retry budget is the identity: the lossy path must
+    /// hand back the plain compiled round untouched.
+    #[test]
+    fn reliable_links_make_the_lossy_executor_exact(
+        place_seed in 0u64..10_000,
+        wl_seed in 0u64..10_000,
+        value_salt in 0u64..10_000,
+        round_salt in 0u64..1_000_000,
+        dest_count in 4usize..12,
+        sources_per in 3usize..9,
+        mode_pick in 0usize..3,
+    ) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(place_seed));
+        let spec = generate_workload(
+            &net,
+            &WorkloadConfig::paper_default(dest_count, sources_per, wl_seed),
+        );
+        let mode = match mode_pick {
+            0 => RoutingMode::ShortestPathTrees,
+            1 => RoutingMode::SharedSpanningTree,
+            _ => RoutingMode::SteinerTrees,
+        };
+        let compiled = compile_for(&net, &spec, mode);
+
+        let readings_map: BTreeMap<NodeId, f64> = compiled
+            .sources()
+            .ids()
+            .iter()
+            .map(|&s| (s, reading(s, 0, value_salt)))
+            .collect();
+        let mut state = ExecState::for_schedule(&compiled);
+        let plain_cost = compiled.run_round_on(&readings_map, &mut state);
+        let exact: Vec<Option<f64>> = state.results().iter().map(|&r| Some(r)).collect();
+
+        let faulty = FaultyExec::new(&net, &compiled);
+        let mut scratch = faulty.scratch();
+        for policy in [
+            RetryPolicy::unlimited(10_000),
+            RetryPolicy::bounded(0, 0, 10_000),
+            RetryPolicy::bounded(5, 2, 10_000),
+        ] {
+            let out = faulty.run_on(
+                &readings_map,
+                &DeliveryModel::reliable(),
+                &policy,
+                round_salt,
+                &mut scratch,
+            );
+            prop_assert!(out.delivered);
+            prop_assert_eq!(out.retransmissions, 0);
+            prop_assert_eq!(out.dropped_messages, 0);
+            prop_assert_eq!(out.degraded_destinations(), 0);
+            prop_assert_eq!(&out.results, &exact, "results must be bit-identical");
+            prop_assert_eq!(out.cost, plain_cost, "cost must be bit-identical");
+        }
+    }
+
+    /// Batched lossy rounds are a pure function of their inputs: the
+    /// worker count never changes a single outcome, and re-running the
+    /// batch replays it exactly.
+    #[test]
+    fn lossy_batches_are_thread_count_invariant(
+        place_seed in 0u64..10_000,
+        wl_seed in 0u64..10_000,
+        value_salt in 0u64..10_000,
+        base_salt in 0u64..1_000_000,
+        p in 0.05f64..0.5,
+        mode_pick in 0usize..3,
+    ) {
+        let net = Network::with_default_energy(Deployment::great_duck_island(place_seed));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(8, 6, wl_seed));
+        let mode = match mode_pick {
+            0 => RoutingMode::ShortestPathTrees,
+            1 => RoutingMode::SharedSpanningTree,
+            _ => RoutingMode::SteinerTrees,
+        };
+        let compiled = compile_for(&net, &spec, mode);
+        let faulty = FaultyExec::new(&net, &compiled);
+
+        const ROUNDS: usize = 6;
+        let batch: Vec<Vec<f64>> = (0..ROUNDS)
+            .map(|round| {
+                compiled
+                    .sources()
+                    .ids()
+                    .iter()
+                    .map(|&s| reading(s, round, value_salt))
+                    .collect()
+            })
+            .collect();
+        let model = DeliveryModel::uniform(p, place_seed ^ 0x5eed);
+        let policy = RetryPolicy::bounded(4, 1, 10_000);
+
+        let serial = faulty.run_rounds(&batch, &model, &policy, base_salt, 1);
+        prop_assert_eq!(serial.len(), ROUNDS);
+        for threads in [2usize, 8] {
+            let parallel = faulty.run_rounds(&batch, &model, &policy, base_salt, threads);
+            prop_assert_eq!(&parallel, &serial, "threads = {}", threads);
+        }
+        // Replay: same salts, same delivery history, same outcomes.
+        let replay = faulty.run_rounds(&batch, &model, &policy, base_salt, 3);
+        prop_assert_eq!(&replay, &serial);
+    }
+}

@@ -205,8 +205,8 @@ proptest! {
     /// results on arbitrary workloads (the §3 tables are load-bearing).
     #[test]
     fn distributed_runtime_matches_central(cfg in workload_strategy()) {
+        use m2m_core::exec::{CompiledSchedule, ExecState};
         use m2m_core::node_machine::run_distributed_round;
-        use m2m_core::runtime::execute_round;
         use m2m_core::tables::NodeTables;
         use std::collections::BTreeMap as Map;
         let net = network();
@@ -221,16 +221,19 @@ proptest! {
             RoutingMode::ShortestPathTrees,
         );
         let plan = GlobalPlan::build(&net, &spec, &routing);
-        let central = execute_round(&net, &spec, &plan, &readings);
+        let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
+        let mut state = ExecState::for_schedule(&compiled);
+        compiled.run_round_on(&readings, &mut state);
+        let central = state.result_map(&compiled);
         let tables = NodeTables::build(&spec, &plan);
         let distributed = run_distributed_round(&spec, &tables, &readings);
         prop_assert!(distributed.is_ok(), "{:?}", distributed.err());
         let distributed = distributed.unwrap();
         for (d, _) in spec.functions() {
             prop_assert!(
-                (central.results[&d] - distributed.results[&d]).abs() < 1e-9,
+                (central[&d] - distributed.results[&d]).abs() < 1e-9,
                 "dest {d}: {} vs {}",
-                central.results[&d],
+                central[&d],
                 distributed.results[&d]
             );
         }

@@ -4,8 +4,8 @@
 
 use std::collections::BTreeMap;
 
+use m2m_core::exec::{CompiledSchedule, ExecState};
 use m2m_core::plan::GlobalPlan;
-use m2m_core::runtime::execute_round;
 use m2m_core::schedule::build_schedule;
 use m2m_core::spec::AggregationSpec;
 use m2m_core::workload::{generate_workload, WorkloadConfig};
@@ -81,10 +81,13 @@ fn etx_routed_plans_stay_correct() {
         .nodes()
         .map(|v| (v, f64::from(v.0 % 13) - 6.0))
         .collect();
-    let round = execute_round(&net, &spec, &plan, &readings);
+    let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
+    let mut state = ExecState::for_schedule(&compiled);
+    compiled.run_round_on(&readings, &mut state);
+    let results = state.result_map(&compiled);
     for (d, f) in spec.functions() {
         let expected = f.reference_result(&readings);
-        assert!((round.results[&d] - expected).abs() < 1e-9, "dest {d}");
+        assert!((results[&d] - expected).abs() < 1e-9, "dest {d}");
     }
 }
 

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 
 use m2m_core::baselines::{plan_for_algorithm, Algorithm};
 use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
+use m2m_core::exec::{CompiledSchedule, ExecState};
 use m2m_core::node_machine::run_distributed_round;
-use m2m_core::runtime::execute_round;
 use m2m_core::schedule::build_schedule;
 use m2m_core::tables::NodeTables;
 use m2m_core::workload::{generate_workload, SourceSelection, WorkloadConfig};
@@ -37,15 +37,18 @@ fn hundred_fifty_node_network_end_to_end() {
         .nodes()
         .map(|v| (v, f64::from(v.0) * 0.3 - 20.0))
         .collect();
-    let round = execute_round(&net, &spec, &plan, &readings);
+    let compiled = CompiledSchedule::compile(&net, &spec, &plan).unwrap();
+    let mut state = ExecState::for_schedule(&compiled);
+    compiled.run_round_on(&readings, &mut state);
+    let results = state.result_map(&compiled);
     for (d, f) in spec.functions() {
-        assert!((round.results[&d] - f.reference_result(&readings)).abs() < 1e-9);
+        assert!((results[&d] - f.reference_result(&readings)).abs() < 1e-9);
     }
     // The distributed automata agree at this scale too.
     let tables = NodeTables::build(&spec, &plan);
     let distributed = run_distributed_round(&spec, &tables, &readings).unwrap();
     for (d, _) in spec.functions() {
-        assert!((round.results[&d] - distributed.results[&d]).abs() < 1e-9);
+        assert!((results[&d] - distributed.results[&d]).abs() < 1e-9);
     }
 }
 
