@@ -11,23 +11,37 @@
 //! artifact embeds a telemetry counter snapshot (solves, memo hit rate,
 //! recompiles vs refreshes, per-phase wall time).
 //!
+//! The schema-v2 artifact also carries a **lane-width sweep**: the
+//! scalar `run_round` loop against `run_rounds_batched` at every
+//! supported width (W = 1/4/8/16), each verified bit-identical to the
+//! scalar path before it is timed, plus the chunked epoch fan-out
+//! ([`m2m_core::exec::run_epochs_slab`]) across several thread counts.
+//!
 //! Usage: `cargo run --release -p m2m-bench --bin bench_runtime \
-//!         [--smoke] [output.json] [samples]`
+//!         [--smoke] [--nodes N] [output.json] [samples]`
+//!
+//! `--nodes N` sizes the scaled-series deployment (default 250, the
+//! Figure 6 point; EXPERIMENTS.md tabulates 50/250/1000).
 //!
 //! `--smoke` runs a handful of samples and exits non-zero if the
 //! compiled path is not at least as fast as the naive one — the cheap
 //! regression gate wired into `scripts/verify.sh`. Smoke mode also
 //! prints machine-readable `smoke_*` lines on stdout: a digest folding
 //! every epoch result and round cost (so the verify gate can assert that
-//! a traced run computes bit-identical numbers to an untraced one) and
-//! an in-process tracing-off vs tracing-on timing of the compiled hot
+//! a traced run computes bit-identical numbers to an untraced one), an
+//! in-process tracing-off vs tracing-on timing of the compiled hot
 //! path (so the gate can bound instrumentation overhead without
-//! cross-process timing noise).
+//! cross-process timing noise), and `smoke_batched_speedup=` — the
+//! lane-batched path's rounds/sec over the *same-run* naive baseline, a
+//! machine-independent ratio verify.sh holds a floor against.
 
 use std::collections::BTreeMap;
 
 use m2m_bench::report::{bench_report, median_ns, telemetry_section, time_ns, JsonValue};
-use m2m_core::exec::{run_epochs, CompiledSchedule, EpochDriver, EpochOutcome, ExecState};
+use m2m_core::exec::{
+    run_epochs, run_epochs_slab, CompiledSchedule, EpochDriver, EpochOutcome, ExecState,
+    DEFAULT_LANE_WIDTH, SUPPORTED_LANE_WIDTHS,
+};
 use m2m_core::memo::SolveCache;
 use m2m_core::plan::GlobalPlan;
 use m2m_core::runtime::execute_round;
@@ -73,6 +87,14 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let mut node_count: usize = 250;
+    if let Some(i) = args.iter().position(|a| a == "--nodes") {
+        node_count = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--nodes takes a positive integer");
+        args.drain(i..=i + 1);
+    }
     let out_path = args
         .first()
         .cloned()
@@ -86,7 +108,7 @@ fn main() {
     // a whole batch of rounds to stay above clock resolution.
     let compiled_batch: usize = if smoke { 64 } else { 512 };
 
-    let deployment = Deployment::scaled_series(&[250], 7).remove(0);
+    let deployment = Deployment::scaled_series(&[node_count], 7).remove(0);
     let network = Network::with_default_energy(deployment);
     let n = network.node_count();
     let spec = generate_workload(&network, &WorkloadConfig::paper_default(n / 4, 20, 7));
@@ -173,36 +195,98 @@ fn main() {
          {speedup:.1}x vs naive)"
     );
 
-    // Epoch driver at several worker counts. The serial outcome is the
-    // reference: every thread count must reproduce it exactly.
+    // Lane-width sweep: `run_rounds_batched` at every supported width.
+    // Each width is proven bit-identical to the scalar loop above before
+    // a single timing sample is taken.
+    let dests = compiled.destination_count();
+    let mut expected: Vec<f64> = Vec::with_capacity(compiled_batch * dests);
+    for row in &batch {
+        state.readings_mut().copy_from_slice(row);
+        compiled.run_round(&mut state);
+        expected.extend_from_slice(state.results());
+    }
+    let expected_bits: Vec<u64> = expected.iter().map(|x| x.to_bits()).collect();
+    let mut lane_rows = Vec::new();
+    let mut batched_default_ns = compiled_ns;
+    for width in SUPPORTED_LANE_WIDTHS {
+        let mut lane_state = ExecState::batched(&compiled, width);
+        let mut out = vec![0.0; compiled_batch * dests];
+        compiled.run_rounds_batched(&batch, &mut lane_state, &mut out);
+        let got: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            got, expected_bits,
+            "lane width {width} diverged from scalar"
+        );
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            times.push(
+                time_ns(|| {
+                    compiled.run_rounds_batched(&batch, &mut lane_state, &mut out);
+                }) / compiled_batch as f64,
+            );
+        }
+        let med = median_ns(&mut times);
+        if width == DEFAULT_LANE_WIDTH {
+            batched_default_ns = med;
+        }
+        let rps = 1e9 / med;
+        m2m_log!(
+            Level::Info,
+            "batched W={width}: {med:.0} ns/round ({rps:.1} rounds/sec, \
+             {:.2}x vs scalar, {:.1}x vs naive)",
+            compiled_ns / med,
+            naive_ns / med
+        );
+        lane_rows.push(
+            JsonValue::object()
+                .with("width", width)
+                .with("median_ns_per_round", JsonValue::float(med, 0))
+                .with("rounds_per_sec", JsonValue::float(rps, 1))
+                .with("speedup_vs_scalar", JsonValue::float(compiled_ns / med, 3))
+                .with("speedup_vs_naive", JsonValue::float(naive_ns / med, 3)),
+        );
+    }
+    let batched_rps = 1e9 / batched_default_ns;
+    let batched_speedup = naive_ns / batched_default_ns;
+
+    // Epoch fan-out at several worker counts, batched at the default lane
+    // width. The scalar loop's results are the reference: every thread
+    // count must reproduce them bit-for-bit. `run_epochs` (the outcome
+    // shape) stays the digest source so the smoke digest is comparable
+    // across schema versions.
     let serial_outcomes = run_epochs(&compiled, &batch, 1);
     let mut epoch_rows = Vec::new();
     for &threads in &THREAD_COUNTS {
         let mut times: Vec<f64> = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let mut outcomes = None;
+            let mut slab = None;
             times.push(
                 time_ns(|| {
-                    outcomes = Some(run_epochs(&compiled, &batch, threads));
+                    slab = Some(run_epochs_slab(
+                        &compiled,
+                        &batch,
+                        DEFAULT_LANE_WIDTH,
+                        threads,
+                    ));
                 }) / compiled_batch as f64,
             );
-            assert_eq!(
-                outcomes.expect("ran"),
-                serial_outcomes,
-                "divergence at {threads} threads"
-            );
+            let slab = slab.expect("ran");
+            let got: Vec<u64> = slab.results().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, expected_bits, "divergence at {threads} threads");
+            assert_eq!(slab.cost(), compiled.round_cost());
         }
         let med = median_ns(&mut times);
         let rps = 1e9 / med;
         m2m_log!(
             Level::Info,
-            "run_epochs threads {threads}: {med:.0} ns/round ({rps:.1} rounds/sec, \
+            "run_epochs_slab threads {threads}: {med:.0} ns/round ({rps:.1} rounds/sec, \
              {:.1}x vs naive)",
             naive_ns / med
         );
         epoch_rows.push(
             JsonValue::object()
                 .with("threads", threads)
+                .with("lane_width", DEFAULT_LANE_WIDTH)
                 .with("median_ns_per_round", JsonValue::float(med, 0))
                 .with("rounds_per_sec", JsonValue::float(rps, 1))
                 .with("speedup_vs_naive", JsonValue::float(naive_ns / med, 3)),
@@ -215,12 +299,20 @@ fn main() {
             "regression: compiled path ({compiled_ns:.0} ns/round) slower than naive \
              execute_round ({naive_ns:.0} ns/round)"
         );
+        assert!(
+            batched_default_ns <= naive_ns,
+            "regression: batched path ({batched_default_ns:.0} ns/round) slower than naive \
+             execute_round ({naive_ns:.0} ns/round)"
+        );
 
         // Tracing on must compute the exact same numbers as tracing off.
         // Measure both states in the same process, interleaved, so the
         // comparison is immune to cross-process scheduling noise.
+        // More probes than timing samples: the min estimator converges
+        // with probe count, and the cross-process drift gate in verify.sh
+        // needs the two processes' minima to agree within ~2%.
         let was_enabled = telemetry::enabled();
-        let probes = samples.max(9);
+        let probes = samples.max(25);
         let mut off_times: Vec<f64> = Vec::with_capacity(probes);
         let mut on_times: Vec<f64> = Vec::with_capacity(probes);
         for _ in 0..probes {
@@ -252,9 +344,14 @@ fn main() {
         println!("smoke_disabled_ns={off_ns:.1}");
         println!("smoke_enabled_ns={on_ns:.1}");
         println!("smoke_overhead_pct={overhead_pct:.2}");
+        // Same-run ratio of the lane-batched hot path over the naive
+        // interpreter — machine-independent, so verify.sh can hold an
+        // absolute floor against it on any hardware.
+        println!("smoke_batched_speedup={batched_speedup:.1}");
         m2m_log!(
             Level::Info,
-            "smoke: compiled path is {speedup:.1}x the naive path, tracing overhead \
+            "smoke: compiled path is {speedup:.1}x the naive path (batched W={DEFAULT_LANE_WIDTH}: \
+             {batched_speedup:.1}x), tracing overhead \
              {overhead_pct:.2}% ({off_ns:.0} ns off / {on_ns:.0} ns on) — OK"
         );
         if let Some(path) = telemetry::export_if_requested() {
@@ -302,7 +399,8 @@ fn main() {
         assert!(driver.recompiles() >= 1, "source removal should recompile");
     });
 
-    let report = bench_report("round_execution", "scaled_series_250")
+    let report = bench_report("round_execution", &format!("scaled_series_{n}"))
+        .with("schema_version", 2usize)
         .with("nodes", n)
         .with("destinations", spec.destinations().count())
         .with("sources", compiled.sources().len())
@@ -322,6 +420,22 @@ fn main() {
                 .with("rounds_per_sec", JsonValue::float(compiled_rps, 1))
                 .with("speedup_vs_naive", JsonValue::float(speedup, 3)),
         )
+        .with(
+            "batched",
+            JsonValue::object()
+                .with("lane_width", DEFAULT_LANE_WIDTH)
+                .with(
+                    "median_ns_per_round",
+                    JsonValue::float(batched_default_ns, 0),
+                )
+                .with("rounds_per_sec", JsonValue::float(batched_rps, 1))
+                .with(
+                    "speedup_vs_scalar",
+                    JsonValue::float(compiled_ns / batched_default_ns, 3),
+                )
+                .with("speedup_vs_naive", JsonValue::float(batched_speedup, 3)),
+        )
+        .with("lane_widths", JsonValue::Array(lane_rows))
         .with("epochs", JsonValue::Array(epoch_rows))
         .with("telemetry", telemetry_json);
     m2m_bench::report::write_report(&out_path, &report);

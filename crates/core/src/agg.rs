@@ -243,6 +243,233 @@ pub enum PartialRecord {
     },
 }
 
+/// Maximum number of `f64` components a [`PartialRecord`] decomposes
+/// into (variance: sum, sum of squares, count). The lane-batched
+/// executor sizes its dense component planes by this.
+pub(crate) const MAX_COMPONENTS: usize = 3;
+
+/// The structure-of-arrays twin of [`PartialRecord`]: every record kind
+/// is laid out as up to [`MAX_COMPONENTS`] `f64` components, and each
+/// kind's pre-aggregate / merge / evaluate become straight-line
+/// component arithmetic with **exactly** the same operations, in the
+/// same order, as the enum methods above. That is the bit-identity
+/// contract the lane-batched executor ([`crate::exec`]) relies on: a
+/// lane is one round, and folding a lane through a [`LaneKernel`]
+/// produces the same `f64` bits as folding the round through
+/// [`AggregateKind::pre_aggregate_weighted`] /
+/// [`AggregateKind::merge_records`] / [`AggregateKind::evaluate_record`].
+///
+/// Integer counts ride in an `f64` component: additions of small
+/// integers are exact in `f64` (well below 2^53 here), and the enum
+/// path's `f64::from(count)` conversion at evaluation time yields the
+/// same value, so the bits agree. The `lane_kernels_match_enum_records`
+/// test pins the contract for every kind.
+pub(crate) trait LaneKernel {
+    /// Components this kind actually uses (`<= MAX_COMPONENTS`).
+    const COMPS: usize;
+    /// Component form of [`AggregateKind::pre_aggregate_weighted`].
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64);
+    /// Component form of [`AggregateKind::merge_records`].
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64);
+    /// Component form of [`AggregateKind::evaluate_record`].
+    fn eval(r: (f64, f64, f64)) -> f64;
+}
+
+/// [`LaneKernel`] for [`AggregateKind::WeightedSum`].
+pub(crate) struct SumKernel;
+/// [`LaneKernel`] for [`AggregateKind::WeightedAverage`].
+pub(crate) struct AvgKernel;
+/// [`LaneKernel`] for [`AggregateKind::WeightedVariance`].
+pub(crate) struct VarKernel;
+/// [`LaneKernel`] for [`AggregateKind::Min`].
+pub(crate) struct MinKernel;
+/// [`LaneKernel`] for [`AggregateKind::Max`].
+pub(crate) struct MaxKernel;
+/// [`LaneKernel`] for [`AggregateKind::Count`].
+pub(crate) struct CountKernel;
+/// [`LaneKernel`] for [`AggregateKind::Range`].
+pub(crate) struct RangeKernel;
+/// [`LaneKernel`] for [`AggregateKind::GeometricMean`].
+pub(crate) struct GeoKernel;
+
+impl LaneKernel for SumKernel {
+    const COMPS: usize = 1;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        (alpha * value, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.0
+    }
+}
+
+impl LaneKernel for AvgKernel {
+    const COMPS: usize = 2;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        (alpha * value, 1.0, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, a.1 + b.1, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.0 / r.1
+    }
+}
+
+impl LaneKernel for VarKernel {
+    const COMPS: usize = 3;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        let x = alpha * value;
+        (x, x * x, 1.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, a.1 + b.1, a.2 + b.2)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        let n = r.2;
+        let mean = r.0 / n;
+        (r.1 / n - mean * mean).max(0.0)
+    }
+}
+
+impl LaneKernel for MinKernel {
+    const COMPS: usize = 1;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        (alpha * value, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0.min(b.0), 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.0
+    }
+}
+
+impl LaneKernel for MaxKernel {
+    const COMPS: usize = 1;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        (alpha * value, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0.max(b.0), 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.0
+    }
+}
+
+impl LaneKernel for CountKernel {
+    const COMPS: usize = 1;
+    #[inline(always)]
+    fn pre(_alpha: f64, _value: f64) -> (f64, f64, f64) {
+        (1.0, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, 0.0, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.0
+    }
+}
+
+impl LaneKernel for RangeKernel {
+    const COMPS: usize = 2;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        let x = alpha * value;
+        (x, x, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0.min(b.0), a.1.max(b.1), 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        r.1 - r.0
+    }
+}
+
+impl LaneKernel for GeoKernel {
+    const COMPS: usize = 2;
+    #[inline(always)]
+    fn pre(alpha: f64, value: f64) -> (f64, f64, f64) {
+        assert!(value > 0.0, "geometric mean requires positive readings");
+        (alpha * value.ln(), alpha, 0.0)
+    }
+    #[inline(always)]
+    fn merge(a: (f64, f64, f64), b: (f64, f64, f64)) -> (f64, f64, f64) {
+        (a.0 + b.0, a.1 + b.1, 0.0)
+    }
+    #[inline(always)]
+    fn eval(r: (f64, f64, f64)) -> f64 {
+        (r.0 / r.1).exp()
+    }
+}
+
+/// Dispatches `$kind` to its [`LaneKernel`] type, binding it as `$K`
+/// inside `$body`. This is the single point where the executor's
+/// dynamic `AggregateKind` meets the monomorphized kernels: the match
+/// runs once per op *run*, so the inner per-op, per-lane loops are
+/// free of kind dispatch.
+macro_rules! with_lane_kernel {
+    ($kind:expr, $K:ident => $body:expr) => {
+        match $kind {
+            $crate::agg::AggregateKind::WeightedSum => {
+                type $K = $crate::agg::SumKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::WeightedAverage => {
+                type $K = $crate::agg::AvgKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::WeightedVariance => {
+                type $K = $crate::agg::VarKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::Min => {
+                type $K = $crate::agg::MinKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::Max => {
+                type $K = $crate::agg::MaxKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::Count => {
+                type $K = $crate::agg::CountKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::Range => {
+                type $K = $crate::agg::RangeKernel;
+                $body
+            }
+            $crate::agg::AggregateKind::GeometricMean => {
+                type $K = $crate::agg::GeoKernel;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use with_lane_kernel;
+
 /// One destination's aggregation function: a kind plus per-source weights.
 ///
 /// The weight map is also the source list — `s` is a source of this
@@ -551,5 +778,90 @@ mod tests {
     fn mismatched_merge_panics() {
         let f = AggregateFunction::weighted_sum([(NodeId(1), 1.0)]);
         f.merge(PartialRecord::Sum(1.0), PartialRecord::Count(1));
+    }
+
+    /// The component form of a record, with the same `0.0` filler the
+    /// lane kernels leave in unused components.
+    fn components(r: PartialRecord) -> (f64, f64, f64) {
+        use PartialRecord as P;
+        match r {
+            P::Sum(x) | P::Min(x) | P::Max(x) => (x, 0.0, 0.0),
+            P::Avg { sum, count } => (sum, f64::from(count), 0.0),
+            P::Var { sum, sum_sq, count } => (sum, sum_sq, f64::from(count)),
+            P::Count(c) => (f64::from(c), 0.0, 0.0),
+            P::MinMax { min, max } => (min, max, 0.0),
+            P::LogSum {
+                log_sum,
+                weight_sum,
+            } => (log_sum, weight_sum, 0.0),
+        }
+    }
+
+    fn bits(t: (f64, f64, f64)) -> (u64, u64, u64) {
+        (t.0.to_bits(), t.1.to_bits(), t.2.to_bits())
+    }
+
+    #[test]
+    fn lane_kernels_match_enum_records_bit_for_bit() {
+        // The contract the lane-batched executor rests on: for every
+        // kind, folding weighted inputs through the LaneKernel produces
+        // the same f64 bits — at every intermediate component and at the
+        // final evaluation — as folding them through the PartialRecord
+        // enum methods.
+        let inputs = [
+            (1.0, 3.75),
+            (2.5, 0.125),
+            (-1.5, 7.0),
+            (0.3, 19.25),
+            (4.0, 0.011),
+        ];
+        // GeometricMean demands alpha-weighted positive readings.
+        let geo_inputs = [(1.0, 3.75), (2.5, 0.125), (1.5, 7.0), (0.3, 19.25)];
+        for kind in [
+            AggregateKind::WeightedSum,
+            AggregateKind::WeightedAverage,
+            AggregateKind::WeightedVariance,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Count,
+            AggregateKind::Range,
+            AggregateKind::GeometricMean,
+        ] {
+            let inputs: &[(f64, f64)] = if kind == AggregateKind::GeometricMean {
+                &geo_inputs
+            } else {
+                &inputs
+            };
+            with_lane_kernel!(kind, K => {
+                const { assert!(K::COMPS <= MAX_COMPONENTS) };
+                let mut enum_acc: Option<PartialRecord> = None;
+                let mut lane_acc = (0.0, 0.0, 0.0);
+                for (i, &(alpha, v)) in inputs.iter().enumerate() {
+                    let part = kind.pre_aggregate_weighted(alpha, v);
+                    let lane_part = K::pre(alpha, v);
+                    assert_eq!(bits(components(part)), bits(lane_part), "{kind:?} pre");
+                    enum_acc = Some(match enum_acc {
+                        None => part,
+                        Some(prev) => kind.merge_records(prev, part),
+                    });
+                    lane_acc = if i == 0 {
+                        lane_part
+                    } else {
+                        K::merge(lane_acc, lane_part)
+                    };
+                    assert_eq!(
+                        bits(components(enum_acc.unwrap())),
+                        bits(lane_acc),
+                        "{kind:?} merge step {i}"
+                    );
+                }
+                let enum_eval = kind.evaluate_record(enum_acc.unwrap());
+                assert_eq!(
+                    enum_eval.to_bits(),
+                    K::eval(lane_acc).to_bits(),
+                    "{kind:?} eval"
+                );
+            });
+        }
     }
 }

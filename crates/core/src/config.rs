@@ -44,6 +44,9 @@ pub const MAX_SLOTS_ENV: &str = "M2M_MAX_SLOTS";
 /// Environment variable setting the relative ETX-drift threshold past
 /// which the churn driver recomputes routes.
 pub const HYSTERESIS_ENV: &str = "M2M_HYSTERESIS";
+/// Environment variable pinning the executor lane width (one of
+/// [`crate::exec::SUPPORTED_LANE_WIDTHS`]).
+pub const LANES_ENV: &str = "M2M_LANES";
 
 /// Default for [`Config::retries`] when `M2M_RETRIES` is unset.
 pub const DEFAULT_RETRIES: u32 = 8;
@@ -64,6 +67,7 @@ pub struct Config {
     backoff_slots: u32,
     max_slots: u32,
     hysteresis: f64,
+    lanes: usize,
 }
 
 impl Config {
@@ -96,6 +100,11 @@ impl Config {
                 .and_then(|v| v.trim().parse::<f64>().ok())
                 .filter(|h| h.is_finite() && *h >= 0.0)
                 .unwrap_or(DEFAULT_HYSTERESIS),
+            lanes: std::env::var(LANES_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|w| crate::exec::SUPPORTED_LANE_WIDTHS.contains(w))
+                .unwrap_or(crate::exec::DEFAULT_LANE_WIDTH),
         }
     }
 
@@ -164,6 +173,14 @@ impl Config {
     #[inline]
     pub fn hysteresis(&self) -> f64 {
         self.hysteresis
+    }
+
+    /// Executor lane width for batched epoch runs (one of
+    /// [`crate::exec::SUPPORTED_LANE_WIDTHS`]; results are bit-identical
+    /// at every width, so this is purely a throughput knob).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// The retry/backoff/budget knobs as a [`RetryPolicy`] for the
@@ -285,6 +302,22 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the executor lane width for batched epoch runs.
+    ///
+    /// # Panics
+    /// Panics unless `width` is one of
+    /// [`crate::exec::SUPPORTED_LANE_WIDTHS`].
+    #[must_use]
+    pub fn lanes(mut self, width: usize) -> Self {
+        assert!(
+            crate::exec::SUPPORTED_LANE_WIDTHS.contains(&width),
+            "unsupported lane width {width} (supported: {:?})",
+            crate::exec::SUPPORTED_LANE_WIDTHS
+        );
+        self.config.lanes = width;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -344,7 +377,21 @@ mod tests {
         assert_eq!(cfg.backoff_slots(), 0);
         assert_eq!(cfg.max_slots(), DEFAULT_MAX_SLOTS);
         assert_eq!(cfg.hysteresis(), DEFAULT_HYSTERESIS);
+        assert_eq!(cfg.lanes(), crate::exec::DEFAULT_LANE_WIDTH);
         assert!(cfg.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn lanes_accepts_every_supported_width() {
+        for w in crate::exec::SUPPORTED_LANE_WIDTHS {
+            assert_eq!(Config::builder().lanes(w).build().lanes(), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported lane width")]
+    fn odd_lane_width_rejected() {
+        let _ = Config::builder().lanes(3);
     }
 
     #[test]

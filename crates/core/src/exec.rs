@@ -20,18 +20,42 @@
 //! * the round's [`RoundCost`] is precomputed (it only depends on the
 //!   message structure, not the readings).
 //!
-//! [`CompiledSchedule::run_round`] then executes one epoch against an
+//! The op stream itself is stored as a **structure of arrays**
+//! ([`OpStream`]: tag, argument, and weight slabs instead of an
+//! enum-of-structs `Vec<Op>`), and all record state lives in dense `f64`
+//! **component planes** rather than `Vec<Option<PartialRecord>>`: every
+//! aggregate kind decomposes into at most three `f64` components
+//! ([`crate::agg::LaneKernel`]), so a record unit is three contiguous
+//! `f64` lanes, not a 32-byte tagged union. The fold over an op run is
+//! monomorphized per [`AggregateKind`] — the kind dispatch happens once
+//! per run, and the inner loop is branch-free arithmetic over the
+//! component lanes.
+//!
+//! [`CompiledSchedule::run_round`] executes one epoch against an
 //! [`ExecState`] scratch arena with **zero heap allocation** and no map
 //! lookups: every access is an index into a flat array. Because the ops
-//! preserve the reference path's contribution order and use the same
-//! kind-level arithmetic ([`AggregateKind::pre_aggregate_weighted`],
+//! preserve the reference path's contribution order and the lane kernels
+//! perform exactly the arithmetic of
+//! ([`AggregateKind::pre_aggregate_weighted`],
 //! [`AggregateKind::merge_records`], [`AggregateKind::evaluate_record`]),
 //! the results are **bit-identical** to `execute_round` — the same float
 //! associativity order, asserted by `tests/exec_equivalence.rs`.
 //!
+//! [`CompiledSchedule::run_rounds_batched`] goes further: it executes
+//! `W ∈ {1, 4, 8, 16}` **independent rounds per pass**, with the round
+//! index as the fastest-moving lane dimension of every plane, so the
+//! per-op work is a straight-line loop over `W` adjacent `f64`s that the
+//! compiler auto-vectorizes. Lanes are whole rounds — no within-round
+//! float association changes — so each lane's bits equal a scalar
+//! [`CompiledSchedule::run_round`] of the same readings
+//! (`tests/batched_equivalence.rs` pins this, NaN/∞ included).
+//!
 //! [`run_epochs`] fans independent rounds (distinct reading vectors)
-//! across the [`crate::parallel`] worker pool with deterministic in-order
-//! collection, and [`EpochDriver`] pairs a compiled schedule with a
+//! across worker threads in **chunked batches**: each worker owns one
+//! lane-batched [`ExecState`] arena and writes its rounds' results
+//! directly into a disjoint span of one preallocated output slab
+//! ([`EpochSlab`]) — no per-round task dispatch, no per-round result
+//! allocation. [`EpochDriver`] pairs a compiled schedule with a
 //! [`PlanMaintainer`] so a long-running campaign recompiles only when an
 //! update actually changed the plan's structure (Corollary 1) and merely
 //! refreshes baked-in weights otherwise.
@@ -42,7 +66,7 @@ use std::sync::Arc;
 use m2m_graph::NodeId;
 use m2m_netsim::{EnergyModel, Network, RoutingMode, RoutingTables};
 
-use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
+use crate::agg::{with_lane_kernel, AggregateFunction, AggregateKind, LaneKernel, PartialRecord};
 use crate::dynamics::{PlanMaintainer, UpdateStats, WorkloadUpdate};
 use crate::metrics::RoundCost;
 use crate::parallel;
@@ -99,16 +123,73 @@ impl NodeIndex {
     }
 }
 
-/// One lowered contribution. Mirrors [`Contribution`] with all lookups
-/// (weight, reading slot) resolved at compile time. Crate-visible so the
-/// fault-tolerant executor ([`crate::faults`]) can replay the same op
-/// stream under degraded delivery.
+/// One lowered contribution, as a value. Mirrors [`Contribution`] with
+/// all lookups (weight, reading slot) resolved at compile time. The hot
+/// path never materializes these — ops are stored as a structure of
+/// arrays ([`OpStream`]) — but the fault-tolerant executor
+/// ([`crate::faults`]) replays the stream through [`OpStream::get`]
+/// views when folding degraded rounds.
 #[derive(Clone, Copy, Debug)]
 pub(crate) enum Op {
     /// Pre-aggregate the reading in `slot` with weight `alpha`.
     Pre { slot: u32, alpha: f64 },
     /// Merge the record computed for unit `unit`.
     FromUnit { unit: u32 },
+}
+
+/// Discriminant slab entry of an [`OpStream`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpTag {
+    /// The op's argument is a reading slot; its weight is in `alphas`.
+    Pre,
+    /// The op's argument is a record unit index.
+    FromUnit,
+}
+
+/// The compiled op stream in structure-of-arrays form: one tag slab, one
+/// argument slab (reading slot for `Pre`, unit index for `FromUnit`),
+/// and one weight slab (`α` for `Pre`, `0.0` filler for `FromUnit`).
+/// Splitting the enum this way keeps the hot fold's per-op decode to two
+/// narrow loads plus one `f64` load, with no padding dragged through the
+/// cache — and lets [`CompiledSchedule::refresh_weights`] re-bake
+/// weights by walking the `alphas` slab alone.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OpStream {
+    pub(crate) tags: Vec<OpTag>,
+    pub(crate) args: Vec<u32>,
+    pub(crate) alphas: Vec<f64>,
+}
+
+impl OpStream {
+    fn push_pre(&mut self, slot: u32, alpha: f64) {
+        self.tags.push(OpTag::Pre);
+        self.args.push(slot);
+        self.alphas.push(alpha);
+    }
+
+    fn push_from_unit(&mut self, unit: u32) {
+        self.tags.push(OpTag::FromUnit);
+        self.args.push(unit);
+        self.alphas.push(0.0);
+    }
+
+    /// Number of ops in the stream.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The op at `i`, re-assembled as a value (cold paths only).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Op {
+        match self.tags[i] {
+            OpTag::Pre => Op::Pre {
+                slot: self.args[i],
+                alpha: self.alphas[i],
+            },
+            OpTag::FromUnit => Op::FromUnit { unit: self.args[i] },
+        }
+    }
 }
 
 /// One record unit to compute, in topological order. The ops in
@@ -139,7 +220,7 @@ pub(crate) struct DestStep {
 #[derive(Clone, Debug)]
 pub struct CompiledSchedule {
     pub(crate) sources: NodeIndex,
-    pub(crate) ops: Vec<Op>,
+    pub(crate) ops: OpStream,
     pub(crate) record_steps: Vec<RecordStep>,
     pub(crate) dest_steps: Vec<DestStep>,
     pub(crate) unit_count: usize,
@@ -195,19 +276,18 @@ impl CompiledSchedule {
         let function = |d: NodeId| -> &AggregateFunction {
             spec.function(d).expect("destination has a function")
         };
-        let mut ops: Vec<Op> = Vec::new();
+        let mut ops = OpStream::default();
         let mut lower_run = |f: &AggregateFunction, contribs: &[Contribution]| -> (u32, u32) {
             let first_op = ops.len() as u32;
             for c in contribs {
-                ops.push(match *c {
-                    Contribution::Pre(s) => Op::Pre {
-                        slot: sources.slot(s).expect("source interned above") as u32,
-                        alpha: f
-                            .weight(s)
+                match *c {
+                    Contribution::Pre(s) => ops.push_pre(
+                        sources.slot(s).expect("source interned above") as u32,
+                        f.weight(s)
                             .unwrap_or_else(|| panic!("{s} is not a source of this function")),
-                    },
-                    Contribution::FromUnit(u) => Op::FromUnit { unit: u as u32 },
-                });
+                    ),
+                    Contribution::FromUnit(u) => ops.push_from_unit(u as u32),
+                }
             }
             (first_op, ops.len() as u32 - first_op)
         };
@@ -290,45 +370,159 @@ impl CompiledSchedule {
     /// (see [`ExecState::load_readings`] / [`ExecState::readings_mut`]),
     /// leaving per-destination results in [`ExecState::results`].
     ///
-    /// This is the hot path: no heap allocation, no map lookups.
+    /// This is the scalar hot path — the `W = 1` instantiation of the
+    /// lane-batched engine: no heap allocation, no map lookups, kind
+    /// dispatch once per op run.
     ///
     /// # Panics
-    /// Panics if `state` was sized for a different compiled schedule.
+    /// Panics if `state` was sized for a different compiled schedule or
+    /// built with a lane width other than 1.
     pub fn run_round(&self, state: &mut ExecState) -> RoundCost {
         // One relaxed load when tracing is off — the documented cost of
         // instrumenting the hot path.
         crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, 1);
+        assert_eq!(state.width, 1, "run_round needs a width-1 state");
+        self.check_state(state);
+        self.round_window::<1>(state);
+        self.round_cost
+    }
+
+    fn check_state(&self, state: &ExecState) {
+        let w = state.width;
         assert_eq!(
-            state.records.len(),
-            self.unit_count,
+            state.readings.len(),
+            self.sources.len() * w,
             "state/schedule mismatch"
         );
         assert_eq!(
-            state.readings.len(),
-            self.sources.len(),
+            state.rec0.len(),
+            self.unit_count * w,
             "state/schedule mismatch"
         );
         assert_eq!(
             state.results.len(),
-            self.dest_steps.len(),
+            self.dest_steps.len() * w,
             "state/schedule mismatch"
         );
+    }
+
+    /// Executes one window of `W` rounds whose readings are loaded
+    /// lane-major in `state.readings`. Lanes are independent rounds: all
+    /// arithmetic is per-lane, in the compiled op order, so each lane is
+    /// bit-identical to a scalar round of the same readings.
+    fn round_window<const W: usize>(&self, state: &mut ExecState) {
         for step in &self.record_steps {
-            let ops = &self.ops[step.first_op as usize..(step.first_op + step.op_count) as usize];
-            let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
-            state.records[step.unit as usize] = Some(acc.unwrap_or_else(|| {
-                panic!(
-                    "record unit {} for {} has no contributions",
-                    step.unit, step.dest
-                )
-            }));
+            assert!(
+                step.op_count > 0,
+                "record unit {} for {} has no contributions",
+                step.unit,
+                step.dest
+            );
+            let base = step.unit as usize * W;
+            with_lane_kernel!(step.kind, K => {
+                let (a0, a1, a2) = fold_run::<K, W>(
+                    &self.ops,
+                    step.first_op,
+                    step.op_count,
+                    &state.readings,
+                    &state.rec0,
+                    &state.rec1,
+                    &state.rec2,
+                );
+                state.rec0[base..base + W].copy_from_slice(&a0);
+                if K::COMPS > 1 {
+                    state.rec1[base..base + W].copy_from_slice(&a1);
+                }
+                if K::COMPS > 2 {
+                    state.rec2[base..base + W].copy_from_slice(&a2);
+                }
+            });
         }
         for (i, step) in self.dest_steps.iter().enumerate() {
-            let ops = &self.ops[step.first_op as usize..(step.first_op + step.op_count) as usize];
-            let acc = fold_ops(step.kind, ops, &state.readings, &state.records);
-            let record =
-                acc.unwrap_or_else(|| panic!("destination {} received no inputs", step.dest));
-            state.results[i] = step.kind.evaluate_record(record);
+            assert!(
+                step.op_count > 0,
+                "destination {} received no inputs",
+                step.dest
+            );
+            let base = i * W;
+            with_lane_kernel!(step.kind, K => {
+                let (a0, a1, a2) = fold_run::<K, W>(
+                    &self.ops,
+                    step.first_op,
+                    step.op_count,
+                    &state.readings,
+                    &state.rec0,
+                    &state.rec1,
+                    &state.rec2,
+                );
+                for w in 0..W {
+                    state.results[base + w] = K::eval((a0[w], a1[w], a2[w]));
+                }
+            });
+        }
+    }
+
+    /// Executes one round per entry of `rounds` (dense reading vectors in
+    /// [`CompiledSchedule::sources`] slot order), `state.width()` lanes
+    /// at a time, writing per-destination results round-major into `out`
+    /// (`out[r * destination_count + d]`). Ragged tails (final window
+    /// shorter than the lane width) are handled by replicating the last
+    /// round into the pad lanes and discarding their results — pad lanes
+    /// never touch real output, and lanes never interact, so every
+    /// written result is bit-identical to a scalar [`Self::run_round`].
+    ///
+    /// Allocation-free given a prepared `state` and `out` slab; this is
+    /// the engine under [`run_epochs`] / [`EpochSlab`].
+    ///
+    /// # Panics
+    /// Panics if `state` was sized for a different schedule, a reading
+    /// vector has the wrong length, or `out` is not exactly
+    /// `rounds.len() * destination_count` long.
+    pub fn run_rounds_batched(
+        &self,
+        rounds: &[Vec<f64>],
+        state: &mut ExecState,
+        out: &mut [f64],
+    ) -> RoundCost {
+        crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, rounds.len() as u64);
+        self.check_state(state);
+        let dests = self.dest_steps.len();
+        assert_eq!(
+            out.len(),
+            rounds.len() * dests,
+            "output slab must be rounds x destinations"
+        );
+        let width = state.width;
+        let mut r0 = 0;
+        while r0 < rounds.len() {
+            let lanes = (rounds.len() - r0).min(width);
+            // Transpose this window's rounds into lane-major readings;
+            // pad lanes replicate the window's last real round.
+            for lane in 0..width {
+                let row = &rounds[r0 + lane.min(lanes - 1)];
+                assert_eq!(
+                    row.len(),
+                    self.sources.len(),
+                    "reading vector length must match the interned source count"
+                );
+                for (slot, &v) in row.iter().enumerate() {
+                    state.readings[slot * width + lane] = v;
+                }
+            }
+            match width {
+                1 => self.round_window::<1>(state),
+                4 => self.round_window::<4>(state),
+                8 => self.round_window::<8>(state),
+                16 => self.round_window::<16>(state),
+                w => unreachable!("unsupported lane width {w}"),
+            }
+            for lane in 0..lanes {
+                let dst = (r0 + lane) * dests;
+                for d in 0..dests {
+                    out[dst + d] = state.results[d * width + lane];
+                }
+            }
+            r0 += lanes;
         }
         self.round_cost
     }
@@ -358,16 +552,24 @@ impl CompiledSchedule {
     /// Panics if a destination or source disappeared from `spec`, or if a
     /// destination's aggregate kind changed (both require a recompile).
     pub fn refresh_weights(&mut self, spec: &AggregationSpec) {
-        let runs: Vec<(NodeId, AggregateKind, u32, u32)> = self
-            .record_steps
+        // Split borrows: the step tables and the source interning are read
+        // while only the `alphas` slab is written, so a pure re-weight
+        // allocates nothing.
+        let CompiledSchedule {
+            sources,
+            ops,
+            record_steps,
+            dest_steps,
+            ..
+        } = self;
+        let runs = record_steps
             .iter()
             .map(|s| (s.dest, s.kind, s.first_op, s.op_count))
             .chain(
-                self.dest_steps
+                dest_steps
                     .iter()
                     .map(|s| (s.dest, s.kind, s.first_op, s.op_count)),
-            )
-            .collect();
+            );
         for (dest, kind, first_op, op_count) in runs {
             let f = spec
                 .function(dest)
@@ -377,10 +579,11 @@ impl CompiledSchedule {
                 kind,
                 "aggregate kind changed at {dest}; recompile instead"
             );
-            for op in &mut self.ops[first_op as usize..(first_op + op_count) as usize] {
-                if let Op::Pre { slot, alpha } = op {
-                    let s = self.sources.ids[*slot as usize];
-                    *alpha = f
+            let lo = first_op as usize;
+            for i in lo..lo + op_count as usize {
+                if ops.tags[i] == OpTag::Pre {
+                    let s = sources.ids[ops.args[i] as usize];
+                    ops.alphas[i] = f
                         .weight(s)
                         .unwrap_or_else(|| panic!("{s} no longer a source of {dest}; recompile"));
                 }
@@ -407,18 +610,35 @@ fn pre_sources(schedule: &Schedule) -> Vec<NodeId> {
     source_ids
 }
 
-/// Left fold of a contiguous op run, in the reference path's contribution
-/// order — the float associativity is identical by construction.
+/// Lane widths [`ExecState::batched`] accepts. Powers of two up to one
+/// cache line of `f64`s per plane row; 1 is the scalar path.
+pub const SUPPORTED_LANE_WIDTHS: [usize; 4] = [1, 4, 8, 16];
+
+/// Default lane width for [`run_epochs`] / [`EpochSlab`] batching
+/// (overridable per [`crate::config::Config::lanes`]).
+pub const DEFAULT_LANE_WIDTH: usize = 8;
+
+// Three component planes cover every kernel, by the agg-side contract.
+const _: () = assert!(crate::agg::MAX_COMPONENTS == 3);
+
+/// Left fold of a contiguous op run (dynamic-dispatch flavour), in the
+/// reference path's contribution order — the float associativity is
+/// identical to the reference by construction. This is the cold/degraded
+/// sibling of [`fold_run`]: [`crate::faults`] uses it where record
+/// *presence* matters (an `Option` per unit), which the dense component
+/// planes deliberately do not represent.
 #[inline]
 pub(crate) fn fold_ops(
     kind: AggregateKind,
-    ops: &[Op],
+    ops: &OpStream,
+    first: usize,
+    count: usize,
     readings: &[f64],
     records: &[Option<PartialRecord>],
 ) -> Option<PartialRecord> {
     let mut acc: Option<PartialRecord> = None;
-    for op in ops {
-        let part = match *op {
+    for i in first..first + count {
+        let part = match ops.get(i) {
             Op::Pre { slot, alpha } => kind.pre_aggregate_weighted(alpha, readings[slot as usize]),
             Op::FromUnit { unit } => {
                 records[unit as usize].expect("topological order computes dependencies first")
@@ -432,34 +652,150 @@ pub(crate) fn fold_ops(
     acc
 }
 
-/// Reusable scratch arena for [`CompiledSchedule::run_round`]. Allocate
-/// once (per worker), run any number of rounds.
+/// Monomorphized left fold of a contiguous op run over `W` lanes at once.
+///
+/// The kind dispatch happened before the call (see
+/// [`crate::agg::with_lane_kernel`]); in here every `K::pre`/`K::merge`
+/// is a concrete inlined arithmetic kernel, so each op decodes once and
+/// then runs a straight-line loop over `W` adjacent `f64`s — the shape
+/// the auto-vectorizer wants. Per lane, the op order and the
+/// merge-association order are exactly those of [`fold_ops`], so lane `w`
+/// of the result is bit-identical to a scalar fold of lane `w`'s round.
+///
+/// `count` must be ≥ 1 (the compiler never emits an empty run; callers
+/// assert with the empty-run panics the scalar path always had).
+#[inline(always)]
+fn fold_run<K: LaneKernel, const W: usize>(
+    ops: &OpStream,
+    first: u32,
+    count: u32,
+    readings: &[f64],
+    rec0: &[f64],
+    rec1: &[f64],
+    rec2: &[f64],
+) -> ([f64; W], [f64; W], [f64; W]) {
+    let lo = first as usize;
+    let hi = lo + count as usize;
+    let mut a0 = [0.0f64; W];
+    let mut a1 = [0.0f64; W];
+    let mut a2 = [0.0f64; W];
+    for i in lo..hi {
+        let arg = ops.args[i] as usize;
+        match ops.tags[i] {
+            OpTag::Pre => {
+                let alpha = ops.alphas[i];
+                let base = arg * W;
+                if i == lo {
+                    for w in 0..W {
+                        let p = K::pre(alpha, readings[base + w]);
+                        a0[w] = p.0;
+                        a1[w] = p.1;
+                        a2[w] = p.2;
+                    }
+                } else {
+                    for w in 0..W {
+                        let p = K::pre(alpha, readings[base + w]);
+                        let m = K::merge((a0[w], a1[w], a2[w]), p);
+                        a0[w] = m.0;
+                        a1[w] = m.1;
+                        a2[w] = m.2;
+                    }
+                }
+            }
+            OpTag::FromUnit => {
+                let base = arg * W;
+                if i == lo {
+                    a0[..W].copy_from_slice(&rec0[base..base + W]);
+                    if K::COMPS > 1 {
+                        a1[..W].copy_from_slice(&rec1[base..base + W]);
+                    }
+                    if K::COMPS > 2 {
+                        a2[..W].copy_from_slice(&rec2[base..base + W]);
+                    }
+                } else {
+                    for w in 0..W {
+                        let p = (
+                            rec0[base + w],
+                            if K::COMPS > 1 { rec1[base + w] } else { 0.0 },
+                            if K::COMPS > 2 { rec2[base + w] } else { 0.0 },
+                        );
+                        let m = K::merge((a0[w], a1[w], a2[w]), p);
+                        a0[w] = m.0;
+                        a1[w] = m.1;
+                        a2[w] = m.2;
+                    }
+                }
+            }
+        }
+    }
+    (a0, a1, a2)
+}
+
+/// Reusable scratch arena for [`CompiledSchedule::run_round`] /
+/// [`CompiledSchedule::run_rounds_batched`]. Allocate once (per worker),
+/// run any number of rounds.
+///
+/// All state is dense `f64` planes with the lane index fastest-moving:
+/// `readings[slot * width + lane]`, record component `c` of unit `u` at
+/// `rec{c}[u * width + lane]`, `results[dest * width + lane]`. A record
+/// is *not* a tagged union here — every aggregate kind decomposes into at
+/// most [`crate::agg::MAX_COMPONENTS`] `f64` components (counts ride in
+/// `f64`, exact below 2^53), and only the first [`LaneKernel::COMPS`]
+/// planes of a unit carry meaning for its kind.
 #[derive(Clone, Debug)]
 pub struct ExecState {
-    /// One reading per interned source, in slot order.
+    /// Lane count `W`: rounds executed per [`CompiledSchedule::round_window`] pass.
+    width: usize,
+    /// One reading per interned source per lane, lane-major.
     readings: Vec<f64>,
-    /// One record slot per schedule unit (raw units stay `None`).
-    records: Vec<Option<PartialRecord>>,
-    /// One result per destination, in ascending destination order.
+    /// Record component planes: `unit_count * width` each.
+    rec0: Vec<f64>,
+    rec1: Vec<f64>,
+    rec2: Vec<f64>,
+    /// One result per destination per lane, lane-major.
     results: Vec<f64>,
 }
 
 impl ExecState {
-    /// Allocates scratch sized for `compiled`.
+    /// Allocates scalar (width-1) scratch sized for `compiled` — the
+    /// shape [`CompiledSchedule::run_round`] requires.
     pub fn for_schedule(compiled: &CompiledSchedule) -> Self {
+        Self::batched(compiled, 1)
+    }
+
+    /// Allocates lane-batched scratch sized for `compiled` with `width`
+    /// lanes per plane row.
+    ///
+    /// # Panics
+    /// Panics unless `width` is one of [`SUPPORTED_LANE_WIDTHS`].
+    pub fn batched(compiled: &CompiledSchedule, width: usize) -> Self {
+        assert!(
+            SUPPORTED_LANE_WIDTHS.contains(&width),
+            "unsupported lane width {width} (supported: {SUPPORTED_LANE_WIDTHS:?})"
+        );
         ExecState {
-            readings: vec![0.0; compiled.sources.len()],
-            records: vec![None; compiled.unit_count],
-            results: vec![0.0; compiled.dest_steps.len()],
+            width,
+            readings: vec![0.0; compiled.sources.len() * width],
+            rec0: vec![0.0; compiled.unit_count * width],
+            rec1: vec![0.0; compiled.unit_count * width],
+            rec2: vec![0.0; compiled.unit_count * width],
+            results: vec![0.0; compiled.dest_steps.len() * width],
         }
     }
 
+    /// The lane count this arena was allocated for.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
     /// Copies the readings of every interned source out of a per-node map
-    /// (the reference path's input shape).
+    /// (the reference path's input shape). Width-1 states only.
     ///
     /// # Panics
-    /// Panics if a source reading is missing.
+    /// Panics if a source reading is missing or the state is lane-batched.
     pub fn load_readings(&mut self, compiled: &CompiledSchedule, readings: &BTreeMap<NodeId, f64>) {
+        assert_eq!(self.width, 1, "load_readings needs a width-1 state");
         for (slot, &s) in compiled.sources.ids().iter().enumerate() {
             self.readings[slot] = *readings
                 .get(&s)
@@ -467,24 +803,29 @@ impl ExecState {
         }
     }
 
-    /// Mutable access to the reading slots (slot order =
-    /// [`CompiledSchedule::sources`] order), for callers that already
-    /// keep readings dense.
+    /// Mutable access to the reading plane (slot order =
+    /// [`CompiledSchedule::sources`] order; lane-major when batched), for
+    /// callers that already keep readings dense.
     #[inline]
     pub fn readings_mut(&mut self) -> &mut [f64] {
         &mut self.readings
     }
 
     /// Per-destination results of the last round, in ascending
-    /// destination order ([`CompiledSchedule::destinations`]).
+    /// destination order ([`CompiledSchedule::destinations`]);
+    /// lane-major (`results[dest * width + lane]`) when batched.
     #[inline]
     pub fn results(&self) -> &[f64] {
         &self.results
     }
 
     /// The last round's results keyed by destination id (allocates — use
-    /// [`ExecState::results`] on the hot path).
+    /// [`ExecState::results`] on the hot path). Width-1 states only.
+    ///
+    /// # Panics
+    /// Panics if the state is lane-batched.
     pub fn result_map(&self, compiled: &CompiledSchedule) -> BTreeMap<NodeId, f64> {
+        assert_eq!(self.width, 1, "result_map needs a width-1 state");
         compiled
             .dest_steps
             .iter()
@@ -503,11 +844,134 @@ pub struct EpochOutcome {
     pub cost: RoundCost,
 }
 
+/// The preallocated output of [`run_epochs_slab`]: one flat
+/// rounds × destinations `f64` slab plus the (readings-independent) round
+/// cost — no per-round `Vec`, no per-round allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSlab {
+    results: Vec<f64>,
+    rounds: usize,
+    dests: usize,
+    cost: RoundCost,
+}
+
+impl EpochSlab {
+    /// All results, round-major: `results()[r * destination_count + d]`.
+    #[inline]
+    pub fn results(&self) -> &[f64] {
+        &self.results
+    }
+
+    /// Round `r`'s per-destination results, in ascending destination
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn round(&self, r: usize) -> &[f64] {
+        &self.results[r * self.dests..(r + 1) * self.dests]
+    }
+
+    /// Number of rounds executed.
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of destinations per round.
+    #[inline]
+    pub fn destination_count(&self) -> usize {
+        self.dests
+    }
+
+    /// The per-round cost (identical for every round — it only depends on
+    /// the message structure).
+    #[inline]
+    pub fn cost(&self) -> RoundCost {
+        self.cost
+    }
+
+    /// Expands into per-round [`EpochOutcome`]s (allocates one `Vec` per
+    /// round — compatibility shape only; iterate [`EpochSlab::round`] on
+    /// the hot path).
+    pub fn into_outcomes(self) -> Vec<EpochOutcome> {
+        (0..self.rounds)
+            .map(|r| EpochOutcome {
+                results: self.round(r).to_vec(),
+                cost: self.cost,
+            })
+            .collect()
+    }
+}
+
 /// Runs one round per entry of `rounds` — each a dense reading vector in
-/// [`CompiledSchedule::sources`] slot order — fanned across up to
-/// `threads` workers from the [`crate::parallel`] pool. Each worker owns
-/// one [`ExecState`]; results come back in input order regardless of
-/// scheduling, so the output is identical at any thread count.
+/// [`CompiledSchedule::sources`] slot order — through the lane-batched
+/// engine (`width` lanes per pass), fanned across up to `threads` workers
+/// in **chunked batches**: the rounds are statically partitioned into one
+/// contiguous chunk per worker, each worker owns one lane-batched
+/// [`ExecState`] arena, and every chunk writes its results directly into
+/// its disjoint span of the preallocated slab. One task dispatch per
+/// worker instead of one per round, and zero per-round allocation.
+///
+/// Because lanes are independent rounds, every round's bits are those of
+/// a scalar [`CompiledSchedule::run_round`] no matter how the rounds land
+/// in chunks or lane windows — the output is identical at any `width`
+/// and any thread count.
+///
+/// `threads` is a ceiling, not a quota: the fan-out never spawns more
+/// workers than the machine's available parallelism. A statically
+/// partitioned chunk fan-out cannot profit from oversubscription — extra
+/// workers on a saturated machine only add scheduling overhead — and the
+/// worker count cannot change the results, so clamping is free.
+///
+/// # Panics
+/// Panics if any reading vector has the wrong length or `width` is not
+/// one of [`SUPPORTED_LANE_WIDTHS`].
+pub fn run_epochs_slab(
+    compiled: &CompiledSchedule,
+    rounds: &[Vec<f64>],
+    width: usize,
+    threads: usize,
+) -> EpochSlab {
+    let _span = crate::telemetry::span(crate::telemetry::names::EXEC_RUN_EPOCHS_NS);
+    let threads = threads.min(std::thread::available_parallelism().map_or(1, |p| p.get()));
+    let dests = compiled.dest_steps.len();
+    let mut results = vec![0.0; rounds.len() * dests];
+    if rounds.is_empty() || dests == 0 {
+        // Nothing to fan out (but a destination-free schedule still
+        // counts its rounds and checks its inputs).
+        if !rounds.is_empty() {
+            let mut state = ExecState::batched(compiled, width);
+            compiled.run_rounds_batched(rounds, &mut state, &mut results);
+        }
+        return EpochSlab {
+            results,
+            rounds: rounds.len(),
+            dests,
+            cost: compiled.round_cost,
+        };
+    }
+    parallel::parallel_chunks_mut(
+        rounds,
+        &mut results,
+        dests,
+        threads,
+        || ExecState::batched(compiled, width),
+        |state, round_chunk, out_chunk| {
+            compiled.run_rounds_batched(round_chunk, state, out_chunk);
+        },
+    );
+    EpochSlab {
+        results,
+        rounds: rounds.len(),
+        dests,
+        cost: compiled.round_cost,
+    }
+}
+
+/// Compatibility shape of [`run_epochs_slab`]: runs at the default lane
+/// width and expands the slab into per-round [`EpochOutcome`]s. Identical
+/// bits at any thread count.
 ///
 /// # Panics
 /// Panics if any reading vector has the wrong length.
@@ -516,25 +980,7 @@ pub fn run_epochs(
     rounds: &[Vec<f64>],
     threads: usize,
 ) -> Vec<EpochOutcome> {
-    let _span = crate::telemetry::span(crate::telemetry::names::EXEC_RUN_EPOCHS_NS);
-    parallel::parallel_map_with(
-        rounds,
-        threads,
-        || ExecState::for_schedule(compiled),
-        |state, readings| {
-            assert_eq!(
-                readings.len(),
-                compiled.sources.len(),
-                "reading vector length must match the interned source count"
-            );
-            state.readings_mut().copy_from_slice(readings);
-            let cost = compiled.run_round(state);
-            EpochOutcome {
-                results: state.results().to_vec(),
-                cost,
-            }
-        },
-    )
+    run_epochs_slab(compiled, rounds, DEFAULT_LANE_WIDTH, threads).into_outcomes()
 }
 
 /// A [`PlanMaintainer`] paired with the compiled executor for its current

@@ -334,8 +334,8 @@ impl FaultyExec {
         assert_eq!(op_gate.len(), compiled.ops.len(), "op gate misaligned");
         // Each gate must agree with its op's variant: FromUnit gates on
         // the referenced unit itself.
-        for (op, &gate) in compiled.ops.iter().zip(&op_gate) {
-            if let Op::FromUnit { unit } = *op {
+        for (i, &gate) in op_gate.iter().enumerate() {
+            if let Op::FromUnit { unit } = compiled.ops.get(i) {
                 assert_eq!(gate, unit, "FromUnit op must gate on its own unit");
             }
         }
@@ -505,7 +505,7 @@ impl FaultyExec {
             let base = step.first_op as usize;
             for k in 0..step.op_count as usize {
                 let gate = self.op_gate[base + k];
-                match self.compiled.ops[base + k] {
+                match self.compiled.ops.get(base + k) {
                     Op::Pre { slot, .. } => {
                         if self.gate_open(gate, scratch) {
                             scratch.tmp_cover[slot as usize / 64] |= 1 << (slot % 64);
@@ -529,7 +529,7 @@ impl FaultyExec {
             let base = step.first_op as usize;
             for k in 0..step.op_count as usize {
                 let gate = self.op_gate[base + k];
-                match self.compiled.ops[base + k] {
+                match self.compiled.ops.get(base + k) {
                     Op::Pre { slot, .. } => {
                         if self.gate_open(gate, scratch) {
                             scratch.tmp_cover[slot as usize / 64] |= 1 << (slot % 64);
@@ -586,7 +586,7 @@ impl FaultyExec {
             if !scratch.gate_ok[k] {
                 continue;
             }
-            let part = match self.compiled.ops[k] {
+            let part = match self.compiled.ops.get(k) {
                 Op::Pre { slot, alpha } => {
                     kind.pre_aggregate_weighted(alpha, scratch.readings[slot as usize])
                 }
@@ -648,15 +648,25 @@ impl FaultyExec {
         if delivered_all {
             // Fast path: nothing lost — the exact compiled fold.
             for step in &self.compiled.record_steps {
-                let base = step.first_op as usize;
-                let ops = &self.compiled.ops[base..base + step.op_count as usize];
-                let acc = fold_ops(step.kind, ops, &scratch.readings, &scratch.records);
+                let acc = fold_ops(
+                    step.kind,
+                    &self.compiled.ops,
+                    step.first_op as usize,
+                    step.op_count as usize,
+                    &scratch.readings,
+                    &scratch.records,
+                );
                 scratch.records[step.unit as usize] = acc;
             }
             for step in &self.compiled.dest_steps {
-                let base = step.first_op as usize;
-                let ops = &self.compiled.ops[base..base + step.op_count as usize];
-                let acc = fold_ops(step.kind, ops, &scratch.readings, &scratch.records);
+                let acc = fold_ops(
+                    step.kind,
+                    &self.compiled.ops,
+                    step.first_op as usize,
+                    step.op_count as usize,
+                    &scratch.readings,
+                    &scratch.records,
+                );
                 results.push(acc.map(|r| step.kind.evaluate_record(r)));
             }
         } else {

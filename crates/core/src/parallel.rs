@@ -94,6 +94,63 @@ where
         .collect()
 }
 
+/// Fans `items` out in **chunked batches**: the items are statically
+/// partitioned into one contiguous chunk per worker, and `f` is called
+/// once per chunk with a per-worker scratch from `init`, the item chunk,
+/// and the matching disjoint span of `out` (`stride` output elements per
+/// item). One task dispatch per worker instead of one per item, and the
+/// callee writes results in place — no per-item closure, boxing, or
+/// result reassembly.
+///
+/// Determinism: chunk boundaries move with the worker count, so the
+/// output is thread-count-independent iff `f` writes each item's `stride`
+/// outputs as a pure function of that item alone (as the batched executor
+/// does — lanes are independent rounds). `f` must fill its entire span.
+///
+/// # Panics
+/// Panics unless `out.len() == items.len() * stride` and `stride > 0`
+/// (use [`parallel_map_with`] for outputs that aren't per-item spans).
+pub fn parallel_chunks_mut<T, U, S, I, F>(
+    items: &[T],
+    out: &mut [U],
+    stride: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T], &mut [U]) + Sync,
+{
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(
+        out.len(),
+        items.len() * stride,
+        "output slab must be items × stride"
+    );
+    if items.is_empty() {
+        return;
+    }
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        let mut scratch = init();
+        f(&mut scratch, items, out);
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let init = &init;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk * stride)) {
+            scope.spawn(move || {
+                let mut scratch = init();
+                f(&mut scratch, item_chunk, out_chunk);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +209,55 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_mut_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..101).collect();
+        let fill = |_: &mut (), chunk: &[u64], out: &mut [u64]| {
+            for (i, &x) in chunk.iter().enumerate() {
+                out[i * 2] = x + 1;
+                out[i * 2 + 1] = x * 3;
+            }
+        };
+        let mut expect = vec![0u64; items.len() * 2];
+        parallel_chunks_mut(&items, &mut expect, 2, 1, || (), fill);
+        for threads in [2usize, 3, 8, 64] {
+            let mut got = vec![0u64; items.len() * 2];
+            parallel_chunks_mut(&items, &mut got, 2, threads, || (), fill);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_input_and_zero_threads() {
+        let none: Vec<u32> = Vec::new();
+        let mut out: Vec<u32> = Vec::new();
+        parallel_chunks_mut(&none, &mut out, 3, 8, || (), |(), _, _| unreachable!());
+        let mut one = vec![0u32; 1];
+        parallel_chunks_mut(&[7u32], &mut one, 1, 0, || (), |(), c, o| o[0] = c[0] * 2);
+        assert_eq!(one, vec![14]);
+    }
+
+    #[test]
+    fn chunks_mut_scratch_is_per_worker() {
+        // Each worker's scratch counts only its own chunk's items.
+        let items: Vec<u32> = (0..64).collect();
+        let mut out = vec![0u32; 64];
+        parallel_chunks_mut(
+            &items,
+            &mut out,
+            1,
+            4,
+            || 0u32,
+            |seen, chunk, out| {
+                for (i, &x) in chunk.iter().enumerate() {
+                    *seen += 1;
+                    out[i] = x;
+                }
+                assert_eq!(*seen as usize, chunk.len());
+            },
+        );
+        assert_eq!(out, items);
     }
 }

@@ -44,7 +44,9 @@ use m2m_netsim::{DeliveryModel, Network, RoutingMode, RoutingTables};
 
 use crate::config::Config;
 use crate::dynamics::{UpdateStats, WorkloadUpdate};
-use crate::exec::{run_epochs, CompiledSchedule, EpochDriver, EpochOutcome, ExecState};
+use crate::exec::{
+    run_epochs_slab, CompiledSchedule, EpochDriver, EpochOutcome, EpochSlab, ExecState,
+};
 use crate::faults::{
     ChurnController, DegradationTracker, FaultOutcome, FaultyExec, RetryPolicy, SALT_STRIDE,
 };
@@ -240,14 +242,22 @@ impl Session {
     }
 
     /// Runs one reliable round per dense reading row (in
-    /// [`CompiledSchedule::sources`] slot order) across the configured
-    /// thread count.
-    pub fn run_epochs(&self, rounds: &[Vec<f64>]) -> Vec<EpochOutcome> {
-        run_epochs(
+    /// [`CompiledSchedule::sources`] slot order) through the lane-batched
+    /// executor at the configured lane width and thread count, returning
+    /// the flat result slab — the allocation-free shape.
+    pub fn run_epochs_slab(&self, rounds: &[Vec<f64>]) -> EpochSlab {
+        run_epochs_slab(
             self.driver.compiled(),
             rounds,
+            self.config.lanes(),
             self.config.resolved_threads(),
         )
+    }
+
+    /// Like [`Session::run_epochs_slab`], expanded into per-round
+    /// [`EpochOutcome`]s (compatibility shape; identical bits).
+    pub fn run_epochs(&self, rounds: &[Vec<f64>]) -> Vec<EpochOutcome> {
+        self.run_epochs_slab(rounds).into_outcomes()
     }
 
     /// The retry policy lossy rounds run under (from the configuration).
@@ -484,6 +494,31 @@ mod tests {
             .unwrap()
             .reference_result(&vals);
         assert!((results[&NodeId(15)] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_slab_matches_outcomes_at_every_lane_width() {
+        let session = Session::builder(network(), spec()).build();
+        let slots = session.compiled().sources().len();
+        let rounds: Vec<Vec<f64>> = (0..11)
+            .map(|r| (0..slots).map(|s| (r * 7 + s) as f64 * 0.3 - 2.0).collect())
+            .collect();
+        let outcomes = session.run_epochs(&rounds);
+        let slab = session.run_epochs_slab(&rounds);
+        assert_eq!(slab.rounds(), rounds.len());
+        assert_eq!(slab.destination_count(), 2);
+        for (r, out) in outcomes.iter().enumerate() {
+            assert_eq!(slab.round(r), out.results.as_slice());
+            assert_eq!(slab.cost(), out.cost);
+        }
+        // Lane width is a pure throughput knob: identical bits at every
+        // width and thread count.
+        for w in crate::exec::SUPPORTED_LANE_WIDTHS {
+            let s = Session::builder(network(), spec())
+                .config(Config::builder().lanes(w).threads(2).build())
+                .build();
+            assert_eq!(s.run_epochs_slab(&rounds), slab, "width {w}");
+        }
     }
 
     #[test]

@@ -13,6 +13,17 @@
 # the tracing-*disabled* hot path must agree across the two runs within
 # M2M_SMOKE_TOL percent (default 2 — the disabled path is the same code
 # either way, so anything beyond noise means the flag leaked into it).
+# The timing comparison is cross-process wall clock, so a noisy-neighbor
+# blip can trip it spuriously; the pair is retried up to 3 times and only
+# persistent drift fails. Digest mismatches never retry.
+#
+# Performance gate: the smoke benchmark prints `smoke_batched_speedup=`,
+# the lane-batched executor's rounds/sec over the *same-run* naive
+# interpreter. The ratio is machine-independent (both sides share the
+# process, the load, and the clock), so the gate holds an absolute floor
+# against it: M2M_PERF_FLOOR (default 200x). A real regression in the
+# batched hot path shows up as this ratio collapsing no matter how slow
+# the box is.
 #
 # Resilience gate: a smoke run of the fault-tolerance benchmark (asserts
 # the lossy executor at p=0 is bit-identical to the compiled path and
@@ -33,35 +44,59 @@ cargo clippy --all-targets -- -D warnings
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-M2M_TRACE=0 ./target/release/bench_runtime --smoke > "$tmpdir/off.txt"
-M2M_TRACE=1 M2M_TRACE_OUT="$tmpdir/trace.json" \
-    ./target/release/bench_runtime --smoke > "$tmpdir/on.txt"
-
 get() { grep "^$2=" "$tmpdir/$1.txt" | cut -d= -f2; }
 
-digest_off=$(get off smoke_digest)
-digest_on=$(get on smoke_digest)
-if [ "$digest_off" != "$digest_on" ]; then
-    echo "verify: FAIL — tracing changed benchmark results" \
-         "($digest_off vs $digest_on)" >&2
-    exit 1
-fi
-
-if ! [ -s "$tmpdir/trace.json" ] || ! grep -q '"counters"' "$tmpdir/trace.json"; then
-    echo "verify: FAIL — traced run exported no counter snapshot" >&2
-    exit 1
-fi
-
+# Correctness gates (digest, export) fail hard on the first attempt; the
+# timing-drift gate compares wall-clock minima across two processes, so a
+# noisy-neighbor blip can trip it without any real leak — retry the pair a
+# few times and only fail on persistent drift.
 tol="${M2M_SMOKE_TOL:-2}"
-awk -v a="$(get off smoke_disabled_ns)" -v b="$(get on smoke_disabled_ns)" -v tol="$tol" '
-BEGIN {
-    lo = (a < b) ? a : b; hi = (a < b) ? b : a
-    pct = (hi - lo) / lo * 100
-    printf "verify: disabled-path hot loop %.1f ns vs %.1f ns (%.2f%% apart, tol %s%%)\n", a, b, pct, tol
-    exit (pct <= tol) ? 0 : 1
-}' || { echo "verify: FAIL — disabled-path timing drifted beyond tolerance" >&2; exit 1; }
+drift_ok=0
+for attempt in 1 2 3; do
+    M2M_TRACE=0 ./target/release/bench_runtime --smoke > "$tmpdir/off.txt"
+    M2M_TRACE=1 M2M_TRACE_OUT="$tmpdir/trace.json" \
+        ./target/release/bench_runtime --smoke > "$tmpdir/on.txt"
+
+    digest_off=$(get off smoke_digest)
+    digest_on=$(get on smoke_digest)
+    if [ "$digest_off" != "$digest_on" ]; then
+        echo "verify: FAIL — tracing changed benchmark results" \
+             "($digest_off vs $digest_on)" >&2
+        exit 1
+    fi
+
+    if ! [ -s "$tmpdir/trace.json" ] || ! grep -q '"counters"' "$tmpdir/trace.json"; then
+        echo "verify: FAIL — traced run exported no counter snapshot" >&2
+        exit 1
+    fi
+
+    if awk -v a="$(get off smoke_disabled_ns)" -v b="$(get on smoke_disabled_ns)" -v tol="$tol" '
+    BEGIN {
+        lo = (a < b) ? a : b; hi = (a < b) ? b : a
+        pct = (hi - lo) / lo * 100
+        printf "verify: disabled-path hot loop %.1f ns vs %.1f ns (%.2f%% apart, tol %s%%)\n", a, b, pct, tol
+        exit (pct <= tol) ? 0 : 1
+    }'; then
+        drift_ok=1
+        break
+    fi
+    echo "verify: timing drift beyond tolerance (attempt $attempt/3), retrying"
+done
+if [ "$drift_ok" != 1 ]; then
+    echo "verify: FAIL — disabled-path timing drifted beyond tolerance on every attempt" >&2
+    exit 1
+fi
 
 echo "verify: telemetry gate OK (digest $digest_off)"
+
+floor="${M2M_PERF_FLOOR:-200}"
+awk -v s="$(get off smoke_batched_speedup)" -v floor="$floor" '
+BEGIN {
+    printf "verify: batched path %.1fx the naive path (floor %sx)\n", s, floor
+    exit (s + 0 >= floor + 0) ? 0 : 1
+}' || { echo "verify: FAIL — batched speedup fell below M2M_PERF_FLOOR" >&2; exit 1; }
+
+echo "verify: performance gate OK"
 
 ./target/release/bench_resilience --smoke > "$tmpdir/res1.txt"
 ./target/release/bench_resilience --smoke > "$tmpdir/res2.txt"
