@@ -11,7 +11,14 @@
 //! artifact.
 //!
 //! Usage: `cargo run --release -p m2m-bench --bin bench_optimizer \
-//!         [output.json] [samples]`
+//!         [output.json] [samples] [--nodes 1000,10000,100000]`
+//!
+//! `--nodes` sweeps the thread-scaling build phase over a comma list of
+//! deployment sizes (Figure 6's scaled series, default `250`), appending
+//! one entry per size to a `sweep` array. The deep-dive sections
+//! (memoized rebuild, dense-core breakdown, maintainer update,
+//! telemetry) always run on the first size, so the default artifact
+//! shape is unchanged. Large sweeps should lower `samples` accordingly.
 
 use m2m_bench::report::{bench_report, median_ns, telemetry_section, time_ns, JsonValue};
 use m2m_core::dynamics::{PlanMaintainer, WorkloadUpdate};
@@ -26,34 +33,39 @@ use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn main() {
-    telemetry::init_logging(Level::Info);
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_optimizer.json".to_string());
-    let samples: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(11);
+/// One scaled-series deployment with its workload and routing tables.
+struct Instance {
+    network: Network,
+    spec: m2m_core::spec::AggregationSpec,
+    routing: RoutingTables,
+}
 
-    let deployment = Deployment::scaled_series(&[250], 7).remove(0);
+fn instance(size: usize) -> Instance {
+    let deployment = Deployment::scaled_series(&[size], 7).remove(0);
     let network = Network::with_default_energy(deployment);
     let n = network.node_count();
-    let spec = generate_workload(&network, &WorkloadConfig::paper_default(n / 4, 20, 7));
+    // Cap destination count at scale, matching `bench_scale`: beyond 10k
+    // nodes the workload keeps 250 destinations so spec size doesn't
+    // drown the front-end measurement.
+    let dests = if n <= 10_000 { (n / 4).max(4) } else { 250 };
+    let spec = generate_workload(&network, &WorkloadConfig::paper_default(dests, 20, 7));
     let routing = RoutingTables::build(
         &network,
         &spec.source_to_destinations(),
         RoutingMode::ShortestPathTrees,
     );
+    Instance {
+        network,
+        spec,
+        routing,
+    }
+}
 
-    let reference = GlobalPlan::build_with_threads(&network, &spec, &routing, 1);
-    let edge_count = reference.problems().len();
-    m2m_log!(
-        Level::Info,
-        "deployment: {n} nodes, {} destinations, {edge_count} solved edges",
-        spec.destinations().count()
-    );
-
+/// Thread-scaling build medians for one instance, verifying every
+/// parallel build bit-identical to the serial reference. Returns the
+/// per-thread-count JSON entries, the serial median, and the reference.
+fn thread_sweep(inst: &Instance, samples: usize) -> (Vec<JsonValue>, f64, GlobalPlan) {
+    let reference = GlobalPlan::build_with_threads(&inst.network, &inst.spec, &inst.routing, 1);
     let mut builds = Vec::new();
     let mut serial_median = 0.0f64;
     for &threads in &THREAD_COUNTS {
@@ -62,7 +74,10 @@ fn main() {
             let mut plan = None;
             times.push(time_ns(|| {
                 plan = Some(GlobalPlan::build_with_threads(
-                    &network, &spec, &routing, threads,
+                    &inst.network,
+                    &inst.spec,
+                    &inst.routing,
+                    threads,
                 ));
             }));
             assert_eq!(
@@ -88,6 +103,77 @@ fn main() {
                 .with("speedup_vs_serial", JsonValue::float(speedup, 3)),
         );
     }
+    (builds, serial_median, reference)
+}
+
+fn main() {
+    telemetry::init_logging(Level::Info);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(list) = args[i]
+            .strip_prefix("--nodes=")
+            .map(str::to_owned)
+            .or_else(|| {
+                (args[i] == "--nodes").then(|| {
+                    i += 1;
+                    args.get(i).cloned().unwrap_or_default()
+                })
+            })
+        {
+            sizes = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().expect("--nodes takes a comma list of sizes"))
+                .collect();
+        } else {
+            positional.push(&args[i]);
+        }
+        i += 1;
+    }
+    let out_path = positional
+        .first()
+        .map_or("BENCH_optimizer.json", |s| s)
+        .to_string();
+    let samples: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    if sizes.is_empty() {
+        sizes.push(250);
+    }
+
+    let mut sweep = Vec::new();
+    let mut first: Option<(Instance, Vec<JsonValue>, f64, GlobalPlan)> = None;
+    for &size in &sizes {
+        let inst = instance(size);
+        let n = inst.network.node_count();
+        let edge_count = inst.routing.directed_edges().len();
+        m2m_log!(
+            Level::Info,
+            "deployment: {n} nodes, {} destinations, {edge_count} directed edges",
+            inst.spec.destinations().count()
+        );
+        let (builds, serial_median, reference) = thread_sweep(&inst, samples);
+        sweep.push(
+            JsonValue::object()
+                .with("nodes", n)
+                .with("destinations", inst.spec.destinations().count())
+                .with("edge_count", reference.problems().len())
+                .with("serial_median_ns", JsonValue::float(serial_median, 0))
+                .with("builds", JsonValue::Array(builds.clone())),
+        );
+        if first.is_none() {
+            first = Some((inst, builds, serial_median, reference));
+        }
+    }
+    let (inst, builds, serial_median, reference) = first.expect("at least one size");
+    let Instance {
+        network,
+        spec,
+        routing,
+    } = inst;
+    let n = network.node_count();
+    let edge_count = reference.problems().len();
 
     // Memoized rebuild: first build fills the cache, rebuilds are hits.
     let mut cache = SolveCache::new();
@@ -168,12 +254,25 @@ fn main() {
         stats.edges_total()
     );
 
-    let report = bench_report("plan_build", "scaled_series_250")
+    let scenario = if sizes == [250] {
+        "scaled_series_250".to_string()
+    } else {
+        format!(
+            "scaled_series_{}",
+            sizes
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("_")
+        )
+    };
+    let report = bench_report("plan_build", &scenario)
         .with("nodes", n)
         .with("destinations", spec.destinations().count())
         .with("edge_count", edge_count)
         .with("samples", samples)
         .with("builds", JsonValue::Array(builds))
+        .with("sweep", JsonValue::Array(sweep))
         .with(
             "memoized_rebuild",
             JsonValue::object()

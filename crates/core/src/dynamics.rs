@@ -16,7 +16,9 @@ use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingMode, RoutingTables};
 
 use crate::agg::AggregateFunction;
-use crate::edge_opt::{build_edge_problems, solve_edge_batch, EdgeProblem, EdgeSolution};
+use crate::edge_opt::{
+    build_edge_problems, solve_edge_batch, solve_edge_slab, EdgeProblem, EdgeSolution,
+};
 use crate::parallel;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
@@ -105,8 +107,7 @@ impl PlanMaintainer {
         let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
         let topo = Arc::new(Topology::snapshot(&spec, &routing));
         let problems = build_edge_problems(&topo);
-        let refs: Vec<&EdgeProblem> = problems.iter().collect();
-        let base_solutions = solve_edge_batch(&refs, &spec, parallel::max_threads());
+        let base_solutions = solve_edge_slab(&problems, &spec, parallel::max_threads());
         let plan = GlobalPlan::from_solutions(
             &spec,
             Arc::clone(&topo),

@@ -34,7 +34,6 @@
 //! source-minimal min cut, making solutions deterministic and globally
 //! consistent.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use m2m_graph::bipartite::BipartiteGraph;
@@ -94,28 +93,44 @@ pub struct EdgeProblem {
 }
 
 impl EdgeProblem {
-    /// Distinct destinations in `D_e`, sorted.
-    pub fn destinations(&self) -> Vec<NodeId> {
-        let mut d: Vec<NodeId> = self.groups.iter().map(|g| g.destination).collect();
-        d.sort_unstable();
-        d.dedup();
-        d
+    /// Distinct destinations in `D_e`, ascending. Borrows the sorted
+    /// group slab directly — `groups` order is `(destination, suffix)`,
+    /// so destinations stream out in ascending runs and deduplication is
+    /// a one-element look-back; no allocation.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut last: Option<NodeId> = None;
+        self.groups.iter().map(|g| g.destination).filter(move |&d| {
+            if last == Some(d) {
+                false
+            } else {
+                last = Some(d);
+                true
+            }
+        })
     }
 
     /// True if every destination has a single continuation group — i.e.
     /// the paper's sharing restriction holds at this edge and the problem
     /// coincides with the paper's exact formulation.
+    ///
+    /// Unlike [`Self::destinations`] this does not assume the group slab
+    /// is sorted, so it stays a valid diagnostic on hand-built or mutated
+    /// problems.
     pub fn is_sharing_coherent(&self) -> bool {
-        self.destinations().len() == self.groups.len()
+        let mut dests: Vec<NodeId> = self.groups.iter().map(|g| g.destination).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests.len() == self.groups.len()
     }
 
-    /// Sources feeding the given group, sorted.
-    pub fn group_sources(&self, group_idx: usize) -> Vec<NodeId> {
+    /// Sources feeding the given group, ascending (pairs are sorted, so
+    /// filtering them streams sources in source-index order). Borrows
+    /// the problem; collect only if ownership is needed.
+    pub fn group_sources(&self, group_idx: usize) -> impl Iterator<Item = NodeId> + '_ {
         self.pairs
             .iter()
-            .filter(|&&(_, g)| g == group_idx)
+            .filter(move |&&(_, g)| g == group_idx)
             .map(|&(s, _)| self.sources[s])
-            .collect()
     }
 }
 
@@ -276,6 +291,43 @@ pub fn solve_edge_batch(
     )
 }
 
+/// Solves a dense slab of single-edge problems on up to `threads`
+/// workers, returning solutions aligned with the input slab (i.e. in
+/// [`crate::topo::EdgeIdx`] order when handed `build_edge_problems`
+/// output).
+///
+/// This is the chunked counterpart of [`solve_edge_batch`]: the slab is
+/// statically split into one contiguous span per worker
+/// ([`crate::parallel::parallel_chunks_mut`]), so the fan-out costs one
+/// task dispatch per worker instead of one atomic claim per edge, and
+/// each worker reuses one [`EdgeSolveScratch`] across its whole span.
+/// Output is bit-identical to the serial solve at any thread count
+/// (Theorem 1 plus per-call scratch reset).
+pub fn solve_edge_slab(
+    problems: &[EdgeProblem],
+    spec: &AggregationSpec,
+    threads: usize,
+) -> Vec<EdgeSolution> {
+    let mut slots: Vec<Option<EdgeSolution>> = Vec::with_capacity(problems.len());
+    slots.resize_with(problems.len(), || None);
+    crate::parallel::parallel_chunks_mut(
+        problems,
+        &mut slots,
+        1,
+        threads,
+        EdgeSolveScratch::new,
+        |scratch, chunk, out| {
+            for (slot, problem) in out.iter_mut().zip(chunk) {
+                *slot = Some(solve_edge_with(scratch, problem, spec));
+            }
+        },
+    );
+    slots
+        .into_iter()
+        .map(|s| s.expect("every span slot filled"))
+        .collect()
+}
+
 /// Builds the per-edge optimization problems for a whole workload,
 /// returning one [`EdgeProblem`] per demanded edge in
 /// [`crate::topo::EdgeIdx`] order: walks every demanded
@@ -288,70 +340,85 @@ pub fn solve_edge_batch(
 /// in exactly the ascending-edge order the old `BTreeMap` builder
 /// produced.
 pub fn build_edge_problems(topo: &Topology) -> Vec<EdgeProblem> {
-    // Accumulate with maps for dedup, then freeze into dense indices.
-    struct Builder {
-        sources: BTreeMap<NodeId, usize>,
-        groups: BTreeMap<AggGroup, usize>,
-        pairs: Vec<(usize, usize)>,
+    // Flat bucketing instead of one `BTreeMap` pair per edge: count
+    // registrations per edge, carve one shared buffer into per-edge
+    // spans by prefix sum, drop every `(source, group)` registration
+    // into its span, then freeze each span independently. Three linear
+    // walks and one sort per edge — no tree rebalancing, and the only
+    // allocations are the final per-problem vectors.
+    let ne = topo.edge_count();
+    let mut start = vec![0u32; ne + 1];
+    for tree in topo.trees() {
+        for dp in tree.dest_paths() {
+            for (edge_idx, _) in dp.hops() {
+                start[edge_idx.index() + 1] += 1;
+            }
+        }
     }
-    let mut acc: Vec<Builder> = (0..topo.edge_count())
-        .map(|_| Builder {
-            sources: BTreeMap::new(),
-            groups: BTreeMap::new(),
-            pairs: Vec::new(),
-        })
-        .collect();
-
+    for e in 0..ne {
+        start[e + 1] += start[e];
+    }
+    let empty_suffix: Arc<[NodeId]> = Arc::from(&[][..]);
+    let filler = (
+        NodeId(0),
+        AggGroup {
+            destination: NodeId(0),
+            suffix: empty_suffix,
+        },
+    );
+    let mut flat: Vec<(NodeId, AggGroup)> = vec![filler; start[ne] as usize];
+    let mut cursor = start.clone();
     for tree in topo.trees() {
         let s = tree.source();
         for dp in tree.dest_paths() {
             let d = dp.destination();
             for (edge_idx, suffix) in dp.hops() {
-                let b = &mut acc[edge_idx.index()];
-                let next_source = b.sources.len();
-                let si = *b.sources.entry(s).or_insert(next_source);
-                let group = AggGroup {
-                    destination: d,
-                    suffix: Arc::clone(suffix),
-                };
-                let next_group = b.groups.len();
-                let gi = *b.groups.entry(group).or_insert(next_group);
-                b.pairs.push((si, gi));
+                let c = &mut cursor[edge_idx.index()];
+                flat[*c as usize] = (
+                    s,
+                    AggGroup {
+                        destination: d,
+                        suffix: Arc::clone(suffix),
+                    },
+                );
+                *c += 1;
             }
         }
     }
 
-    acc.into_iter()
-        .enumerate()
-        .map(|(idx, b)| {
-            let edge = topo.edges()[idx];
-            // Map insertion indices → position after sorting by key, so the
-            // frozen vectors are sorted and indices stay aligned.
-            let mut src_order: Vec<(NodeId, usize)> =
-                b.sources.iter().map(|(&s, &i)| (s, i)).collect();
-            src_order.sort_unstable();
-            let mut src_remap = vec![0usize; src_order.len()];
-            for (new_idx, &(_, old_idx)) in src_order.iter().enumerate() {
-                src_remap[old_idx] = new_idx;
+    (0..ne)
+        .map(|e| {
+            let span = &mut flat[start[e] as usize..start[e + 1] as usize];
+            // Sorting registrations by `(source, group)` makes sources
+            // stream out in ascending runs, and — because mapping through
+            // the sorted dedup'd slabs is monotone — yields the pair list
+            // already in sorted order, exactly as the map-based builder
+            // produced it.
+            span.sort_unstable();
+            let mut sources: Vec<NodeId> = Vec::new();
+            for (s, _) in span.iter() {
+                if sources.last() != Some(s) {
+                    sources.push(*s);
+                }
             }
-            let mut grp_order: Vec<(AggGroup, usize)> =
-                b.groups.iter().map(|(g, &i)| (g.clone(), i)).collect();
-            grp_order.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            let mut grp_remap = vec![0usize; grp_order.len()];
-            for (new_idx, (_, old_idx)) in grp_order.iter().enumerate() {
-                grp_remap[*old_idx] = new_idx;
+            let mut groups: Vec<AggGroup> = span.iter().map(|(_, g)| g.clone()).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(span.len());
+            let mut prev: Option<&(NodeId, AggGroup)> = None;
+            for ent in span.iter() {
+                if prev == Some(ent) {
+                    continue;
+                }
+                prev = Some(ent);
+                let si = sources.binary_search(&ent.0).expect("source registered");
+                let gi = groups.binary_search(&ent.1).expect("group registered");
+                pairs.push((si, gi));
             }
-            let mut pairs: Vec<(usize, usize)> = b
-                .pairs
-                .iter()
-                .map(|&(si, gi)| (src_remap[si], grp_remap[gi]))
-                .collect();
-            pairs.sort_unstable();
-            pairs.dedup();
             EdgeProblem {
-                edge,
-                sources: src_order.into_iter().map(|(s, _)| s).collect(),
-                groups: grp_order.into_iter().map(|(g, _)| g).collect(),
+                edge: topo.edges()[e],
+                sources,
+                groups,
                 pairs,
             }
         })
@@ -452,10 +519,13 @@ mod tests {
     fn group_sources_lookup() {
         let (problem, _) = figure2_problem();
         assert_eq!(
-            problem.group_sources(0),
+            problem.group_sources(0).collect::<Vec<_>>(),
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
         );
-        assert_eq!(problem.group_sources(2), vec![NodeId(0)]);
+        assert_eq!(
+            problem.group_sources(2).collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! A fast, deterministic hasher for interning tables.
+//!
+//! The plan front-end interns millions of small keys per build — route
+//! suffixes, directed edges, node positions — and the standard library's
+//! default SipHash is the dominant cost of those tables at 10k+ nodes
+//! (interning every suffix of every route hashes O(path²) words per
+//! route). This is the multiply-rotate word hash used by rustc
+//! (`FxHasher`), reimplemented here because the workspace takes no
+//! external dependencies: a few cycles per word, deterministic across
+//! runs and platforms of equal word size.
+//!
+//! Only use it for tables keyed by trusted internal data (node ids,
+//! edges, interned slices): it has no DoS resistance, which is exactly
+//! the property traded away for speed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash algorithm (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// The rustc word-at-a-time multiply-rotate hasher.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_ne_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let key = (m2m_graph::NodeId(3), m2m_graph::NodeId(17));
+        assert_eq!(hash_one(&key), hash_one(&key));
+        assert_ne!(hash_one(&key), hash_one(&(key.1, key.0)));
+    }
+
+    #[test]
+    fn slices_with_shared_prefix_differ() {
+        let a: &[u32] = &[1, 2, 3];
+        let b: &[u32] = &[1, 2, 3, 0];
+        assert_ne!(hash_one(&a), hash_one(&b));
+        let s: &[u8] = b"ab";
+        let t: &[u8] = b"ab\0";
+        assert_ne!(hash_one(&s), hash_one(&t));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for i in 0..100usize {
+            map.insert((0..i as u32).collect(), i);
+        }
+        for i in 0..100usize {
+            assert_eq!(map[&(0..i as u32).collect::<Vec<_>>()], i);
+        }
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+    }
+}

@@ -123,6 +123,7 @@ pub mod dynamics;
 pub mod edge_opt;
 pub mod exec;
 pub mod faults;
+pub mod fxhash;
 pub mod memo;
 pub mod metrics;
 pub mod milestones;

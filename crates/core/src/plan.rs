@@ -36,7 +36,7 @@ use m2m_netsim::{Network, RoutingTables};
 
 use crate::agg::RAW_VALUE_BYTES;
 use crate::edge_opt::{
-    build_edge_problems, solve_edge_batch, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
+    build_edge_problems, solve_edge_slab, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
 };
 use crate::memo::SolveCache;
 use crate::parallel;
@@ -95,8 +95,7 @@ impl GlobalPlan {
         let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
         let topo = Arc::new(Topology::snapshot(spec, routing));
         let problems = build_edge_problems(&topo);
-        let refs: Vec<&EdgeProblem> = problems.iter().collect();
-        let solutions = solve_edge_batch(&refs, spec, threads);
+        let solutions = solve_edge_slab(&problems, spec, threads);
         let plan = Self::assemble(spec, topo, problems, solutions, true);
         if crate::telemetry::enabled() {
             crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
@@ -501,6 +500,33 @@ mod tests {
             AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 1.0)]),
         );
         spec
+    }
+
+    #[test]
+    fn parallel_builds_are_bit_identical_across_modes() {
+        // The chunked slab solve must reproduce the serial build exactly
+        // in every routing mode — Theorem 1 says per-edge solves compose
+        // independently, so thread count may never show in the output.
+        let net = Network::with_default_energy(Deployment::grid(6, 6, 10.0, 12.0));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(9, 12, 7));
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            let serial = GlobalPlan::build_with_threads(&net, &spec, &routing, 1);
+            for threads in [2, 8] {
+                let plan = GlobalPlan::build_with_threads(&net, &spec, &routing, threads);
+                assert_eq!(
+                    plan.solutions(),
+                    serial.solutions(),
+                    "{mode:?} diverged at {threads} threads"
+                );
+                assert_eq!(plan.problems(), serial.problems());
+                assert_eq!(plan.total_payload_bytes(), serial.total_payload_bytes());
+            }
+        }
     }
 
     #[test]

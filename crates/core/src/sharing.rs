@@ -76,7 +76,6 @@ pub fn shared_record_analysis(spec: &AggregationSpec, plan: &GlobalPlan) -> Shar
                 .expect("solution group comes from the problem");
             let mut content: Vec<(NodeId, u64)> = problem
                 .group_sources(gi)
-                .into_iter()
                 .filter(|&s| !sol.transmits_raw(s))
                 .map(|s| (s, f.weight(s).expect("pair in spec").to_bits()))
                 .collect();

@@ -274,7 +274,7 @@ fn explain_edge(
             RecordExplain {
                 destination: group.destination,
                 bytes: record_bytes(group.destination),
-                merges: problem.group_sources(gi),
+                merges: problem.group_sources(gi).collect(),
                 remaining_hops: group.suffix.len().saturating_sub(1),
             }
         })

@@ -25,13 +25,13 @@
 //! old `BTreeMap<DirectedEdge, _>` planner state. Every bit-identity
 //! argument in `plan`/`schedule`/`exec` leans on this.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use m2m_graph::NodeId;
 use m2m_netsim::RoutingTables;
 
 use crate::edge_opt::DirectedEdge;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::spec::AggregationSpec;
 
 /// Dense index of a node within a [`Topology`] snapshot.
@@ -151,9 +151,10 @@ impl TreeTopo {
 pub struct Topology {
     nodes: Vec<NodeId>,
     edges: Vec<DirectedEdge>,
-    edge_lookup: HashMap<DirectedEdge, EdgeIdx>,
+    edge_lookup: FxHashMap<DirectedEdge, EdgeIdx>,
     trees: Vec<TreeTopo>,
     sources: Vec<NodeId>,
+    slab_bytes: usize,
 }
 
 impl Topology {
@@ -164,34 +165,36 @@ impl Topology {
     /// actually demands from that source, and interns every node and
     /// directed edge on the surviving routes.
     pub fn snapshot(spec: &AggregationSpec, routing: &RoutingTables) -> Topology {
-        // Demanded `(destination, full path)` routes of one tree.
-        type TreeRoutes = Vec<(NodeId, Vec<NodeId>)>;
-        // Pass 1: demanded routes, and from them the sorted slabs.
-        let mut routes: Vec<(NodeId, TreeRoutes)> = Vec::new();
+        // Pass 1: walk every demanded route once through a single reused
+        // path buffer (routes are re-walked from the forest in pass 2
+        // instead of being materialized as one `Vec<NodeId>` each).
+        let mut demanded_by_tree: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        let mut path: Vec<NodeId> = Vec::new();
         let mut edges: Vec<DirectedEdge> = Vec::new();
         let mut nodes: Vec<NodeId> = Vec::new();
         for (s, tree) in routing.trees() {
-            let mut demanded: TreeRoutes = Vec::new();
+            let mut demanded: Vec<NodeId> = Vec::new();
             for &d in tree.destinations() {
                 if !spec.is_source_of(s, d) {
                     continue;
                 }
-                let path = tree
-                    .path_to(d)
-                    .expect("tree spans its destinations by construction");
+                assert!(
+                    tree.write_path_to(d, &mut path),
+                    "tree spans its destinations by construction"
+                );
                 nodes.extend_from_slice(&path);
                 edges.extend(path.windows(2).map(|h| (h[0], h[1])));
-                demanded.push((d, path));
+                demanded.push(d);
             }
             if !demanded.is_empty() {
-                routes.push((s, demanded));
+                demanded_by_tree.push((s, demanded));
             }
         }
         nodes.sort_unstable();
         nodes.dedup();
         edges.sort_unstable();
         edges.dedup();
-        let edge_lookup: HashMap<DirectedEdge, EdgeIdx> = edges
+        let edge_lookup: FxHashMap<DirectedEdge, EdgeIdx> = edges
             .iter()
             .enumerate()
             .map(|(i, &e)| (e, EdgeIdx(i as u32)))
@@ -204,26 +207,30 @@ impl Topology {
         // suffixes are interned across the whole snapshot so every edge
         // problem and schedule lookup shares one allocation per distinct
         // remaining route.
-        let mut suffixes: HashSet<Arc<[NodeId]>> = HashSet::new();
-        let mut intern = move |tail: &[NodeId]| -> Arc<[NodeId]> {
+        let mut suffixes: FxHashSet<Arc<[NodeId]>> = FxHashSet::default();
+        let mut suffix_bytes = 0usize;
+        let mut intern = |tail: &[NodeId]| -> Arc<[NodeId]> {
             if let Some(existing) = suffixes.get(tail) {
                 Arc::clone(existing)
             } else {
                 let arc: Arc<[NodeId]> = tail.into();
+                suffix_bytes += std::mem::size_of_val(tail);
                 suffixes.insert(Arc::clone(&arc));
                 arc
             }
         };
-        let mut trees = Vec::with_capacity(routes.len());
-        let mut sources = Vec::with_capacity(routes.len());
-        for (s, demanded) in routes {
+        let mut trees = Vec::with_capacity(demanded_by_tree.len());
+        let mut sources = Vec::with_capacity(demanded_by_tree.len());
+        for (s, demanded) in demanded_by_tree {
             sources.push(s);
+            let tree = routing.tree(s).expect("tree existed in pass 1");
             let mut order: Vec<NodeIdx> = vec![node_idx_of(s)];
-            let mut pos_of: HashMap<NodeId, u32> = HashMap::new();
+            let mut pos_of: FxHashMap<NodeId, u32> = FxHashMap::default();
             pos_of.insert(s, 0);
             let mut child_lists: Vec<Vec<(u32, EdgeIdx)>> = vec![Vec::new()];
             let mut dest_paths = Vec::with_capacity(demanded.len());
-            for (d, path) in demanded {
+            for d in demanded {
+                assert!(tree.write_path_to(d, &mut path), "route existed in pass 1");
                 let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
                 for idx in 0..path.len().saturating_sub(1) {
                     let (tail, head) = (path[idx], path[idx + 1]);
@@ -259,13 +266,44 @@ impl Topology {
             });
         }
 
+        let tree_bytes: usize = trees
+            .iter()
+            .map(|t| {
+                t.order.len() * std::mem::size_of::<NodeIdx>()
+                    + t.child_start.len() * std::mem::size_of::<u32>()
+                    + t.children.len() * std::mem::size_of::<(u32, EdgeIdx)>()
+                    + t.dest_paths
+                        .iter()
+                        .map(|dp| {
+                            std::mem::size_of::<NodeId>()
+                                + dp.hops.len() * std::mem::size_of::<(EdgeIdx, Arc<[NodeId]>)>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let slab_bytes = nodes.len() * std::mem::size_of::<NodeId>()
+            + edges.len() * std::mem::size_of::<DirectedEdge>()
+            + edge_lookup.len() * std::mem::size_of::<(DirectedEdge, EdgeIdx)>()
+            + sources.len() * std::mem::size_of::<NodeId>()
+            + tree_bytes
+            + suffix_bytes;
+
         Topology {
             nodes,
             edges,
             edge_lookup,
             trees,
             sources,
+            slab_bytes,
         }
+    }
+
+    /// Resident bytes of the snapshot's slabs (node/edge slabs, lookup
+    /// table, per-tree CSR, destination routes, interned suffixes) —
+    /// the scaling benchmark's per-stage memory column.
+    #[inline]
+    pub fn slab_bytes(&self) -> usize {
+        self.slab_bytes
     }
 
     /// The interned nodes, ascending.
@@ -479,7 +517,8 @@ mod tests {
     fn suffixes_are_interned_across_trees() {
         let (_n, spec, routing) = demo();
         let topo = Topology::snapshot(&spec, &routing);
-        let mut by_content: HashMap<Vec<NodeId>, *const [NodeId]> = HashMap::new();
+        let mut by_content: std::collections::HashMap<Vec<NodeId>, *const [NodeId]> =
+            std::collections::HashMap::new();
         for tree in topo.trees() {
             for dp in tree.dest_paths() {
                 for (_, suffix) in dp.hops() {

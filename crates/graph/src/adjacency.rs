@@ -95,6 +95,78 @@ impl Graph {
     }
 }
 
+/// Read-only neighbor access, implemented by both [`Graph`] and
+/// [`CsrAdjacency`]. Traversals ([`crate::scratch::RoutingScratch`]) are
+/// generic over this so hot loops can run on the flattened layout while
+/// tests and one-shot callers keep passing a [`Graph`] directly.
+pub trait Adjacency {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Sorted neighbor list of `v`.
+    fn neighbors(&self, v: NodeId) -> &[NodeId];
+}
+
+impl Adjacency for Graph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, v)
+    }
+}
+
+/// A compressed-sparse-row snapshot of a [`Graph`]: all neighbor lists
+/// packed into one contiguous slab with per-node offsets.
+///
+/// `Graph` keeps one `Vec` per node, which is the right shape for
+/// incremental construction but costs a pointer chase into a scattered
+/// heap allocation per visited node. Routing runs thousands of
+/// traversals over a graph that never changes between them, so the
+/// forest builders snapshot it once (O(V+E)) and traverse the slab.
+/// Neighbor order is preserved exactly, so every traversal — and every
+/// downstream tie-break — is bit-identical to running on the `Graph`.
+#[derive(Clone, Debug)]
+pub struct CsrAdjacency {
+    start: Vec<u32>,
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Flattens `graph` into CSR form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut start = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        start.push(0);
+        for v in graph.nodes() {
+            neighbors.extend_from_slice(graph.neighbors(v));
+            start.push(neighbors.len() as u32);
+        }
+        CsrAdjacency { start, neighbors }
+    }
+
+    /// Resident bytes of the slabs.
+    pub fn slab_bytes(&self) -> usize {
+        self.start.len() * std::mem::size_of::<u32>()
+            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl Adjacency for CsrAdjacency {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.start.len() - 1
+    }
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.start[v.index()] as usize;
+        let hi = self.start[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +230,22 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut g = Graph::new(2);
         g.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn csr_mirrors_graph_exactly() {
+        let mut g = Graph::new(5);
+        for (a, b) in [(0, 1), (1, 2), (0, 3), (3, 4), (1, 4)] {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(Adjacency::node_count(&csr), g.node_count());
+        for v in g.nodes() {
+            assert_eq!(Adjacency::neighbors(&csr, v), g.neighbors(v), "node {v}");
+        }
+        // Isolated trailing node keeps an empty window.
+        let lonely = CsrAdjacency::from_graph(&Graph::new(3));
+        assert_eq!(Adjacency::node_count(&lonely), 3);
+        assert!(Adjacency::neighbors(&lonely, NodeId(2)).is_empty());
     }
 }

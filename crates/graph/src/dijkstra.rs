@@ -10,6 +10,7 @@ use std::collections::BinaryHeap;
 
 use crate::adjacency::Graph;
 use crate::node::NodeId;
+use crate::tiebreak::offer_wins;
 
 /// Result of a single-source Dijkstra run.
 #[derive(Clone, Debug)]
@@ -60,14 +61,7 @@ where
         for &v in graph.neighbors(u) {
             let w = weight(u, v);
             let cand = du + w;
-            let better = match dist[v.index()] {
-                None => true,
-                Some(dv) if cand < dv => true,
-                // Equal distance: keep the lower-id parent for determinism.
-                Some(dv) if cand == dv => parent[v.index()].is_some_and(|p| u < p),
-                Some(_) => false,
-            };
-            if better {
+            if offer_wins(cand, u, dist[v.index()], parent[v.index()]) {
                 dist[v.index()] = Some(cand);
                 parent[v.index()] = Some(u);
                 heap.push(Reverse((cand, v)));

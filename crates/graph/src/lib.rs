@@ -36,13 +36,16 @@ pub mod matching;
 pub mod maxflow;
 pub mod node;
 pub mod push_relabel;
+pub mod scratch;
 pub mod spt;
 pub mod steiner;
+pub mod tiebreak;
 pub mod unionfind;
 pub mod vertex_cover;
 
 pub use adjacency::Graph;
 pub use bipartite::BipartiteGraph;
 pub use node::NodeId;
+pub use scratch::RoutingScratch;
 pub use spt::ShortestPathTree;
 pub use vertex_cover::{min_weight_vertex_cover, CoverSolution};

@@ -10,6 +10,7 @@
 use crate::adjacency::Graph;
 use crate::bfs::bfs_distances;
 use crate::node::NodeId;
+use crate::tiebreak::offer_wins;
 
 /// A shortest-path tree rooted at a node, covering every reachable node.
 #[derive(Clone, Debug)]
@@ -43,13 +44,18 @@ impl ShortestPathTree {
             if dv == 0 {
                 continue;
             }
-            // Lowest-id neighbor one hop closer to the root. Neighbor lists
-            // are sorted, so the first match is the canonical parent.
-            parent[v.index()] = graph
-                .neighbors(v)
-                .iter()
-                .copied()
-                .find(|u| dist[u.index()] == Some(dv - 1));
+            // Canonical parent: the lowest-id neighbor one hop closer to
+            // the root, selected by the shared tie-break rule so every
+            // shortest-path structure in the workspace agrees.
+            let mut best: Option<NodeId> = None;
+            for &u in graph.neighbors(v) {
+                if dist[u.index()] == Some(dv - 1)
+                    && offer_wins(u64::from(dv), u, best.map(|_| u64::from(dv)), best)
+                {
+                    best = Some(u);
+                }
+            }
+            parent[v.index()] = best;
             debug_assert!(
                 parent[v.index()].is_some(),
                 "non-root reachable node must have a parent"
@@ -248,6 +254,14 @@ impl MulticastTree {
         }
         path.reverse();
         Some(path)
+    }
+
+    /// Resident bytes of this tree's backing storage (capacity-based
+    /// would overstate; lengths are what scaling plots care about).
+    pub fn slab_bytes(&self) -> usize {
+        self.parent.len() * std::mem::size_of::<Option<NodeId>>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()
+            + self.destinations.len() * std::mem::size_of::<NodeId>()
     }
 
     /// Destinations whose root-path traverses the directed edge `tail→head`.

@@ -1,0 +1,109 @@
+//! The canonical lower-id-predecessor tie-break rule.
+//!
+//! Every shortest-path structure in this workspace — BFS shortest-path
+//! trees ([`crate::spt`]), weighted Dijkstra ([`crate::dijkstra`]), and
+//! the arena-based runs in [`crate::scratch`] — must pick the *same*
+//! parent for a node when several predecessors lie at equal distance:
+//! the one with the lowest id. Plans, schedules, and executors are
+//! bit-compared across builds, thread counts, and data layouts, so this
+//! rule is load-bearing; it used to live in a comment inside `dijkstra`'s
+//! relaxation match. This module is that rule as code, used by every
+//! relaxation loop and unit-tested directly.
+//!
+//! The rule is stated per *relaxation offer*: node `v` currently holds
+//! `(incumbent_dist, incumbent_parent)` and is offered distance
+//! `cand_dist` via predecessor `cand_parent`. Applying the rule over any
+//! sequence of offers that includes every optimal predecessor converges
+//! to `(d*, min-id optimal predecessor)` regardless of offer order —
+//! which is exactly why heap layout (binary vs indexed 4-ary) cannot
+//! change routing results.
+
+use crate::node::NodeId;
+
+/// Returns `true` if the offer `(cand_dist, cand_parent)` should replace
+/// the incumbent `(incumbent_dist, incumbent_parent)` state of a node.
+///
+/// * no incumbent distance → accept (first offer);
+/// * strictly smaller distance → accept;
+/// * equal distance → accept only a lower-id predecessor;
+/// * larger distance → reject.
+///
+/// A node whose distance is set always has a parent except the root; the
+/// root never receives offers at its own distance in a positive-weight /
+/// unit-hop run, so `incumbent_parent == None` with an equal-distance
+/// offer (rejecting it) can only describe the root and keeps it
+/// parentless.
+#[inline]
+pub fn offer_wins(
+    cand_dist: u64,
+    cand_parent: NodeId,
+    incumbent_dist: Option<u64>,
+    incumbent_parent: Option<NodeId>,
+) -> bool {
+    match incumbent_dist {
+        None => true,
+        Some(dv) if cand_dist < dv => true,
+        Some(dv) if cand_dist == dv => incumbent_parent.is_some_and(|p| cand_parent < p),
+        Some(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_offer_always_wins() {
+        assert!(offer_wins(17, NodeId(9), None, None));
+    }
+
+    #[test]
+    fn smaller_distance_wins_regardless_of_id() {
+        assert!(offer_wins(3, NodeId(99), Some(4), Some(NodeId(1))));
+    }
+
+    #[test]
+    fn equal_distance_prefers_lower_id_predecessor() {
+        assert!(offer_wins(4, NodeId(2), Some(4), Some(NodeId(5))));
+        assert!(!offer_wins(4, NodeId(5), Some(4), Some(NodeId(2))));
+        // Same predecessor id is not an improvement.
+        assert!(!offer_wins(4, NodeId(5), Some(4), Some(NodeId(5))));
+    }
+
+    #[test]
+    fn larger_distance_never_wins() {
+        assert!(!offer_wins(5, NodeId(0), Some(4), Some(NodeId(7))));
+    }
+
+    #[test]
+    fn equal_distance_against_the_root_is_rejected() {
+        // The root holds dist 0 with no parent; an equal-distance offer
+        // must not attach a parent to it.
+        assert!(!offer_wins(0, NodeId(3), Some(0), None));
+    }
+
+    #[test]
+    fn offer_order_is_immaterial() {
+        // Fold the same offer multiset in two orders; the surviving
+        // parent is the min-id optimal predecessor either way.
+        let offers = [
+            (4u64, NodeId(8)),
+            (4, NodeId(2)),
+            (5, NodeId(0)),
+            (4, NodeId(6)),
+        ];
+        let fold = |seq: &[(u64, NodeId)]| {
+            let mut state: (Option<u64>, Option<NodeId>) = (None, None);
+            for &(d, p) in seq {
+                if offer_wins(d, p, state.0, state.1) {
+                    state = (Some(d), Some(p));
+                }
+            }
+            state
+        };
+        let mut rev = offers;
+        rev.reverse();
+        assert_eq!(fold(&offers), fold(&rev));
+        assert_eq!(fold(&offers), (Some(4), Some(NodeId(2))));
+    }
+}

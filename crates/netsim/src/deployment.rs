@@ -236,16 +236,53 @@ impl Deployment {
 
     /// Builds the unit-disk radio connectivity graph: nodes are linked iff
     /// within radio range.
+    ///
+    /// Candidate pairs come from a spatial hash with cells of radio-range
+    /// side length (a node's neighbors all lie in its 3×3 cell block), so
+    /// construction is near-linear in node count for the bounded-density
+    /// deployments the scaled series produces — the exact pairwise scan is
+    /// kept for small or degenerate (non-positive range) deployments. The
+    /// produced edge *set* is identical either way, and `Graph::add_edge`
+    /// keeps neighbor lists sorted regardless of insertion order, so
+    /// everything downstream is unaffected.
     pub fn radio_graph(&self) -> m2m_graph::Graph {
         let n = self.positions.len();
         let mut g = m2m_graph::Graph::new(n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if self.positions[i].distance_to(&self.positions[j]) <= self.radio_range_m {
-                    g.add_edge(
-                        m2m_graph::NodeId::from_index(i),
-                        m2m_graph::NodeId::from_index(j),
-                    );
+        let range = self.radio_range_m;
+        if n < 512 || range <= 0.0 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if self.positions[i].distance_to(&self.positions[j]) <= range {
+                        g.add_edge(
+                            m2m_graph::NodeId::from_index(i),
+                            m2m_graph::NodeId::from_index(j),
+                        );
+                    }
+                }
+            }
+            return g;
+        }
+        let cell_of = |p: &Position| ((p.x / range).floor() as i64, (p.y / range).floor() as i64);
+        let mut bins: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, p) in self.positions.iter().enumerate() {
+            bins.entry(cell_of(p)).or_default().push(i as u32);
+        }
+        for (i, p) in self.positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(list) = bins.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in list {
+                        if (j as usize) > i && self.positions[j as usize].distance_to(p) <= range {
+                            g.add_edge(
+                                m2m_graph::NodeId::from_index(i),
+                                m2m_graph::NodeId::from_index(j as usize),
+                            );
+                        }
+                    }
                 }
             }
         }

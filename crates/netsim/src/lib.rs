@@ -16,6 +16,9 @@
 //! * [`routing`] — per-source multicast trees (the paper's "standard
 //!   algorithm") plus a strict shared-spanning-tree mode that satisfies the
 //!   §2.1 path-sharing restriction by construction,
+//! * [`forest`] — the flat CSR slab packing of all those trees
+//!   ([`RoutingForest`]/[`TreeView`]), sized by Σ|T_s| rather than
+//!   `sources × nodes`,
 //! * [`failure`] — seeded transient link-failure injection used by the
 //!   milestone-routing experiments, plus the [`DeliveryModel`] /
 //!   [`FailureTrace`] per-frame delivery oracles behind the fault-aware
@@ -27,6 +30,7 @@
 pub mod deployment;
 pub mod energy;
 pub mod failure;
+pub mod forest;
 pub mod network;
 pub mod position;
 pub mod quality;
@@ -35,6 +39,7 @@ pub mod routing;
 pub use deployment::Deployment;
 pub use energy::EnergyModel;
 pub use failure::{DeliveryModel, FailureTrace, LinkFailureModel};
+pub use forest::{RoutingForest, TreeView};
 pub use network::Network;
 pub use position::Position;
 pub use quality::LinkQuality;

@@ -19,12 +19,21 @@
 //! * [`RoutingMode::SteinerTrees`] — per-source Takahashi–Matsuyama
 //!   Steiner trees, trading route length for fewer tree edges; the
 //!   direction the paper's Figure 5 discussion points at.
+//!
+//! All three modes build straight into a flat [`RoutingForest`] (see
+//! [`crate::forest`]): per-tree state lives in shared CSR slabs sized by
+//! Σ|T_s| instead of one node-count-sized parent vector per source, and
+//! queries go through the borrowing [`TreeView`]. Pre-built
+//! [`MulticastTree`]s (milestone routing's virtual trees, link-quality
+//! routing) enter through [`RoutingTables::from_trees`].
 
 use std::collections::BTreeMap;
 
-use m2m_graph::spt::{MulticastTree, ShortestPathTree};
+use m2m_graph::spt::MulticastTree;
 use m2m_graph::NodeId;
 
+pub use crate::forest::TreeView;
+use crate::forest::{build_shared_forest, build_spt_forest, build_steiner_forest, RoutingForest};
 use crate::network::Network;
 
 /// Telemetry counter: routing-table constructions.
@@ -53,11 +62,12 @@ pub enum RoutingMode {
     SteinerTrees,
 }
 
-/// The multicast trees for a workload: one per source, keyed by source id.
+/// The multicast trees for a workload: one per source, packed into a
+/// [`RoutingForest`].
 #[derive(Clone, Debug)]
 pub struct RoutingTables {
     mode: RoutingMode,
-    trees: BTreeMap<NodeId, MulticastTree>,
+    forest: RoutingForest,
     /// All distinct directed physical edges used by any tree, sorted —
     /// computed once at construction (trees are immutable afterwards).
     directed_edges: Vec<(NodeId, NodeId)>,
@@ -75,51 +85,39 @@ impl RoutingTables {
         mode: RoutingMode,
     ) -> Self {
         let _span = m2m_telemetry::span(ROUTING_BUILD_NS);
-        let trees = match mode {
-            RoutingMode::ShortestPathTrees => demands
-                .iter()
-                .map(|(&s, dests)| {
-                    let spt = ShortestPathTree::build(network.graph(), s);
-                    (s, spt.prune_to(dests))
-                })
-                .collect(),
-            RoutingMode::SharedSpanningTree => {
-                let global = ShortestPathTree::build(network.graph(), NodeId(0));
-                demands
-                    .iter()
-                    .map(|(&s, dests)| (s, shared_tree_subtree(network, &global, s, dests)))
-                    .collect()
-            }
-            RoutingMode::SteinerTrees => demands
-                .iter()
-                .map(|(&s, dests)| {
-                    (
-                        s,
-                        m2m_graph::steiner::takahashi_matsuyama(network.graph(), s, dests),
-                    )
-                })
-                .collect(),
+        let forest = match mode {
+            RoutingMode::ShortestPathTrees => build_spt_forest(network.graph(), demands),
+            RoutingMode::SharedSpanningTree => build_shared_forest(network.graph(), demands),
+            RoutingMode::SteinerTrees => build_steiner_forest(network.graph(), demands),
         };
-        Self::from_trees(mode, trees)
+        Self::from_forest(mode, forest)
     }
 
     /// Builds routing tables directly from pre-constructed trees (used by
     /// milestone routing, which synthesizes *virtual* trees whose edges
     /// are not radio links).
     pub fn from_trees(mode: RoutingMode, trees: BTreeMap<NodeId, MulticastTree>) -> Self {
+        Self::from_forest(mode, RoutingForest::from_trees(&trees))
+    }
+
+    /// Builds routing tables around an already-packed forest.
+    pub fn from_forest(mode: RoutingMode, forest: RoutingForest) -> Self {
         let mut directed_edges: Vec<(NodeId, NodeId)> =
-            trees.values().flat_map(|t| t.edges()).collect();
+            forest.trees().flat_map(|(_, t)| t.edges()).collect();
         directed_edges.sort_unstable();
         directed_edges.dedup();
         if m2m_telemetry::enabled() {
             m2m_telemetry::counter(ROUTING_BUILDS, 1);
-            m2m_telemetry::counter(ROUTING_TREES, trees.len() as u64);
-            let tree_edges: usize = trees.values().map(|t| t.size().saturating_sub(1)).sum();
+            m2m_telemetry::counter(ROUTING_TREES, forest.source_count() as u64);
+            let tree_edges: usize = forest
+                .trees()
+                .map(|(_, t)| t.size().saturating_sub(1))
+                .sum();
             m2m_telemetry::counter(ROUTING_TREE_EDGES, tree_edges as u64);
         }
         RoutingTables {
             mode,
-            trees,
+            forest,
             directed_edges,
         }
     }
@@ -130,25 +128,31 @@ impl RoutingTables {
         self.mode
     }
 
+    /// The packed forest backing these tables.
+    #[inline]
+    pub fn forest(&self) -> &RoutingForest {
+        &self.forest
+    }
+
     /// The multicast tree rooted at `source`, if that source has demands.
-    pub fn tree(&self, source: NodeId) -> Option<&MulticastTree> {
-        self.trees.get(&source)
+    pub fn tree(&self, source: NodeId) -> Option<TreeView<'_>> {
+        self.forest.tree(source)
     }
 
     /// Iterator over `(source, tree)` pairs in ascending source order.
-    pub fn trees(&self) -> impl Iterator<Item = (NodeId, &MulticastTree)> {
-        self.trees.iter().map(|(&s, t)| (s, t))
+    pub fn trees(&self) -> impl Iterator<Item = (NodeId, TreeView<'_>)> {
+        self.forest.trees()
     }
 
     /// Number of sources with routing state.
     #[inline]
     pub fn source_count(&self) -> usize {
-        self.trees.len()
+        self.forest.source_count()
     }
 
     /// Sum of tree sizes, the paper's `Σ|T_s|` (Theorem 3).
     pub fn total_tree_size(&self) -> usize {
-        self.trees.values().map(|t| t.size()).sum()
+        self.forest.total_tree_size()
     }
 
     /// All distinct directed physical edges used by any tree, sorted.
@@ -157,65 +161,13 @@ impl RoutingTables {
     pub fn directed_edges(&self) -> &[(NodeId, NodeId)] {
         &self.directed_edges
     }
-}
 
-/// Extracts the multicast tree for `source` from a global spanning tree:
-/// the union of the unique tree paths source→destination, with parent
-/// pointers re-rooted at the source.
-fn shared_tree_subtree(
-    network: &Network,
-    global: &ShortestPathTree,
-    source: NodeId,
-    destinations: &[NodeId],
-) -> MulticastTree {
-    let n = network.node_count();
-    // Undirected adjacency of the global tree.
-    let mut tree_adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for v in network.nodes() {
-        if let Some(p) = global.parent(v) {
-            tree_adj[v.index()].push(p);
-            tree_adj[p.index()].push(v);
-        }
+    /// Resident bytes of the routing state's backing storage, for the
+    /// scaling benchmark's per-stage memory column.
+    pub fn slab_bytes(&self) -> usize {
+        self.forest.slab_bytes()
+            + self.directed_edges.len() * std::mem::size_of::<(NodeId, NodeId)>()
     }
-    // Mark nodes on each source→destination tree path. The path is found
-    // by splicing the two root paths at their divergence point.
-    let mut keep = vec![false; n];
-    keep[source.index()] = true;
-    let mut reached = Vec::new();
-    for &d in destinations {
-        let (Some(ps), Some(pd)) = (global.path_to(source), global.path_to(d)) else {
-            continue;
-        };
-        reached.push(d);
-        // Longest common prefix of the two root paths ends at the LCA.
-        let mut lca_idx = 0;
-        while lca_idx + 1 < ps.len() && lca_idx + 1 < pd.len() && ps[lca_idx + 1] == pd[lca_idx + 1]
-        {
-            lca_idx += 1;
-        }
-        for &v in &ps[lca_idx..] {
-            keep[v.index()] = true;
-        }
-        for &v in &pd[lca_idx..] {
-            keep[v.index()] = true;
-        }
-    }
-    // Re-root the induced subtree at the source with a BFS over kept nodes.
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut visited = vec![false; n];
-    let mut queue = std::collections::VecDeque::new();
-    visited[source.index()] = true;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        for &v in &tree_adj[u.index()] {
-            if keep[v.index()] && !visited[v.index()] {
-                visited[v.index()] = true;
-                parent[v.index()] = Some(u);
-                queue.push_back(v);
-            }
-        }
-    }
-    MulticastTree::from_parents(source, parent, reached)
 }
 
 #[cfg(test)]
@@ -274,7 +226,7 @@ mod tests {
         let d = demands(&[(0, &[15, 12]), (3, &[12, 15]), (5, &[10, 15])]);
         let rt = RoutingTables::build(&net, &d, RoutingMode::SharedSpanningTree);
         let trees: Vec<_> = rt.trees().map(|(_, t)| t).collect();
-        let path_between = |t: &MulticastTree, i: NodeId, j: NodeId| -> Option<Vec<NodeId>> {
+        let path_between = |t: &TreeView<'_>, i: NodeId, j: NodeId| -> Option<Vec<NodeId>> {
             // Directed path i→j within the tree: j's root path must pass i.
             let pj = t.path_to(j)?;
             let pos = pj.iter().position(|&v| v == i)?;
@@ -288,7 +240,7 @@ mod tests {
                             continue;
                         }
                         if let (Some(pa), Some(pb)) =
-                            (path_between(trees[a], i, j), path_between(trees[b], i, j))
+                            (path_between(&trees[a], i, j), path_between(&trees[b], i, j))
                         {
                             assert_eq!(pa, pb, "paths {i}→{j} differ between trees");
                         }
@@ -352,5 +304,25 @@ mod tests {
         let tree = rt.tree(NodeId(4)).unwrap();
         assert_eq!(tree.size(), 1);
         assert_eq!(tree.edges().count(), 0);
+    }
+
+    #[test]
+    fn forest_matches_legacy_tree_construction() {
+        // The packed forest must reproduce the tree-at-a-time oracles
+        // exactly, mode by mode (the property tests widen this to random
+        // deployments).
+        use m2m_graph::spt::ShortestPathTree;
+        let net = grid_network();
+        let d = demands(&[(0, &[15, 10]), (3, &[12]), (6, &[0, 9, 11])]);
+        let rt = RoutingTables::build(&net, &d, RoutingMode::ShortestPathTrees);
+        for (&s, targets) in &d {
+            let oracle = ShortestPathTree::build(net.graph(), s).prune_to(targets);
+            let view = rt.tree(s).unwrap();
+            assert_eq!(view.nodes(), oracle.nodes());
+            assert_eq!(view.destinations(), oracle.destinations());
+            for &v in view.nodes() {
+                assert_eq!(view.parent(v), oracle.parent(v));
+            }
+        }
     }
 }

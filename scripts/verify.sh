@@ -30,6 +30,15 @@
 # that lossy batches are thread-count invariant, and must print the same
 # per-scenario digests across two back-to-back runs), plus a schema
 # check of the committed BENCH_resilience.json artifact.
+#
+# Plan front-end gate: a smoke run of the scaling benchmark builds the
+# 1k-node spec→plan front end (routing forest → topology intern → edge
+# problems → serial solve) and prints `smoke_builds_per_sec=`, held
+# against an absolute M2M_BUILD_FLOOR (default 2 builds/sec; ~14
+# measured on the 1-core reference container). It also prints
+# `smoke_forest_digest=`, an FNV-1a over the routing forest's directed
+# edge set, which must be identical across two back-to-back runs — the
+# arena-reuse fast path may never perturb routing structure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,4 +117,22 @@ fi
 ./target/release/bench_resilience --check BENCH_resilience.json
 
 echo "verify: resilience gate OK ($(grep -c '^smoke_digest_' "$tmpdir/res1.txt") scenarios)"
+
+./target/release/bench_scale --smoke > "$tmpdir/scale1.txt"
+./target/release/bench_scale --smoke > "$tmpdir/scale2.txt"
+digest1=$(get scale1 smoke_forest_digest)
+digest2=$(get scale2 smoke_forest_digest)
+if [ "$digest1" != "$digest2" ]; then
+    echo "verify: FAIL — routing forest digest drifted between runs" \
+         "($digest1 vs $digest2)" >&2
+    exit 1
+fi
+build_floor="${M2M_BUILD_FLOOR:-2}"
+awk -v b="$(get scale1 smoke_builds_per_sec)" -v floor="$build_floor" '
+BEGIN {
+    printf "verify: plan front-end %.2f builds/sec at 1k nodes (floor %s)\n", b, floor
+    exit (b + 0 >= floor + 0) ? 0 : 1
+}' || { echo "verify: FAIL — front-end builds/sec fell below M2M_BUILD_FLOOR" >&2; exit 1; }
+
+echo "verify: plan front-end gate OK (forest digest $digest1)"
 echo "verify: OK"
