@@ -108,36 +108,10 @@ fn thread_sweep(inst: &Instance, samples: usize) -> (Vec<JsonValue>, f64, Global
 
 fn main() {
     telemetry::init_logging(Level::Info);
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional: Vec<&str> = Vec::new();
-    let mut sizes: Vec<usize> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(list) = args[i]
-            .strip_prefix("--nodes=")
-            .map(str::to_owned)
-            .or_else(|| {
-                (args[i] == "--nodes").then(|| {
-                    i += 1;
-                    args.get(i).cloned().unwrap_or_default()
-                })
-            })
-        {
-            sizes = list
-                .split(',')
-                .filter(|s| !s.is_empty())
-                .map(|s| s.parse().expect("--nodes takes a comma list of sizes"))
-                .collect();
-        } else {
-            positional.push(&args[i]);
-        }
-        i += 1;
-    }
-    let out_path = positional
-        .first()
-        .map_or("BENCH_optimizer.json", |s| s)
-        .to_string();
-    let samples: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let cli = m2m_bench::report::BenchCli::parse("BENCH_optimizer.json");
+    let out_path = cli.out_path;
+    let samples: usize = cli.count.unwrap_or(11);
+    let mut sizes = cli.nodes;
     if sizes.is_empty() {
         sizes.push(250);
     }

@@ -148,18 +148,7 @@ fn scenario_row(
 
 /// `--check`: parse an artifact and assert the schema the gate relies on.
 fn check_artifact(path: &str) {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let value = JsonValue::parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
-    let version = value
-        .get("schema_version")
-        .and_then(JsonValue::as_u64)
-        .unwrap_or_else(|| panic!("{path}: missing schema_version"));
-    assert_eq!(version, 2, "{path}: unexpected schema_version {version}");
-    assert_eq!(
-        value.get("benchmark").and_then(JsonValue::as_str),
-        Some("resilience"),
-        "{path}: wrong benchmark field"
-    );
+    let value = m2m_bench::report::check_header(path, "resilience");
     let scenarios = match value.get("scenarios") {
         Some(JsonValue::Array(rows)) if !rows.is_empty() => rows,
         _ => panic!("{path}: missing or empty scenarios array"),
@@ -177,25 +166,14 @@ fn check_artifact(path: &str) {
 
 fn main() {
     telemetry::init_logging(Level::Info);
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    args.retain(|a| a != "--smoke");
-    if let Some(i) = args.iter().position(|a| a == "--check") {
-        let path = args
-            .get(i + 1)
-            .cloned()
-            .unwrap_or_else(|| "BENCH_resilience.json".to_string());
-        check_artifact(&path);
+    let cli = m2m_bench::report::BenchCli::parse("BENCH_resilience.json");
+    let smoke = cli.smoke;
+    if let Some(path) = &cli.check {
+        check_artifact(path);
         return;
     }
-    let out_path = args
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "BENCH_resilience.json".to_string());
-    let rounds: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 16 } else { 64 });
+    let out_path = cli.out_path;
+    let rounds: usize = cli.count.unwrap_or(if smoke { 16 } else { 64 });
     let samples = if smoke { 3 } else { 7 };
 
     let network = Network::with_default_energy(Deployment::great_duck_island(7));

@@ -84,25 +84,11 @@ fn digest_outcomes(outcomes: &[EpochOutcome]) -> u64 {
 
 fn main() {
     telemetry::init_logging(Level::Info);
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    args.retain(|a| a != "--smoke");
-    let mut node_count: usize = 250;
-    if let Some(i) = args.iter().position(|a| a == "--nodes") {
-        node_count = args
-            .get(i + 1)
-            .and_then(|s| s.parse().ok())
-            .expect("--nodes takes a positive integer");
-        args.drain(i..=i + 1);
-    }
-    let out_path = args
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
-    let samples: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 5 } else { 9 });
+    let cli = m2m_bench::report::BenchCli::parse("BENCH_runtime.json");
+    let smoke = cli.smoke;
+    let node_count: usize = cli.nodes.first().copied().unwrap_or(250);
+    let out_path = cli.out_path;
+    let samples: usize = cli.count.unwrap_or(if smoke { 5 } else { 9 });
     // The naive path rebuilds the schedule every round, so one sample is
     // one round; the compiled path is so much faster that a sample times
     // a whole batch of rounds to stay above clock resolution.
@@ -400,7 +386,6 @@ fn main() {
     });
 
     let report = bench_report("round_execution", &format!("scaled_series_{n}"))
-        .with("schema_version", 2usize)
         .with("nodes", n)
         .with("destinations", spec.destinations().count())
         .with("sources", compiled.sources().len())

@@ -198,22 +198,12 @@ fn run_size(n: usize, samples: usize) -> SizePoint {
 
 fn main() {
     telemetry::init_logging(Level::Info);
-    let mut smoke = false;
-    let mut nodes: Vec<usize> = vec![1_000, 10_000, 100_000];
-    let mut out_path = "BENCH_scale.json".to_string();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--nodes" => {
-                let list = args.next().expect("--nodes needs a comma-separated list");
-                nodes = list
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("node count"))
-                    .collect();
-            }
-            other => out_path = other.to_string(),
-        }
+    let cli = m2m_bench::report::BenchCli::parse("BENCH_scale.json");
+    let smoke = cli.smoke;
+    let out_path = cli.out_path;
+    let mut nodes = cli.nodes;
+    if nodes.is_empty() {
+        nodes = vec![1_000, 10_000, 100_000];
     }
     if smoke {
         nodes = vec![1_000];

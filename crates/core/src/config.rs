@@ -5,7 +5,8 @@
 //! were each parsed at their point of use (`parallel`, the telemetry
 //! facade, the bench bins). [`Config`] centralizes them — plus the
 //! fault-pipeline knobs (`M2M_RETRIES`, `M2M_BACKOFF`, `M2M_MAX_SLOTS`,
-//! `M2M_HYSTERESIS`) — behind a builder:
+//! `M2M_HYSTERESIS`) and the observability knobs (`M2M_OBS`,
+//! `M2M_OBS_EVERY`, `M2M_OBS_CAP`) — behind a builder:
 //!
 //! ```
 //! use m2m_core::config::Config;
@@ -47,6 +48,15 @@ pub const HYSTERESIS_ENV: &str = "M2M_HYSTERESIS";
 /// Environment variable pinning the executor lane width (one of
 /// [`crate::exec::SUPPORTED_LANE_WIDTHS`]).
 pub const LANES_ENV: &str = "M2M_LANES";
+/// Environment variable enabling the observability layer (per-node
+/// planes, flight recorder, stage spans; `1`/`true`/…).
+pub const OBS_ENV: &str = m2m_telemetry::timeseries::OBS_ENV;
+/// Environment variable setting the flight-recorder sampling stride:
+/// record every Nth round's series point (events are never strided).
+pub const OBS_EVERY_ENV: &str = "M2M_OBS_EVERY";
+/// Environment variable bounding the flight recorder's ring capacities
+/// (series points and events each keep at most this many entries).
+pub const OBS_CAP_ENV: &str = "M2M_OBS_CAP";
 
 /// Default for [`Config::retries`] when `M2M_RETRIES` is unset.
 pub const DEFAULT_RETRIES: u32 = 8;
@@ -54,6 +64,10 @@ pub const DEFAULT_RETRIES: u32 = 8;
 pub const DEFAULT_MAX_SLOTS: u32 = 10_000;
 /// Default for [`Config::hysteresis`] when `M2M_HYSTERESIS` is unset.
 pub const DEFAULT_HYSTERESIS: f64 = 0.25;
+/// Default for [`Config::obs_every`] when `M2M_OBS_EVERY` is unset.
+pub const DEFAULT_OBS_EVERY: u64 = 1;
+/// Default for [`Config::obs_cap`] when `M2M_OBS_CAP` is unset.
+pub const DEFAULT_OBS_CAP: usize = 4096;
 
 /// A resolved runtime configuration. Construct with [`Config::from_env`]
 /// or [`Config::builder`]; read through the accessors.
@@ -68,6 +82,9 @@ pub struct Config {
     max_slots: u32,
     hysteresis: f64,
     lanes: usize,
+    obs: bool,
+    obs_every: u64,
+    obs_cap: usize,
 }
 
 impl Config {
@@ -105,6 +122,17 @@ impl Config {
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|w| crate::exec::SUPPORTED_LANE_WIDTHS.contains(w))
                 .unwrap_or(crate::exec::DEFAULT_LANE_WIDTH),
+            obs: std::env::var(OBS_ENV).is_ok_and(|v| parse_bool(&v)),
+            obs_every: std::env::var(OBS_EVERY_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_OBS_EVERY),
+            obs_cap: std::env::var(OBS_CAP_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_OBS_CAP),
         }
     }
 
@@ -183,6 +211,26 @@ impl Config {
         self.lanes
     }
 
+    /// Whether the observability layer (per-node planes, flight
+    /// recorder, stage spans) is on.
+    #[inline]
+    pub fn obs(&self) -> bool {
+        self.obs
+    }
+
+    /// Flight-recorder sampling stride: every Nth round gets a series
+    /// point (structured events are recorded regardless of stride).
+    #[inline]
+    pub fn obs_every(&self) -> u64 {
+        self.obs_every
+    }
+
+    /// Ring capacity for the flight recorder's series and event buffers.
+    #[inline]
+    pub fn obs_cap(&self) -> usize {
+        self.obs_cap
+    }
+
     /// The retry/backoff/budget knobs as a [`RetryPolicy`] for the
     /// fault-tolerant executor.
     pub fn retry_policy(&self) -> RetryPolicy {
@@ -199,6 +247,7 @@ impl Config {
     pub fn apply(&self) {
         crate::telemetry::set_enabled(self.trace);
         crate::telemetry::set_log_threshold(self.log);
+        m2m_telemetry::timeseries::set_obs_enabled(self.obs);
     }
 
     /// Writes the current telemetry snapshot to [`Config::trace_out`]
@@ -318,6 +367,36 @@ impl ConfigBuilder {
         self
     }
 
+    /// Turns the observability layer on or off.
+    #[must_use]
+    pub fn obs(mut self, on: bool) -> Self {
+        self.config.obs = on;
+        self
+    }
+
+    /// Sets the flight-recorder sampling stride (record every Nth
+    /// round's series point).
+    ///
+    /// # Panics
+    /// Panics if `every == 0` (stride 1 records every round).
+    #[must_use]
+    pub fn obs_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "obs stride must be positive");
+        self.config.obs_every = every;
+        self
+    }
+
+    /// Bounds the flight recorder's series and event ring capacities.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` (the recorder needs at least one slot).
+    #[must_use]
+    pub fn obs_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "obs ring capacity must be positive");
+        self.config.obs_cap = cap;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -356,6 +435,9 @@ mod tests {
             .max_slots(77)
             .hysteresis(0.5)
             .log(Level::Warn)
+            .obs(true)
+            .obs_every(10)
+            .obs_cap(128)
             .build();
         assert_eq!(cfg.threads(), Some(3));
         assert_eq!(cfg.resolved_threads(), 3);
@@ -366,6 +448,9 @@ mod tests {
         assert_eq!(policy.backoff_slots, 4);
         assert_eq!(policy.max_slots, 77);
         assert_eq!(cfg.hysteresis(), 0.5);
+        assert!(cfg.obs());
+        assert_eq!(cfg.obs_every(), 10);
+        assert_eq!(cfg.obs_cap(), 128);
     }
 
     #[test]
@@ -379,6 +464,21 @@ mod tests {
         assert_eq!(cfg.hysteresis(), DEFAULT_HYSTERESIS);
         assert_eq!(cfg.lanes(), crate::exec::DEFAULT_LANE_WIDTH);
         assert!(cfg.resolved_threads() >= 1);
+        assert!(!cfg.obs());
+        assert_eq!(cfg.obs_every(), DEFAULT_OBS_EVERY);
+        assert_eq!(cfg.obs_cap(), DEFAULT_OBS_CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "obs stride must be positive")]
+    fn zero_obs_stride_rejected() {
+        let _ = Config::builder().obs_every(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "obs ring capacity must be positive")]
+    fn zero_obs_cap_rejected() {
+        let _ = Config::builder().obs_cap(0);
     }
 
     #[test]

@@ -105,9 +105,19 @@ impl PlanMaintainer {
     /// Builds the initial plan.
     pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
         let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
-        let topo = Arc::new(Topology::snapshot(&spec, &routing));
-        let problems = build_edge_problems(&topo);
-        let base_solutions = solve_edge_slab(&problems, &spec, parallel::max_threads());
+        let topo = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_INTERN);
+            Arc::new(Topology::snapshot(&spec, &routing))
+        };
+        let problems = {
+            let _s =
+                m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_PROBLEMS);
+            build_edge_problems(&topo)
+        };
+        let base_solutions = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_SOLVE);
+            solve_edge_slab(&problems, &spec, parallel::max_threads())
+        };
         let plan = GlobalPlan::from_solutions(
             &spec,
             Arc::clone(&topo),

@@ -226,6 +226,10 @@ pub struct CompiledSchedule {
     pub(crate) unit_count: usize,
     round_cost: RoundCost,
     schedule: Arc<Schedule>,
+    /// One reliable round's per-node observability profile (tx/rx counts
+    /// and energies). The reliable path is readings-independent, so the
+    /// hot loop only *counts* rounds; flushing multiplies this template.
+    obs_profile: Arc<m2m_telemetry::timeseries::NodePlanes>,
 }
 
 impl CompiledSchedule {
@@ -244,6 +248,8 @@ impl CompiledSchedule {
         plan: &GlobalPlan,
     ) -> Result<Self, String> {
         let _span = crate::telemetry::span(crate::telemetry::names::EXEC_COMPILE_NS);
+        let _stage =
+            m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_COMPILE);
         crate::telemetry::counter(crate::telemetry::names::EXEC_COMPILES, 1);
         let schedule = build_schedule(spec, plan)?;
         let sources = NodeIndex::from_ids(plan.topology().sources().to_vec());
@@ -324,6 +330,35 @@ impl CompiledSchedule {
         }
 
         let round_cost = schedule.round_cost(energy);
+
+        // Per-node profile of one reliable round, for the observability
+        // planes: every message pays tx at its tail and rx at its head —
+        // the same arithmetic as `Schedule::round_cost`, per node.
+        let mut obs_ids: Vec<u64> = schedule
+            .messages
+            .iter()
+            .flat_map(|m| [u64::from(m.edge.0 .0), u64::from(m.edge.1 .0)])
+            .collect();
+        obs_ids.sort_unstable();
+        obs_ids.dedup();
+        let mut obs_profile = m2m_telemetry::timeseries::NodePlanes::for_ids(obs_ids);
+        for msg in &schedule.messages {
+            let body: u32 = msg
+                .units
+                .iter()
+                .map(|&u| schedule.units[u].size_bytes)
+                .sum();
+            let tail = obs_profile
+                .slot(u64::from(msg.edge.0 .0))
+                .expect("endpoint in profile universe");
+            let head = obs_profile
+                .slot(u64::from(msg.edge.1 .0))
+                .expect("endpoint in profile universe");
+            obs_profile.record_tx(tail, 1, energy.tx_cost_uj(body));
+            obs_profile.record_rx(head, energy.rx_cost_uj(body));
+        }
+        obs_profile.add_rounds(1);
+
         CompiledSchedule {
             sources,
             ops,
@@ -332,6 +367,7 @@ impl CompiledSchedule {
             unit_count: schedule.units.len(),
             round_cost,
             schedule: Arc::new(schedule),
+            obs_profile: Arc::new(obs_profile),
         }
     }
 
@@ -381,6 +417,9 @@ impl CompiledSchedule {
         // One relaxed load when tracing is off — the documented cost of
         // instrumenting the hot path.
         crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, 1);
+        if m2m_telemetry::timeseries::obs_enabled() {
+            state.obs_rounds += 1;
+        }
         assert_eq!(state.width, 1, "run_round needs a width-1 state");
         self.check_state(state);
         self.round_window::<1>(state);
@@ -485,6 +524,9 @@ impl CompiledSchedule {
         out: &mut [f64],
     ) -> RoundCost {
         crate::telemetry::counter(crate::telemetry::names::EXEC_ROUNDS, rounds.len() as u64);
+        if m2m_telemetry::timeseries::obs_enabled() {
+            state.obs_rounds += rounds.len() as u64;
+        }
         self.check_state(state);
         let dests = self.dest_steps.len();
         assert_eq!(
@@ -754,6 +796,13 @@ pub struct ExecState {
     rec2: Vec<f64>,
     /// One result per destination per lane, lane-major.
     results: Vec<f64>,
+    /// The compiled schedule's static one-round profile (shared).
+    obs_profile: Arc<m2m_telemetry::timeseries::NodePlanes>,
+    /// Rounds run since the last observability flush. The reliable path
+    /// is readings-independent per node, so counting is the *entire*
+    /// per-round observability cost; [`ExecState::flush_obs`] multiplies
+    /// the profile by this count into the global plane registry.
+    obs_rounds: u64,
 }
 
 impl ExecState {
@@ -780,6 +829,19 @@ impl ExecState {
             rec1: vec![0.0; compiled.unit_count * width],
             rec2: vec![0.0; compiled.unit_count * width],
             results: vec![0.0; compiled.dest_steps.len() * width],
+            obs_profile: Arc::clone(&compiled.obs_profile),
+            obs_rounds: 0,
+        }
+    }
+
+    /// Flushes the rounds counted since the last flush into the global
+    /// per-node plane registry (profile × count). Called on chunk
+    /// completion by [`run_epochs_slab`]; dropping the state is the
+    /// backstop, so counts can never be lost.
+    pub fn flush_obs(&mut self) {
+        if self.obs_rounds > 0 {
+            m2m_telemetry::timeseries::merge_planes_scaled(&self.obs_profile, self.obs_rounds);
+            self.obs_rounds = 0;
         }
     }
 
@@ -832,6 +894,12 @@ impl ExecState {
             .zip(&self.results)
             .map(|(s, &r)| (s.dest, r))
             .collect()
+    }
+}
+
+impl Drop for ExecState {
+    fn drop(&mut self) {
+        self.flush_obs();
     }
 }
 
@@ -959,6 +1027,10 @@ pub fn run_epochs_slab(
         || ExecState::batched(compiled, width),
         |state, round_chunk, out_chunk| {
             compiled.run_rounds_batched(round_chunk, state, out_chunk);
+            // Chunk done: fold this worker's round count into the global
+            // plane registry now, not just at arena drop — the registry
+            // is complete the moment the fan-out returns.
+            state.flush_obs();
         },
     );
     EpochSlab {

@@ -97,6 +97,27 @@ struct MessageFacts {
     rx_uj: f64,
     /// Range into [`FaultyExec::pred_pool`].
     preds: (u32, u32),
+    /// Dense slots of `edge.0` / `edge.1` in [`FaultyExec::plane_ids`],
+    /// precomputed so the per-node plane update is two array stores.
+    tail_slot: u32,
+    head_slot: u32,
+}
+
+/// One link's failure summary for one round: `failures` transmission
+/// attempts on `tail → head` failed; `dropped` marks the message as
+/// abandoned (retry budget exhausted) rather than eventually delivered.
+/// Always populated (it is empty when nothing failed), so a
+/// [`FaultOutcome`] compares equal whether or not observability is on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// Transmitting endpoint.
+    pub tail: NodeId,
+    /// Receiving endpoint.
+    pub head: NodeId,
+    /// Failed transmission attempts on this link this round.
+    pub failures: u32,
+    /// True if the message was abandoned after exhausting its budget.
+    pub dropped: bool,
 }
 
 /// Per-destination coverage after a degraded round.
@@ -148,6 +169,9 @@ pub struct FaultOutcome {
     pub dropped_messages: usize,
     /// True if every message was delivered within the slot budget.
     pub delivered: bool,
+    /// Per-link failure summaries in message order (empty when every
+    /// attempt succeeded). The flight recorder's event feed.
+    pub link_events: Vec<LinkEvent>,
 }
 
 impl FaultOutcome {
@@ -159,6 +183,11 @@ impl FaultOutcome {
 
 /// Reusable scratch for [`FaultyExec::run`] — allocate once (per worker),
 /// run any number of rounds without further allocation (outcomes excepted).
+///
+/// When observability is on ([`m2m_telemetry::timeseries::obs_enabled`]),
+/// `planes` accumulates this worker's per-node counters locally; dropping
+/// the scratch — end of a worker's chunk, end of a serial run — flushes
+/// them into the process-wide plane registry.
 #[derive(Clone, Debug, Default)]
 pub struct FaultScratch {
     delivered: Vec<bool>,
@@ -170,6 +199,14 @@ pub struct FaultScratch {
     gate_ok: Vec<bool>,
     unit_cover: Vec<u64>,
     tmp_cover: Vec<u64>,
+    planes: m2m_telemetry::timeseries::NodePlanes,
+}
+
+impl Drop for FaultScratch {
+    fn drop(&mut self) {
+        // No-op when nothing was recorded (observability off).
+        m2m_telemetry::timeseries::merge_planes(&mut self.planes);
+    }
 }
 
 /// The loss-aware executor: a [`CompiledSchedule`] paired with its TDMA
@@ -196,6 +233,9 @@ pub struct FaultyExec {
     /// received — whereas a record unit usefully re-forms from whatever
     /// survived, so it gates on its own hop alone.
     raw_parent: Vec<u32>,
+    /// Sorted node-id universe of the per-node observability planes:
+    /// every message endpoint, as `u64` ids.
+    plane_ids: Vec<u64>,
     /// Bitset words per coverage row.
     words: usize,
     /// Per-destination demanded-source bitsets (row-major, `words` each).
@@ -242,6 +282,21 @@ impl FaultyExec {
                 preds[b as usize].push(a);
             }
         }
+        // Plane universe: every message endpoint, sorted, so the hot-loop
+        // update is a precomputed slot rather than a lookup.
+        let mut plane_ids: Vec<u64> = schedule
+            .messages
+            .iter()
+            .flat_map(|m| [u64::from(m.edge.0 .0), u64::from(m.edge.1 .0)])
+            .collect();
+        plane_ids.sort_unstable();
+        plane_ids.dedup();
+        let plane_slot = |n: NodeId| -> u32 {
+            plane_ids
+                .binary_search(&u64::from(n.0))
+                .expect("endpoint in plane universe") as u32
+        };
+
         let mut messages = Vec::with_capacity(message_count);
         let mut pred_pool: Vec<u32> = Vec::new();
         for (m, msg) in schedule.messages.iter().enumerate() {
@@ -259,6 +314,8 @@ impl FaultyExec {
                 tx_uj: energy.tx_cost_uj(body),
                 rx_uj: energy.rx_cost_uj(body),
                 preds: (start, pred_pool.len() as u32),
+                tail_slot: plane_slot(msg.edge.0),
+                head_slot: plane_slot(msg.edge.1),
             });
         }
 
@@ -349,6 +406,7 @@ impl FaultyExec {
             message_of,
             op_gate,
             raw_parent,
+            plane_ids,
             words,
             demanded_bits: Vec::new(),
             demanded: Vec::new(),
@@ -399,7 +457,37 @@ impl FaultyExec {
             gate_ok: vec![false; self.op_gate.len()],
             unit_cover: vec![0; self.compiled.unit_count * self.words],
             tmp_cover: vec![0; self.words],
+            planes: m2m_telemetry::timeseries::NodePlanes::for_ids(self.plane_ids.clone()),
         }
+    }
+
+    /// Folds the round in `scratch` into the worker-local per-node
+    /// planes: every attempt pays tx at the tail, delivery pays rx at
+    /// the head, failures count as retries at the tail, abandonment as
+    /// a drop at the tail — the same arithmetic as
+    /// [`FaultyExec::accumulate_cost`] and the global counters, so plane
+    /// totals reconcile exactly.
+    fn update_planes(&self, scratch: &mut FaultScratch) {
+        for (m, msg) in self.messages.iter().enumerate() {
+            let attempts = u64::from(scratch.attempts[m]);
+            if attempts == 0 {
+                continue;
+            }
+            let tail = msg.tail_slot as usize;
+            scratch.planes.record_tx(tail, attempts, msg.tx_uj);
+            if scratch.delivered[m] {
+                scratch.planes.record_rx(msg.head_slot as usize, msg.rx_uj);
+                if attempts > 1 {
+                    scratch.planes.record_retries(tail, attempts - 1);
+                }
+            } else {
+                scratch.planes.record_retries(tail, attempts);
+                if scratch.dropped[m] {
+                    scratch.planes.record_drop(tail);
+                }
+            }
+        }
+        scratch.planes.add_rounds(1);
     }
 
     /// Phase A: the slot-by-slot delivery simulation. A message is
@@ -636,8 +724,29 @@ impl FaultyExec {
             self.simulate_delivery(model, policy, round_salt, scratch);
         crate::telemetry::counter(names::FAULTS_RETRANSMISSIONS, retransmissions as u64);
         crate::telemetry::counter(names::FAULTS_DROPPED_MESSAGES, dropped as u64);
+        if m2m_telemetry::timeseries::obs_enabled() {
+            self.update_planes(scratch);
+        }
         let cost = self.accumulate_cost(scratch);
         let delivered_all = scratch.delivered.iter().all(|&d| d);
+
+        // Per-link failure summaries (unconditional, so an outcome is
+        // identical with observability on or off; empty when lossless).
+        let mut link_events: Vec<LinkEvent> = Vec::new();
+        if retransmissions > 0 || dropped > 0 {
+            for (m, msg) in self.messages.iter().enumerate() {
+                let attempts = scratch.attempts[m];
+                let failures = attempts - u32::from(scratch.delivered[m]);
+                if failures > 0 {
+                    link_events.push(LinkEvent {
+                        tail: msg.edge.0,
+                        head: msg.edge.1,
+                        failures,
+                        dropped: scratch.dropped[m],
+                    });
+                }
+            }
+        }
 
         // Degraded dataflow: fold each op run in the compiled order,
         // skipping ops whose gate is closed (or whose source record ended
@@ -733,6 +842,7 @@ impl FaultyExec {
             retransmissions,
             dropped_messages: dropped,
             delivered: delivered_all,
+            link_events,
         }
     }
 
@@ -848,6 +958,14 @@ impl DegradationTracker {
     /// The worst staleness over all observed destinations.
     pub fn max_staleness(&self) -> u64 {
         self.staleness.values().copied().max().unwrap_or(0)
+    }
+
+    /// Forgets all staleness history (the round count is kept). Called
+    /// when routes change: staleness measured a path that no longer
+    /// exists, so aging the new path by the old one's debt would report
+    /// outages the new routes never caused.
+    pub fn reset_staleness(&mut self) {
+        self.staleness.clear();
     }
 
     /// Rounds observed so far.
@@ -1164,6 +1282,7 @@ mod tests {
             retransmissions: 0,
             dropped_messages: 0,
             delivered: complete,
+            link_events: vec![],
         };
         let mut t = DegradationTracker::new();
         t.observe(&mk(false));
@@ -1174,6 +1293,76 @@ mod tests {
         assert_eq!(t.staleness(NodeId(9)), 0);
         assert_eq!(t.rounds(), 3);
         assert_eq!(t.staleness(NodeId(1)), 0, "unobserved dest is fresh");
+    }
+
+    /// One-destination outcome with the given coverage, for tracker
+    /// edge-case tests.
+    fn coverage_outcome(dest: NodeId, complete: bool) -> FaultOutcome {
+        FaultOutcome {
+            results: vec![None],
+            coverage: vec![DestCoverage {
+                destination: dest,
+                covered: usize::from(complete),
+                demanded: 1,
+                missing: if complete { vec![] } else { vec![NodeId(1)] },
+            }],
+            cost: RoundCost::default(),
+            slots_used: 0,
+            retransmissions: 0,
+            dropped_messages: 0,
+            delivered: complete,
+            link_events: vec![],
+        }
+    }
+
+    #[test]
+    fn degradation_tracker_never_covered_destination_ages_unboundedly() {
+        // A destination that never sees full coverage must age one round
+        // per round — no cap, no wraparound, no accidental reset.
+        let mut t = DegradationTracker::new();
+        for round in 1..=1_000u64 {
+            t.observe(&coverage_outcome(NodeId(7), false));
+            assert_eq!(t.staleness(NodeId(7)), round);
+        }
+        assert_eq!(t.max_staleness(), 1_000);
+        assert_eq!(t.rounds(), 1_000);
+    }
+
+    #[test]
+    fn degradation_tracker_recovers_fully_after_long_outage() {
+        // A single complete round clears an arbitrarily long outage —
+        // staleness is "rounds since last full coverage", not a decaying
+        // average — and a relapse restarts the count from one.
+        let mut t = DegradationTracker::new();
+        for _ in 0..500 {
+            t.observe(&coverage_outcome(NodeId(7), false));
+        }
+        assert_eq!(t.staleness(NodeId(7)), 500);
+        t.observe(&coverage_outcome(NodeId(7), true));
+        assert_eq!(t.staleness(NodeId(7)), 0);
+        assert_eq!(t.max_staleness(), 0);
+        t.observe(&coverage_outcome(NodeId(7), false));
+        assert_eq!(t.staleness(NodeId(7)), 1, "relapse restarts from 1");
+    }
+
+    #[test]
+    fn degradation_tracker_reset_forgets_debt_but_keeps_rounds() {
+        // A reroute makes accumulated staleness meaningless (it measured
+        // paths that no longer exist): reset clears every destination's
+        // debt, keeps the round count, and aging restarts from scratch.
+        let mut t = DegradationTracker::new();
+        for _ in 0..9 {
+            t.observe(&coverage_outcome(NodeId(7), false));
+            t.observe(&coverage_outcome(NodeId(8), false));
+        }
+        assert_eq!(t.max_staleness(), 9);
+        t.reset_staleness();
+        assert_eq!(t.staleness(NodeId(7)), 0);
+        assert_eq!(t.staleness(NodeId(8)), 0);
+        assert_eq!(t.max_staleness(), 0);
+        assert_eq!(t.rounds(), 18, "reset must not rewrite history length");
+        t.observe(&coverage_outcome(NodeId(7), false));
+        assert_eq!(t.staleness(NodeId(7)), 1, "post-reset aging is fresh");
     }
 
     #[test]

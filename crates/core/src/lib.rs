@@ -50,6 +50,10 @@
 //!   routing → plan → compiled executor → fault engine → churn loop;
 //! * [`node_machine`] — the *distributed* counterpart: event-driven node
 //!   automata programmed solely by their §3 tables;
+//! * [`obs`] — the session flight recorder: bounded per-round
+//!   coverage/energy timeline + structured event ring over the lossy
+//!   runtime, dumped (with the per-node accumulator planes from
+//!   [`m2m_telemetry::timeseries`]) as versioned JSON (`M2M_OBS`);
 //! * [`slots`] — collision-free TDMA transmission slots (§3);
 //! * [`suppression`] — temporal suppression and the dynamic override
 //!   policies (§3, Figure 7);
@@ -129,6 +133,7 @@ pub mod metrics;
 pub mod milestones;
 pub mod multi;
 pub mod node_machine;
+pub mod obs;
 pub mod parallel;
 pub mod plan;
 pub mod redundancy;
@@ -164,6 +169,7 @@ pub mod prelude {
         ChurnController, DegradationTracker, DestCoverage, FaultOutcome, FaultyExec, RetryPolicy,
     };
     pub use crate::metrics::RoundCost;
+    pub use crate::obs::{FlightRecorder, RoundPoint};
     pub use crate::plan::GlobalPlan;
     pub use crate::session::{Session, SessionBuilder};
     pub use crate::spec::AggregationSpec;

@@ -1,0 +1,467 @@
+//! The session flight recorder: a bounded per-round time series plus a
+//! structured event log for the lossy runtime.
+//!
+//! The per-node planes ([`m2m_telemetry::timeseries::NodePlanes`]) answer
+//! *where* energy and retries went; the [`FlightRecorder`] answers *when*:
+//! a round-by-round coverage/energy timeline (sampled every
+//! [`crate::config::Config::obs_every`] rounds) and a ring of structured
+//! events — link drops, retry exhaustion, coverage loss, staleness
+//! transitions, reroutes — each bounded by
+//! [`crate::config::Config::obs_cap`], with eviction counted rather than
+//! silent. [`crate::session::Session`] owns one when the configuration
+//! enables observability and feeds it serially from each
+//! [`FaultOutcome`]; [`FlightRecorder::dump`] renders recorder state,
+//! running totals, and a snapshot of the global planes into one versioned
+//! JSON document (the `m2m_obs` bin's input).
+//!
+//! Running totals are kept outside the rings, so reconciliation against
+//! the global telemetry counters holds even after eviction.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use m2m_graph::NodeId;
+use m2m_telemetry::json::JsonValue;
+use m2m_telemetry::timeseries::{self, Event, EventKind, EventRing, NO_NODE};
+
+use crate::faults::FaultOutcome;
+
+/// Default battery budget per node for the dump's battery-estimate
+/// column: two AA cells at Mica2 draw, ≈ 2.16 × 10¹⁰ µJ.
+pub const DEFAULT_BATTERY_UJ: f64 = 2.16e10;
+
+/// One sampled point of the per-round timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundPoint {
+    /// The session round this point describes.
+    pub round: u64,
+    /// Demanded (destination, source) pairs that were covered.
+    pub covered: u64,
+    /// Demanded (destination, source) pairs in total.
+    pub demanded: u64,
+    /// Destinations that ended the round with partial coverage.
+    pub degraded: u64,
+    /// Transmit energy this round (µJ), retransmissions included.
+    pub tx_uj: f64,
+    /// Receive energy this round (µJ).
+    pub rx_uj: f64,
+    /// Failed transmission attempts this round.
+    pub retransmissions: u64,
+    /// Messages abandoned this round.
+    pub dropped: u64,
+    /// Slots the round consumed.
+    pub slots_used: u32,
+}
+
+impl RoundPoint {
+    /// Covered fraction in `[0, 1]` (1.0 when nothing is demanded).
+    pub fn coverage(&self) -> f64 {
+        if self.demanded == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.demanded as f64
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::object()
+            .with("round", self.round)
+            .with("covered", self.covered)
+            .with("demanded", self.demanded)
+            .with("degraded", self.degraded)
+            .with("tx_uj", JsonValue::float(self.tx_uj, 3))
+            .with("rx_uj", JsonValue::float(self.rx_uj, 3))
+            .with("retransmissions", self.retransmissions)
+            .with("dropped", self.dropped)
+            .with("slots_used", u64::from(self.slots_used))
+    }
+}
+
+/// Running totals over every recorded round — ring-independent, so they
+/// reconcile against the global telemetry counters even after eviction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ObsTotals {
+    /// Rounds folded into the recorder.
+    pub rounds: u64,
+    /// Failed transmission attempts over all rounds.
+    pub retransmissions: u64,
+    /// Messages abandoned over all rounds.
+    pub dropped: u64,
+    /// Destination-rounds that ended with partial coverage.
+    pub degraded_dest_rounds: u64,
+    /// Total transmit energy (µJ).
+    pub tx_uj: f64,
+    /// Total receive energy (µJ).
+    pub rx_uj: f64,
+}
+
+impl ObsTotals {
+    fn to_json(self) -> JsonValue {
+        JsonValue::object()
+            .with("rounds", self.rounds)
+            .with("retransmissions", self.retransmissions)
+            .with("dropped", self.dropped)
+            .with("degraded_dest_rounds", self.degraded_dest_rounds)
+            .with("tx_uj", JsonValue::float(self.tx_uj, 3))
+            .with("rx_uj", JsonValue::float(self.rx_uj, 3))
+    }
+}
+
+/// The session-level flight recorder; see the module docs.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    every: u64,
+    cap: usize,
+    series: VecDeque<RoundPoint>,
+    series_evicted: u64,
+    events: EventRing,
+    /// Per-destination staleness mirror for transition events.
+    stale: BTreeMap<NodeId, u64>,
+    totals: ObsTotals,
+}
+
+impl FlightRecorder {
+    /// A recorder sampling every `every`th round into a series ring of
+    /// `cap` points, with a `cap`-bounded event ring.
+    ///
+    /// # Panics
+    /// Panics if `every == 0` or `cap == 0`.
+    pub fn new(every: u64, cap: usize) -> Self {
+        assert!(every > 0, "obs stride must be positive");
+        assert!(cap > 0, "obs ring capacity must be positive");
+        FlightRecorder {
+            every,
+            cap,
+            series: VecDeque::new(),
+            series_evicted: 0,
+            events: EventRing::new(cap),
+            stale: BTreeMap::new(),
+            totals: ObsTotals::default(),
+        }
+    }
+
+    /// The sampling stride.
+    #[inline]
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// The ring capacity (series points and events each).
+    #[inline]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The retained timeline, oldest first.
+    pub fn series(&self) -> impl Iterator<Item = &RoundPoint> {
+        self.series.iter()
+    }
+
+    /// Series points evicted to stay within capacity.
+    #[inline]
+    pub fn series_evicted(&self) -> u64 {
+        self.series_evicted
+    }
+
+    /// The retained structured events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Structured events evicted to stay within capacity.
+    #[inline]
+    pub fn events_evicted(&self) -> u64 {
+        self.events.overwritten()
+    }
+
+    /// Ring-independent running totals.
+    #[inline]
+    pub fn totals(&self) -> &ObsTotals {
+        &self.totals
+    }
+
+    fn push_event(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Folds one lossy round's outcome in: updates totals, emits link /
+    /// coverage / staleness-transition events, and (every
+    /// [`FlightRecorder::every`]th round) appends a series point.
+    pub fn record_round(&mut self, round: u64, out: &FaultOutcome) {
+        self.totals.rounds += 1;
+        self.totals.retransmissions += out.retransmissions as u64;
+        self.totals.dropped += out.dropped_messages as u64;
+        self.totals.tx_uj += out.cost.tx_uj;
+        self.totals.rx_uj += out.cost.rx_uj;
+
+        for le in &out.link_events {
+            self.push_event(Event {
+                round,
+                kind: if le.dropped {
+                    EventKind::RetryExhausted
+                } else {
+                    EventKind::LinkDrop
+                },
+                a: u64::from(le.tail.0),
+                b: u64::from(le.head.0),
+                value: u64::from(le.failures),
+            });
+        }
+
+        let mut covered = 0u64;
+        let mut demanded = 0u64;
+        let mut degraded = 0u64;
+        for c in &out.coverage {
+            covered += c.covered as u64;
+            demanded += c.demanded as u64;
+            if c.complete() {
+                if let Some(age) = self.stale.remove(&c.destination) {
+                    self.push_event(Event {
+                        round,
+                        kind: EventKind::StaleClear,
+                        a: u64::from(c.destination.0),
+                        b: NO_NODE,
+                        value: age,
+                    });
+                }
+            } else {
+                degraded += 1;
+                self.push_event(Event {
+                    round,
+                    kind: EventKind::CoverageLoss,
+                    a: u64::from(c.destination.0),
+                    b: NO_NODE,
+                    value: c.missing.len() as u64,
+                });
+                let age = self.stale.entry(c.destination).or_insert(0);
+                *age += 1;
+                if *age == 1 {
+                    self.push_event(Event {
+                        round,
+                        kind: EventKind::StaleEnter,
+                        a: u64::from(c.destination.0),
+                        b: NO_NODE,
+                        value: 1,
+                    });
+                }
+            }
+        }
+        self.totals.degraded_dest_rounds += degraded;
+
+        if round % self.every == 0 {
+            if self.series.len() == self.cap {
+                self.series.pop_front();
+                self.series_evicted += 1;
+            }
+            self.series.push_back(RoundPoint {
+                round,
+                covered,
+                demanded,
+                degraded,
+                tx_uj: out.cost.tx_uj,
+                rx_uj: out.cost.rx_uj,
+                retransmissions: out.retransmissions as u64,
+                dropped: out.dropped_messages as u64,
+                slots_used: out.slots_used,
+            });
+        }
+    }
+
+    /// Records a churn-gate decision at `round`: a fired reroute or an
+    /// absorbed drift observation.
+    pub fn record_churn(&mut self, round: u64, fired: bool) {
+        self.push_event(Event {
+            round,
+            kind: if fired {
+                EventKind::Reroute
+            } else {
+                EventKind::RerouteSuppressed
+            },
+            a: NO_NODE,
+            b: NO_NODE,
+            value: 0,
+        });
+        if fired {
+            self.stale.clear();
+        }
+    }
+
+    /// Records an externally applied route change at `round` (the
+    /// staleness mirror resets with the tracker).
+    pub fn record_route_change(&mut self, round: u64) {
+        self.push_event(Event {
+            round,
+            kind: EventKind::RouteChange,
+            a: NO_NODE,
+            b: NO_NODE,
+            value: 0,
+        });
+        self.stale.clear();
+    }
+
+    /// Renders the recorder plus a snapshot of the process-wide per-node
+    /// planes into one versioned JSON document
+    /// ([`timeseries::OBS_SCHEMA_VERSION`]). `battery_budget_uj` seeds
+    /// the per-node battery-estimate column (see [`DEFAULT_BATTERY_UJ`]).
+    pub fn dump(&self, battery_budget_uj: f64) -> JsonValue {
+        let planes = timeseries::planes_snapshot();
+        JsonValue::object()
+            .with("m2m_obs_schema", timeseries::OBS_SCHEMA_VERSION)
+            .with("stride", self.every)
+            .with("cap", self.cap as u64)
+            .with("totals", self.totals.to_json())
+            .with(
+                "series",
+                JsonValue::Array(self.series.iter().map(|p| p.to_json()).collect()),
+            )
+            .with("series_evicted", self.series_evicted)
+            .with("events", self.events.to_json())
+            .with("events_evicted", self.events.overwritten())
+            .with("battery_budget_uj", JsonValue::float(battery_budget_uj, 3))
+            .with("plane_rounds", planes.rounds())
+            .with("nodes", planes.to_json(battery_budget_uj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{DestCoverage, LinkEvent};
+    use crate::metrics::RoundCost;
+
+    fn outcome(complete: bool, retrans: usize, dropped: usize) -> FaultOutcome {
+        FaultOutcome {
+            results: vec![None],
+            coverage: vec![DestCoverage {
+                destination: NodeId(4),
+                covered: usize::from(complete),
+                demanded: 1,
+                missing: if complete { vec![] } else { vec![NodeId(2)] },
+            }],
+            cost: RoundCost {
+                tx_uj: 10.0,
+                rx_uj: 4.0,
+                ..RoundCost::default()
+            },
+            slots_used: 3,
+            retransmissions: retrans,
+            dropped_messages: dropped,
+            delivered: complete,
+            link_events: if complete {
+                vec![]
+            } else {
+                vec![LinkEvent {
+                    tail: NodeId(1),
+                    head: NodeId(2),
+                    failures: retrans as u32,
+                    dropped: dropped > 0,
+                }]
+            },
+        }
+    }
+
+    #[test]
+    fn recorder_builds_timeline_and_staleness_transitions() {
+        let mut rec = FlightRecorder::new(1, 16);
+        rec.record_round(0, &outcome(true, 0, 0));
+        rec.record_round(1, &outcome(false, 2, 0));
+        rec.record_round(2, &outcome(false, 3, 1));
+        rec.record_round(3, &outcome(true, 0, 0));
+        assert_eq!(rec.totals().rounds, 4);
+        assert_eq!(rec.totals().retransmissions, 5);
+        assert_eq!(rec.totals().dropped, 1);
+        assert_eq!(rec.totals().degraded_dest_rounds, 2);
+        assert_eq!(rec.series().count(), 4);
+        let kinds: Vec<EventKind> = rec.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::LinkDrop,
+                EventKind::CoverageLoss,
+                EventKind::StaleEnter,
+                EventKind::RetryExhausted,
+                EventKind::CoverageLoss,
+                EventKind::StaleClear,
+            ]
+        );
+        // StaleClear carries the outage length.
+        let clear = rec
+            .events()
+            .find(|e| e.kind == EventKind::StaleClear)
+            .unwrap();
+        assert_eq!(clear.value, 2);
+        assert_eq!(clear.round, 3);
+    }
+
+    #[test]
+    fn stride_samples_series_but_never_events() {
+        let mut rec = FlightRecorder::new(2, 16);
+        for r in 0..5 {
+            rec.record_round(r, &outcome(false, 1, 0));
+        }
+        let sampled: Vec<u64> = rec.series().map(|p| p.round).collect();
+        assert_eq!(sampled, vec![0, 2, 4]);
+        assert_eq!(rec.totals().rounds, 5, "totals see every round");
+        assert!(
+            rec.events()
+                .filter(|e| e.kind == EventKind::LinkDrop)
+                .count()
+                == 5,
+            "events are not strided"
+        );
+    }
+
+    #[test]
+    fn rings_evict_oldest_and_count_it() {
+        let mut rec = FlightRecorder::new(1, 2);
+        for r in 0..5 {
+            rec.record_round(r, &outcome(true, 0, 0));
+        }
+        assert_eq!(rec.series().count(), 2);
+        assert_eq!(rec.series_evicted(), 3);
+        let retained: Vec<u64> = rec.series().map(|p| p.round).collect();
+        assert_eq!(retained, vec![3, 4]);
+        assert_eq!(rec.totals().rounds, 5, "totals ignore eviction");
+    }
+
+    #[test]
+    fn churn_and_route_change_events_reset_the_stale_mirror() {
+        let mut rec = FlightRecorder::new(1, 16);
+        rec.record_round(0, &outcome(false, 1, 0));
+        rec.record_churn(1, true);
+        // After the reset the next degraded round re-enters staleness.
+        rec.record_round(2, &outcome(false, 1, 0));
+        let enters = rec
+            .events()
+            .filter(|e| e.kind == EventKind::StaleEnter)
+            .count();
+        assert_eq!(enters, 2);
+        rec.record_churn(3, false);
+        rec.record_route_change(4);
+        let kinds: Vec<EventKind> = rec.events().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Reroute));
+        assert!(kinds.contains(&EventKind::RerouteSuppressed));
+        assert!(kinds.contains(&EventKind::RouteChange));
+    }
+
+    #[test]
+    fn dump_is_versioned_and_parses_back() {
+        let mut rec = FlightRecorder::new(1, 8);
+        rec.record_round(0, &outcome(false, 2, 1));
+        let doc = rec.dump(DEFAULT_BATTERY_UJ).render();
+        let parsed = JsonValue::parse(&doc).expect("dump must parse");
+        assert_eq!(
+            parsed.get("m2m_obs_schema").and_then(JsonValue::as_u64),
+            Some(timeseries::OBS_SCHEMA_VERSION)
+        );
+        assert!(parsed.get("series").is_some());
+        assert!(parsed.get("events").is_some());
+        assert!(parsed.get("nodes").is_some());
+        assert_eq!(
+            parsed
+                .get("totals")
+                .and_then(|t| t.get("retransmissions"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+    }
+}

@@ -93,9 +93,19 @@ impl GlobalPlan {
         threads: usize,
     ) -> Self {
         let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
-        let topo = Arc::new(Topology::snapshot(spec, routing));
-        let problems = build_edge_problems(&topo);
-        let solutions = solve_edge_slab(&problems, spec, threads);
+        let topo = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_INTERN);
+            Arc::new(Topology::snapshot(spec, routing))
+        };
+        let problems = {
+            let _s =
+                m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_PROBLEMS);
+            build_edge_problems(&topo)
+        };
+        let solutions = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_SOLVE);
+            solve_edge_slab(&problems, spec, threads)
+        };
         let plan = Self::assemble(spec, topo, problems, solutions, true);
         if crate::telemetry::enabled() {
             crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);
@@ -123,9 +133,19 @@ impl GlobalPlan {
             "every multicast edge must be a radio link"
         );
         let _span = crate::telemetry::span(crate::telemetry::names::PLAN_BUILD_NS);
-        let topo = Arc::new(Topology::snapshot(spec, routing));
-        let problems = build_edge_problems(&topo);
-        let solutions = cache.solve_all(&problems, spec, parallel::max_threads());
+        let topo = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_INTERN);
+            Arc::new(Topology::snapshot(spec, routing))
+        };
+        let problems = {
+            let _s =
+                m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_PROBLEMS);
+            build_edge_problems(&topo)
+        };
+        let solutions = {
+            let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_SOLVE);
+            cache.solve_all(&problems, spec, parallel::max_threads())
+        };
         let plan = Self::assemble(spec, topo, problems, solutions, true);
         if crate::telemetry::enabled() {
             crate::telemetry::counter(crate::telemetry::names::PLAN_BUILDS, 1);

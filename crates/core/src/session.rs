@@ -51,6 +51,7 @@ use crate::faults::{
     ChurnController, DegradationTracker, FaultOutcome, FaultyExec, RetryPolicy, SALT_STRIDE,
 };
 use crate::metrics::RoundCost;
+use crate::obs::{FlightRecorder, DEFAULT_BATTERY_UJ};
 use crate::spec::AggregationSpec;
 
 /// The default base salt for lossy rounds; chosen arbitrarily, fixed for
@@ -128,6 +129,10 @@ impl SessionBuilder {
             let routing = weighted_routing(driver.maintainer().network(), &demands, quality);
             driver.apply_route_change(routing);
         }
+        let recorder = self
+            .config
+            .obs()
+            .then(|| FlightRecorder::new(self.config.obs_every(), self.config.obs_cap()));
         Session {
             config: self.config,
             driver,
@@ -135,6 +140,7 @@ impl SessionBuilder {
             faults: None,
             churn,
             tracker: DegradationTracker::new(),
+            recorder,
             base_salt: self.base_salt,
             rounds_run: 0,
         }
@@ -153,6 +159,9 @@ pub struct Session {
     faults: Option<FaultyExec>,
     churn: Option<ChurnController>,
     tracker: DegradationTracker,
+    /// Present when the configuration enables observability
+    /// ([`Config::obs`]); fed serially from every lossy round.
+    recorder: Option<FlightRecorder>,
     base_salt: u64,
     /// Lossy rounds executed so far — advances the per-round salt.
     rounds_run: u64,
@@ -225,6 +234,19 @@ impl Session {
         self.churn.as_ref()
     }
 
+    /// The flight recorder, if observability is configured on.
+    #[inline]
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Renders the flight recorder (plus the process-wide per-node
+    /// planes) as the versioned observability dump, or `None` when
+    /// observability is off. See [`FlightRecorder::dump`].
+    pub fn obs_dump(&self) -> Option<m2m_telemetry::json::JsonValue> {
+        self.recorder.as_ref().map(|r| r.dump(DEFAULT_BATTERY_UJ))
+    }
+
     /// Executes one reliable round and returns `(results, cost)` — the
     /// compiled fast path, numerically identical to the reference
     /// executor.
@@ -275,14 +297,16 @@ impl Session {
     pub fn run_round_lossy(&mut self, readings: &BTreeMap<NodeId, f64>) -> FaultOutcome {
         self.ensure_faults();
         let policy = self.config.retry_policy();
-        let salt = self
-            .base_salt
-            .wrapping_add(self.rounds_run.wrapping_mul(SALT_STRIDE));
+        let round = self.rounds_run;
+        let salt = self.base_salt.wrapping_add(round.wrapping_mul(SALT_STRIDE));
         self.rounds_run += 1;
         let faults = self.faults.as_ref().expect("ensured above");
         let mut scratch = faults.scratch();
         let out = faults.run_on(readings, &self.delivery, &policy, salt, &mut scratch);
         self.tracker.observe(&out);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_round(round, &out);
+        }
         out
     }
 
@@ -293,9 +317,10 @@ impl Session {
     pub fn run_rounds_lossy(&mut self, rounds: &[Vec<f64>]) -> Vec<FaultOutcome> {
         self.ensure_faults();
         let policy = self.config.retry_policy();
+        let first_round = self.rounds_run;
         let salt = self
             .base_salt
-            .wrapping_add(self.rounds_run.wrapping_mul(SALT_STRIDE));
+            .wrapping_add(first_round.wrapping_mul(SALT_STRIDE));
         self.rounds_run += rounds.len() as u64;
         let faults = self.faults.as_ref().expect("ensured above");
         let outcomes = faults.run_rounds(
@@ -305,8 +330,11 @@ impl Session {
             salt,
             self.config.resolved_threads(),
         );
-        for out in &outcomes {
+        for (i, out) in outcomes.iter().enumerate() {
             self.tracker.observe(out);
+            if let Some(rec) = &mut self.recorder {
+                rec.record_round(first_round + i as u64, out);
+            }
         }
         outcomes
     }
@@ -319,10 +347,15 @@ impl Session {
         stats
     }
 
-    /// Installs externally built routing tables and resyncs.
+    /// Installs externally built routing tables and resyncs. Staleness
+    /// measured the old paths, so it resets with them.
     pub fn apply_route_change(&mut self, routing: RoutingTables) -> UpdateStats {
         let stats = self.driver.apply_route_change(routing);
         self.faults = None;
+        self.tracker.reset_staleness();
+        if let Some(rec) = &mut self.recorder {
+            rec.record_route_change(self.rounds_run);
+        }
         stats
     }
 
@@ -335,7 +368,11 @@ impl Session {
     /// is tracked).
     pub fn observe_quality(&mut self, current: &LinkQuality) -> Option<UpdateStats> {
         let churn = self.churn.as_mut()?;
-        if !churn.should_reroute(current) {
+        let fired = churn.should_reroute(current);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_churn(self.rounds_run, fired);
+        }
+        if !fired {
             return None;
         }
         churn.rebase(current.clone());
@@ -343,6 +380,8 @@ impl Session {
         let routing = weighted_routing(self.driver.maintainer().network(), &demands, current);
         let stats = self.driver.apply_route_change(routing);
         self.faults = None;
+        // The new routes owe nothing for the old paths' outages.
+        self.tracker.reset_staleness();
         Some(stats)
     }
 
@@ -461,6 +500,47 @@ mod tests {
             .collect();
         let singles: Vec<FaultOutcome> = dense_maps.iter().map(|m| c.run_round_lossy(m)).collect();
         assert_eq!(singles, batch);
+    }
+
+    #[test]
+    fn route_change_resets_staleness_and_is_recorded() {
+        use m2m_telemetry::timeseries::{self, EventKind};
+        // Near-total loss with a single attempt: every round degrades.
+        let mut session = Session::builder(network(), spec())
+            .delivery(DeliveryModel::uniform(0.95, 5))
+            .config(Config::builder().retries(1).obs(true).obs_cap(64).build())
+            .build();
+        let slots = session.compiled().sources().len();
+        let rounds: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..slots).map(|s| (r + s) as f64).collect())
+            .collect();
+        session.run_rounds_lossy(&rounds);
+        assert!(
+            session.degradation().max_staleness() > 0,
+            "p=0.95 with one attempt must degrade coverage"
+        );
+        let routing = RoutingTables::build(
+            session.network(),
+            &session.spec().source_to_destinations(),
+            RoutingMode::SharedSpanningTree,
+        );
+        session.apply_route_change(routing);
+        assert_eq!(
+            session.degradation().max_staleness(),
+            0,
+            "new routes must not inherit the old paths' staleness debt"
+        );
+        let rec = session.recorder().expect("obs session records");
+        assert!(
+            rec.events().any(|e| e.kind == EventKind::RouteChange),
+            "the recorder must log the route change"
+        );
+        assert!(
+            rec.events().any(|e| e.kind == EventKind::StaleEnter),
+            "degraded rounds must log staleness transitions"
+        );
+        timeseries::set_obs_enabled(false);
+        timeseries::reset_planes();
     }
 
     #[test]

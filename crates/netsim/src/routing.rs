@@ -85,6 +85,7 @@ impl RoutingTables {
         mode: RoutingMode,
     ) -> Self {
         let _span = m2m_telemetry::span(ROUTING_BUILD_NS);
+        let _stage = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_ROUTE);
         let forest = match mode {
             RoutingMode::ShortestPathTrees => build_spt_forest(network.graph(), demands),
             RoutingMode::SharedSpanningTree => build_shared_forest(network.graph(), demands),

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod timeseries;
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Diff two committed BENCH_*.json artifacts metric by metric.
+#
+#   scripts/bench_compare.sh OLD.json NEW.json
+#
+# Both files are flattened to dotted `path=value` lines (the artifacts
+# are emitted by m2m_bench::report with one key per line, two-space
+# indentation, so no real JSON parser is needed — plain awk tracks the
+# object/array nesting). Numeric metrics common to both files print
+# old, new, absolute delta, and percent change; everything else prints
+# as changed/only-in-old/only-in-new. Informational by default; pass
+# --max-regress PCT to exit non-zero when any `rounds_per_sec` /
+# `speedup` / `builds_per_sec` style higher-is-better metric drops by
+# more than PCT percent.
+set -euo pipefail
+
+max_regress=""
+args=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --max-regress)
+            max_regress="${2:?--max-regress needs a percent}"
+            shift 2
+            ;;
+        *)
+            args+=("$1")
+            shift
+            ;;
+    esac
+done
+if [ "${#args[@]}" -ne 2 ]; then
+    echo "usage: $0 [--max-regress PCT] OLD.json NEW.json" >&2
+    exit 2
+fi
+old="${args[0]}"
+new="${args[1]}"
+for f in "$old" "$new"; do
+    [ -r "$f" ] || { echo "bench_compare: cannot read $f" >&2; exit 2; }
+done
+
+# Flatten one artifact: nested keys join with '.', array elements index
+# as [i]. Scalars print as path=value.
+flatten() {
+    awk '
+    function path(    p, i) {
+        p = ""
+        for (i = 1; i <= depth; i++) p = p (p == "" ? "" : ".") stack[i]
+        return p
+    }
+    function push(name) { depth++; stack[depth] = name; count[depth] = 0 }
+    function pop() { delete count[depth]; depth-- }
+    {
+        line = $0
+        gsub(/^[ \t]+|[ \t\r]+$/, "", line)
+        sub(/,$/, "", line)
+        if (line == "" ) next
+        if (line == "{" || line == "[") {
+            # Anonymous child: an element of the enclosing array.
+            if (depth > 0) { idx = count[depth]; count[depth]++; push("[" idx "]") }
+            else push("")
+            next
+        }
+        if (line == "}" || line == "]") { pop(); next }
+        if (match(line, /^"[^"]*"[ \t]*:/)) {
+            key = substr(line, 2)
+            sub(/"[ \t]*:.*/, "", key)
+            rest = substr(line, RLENGTH + 1)
+            gsub(/^[ \t]+/, "", rest)
+            if (rest == "{" || rest == "[") { push(key); next }
+            p = path()
+            print (p == "" ? key : p "." key) "=" rest
+            next
+        }
+        # Bare scalar inside an array.
+        if (depth > 0) {
+            p = path()
+            print p "[" count[depth] "]=" line
+            count[depth]++
+        }
+    }
+    ' "$1" | LC_ALL=C sort
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+flatten "$old" > "$tmpdir/old.flat"
+flatten "$new" > "$tmpdir/new.flat"
+
+awk -F= -v maxreg="${max_regress:-}" -v oldname="$old" -v newname="$new" '
+function isnum(v) { return v ~ /^-?[0-9]+(\.[0-9]+)?$/ }
+function higher_is_better(k) {
+    return k ~ /(rounds_per_sec|per_sec|speedup|coverage|delivered_fraction)/
+}
+NR == FNR { a[$1] = $2; order[n++] = $1; next }
+{
+    b[$1] = $2
+    if (!($1 in a)) added[m++] = $1
+}
+END {
+    printf "bench_compare: %s -> %s\n", oldname, newname
+    changed = 0; regressed = 0
+    for (i = 0; i < n; i++) {
+        k = order[i]
+        if (!(k in b)) { printf "  only in old: %s = %s\n", k, a[k]; changed++; continue }
+        if (a[k] == b[k]) continue
+        changed++
+        if (isnum(a[k]) && isnum(b[k]) && a[k] + 0 != 0) {
+            pct = (b[k] - a[k]) / (a[k] < 0 ? -a[k] : a[k]) * 100
+            printf "  %-52s %14s -> %-14s (%+.2f%%)\n", k, a[k], b[k], pct
+            if (maxreg != "" && higher_is_better(k) && pct < -(maxreg + 0)) {
+                printf "  ^ REGRESSION beyond %s%%\n", maxreg
+                regressed++
+            }
+        } else {
+            printf "  %-52s %s -> %s\n", k, a[k], b[k]
+        }
+    }
+    for (i = 0; i < m; i++) printf "  only in new: %s = %s\n", added[i], b[added[i]]
+    if (changed == 0 && m == 0) print "  identical"
+    if (regressed > 0) exit 1
+}
+' "$tmpdir/old.flat" "$tmpdir/new.flat"

@@ -39,6 +39,13 @@
 # `smoke_forest_digest=`, an FNV-1a over the routing forest's directed
 # edge set, which must be identical across two back-to-back runs — the
 # arena-reuse fast path may never perturb routing structure.
+#
+# Observability gate: a smoke run of `m2m_obs` reconciles the per-node
+# planes, the flight recorder's totals, and the global counters exactly,
+# requires bit-identical outcome digests with the obs layer on and off,
+# and holds the enabled-path overhead within M2M_OBS_TOL percent
+# (default 5; wall-clock, retried up to 3 times). The committed
+# BENCH_obs.json artifact is schema-checked with `m2m_obs --check`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -135,4 +142,41 @@ BEGIN {
 }' || { echo "verify: FAIL — front-end builds/sec fell below M2M_BUILD_FLOOR" >&2; exit 1; }
 
 echo "verify: plan front-end gate OK (forest digest $digest1)"
+
+# Observability gate: the flight-recorder smoke run must reconcile its
+# per-node planes / recorder totals / global counters exactly, the
+# obs-on and obs-off outcome digests must match bit for bit (both fail
+# hard — they are deterministic), and the enabled-path overhead must
+# stay within M2M_OBS_TOL percent of the disabled path (wall-clock, so
+# retried like the telemetry drift gate). The committed BENCH_obs.json
+# is schema-checked alongside.
+obs_tol="${M2M_OBS_TOL:-5}"
+obs_ok=0
+for attempt in 1 2 3; do
+    ./target/release/m2m_obs --smoke > "$tmpdir/obs.txt"
+    if [ "$(get obs smoke_obs_digest_on)" != "$(get obs smoke_obs_digest_off)" ]; then
+        echo "verify: FAIL — observability changed lossy outcomes" >&2
+        exit 1
+    fi
+    if [ "$(get obs smoke_obs_reconcile)" != "exact" ]; then
+        echo "verify: FAIL — obs books failed to reconcile" >&2
+        exit 1
+    fi
+    if awk -v p="$(get obs smoke_obs_overhead_pct)" -v tol="$obs_tol" '
+    BEGIN {
+        printf "verify: obs enabled-path overhead %.2f%% (budget %s%%)\n", p, tol
+        exit (p <= tol + 0) ? 0 : 1
+    }'; then
+        obs_ok=1
+        break
+    fi
+    echo "verify: obs overhead beyond budget (attempt $attempt/3), retrying"
+done
+if [ "$obs_ok" != 1 ]; then
+    echo "verify: FAIL — obs enabled-path overhead beyond budget on every attempt" >&2
+    exit 1
+fi
+./target/release/m2m_obs --check BENCH_obs.json
+
+echo "verify: observability gate OK"
 echo "verify: OK"

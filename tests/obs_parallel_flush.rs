@@ -1,0 +1,94 @@
+//! Regression: per-worker plane shards flush completely at every
+//! thread count.
+//!
+//! The accumulator planes are shard-per-worker (a
+//! [`m2m_core::telemetry::timeseries::NodePlanes`] in each fault
+//! scratch / exec state), merged into the global registry when a worker
+//! finishes its chunk or drops. A worker whose shard never flushed
+//! would under-count silently, and only at `threads > 1` — so the books
+//! from a multi-threaded run must equal the single-threaded run's
+//! exactly, for both the lossy engine ([`FaultyExec::run_rounds`]) and
+//! the compiled slab executor ([`run_epochs_slab`]).
+//!
+//! One test per file: the obs flag is process global, and a sibling
+//! test flipping it concurrently would race.
+
+use m2m_core::exec::{run_epochs_slab, CompiledSchedule, DEFAULT_LANE_WIDTH};
+use m2m_core::faults::{FaultyExec, RetryPolicy};
+use m2m_core::plan::GlobalPlan;
+use m2m_core::telemetry::timeseries::{self, NodePlanes};
+use m2m_core::workload::{generate_workload, WorkloadConfig};
+use m2m_graph::NodeId;
+use m2m_netsim::failure::DeliveryModel;
+use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+fn reading(source: NodeId, round: usize) -> f64 {
+    let s = source.index() as f64;
+    (s * 0.61 + round as f64 * 1.19).sin() * 25.0 + s * 0.03
+}
+
+/// Runs both executors at `threads` workers and returns the flushed
+/// global planes.
+fn planes_at(
+    compiled: &CompiledSchedule,
+    faulty: &FaultyExec,
+    batch: &[Vec<f64>],
+    threads: usize,
+) -> NodePlanes {
+    timeseries::reset_planes();
+    let outcomes = faulty.run_rounds(
+        batch,
+        &DeliveryModel::uniform(0.2, 23),
+        &RetryPolicy::bounded(4, 1, 10_000),
+        0xc0de,
+        threads,
+    );
+    assert!(
+        outcomes.iter().map(|o| o.retransmissions).sum::<usize>() > 0,
+        "loss model must exercise the retry planes"
+    );
+    let slab = run_epochs_slab(compiled, batch, DEFAULT_LANE_WIDTH, threads);
+    assert_eq!(slab.rounds(), batch.len());
+    timeseries::planes_snapshot()
+}
+
+#[test]
+fn plane_shards_flush_identically_at_any_thread_count() {
+    let net = Network::with_default_energy(Deployment::great_duck_island(3));
+    let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 8, 3));
+    let routing = RoutingTables::build(
+        &net,
+        &spec.source_to_destinations(),
+        RoutingMode::ShortestPathTrees,
+    );
+    let plan = GlobalPlan::build(&net, &spec, &routing);
+    let compiled = CompiledSchedule::compile(&net, &spec, &plan).expect("schedulable plan");
+    let faulty = FaultyExec::new(&net, &compiled);
+    let batch: Vec<Vec<f64>> = (0..24)
+        .map(|round| {
+            compiled
+                .sources()
+                .ids()
+                .iter()
+                .map(|&s| reading(s, round))
+                .collect()
+        })
+        .collect();
+
+    timeseries::set_obs_enabled(true);
+    let serial = planes_at(&compiled, &faulty, &batch, 1);
+    assert_eq!(serial.rounds(), 2 * batch.len() as u64);
+    for &threads in &[2usize, 4, 8] {
+        let parallel = planes_at(&compiled, &faulty, &batch, threads);
+        assert_eq!(
+            parallel, serial,
+            "plane books diverged at {threads} threads"
+        );
+    }
+
+    // And while disabled, neither executor writes a shard at all.
+    timeseries::set_obs_enabled(false);
+    let silent = planes_at(&compiled, &faulty, &batch, 4);
+    assert!(silent.is_zero(), "disabled planes must stay empty");
+    timeseries::reset_planes();
+}
