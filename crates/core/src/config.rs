@@ -57,6 +57,12 @@ pub const OBS_EVERY_ENV: &str = "M2M_OBS_EVERY";
 /// Environment variable bounding the flight recorder's ring capacities
 /// (series points and events each keep at most this many entries).
 pub const OBS_CAP_ENV: &str = "M2M_OBS_CAP";
+/// Environment variable setting the event-driven simulator's per-node
+/// outbound queue bound (overflow accounting threshold).
+pub const SIM_QUEUE_ENV: &str = "M2M_SIM_QUEUE";
+/// Environment variable setting the event-driven simulator's per-link
+/// delivery latency in ticks.
+pub const SIM_LATENCY_ENV: &str = "M2M_SIM_LATENCY";
 
 /// Default for [`Config::retries`] when `M2M_RETRIES` is unset.
 pub const DEFAULT_RETRIES: u32 = 8;
@@ -68,6 +74,10 @@ pub const DEFAULT_HYSTERESIS: f64 = 0.25;
 pub const DEFAULT_OBS_EVERY: u64 = 1;
 /// Default for [`Config::obs_cap`] when `M2M_OBS_CAP` is unset.
 pub const DEFAULT_OBS_CAP: usize = 4096;
+/// Default for [`Config::sim_queue`] when `M2M_SIM_QUEUE` is unset.
+pub const DEFAULT_SIM_QUEUE: u32 = 64;
+/// Default for [`Config::sim_latency`] when `M2M_SIM_LATENCY` is unset.
+pub const DEFAULT_SIM_LATENCY: u32 = 1;
 
 /// A resolved runtime configuration. Construct with [`Config::from_env`]
 /// or [`Config::builder`]; read through the accessors.
@@ -85,6 +95,8 @@ pub struct Config {
     obs: bool,
     obs_every: u64,
     obs_cap: usize,
+    sim_queue: u32,
+    sim_latency: u32,
 }
 
 impl Config {
@@ -133,6 +145,8 @@ impl Config {
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|&n| n > 0)
                 .unwrap_or(DEFAULT_OBS_CAP),
+            sim_queue: parse_u32(SIM_QUEUE_ENV, DEFAULT_SIM_QUEUE).max(1),
+            sim_latency: parse_u32(SIM_LATENCY_ENV, DEFAULT_SIM_LATENCY).max(1),
         }
     }
 
@@ -229,6 +243,27 @@ impl Config {
     #[inline]
     pub fn obs_cap(&self) -> usize {
         self.obs_cap
+    }
+
+    /// Per-node outbound queue bound for the event-driven simulator
+    /// (pushes past it are counted as overflow, never dropped).
+    #[inline]
+    pub fn sim_queue(&self) -> u32 {
+        self.sim_queue
+    }
+
+    /// Per-link delivery latency of the event-driven simulator, in ticks.
+    #[inline]
+    pub fn sim_latency(&self) -> u32 {
+        self.sim_latency
+    }
+
+    /// The simulator knobs as [`crate::sim::SimParams`].
+    pub fn sim_params(&self) -> crate::sim::SimParams {
+        crate::sim::SimParams {
+            queue_cap: self.sim_queue,
+            latency: self.sim_latency,
+        }
     }
 
     /// The retry/backoff/budget knobs as a [`RetryPolicy`] for the
@@ -397,6 +432,28 @@ impl ConfigBuilder {
         self
     }
 
+    /// Bounds the simulator's per-node outbound queue.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` (a radio needs at least one queue slot).
+    #[must_use]
+    pub fn sim_queue(mut self, depth: u32) -> Self {
+        assert!(depth > 0, "sim queue bound must be positive");
+        self.config.sim_queue = depth;
+        self
+    }
+
+    /// Sets the simulator's per-link delivery latency in ticks.
+    ///
+    /// # Panics
+    /// Panics if `ticks == 0` (delivery takes at least one tick).
+    #[must_use]
+    pub fn sim_latency(mut self, ticks: u32) -> Self {
+        assert!(ticks > 0, "sim latency must be positive");
+        self.config.sim_latency = ticks;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -451,6 +508,16 @@ mod tests {
         assert!(cfg.obs());
         assert_eq!(cfg.obs_every(), 10);
         assert_eq!(cfg.obs_cap(), 128);
+        let sim = Config::builder().sim_queue(7).sim_latency(3).build();
+        assert_eq!(sim.sim_queue(), 7);
+        assert_eq!(sim.sim_latency(), 3);
+        assert_eq!(
+            sim.sim_params(),
+            crate::sim::SimParams {
+                queue_cap: 7,
+                latency: 3
+            }
+        );
     }
 
     #[test]
@@ -467,6 +534,8 @@ mod tests {
         assert!(!cfg.obs());
         assert_eq!(cfg.obs_every(), DEFAULT_OBS_EVERY);
         assert_eq!(cfg.obs_cap(), DEFAULT_OBS_CAP);
+        assert_eq!(cfg.sim_queue(), DEFAULT_SIM_QUEUE);
+        assert_eq!(cfg.sim_latency(), DEFAULT_SIM_LATENCY);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Distributed per-edge vertex-cover solves: the §2.2 optimization as a
+//! message-passing protocol, in the style of the distributed vertex
+//! cover algorithms surveyed for wireless sensor networks
+//! (arXiv:1402.2140) — no node ever sees the global workload, yet the
+//! composed plan equals the centralized [`crate::plan::GlobalPlan`]
+//! optimum *exactly*.
+//!
+//! # Protocol
+//!
+//! Three phases, each a wave over the demanded routing trees:
+//!
+//! 1. **Demand climb** — every destination `d` emits one token per
+//!    multicast tree it is demanded in, carrying `(d, record width of
+//!    d's function)`; the width is the only thing `d` must know, and it
+//!    is node-local knowledge. The token climbs one hop per round
+//!    toward the tree's source, extending its continuation suffix as it
+//!    goes; each traversed edge's tail registers the `(source, group)`
+//!    pair and learns `d`'s record width. After `max path length`
+//!    rounds every edge tail holds exactly its [`EdgeProblem`] — the
+//!    same sorted slab [`crate::edge_opt::build_edge_problems`] builds
+//!    centrally, because the registrations are the same set and the
+//!    local sort is the same order.
+//! 2. **Local solves** — each edge tail solves its own cover with
+//!    [`solve_edge_sized`] over the widths it learned. The weights and
+//!    the §2.3 tiebreak priorities are built from exactly the numbers
+//!    the centralized solver uses, and the canonical min-cut is
+//!    deterministic, so each local solution is *identical* to the
+//!    centralized one — this is Theorem 1's per-edge decomposability
+//!    made operational: independence is what lets every node solve
+//!    alone.
+//! 3. **Availability wave** — each source floods an `available` bit
+//!    down its tree, one hop per round: a node that received the raw
+//!    value forwards `avail && raw(e)`; an edge that chose raw without
+//!    upstream availability patches itself locally
+//!    ([`patch_edge_sized`]), exactly the §2.3 repair sweep. The patch
+//!    set is order-independent (see [`crate::plan`]), so the wave's
+//!    hop-parallel order changes nothing.
+//!
+//! # Convergence
+//!
+//! Every phase is a monotone wave over a finite forest: phase 1
+//! terminates after `max hops` rounds (tokens strictly ascend), phase 3
+//! after `max depth` rounds (the bit strictly descends), and phase 2 is
+//! purely local. No negotiation ever revisits a settled edge, so the
+//! protocol converges in `O(network diameter)` rounds with one message
+//! per token-hop plus one per tree edge — and, by the argument above,
+//! converges *to the centralized optimum*, which
+//! `tests/dvc_agreement.rs` pins over random workloads and all three
+//! routing modes.
+
+use m2m_graph::NodeId;
+
+use crate::edge_opt::EdgeSolveScratch;
+use crate::edge_opt::{patch_edge_sized, solve_edge_sized, AggGroup, EdgeProblem, EdgeSolution};
+use crate::spec::AggregationSpec;
+use crate::telemetry::names;
+use crate::topo::Topology;
+
+/// What the distributed protocol converged to, plus its cost accounting.
+#[derive(Clone, Debug)]
+pub struct DvcOutcome {
+    /// Per-edge problems as assembled from demand tokens, in
+    /// [`crate::topo::EdgeIdx`] order (equal to
+    /// [`crate::edge_opt::build_edge_problems`] output).
+    pub problems: Vec<EdgeProblem>,
+    /// Per-edge solutions after local solves and the availability wave,
+    /// in the same order (equal to the centralized plan's slab).
+    pub solutions: Vec<EdgeSolution>,
+    /// Protocol rounds until convergence (demand climb + availability
+    /// wave; local solves are round-free).
+    pub rounds: u64,
+    /// Negotiation messages exchanged (token hops + availability bits).
+    pub messages: u64,
+    /// Edges patched by the availability wave.
+    pub patches: usize,
+}
+
+impl DvcOutcome {
+    /// True if the distributed solutions equal `solutions` (the
+    /// centralized plan slab) bit-for-bit.
+    pub fn agrees_with(&self, solutions: &[EdgeSolution]) -> bool {
+        self.solutions == solutions
+    }
+}
+
+/// One edge's learned record-width table: `(destination, bytes)`,
+/// sorted. Node-local knowledge accumulated from demand tokens.
+type WidthTable = Vec<(NodeId, u32)>;
+
+fn learn_width(table: &mut WidthTable, d: NodeId, bytes: u32) {
+    match table.binary_search_by_key(&d, |&(dest, _)| dest) {
+        Ok(i) => debug_assert_eq!(table[i].1, bytes, "destination width must be stable"),
+        Err(i) => table.insert(i, (d, bytes)),
+    }
+}
+
+fn width_of(table: &WidthTable, d: NodeId) -> u32 {
+    table
+        .binary_search_by_key(&d, |&(dest, _)| dest)
+        .map(|i| table[i].1)
+        .unwrap_or_else(|_| panic!("no demand token taught this edge destination {d}'s width"))
+}
+
+/// Runs the three-phase distributed solve over the demanded topology.
+/// `spec` is consulted **only** for each destination's own record width
+/// (the knowledge the destination node itself holds); everything else
+/// travels in protocol messages.
+pub fn solve_distributed(topo: &Topology, spec: &AggregationSpec) -> DvcOutcome {
+    let ne = topo.edge_count();
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+
+    // ---- Phase 1: demand climb -------------------------------------
+    // Token hops, bucketed per edge. A token traversing hop k of its
+    // path registers at that hop's tail; all hops of one path are
+    // distinct edges, and the per-round schedule (all tokens advance in
+    // lockstep) only affects *when* a registration lands, never the
+    // final per-edge registration set — so we bucket path-order and
+    // account rounds as the longest climb.
+    let mut regs: Vec<Vec<(NodeId, AggGroup)>> = vec![Vec::new(); ne];
+    let mut widths: Vec<WidthTable> = vec![Vec::new(); ne];
+    for tree in topo.trees() {
+        let s = tree.source();
+        for dp in tree.dest_paths() {
+            let d = dp.destination();
+            let bytes = spec
+                .function(d)
+                .expect("demanded destination has a function")
+                .partial_record_bytes();
+            rounds = rounds.max(dp.hops().len() as u64);
+            messages += dp.hops().len() as u64;
+            for (edge_idx, suffix) in dp.hops() {
+                regs[edge_idx.index()].push((
+                    s,
+                    AggGroup {
+                        destination: d,
+                        suffix: std::sync::Arc::clone(suffix),
+                    },
+                ));
+                learn_width(&mut widths[edge_idx.index()], d, bytes);
+            }
+        }
+    }
+    let problems: Vec<EdgeProblem> = (0..ne)
+        .map(|e| {
+            let span = &mut regs[e];
+            span.sort_unstable();
+            span.dedup();
+            let mut sources: Vec<NodeId> = Vec::new();
+            for (s, _) in span.iter() {
+                if sources.last() != Some(s) {
+                    sources.push(*s);
+                }
+            }
+            let mut groups: Vec<AggGroup> = span.iter().map(|(_, g)| g.clone()).collect();
+            groups.sort_unstable();
+            groups.dedup();
+            let pairs: Vec<(usize, usize)> = span
+                .iter()
+                .map(|(s, g)| {
+                    (
+                        sources.binary_search(s).expect("source registered"),
+                        groups.binary_search(g).expect("group registered"),
+                    )
+                })
+                .collect();
+            EdgeProblem {
+                edge: topo.edges()[e],
+                sources,
+                groups,
+                pairs,
+            }
+        })
+        .collect();
+
+    // ---- Phase 2: local solves -------------------------------------
+    let mut scratch = EdgeSolveScratch::new();
+    let mut solutions: Vec<EdgeSolution> = problems
+        .iter()
+        .enumerate()
+        .map(|(e, p)| solve_edge_sized(&mut scratch, p, &|d| width_of(&widths[e], d)))
+        .collect();
+
+    // ---- Phase 3: availability wave --------------------------------
+    // Per tree, flood the `avail` bit down the CSR adjacency; each hop
+    // is one message, the wave's round count is the deepest tree. The
+    // stack-depth bookkeeping mirrors `plan::repair_availability`
+    // exactly (the patch set is order-independent, so a DFS visit order
+    // stands in for the hop-parallel wave without changing the result).
+    let mut patches = 0usize;
+    let mut stack: Vec<(u32, bool, u64)> = Vec::new();
+    for tree in topo.trees() {
+        let s = tree.source();
+        stack.clear();
+        stack.push((0, true, 0));
+        while let Some((pos, avail, depth)) = stack.pop() {
+            for &(child, e) in tree.children_of(pos) {
+                messages += 1;
+                rounds = rounds.max(depth + 1);
+                let sol = &mut solutions[e.index()];
+                let raw = sol.transmits_raw(s);
+                if raw && !avail {
+                    patch_edge_sized(&problems[e.index()], sol, s, &|d| {
+                        width_of(&widths[e.index()], d)
+                    });
+                    patches += 1;
+                }
+                stack.push((child, avail && raw, depth + 1));
+            }
+        }
+    }
+
+    crate::telemetry::counter(names::DVC_SOLVES, 1);
+    crate::telemetry::counter(names::DVC_ROUNDS, rounds);
+    crate::telemetry::counter(names::DVC_MESSAGES, messages);
+    crate::m2m_log!(
+        crate::telemetry::Level::Debug,
+        "dvc converged: {} edges in {} rounds, {} messages, {} patches",
+        ne,
+        rounds,
+        messages,
+        patches
+    );
+    DvcOutcome {
+        problems,
+        solutions,
+        rounds,
+        messages,
+        patches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggregateFunction;
+    use crate::edge_opt::build_edge_problems;
+    use crate::plan::GlobalPlan;
+    use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
+
+    fn spec() -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::weighted_average([
+                (NodeId(0), 1.0),
+                (NodeId(1), 2.0),
+                (NodeId(3), 0.5),
+                (NodeId(6), 1.5),
+            ]),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 3.0)]),
+        );
+        s.add_function(
+            NodeId(3),
+            AggregateFunction::weighted_sum([(NodeId(0), 2.0), (NodeId(3), 1.0)]),
+        );
+        s
+    }
+
+    #[test]
+    fn distributed_solve_matches_centralized_plan_in_every_mode() {
+        let net = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+        let spec = spec();
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let routing = RoutingTables::build(&net, &spec.source_to_destinations(), mode);
+            let plan = GlobalPlan::build(&net, &spec, &routing);
+            let out = solve_distributed(plan.topology(), &spec);
+            assert_eq!(
+                out.problems,
+                build_edge_problems(plan.topology()),
+                "{mode:?}: demand climb must assemble the exact problems"
+            );
+            assert!(
+                out.agrees_with(plan.solutions()),
+                "{mode:?}: distributed solve must equal the centralized optimum"
+            );
+            assert_eq!(out.patches, plan.repair_count(), "{mode:?}: same patch set");
+            assert!(out.rounds > 0 && out.messages > 0);
+        }
+    }
+
+    #[test]
+    fn rounds_are_bounded_by_the_diameter_waves() {
+        let net = Network::with_default_energy(Deployment::grid(6, 1, 10.0, 12.0));
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(5),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0)]),
+        );
+        let routing = RoutingTables::build(
+            &net,
+            &s.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &s, &routing);
+        let out = solve_distributed(plan.topology(), &s);
+        // One 5-hop climb, and an availability wave of the same depth.
+        assert_eq!(out.rounds, 5);
+        assert_eq!(out.messages, 10);
+        assert!(out.agrees_with(plan.solutions()));
+    }
+}

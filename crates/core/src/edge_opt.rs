@@ -211,16 +211,33 @@ pub fn solve_edge_with(
     problem: &EdgeProblem,
     spec: &AggregationSpec,
 ) -> EdgeSolution {
+    solve_edge_sized(scratch, problem, &|d| {
+        spec.function(d)
+            .expect("group destination must have a function")
+            .partial_record_bytes()
+    })
+}
+
+/// [`solve_edge_with`] with record sizes supplied by a callback instead
+/// of a whole [`AggregationSpec`]. This is the solve as one *node* runs
+/// it in the distributed protocol ([`crate::dvc`]): the edge's tail
+/// knows only the per-destination record widths it learned from demand
+/// messages, never the global spec. Given the same sizes the cover —
+/// and hence the solution — is identical to the centralized one, because
+/// weights and tiebreak priorities are built from exactly the same
+/// numbers.
+pub fn solve_edge_sized(
+    scratch: &mut EdgeSolveScratch,
+    problem: &EdgeProblem,
+    record_bytes: &dyn Fn(NodeId) -> u32,
+) -> EdgeSolution {
     let graph = &mut scratch.graph;
     graph.clear();
     for &s in &problem.sources {
         graph.add_left(u64::from(RAW_VALUE_BYTES) * WEIGHT_SCALE + source_priority(s));
     }
     for g in &problem.groups {
-        let bytes = spec
-            .function(g.destination)
-            .expect("group destination must have a function")
-            .partial_record_bytes();
+        let bytes = record_bytes(g.destination);
         graph.add_right(u64::from(bytes) * WEIGHT_SCALE + destination_priority(g.destination));
     }
     for &(si, gi) in &problem.pairs {
@@ -251,13 +268,7 @@ pub fn solve_edge_with(
     let cost_bytes = raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
         + agg
             .iter()
-            .map(|g| {
-                u64::from(
-                    spec.function(g.destination)
-                        .expect("function exists")
-                        .partial_record_bytes(),
-                )
-            })
+            .map(|g| u64::from(record_bytes(g.destination)))
             .sum::<u64>();
     debug_assert!(raw.windows(2).all(|w| w[0] < w[1]));
     debug_assert!(agg.windows(2).all(|w| w[0] < w[1]));
@@ -267,6 +278,45 @@ pub fn solve_edge_with(
         agg,
         cost_bytes,
     }
+}
+
+/// Removes `s` from an edge solution's raw set and forces every
+/// continuation group `s` participates in into the aggregate set,
+/// preserving cover validity — the §2.3 availability patch, with record
+/// sizes supplied by a callback so a lone node (or the centralized
+/// sweep in [`crate::plan`]) can apply it from whatever size knowledge
+/// it has.
+///
+/// # Panics
+/// Panics if `s` is not a source of `problem`.
+pub fn patch_edge_sized(
+    problem: &EdgeProblem,
+    sol: &mut EdgeSolution,
+    s: NodeId,
+    record_bytes: &dyn Fn(NodeId) -> u32,
+) {
+    if let Ok(pos) = sol.raw.binary_search(&s) {
+        sol.raw.remove(pos);
+    }
+    let si = problem
+        .sources
+        .binary_search(&s)
+        .expect("patched source must be in the edge problem");
+    for &(psi, gi) in &problem.pairs {
+        if psi != si {
+            continue;
+        }
+        let group = &problem.groups[gi];
+        if let Err(pos) = sol.agg.binary_search(group) {
+            sol.agg.insert(pos, group.clone());
+        }
+    }
+    sol.cost_bytes = sol.raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
+        + sol
+            .agg
+            .iter()
+            .map(|g| u64::from(record_bytes(g.destination)))
+            .sum::<u64>();
 }
 
 /// Solves a batch of single-edge problems on up to `threads` workers,

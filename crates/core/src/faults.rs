@@ -86,21 +86,23 @@ impl Default for RetryPolicy {
     }
 }
 
-/// One message's precomputed execution facts.
+/// One message's precomputed execution facts. Shared with
+/// [`crate::sim`], whose event-driven runtime replays the same static
+/// message graph under a different clock.
 #[derive(Clone, Debug)]
-struct MessageFacts {
-    edge: (NodeId, NodeId),
-    unit_count: usize,
-    body: u32,
+pub(crate) struct MessageFacts {
+    pub(crate) edge: (NodeId, NodeId),
+    pub(crate) unit_count: usize,
+    pub(crate) body: u32,
     /// Energy of one transmission attempt / one successful reception.
-    tx_uj: f64,
-    rx_uj: f64,
+    pub(crate) tx_uj: f64,
+    pub(crate) rx_uj: f64,
     /// Range into [`FaultyExec::pred_pool`].
-    preds: (u32, u32),
+    pub(crate) preds: (u32, u32),
     /// Dense slots of `edge.0` / `edge.1` in [`FaultyExec::plane_ids`],
     /// precomputed so the per-node plane update is two array stores.
-    tail_slot: u32,
-    head_slot: u32,
+    pub(crate) tail_slot: u32,
+    pub(crate) head_slot: u32,
 }
 
 /// One link's failure summary for one round: `failures` transmission
@@ -246,10 +248,10 @@ pub struct FaultyExec {
 
 /// [`FaultyExec::raw_parent`] marker: the unit is not a raw relay (record
 /// units gate on their own hop only).
-const NOT_RAW: u32 = u32::MAX;
+pub(crate) const NOT_RAW: u32 = u32::MAX;
 /// [`FaultyExec::raw_parent`] marker: the raw unit leaves the source node
 /// itself — the head of its relay chain.
-const RAW_ORIGIN: u32 = u32::MAX - 1;
+pub(crate) const RAW_ORIGIN: u32 = u32::MAX - 1;
 
 impl FaultyExec {
     /// Lowers `compiled` for fault-tolerant execution: assigns TDMA slots,
@@ -913,6 +915,81 @@ impl FaultyExec {
                 self.run(readings, model, policy, salt, scratch)
             },
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal views of the compiled static tables, shared with the
+    // event-driven runtime in [`crate::sim`]: the message graph, op gates,
+    // relay chains, and coverage universe are clock-independent, so the
+    // simulator reuses them instead of re-deriving its own.
+    // ------------------------------------------------------------------
+
+    /// Per-message execution facts, in schedule message order.
+    #[inline]
+    pub(crate) fn message_facts(&self) -> &[MessageFacts] {
+        &self.messages
+    }
+
+    /// Predecessor messages of message `m`.
+    #[inline]
+    pub(crate) fn preds_of(&self, m: usize) -> &[u32] {
+        let (a, b) = self.messages[m].preds;
+        &self.pred_pool[a as usize..b as usize]
+    }
+
+    /// Unit index → message index table.
+    #[inline]
+    pub(crate) fn unit_message(&self) -> &[u32] {
+        &self.message_of
+    }
+
+    /// Op-aligned gate table (see [`FaultyExec::op_gate`]).
+    #[inline]
+    pub(crate) fn op_gates(&self) -> &[u32] {
+        &self.op_gate
+    }
+
+    /// Bitset words per coverage row.
+    #[inline]
+    pub(crate) fn cover_words(&self) -> usize {
+        self.words
+    }
+
+    /// Per-destination demanded-source bitsets (row-major).
+    #[inline]
+    pub(crate) fn demanded_rows(&self) -> &[u64] {
+        &self.demanded_bits
+    }
+
+    /// Per-destination demanded-source counts.
+    #[inline]
+    pub(crate) fn demanded_counts(&self) -> &[usize] {
+        &self.demanded
+    }
+
+    /// Sorted per-node plane universe (message endpoints as `u64` ids).
+    #[inline]
+    pub(crate) fn plane_universe(&self) -> &[u64] {
+        &self.plane_ids
+    }
+
+    /// [`FaultyExec::gate_open`] against an external delivered table —
+    /// the simulator keeps its own delivery state.
+    #[inline]
+    pub(crate) fn gate_open_in(&self, gate: u32, delivered: &[bool]) -> bool {
+        if gate == u32::MAX {
+            return true;
+        }
+        let mut unit = gate;
+        loop {
+            if !delivered[self.message_of[unit as usize] as usize] {
+                return false;
+            }
+            match self.raw_parent[unit as usize] {
+                NOT_RAW | RAW_ORIGIN => return true,
+                parent => unit = parent,
+            }
+        }
     }
 }
 

@@ -50,6 +50,15 @@
 //!   routing → plan → compiled executor → fault engine → churn loop;
 //! * [`node_machine`] — the *distributed* counterpart: event-driven node
 //!   automata programmed solely by their §3 tables;
+//! * [`sim`] — the discrete-event distributed runtime: every node a
+//!   component on a shared event clock with bounded per-link queues and
+//!   a binary-heap event wheel, drawing losses from the same seeded
+//!   [`faults`] streams and bit-identical to the compiled executor when
+//!   lossless (100k-node scale);
+//! * [`dvc`] — the distributed per-edge vertex-cover solve: demand
+//!   climbs the trees hop-by-hop, each edge's tail solves its own cover
+//!   locally, and an availability wave repairs raw relays — converging
+//!   to the centralized [`plan`] optimum exactly;
 //! * [`obs`] — the session flight recorder: bounded per-round
 //!   coverage/energy timeline + structured event ring over the lossy
 //!   runtime, dumped (with the per-node accumulator planes from
@@ -123,6 +132,7 @@ pub mod basestation;
 pub mod campaign;
 pub mod config;
 pub mod dissemination;
+pub mod dvc;
 pub mod dynamics;
 pub mod edge_opt;
 pub mod exec;
@@ -143,6 +153,7 @@ pub mod runtime;
 pub mod schedule;
 pub mod session;
 pub mod sharing;
+pub mod sim;
 pub mod slots;
 pub mod spec;
 pub mod suppression;

@@ -9,6 +9,27 @@
 //! [`WireMessage`]s; nothing else is shared. The integration tests drive
 //! both runtimes over the same workloads and require identical results,
 //! which makes [`crate::tables`] load-bearing rather than merely audited.
+//!
+//! Two properties distinguish this from the original prototype:
+//!
+//! * **Canonical merge order.** Accumulators no longer merge in radio
+//!   arrival order: every [`crate::tables::PartialEntry`] carries its
+//!   input slots ([`crate::tables::InputKey`]) in the same sorted
+//!   contribution order the compiled executor folds in, arrivals are
+//!   buffered into their slot, and the fold runs slot-by-slot once the
+//!   last input lands. Distributed results are therefore *bit-identical*
+//!   to [`crate::exec`] (and to the [`crate::sim`] event runtime), not
+//!   merely within float tolerance — `tests/sim_equivalence.rs` pins
+//!   this across routing modes.
+//! * **Allocation-free steady state.** The prototype allocated a fresh
+//!   `Vec<WireUnit>` per staged message per round and rebuilt every
+//!   automaton per round. [`DistributedRunner`] keeps the machines warm
+//!   ([`NodeMachine::reset`] rearms without allocating), recycles unit
+//!   buffers through a [`UnitPool`] free list, and resolves incoming
+//!   records against a boot-time interned group map instead of
+//!   constructing a fresh suffix per hop — after the first round the
+//!   message path performs no unit-buffer allocations at all
+//!   (`tests/alloc_budget.rs` counts them; numbers in EXPERIMENTS.md).
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -17,7 +38,7 @@ use m2m_graph::NodeId;
 use crate::agg::PartialRecord;
 use crate::edge_opt::AggGroup;
 use crate::spec::AggregationSpec;
-use crate::tables::{NodeState, NodeTables, RecordTarget};
+use crate::tables::{InputKey, NodeState, NodeTables, RecordTarget};
 
 /// One unit on the wire.
 #[derive(Clone, Debug)]
@@ -53,16 +74,62 @@ pub struct WireMessage {
     pub units: Vec<WireUnit>,
 }
 
-/// A record accumulator: merges `expected` inputs, then fires.
+/// Free list of unit buffers: emitted messages draw their `units`
+/// backing store here, and consumed messages return it. After one warm-up
+/// round every message reuses a buffer — the steady-state message path
+/// allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct UnitPool {
+    free: Vec<Vec<WireUnit>>,
+    fresh: u64,
+    reused: u64,
+}
+
+impl UnitPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty buffer, reusing a returned one when available.
+    pub fn take(&mut self) -> Vec<WireUnit> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a consumed message's buffer for reuse.
+    pub fn put(&mut self, buf: Vec<WireUnit>) {
+        self.free.push(buf);
+    }
+
+    /// Buffers allocated fresh (pool misses) since construction.
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Buffers served from the free list since construction.
+    pub fn reuses(&self) -> u64 {
+        self.reused
+    }
+}
+
+/// A record accumulator: buffers inputs into canonical slots, folds and
+/// fires when the last slot fills.
 #[derive(Clone, Debug)]
 struct Accumulator {
-    record: Option<PartialRecord>,
-    received: u32,
-    expected: u32,
+    /// One slot per [`InputKey`] of the program entry, same order.
+    slots: Vec<Option<PartialRecord>>,
+    filled: u32,
     fired: bool,
-    /// Outgoing message carrying the completed record (`None` = local
-    /// evaluation).
-    message: Option<usize>,
 }
 
 /// One node's runtime automaton.
@@ -70,8 +137,13 @@ struct Accumulator {
 pub struct NodeMachine {
     id: NodeId,
     program: NodeState,
-    /// Accumulators keyed by merge target.
-    accumulators: BTreeMap<RecordTarget, Accumulator>,
+    /// Accumulators aligned with `program.partial`.
+    accs: Vec<Accumulator>,
+    /// Incoming wire group → accumulator index, interned at boot so the
+    /// receive path never constructs a suffix.
+    incoming: BTreeMap<AggGroup, usize>,
+    /// Per `program.preagg` entry: `(accumulator, slot)` resolved at boot.
+    preagg_route: Vec<(usize, usize)>,
     /// Units staged per outgoing message index.
     staged: Vec<Vec<WireUnit>>,
     /// Messages already emitted (each outgoing message fires once).
@@ -82,38 +154,95 @@ pub struct NodeMachine {
 
 impl NodeMachine {
     /// Boots a node from its disseminated state tables.
+    ///
+    /// # Panics
+    /// Panics if the tables are internally inconsistent (a pre-aggregation
+    /// entry pointing at a missing accumulator, an input slot absent from
+    /// its entry).
     pub fn new(id: NodeId, program: NodeState) -> Self {
-        let mut accumulators = BTreeMap::new();
-        for entry in &program.partial {
-            let target = match (&entry.group, entry.message) {
-                (Some(group), Some(msg)) => {
-                    let next_hop = program.outgoing[msg].next_hop;
-                    RecordTarget::Edge((id, next_hop), group.clone())
+        let mut accs = Vec::with_capacity(program.partial.len());
+        let mut incoming = BTreeMap::new();
+        for (i, entry) in program.partial.iter().enumerate() {
+            accs.push(Accumulator {
+                slots: vec![None; entry.inputs.len()],
+                filled: 0,
+                fired: false,
+            });
+            // The wire form of this accumulator's records: suffix as the
+            // *sender* tags it, i.e. starting at this node.
+            let key = match (&entry.group, entry.message) {
+                (Some(group), Some(_)) => {
+                    let mut suffix = Vec::with_capacity(group.suffix.len() + 1);
+                    suffix.push(id);
+                    suffix.extend_from_slice(&group.suffix);
+                    AggGroup {
+                        destination: entry.destination,
+                        suffix: suffix.into(),
+                    }
                 }
-                (None, None) => RecordTarget::Local(entry.destination),
+                (None, None) => AggGroup {
+                    destination: entry.destination,
+                    suffix: std::sync::Arc::from([id].as_slice()),
+                },
                 other => unreachable!("inconsistent partial entry: {other:?}"),
             };
-            accumulators.insert(
-                target,
-                Accumulator {
-                    record: None,
-                    received: 0,
-                    expected: entry.merge_count,
-                    fired: false,
-                    message: entry.message,
-                },
-            );
+            incoming.insert(key, i);
         }
+        let preagg_route = program
+            .preagg
+            .iter()
+            .map(|e| {
+                let acc = match &e.target {
+                    RecordTarget::Edge(edge, group) => program
+                        .partial
+                        .iter()
+                        .position(|p| {
+                            p.group.as_ref() == Some(group)
+                                && p.message
+                                    .is_some_and(|m| program.outgoing[m].next_hop == edge.1)
+                        })
+                        .unwrap_or_else(|| panic!("{id}: no accumulator for {:?}", e.target)),
+                    RecordTarget::Local(d) => program
+                        .partial
+                        .iter()
+                        .position(|p| p.destination == *d && p.message.is_none())
+                        .unwrap_or_else(|| panic!("{id}: no local accumulator for {d}")),
+                };
+                let slot = program.partial[acc]
+                    .inputs
+                    .iter()
+                    .position(|k| *k == InputKey::Pre(e.source))
+                    .unwrap_or_else(|| panic!("{id}: no Pre({}) slot in entry {acc}", e.source));
+                (acc, slot)
+            })
+            .collect();
         let staged = vec![Vec::new(); program.outgoing.len()];
         let emitted = vec![false; program.outgoing.len()];
         NodeMachine {
             id,
             program,
-            accumulators,
+            accs,
+            incoming,
+            preagg_route,
             staged,
             emitted,
             results: BTreeMap::new(),
         }
+    }
+
+    /// Rearms the automaton for a fresh round without reallocating any
+    /// of its state.
+    pub fn reset(&mut self) {
+        for acc in &mut self.accs {
+            acc.slots.fill(None);
+            acc.filled = 0;
+            acc.fired = false;
+        }
+        self.emitted.fill(false);
+        for buf in &mut self.staged {
+            buf.clear();
+        }
+        self.results.clear();
     }
 
     /// Results computed at this node so far (destination nodes only).
@@ -124,7 +253,7 @@ impl NodeMachine {
     /// True if every outgoing message fired and every accumulator
     /// completed — the node finished its round.
     pub fn is_quiescent(&self) -> bool {
-        self.emitted.iter().all(|&e| e) && self.accumulators.values().all(|a| a.fired)
+        self.emitted.iter().all(|&e| e) && self.accs.iter().all(|a| a.fired)
     }
 
     /// Human-readable description of unfinished work (for deadlock
@@ -142,43 +271,52 @@ impl NodeMachine {
                 ));
             }
         }
-        for (target, acc) in &self.accumulators {
+        for (i, acc) in self.accs.iter().enumerate() {
             if !acc.fired {
                 parts.push(format!(
-                    "{target:?}: {}/{} inputs",
-                    acc.received, acc.expected
+                    "{:?}: {}/{} inputs",
+                    self.program.partial[i],
+                    acc.filled,
+                    acc.slots.len()
                 ));
             }
         }
         parts.join("; ")
     }
 
-    /// Feeds this node's own sensor reading; returns any messages that
-    /// become ready.
-    pub fn inject_local_reading(&mut self, spec: &AggregationSpec, value: f64) -> Vec<WireMessage> {
-        self.handle_raw(spec, self.id, value)
+    /// Feeds this node's own sensor reading; any messages that become
+    /// ready are pushed onto `out` with buffers drawn from `pool`.
+    pub fn inject_local_reading(
+        &mut self,
+        spec: &AggregationSpec,
+        value: f64,
+        pool: &mut UnitPool,
+        out: &mut VecDeque<WireMessage>,
+    ) {
+        self.handle_raw(spec, self.id, value, pool, out);
     }
 
-    /// Delivers one radio message; returns any messages that become
-    /// ready.
+    /// Delivers one radio message; any messages that become ready are
+    /// pushed onto `out`. The caller owns `message.units` and should
+    /// return the buffer to the pool afterwards.
     pub fn on_receive(
         &mut self,
         spec: &AggregationSpec,
         message: &WireMessage,
-    ) -> Vec<WireMessage> {
+        pool: &mut UnitPool,
+        out: &mut VecDeque<WireMessage>,
+    ) {
         debug_assert_eq!(message.to, self.id);
-        let mut out = Vec::new();
         for unit in &message.units {
             match unit {
                 WireUnit::Raw { source, value } => {
-                    out.extend(self.handle_raw(spec, *source, *value));
+                    self.handle_raw(spec, *source, *value, pool, out);
                 }
                 WireUnit::Record { group, record } => {
-                    out.extend(self.handle_record(spec, group, *record));
+                    self.handle_record(spec, message.from, group, *record, pool, out);
                 }
             }
         }
-        out
     }
 
     /// Processes a raw value available at this node (own reading or
@@ -189,106 +327,117 @@ impl NodeMachine {
         spec: &AggregationSpec,
         source: NodeId,
         value: f64,
-    ) -> Vec<WireMessage> {
-        let mut out = Vec::new();
-        let forwards: Vec<usize> = self
-            .program
-            .raw
-            .iter()
-            .filter(|e| e.source == source)
-            .map(|e| e.message)
-            .collect();
-        for msg in forwards {
+        pool: &mut UnitPool,
+        out: &mut VecDeque<WireMessage>,
+    ) {
+        for i in 0..self.program.raw.len() {
+            if self.program.raw[i].source != source {
+                continue;
+            }
+            let msg = self.program.raw[i].message;
             self.staged[msg].push(WireUnit::Raw { source, value });
-            out.extend(self.try_emit(msg));
+            self.try_emit(msg, pool, out);
         }
-        let preaggs: Vec<(NodeId, RecordTarget)> = self
-            .program
-            .preagg
-            .iter()
-            .filter(|e| e.source == source)
-            .map(|e| (e.destination, e.target.clone()))
-            .collect();
-        for (destination, target) in preaggs {
+        for i in 0..self.program.preagg.len() {
+            if self.program.preagg[i].source != source {
+                continue;
+            }
+            let destination = self.program.preagg[i].destination;
             let f = spec
                 .function(destination)
                 .expect("destination has a function");
             let part = f.pre_aggregate(source, value);
-            out.extend(self.merge_into(spec, &target, part));
+            let (acc, slot) = self.preagg_route[i];
+            self.fill_slot(spec, acc, slot, part, pool, out);
         }
-        out
     }
 
-    /// Merges an incoming record into its continuation accumulator.
+    /// Routes an incoming record into its continuation accumulator via
+    /// the interned group map — no suffix construction on the hot path.
+    /// The slot key is the sending neighbor (the wire unit does not
+    /// repeat it; the enclosing message carries it).
     fn handle_record(
         &mut self,
         spec: &AggregationSpec,
+        from: NodeId,
         group: &AggGroup,
         record: PartialRecord,
-    ) -> Vec<WireMessage> {
+        pool: &mut UnitPool,
+        out: &mut VecDeque<WireMessage>,
+    ) {
         debug_assert_eq!(group.suffix[0], self.id, "record delivered to wrong node");
-        let target = if group.suffix.len() == 1 {
-            RecordTarget::Local(group.destination)
-        } else {
-            RecordTarget::Edge(
-                (self.id, group.suffix[1]),
-                AggGroup {
-                    destination: group.destination,
-                    suffix: group.suffix[1..].into(),
-                },
-            )
-        };
-        self.merge_into(spec, &target, record)
+        let acc = *self
+            .incoming
+            .get(group)
+            .unwrap_or_else(|| panic!("{}: no accumulator for incoming {group:?}", self.id));
+        let slot = self.program.partial[acc]
+            .inputs
+            .iter()
+            .position(|k| *k == InputKey::Record(from))
+            .unwrap_or_else(|| panic!("{}: no Record({from}) slot in entry {acc}", self.id));
+        self.fill_slot(spec, acc, slot, record, pool, out);
     }
 
-    /// Adds one input to an accumulator; fires it when complete.
-    fn merge_into(
+    /// Adds one input into slot `slot` of accumulator `acc`; folds and
+    /// fires the accumulator when it completes.
+    fn fill_slot(
         &mut self,
         spec: &AggregationSpec,
-        target: &RecordTarget,
+        acc: usize,
+        slot: usize,
         part: PartialRecord,
-    ) -> Vec<WireMessage> {
-        let destination = match target {
-            RecordTarget::Edge(_, g) => g.destination,
-            RecordTarget::Local(d) => *d,
-        };
-        let f = spec
-            .function(destination)
-            .expect("destination has a function");
-        let acc = self
-            .accumulators
-            .get_mut(target)
-            .unwrap_or_else(|| panic!("{}: no accumulator for {target:?}", self.id));
-        assert!(!acc.fired, "{}: late input for {target:?}", self.id);
-        acc.record = Some(match acc.record.take() {
-            None => part,
-            Some(prev) => f.merge(prev, part),
-        });
-        acc.received += 1;
-        if acc.received < acc.expected {
-            return Vec::new();
-        }
-        acc.fired = true;
-        let record = acc.record.expect("completed accumulator has a record");
-        let message = acc.message;
-        match target.clone() {
-            RecordTarget::Local(d) => {
-                self.results.insert(d, f.evaluate(record));
-                Vec::new()
+        pool: &mut UnitPool,
+        out: &mut VecDeque<WireMessage>,
+    ) {
+        {
+            let a = &mut self.accs[acc];
+            assert!(!a.fired, "{}: late input for entry {acc}", self.id);
+            assert!(
+                a.slots[slot].is_none(),
+                "{}: duplicate input for entry {acc} slot {slot}",
+                self.id
+            );
+            a.slots[slot] = Some(part);
+            a.filled += 1;
+            if (a.filled as usize) < a.slots.len() {
+                return;
             }
-            RecordTarget::Edge(_, group) => {
+            a.fired = true;
+        }
+        // Fold in slot order — the canonical contribution order the
+        // compiled executor uses, so results match it bit-for-bit.
+        let entry = &self.program.partial[acc];
+        let f = spec
+            .function(entry.destination)
+            .expect("destination has a function");
+        let mut folded: Option<PartialRecord> = None;
+        for s in &self.accs[acc].slots {
+            let part = s.expect("completed accumulator has all slots");
+            folded = Some(match folded {
+                None => part,
+                Some(prev) => f.merge(prev, part),
+            });
+        }
+        let record = folded.expect("accumulator has at least one input");
+        match entry.message {
+            None => {
+                let d = entry.destination;
+                self.results.insert(d, f.evaluate(record));
+            }
+            Some(msg) => {
                 // The table told us which message carries this record —
                 // the same cycle-safe grouping the schedule merger chose.
-                let msg = message.expect("edge-targeted record has a message");
+                let group = entry.group.clone().expect("edge-targeted record has group");
                 self.staged[msg].push(WireUnit::Record { group, record });
-                self.try_emit(msg)
+                self.try_emit(msg, pool, out);
             }
         }
     }
 
     /// Emits an outgoing message once all its units are staged (§3: the
-    /// merged message carries `unit_count` units).
-    fn try_emit(&mut self, msg: usize) -> Vec<WireMessage> {
+    /// merged message carries `unit_count` units). The staged buffer is
+    /// moved onto the wire and replaced from the pool.
+    fn try_emit(&mut self, msg: usize, pool: &mut UnitPool, out: &mut VecDeque<WireMessage>) {
         let expected = self.program.outgoing[msg].unit_count as usize;
         assert!(
             self.staged[msg].len() <= expected,
@@ -296,14 +445,15 @@ impl NodeMachine {
             self.id
         );
         if self.emitted[msg] || self.staged[msg].len() < expected {
-            return Vec::new();
+            return;
         }
         self.emitted[msg] = true;
-        vec![WireMessage {
+        let units = std::mem::replace(&mut self.staged[msg], pool.take());
+        out.push_back(WireMessage {
             from: self.id,
             to: self.program.outgoing[msg].next_hop,
-            units: std::mem::take(&mut self.staged[msg]),
-        }]
+            units,
+        });
     }
 }
 
@@ -316,59 +466,131 @@ pub struct DistributedRound {
     pub messages: Vec<WireMessage>,
 }
 
+/// A warm fleet of node automata: machines boot once, rounds rearm them
+/// in place, and message buffers cycle through a [`UnitPool`] — the
+/// steady-state message path is allocation-free.
+#[derive(Clone, Debug)]
+pub struct DistributedRunner {
+    /// Participating nodes, ascending; machine index = slot.
+    ids: Vec<NodeId>,
+    machines: Vec<NodeMachine>,
+    pool: UnitPool,
+    queue: VecDeque<WireMessage>,
+    results: BTreeMap<NodeId, f64>,
+}
+
+impl DistributedRunner {
+    /// Boots one automaton per node in the tables.
+    pub fn new(tables: &NodeTables) -> Self {
+        let mut ids = Vec::new();
+        let mut machines = Vec::new();
+        for (n, state) in tables.nodes() {
+            ids.push(n);
+            machines.push(NodeMachine::new(n, state.clone()));
+        }
+        DistributedRunner {
+            ids,
+            machines,
+            pool: UnitPool::new(),
+            queue: VecDeque::new(),
+            results: BTreeMap::new(),
+        }
+    }
+
+    /// The buffer pool (for allocation accounting).
+    pub fn pool(&self) -> &UnitPool {
+        &self.pool
+    }
+
+    /// Runs one full round, recycling every message buffer; returns the
+    /// per-destination results. This is the fast path: no message log,
+    /// no per-hop allocation once the pool is warm.
+    pub fn run_round(
+        &mut self,
+        spec: &AggregationSpec,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> Result<&BTreeMap<NodeId, f64>, String> {
+        self.run_round_inner(spec, readings, None)?;
+        Ok(&self.results)
+    }
+
+    /// Runs one full round, keeping every exchanged message (and hence
+    /// allocating fresh buffers for them) for inspection.
+    pub fn run_round_logged(
+        &mut self,
+        spec: &AggregationSpec,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> Result<DistributedRound, String> {
+        let mut log = Vec::new();
+        self.run_round_inner(spec, readings, Some(&mut log))?;
+        Ok(DistributedRound {
+            results: self.results.clone(),
+            messages: log,
+        })
+    }
+
+    fn run_round_inner(
+        &mut self,
+        spec: &AggregationSpec,
+        readings: &BTreeMap<NodeId, f64>,
+        mut log: Option<&mut Vec<WireMessage>>,
+    ) -> Result<(), String> {
+        self.queue.clear();
+        for (i, machine) in self.machines.iter_mut().enumerate() {
+            machine.reset();
+            // Readings may cover only the spec's sources (matching the
+            // compiled executor); a source missing its reading surfaces
+            // below as a quiescence failure, not a panic.
+            if let Some(&value) = readings.get(&self.ids[i]) {
+                machine.inject_local_reading(spec, value, &mut self.pool, &mut self.queue);
+            }
+        }
+        while let Some(message) = self.queue.pop_front() {
+            let slot = self
+                .ids
+                .binary_search(&message.to)
+                .map_err(|_| format!("message to {} but node has no tables", message.to))?;
+            self.machines[slot].on_receive(spec, &message, &mut self.pool, &mut self.queue);
+            match log.as_deref_mut() {
+                Some(l) => l.push(message),
+                None => self.pool.put(message.units),
+            }
+        }
+        self.results.clear();
+        for machine in &self.machines {
+            self.results
+                .extend(machine.results().iter().map(|(&d, &v)| (d, v)));
+            if !machine.is_quiescent() {
+                return Err(format!(
+                    "node {} did not quiesce: {}",
+                    machine.id,
+                    machine.pending_description()
+                ));
+            }
+        }
+        for (d, _) in spec.functions() {
+            if !self.results.contains_key(&d) {
+                return Err(format!("destination {d} produced no result"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Runs one full round of the distributed automata: every node processes
 /// its own reading, messages are delivered in FIFO order until the
 /// network quiesces.
 ///
 /// Returns an error if the network deadlocks (some accumulator or message
 /// never completes) — which Theorem 2 rules out for plans produced by
-/// this crate.
+/// this crate. For repeated rounds, build a [`DistributedRunner`] once
+/// and rearm it instead.
 pub fn run_distributed_round(
     spec: &AggregationSpec,
     tables: &NodeTables,
     readings: &BTreeMap<NodeId, f64>,
 ) -> Result<DistributedRound, String> {
-    let mut machines: BTreeMap<NodeId, NodeMachine> = tables
-        .nodes()
-        .map(|(n, state)| (n, NodeMachine::new(n, state.clone())))
-        .collect();
-
-    let mut in_flight: VecDeque<WireMessage> = VecDeque::new();
-    let mut log = Vec::new();
-    for (&node, machine) in machines.iter_mut() {
-        let value = *readings
-            .get(&node)
-            .unwrap_or_else(|| panic!("no reading for node {node}"));
-        in_flight.extend(machine.inject_local_reading(spec, value));
-    }
-    while let Some(message) = in_flight.pop_front() {
-        let receiver = machines
-            .get_mut(&message.to)
-            .ok_or_else(|| format!("message to {} but node has no tables", message.to))?;
-        in_flight.extend(receiver.on_receive(spec, &message));
-        log.push(message);
-    }
-
-    let mut results = BTreeMap::new();
-    for machine in machines.values() {
-        results.extend(machine.results().iter().map(|(&d, &v)| (d, v)));
-        if !machine.is_quiescent() {
-            return Err(format!(
-                "node {} did not quiesce: {}",
-                machine.id,
-                machine.pending_description()
-            ));
-        }
-    }
-    for (d, _) in spec.functions() {
-        if !results.contains_key(&d) {
-            return Err(format!("destination {d} produced no result"));
-        }
-    }
-    Ok(DistributedRound {
-        results,
-        messages: log,
-    })
+    DistributedRunner::new(tables).run_round_logged(spec, readings)
 }
 
 #[cfg(test)]
@@ -376,6 +598,7 @@ mod tests {
     use super::*;
     use crate::agg::AggregateFunction;
     use crate::plan::GlobalPlan;
+    use crate::tables::NodeTables;
     use crate::workload::{generate_workload, WorkloadConfig};
     use m2m_netsim::{Deployment, Network, RoutingMode, RoutingTables};
 
@@ -437,6 +660,42 @@ mod tests {
             let sol = plan.solution((m.from, m.to)).expect("message on plan edge");
             assert_eq!(m.units.len(), sol.unit_count());
         }
+    }
+
+    #[test]
+    fn warm_runner_rounds_reuse_every_buffer() {
+        let net = Network::with_default_energy(Deployment::great_duck_island(5));
+        let spec = generate_workload(&net, &WorkloadConfig::paper_default(10, 10, 3));
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let tables = NodeTables::build(&spec, &plan);
+        let mut runner = DistributedRunner::new(&tables);
+        let readings: BTreeMap<NodeId, f64> =
+            net.nodes().map(|v| (v, 1.0 + f64::from(v.0 % 9))).collect();
+        runner.run_round(&spec, &readings).unwrap();
+        let fresh_after_warmup = runner.pool().fresh_allocations();
+        assert!(fresh_after_warmup > 0, "first round must populate the pool");
+        for round in 0..5 {
+            let readings: BTreeMap<NodeId, f64> = net
+                .nodes()
+                .map(|v| (v, f64::from(v.0 % 7) + f64::from(round)))
+                .collect();
+            let results = runner.run_round(&spec, &readings).unwrap().clone();
+            for (d, f) in spec.functions() {
+                let expected = f.reference_result(&readings);
+                assert!((results[&d] - expected).abs() < 1e-9, "dest {d}");
+            }
+        }
+        assert_eq!(
+            runner.pool().fresh_allocations(),
+            fresh_after_warmup,
+            "warm rounds must not allocate any unit buffers"
+        );
+        assert!(runner.pool().reuses() >= 5 * fresh_after_warmup);
     }
 
     #[test]

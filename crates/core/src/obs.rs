@@ -266,6 +266,32 @@ impl FlightRecorder {
         }
     }
 
+    /// Folds one discrete-event round's simulator-specific facts in: a
+    /// [`EventKind::SimRound`] event carrying the peak per-link queue
+    /// depth, plus one [`EventKind::QueueOverflow`] event per node whose
+    /// transmit queue exceeded the configured bound. Call alongside
+    /// [`FlightRecorder::record_round`] (which folds the shared
+    /// [`FaultOutcome`]) — `m2m_obs` then renders sim runs like any
+    /// other lossy timeline, with the queue pressure on top.
+    pub fn record_sim_round(&mut self, round: u64, out: &crate::sim::SimOutcome) {
+        self.push_event(Event {
+            round,
+            kind: EventKind::SimRound,
+            a: NO_NODE,
+            b: NO_NODE,
+            value: u64::from(out.peak_queue_depth),
+        });
+        for &(node, overflows) in &out.overflow_nodes {
+            self.push_event(Event {
+                round,
+                kind: EventKind::QueueOverflow,
+                a: u64::from(node.0),
+                b: NO_NODE,
+                value: u64::from(overflows),
+            });
+        }
+    }
+
     /// Records a churn-gate decision at `round`: a fired reroute or an
     /// absorbed drift observation.
     pub fn record_churn(&mut self, round: u64, fired: bool) {

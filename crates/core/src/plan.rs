@@ -34,7 +34,6 @@ use std::sync::Arc;
 use m2m_graph::NodeId;
 use m2m_netsim::{Network, RoutingTables};
 
-use crate::agg::RAW_VALUE_BYTES;
 use crate::edge_opt::{
     build_edge_problems, solve_edge_slab, AggGroup, DirectedEdge, EdgeProblem, EdgeSolution,
 };
@@ -398,35 +397,15 @@ fn repair_availability(
 
 /// Removes `s` from an edge's raw set and forces every continuation group
 /// `s` participates in into the aggregate set, preserving cover validity.
+/// Delegates to [`crate::edge_opt::patch_edge_sized`] with spec-derived
+/// record sizes — the same patch a node applies locally in the
+/// distributed sweep ([`crate::dvc`]).
 fn patch_edge(spec: &AggregationSpec, problem: &EdgeProblem, sol: &mut EdgeSolution, s: NodeId) {
-    if let Ok(pos) = sol.raw.binary_search(&s) {
-        sol.raw.remove(pos);
-    }
-    let si = problem
-        .sources
-        .binary_search(&s)
-        .expect("patched source must be in the edge problem");
-    for &(psi, gi) in &problem.pairs {
-        if psi != si {
-            continue;
-        }
-        let group = &problem.groups[gi];
-        if let Err(pos) = sol.agg.binary_search(group) {
-            sol.agg.insert(pos, group.clone());
-        }
-    }
-    sol.cost_bytes = sol.raw.len() as u64 * u64::from(RAW_VALUE_BYTES)
-        + sol
-            .agg
-            .iter()
-            .map(|g| {
-                u64::from(
-                    spec.function(g.destination)
-                        .expect("function exists")
-                        .partial_record_bytes(),
-                )
-            })
-            .sum::<u64>();
+    crate::edge_opt::patch_edge_sized(problem, sol, s, &|d| {
+        spec.function(d)
+            .expect("function exists")
+            .partial_record_bytes()
+    });
 }
 
 /// Aggregate statistics of a [`GlobalPlan`].
@@ -491,7 +470,7 @@ pub fn aggregation_tree_sizes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agg::AggregateFunction;
+    use crate::agg::{AggregateFunction, RAW_VALUE_BYTES};
     use crate::workload::{generate_workload, WorkloadConfig};
     use m2m_netsim::{Deployment, RoutingMode};
 

@@ -52,6 +52,7 @@ use crate::faults::{
 };
 use crate::metrics::RoundCost;
 use crate::obs::{FlightRecorder, DEFAULT_BATTERY_UJ};
+use crate::sim::{SimExec, SimOutcome, SimState};
 use crate::spec::AggregationSpec;
 
 /// The default base salt for lossy rounds; chosen arbitrarily, fixed for
@@ -138,6 +139,7 @@ impl SessionBuilder {
             driver,
             delivery: self.delivery,
             faults: None,
+            sim: None,
             churn,
             tracker: DegradationTracker::new(),
             recorder,
@@ -157,6 +159,9 @@ pub struct Session {
     delivery: DeliveryModel,
     /// Lazily built, invalidated whenever the compiled schedule moves.
     faults: Option<FaultyExec>,
+    /// The discrete-event runtime and its warm state, lazily built and
+    /// invalidated alongside `faults`.
+    sim: Option<(SimExec, SimState)>,
     churn: Option<ChurnController>,
     tracker: DegradationTracker,
     /// Present when the configuration enables observability
@@ -339,11 +344,69 @@ impl Session {
         outcomes
     }
 
+    /// Executes one round through the discrete-event simulator
+    /// ([`crate::sim`]) under the session's delivery model, retry policy,
+    /// and configured queue/latency parameters ([`Config::sim_params`]).
+    /// Shares the replayable salt stream with [`Session::run_round_lossy`]
+    /// (each consumed round advances the same cursor) and feeds the same
+    /// degradation tracker and flight recorder.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_round_sim(&mut self, readings: &BTreeMap<NodeId, f64>) -> SimOutcome {
+        self.ensure_sim();
+        let policy = self.config.retry_policy();
+        let round = self.rounds_run;
+        let salt = self.base_salt.wrapping_add(round.wrapping_mul(SALT_STRIDE));
+        self.rounds_run += 1;
+        let delivery = &self.delivery;
+        let (sim, st) = self.sim.as_mut().expect("ensured above");
+        let out = sim.run_on(readings, delivery, &policy, salt, st);
+        self.tracker.observe(&out.outcome);
+        if let Some(rec) = &mut self.recorder {
+            rec.record_round(round, &out.outcome);
+            rec.record_sim_round(round, &out);
+        }
+        out
+    }
+
+    /// Runs one simulated round per dense reading row (in
+    /// [`CompiledSchedule::sources`] slot order), drawing one salt per
+    /// round from the session's stream — the same salts
+    /// [`Session::run_rounds_lossy`] would draw, so either runtime can
+    /// replay the other's failure history.
+    pub fn run_rounds_sim(&mut self, rounds: &[Vec<f64>]) -> Vec<SimOutcome> {
+        self.ensure_sim();
+        let policy = self.config.retry_policy();
+        let first = self.rounds_run;
+        self.rounds_run += rounds.len() as u64;
+        let base_salt = self.base_salt;
+        let delivery = &self.delivery;
+        let (sim, st) = self.sim.as_mut().expect("ensured above");
+        let outcomes: Vec<SimOutcome> = rounds
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let salt = base_salt.wrapping_add((first + i as u64).wrapping_mul(SALT_STRIDE));
+                sim.run(row, delivery, &policy, salt, st)
+            })
+            .collect();
+        for (i, out) in outcomes.iter().enumerate() {
+            self.tracker.observe(&out.outcome);
+            if let Some(rec) = &mut self.recorder {
+                rec.record_round(first + i as u64, &out.outcome);
+                rec.record_sim_round(first + i as u64, out);
+            }
+        }
+        outcomes
+    }
+
     /// Applies one workload update through the incremental maintainer;
     /// the compiled executor (and the fault engine, lazily) resync.
     pub fn apply(&mut self, update: WorkloadUpdate) -> UpdateStats {
         let stats = self.driver.apply(update);
         self.faults = None;
+        self.sim = None;
         stats
     }
 
@@ -352,6 +415,7 @@ impl Session {
     pub fn apply_route_change(&mut self, routing: RoutingTables) -> UpdateStats {
         let stats = self.driver.apply_route_change(routing);
         self.faults = None;
+        self.sim = None;
         self.tracker.reset_staleness();
         if let Some(rec) = &mut self.recorder {
             rec.record_route_change(self.rounds_run);
@@ -380,6 +444,7 @@ impl Session {
         let routing = weighted_routing(self.driver.maintainer().network(), &demands, current);
         let stats = self.driver.apply_route_change(routing);
         self.faults = None;
+        self.sim = None;
         // The new routes owe nothing for the old paths' outages.
         self.tracker.reset_staleness();
         Some(stats)
@@ -397,6 +462,18 @@ impl Session {
                 self.driver.maintainer().network(),
                 self.driver.compiled(),
             ));
+        }
+    }
+
+    fn ensure_sim(&mut self) {
+        if self.sim.is_none() {
+            let sim = SimExec::with_params(
+                self.driver.maintainer().network(),
+                self.driver.compiled(),
+                self.config.sim_params(),
+            );
+            let st = sim.state();
+            self.sim = Some((sim, st));
         }
     }
 }
@@ -599,6 +676,38 @@ mod tests {
                 .build();
             assert_eq!(s.run_epochs_slab(&rounds), slab, "width {w}");
         }
+    }
+
+    #[test]
+    fn sim_rounds_match_the_plain_path_and_record_queue_pressure() {
+        use m2m_telemetry::timeseries::{self, EventKind};
+        let mut session = Session::builder(network(), spec())
+            .config(Config::builder().obs(true).obs_cap(64).build())
+            .build();
+        let vals = readings(session.network());
+        let (plain, _) = session.run_round(&vals);
+        let out = session.run_round_sim(&vals);
+        assert!(out.outcome.delivered);
+        assert!(out.events > 0 && out.ticks > 0);
+        let dests: Vec<NodeId> = session.compiled().destinations().collect();
+        for (i, d) in dests.iter().enumerate() {
+            assert_eq!(out.outcome.results[i], Some(plain[d]), "destination {d}");
+        }
+        assert_eq!(session.degradation().rounds(), 1);
+        let rec = session.recorder().expect("obs session records");
+        assert!(
+            rec.events().any(|e| e.kind == EventKind::SimRound),
+            "sim rounds must land in the event ring"
+        );
+        // Workload updates rebuild the simulator on next use.
+        session.apply(WorkloadUpdate::AddDestination {
+            destination: NodeId(9),
+            function: AggregateFunction::weighted_sum([(NodeId(4), 1.0), (NodeId(8), 1.0)]),
+        });
+        let out = session.run_round_sim(&vals);
+        assert_eq!(out.outcome.results.len(), 3, "new destination joins");
+        timeseries::set_obs_enabled(false);
+        timeseries::reset_planes();
     }
 
     #[test]

@@ -1,0 +1,1065 @@
+//! The discrete-event distributed node runtime: every node an autonomous
+//! component advancing on a shared event clock, with bounded per-link
+//! message queues and a binary-heap event wheel — the execution model the
+//! paper's motes actually live in, scaled to 100k–1M nodes.
+//!
+//! # Architecture
+//!
+//! [`SimExec`] lowers a [`CompiledSchedule`] once (through
+//! [`FaultyExec`], whose static message graph, op gates, raw relay
+//! chains and coverage universe are clock-independent and shared) into
+//! event-wheel form:
+//!
+//! * **Components** — one per message endpoint, interned as dense slots
+//!   of the sorted endpoint universe ([`FaultyExec`]'s per-node plane
+//!   ids). Each component owns one radio and one bounded outbound FIFO,
+//!   represented intrusively: a `next` link per message plus
+//!   head/tail/depth per component — no per-node allocation.
+//! * **Event wheel** — a `BinaryHeap` of `(tick, seq)`-ordered events;
+//!   `seq` is a monotone push counter, so the pop order is a total order
+//!   independent of heap internals: runs are bit-replayable.
+//! * **Message graph** — the schedule's unit arcs collapsed to message
+//!   granularity (the same `preds` table the TDMA simulator uses),
+//!   plus its reverse (successor CSR) so resolution is push-driven.
+//! * **Interned payloads** — a message's wire payload is its unit span
+//!   in the schedule, never materialized: records fold in place in a
+//!   dense unit-indexed slab at *ready* time. The hot loop performs no
+//!   heap allocation ([`SimState`] is reusable scratch).
+//!
+//! # One round
+//!
+//! A message becomes **ready** when every predecessor message has
+//! *resolved* (delivered or lost). At ready time its node folds the
+//! record units it carries from whatever actually arrived — gates are
+//! final then, because gating units travel in predecessor messages and
+//! raw relay chains are transitively upstream — and enqueues the message
+//! on its outbound FIFO. The radio transmits the queue head once per
+//! tick; each attempt asks the shared [`DeliveryModel`] with the same
+//! `(link, salt + tick)` coordinate discipline the TDMA executor uses,
+//! so losses come from the same seeded streams. A failed attempt backs
+//! off [`RetryPolicy::backoff_slots`] ticks and retries; exhausting
+//! `max_attempts` abandons the message (a `Lost` event still resolves
+//! its successors — the protocol moves on). A delivered or lost message
+//! decrements its successors' pending counts, cascading readiness; a
+//! destination finalizes when its last inbound message resolves.
+//!
+//! The round ends when the wheel drains or the tick budget
+//! (`policy.max_slots`) expires; destinations still pending at the
+//! deadline are folded from whatever arrived, mirroring the TDMA slot
+//! budget semantics.
+//!
+//! **Equivalence contract**: at loss probability 0 (any retry policy),
+//! every gate is open and every fold includes every op in the compiled
+//! order, so [`SimOutcome::outcome`] results / cost / coverage are
+//! **bit-identical** to [`FaultyExec::run`] and hence to
+//! [`CompiledSchedule::run_round`] (`tests/sim_equivalence.rs` pins this
+//! across routing modes). Under loss the two executors draw from the
+//! same seeded per-link streams but index them by different clocks
+//! (event ticks vs TDMA slots), so individual rounds may degrade
+//! differently — both are valid schedules of the same protocol.
+//!
+//! The per-link queue bound is **backpressure accounting**, not a drop
+//! policy: pushes past the bound are counted (per node and in total,
+//! surfaced as [`SimOutcome::queue_overflows`] and flight-recorder
+//! [`m2m_telemetry::timeseries::EventKind::QueueOverflow`] events) but
+//! never discard messages, so determinism and the p=0 equivalence hold
+//! for any bound while congested nodes remain visible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use m2m_graph::NodeId;
+use m2m_netsim::{DeliveryModel, Network};
+
+use crate::agg::{AggregateKind, PartialRecord};
+use crate::exec::{CompiledSchedule, Op};
+use crate::faults::{DestCoverage, FaultOutcome, FaultyExec, LinkEvent, RetryPolicy};
+use crate::metrics::RoundCost;
+use crate::telemetry::names;
+
+/// Simulator tuning knobs, read from [`crate::config::Config`] by
+/// [`crate::session::Session`] (`M2M_SIM_QUEUE` / `M2M_SIM_LATENCY`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimParams {
+    /// Outbound FIFO depth per node before pushes count as overflow
+    /// (accounting only — see the module docs).
+    pub queue_cap: u32,
+    /// Ticks a transmission spends in flight before delivery resolves.
+    pub latency: u32,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            queue_cap: crate::config::DEFAULT_SIM_QUEUE,
+            latency: crate::config::DEFAULT_SIM_LATENCY,
+        }
+    }
+}
+
+/// What one event is about. Payload is a dense index: the component for
+/// `Tx`, the message for `Deliver` / `Lost`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvKind {
+    /// The component's radio attempts its queue head.
+    Tx(u32),
+    /// A transmitted message arrives at its head node.
+    Deliver(u32),
+    /// An abandoned message's loss becomes known downstream.
+    Lost(u32),
+}
+
+/// One scheduled event. Ordering is `(time, seq)` — `seq` is unique per
+/// push, so the wheel's pop order is total and replayable regardless of
+/// heap layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Queue-link sentinel: no next message / empty queue.
+const NO_MSG: u32 = u32::MAX;
+
+/// The outcome of one event-driven round: the usual loss-aware
+/// [`FaultOutcome`] plus the simulator's own counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Results / coverage / cost / link events, with the exact
+    /// [`FaultOutcome`] semantics (`slots_used` is the final event tick).
+    pub outcome: FaultOutcome,
+    /// Events processed by the wheel this round.
+    pub events: u64,
+    /// The tick of the last processed event.
+    pub ticks: u64,
+    /// Deepest any node's outbound FIFO got this round.
+    pub peak_queue_depth: u32,
+    /// Pushes past the configured queue bound (accounting only).
+    pub queue_overflows: u64,
+    /// Nodes whose queue overflowed, with their overflow push counts
+    /// (ascending node id; empty when nothing overflowed).
+    pub overflow_nodes: Vec<(NodeId, u32)>,
+}
+
+/// Reusable scratch for [`SimExec::run`] — allocate once, run any number
+/// of rounds without further allocation (outcomes excepted). Dropping it
+/// flushes the worker-local observability planes, like
+/// [`crate::faults::FaultScratch`].
+#[derive(Clone, Debug, Default)]
+pub struct SimState {
+    heap: BinaryHeap<std::cmp::Reverse<Ev>>,
+    seq: u64,
+    delivered: Vec<bool>,
+    dropped: Vec<bool>,
+    attempts: Vec<u32>,
+    /// Per message: unresolved predecessor messages left.
+    pred_left: Vec<u32>,
+    /// Per destination step: unresolved inbound messages left.
+    dest_left: Vec<u32>,
+    /// Intrusive FIFO links (per message).
+    next_in_q: Vec<u32>,
+    /// Per component: queue head / tail / depth, radio busy flag.
+    q_head: Vec<u32>,
+    q_tail: Vec<u32>,
+    q_depth: Vec<u32>,
+    radio_busy: Vec<bool>,
+    /// Per component: pushes past the bound (sparse, via `touched`).
+    overflow_at: Vec<u32>,
+    touched_overflow: Vec<u32>,
+    readings: Vec<f64>,
+    records: Vec<Option<PartialRecord>>,
+    results: Vec<Option<f64>>,
+    dest_done: Vec<bool>,
+    unit_cover: Vec<u64>,
+    cover: Vec<u64>,
+    tmp_cover: Vec<u64>,
+    planes: m2m_telemetry::timeseries::NodePlanes,
+}
+
+impl Drop for SimState {
+    fn drop(&mut self) {
+        m2m_telemetry::timeseries::merge_planes(&mut self.planes);
+    }
+}
+
+/// The event-driven executor. Built once per plan; see the module docs.
+#[derive(Clone, Debug)]
+pub struct SimExec {
+    faults: FaultyExec,
+    params: SimParams,
+    /// Successor CSR: reverse of the message `preds` table.
+    succ_start: Vec<u32>,
+    succ_pool: Vec<u32>,
+    /// Per message: initial predecessor count.
+    init_preds: Vec<u32>,
+    /// Message → record-step CSR: the record steps whose unit travels in
+    /// the message, in compiled (topological) order.
+    rstep_start: Vec<u32>,
+    rstep_pool: Vec<u32>,
+    /// Message → destination-step CSR: destinations whose final fold
+    /// waits on the message.
+    dstep_start: Vec<u32>,
+    dstep_pool: Vec<u32>,
+    /// Per destination step: distinct inbound messages demanded.
+    init_dest_preds: Vec<u32>,
+}
+
+impl SimExec {
+    /// Lowers `compiled` for event-driven execution with default
+    /// parameters.
+    pub fn new(network: &Network, compiled: &CompiledSchedule) -> Self {
+        Self::with_params(network, compiled, SimParams::default())
+    }
+
+    /// Lowers `compiled` with explicit [`SimParams`].
+    ///
+    /// # Panics
+    /// Panics if `params.queue_cap` or `params.latency` is zero.
+    pub fn with_params(network: &Network, compiled: &CompiledSchedule, params: SimParams) -> Self {
+        assert!(params.queue_cap >= 1, "queue bound must be >= 1");
+        assert!(params.latency >= 1, "link latency must be >= 1 tick");
+        Self::from_faults(FaultyExec::new(network, compiled), params)
+    }
+
+    /// Lowers an already-built [`FaultyExec`] (shares its static tables).
+    pub fn from_faults(faults: FaultyExec, params: SimParams) -> Self {
+        crate::telemetry::counter(names::SIM_BUILDS, 1);
+        let message_count = faults.message_facts().len();
+        let compiled = faults.compiled();
+
+        // Reverse the predecessor table into a successor CSR, and record
+        // initial pending counts.
+        let mut init_preds = vec![0u32; message_count];
+        let mut succ_count = vec![0u32; message_count];
+        for (m, init) in init_preds.iter_mut().enumerate() {
+            let preds = faults.preds_of(m);
+            *init = preds.len() as u32;
+            for &p in preds {
+                succ_count[p as usize] += 1;
+            }
+        }
+        let mut succ_start = Vec::with_capacity(message_count + 1);
+        let mut acc = 0u32;
+        for &c in &succ_count {
+            succ_start.push(acc);
+            acc += c;
+        }
+        succ_start.push(acc);
+        let mut succ_pool = vec![0u32; acc as usize];
+        let mut cursor = succ_start.clone();
+        for m in 0..message_count {
+            for &p in faults.preds_of(m) {
+                let at = &mut cursor[p as usize];
+                succ_pool[*at as usize] = m as u32;
+                *at += 1;
+            }
+        }
+
+        // Bucket record steps by carrying message, preserving compiled
+        // (topological) order within each bucket.
+        let unit_message = faults.unit_message();
+        let mut rstep_count = vec![0u32; message_count];
+        for step in &compiled.record_steps {
+            rstep_count[unit_message[step.unit as usize] as usize] += 1;
+        }
+        let mut rstep_start = Vec::with_capacity(message_count + 1);
+        let mut acc = 0u32;
+        for &c in &rstep_count {
+            rstep_start.push(acc);
+            acc += c;
+        }
+        rstep_start.push(acc);
+        let mut rstep_pool = vec![0u32; acc as usize];
+        let mut cursor = rstep_start.clone();
+        for (i, step) in compiled.record_steps.iter().enumerate() {
+            let m = unit_message[step.unit as usize] as usize;
+            rstep_pool[cursor[m] as usize] = i as u32;
+            cursor[m] += 1;
+        }
+
+        // Each destination step waits on the distinct messages carrying
+        // its gating units (local contributions gate on nothing).
+        let op_gates = faults.op_gates();
+        let mut dest_pred_lists: Vec<Vec<u32>> = Vec::with_capacity(compiled.dest_steps.len());
+        for step in &compiled.dest_steps {
+            let base = step.first_op as usize;
+            let mut list: Vec<u32> = (0..step.op_count as usize)
+                .filter_map(|k| {
+                    let gate = op_gates[base + k];
+                    (gate != u32::MAX).then(|| unit_message[gate as usize])
+                })
+                .collect();
+            list.sort_unstable();
+            list.dedup();
+            dest_pred_lists.push(list);
+        }
+        let init_dest_preds: Vec<u32> = dest_pred_lists.iter().map(|l| l.len() as u32).collect();
+        let mut dstep_count = vec![0u32; message_count];
+        for list in &dest_pred_lists {
+            for &m in list {
+                dstep_count[m as usize] += 1;
+            }
+        }
+        let mut dstep_start = Vec::with_capacity(message_count + 1);
+        let mut acc = 0u32;
+        for &c in &dstep_count {
+            dstep_start.push(acc);
+            acc += c;
+        }
+        dstep_start.push(acc);
+        let mut dstep_pool = vec![0u32; acc as usize];
+        let mut cursor = dstep_start.clone();
+        for (i, list) in dest_pred_lists.iter().enumerate() {
+            for &m in list {
+                dstep_pool[cursor[m as usize] as usize] = i as u32;
+                cursor[m as usize] += 1;
+            }
+        }
+
+        crate::m2m_log!(
+            crate::telemetry::Level::Debug,
+            "sim compiled: {} components, {} messages, {} succ arcs",
+            faults.plane_universe().len(),
+            message_count,
+            succ_pool.len()
+        );
+        SimExec {
+            faults,
+            params,
+            succ_start,
+            succ_pool,
+            init_preds,
+            rstep_start,
+            rstep_pool,
+            dstep_start,
+            dstep_pool,
+            init_dest_preds,
+        }
+    }
+
+    /// The shared static lowering (message graph, gates, slot schedule).
+    #[inline]
+    pub fn faults(&self) -> &FaultyExec {
+        &self.faults
+    }
+
+    /// The compiled schedule this simulator runs.
+    #[inline]
+    pub fn compiled(&self) -> &CompiledSchedule {
+        self.faults.compiled()
+    }
+
+    /// The simulator's tuning knobs.
+    #[inline]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Components (distinct message endpoints) in the simulation.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.faults.plane_universe().len()
+    }
+
+    /// Messages in one round of the simulation.
+    #[inline]
+    pub fn message_count(&self) -> usize {
+        self.faults.message_facts().len()
+    }
+
+    /// Allocates a scratch arena sized for this simulator.
+    pub fn state(&self) -> SimState {
+        let messages = self.message_count();
+        let components = self.component_count();
+        let compiled = self.faults.compiled();
+        let words = self.faults.cover_words();
+        SimState {
+            heap: BinaryHeap::with_capacity(messages * 2 + components),
+            seq: 0,
+            delivered: vec![false; messages],
+            dropped: vec![false; messages],
+            attempts: vec![0; messages],
+            pred_left: vec![0; messages],
+            dest_left: vec![0; compiled.dest_steps.len()],
+            next_in_q: vec![NO_MSG; messages],
+            q_head: vec![NO_MSG; components],
+            q_tail: vec![NO_MSG; components],
+            q_depth: vec![0; components],
+            radio_busy: vec![false; components],
+            overflow_at: vec![0; components],
+            touched_overflow: Vec::new(),
+            readings: vec![0.0; compiled.sources.len()],
+            records: vec![None; compiled.unit_count],
+            results: vec![None; compiled.dest_steps.len()],
+            dest_done: vec![false; compiled.dest_steps.len()],
+            unit_cover: vec![0; compiled.unit_count * words],
+            cover: vec![0; compiled.dest_steps.len() * words],
+            tmp_cover: vec![0; words],
+            planes: m2m_telemetry::timeseries::NodePlanes::for_ids(
+                self.faults.plane_universe().to_vec(),
+            ),
+        }
+    }
+
+    /// Folds one compiled op run against the current delivery state,
+    /// also accumulating the run's source-coverage row in
+    /// `st.tmp_cover`. Gate-open ops fold exactly like
+    /// [`crate::exec::fold_ops`]; closed gates and empty upstream
+    /// records are skipped like [`FaultyExec`]'s degraded fold.
+    fn fold_step(
+        &self,
+        first_op: u32,
+        op_count: u32,
+        kind: AggregateKind,
+        st: &mut SimState,
+    ) -> Option<PartialRecord> {
+        let compiled = self.faults.compiled();
+        let op_gates = self.faults.op_gates();
+        let words = self.faults.cover_words();
+        st.tmp_cover.fill(0);
+        let base = first_op as usize;
+        let mut acc: Option<PartialRecord> = None;
+        for (k, &gate) in op_gates
+            .iter()
+            .enumerate()
+            .skip(base)
+            .take(op_count as usize)
+        {
+            if !self.faults.gate_open_in(gate, &st.delivered) {
+                continue;
+            }
+            let part = match compiled.ops.get(k) {
+                Op::Pre { slot, alpha } => {
+                    st.tmp_cover[slot as usize / 64] |= 1 << (slot % 64);
+                    kind.pre_aggregate_weighted(alpha, st.readings[slot as usize])
+                }
+                Op::FromUnit { unit } => {
+                    let src = unit as usize * words;
+                    for w in 0..words {
+                        st.tmp_cover[w] |= st.unit_cover[src + w];
+                    }
+                    match st.records[unit as usize] {
+                        Some(r) => r,
+                        None => continue,
+                    }
+                }
+            };
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => kind.merge_records(prev, part),
+            });
+        }
+        acc
+    }
+
+    /// A message's predecessors have all resolved: its node folds the
+    /// record units it carries and the message joins the outbound FIFO.
+    /// Returns the updated `(peak_depth, overflows)` accounting.
+    fn ready(
+        &self,
+        m: u32,
+        now: u64,
+        st: &mut SimState,
+        peak_depth: &mut u32,
+        overflows: &mut u64,
+    ) {
+        let compiled = self.faults.compiled();
+        let words = self.faults.cover_words();
+        let lo = self.rstep_start[m as usize] as usize;
+        let hi = self.rstep_start[m as usize + 1] as usize;
+        for i in lo..hi {
+            let step = &compiled.record_steps[self.rstep_pool[i] as usize];
+            let acc = self.fold_step(step.first_op, step.op_count, step.kind, st);
+            st.records[step.unit as usize] = acc;
+            let dst = step.unit as usize * words;
+            st.unit_cover[dst..dst + words].copy_from_slice(&st.tmp_cover);
+        }
+        // Enqueue on the sender's FIFO; wake the radio if idle.
+        let comp = self.faults.message_facts()[m as usize].tail_slot as usize;
+        st.next_in_q[m as usize] = NO_MSG;
+        if st.q_tail[comp] == NO_MSG {
+            st.q_head[comp] = m;
+        } else {
+            st.next_in_q[st.q_tail[comp] as usize] = m;
+        }
+        st.q_tail[comp] = m;
+        st.q_depth[comp] += 1;
+        *peak_depth = (*peak_depth).max(st.q_depth[comp]);
+        if st.q_depth[comp] > self.params.queue_cap {
+            *overflows += 1;
+            if st.overflow_at[comp] == 0 {
+                st.touched_overflow.push(comp as u32);
+            }
+            st.overflow_at[comp] += 1;
+        }
+        if !st.radio_busy[comp] {
+            st.radio_busy[comp] = true;
+            push_event(st, now + 1, EvKind::Tx(comp as u32));
+        }
+    }
+
+    /// A destination's last inbound message resolved (or the deadline
+    /// hit): evaluate its final fold and coverage row.
+    fn finalize_dest(&self, i: usize, st: &mut SimState) {
+        let compiled = self.faults.compiled();
+        let words = self.faults.cover_words();
+        let step = &compiled.dest_steps[i];
+        let acc = self.fold_step(step.first_op, step.op_count, step.kind, st);
+        st.results[i] = acc.map(|r| step.kind.evaluate_record(r));
+        st.cover[i * words..(i + 1) * words].copy_from_slice(&st.tmp_cover);
+        st.dest_done[i] = true;
+    }
+
+    /// A message resolved (delivered or lost): cascade readiness to its
+    /// successors and finalize destinations whose inputs are complete.
+    fn resolve(
+        &self,
+        m: u32,
+        now: u64,
+        st: &mut SimState,
+        peak_depth: &mut u32,
+        overflows: &mut u64,
+    ) {
+        let lo = self.succ_start[m as usize] as usize;
+        let hi = self.succ_start[m as usize + 1] as usize;
+        for i in lo..hi {
+            let s = self.succ_pool[i];
+            st.pred_left[s as usize] -= 1;
+            if st.pred_left[s as usize] == 0 {
+                self.ready(s, now, st, peak_depth, overflows);
+            }
+        }
+        let lo = self.dstep_start[m as usize] as usize;
+        let hi = self.dstep_start[m as usize + 1] as usize;
+        for i in lo..hi {
+            let d = self.dstep_pool[i] as usize;
+            st.dest_left[d] -= 1;
+            if st.dest_left[d] == 0 {
+                self.finalize_dest(d, st);
+            }
+        }
+    }
+
+    /// Mirror of [`FaultyExec`]'s per-node plane fold, against the
+    /// simulator's delivery state — same arithmetic, so plane totals
+    /// reconcile with cost and the global counters exactly.
+    fn update_planes(&self, st: &mut SimState) {
+        for (m, msg) in self.faults.message_facts().iter().enumerate() {
+            let attempts = u64::from(st.attempts[m]);
+            if attempts == 0 {
+                continue;
+            }
+            let tail = msg.tail_slot as usize;
+            st.planes.record_tx(tail, attempts, msg.tx_uj);
+            if st.delivered[m] {
+                st.planes.record_rx(msg.head_slot as usize, msg.rx_uj);
+                if attempts > 1 {
+                    st.planes.record_retries(tail, attempts - 1);
+                }
+            } else {
+                st.planes.record_retries(tail, attempts);
+                if st.dropped[m] {
+                    st.planes.record_drop(tail);
+                }
+            }
+        }
+        st.planes.add_rounds(1);
+    }
+
+    /// Runs one event-driven round over `readings` (dense, in
+    /// [`CompiledSchedule::sources`] slot order), drawing losses from
+    /// `model` at `(link, round_salt + tick)` coordinates.
+    ///
+    /// # Panics
+    /// Panics if `readings` or `state` is sized for a different
+    /// simulator.
+    pub fn run(
+        &self,
+        readings: &[f64],
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        st: &mut SimState,
+    ) -> SimOutcome {
+        let _span = crate::telemetry::span(names::SIM_ROUND_NS);
+        crate::telemetry::counter(names::SIM_ROUNDS, 1);
+        let compiled = self.faults.compiled();
+        assert_eq!(
+            readings.len(),
+            compiled.sources.len(),
+            "reading vector length must match the interned source count"
+        );
+        assert_eq!(
+            st.delivered.len(),
+            self.message_count(),
+            "state/simulator mismatch"
+        );
+        self.reset(st);
+        st.readings.copy_from_slice(readings);
+
+        let budget = u64::from(policy.max_slots);
+        let latency = u64::from(self.params.latency);
+        let mut events = 0u64;
+        let mut now = 0u64;
+        let mut retransmissions = 0usize;
+        let mut dropped_count = 0usize;
+        let mut peak_depth = 0u32;
+        let mut overflows = 0u64;
+
+        // Tick 0: source-local messages are ready immediately, and
+        // destinations with purely local inputs finalize without any
+        // traffic at all.
+        for m in 0..self.message_count() as u32 {
+            if self.init_preds[m as usize] == 0 {
+                self.ready(m, 0, st, &mut peak_depth, &mut overflows);
+            }
+        }
+        for i in 0..compiled.dest_steps.len() {
+            if st.dest_left[i] == 0 && !st.dest_done[i] {
+                self.finalize_dest(i, st);
+            }
+        }
+
+        while let Some(std::cmp::Reverse(ev)) = st.heap.pop() {
+            if ev.time > budget {
+                now = budget;
+                break;
+            }
+            now = ev.time;
+            events += 1;
+            match ev.kind {
+                EvKind::Tx(comp) => {
+                    let c = comp as usize;
+                    let m = st.q_head[c];
+                    if m == NO_MSG {
+                        st.radio_busy[c] = false;
+                        continue;
+                    }
+                    let msg = &self.faults.message_facts()[m as usize];
+                    st.attempts[m as usize] += 1;
+                    if model.is_down(msg.edge.0, msg.edge.1, round_salt.wrapping_add(now)) {
+                        retransmissions += 1;
+                        if policy.max_attempts > 0 && st.attempts[m as usize] >= policy.max_attempts
+                        {
+                            st.dropped[m as usize] = true;
+                            dropped_count += 1;
+                            pop_queue(st, c);
+                            push_event(st, now + latency, EvKind::Lost(m));
+                            push_event(st, now + 1, EvKind::Tx(comp));
+                        } else {
+                            push_event(
+                                st,
+                                now + 1 + u64::from(policy.backoff_slots),
+                                EvKind::Tx(comp),
+                            );
+                        }
+                    } else {
+                        st.delivered[m as usize] = true;
+                        pop_queue(st, c);
+                        push_event(st, now + latency, EvKind::Deliver(m));
+                        push_event(st, now + 1, EvKind::Tx(comp));
+                    }
+                }
+                EvKind::Deliver(m) | EvKind::Lost(m) => {
+                    self.resolve(m, now, st, &mut peak_depth, &mut overflows);
+                }
+            }
+        }
+
+        crate::telemetry::counter(names::SIM_EVENTS, events);
+        crate::telemetry::counter(names::FAULTS_RETRANSMISSIONS, retransmissions as u64);
+        crate::telemetry::counter(names::FAULTS_DROPPED_MESSAGES, dropped_count as u64);
+        crate::telemetry::counter(names::SIM_QUEUE_OVERFLOWS, overflows);
+        if m2m_telemetry::timeseries::obs_enabled() {
+            self.update_planes(st);
+        }
+
+        // Deadline flush: destinations still pending fold from whatever
+        // arrived — the event-clock analogue of running out of TDMA
+        // slots. Delivery state is final (the wheel stopped), so gates
+        // read exactly what the budgeted protocol knew.
+        for i in 0..compiled.dest_steps.len() {
+            if !st.dest_done[i] {
+                self.finalize_dest(i, st);
+            }
+        }
+
+        // Cost in message order (bit-identical to the static round when
+        // lossless), link events, coverage — FaultOutcome semantics.
+        let mut cost = RoundCost::default();
+        for (m, msg) in self.faults.message_facts().iter().enumerate() {
+            if st.attempts[m] > 0 {
+                cost.tx_uj += msg.tx_uj * f64::from(st.attempts[m]);
+            }
+            if st.delivered[m] {
+                cost.rx_uj += msg.rx_uj;
+                cost.messages += 1;
+                cost.units += msg.unit_count;
+                cost.payload_bytes += u64::from(msg.body);
+            }
+        }
+        let delivered_all = st.delivered.iter().all(|&d| d);
+        let mut link_events: Vec<LinkEvent> = Vec::new();
+        if retransmissions > 0 || dropped_count > 0 {
+            for (m, msg) in self.faults.message_facts().iter().enumerate() {
+                let failures = st.attempts[m] - u32::from(st.delivered[m]);
+                if failures > 0 {
+                    link_events.push(LinkEvent {
+                        tail: msg.edge.0,
+                        head: msg.edge.1,
+                        failures,
+                        dropped: st.dropped[m],
+                    });
+                }
+            }
+        }
+        let words = self.faults.cover_words();
+        if delivered_all {
+            st.cover.copy_from_slice(self.faults.demanded_rows());
+        }
+        let demanded_rows = self.faults.demanded_rows();
+        let demanded = self.faults.demanded_counts();
+        let coverage: Vec<DestCoverage> = compiled
+            .dest_steps
+            .iter()
+            .enumerate()
+            .map(|(i, step)| {
+                let row = &st.cover[i * words..(i + 1) * words];
+                let demanded_row = &demanded_rows[i * words..(i + 1) * words];
+                let covered: usize = row.iter().map(|w| w.count_ones() as usize).sum();
+                let mut missing = Vec::new();
+                if covered < demanded[i] {
+                    for (w, (&have, &want)) in row.iter().zip(demanded_row).enumerate() {
+                        let mut lost = want & !have;
+                        while lost != 0 {
+                            let bit = lost.trailing_zeros() as usize;
+                            missing.push(compiled.sources.id(w * 64 + bit));
+                            lost &= lost - 1;
+                        }
+                    }
+                }
+                DestCoverage {
+                    destination: step.dest,
+                    covered,
+                    demanded: demanded[i],
+                    missing,
+                }
+            })
+            .collect();
+        let degraded = coverage.iter().filter(|c| !c.complete()).count();
+        crate::telemetry::counter(names::FAULTS_DEGRADED_DESTINATIONS, degraded as u64);
+
+        let mut overflow_nodes: Vec<(NodeId, u32)> = st
+            .touched_overflow
+            .iter()
+            .map(|&c| {
+                (
+                    NodeId(self.faults.plane_universe()[c as usize] as u32),
+                    st.overflow_at[c as usize],
+                )
+            })
+            .collect();
+        overflow_nodes.sort_unstable_by_key(|&(n, _)| n);
+
+        SimOutcome {
+            outcome: FaultOutcome {
+                results: st.results.clone(),
+                coverage,
+                cost,
+                slots_used: now.min(u64::from(u32::MAX)) as u32,
+                retransmissions,
+                dropped_messages: dropped_count,
+                delivered: delivered_all,
+                link_events,
+            },
+            events,
+            ticks: now,
+            peak_queue_depth: peak_depth,
+            queue_overflows: overflows,
+            overflow_nodes,
+        }
+    }
+
+    /// Like [`SimExec::run`] but taking readings keyed by node id.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run_on(
+        &self,
+        readings: &std::collections::BTreeMap<NodeId, f64>,
+        model: &DeliveryModel,
+        policy: &RetryPolicy,
+        round_salt: u64,
+        st: &mut SimState,
+    ) -> SimOutcome {
+        let dense: Vec<f64> = self
+            .faults
+            .compiled()
+            .sources
+            .ids()
+            .iter()
+            .map(|s| {
+                *readings
+                    .get(s)
+                    .unwrap_or_else(|| panic!("no reading for source {s}"))
+            })
+            .collect();
+        self.run(&dense, model, policy, round_salt, st)
+    }
+
+    /// Rewinds `st` to a fresh round without releasing capacity.
+    fn reset(&self, st: &mut SimState) {
+        st.heap.clear();
+        st.seq = 0;
+        st.delivered.fill(false);
+        st.dropped.fill(false);
+        st.attempts.fill(0);
+        st.pred_left.copy_from_slice(&self.init_preds);
+        st.dest_left.copy_from_slice(&self.init_dest_preds);
+        st.next_in_q.fill(NO_MSG);
+        st.q_head.fill(NO_MSG);
+        st.q_tail.fill(NO_MSG);
+        st.q_depth.fill(0);
+        st.radio_busy.fill(false);
+        for &c in &st.touched_overflow {
+            st.overflow_at[c as usize] = 0;
+        }
+        st.touched_overflow.clear();
+        st.records.fill(None);
+        st.results.fill(None);
+        st.dest_done.fill(false);
+        st.unit_cover.fill(0);
+        st.cover.fill(0);
+    }
+}
+
+/// Pushes an event with the next monotone sequence number.
+#[inline]
+fn push_event(st: &mut SimState, time: u64, kind: EvKind) {
+    let ev = Ev {
+        time,
+        seq: st.seq,
+        kind,
+    };
+    st.seq = st.seq.wrapping_add(1);
+    st.heap.push(std::cmp::Reverse(ev));
+}
+
+/// Pops the queue head of component `c`.
+#[inline]
+fn pop_queue(st: &mut SimState, c: usize) {
+    let head = st.q_head[c];
+    debug_assert_ne!(head, NO_MSG, "pop from empty queue");
+    let next = st.next_in_q[head as usize];
+    st.q_head[c] = next;
+    if next == NO_MSG {
+        st.q_tail[c] = NO_MSG;
+    }
+    st.q_depth[c] -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggregateFunction, AggregateKind};
+    use crate::exec::ExecState;
+    use crate::plan::GlobalPlan;
+    use crate::spec::AggregationSpec;
+    use m2m_netsim::failure::FailureTrace;
+    use m2m_netsim::{Deployment, RoutingMode, RoutingTables};
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0))
+    }
+
+    fn spec() -> AggregationSpec {
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(12),
+            AggregateFunction::new(
+                AggregateKind::WeightedAverage,
+                [
+                    (NodeId(0), 1.0),
+                    (NodeId(1), 2.0),
+                    (NodeId(3), 0.5),
+                    (NodeId(6), 1.5),
+                ],
+            ),
+        );
+        s.add_function(
+            NodeId(15),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0), (NodeId(2), 3.0)]),
+        );
+        s
+    }
+
+    fn compile(net: &Network, spec: &AggregationSpec, mode: RoutingMode) -> CompiledSchedule {
+        let routing = RoutingTables::build(net, &spec.source_to_destinations(), mode);
+        let plan = GlobalPlan::build(net, spec, &routing);
+        CompiledSchedule::compile(net, spec, &plan).unwrap()
+    }
+
+    fn dense_readings(compiled: &CompiledSchedule) -> Vec<f64> {
+        compiled
+            .sources()
+            .ids()
+            .iter()
+            .map(|s| f64::from(s.0) * 1.25 - 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_round_is_bit_identical_to_compiled() {
+        let net = network();
+        let spec = spec();
+        for mode in [
+            RoutingMode::ShortestPathTrees,
+            RoutingMode::SharedSpanningTree,
+            RoutingMode::SteinerTrees,
+        ] {
+            let compiled = compile(&net, &spec, mode);
+            let sim = SimExec::new(&net, &compiled);
+            let readings = dense_readings(&compiled);
+            let mut state = ExecState::for_schedule(&compiled);
+            state.readings_mut().copy_from_slice(&readings);
+            let plain_cost = compiled.run_round(&mut state);
+            let mut st = sim.state();
+            for policy in [
+                RetryPolicy::unlimited(10_000),
+                RetryPolicy::bounded(1, 0, 10_000),
+                RetryPolicy::bounded(3, 2, 10_000),
+            ] {
+                let out = sim.run(&readings, &DeliveryModel::reliable(), &policy, 42, &mut st);
+                assert!(out.outcome.delivered);
+                assert_eq!(out.outcome.retransmissions, 0);
+                assert_eq!(out.queue_overflows, 0);
+                assert_eq!(out.outcome.cost, plain_cost, "{mode:?}: bitwise cost");
+                let exact: Vec<Option<f64>> = state.results().iter().map(|&r| Some(r)).collect();
+                assert_eq!(out.outcome.results, exact, "{mode:?}: bitwise results");
+                for c in &out.outcome.coverage {
+                    assert!(c.complete());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_rounds_are_replayable_and_still_converge_unlimited() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::ShortestPathTrees);
+        let sim = SimExec::new(&net, &compiled);
+        let readings = dense_readings(&compiled);
+        let model = DeliveryModel::uniform(0.3, 7);
+        let policy = RetryPolicy::unlimited(100_000);
+        let mut st = sim.state();
+        let a = sim.run(&readings, &model, &policy, 5, &mut st);
+        let b = sim.run(&readings, &model, &policy, 5, &mut st);
+        assert_eq!(a, b, "seeded event rounds must replay bit-identically");
+        assert!(a.outcome.delivered, "unlimited retries deliver everything");
+        assert!(a.outcome.retransmissions > 0);
+        assert!(a.events > 0 && a.ticks > 0);
+    }
+
+    #[test]
+    fn a_dead_link_degrades_exactly_its_downstream_destinations() {
+        let net = Network::with_default_energy(Deployment::grid(5, 1, 10.0, 12.0));
+        let mut s = AggregationSpec::new();
+        s.add_function(
+            NodeId(4),
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(3), 1.0)]),
+        );
+        let compiled = compile(&net, &s, RoutingMode::ShortestPathTrees);
+        let sim = SimExec::new(&net, &compiled);
+        let trace = FailureTrace::new().down(NodeId(0), NodeId(1), 0, u64::MAX);
+        let model = DeliveryModel::trace(trace);
+        let readings = dense_readings(&compiled);
+        let mut st = sim.state();
+        let out = sim.run(
+            &readings,
+            &model,
+            &RetryPolicy::bounded(3, 0, 1_000),
+            0,
+            &mut st,
+        );
+        assert!(!out.outcome.delivered);
+        assert!(out.outcome.dropped_messages >= 1);
+        let c = &out.outcome.coverage[0];
+        assert_eq!(c.destination, NodeId(4));
+        assert_eq!((c.covered, c.demanded), (1, 2));
+        assert_eq!(c.missing, vec![NodeId(0)]);
+        let idx = compiled.sources().slot(NodeId(3)).unwrap();
+        assert_eq!(out.outcome.results[0], Some(readings[idx]));
+    }
+
+    #[test]
+    fn queue_bound_accounting_never_changes_results() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::SharedSpanningTree);
+        let readings = dense_readings(&compiled);
+        let model = DeliveryModel::uniform(0.2, 3);
+        let policy = RetryPolicy::bounded(4, 1, 100_000);
+        let loose = SimExec::with_params(
+            &net,
+            &compiled,
+            SimParams {
+                queue_cap: 1_024,
+                latency: 1,
+            },
+        );
+        let tight = SimExec::with_params(
+            &net,
+            &compiled,
+            SimParams {
+                queue_cap: 1,
+                latency: 1,
+            },
+        );
+        let mut st_a = loose.state();
+        let mut st_b = tight.state();
+        let a = loose.run(&readings, &model, &policy, 11, &mut st_a);
+        let b = tight.run(&readings, &model, &policy, 11, &mut st_b);
+        assert_eq!(a.outcome, b.outcome, "the bound is accounting only");
+        assert!(b.queue_overflows >= a.queue_overflows);
+        assert_eq!(b.peak_queue_depth, a.peak_queue_depth);
+    }
+
+    #[test]
+    fn latency_delays_ticks_but_not_results() {
+        let net = network();
+        let spec = spec();
+        let compiled = compile(&net, &spec, RoutingMode::ShortestPathTrees);
+        let readings = dense_readings(&compiled);
+        let policy = RetryPolicy::unlimited(100_000);
+        let fast = SimExec::new(&net, &compiled);
+        let slow = SimExec::with_params(
+            &net,
+            &compiled,
+            SimParams {
+                queue_cap: 64,
+                latency: 5,
+            },
+        );
+        let mut st_a = fast.state();
+        let mut st_b = slow.state();
+        let a = fast.run(&readings, &DeliveryModel::reliable(), &policy, 0, &mut st_a);
+        let b = slow.run(&readings, &DeliveryModel::reliable(), &policy, 0, &mut st_b);
+        assert_eq!(a.outcome.results, b.outcome.results);
+        assert_eq!(a.outcome.cost, b.outcome.cost);
+        assert!(b.ticks > a.ticks, "higher link latency stretches the clock");
+    }
+}

@@ -43,6 +43,21 @@ pub enum RecordTarget {
     Local(NodeId),
 }
 
+/// One input slot of a partial-aggregate accumulator, in the canonical
+/// merge order the compiled executor folds in ([`crate::exec`] compiles
+/// its op stream from the same sorted contribution sets). A node machine
+/// that buffers arrivals into these slots and folds them slot-by-slot
+/// reproduces the executor's floating-point results *bit-identically*,
+/// independent of radio arrival order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InputKey {
+    /// A contribution pre-aggregated at this node from this source's raw
+    /// value (own reading or received raw unit).
+    Pre(NodeId),
+    /// A partial record received from this neighbor.
+    Record(NodeId),
+}
+
 /// Raw table entry: forward raw value of `source` into message `message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RawEntry {
@@ -79,6 +94,9 @@ pub struct PartialEntry {
     pub merge_count: u32,
     /// Outgoing message index; `None` when this node is the destination.
     pub message: Option<usize>,
+    /// The accumulator's input slots in canonical merge order (the
+    /// paper's `c` inputs, made explicit). `inputs.len() == merge_count`.
+    pub inputs: Vec<InputKey>,
 }
 
 /// Outgoing message table entry.
@@ -186,12 +204,22 @@ impl NodeTables {
                 UnitContent::Record(group) => {
                     let d = group.destination;
                     let c = schedule.contributions[ui].len() as u32;
+                    let inputs: Vec<InputKey> = schedule.contributions[ui]
+                        .iter()
+                        .map(|contrib| match contrib {
+                            Contribution::Pre(s) => InputKey::Pre(*s),
+                            Contribution::FromUnit(p) => {
+                                InputKey::Record(schedule.units[*p].edge.0)
+                            }
+                        })
+                        .collect();
                     let state = per_node.entry(n).or_default();
                     state.partial.push(PartialEntry {
                         destination: d,
                         group: Some(group.clone()),
                         merge_count: c.max(1),
                         message: Some(msg),
+                        inputs,
                     });
                     for contrib in &schedule.contributions[ui] {
                         if let Contribution::Pre(s) = contrib {
@@ -220,6 +248,13 @@ impl NodeTables {
                 group: None,
                 merge_count: inputs.len() as u32,
                 message: None,
+                inputs: inputs
+                    .iter()
+                    .map(|contrib| match contrib {
+                        Contribution::Pre(s) => InputKey::Pre(*s),
+                        Contribution::FromUnit(p) => InputKey::Record(schedule.units[*p].edge.0),
+                    })
+                    .collect(),
             });
             for contrib in inputs {
                 if let Contribution::Pre(s) = contrib {

@@ -103,6 +103,24 @@ pub mod names {
     /// Drift observations absorbed below the hysteresis threshold.
     pub const FAULTS_REROUTES_SUPPRESSED: &str = "faults.reroutes_suppressed";
 
+    /// Event-driven simulator lowerings ([`crate::sim::SimExec::new`]).
+    pub const SIM_BUILDS: &str = "sim.builds";
+    /// Rounds executed through the event-driven simulator.
+    pub const SIM_ROUNDS: &str = "sim.rounds";
+    /// Events processed by the simulator's event wheel, summed.
+    pub const SIM_EVENTS: &str = "sim.events";
+    /// Distribution of event-driven round wall time, ns.
+    pub const SIM_ROUND_NS: &str = "sim.round.ns";
+    /// Per-link queue pushes past the configured bound, summed.
+    pub const SIM_QUEUE_OVERFLOWS: &str = "sim.queue_overflows";
+
+    /// Distributed cover solves completed ([`crate::dvc`]).
+    pub const DVC_SOLVES: &str = "dvc.solves";
+    /// Negotiation rounds until the distributed solve converged, summed.
+    pub const DVC_ROUNDS: &str = "dvc.rounds";
+    /// Negotiation messages exchanged by the distributed solve, summed.
+    pub const DVC_MESSAGES: &str = "dvc.messages";
+
     // Routing-tree construction counters are defined next to their site
     // in `m2m-netsim` (which cannot depend on this crate); re-exported
     // here so consumers have one namespace.

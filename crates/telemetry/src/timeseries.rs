@@ -413,6 +413,13 @@ pub enum EventKind {
     RerouteSuppressed,
     /// Routing tables were replaced outside the churn loop.
     RouteChange,
+    /// One event-driven simulator round completed (`value` = peak
+    /// per-node queue depth observed during the round).
+    SimRound,
+    /// A node's bounded outbound link queue was pushed past its
+    /// configured depth this round (`a` = node, `value` = overflow
+    /// pushes).
+    QueueOverflow,
 }
 
 impl EventKind {
@@ -427,6 +434,8 @@ impl EventKind {
             EventKind::Reroute => "reroute",
             EventKind::RerouteSuppressed => "reroute_suppressed",
             EventKind::RouteChange => "route_change",
+            EventKind::SimRound => "sim_round",
+            EventKind::QueueOverflow => "queue_overflow",
         }
     }
 }

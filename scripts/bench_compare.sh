@@ -10,7 +10,8 @@
 # old, new, absolute delta, and percent change; everything else prints
 # as changed/only-in-old/only-in-new. Informational by default; pass
 # --max-regress PCT to exit non-zero when any `rounds_per_sec` /
-# `speedup` / `builds_per_sec` style higher-is-better metric drops by
+# `speedup` / `builds_per_sec` / `events_per_sec` style higher-is-better
+# metric (this covers BENCH_sim.json's simulator throughput) drops by
 # more than PCT percent.
 set -euo pipefail
 

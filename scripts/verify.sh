@@ -46,6 +46,16 @@
 # and holds the enabled-path overhead within M2M_OBS_TOL percent
 # (default 5; wall-clock, retried up to 3 times). The committed
 # BENCH_obs.json artifact is schema-checked with `m2m_obs --check`.
+#
+# Simulator gate: a smoke run of the discrete-event benchmark drives a
+# lossy epoch at 1k nodes (the run itself asserts the simulator at p=0
+# is bit-identical to the compiled executor and that the distributed
+# per-edge cover solve matched the centralized plan) and prints
+# `smoke_sim_events_per_sec=`, held against an absolute M2M_SIM_FLOOR
+# (default 100k events/sec; ~14M measured on the 1-core reference
+# container). It also prints `smoke_sim_digest=`, an FNV-1a over every
+# outcome of the epoch, which must be identical across two back-to-back
+# runs. The committed BENCH_sim.json is schema-checked alongside.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -179,4 +189,23 @@ fi
 ./target/release/m2m_obs --check BENCH_obs.json
 
 echo "verify: observability gate OK"
+
+./target/release/bench_sim --smoke > "$tmpdir/sim1.txt"
+./target/release/bench_sim --smoke > "$tmpdir/sim2.txt"
+sim_digest1=$(get sim1 smoke_sim_digest)
+sim_digest2=$(get sim2 smoke_sim_digest)
+if [ "$sim_digest1" != "$sim_digest2" ]; then
+    echo "verify: FAIL — simulator epoch digest drifted between runs" \
+         "($sim_digest1 vs $sim_digest2)" >&2
+    exit 1
+fi
+sim_floor="${M2M_SIM_FLOOR:-100000}"
+awk -v e="$(get sim1 smoke_sim_events_per_sec)" -v floor="$sim_floor" '
+BEGIN {
+    printf "verify: simulator %.0f events/sec at 1k nodes (floor %s)\n", e, floor
+    exit (e + 0 >= floor + 0) ? 0 : 1
+}' || { echo "verify: FAIL — simulator events/sec fell below M2M_SIM_FLOOR" >&2; exit 1; }
+./target/release/bench_sim --check BENCH_sim.json
+
+echo "verify: simulator gate OK (epoch digest $sim_digest1)"
 echo "verify: OK"
