@@ -30,7 +30,7 @@
 //! [`M2M_OBS`]: m2m_core::config::OBS_ENV
 
 use m2m_bench::report::{bench_report, check_header, median_ns, time_ns, BenchCli, JsonValue};
-use m2m_core::config::Config;
+use m2m_core::config::{Config, Runtime};
 use m2m_core::faults::FaultOutcome;
 use m2m_core::obs::DEFAULT_BATTERY_UJ;
 use m2m_core::session::Session;
@@ -96,9 +96,20 @@ fn build_session(network: &Network, obs: bool, cap: usize) -> Session {
     Session::builder(network.clone(), spec)
         .routing_mode(RoutingMode::ShortestPathTrees)
         .config(config)
+        .runtime(Runtime::Lossy)
         .delivery(DeliveryModel::uniform(LOSS_P, 11))
         .base_salt(BASE_SALT)
         .build()
+}
+
+/// Runs a batch through the unified [`Session::run_rounds`] dispatcher
+/// and unwraps the lossy-runtime outcomes the digests and books consume.
+fn lossy_batch(session: &mut Session, batch: &[Vec<f64>]) -> Vec<FaultOutcome> {
+    session
+        .run_rounds(batch)
+        .into_iter()
+        .map(|r| r.fault().expect("lossy runtime").clone())
+        .collect()
 }
 
 /// Exact-integer and tolerant-float reconciliation of the three books:
@@ -308,9 +319,9 @@ fn main() {
     // per session first — cold caches and pool spin-up otherwise land
     // entirely on the first timed sample.
     timeseries::set_obs_enabled(false);
-    off.run_rounds_lossy(&batch);
+    lossy_batch(&mut off, &batch);
     timeseries::set_obs_enabled(true);
-    on.run_rounds_lossy(&batch);
+    lossy_batch(&mut on, &batch);
     let mut on_ns = Vec::with_capacity(samples);
     let mut off_ns = Vec::with_capacity(samples);
     let mut digest_on = 0u64;
@@ -318,11 +329,11 @@ fn main() {
     for _ in 0..samples {
         timeseries::set_obs_enabled(false);
         off_ns.push(time_ns(|| {
-            digest_off = digest_outcomes(&off.run_rounds_lossy(&batch));
+            digest_off = digest_outcomes(&lossy_batch(&mut off, &batch));
         }));
         timeseries::set_obs_enabled(true);
         on_ns.push(time_ns(|| {
-            digest_on = digest_outcomes(&on.run_rounds_lossy(&batch));
+            digest_on = digest_outcomes(&lossy_batch(&mut on, &batch));
         }));
         assert_eq!(digest_on, digest_off, "observability changed the outcomes");
     }
@@ -340,7 +351,7 @@ fn main() {
     telemetry::set_enabled(true);
     telemetry::reset();
     timeseries::reset_planes();
-    let outcomes = session.run_rounds_lossy(&batch);
+    let outcomes = lossy_batch(&mut session, &batch);
     reconcile(&session, &outcomes);
     m2m_log!(Level::Info, "reconcile: planes == recorder == counters");
 

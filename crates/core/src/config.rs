@@ -63,6 +63,54 @@ pub const SIM_QUEUE_ENV: &str = "M2M_SIM_QUEUE";
 /// Environment variable setting the event-driven simulator's per-link
 /// delivery latency in ticks.
 pub const SIM_LATENCY_ENV: &str = "M2M_SIM_LATENCY";
+/// Environment variable selecting the execution engine
+/// [`crate::session::Session::run`] dispatches to
+/// (`compiled` | `lossy` | `sim`).
+pub const RUNTIME_ENV: &str = "M2M_RUNTIME";
+
+/// The execution engine a [`crate::session::Session`] round runs on.
+///
+/// Historically the session exposed one method family per engine
+/// (`run_round` / `run_round_lossy` / `run_round_sim`); the engine is
+/// now a configuration axis and [`crate::session::Session::run`]
+/// dispatches on it, returning one unified
+/// [`crate::session::RoundReport`] shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Runtime {
+    /// The compiled allocation-free executor over reliable links — the
+    /// steady-state fast path, bit-identical to the reference oracle.
+    #[default]
+    Compiled,
+    /// The loss-aware slotted executor ([`crate::faults::FaultyExec`]):
+    /// seeded per-link loss, bounded retransmission, coverage
+    /// accounting. Advances the session's replayable salt stream.
+    Lossy,
+    /// The discrete-event per-node simulator ([`crate::sim::SimExec`]):
+    /// the same loss semantics on an event wheel with bounded queues.
+    /// Shares the salt stream with [`Runtime::Lossy`].
+    Sim,
+}
+
+impl Runtime {
+    /// Parses an `M2M_RUNTIME`-style name, case-insensitively.
+    pub fn parse(v: &str) -> Option<Runtime> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "compiled" => Some(Runtime::Compiled),
+            "lossy" => Some(Runtime::Lossy),
+            "sim" => Some(Runtime::Sim),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`parse(name)` round-trips).
+    pub fn name(self) -> &'static str {
+        match self {
+            Runtime::Compiled => "compiled",
+            Runtime::Lossy => "lossy",
+            Runtime::Sim => "sim",
+        }
+    }
+}
 
 /// Default for [`Config::retries`] when `M2M_RETRIES` is unset.
 pub const DEFAULT_RETRIES: u32 = 8;
@@ -97,6 +145,7 @@ pub struct Config {
     obs_cap: usize,
     sim_queue: u32,
     sim_latency: u32,
+    runtime: Runtime,
 }
 
 impl Config {
@@ -147,6 +196,10 @@ impl Config {
                 .unwrap_or(DEFAULT_OBS_CAP),
             sim_queue: parse_u32(SIM_QUEUE_ENV, DEFAULT_SIM_QUEUE).max(1),
             sim_latency: parse_u32(SIM_LATENCY_ENV, DEFAULT_SIM_LATENCY).max(1),
+            runtime: std::env::var(RUNTIME_ENV)
+                .ok()
+                .and_then(|v| Runtime::parse(&v))
+                .unwrap_or_default(),
         }
     }
 
@@ -256,6 +309,14 @@ impl Config {
     #[inline]
     pub fn sim_latency(&self) -> u32 {
         self.sim_latency
+    }
+
+    /// The execution engine [`crate::session::Session::run`] dispatches
+    /// to (overridable per session via
+    /// [`crate::session::SessionBuilder::runtime`]).
+    #[inline]
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
     }
 
     /// The simulator knobs as [`crate::sim::SimParams`].
@@ -454,6 +515,14 @@ impl ConfigBuilder {
         self
     }
 
+    /// Selects the execution engine [`crate::session::Session::run`]
+    /// dispatches to.
+    #[must_use]
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.config.runtime = runtime;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -566,6 +635,18 @@ mod tests {
     #[test]
     fn default_is_from_env() {
         assert_eq!(Config::default(), Config::from_env());
+    }
+
+    #[test]
+    fn runtime_knob_defaults_parses_and_round_trips() {
+        // The test environment does not set M2M_RUNTIME.
+        assert_eq!(Config::from_env().runtime(), Runtime::Compiled);
+        for rt in [Runtime::Compiled, Runtime::Lossy, Runtime::Sim] {
+            assert_eq!(Runtime::parse(rt.name()), Some(rt));
+            assert_eq!(Config::builder().runtime(rt).build().runtime(), rt);
+        }
+        assert_eq!(Runtime::parse(" SIM "), Some(Runtime::Sim));
+        assert_eq!(Runtime::parse("interpreted"), None);
     }
 
     #[test]

@@ -87,10 +87,10 @@ impl UpdateStats {
 /// re-optimization.
 #[derive(Clone, Debug)]
 pub struct PlanMaintainer {
-    network: Network,
+    network: Arc<Network>,
     spec: AggregationSpec,
     mode: RoutingMode,
-    routing: RoutingTables,
+    routing: Arc<RoutingTables>,
     /// The interned topology the slabs below are laid out over.
     topo: Arc<Topology>,
     /// Pre-repair per-edge optima in `EdgeIdx` order, reusable across
@@ -102,8 +102,11 @@ pub struct PlanMaintainer {
 }
 
 impl PlanMaintainer {
-    /// Builds the initial plan.
-    pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
+    /// Builds the initial plan. Accepts the network by value or as a
+    /// shared [`Arc`], so service tenants and standalone maintainers can
+    /// share one deployment without cloning it.
+    pub fn new(network: impl Into<Arc<Network>>, spec: AggregationSpec, mode: RoutingMode) -> Self {
+        let network = network.into();
         let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
         let topo = {
             let _s = m2m_telemetry::timeseries::stage_span(m2m_telemetry::timeseries::STAGE_INTERN);
@@ -126,6 +129,48 @@ impl PlanMaintainer {
         );
         PlanMaintainer {
             network,
+            spec,
+            mode,
+            routing: Arc::new(routing),
+            topo,
+            base_solutions,
+            problems,
+            plan,
+        }
+    }
+
+    /// Wraps an already-planned substrate without re-routing or
+    /// re-solving: the caller supplies the routing tables, the interned
+    /// topology snapshot for `(spec, routing)`, the per-edge problems in
+    /// the topology's slab order, and the matching **pre-repair**
+    /// solutions (from [`crate::edge_opt::solve_edge_slab`], a shared
+    /// [`crate::memo::SharedSolveCache`], or a restored service
+    /// checkpoint). The public plan is assembled exactly as
+    /// [`PlanMaintainer::new`] assembles it from the same parts, so a
+    /// maintainer built this way is bit-identical to one that planned
+    /// from scratch.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (problems that do not match
+    /// the topology's edge slab, or solutions that do not answer their
+    /// problems — the repair sweep and schedule assembly check both).
+    pub fn from_parts(
+        network: impl Into<Arc<Network>>,
+        spec: AggregationSpec,
+        mode: RoutingMode,
+        routing: Arc<RoutingTables>,
+        topo: Arc<Topology>,
+        problems: Vec<EdgeProblem>,
+        base_solutions: Vec<EdgeSolution>,
+    ) -> Self {
+        let plan = GlobalPlan::from_solutions(
+            &spec,
+            Arc::clone(&topo),
+            problems.clone(),
+            base_solutions.clone(),
+        );
+        PlanMaintainer {
+            network: network.into(),
             spec,
             mode,
             routing,
@@ -154,10 +199,49 @@ impl PlanMaintainer {
         &self.network
     }
 
+    /// A shared handle to the network (cheap to clone into another
+    /// maintainer or session over the same deployment).
+    #[inline]
+    pub fn network_arc(&self) -> Arc<Network> {
+        Arc::clone(&self.network)
+    }
+
     /// The current routing tables.
     #[inline]
     pub fn routing(&self) -> &RoutingTables {
         &self.routing
+    }
+
+    /// A shared handle to the current routing tables.
+    #[inline]
+    pub fn routing_arc(&self) -> Arc<RoutingTables> {
+        Arc::clone(&self.routing)
+    }
+
+    /// The interned topology snapshot the plan's slabs are laid out over.
+    #[inline]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The routing mode workload-driven re-routes rebuild tables with.
+    #[inline]
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// The per-edge problems in slab order (pre-repair inputs).
+    #[inline]
+    pub fn problems(&self) -> &[EdgeProblem] {
+        &self.problems
+    }
+
+    /// The pre-repair per-edge solutions in slab order — the reusable
+    /// basis [`PlanMaintainer::from_parts`] accepts back (the public
+    /// [`PlanMaintainer::plan`] holds the *post-repair* copies).
+    #[inline]
+    pub fn base_solutions(&self) -> &[EdgeSolution] {
+        &self.base_solutions
     }
 
     /// Applies one update, re-optimizing only the edges whose single-edge
@@ -295,7 +379,7 @@ impl PlanMaintainer {
             new_problems.clone(),
             new_solutions.clone(),
         );
-        self.routing = new_routing;
+        self.routing = Arc::new(new_routing);
         self.topo = new_topo;
         self.problems = new_problems;
         self.base_solutions = new_solutions;

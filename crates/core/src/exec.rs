@@ -1085,7 +1085,11 @@ impl EpochDriver {
     ///
     /// # Panics
     /// Panics if the initial plan is unschedulable.
-    pub fn new(network: Network, spec: AggregationSpec, mode: RoutingMode) -> Self {
+    pub fn new(
+        network: impl Into<std::sync::Arc<Network>>,
+        spec: AggregationSpec,
+        mode: RoutingMode,
+    ) -> Self {
         Self::from_maintainer(PlanMaintainer::new(network, spec, mode))
     }
 

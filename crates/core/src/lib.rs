@@ -47,7 +47,13 @@
 //!   one builder (seeded from the `M2M_*` environment) feeding threads,
 //!   tracing, logging, and retry/hysteresis knobs to every layer;
 //! * [`session`] — the unified [`session::Session`] facade wiring
-//!   routing → plan → compiled executor → fault engine → churn loop;
+//!   routing → plan → compiled executor → fault engine → churn loop,
+//!   with one [`session::Session::run`] dispatching on the configured
+//!   [`config::Runtime`];
+//! * [`service`] — the multi-tenant plan service: many admitted
+//!   [`spec::AggregationSpec`]s share one deployment, interned routing
+//!   substrates, and a cross-tenant [`memo::SharedSolveCache`], with
+//!   checkpoint/restore and the [`sharing`] multi-query index;
 //! * [`node_machine`] — the *distributed* counterpart: event-driven node
 //!   automata programmed solely by their §3 tables;
 //! * [`sim`] — the discrete-event distributed runtime: every node a
@@ -108,19 +114,19 @@
 //! );
 //!
 //! // One Session wires routing, planning, and compiled execution.
-//! let session = Session::builder(net, spec.clone())
+//! let mut session = Session::builder(net, spec.clone())
 //!     .routing_mode(RoutingMode::ShortestPathTrees)
 //!     .build();
 //!
 //! // Execute one round on real readings and check every destination.
 //! let readings: BTreeMap<NodeId, f64> =
 //!     session.network().nodes().map(|v| (v, f64::from(v.0))).collect();
-//! let (results, cost) = session.run_round(&readings);
-//! for (dest, result) in &results {
+//! let report = session.run(&readings);
+//! for (dest, result) in &report.result_map() {
 //!     let expected = spec.function(*dest).unwrap().reference_result(&readings);
 //!     assert!((result - expected).abs() < 1e-9);
 //! }
-//! println!("round energy: {:.3} mJ", cost.total_mj());
+//! println!("round energy: {:.3} mJ", report.cost().total_mj());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -151,6 +157,7 @@ pub mod resilience;
 #[cfg(any(test, feature = "test-oracle"))]
 pub mod runtime;
 pub mod schedule;
+pub mod service;
 pub mod session;
 pub mod sharing;
 pub mod sim;
@@ -169,7 +176,7 @@ pub use m2m_telemetry::m2m_log;
 pub mod prelude {
     pub use crate::agg::{AggregateFunction, AggregateKind, PartialRecord};
     pub use crate::baselines::{plan_for_algorithm, Algorithm};
-    pub use crate::config::Config;
+    pub use crate::config::{Config, Runtime};
     pub use crate::dynamics::{PlanMaintainer, WorkloadUpdate};
     pub use crate::edge_opt::{EdgeProblem, EdgeSolution};
     pub use crate::exec::{
@@ -179,10 +186,15 @@ pub mod prelude {
     pub use crate::faults::{
         ChurnController, DegradationTracker, DestCoverage, FaultOutcome, FaultyExec, RetryPolicy,
     };
+    pub use crate::memo::{SharedSolveCache, SolveCache};
     pub use crate::metrics::RoundCost;
     pub use crate::obs::{FlightRecorder, RoundPoint};
     pub use crate::plan::GlobalPlan;
-    pub use crate::session::{Session, SessionBuilder};
+    pub use crate::service::{Admission, PlanService, TenantId, TenantOptions};
+    pub use crate::session::{RoundDetail, RoundReport, Session, SessionBuilder};
+    pub use crate::sharing::{
+        multi_query_analysis, shared_record_analysis, MultiQueryReport, SharingReport,
+    };
     pub use crate::spec::AggregationSpec;
     pub use crate::topo::{EdgeIdx, NodeIdx, Topology};
     pub use crate::workload::{generate_workload, WorkloadConfig};

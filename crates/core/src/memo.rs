@@ -203,6 +203,155 @@ impl SolveCache {
     }
 }
 
+/// The content key a [`SharedSolveCache`] stores solves under: the exact
+/// single-edge problem plus the partial-record size of every destination
+/// the problem names. Those are the *only* inputs
+/// [`crate::edge_opt::solve_edge`] reads (the raw size is a global
+/// constant and tiebreak priorities are functions of the node ids inside
+/// the problem), so two lookups with equal keys must produce bit-equal
+/// solutions — even when they come from different tenants' specs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct SharedKey {
+    problem: EdgeProblem,
+    /// `(destination, partial_record_bytes)` for each destination the
+    /// problem's groups name, sorted by destination.
+    record_sizes: Vec<(NodeId, u32)>,
+}
+
+impl SharedKey {
+    fn new(problem: &EdgeProblem, spec: &AggregationSpec) -> Self {
+        let record_sizes: BTreeMap<NodeId, u32> = problem
+            .groups
+            .iter()
+            .map(|g| {
+                let bytes = spec
+                    .function(g.destination)
+                    .map(|f| f.partial_record_bytes())
+                    .unwrap_or(0);
+                (g.destination, bytes)
+            })
+            .collect();
+        SharedKey {
+            problem: problem.clone(),
+            record_sizes: record_sizes.into_iter().collect(),
+        }
+    }
+}
+
+/// A cross-tenant `EdgeProblem → EdgeSolution` memo for the multi-tenant
+/// plan service ([`crate::service`]).
+///
+/// [`SolveCache`] is slab-aligned: it mirrors *one* maintained plan's
+/// edge slab and drops entries whenever the slab realigns — the right
+/// shape for rebuilding one plan over and over, and the wrong one for
+/// many tenants whose slabs all differ. A `SharedSolveCache` is keyed by
+/// problem *content* instead ([`SharedKey`]), so tenant N's admission
+/// hits on every edge any earlier tenant already solved with the same
+/// single-edge inputs and record sizes, regardless of slab layout. The
+/// returned slab is bit-identical to solving fresh (unique minima, §2.3),
+/// which is what keeps service tenants bit-identical to isolated
+/// sessions.
+#[derive(Clone, Debug, Default)]
+pub struct SharedSolveCache {
+    entries: HashMap<SharedKey, EdgeSolution>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedSolveCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached solutions currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no solutions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a fresh solve since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drops all cached solutions (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Solves every problem in the batch — one per demanded edge, in the
+    /// caller's slab order — serving content-equal repeats from the cache
+    /// and fanning the misses out over `threads` workers. Bit-identical
+    /// to [`crate::edge_opt::solve_edge_slab`] on the same inputs.
+    pub fn solve_all(
+        &mut self,
+        problems: &[EdgeProblem],
+        spec: &AggregationSpec,
+        threads: usize,
+    ) -> Vec<EdgeSolution> {
+        let (hits_before, misses_before) = (self.hits, self.misses);
+        let mut out: Vec<Option<EdgeSolution>> = Vec::with_capacity(problems.len());
+        let mut missing: Vec<(usize, SharedKey, &EdgeProblem)> = Vec::new();
+        for (idx, problem) in problems.iter().enumerate() {
+            let key = SharedKey::new(problem, spec);
+            match self.entries.get(&key) {
+                Some(solution) => {
+                    self.hits += 1;
+                    out.push(Some(solution.clone()));
+                }
+                None => {
+                    self.misses += 1;
+                    missing.push((idx, key, problem));
+                    out.push(None);
+                }
+            }
+        }
+        if crate::telemetry::enabled() {
+            use crate::telemetry::names;
+            crate::telemetry::counter(names::MEMO_HITS, self.hits - hits_before);
+            crate::telemetry::counter(names::MEMO_MISSES, self.misses - misses_before);
+        }
+        let refs: Vec<&EdgeProblem> = missing.iter().map(|&(_, _, p)| p).collect();
+        let solved = solve_edge_batch(&refs, spec, threads);
+        for ((idx, key, _), solution) in missing.into_iter().zip(solved) {
+            out[idx] = Some(solution.clone());
+            self.entries.insert(key, solution);
+        }
+        out.into_iter()
+            .map(|s| s.expect("every slot is filled by a hit or a solve"))
+            .collect()
+    }
+
+    /// Installs an already-known solution for `problem` under `spec`'s
+    /// record sizes without counting a lookup — the checkpoint-restore
+    /// path ([`crate::service::PlanService::restore`]) uses this to warm
+    /// the cache from persisted plan slabs so the first post-restart
+    /// admission of a recurring shape hits instead of re-solving.
+    pub fn seed(&mut self, problem: &EdgeProblem, spec: &AggregationSpec, solution: EdgeSolution) {
+        self.entries.insert(SharedKey::new(problem, spec), solution);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +588,92 @@ mod tests {
             cache.hits() > 0,
             "overlapping edges should be served cached"
         );
+    }
+
+    #[test]
+    fn shared_cache_matches_fresh_solves_and_hits_across_slabs() {
+        let d = NodeId(9);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            d,
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        // Two slabs that share one problem but disagree on layout — the
+        // slab-aligned SolveCache would realign and still hit only when
+        // indices line up; the shared cache hits on content.
+        let shared = tiny_problem_on((NodeId(4), NodeId(5)), d);
+        let only_a = tiny_problem_on((NodeId(5), NodeId(6)), d);
+        let slab_a = vec![only_a.clone(), shared.clone()];
+        let slab_b = vec![shared.clone()];
+
+        let mut cache = SharedSolveCache::new();
+        let got_a = cache.solve_all(&slab_a, &spec, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2), "cold slab misses");
+        let fresh_a: Vec<_> = slab_a
+            .iter()
+            .map(|p| crate::edge_opt::solve_edge(p, &spec))
+            .collect();
+        assert_eq!(got_a, fresh_a, "cached slab is bit-identical to fresh");
+
+        let got_b = cache.solve_all(&slab_b, &spec, 1);
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 2),
+            "the shared problem hits from a differently laid-out slab"
+        );
+        assert_eq!(got_b[0], crate::edge_opt::solve_edge(&shared, &spec));
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_record_sizes_partition_the_key() {
+        let d = NodeId(9);
+        let weights = [(NodeId(0), 1.0), (NodeId(1), 1.0)];
+        let mut sum_spec = AggregationSpec::new();
+        sum_spec.add_function(d, AggregateFunction::weighted_sum(weights));
+        let mut avg_spec = AggregationSpec::new();
+        avg_spec.add_function(d, AggregateFunction::weighted_average(weights));
+        let problems = vec![tiny_problem(d)];
+
+        let mut cache = SharedSolveCache::new();
+        let sum_sol = cache.solve_all(&problems, &sum_spec, 1);
+        // Same problem, different record size for the named destination:
+        // a different key, not a stale hit.
+        let avg_sol = cache.solve_all(&problems, &avg_spec, 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 2, "both sizes live side by side");
+        assert_eq!(
+            avg_sol[0],
+            crate::edge_opt::solve_edge(&problems[0], &avg_spec)
+        );
+        // Both shapes now hit — neither evicted the other.
+        assert_eq!(cache.solve_all(&problems, &sum_spec, 1), sum_sol);
+        assert_eq!(cache.solve_all(&problems, &avg_spec, 1), avg_sol);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn shared_cache_seed_serves_without_a_solve() {
+        let d = NodeId(9);
+        let mut spec = AggregationSpec::new();
+        spec.add_function(
+            d,
+            AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(1), 1.0)]),
+        );
+        let problems = vec![tiny_problem(d)];
+        let solution = crate::edge_opt::solve_edge(&problems[0], &spec);
+
+        let mut cache = SharedSolveCache::new();
+        cache.seed(&problems[0], &spec, solution.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "seeding is free");
+        let got = cache.solve_all(&problems, &spec, 1);
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 0),
+            "restored entry hits"
+        );
+        assert_eq!(got[0], solution);
     }
 
     #[test]

@@ -1,0 +1,846 @@
+//! The multi-tenant plan service: many concurrent aggregation queries
+//! over one shared deployment.
+//!
+//! Corollary 1 makes per-edge solutions independent, which is exactly
+//! what lets many long-lived queries share one sensor field: a raw unit
+//! multicast on an edge serves *every* admitted query that covers it,
+//! and two queries whose single-edge problems coincide get the same
+//! solution bits. A [`PlanService`] turns that into an admission
+//! pipeline:
+//!
+//! * **one deployment** — a single `Arc<Network>` every tenant plans
+//!   over, never cloned;
+//! * **interned substrates** — one `Arc<RoutingTables>` +
+//!   `Arc<Topology>` per distinct `(routing mode, demanded pairs)`
+//!   shape, refcounted and dropped on the last evict;
+//! * **one shared solve memo** — a [`SharedSolveCache`] keyed by
+//!   problem content, so the Nth admission solves only the edges no
+//!   earlier tenant solved;
+//! * **per-tenant sessions** — each tenant still owns a full
+//!   [`Session`] whose plan is **bit-identical** to one built in
+//!   isolation (pure solves, unique minima, deterministic assembly), so
+//!   sharing the substrate never perturbs a tenant's results.
+//!
+//! [`PlanService::sharing_report`] prices the cross-tenant multi-query
+//! optimization ([`crate::sharing::multi_query_analysis`]): distinct raw
+//! `(edge, source)` multicasts and content-signed records across all
+//! admitted plans versus the tenants planned in isolation.
+//!
+//! # Checkpoint / restore
+//!
+//! [`PlanService::checkpoint`] serializes the admitted specs, their
+//! pre-repair plan slabs, and each tenant's salt cursor as a versioned
+//! text artifact; [`PlanService::restore`] rebuilds the service from it,
+//! seeding the shared cache from the persisted slabs so every restored
+//! admission is served without a single fresh solve, and resuming each
+//! tenant's replayable failure stream at its persisted round
+//! ([`crate::session::SessionBuilder::rounds_cursor`]). Delivery models
+//! are runtime configuration, not plan state — re-apply them after
+//! restore with [`Session::set_delivery`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use m2m_graph::NodeId;
+use m2m_netsim::{DeliveryModel, Network, RoutingMode, RoutingTables};
+
+use crate::agg::{AggregateFunction, AggregateKind};
+use crate::config::{Config, Runtime};
+use crate::edge_opt::{build_edge_problems, AggGroup, EdgeSolution};
+use crate::memo::SharedSolveCache;
+use crate::session::{RoundReport, Session, DEFAULT_BASE_SALT};
+use crate::sharing::{multi_query_analysis, MultiQueryReport};
+use crate::spec::AggregationSpec;
+use crate::topo::Topology;
+
+/// The checkpoint header line; the version bumps on any format change.
+const CHECKPOINT_HEADER: &str = "m2m-service-checkpoint v1";
+
+/// A stable handle to an admitted tenant. Ids are never reused within a
+/// service (they survive evictions), and a restored service resumes its
+/// counter past every persisted id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Per-tenant admission options; [`TenantOptions::default`] matches a
+/// plain `Session::builder(..).build()`.
+#[derive(Clone, Debug)]
+pub struct TenantOptions {
+    /// Routing-tree construction mode for this tenant's substrate.
+    pub mode: RoutingMode,
+    /// Runtime override for [`Session::run`]; `None` follows the
+    /// service configuration's [`Config::runtime`].
+    pub runtime: Option<Runtime>,
+    /// The delivery model the tenant's lossy rounds run under.
+    pub delivery: DeliveryModel,
+    /// Base salt of the tenant's replayable failure stream.
+    pub base_salt: u64,
+    /// Starting round of the salt stream (non-zero when restoring).
+    pub rounds_cursor: u64,
+}
+
+impl Default for TenantOptions {
+    fn default() -> Self {
+        TenantOptions {
+            mode: RoutingMode::ShortestPathTrees,
+            runtime: None,
+            delivery: DeliveryModel::reliable(),
+            base_salt: DEFAULT_BASE_SALT,
+            rounds_cursor: 0,
+        }
+    }
+}
+
+/// What an admission cost: whether the substrate was reused and how the
+/// per-edge solves split between the shared cache and fresh work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// The admitted tenant's handle.
+    pub tenant: TenantId,
+    /// True when an interned substrate (routing + topology) was reused —
+    /// the admission paid no routing or snapshot work.
+    pub reused_substrate: bool,
+    /// Per-edge solves served from the shared cache.
+    pub solves_cached: u64,
+    /// Per-edge solves computed fresh (the marginal edges).
+    pub solves_fresh: u64,
+}
+
+/// Substrates are interned per routing mode and demanded-pair set: two
+/// tenants with the same demand shape share routing tables and the
+/// topology snapshot outright.
+type SubstrateKey = (u8, Vec<(NodeId, NodeId)>);
+
+#[derive(Debug)]
+struct SubstrateEntry {
+    routing: Arc<RoutingTables>,
+    topo: Arc<Topology>,
+    refs: usize,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    session: Session,
+    key: SubstrateKey,
+}
+
+/// The tenant registry: admits/evicts [`AggregationSpec`]s against one
+/// shared deployment. See the module docs.
+#[derive(Debug)]
+pub struct PlanService {
+    network: Arc<Network>,
+    config: Config,
+    cache: Arc<Mutex<SharedSolveCache>>,
+    substrates: BTreeMap<SubstrateKey, SubstrateEntry>,
+    tenants: BTreeMap<TenantId, Tenant>,
+    next_id: u64,
+    admitted_total: u64,
+}
+
+fn mode_tag(mode: RoutingMode) -> u8 {
+    match mode {
+        RoutingMode::ShortestPathTrees => 0,
+        RoutingMode::SharedSpanningTree => 1,
+        RoutingMode::SteinerTrees => 2,
+    }
+}
+
+fn mode_name(mode: RoutingMode) -> &'static str {
+    match mode {
+        RoutingMode::ShortestPathTrees => "spt",
+        RoutingMode::SharedSpanningTree => "sst",
+        RoutingMode::SteinerTrees => "steiner",
+    }
+}
+
+fn mode_parse(name: &str) -> Option<RoutingMode> {
+    match name {
+        "spt" => Some(RoutingMode::ShortestPathTrees),
+        "sst" => Some(RoutingMode::SharedSpanningTree),
+        "steiner" => Some(RoutingMode::SteinerTrees),
+        _ => None,
+    }
+}
+
+fn kind_name(kind: AggregateKind) -> &'static str {
+    match kind {
+        AggregateKind::WeightedSum => "sum",
+        AggregateKind::WeightedAverage => "avg",
+        AggregateKind::WeightedVariance => "var",
+        AggregateKind::Min => "min",
+        AggregateKind::Max => "max",
+        AggregateKind::Count => "count",
+        AggregateKind::Range => "range",
+        AggregateKind::GeometricMean => "geomean",
+    }
+}
+
+fn kind_parse(name: &str) -> Option<AggregateKind> {
+    match name {
+        "sum" => Some(AggregateKind::WeightedSum),
+        "avg" => Some(AggregateKind::WeightedAverage),
+        "var" => Some(AggregateKind::WeightedVariance),
+        "min" => Some(AggregateKind::Min),
+        "max" => Some(AggregateKind::Max),
+        "count" => Some(AggregateKind::Count),
+        "range" => Some(AggregateKind::Range),
+        "geomean" => Some(AggregateKind::GeometricMean),
+        _ => None,
+    }
+}
+
+fn demand_pairs(spec: &AggregationSpec) -> Vec<(NodeId, NodeId)> {
+    let mut pairs: Vec<(NodeId, NodeId)> = spec
+        .source_to_destinations()
+        .into_iter()
+        .flat_map(|(s, ds)| ds.into_iter().map(move |d| (s, d)))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+impl PlanService {
+    /// Opens a service over `network` with [`Config::default`].
+    pub fn new(network: impl Into<Arc<Network>>) -> Self {
+        Self::with_config(network, Config::default())
+    }
+
+    /// Opens a service over `network`; every tenant session is built
+    /// with `config`.
+    pub fn with_config(network: impl Into<Arc<Network>>, config: Config) -> Self {
+        PlanService {
+            network: network.into(),
+            config,
+            cache: Arc::new(Mutex::new(SharedSolveCache::new())),
+            substrates: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            admitted_total: 0,
+        }
+    }
+
+    /// The shared deployment.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// A shared handle to the deployment.
+    #[inline]
+    pub fn network_arc(&self) -> Arc<Network> {
+        Arc::clone(&self.network)
+    }
+
+    /// The service configuration tenant sessions inherit.
+    #[inline]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The cross-tenant solve cache (shared with every tenant build).
+    #[inline]
+    pub fn solve_cache(&self) -> Arc<Mutex<SharedSolveCache>> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Live tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenants are admitted.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Tenants admitted over the service's lifetime (evictions do not
+    /// decrement).
+    #[inline]
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// Distinct substrates currently interned.
+    pub fn substrate_count(&self) -> usize {
+        self.substrates.len()
+    }
+
+    /// Admits `spec` with [`TenantOptions::default`].
+    ///
+    /// # Panics
+    /// Panics if the spec's plan is unschedulable (Theorem 2 cycle).
+    pub fn admit(&mut self, spec: AggregationSpec) -> Admission {
+        self.admit_with(spec, TenantOptions::default())
+    }
+
+    /// Admits `spec` as a new tenant: interns (or reuses) the substrate
+    /// for its demand shape, solves its marginal edges through the
+    /// shared cache, and builds a full per-tenant [`Session`] —
+    /// bit-identical to one built in isolation over the same network.
+    ///
+    /// # Panics
+    /// Panics if the spec's plan is unschedulable (Theorem 2 cycle).
+    pub fn admit_with(&mut self, spec: AggregationSpec, options: TenantOptions) -> Admission {
+        let key: SubstrateKey = (mode_tag(options.mode), demand_pairs(&spec));
+        let reused_substrate = self.substrates.contains_key(&key);
+        let entry = self.substrates.entry(key.clone()).or_insert_with(|| {
+            let routing =
+                RoutingTables::build(&self.network, &spec.source_to_destinations(), options.mode);
+            let topo = Arc::new(Topology::snapshot(&spec, &routing));
+            SubstrateEntry {
+                routing: Arc::new(routing),
+                topo,
+                refs: 0,
+            }
+        });
+        let (hits_before, misses_before) = {
+            let c = self.cache.lock().expect("solve cache poisoned");
+            (c.hits(), c.misses())
+        };
+        let mut builder = Session::builder(Arc::clone(&self.network), spec)
+            .routing_mode(options.mode)
+            .config(self.config.clone())
+            .delivery(options.delivery)
+            .base_salt(options.base_salt)
+            .rounds_cursor(options.rounds_cursor)
+            .substrate(Arc::clone(&entry.routing), Arc::clone(&entry.topo))
+            .solve_cache(Arc::clone(&self.cache));
+        if let Some(rt) = options.runtime {
+            builder = builder.runtime(rt);
+        }
+        let session = builder.build();
+        entry.refs += 1;
+        let (hits_after, misses_after) = {
+            let c = self.cache.lock().expect("solve cache poisoned");
+            (c.hits(), c.misses())
+        };
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.admitted_total += 1;
+        self.tenants.insert(id, Tenant { session, key });
+        Admission {
+            tenant: id,
+            reused_substrate,
+            solves_cached: hits_after - hits_before,
+            solves_fresh: misses_after - misses_before,
+        }
+    }
+
+    /// Evicts a tenant, dropping its session; the last tenant of a
+    /// substrate drops the interned routing tables and topology with it.
+    /// Returns false if the id is unknown (or already evicted).
+    pub fn evict(&mut self, tenant: TenantId) -> bool {
+        let Some(t) = self.tenants.remove(&tenant) else {
+            return false;
+        };
+        if let Some(entry) = self.substrates.get_mut(&t.key) {
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                self.substrates.remove(&t.key);
+            }
+        }
+        true
+    }
+
+    /// The tenant's session, if admitted.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&Session> {
+        self.tenants.get(&tenant).map(|t| &t.session)
+    }
+
+    /// The tenant's session, mutably (run rounds, apply updates, swap
+    /// delivery models).
+    pub fn tenant_mut(&mut self, tenant: TenantId) -> Option<&mut Session> {
+        self.tenants.get_mut(&tenant).map(|t| &mut t.session)
+    }
+
+    /// Live tenants, ascending by id.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &Session)> {
+        self.tenants.iter().map(|(&id, t)| (id, &t.session))
+    }
+
+    /// Runs one round for `tenant` under its session's runtime.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run(
+        &mut self,
+        tenant: TenantId,
+        readings: &BTreeMap<NodeId, f64>,
+    ) -> Option<RoundReport> {
+        self.tenant_mut(tenant).map(|s| s.run(readings))
+    }
+
+    /// The cross-tenant shared-unit index over every admitted plan: raw
+    /// multicasts planned once for all covering tenants, records merged
+    /// where content signatures coincide — priced against the tenants in
+    /// isolation. See [`crate::sharing::multi_query_analysis`].
+    pub fn sharing_report(&self) -> MultiQueryReport {
+        multi_query_analysis(
+            self.tenants
+                .values()
+                .map(|t| (t.session.spec(), t.session.driver().maintainer().plan())),
+        )
+    }
+
+    /// Serializes the service — admitted specs, pre-repair plan slabs,
+    /// and salt cursors — as the versioned checkpoint text
+    /// [`PlanService::restore`] accepts.
+    pub fn checkpoint(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("network_nodes {}\n", self.network.node_count()));
+        out.push_str(&format!("next_id {}\n", self.next_id));
+        out.push_str(&format!("tenants {}\n", self.tenants.len()));
+        for (id, t) in &self.tenants {
+            let s = &t.session;
+            let m = s.driver().maintainer();
+            out.push_str(&format!("tenant {}\n", id.0));
+            out.push_str(&format!("mode {}\n", mode_name(m.mode())));
+            out.push_str(&format!("runtime {}\n", s.runtime().name()));
+            out.push_str(&format!("base_salt {}\n", s.base_salt()));
+            out.push_str(&format!("rounds_run {}\n", s.rounds_run()));
+            out.push_str(&format!("functions {}\n", s.spec().destination_count()));
+            for (d, f) in s.spec().functions() {
+                out.push_str(&format!(
+                    "function {} {} {}",
+                    d.0,
+                    kind_name(f.kind()),
+                    f.source_count()
+                ));
+                for src in f.sources() {
+                    let w = f.weight(src).expect("source has a weight");
+                    out.push_str(&format!(" {} {}", src.0, w.to_bits()));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!("solutions {}\n", m.base_solutions().len()));
+            for sol in m.base_solutions() {
+                out.push_str(&format!(
+                    "solution {} {} {}",
+                    sol.edge.0 .0,
+                    sol.edge.1 .0,
+                    sol.raw.len()
+                ));
+                for r in &sol.raw {
+                    out.push_str(&format!(" {}", r.0));
+                }
+                out.push_str(&format!(" {}", sol.agg.len()));
+                for g in &sol.agg {
+                    out.push_str(&format!(" {} {}", g.destination.0, g.suffix.len()));
+                    for n in g.suffix.iter() {
+                        out.push_str(&format!(" {}", n.0));
+                    }
+                }
+                out.push_str(&format!(" {}\n", sol.cost_bytes));
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Writes [`PlanService::checkpoint`] to `path`.
+    ///
+    /// # Errors
+    /// Returns the I/O error message on failure.
+    pub fn checkpoint_to(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.checkpoint()).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    /// Rebuilds a service over `network` from checkpoint text: every
+    /// persisted tenant is re-admitted (same id order, same base salt,
+    /// salt cursor resumed at its persisted round), and the shared cache
+    /// is seeded from the persisted plan slabs first, so restoration
+    /// performs **zero** fresh solves and every restored plan is
+    /// bit-identical to the one checkpointed. Each restored plan is
+    /// re-validated against its spec and routing before the tenant
+    /// session is built.
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed line, a network
+    /// mismatch, or a plan slab that fails validation.
+    pub fn restore(
+        network: impl Into<Arc<Network>>,
+        config: Config,
+        text: &str,
+    ) -> Result<PlanService, String> {
+        let mut service = PlanService::with_config(network, config);
+        let mut lines = text.lines();
+        if lines.next() != Some(CHECKPOINT_HEADER) {
+            return Err(format!("checkpoint must start with '{CHECKPOINT_HEADER}'"));
+        }
+        let nodes: usize = parse_kv(lines.next(), "network_nodes")?;
+        if nodes != service.network.node_count() {
+            return Err(format!(
+                "checkpoint is for a {nodes}-node network, got {}",
+                service.network.node_count()
+            ));
+        }
+        let next_id: u64 = parse_kv(lines.next(), "next_id")?;
+        let tenant_count: usize = parse_kv(lines.next(), "tenants")?;
+        for _ in 0..tenant_count {
+            let id: u64 = parse_kv(lines.next(), "tenant")?;
+            let mode_str: String = parse_kv(lines.next(), "mode")?;
+            let mode = mode_parse(&mode_str).ok_or(format!("unknown mode '{mode_str}'"))?;
+            let rt_str: String = parse_kv(lines.next(), "runtime")?;
+            let runtime = Runtime::parse(&rt_str).ok_or(format!("unknown runtime '{rt_str}'"))?;
+            let base_salt: u64 = parse_kv(lines.next(), "base_salt")?;
+            let rounds_run: u64 = parse_kv(lines.next(), "rounds_run")?;
+            let function_count: usize = parse_kv(lines.next(), "functions")?;
+            let mut spec = AggregationSpec::new();
+            for _ in 0..function_count {
+                let line = lines.next().ok_or("truncated checkpoint: function")?;
+                let mut tok = line.split_whitespace();
+                expect_tok(&mut tok, "function")?;
+                let dest = NodeId(next_num(&mut tok, "function destination")? as u32);
+                let kind_str = tok.next().ok_or("function missing kind")?;
+                let kind = kind_parse(kind_str).ok_or(format!("unknown kind '{kind_str}'"))?;
+                let n = next_num(&mut tok, "function source count")? as usize;
+                let mut weights = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let s = NodeId(next_num(&mut tok, "function source")? as u32);
+                    let bits = next_num(&mut tok, "function weight bits")?;
+                    weights.push((s, f64::from_bits(bits)));
+                }
+                spec.add_function(dest, AggregateFunction::new(kind, weights));
+            }
+            let solution_count: usize = parse_kv(lines.next(), "solutions")?;
+            let mut solutions = Vec::with_capacity(solution_count);
+            for _ in 0..solution_count {
+                let line = lines.next().ok_or("truncated checkpoint: solution")?;
+                solutions.push(parse_solution(line)?);
+            }
+            let end = lines.next();
+            if end != Some("end") {
+                return Err(format!("expected 'end' after tenant {id}, got {end:?}"));
+            }
+            service.restore_tenant(
+                TenantId(id),
+                mode,
+                runtime,
+                base_salt,
+                rounds_run,
+                spec,
+                solutions,
+            )?;
+        }
+        service.next_id = service.next_id.max(next_id);
+        Ok(service)
+    }
+
+    /// Reads `path` and [`PlanService::restore`]s from it.
+    ///
+    /// # Errors
+    /// Returns the I/O or parse error message on failure.
+    pub fn restore_from(
+        network: impl Into<Arc<Network>>,
+        config: Config,
+        path: &str,
+    ) -> Result<PlanService, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Self::restore(network, config, &text)
+    }
+
+    /// One persisted tenant: seed the cache from its slab, re-admit
+    /// through the normal (now all-hit) path, and pin its persisted id.
+    #[allow(clippy::too_many_arguments)]
+    fn restore_tenant(
+        &mut self,
+        id: TenantId,
+        mode: RoutingMode,
+        runtime: Runtime,
+        base_salt: u64,
+        rounds_run: u64,
+        spec: AggregationSpec,
+        solutions: Vec<EdgeSolution>,
+    ) -> Result<(), String> {
+        if self.tenants.contains_key(&id) {
+            return Err(format!("duplicate tenant id {id} in checkpoint"));
+        }
+        // Build (or fetch) the substrate now so the persisted slab can be
+        // checked against it and seeded into the cache before admission.
+        let key: SubstrateKey = (mode_tag(mode), demand_pairs(&spec));
+        let (routing, topo) = {
+            let entry = self.substrates.entry(key).or_insert_with(|| {
+                let routing =
+                    RoutingTables::build(&self.network, &spec.source_to_destinations(), mode);
+                let topo = Arc::new(Topology::snapshot(&spec, &routing));
+                SubstrateEntry {
+                    routing: Arc::new(routing),
+                    topo,
+                    refs: 0,
+                }
+            });
+            (Arc::clone(&entry.routing), Arc::clone(&entry.topo))
+        };
+        let problems = build_edge_problems(&topo);
+        if problems.len() != solutions.len() {
+            return Err(format!(
+                "tenant {id}: checkpoint has {} solutions, substrate demands {} edges",
+                solutions.len(),
+                problems.len()
+            ));
+        }
+        let plan = crate::plan::GlobalPlan::from_solutions(
+            &spec,
+            Arc::clone(&topo),
+            problems.clone(),
+            solutions.clone(),
+        );
+        plan.validate(&spec, &routing)
+            .map_err(|e| format!("tenant {id}: persisted plan failed validation: {e}"))?;
+        {
+            let mut cache = self.cache.lock().expect("solve cache poisoned");
+            for (problem, solution) in problems.iter().zip(solutions) {
+                cache.seed(problem, &spec, solution);
+            }
+        }
+        let admission = self.admit_with(
+            spec,
+            TenantOptions {
+                mode,
+                runtime: Some(runtime),
+                delivery: DeliveryModel::reliable(),
+                base_salt,
+                rounds_cursor: rounds_run,
+            },
+        );
+        if admission.solves_fresh != 0 {
+            return Err(format!(
+                "tenant {id}: restore performed {} fresh solves (seed mismatch)",
+                admission.solves_fresh
+            ));
+        }
+        // admit_with assigned the next sequential id; re-key to the
+        // persisted one (ids must survive a restart).
+        let t = self
+            .tenants
+            .remove(&admission.tenant)
+            .expect("just admitted");
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.tenants.insert(id, t);
+        Ok(())
+    }
+}
+
+fn parse_kv<T: std::str::FromStr>(line: Option<&str>, keyword: &str) -> Result<T, String> {
+    let line = line.ok_or(format!("truncated checkpoint: expected '{keyword}'"))?;
+    let rest = line
+        .strip_prefix(keyword)
+        .ok_or(format!("expected '{keyword} ...', got '{line}'"))?;
+    rest.trim()
+        .parse()
+        .map_err(|_| format!("malformed value in '{line}'"))
+}
+
+fn expect_tok(tok: &mut std::str::SplitWhitespace<'_>, want: &str) -> Result<(), String> {
+    match tok.next() {
+        Some(t) if t == want => Ok(()),
+        other => Err(format!("expected '{want}', got {other:?}")),
+    }
+}
+
+fn next_num(tok: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<u64, String> {
+    tok.next()
+        .ok_or(format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("malformed {what}"))
+}
+
+fn parse_solution(line: &str) -> Result<EdgeSolution, String> {
+    let mut tok = line.split_whitespace();
+    expect_tok(&mut tok, "solution")?;
+    let from = NodeId(next_num(&mut tok, "solution edge tail")? as u32);
+    let to = NodeId(next_num(&mut tok, "solution edge head")? as u32);
+    let nraw = next_num(&mut tok, "raw count")? as usize;
+    let mut raw = Vec::with_capacity(nraw);
+    for _ in 0..nraw {
+        raw.push(NodeId(next_num(&mut tok, "raw source")? as u32));
+    }
+    let nagg = next_num(&mut tok, "agg count")? as usize;
+    let mut agg = Vec::with_capacity(nagg);
+    for _ in 0..nagg {
+        let destination = NodeId(next_num(&mut tok, "agg destination")? as u32);
+        let suffix_len = next_num(&mut tok, "suffix length")? as usize;
+        let mut suffix = Vec::with_capacity(suffix_len);
+        for _ in 0..suffix_len {
+            suffix.push(NodeId(next_num(&mut tok, "suffix node")? as u32));
+        }
+        agg.push(AggGroup {
+            destination,
+            suffix: suffix.into(),
+        });
+    }
+    let cost_bytes = next_num(&mut tok, "cost bytes")?;
+    Ok(EdgeSolution {
+        edge: (from, to),
+        raw,
+        agg,
+        cost_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use m2m_netsim::Deployment;
+
+    fn network() -> Network {
+        Network::with_default_energy(Deployment::grid(5, 5, 10.0, 12.0))
+    }
+
+    fn spec_seeded(net: &Network, seed: u64) -> AggregationSpec {
+        generate_workload(net, &WorkloadConfig::paper_default(4, 3, seed))
+    }
+
+    fn readings(net: &Network) -> BTreeMap<NodeId, f64> {
+        net.nodes()
+            .map(|v| (v, f64::from(v.0) * 0.25 - 1.5))
+            .collect()
+    }
+
+    #[test]
+    fn twin_admissions_reuse_substrate_and_cache() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        let spec = spec_seeded(&net, 7);
+        let first = svc.admit(spec.clone());
+        assert!(!first.reused_substrate, "first admission routes fresh");
+        assert_eq!(first.solves_cached, 0);
+        assert!(first.solves_fresh > 0);
+        let second = svc.admit(spec);
+        assert!(second.reused_substrate, "same shape reuses the substrate");
+        assert_eq!(second.solves_fresh, 0, "every edge is served cached");
+        assert_eq!(second.solves_cached, first.solves_fresh);
+        assert_eq!(svc.len(), 2);
+        assert_eq!(svc.substrate_count(), 1);
+        assert_eq!(svc.admitted_total(), 2);
+    }
+
+    #[test]
+    fn tenants_are_bit_identical_to_isolated_sessions() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        let vals = readings(&net);
+        for seed in [3u64, 4, 5] {
+            let spec = spec_seeded(&net, seed);
+            let admission = svc.admit(spec.clone());
+            let mut isolated = Session::builder(Arc::clone(&net), spec).build();
+            let expect = isolated.run(&vals);
+            let got = svc.run(admission.tenant, &vals).expect("admitted");
+            assert_eq!(got, expect, "seed {seed}");
+            assert_eq!(
+                svc.tenant(admission.tenant)
+                    .unwrap()
+                    .driver()
+                    .maintainer()
+                    .plan()
+                    .solutions(),
+                isolated.driver().maintainer().plan().solutions(),
+                "seed {seed}: plans must match bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn evicting_the_last_tenant_drops_the_substrate() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        let spec = spec_seeded(&net, 9);
+        let a = svc.admit(spec.clone());
+        let b = svc.admit(spec);
+        assert_eq!(svc.substrate_count(), 1);
+        assert!(svc.evict(a.tenant));
+        assert_eq!(svc.substrate_count(), 1, "tenant b still holds it");
+        assert!(svc.evict(b.tenant));
+        assert_eq!(svc.substrate_count(), 0, "last evict drops the intern");
+        assert!(!svc.evict(b.tenant), "double evict is a no-op");
+        assert_eq!(svc.admitted_total(), 2, "lifetime counter survives");
+    }
+
+    #[test]
+    fn sharing_report_prices_duplicate_tenants() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        let spec = spec_seeded(&net, 11);
+        svc.admit(spec.clone());
+        let solo = svc.sharing_report();
+        svc.admit(spec);
+        let duo = svc.sharing_report();
+        assert_eq!(duo.tenants, 2);
+        assert_eq!(
+            duo.payload_bytes_shared, solo.payload_bytes_shared,
+            "a clone tenant adds zero marginal payload"
+        );
+        assert!(duo.savings_fraction() > solo.savings_fraction());
+    }
+
+    #[test]
+    fn checkpoint_restores_bit_identical_tenants_with_zero_solves() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        let ids: Vec<TenantId> = [21u64, 22, 23]
+            .iter()
+            .map(|&seed| {
+                svc.admit_with(
+                    spec_seeded(&net, seed),
+                    TenantOptions {
+                        runtime: Some(Runtime::Lossy),
+                        ..TenantOptions::default()
+                    },
+                )
+                .tenant
+            })
+            .collect();
+        // Advance one tenant's salt cursor so restore must resume it.
+        let vals = readings(&net);
+        svc.run(ids[1], &vals);
+        svc.run(ids[1], &vals);
+        let text = svc.checkpoint();
+        let mut restored =
+            PlanService::restore(Arc::clone(&net), Config::default(), &text).expect("restores");
+        assert_eq!(restored.len(), 3);
+        assert_eq!(
+            restored.solve_cache().lock().unwrap().misses(),
+            0,
+            "restore must not solve anything fresh"
+        );
+        for &id in &ids {
+            let orig = svc.tenant(id).unwrap();
+            let back = restored.tenant(id).unwrap();
+            assert_eq!(back.rounds_run(), orig.rounds_run(), "{id} cursor resumes");
+            assert_eq!(back.base_salt(), orig.base_salt());
+            assert_eq!(back.runtime(), orig.runtime());
+            assert_eq!(
+                back.driver().maintainer().plan().solutions(),
+                orig.driver().maintainer().plan().solutions(),
+                "{id}: restored plan is bit-identical"
+            );
+        }
+        // Replay digests agree from the resumed cursor.
+        let a = svc.run(ids[1], &vals).unwrap();
+        let b = restored.run(ids[1], &vals).unwrap();
+        assert_eq!(a, b, "the resumed salt stream replays the original");
+        // New admissions continue past persisted ids.
+        let next = restored.admit(spec_seeded(&net, 29));
+        assert!(next.tenant.0 > ids[2].0);
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_network() {
+        let net = Arc::new(network());
+        let mut svc = PlanService::new(Arc::clone(&net));
+        svc.admit(spec_seeded(&net, 5));
+        let text = svc.checkpoint();
+        let other = Network::with_default_energy(Deployment::grid(4, 4, 10.0, 12.0));
+        let err = PlanService::restore(other, Config::default(), &text).unwrap_err();
+        assert!(err.contains("network"), "{err}");
+    }
+}

@@ -18,57 +18,92 @@
 //!     NodeId(12),
 //!     AggregateFunction::weighted_sum([(NodeId(0), 1.0), (NodeId(5), 2.0)]),
 //! );
-//! let session = Session::builder(net, spec)
+//! let mut session = Session::builder(net, spec)
 //!     .routing_mode(RoutingMode::ShortestPathTrees)
 //!     .build();
 //! let readings: std::collections::BTreeMap<NodeId, f64> =
 //!     session.network().nodes().map(|v| (v, 1.0)).collect();
-//! let (results, cost) = session.run_round(&readings);
-//! assert!((results[&NodeId(12)] - 3.0).abs() < 1e-9);
-//! assert!(cost.total_uj() > 0.0);
+//! let report = session.run(&readings);
+//! assert!((report.result(NodeId(12)).unwrap() - 3.0).abs() < 1e-9);
+//! assert!(report.cost().total_uj() > 0.0);
 //! ```
 //!
+//! # One `run`, three runtimes
+//!
+//! [`Session::run`] and [`Session::run_rounds`] dispatch on the
+//! session's [`Runtime`] — [`Runtime::Compiled`] (the lock-step fast
+//! path), [`Runtime::Lossy`] (per-link loss with retries, salts drawn
+//! from the replayable stream), or [`Runtime::Sim`] (the discrete-event
+//! runtime with queue/latency modeling). Choose it with
+//! [`SessionBuilder::runtime`] or process-wide with
+//! [`crate::config::ConfigBuilder::runtime`] / `M2M_RUNTIME`. Every
+//! round comes back as one [`RoundReport`]; runtime-specific detail
+//! stays reachable through [`RoundReport::fault`] and
+//! [`RoundReport::sim`]. The per-runtime method families
+//! (`run_round`, `run_round_lossy`, `run_round_sim` and their batch
+//! twins) survive as thin deprecated wrappers.
+//!
 //! The fault-tolerant loop adds a [`DeliveryModel`] and, optionally, a
-//! tracked [`LinkQuality`]: [`Session::run_round_lossy`] executes rounds
-//! under loss with the configured [`RetryPolicy`], feeding a
-//! [`DegradationTracker`]; [`Session::observe_quality`] closes the churn
-//! loop — ETX drift past the configured hysteresis rebuilds the routing
-//! tables ([`m2m_netsim::quality::weighted_routing`]), pushes them through
-//! the incremental maintainer, and recompiles only what changed.
+//! tracked [`LinkQuality`]: lossy rounds execute under the configured
+//! [`RetryPolicy`], feeding a [`DegradationTracker`];
+//! [`Session::observe_quality`] closes the churn loop — ETX drift past
+//! the configured hysteresis rebuilds the routing tables
+//! ([`m2m_netsim::quality::weighted_routing`]), pushes them through the
+//! incremental maintainer, and recompiles only what changed.
+//!
+//! # Shared substrates
+//!
+//! A session holds its deployment as `Arc<Network>` and accepts one by
+//! value or shared ([`Session::builder`] takes `impl Into<Arc<Network>>`),
+//! so many sessions — the tenants of a [`crate::service::PlanService`] —
+//! can plan over one network without cloning it. A caller that already
+//! holds interned routing tables and a topology snapshot for the same
+//! `(spec, mode)` hands them in with [`SessionBuilder::substrate`], and
+//! a cross-tenant [`SharedSolveCache`] with
+//! [`SessionBuilder::solve_cache`]; both paths produce plans
+//! bit-identical to planning from scratch (pure solves, unique minima).
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use m2m_graph::NodeId;
 use m2m_netsim::quality::{weighted_routing, LinkQuality};
 use m2m_netsim::{DeliveryModel, Network, RoutingMode, RoutingTables};
 
-use crate::config::Config;
-use crate::dynamics::{UpdateStats, WorkloadUpdate};
+use crate::config::{Config, Runtime};
+use crate::dynamics::{PlanMaintainer, UpdateStats, WorkloadUpdate};
+use crate::edge_opt::{build_edge_problems, solve_edge_slab};
 use crate::exec::{
     run_epochs_slab, CompiledSchedule, EpochDriver, EpochOutcome, EpochSlab, ExecState,
 };
 use crate::faults::{
     ChurnController, DegradationTracker, FaultOutcome, FaultyExec, RetryPolicy, SALT_STRIDE,
 };
+use crate::memo::SharedSolveCache;
 use crate::metrics::RoundCost;
 use crate::obs::{FlightRecorder, DEFAULT_BATTERY_UJ};
 use crate::sim::{SimExec, SimOutcome, SimState};
 use crate::spec::AggregationSpec;
+use crate::topo::Topology;
 
 /// The default base salt for lossy rounds; chosen arbitrarily, fixed for
 /// replayability. Override with [`SessionBuilder::base_salt`].
-const DEFAULT_BASE_SALT: u64 = 0x6d32_6d5f_7365_6564; // "m2m_seed"
+pub(crate) const DEFAULT_BASE_SALT: u64 = 0x6d32_6d5f_7365_6564; // "m2m_seed"
 
 /// Builder for [`Session`] — see the module docs for the full tour.
 #[derive(Clone, Debug)]
 pub struct SessionBuilder {
-    network: Network,
+    network: Arc<Network>,
     spec: AggregationSpec,
     mode: RoutingMode,
     config: Config,
     delivery: DeliveryModel,
     quality: Option<LinkQuality>,
     base_salt: u64,
+    runtime: Option<Runtime>,
+    substrate: Option<(Arc<RoutingTables>, Arc<Topology>)>,
+    solve_cache: Option<Arc<Mutex<SharedSolveCache>>>,
+    rounds_cursor: u64,
 }
 
 impl SessionBuilder {
@@ -87,6 +122,15 @@ impl SessionBuilder {
     #[must_use]
     pub fn config(mut self, config: Config) -> Self {
         self.config = config;
+        self
+    }
+
+    /// The runtime [`Session::run`] / [`Session::run_rounds`] dispatch
+    /// to. Overrides the configuration's [`Config::runtime`] (which is
+    /// the default when this is not set).
+    #[must_use]
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = Some(runtime);
         self
     }
 
@@ -114,37 +158,264 @@ impl SessionBuilder {
         self
     }
 
+    /// Starts the replayable salt stream at round `rounds` instead of 0,
+    /// as if that many lossy/sim rounds had already run — the
+    /// checkpoint-restore path uses this to resume a tenant's failure
+    /// history exactly where the persisted session left off.
+    #[must_use]
+    pub fn rounds_cursor(mut self, rounds: u64) -> Self {
+        self.rounds_cursor = rounds;
+        self
+    }
+
+    /// Reuses an already-built substrate — interned routing tables and
+    /// the matching topology snapshot — instead of routing and snapping
+    /// from scratch. The resulting plan is bit-identical to a cold
+    /// build: the snapshot fixes the edge slab, per-edge solves are pure,
+    /// and assembly is deterministic.
+    ///
+    /// [`Session::build`] panics if `routing`'s mode disagrees with the
+    /// builder's [`SessionBuilder::routing_mode`] or if `topo`'s demanded
+    /// pairs are not exactly the spec's ([`Topology::demanded_pairs`]).
+    #[must_use]
+    pub fn substrate(mut self, routing: Arc<RoutingTables>, topo: Arc<Topology>) -> Self {
+        self.substrate = Some((routing, topo));
+        self
+    }
+
+    /// Routes per-edge solves through a cross-tenant [`SharedSolveCache`]
+    /// so content-equal problems solved by earlier sessions are served
+    /// cached (bit-identical to fresh solves).
+    #[must_use]
+    pub fn solve_cache(mut self, cache: Arc<Mutex<SharedSolveCache>>) -> Self {
+        self.solve_cache = Some(cache);
+        self
+    }
+
     /// Builds the session: routes, plans, compiles.
     ///
     /// # Panics
-    /// Panics if the initial plan is unschedulable (Theorem 2 cycle).
+    /// Panics if the initial plan is unschedulable (Theorem 2 cycle), or
+    /// if a supplied [`SessionBuilder::substrate`] does not match the
+    /// builder's routing mode and spec.
     pub fn build(self) -> Session {
-        self.config.apply();
-        let churn = self
-            .quality
+        let SessionBuilder {
+            network,
+            spec,
+            mode,
+            config,
+            delivery,
+            quality,
+            base_salt,
+            runtime,
+            substrate,
+            solve_cache,
+            rounds_cursor,
+        } = self;
+        config.apply();
+        let churn = quality
             .as_ref()
-            .map(|q| ChurnController::new(q.clone(), self.config.hysteresis()));
-        let mut driver = EpochDriver::new(self.network, self.spec, self.mode);
-        if let Some(quality) = &self.quality {
+            .map(|q| ChurnController::new(q.clone(), config.hysteresis()));
+        let runtime = runtime.unwrap_or_else(|| config.runtime());
+        // A shared solve cache without a substrate still takes the
+        // parts-based path: route + snapshot here, solve through the
+        // cache, assemble identically.
+        let substrate = match (substrate, &solve_cache) {
+            (Some(pair), _) => Some(pair),
+            (None, Some(_)) => {
+                let routing = RoutingTables::build(&network, &spec.source_to_destinations(), mode);
+                let topo = Arc::new(Topology::snapshot(&spec, &routing));
+                Some((Arc::new(routing), topo))
+            }
+            (None, None) => None,
+        };
+        let mut driver = match substrate {
+            Some((routing, topo)) => {
+                assert_eq!(
+                    routing.mode(),
+                    mode,
+                    "substrate routing mode must match the builder's routing mode"
+                );
+                let mut demanded: Vec<(NodeId, NodeId)> = spec
+                    .source_to_destinations()
+                    .into_iter()
+                    .flat_map(|(s, ds)| ds.into_iter().map(move |d| (s, d)))
+                    .collect();
+                demanded.sort_unstable();
+                assert_eq!(
+                    topo.demanded_pairs(),
+                    demanded,
+                    "substrate topology must cover exactly the spec's demanded pairs"
+                );
+                let problems = build_edge_problems(&topo);
+                let threads = config.resolved_threads();
+                let solutions = match &solve_cache {
+                    Some(cache) => cache
+                        .lock()
+                        .expect("shared solve cache poisoned")
+                        .solve_all(&problems, &spec, threads),
+                    None => solve_edge_slab(&problems, &spec, threads),
+                };
+                EpochDriver::from_maintainer(PlanMaintainer::from_parts(
+                    network, spec, mode, routing, topo, problems, solutions,
+                ))
+            }
+            None => EpochDriver::new(network, spec, mode),
+        };
+        if let Some(quality) = &quality {
             let demands = driver.maintainer().spec().source_to_destinations();
             let routing = weighted_routing(driver.maintainer().network(), &demands, quality);
             driver.apply_route_change(routing);
         }
-        let recorder = self
-            .config
+        let recorder = config
             .obs()
-            .then(|| FlightRecorder::new(self.config.obs_every(), self.config.obs_cap()));
+            .then(|| FlightRecorder::new(config.obs_every(), config.obs_cap()));
         Session {
-            config: self.config,
+            config,
+            runtime,
             driver,
-            delivery: self.delivery,
+            delivery,
             faults: None,
             sim: None,
             churn,
             tracker: DegradationTracker::new(),
             recorder,
-            base_salt: self.base_salt,
-            rounds_run: 0,
+            base_salt,
+            rounds_run: rounds_cursor,
+        }
+    }
+}
+
+/// Runtime-specific detail carried by a [`RoundReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoundDetail {
+    /// The compiled fast path: reliable links, every result present.
+    Compiled,
+    /// The lossy runtime's full outcome (coverage, retransmissions,
+    /// link events).
+    Lossy(FaultOutcome),
+    /// The discrete-event runtime's full outcome (plus queue pressure).
+    Sim(SimOutcome),
+}
+
+/// One round's outcome, uniform across runtimes: per-destination results
+/// in [`CompiledSchedule::destinations`] order, the round's energy cost,
+/// and whether every demanded value was delivered. Runtime-specific
+/// detail stays reachable through [`RoundReport::detail`] (or the
+/// [`RoundReport::fault`] / [`RoundReport::sim`] shortcuts).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundReport {
+    destinations: Vec<NodeId>,
+    results: Vec<Option<f64>>,
+    cost: RoundCost,
+    delivered: bool,
+    detail: RoundDetail,
+}
+
+impl RoundReport {
+    fn compiled(destinations: Vec<NodeId>, results: &[f64], cost: RoundCost) -> Self {
+        RoundReport {
+            destinations,
+            results: results.iter().copied().map(Some).collect(),
+            cost,
+            delivered: true,
+            detail: RoundDetail::Compiled,
+        }
+    }
+
+    fn from_fault(destinations: Vec<NodeId>, out: FaultOutcome) -> Self {
+        RoundReport {
+            destinations,
+            results: out.results.clone(),
+            cost: out.cost,
+            delivered: out.delivered,
+            detail: RoundDetail::Lossy(out),
+        }
+    }
+
+    fn from_sim(destinations: Vec<NodeId>, out: SimOutcome) -> Self {
+        RoundReport {
+            destinations,
+            results: out.outcome.results.clone(),
+            cost: out.outcome.cost,
+            delivered: out.outcome.delivered,
+            detail: RoundDetail::Sim(out),
+        }
+    }
+
+    /// The destinations, in result order.
+    #[inline]
+    pub fn destinations(&self) -> &[NodeId] {
+        &self.destinations
+    }
+
+    /// Per-destination results; `None` marks a destination whose value
+    /// was lost this round (never on the compiled runtime).
+    #[inline]
+    pub fn results(&self) -> &[Option<f64>] {
+        &self.results
+    }
+
+    /// The result delivered to `destination`, if any.
+    pub fn result(&self, destination: NodeId) -> Option<f64> {
+        self.destinations
+            .iter()
+            .position(|&d| d == destination)
+            .and_then(|i| self.results[i])
+    }
+
+    /// The delivered results as a map (lost destinations are absent).
+    pub fn result_map(&self) -> BTreeMap<NodeId, f64> {
+        self.destinations
+            .iter()
+            .zip(&self.results)
+            .filter_map(|(&d, r)| r.map(|v| (d, v)))
+            .collect()
+    }
+
+    /// The round's energy cost.
+    #[inline]
+    pub fn cost(&self) -> RoundCost {
+        self.cost
+    }
+
+    /// True when every demanded value reached its destination.
+    #[inline]
+    pub fn delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// The runtime this round executed under.
+    pub fn runtime(&self) -> Runtime {
+        match self.detail {
+            RoundDetail::Compiled => Runtime::Compiled,
+            RoundDetail::Lossy(_) => Runtime::Lossy,
+            RoundDetail::Sim(_) => Runtime::Sim,
+        }
+    }
+
+    /// Runtime-specific detail.
+    #[inline]
+    pub fn detail(&self) -> &RoundDetail {
+        &self.detail
+    }
+
+    /// The lossy runtime's full outcome, when this round ran under
+    /// [`Runtime::Lossy`] or [`Runtime::Sim`] (a sim round wraps one).
+    pub fn fault(&self) -> Option<&FaultOutcome> {
+        match &self.detail {
+            RoundDetail::Compiled => None,
+            RoundDetail::Lossy(out) => Some(out),
+            RoundDetail::Sim(out) => Some(&out.outcome),
+        }
+    }
+
+    /// The discrete-event runtime's full outcome, when this round ran
+    /// under [`Runtime::Sim`].
+    pub fn sim(&self) -> Option<&SimOutcome> {
+        match &self.detail {
+            RoundDetail::Sim(out) => Some(out),
+            _ => None,
         }
     }
 }
@@ -155,6 +426,8 @@ impl SessionBuilder {
 #[derive(Debug)]
 pub struct Session {
     config: Config,
+    /// The runtime [`Session::run`] dispatches to.
+    runtime: Runtime,
     driver: EpochDriver,
     delivery: DeliveryModel,
     /// Lazily built, invalidated whenever the compiled schedule moves.
@@ -173,16 +446,21 @@ pub struct Session {
 }
 
 impl Session {
-    /// Starts building a session for `spec` over `network`.
-    pub fn builder(network: Network, spec: AggregationSpec) -> SessionBuilder {
+    /// Starts building a session for `spec` over `network` (owned or
+    /// shared — service tenants pass the deployment's `Arc`).
+    pub fn builder(network: impl Into<Arc<Network>>, spec: AggregationSpec) -> SessionBuilder {
         SessionBuilder {
-            network,
+            network: network.into(),
             spec,
             mode: RoutingMode::ShortestPathTrees,
             config: Config::default(),
             delivery: DeliveryModel::reliable(),
             quality: None,
             base_salt: DEFAULT_BASE_SALT,
+            runtime: None,
+            substrate: None,
+            solve_cache: None,
+            rounds_cursor: 0,
         }
     }
 
@@ -192,10 +470,23 @@ impl Session {
         &self.config
     }
 
+    /// The runtime [`Session::run`] / [`Session::run_rounds`] execute
+    /// under.
+    #[inline]
+    pub fn runtime(&self) -> Runtime {
+        self.runtime
+    }
+
     /// The network the plan is maintained for.
     #[inline]
     pub fn network(&self) -> &Network {
         self.driver.maintainer().network()
+    }
+
+    /// A shared handle to the deployment this session plans over.
+    #[inline]
+    pub fn network_arc(&self) -> Arc<Network> {
+        self.driver.maintainer().network_arc()
     }
 
     /// The current workload.
@@ -227,6 +518,19 @@ impl Session {
         self.delivery = model;
     }
 
+    /// The base salt the replayable failure stream draws from.
+    #[inline]
+    pub fn base_salt(&self) -> u64 {
+        self.base_salt
+    }
+
+    /// Lossy/sim rounds executed so far — the salt-stream cursor.
+    /// Restore it across restarts with [`SessionBuilder::rounds_cursor`].
+    #[inline]
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
     /// Per-destination staleness accumulated over lossy rounds.
     #[inline]
     pub fn degradation(&self) -> &DegradationTracker {
@@ -252,12 +556,63 @@ impl Session {
         self.recorder.as_ref().map(|r| r.dump(DEFAULT_BATTERY_UJ))
     }
 
+    /// Executes one round under the session's [`Runtime`] and returns
+    /// the unified [`RoundReport`]. Lossy and sim rounds advance the
+    /// replayable salt stream and feed the degradation tracker; compiled
+    /// rounds are pure and leave the cursor untouched.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    pub fn run(&mut self, readings: &BTreeMap<NodeId, f64>) -> RoundReport {
+        let destinations: Vec<NodeId> = self.driver.compiled().destinations().collect();
+        match self.runtime {
+            Runtime::Compiled => {
+                let compiled = self.driver.compiled();
+                let mut state = ExecState::for_schedule(compiled);
+                let cost = compiled.run_round_on(readings, &mut state);
+                RoundReport::compiled(destinations, state.results(), cost)
+            }
+            Runtime::Lossy => RoundReport::from_fault(destinations, self.lossy_round(readings)),
+            Runtime::Sim => RoundReport::from_sim(destinations, self.sim_round(readings)),
+        }
+    }
+
+    /// Runs one round per dense reading row (in
+    /// [`CompiledSchedule::sources`] slot order) under the session's
+    /// [`Runtime`], returning one [`RoundReport`] per row. Batches are
+    /// bit-identical to running the rows one at a time with
+    /// [`Session::run`] at any configured thread count or lane width.
+    pub fn run_rounds(&mut self, rounds: &[Vec<f64>]) -> Vec<RoundReport> {
+        let destinations: Vec<NodeId> = self.driver.compiled().destinations().collect();
+        match self.runtime {
+            Runtime::Compiled => {
+                let slab = self.epochs_slab(rounds);
+                (0..slab.rounds())
+                    .map(|r| {
+                        RoundReport::compiled(destinations.clone(), slab.round(r), slab.cost())
+                    })
+                    .collect()
+            }
+            Runtime::Lossy => self
+                .lossy_rounds(rounds)
+                .into_iter()
+                .map(|out| RoundReport::from_fault(destinations.clone(), out))
+                .collect(),
+            Runtime::Sim => self
+                .sim_rounds(rounds)
+                .into_iter()
+                .map(|out| RoundReport::from_sim(destinations.clone(), out))
+                .collect(),
+        }
+    }
+
     /// Executes one reliable round and returns `(results, cost)` — the
     /// compiled fast path, numerically identical to the reference
     /// executor.
     ///
     /// # Panics
     /// Panics if a source reading is missing.
+    #[deprecated(note = "use Session::run with Runtime::Compiled (the default runtime)")]
     pub fn run_round(
         &self,
         readings: &BTreeMap<NodeId, f64>,
@@ -272,19 +627,18 @@ impl Session {
     /// [`CompiledSchedule::sources`] slot order) through the lane-batched
     /// executor at the configured lane width and thread count, returning
     /// the flat result slab — the allocation-free shape.
+    #[deprecated(
+        note = "use Session::run_rounds, or crate::exec::run_epochs_slab for the raw slab"
+    )]
     pub fn run_epochs_slab(&self, rounds: &[Vec<f64>]) -> EpochSlab {
-        run_epochs_slab(
-            self.driver.compiled(),
-            rounds,
-            self.config.lanes(),
-            self.config.resolved_threads(),
-        )
+        self.epochs_slab(rounds)
     }
 
-    /// Like [`Session::run_epochs_slab`], expanded into per-round
-    /// [`EpochOutcome`]s (compatibility shape; identical bits).
+    /// Like the epoch slab, expanded into per-round [`EpochOutcome`]s
+    /// (compatibility shape; identical bits).
+    #[deprecated(note = "use Session::run_rounds")]
     pub fn run_epochs(&self, rounds: &[Vec<f64>]) -> Vec<EpochOutcome> {
-        self.run_epochs_slab(rounds).into_outcomes()
+        self.epochs_slab(rounds).into_outcomes()
     }
 
     /// The retry policy lossy rounds run under (from the configuration).
@@ -299,7 +653,54 @@ impl Session {
     ///
     /// # Panics
     /// Panics if a source reading is missing.
+    #[deprecated(note = "use SessionBuilder::runtime(Runtime::Lossy) and Session::run")]
     pub fn run_round_lossy(&mut self, readings: &BTreeMap<NodeId, f64>) -> FaultOutcome {
+        self.lossy_round(readings)
+    }
+
+    /// Runs one lossy round per dense reading row across the configured
+    /// thread count. Outcomes are in input order and identical at any
+    /// thread count; each round draws its own salt from the session's
+    /// stream, and every outcome feeds the degradation tracker.
+    #[deprecated(note = "use SessionBuilder::runtime(Runtime::Lossy) and Session::run_rounds")]
+    pub fn run_rounds_lossy(&mut self, rounds: &[Vec<f64>]) -> Vec<FaultOutcome> {
+        self.lossy_rounds(rounds)
+    }
+
+    /// Executes one round through the discrete-event simulator
+    /// ([`crate::sim`]) under the session's delivery model, retry policy,
+    /// and configured queue/latency parameters ([`Config::sim_params`]).
+    /// Shares the replayable salt stream with the lossy runtime (each
+    /// consumed round advances the same cursor) and feeds the same
+    /// degradation tracker and flight recorder.
+    ///
+    /// # Panics
+    /// Panics if a source reading is missing.
+    #[deprecated(note = "use SessionBuilder::runtime(Runtime::Sim) and Session::run")]
+    pub fn run_round_sim(&mut self, readings: &BTreeMap<NodeId, f64>) -> SimOutcome {
+        self.sim_round(readings)
+    }
+
+    /// Runs one simulated round per dense reading row (in
+    /// [`CompiledSchedule::sources`] slot order), drawing one salt per
+    /// round from the session's stream — the same salts the lossy
+    /// runtime would draw, so either runtime can replay the other's
+    /// failure history.
+    #[deprecated(note = "use SessionBuilder::runtime(Runtime::Sim) and Session::run_rounds")]
+    pub fn run_rounds_sim(&mut self, rounds: &[Vec<f64>]) -> Vec<SimOutcome> {
+        self.sim_rounds(rounds)
+    }
+
+    fn epochs_slab(&self, rounds: &[Vec<f64>]) -> EpochSlab {
+        run_epochs_slab(
+            self.driver.compiled(),
+            rounds,
+            self.config.lanes(),
+            self.config.resolved_threads(),
+        )
+    }
+
+    fn lossy_round(&mut self, readings: &BTreeMap<NodeId, f64>) -> FaultOutcome {
         self.ensure_faults();
         let policy = self.config.retry_policy();
         let round = self.rounds_run;
@@ -315,11 +716,7 @@ impl Session {
         out
     }
 
-    /// Runs one lossy round per dense reading row across the configured
-    /// thread count. Outcomes are in input order and identical at any
-    /// thread count; each round draws its own salt from the session's
-    /// stream, and every outcome feeds the degradation tracker.
-    pub fn run_rounds_lossy(&mut self, rounds: &[Vec<f64>]) -> Vec<FaultOutcome> {
+    fn lossy_rounds(&mut self, rounds: &[Vec<f64>]) -> Vec<FaultOutcome> {
         self.ensure_faults();
         let policy = self.config.retry_policy();
         let first_round = self.rounds_run;
@@ -344,16 +741,7 @@ impl Session {
         outcomes
     }
 
-    /// Executes one round through the discrete-event simulator
-    /// ([`crate::sim`]) under the session's delivery model, retry policy,
-    /// and configured queue/latency parameters ([`Config::sim_params`]).
-    /// Shares the replayable salt stream with [`Session::run_round_lossy`]
-    /// (each consumed round advances the same cursor) and feeds the same
-    /// degradation tracker and flight recorder.
-    ///
-    /// # Panics
-    /// Panics if a source reading is missing.
-    pub fn run_round_sim(&mut self, readings: &BTreeMap<NodeId, f64>) -> SimOutcome {
+    fn sim_round(&mut self, readings: &BTreeMap<NodeId, f64>) -> SimOutcome {
         self.ensure_sim();
         let policy = self.config.retry_policy();
         let round = self.rounds_run;
@@ -370,12 +758,7 @@ impl Session {
         out
     }
 
-    /// Runs one simulated round per dense reading row (in
-    /// [`CompiledSchedule::sources`] slot order), drawing one salt per
-    /// round from the session's stream — the same salts
-    /// [`Session::run_rounds_lossy`] would draw, so either runtime can
-    /// replay the other's failure history.
-    pub fn run_rounds_sim(&mut self, rounds: &[Vec<f64>]) -> Vec<SimOutcome> {
+    fn sim_rounds(&mut self, rounds: &[Vec<f64>]) -> Vec<SimOutcome> {
         self.ensure_sim();
         let policy = self.config.retry_policy();
         let first = self.rounds_run;
@@ -515,39 +898,52 @@ mod tests {
     fn session_round_matches_the_reference_results() {
         let net = network();
         let spec = spec();
-        let session = Session::builder(net, spec.clone()).build();
+        let mut session = Session::builder(net, spec.clone()).build();
+        assert_eq!(session.runtime(), Runtime::Compiled);
         let vals = readings(session.network());
-        let (results, cost) = session.run_round(&vals);
-        assert!(cost.total_uj() > 0.0);
+        let report = session.run(&vals);
+        assert!(report.cost().total_uj() > 0.0);
+        assert!(report.delivered());
+        assert_eq!(report.detail(), &RoundDetail::Compiled);
         for (d, f) in spec.functions() {
             let expected = f.reference_result(&vals);
-            assert!((results[&d] - expected).abs() < 1e-9, "destination {d}");
+            assert!(
+                (report.result(d).unwrap() - expected).abs() < 1e-9,
+                "destination {d}"
+            );
         }
+        let map = report.result_map();
+        assert_eq!(map.len(), spec.destination_count());
     }
 
     #[test]
     fn reliable_lossy_rounds_agree_with_the_plain_path() {
-        let net = network();
-        let mut session = Session::builder(net, spec())
+        let net = Arc::new(network());
+        let mut plain = Session::builder(Arc::clone(&net), spec()).build();
+        let mut lossy = Session::builder(net, spec())
+            .runtime(Runtime::Lossy)
             .config(Config::builder().retries(4).build())
             .build();
-        let vals = readings(session.network());
-        let (plain, _) = session.run_round(&vals);
-        let out = session.run_round_lossy(&vals);
-        assert!(out.delivered);
-        let dests: Vec<NodeId> = session.compiled().destinations().collect();
-        for (i, d) in dests.iter().enumerate() {
-            assert_eq!(out.results[i], Some(plain[d]), "destination {d}");
+        let vals = readings(plain.network());
+        let plain_report = plain.run(&vals);
+        let report = lossy.run(&vals);
+        assert!(report.delivered());
+        assert!(report.fault().is_some(), "lossy detail rides along");
+        assert_eq!(report.runtime(), Runtime::Lossy);
+        for (&d, &r) in report.destinations().iter().zip(report.results()) {
+            assert_eq!(r, plain_report.result(d), "destination {d}");
         }
-        assert_eq!(session.degradation().rounds(), 1);
-        assert_eq!(session.degradation().max_staleness(), 0);
+        assert_eq!(lossy.degradation().rounds(), 1);
+        assert_eq!(lossy.degradation().max_staleness(), 0);
+        assert_eq!(lossy.rounds_run(), 1, "lossy rounds advance the cursor");
+        assert_eq!(plain.rounds_run(), 0, "compiled rounds do not");
     }
 
     #[test]
     fn lossy_batches_are_replayable_and_feed_the_tracker() {
-        let net = network();
         let build = || {
             Session::builder(network(), spec())
+                .runtime(Runtime::Lossy)
                 .delivery(DeliveryModel::uniform(0.3, 9))
                 .build()
         };
@@ -555,11 +951,10 @@ mod tests {
         let rounds: Vec<Vec<f64>> = (0..6)
             .map(|r| (0..slots).map(|s| (r + s) as f64).collect())
             .collect();
-        let _ = net;
         let mut a = build();
         let mut b = build();
-        let batch = a.run_rounds_lossy(&rounds);
-        assert_eq!(batch, b.run_rounds_lossy(&rounds));
+        let batch = a.run_rounds(&rounds);
+        assert_eq!(batch, b.run_rounds(&rounds));
         assert_eq!(a.degradation().rounds(), 6);
         // Sequential singles draw the same salts as the batch.
         let mut c = build();
@@ -575,7 +970,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let singles: Vec<FaultOutcome> = dense_maps.iter().map(|m| c.run_round_lossy(m)).collect();
+        let singles: Vec<RoundReport> = dense_maps.iter().map(|m| c.run(m)).collect();
         assert_eq!(singles, batch);
     }
 
@@ -584,6 +979,7 @@ mod tests {
         use m2m_telemetry::timeseries::{self, EventKind};
         // Near-total loss with a single attempt: every round degrades.
         let mut session = Session::builder(network(), spec())
+            .runtime(Runtime::Lossy)
             .delivery(DeliveryModel::uniform(0.95, 5))
             .config(Config::builder().retries(1).obs(true).obs_cap(64).build())
             .build();
@@ -591,7 +987,7 @@ mod tests {
         let rounds: Vec<Vec<f64>> = (0..4)
             .map(|r| (0..slots).map(|s| (r + s) as f64).collect())
             .collect();
-        session.run_rounds_lossy(&rounds);
+        session.run_rounds(&rounds);
         assert!(
             session.degradation().max_staleness() > 0,
             "p=0.95 with one attempt must degrade coverage"
@@ -644,29 +1040,43 @@ mod tests {
         assert!(session.observe_quality(&bad).is_none());
         // The session still answers correctly after the reroute.
         let vals = readings(session.network());
-        let (results, _) = session.run_round(&vals);
+        let report = session.run(&vals);
         let expected = session
             .spec()
             .function(NodeId(15))
             .unwrap()
             .reference_result(&vals);
-        assert!((results[&NodeId(15)] - expected).abs() < 1e-9);
+        assert!((report.result(NodeId(15)).unwrap() - expected).abs() < 1e-9);
     }
 
+    /// The old per-runtime families are wrappers over the same
+    /// internals; pin the equivalence so the deprecation is safe.
     #[test]
-    fn epoch_slab_matches_outcomes_at_every_lane_width() {
-        let session = Session::builder(network(), spec()).build();
-        let slots = session.compiled().sources().len();
+    #[allow(deprecated)]
+    fn unified_batches_match_the_deprecated_wrappers() {
+        let slots = Session::builder(network(), spec())
+            .build()
+            .compiled()
+            .sources()
+            .len();
         let rounds: Vec<Vec<f64>> = (0..11)
             .map(|r| (0..slots).map(|s| (r * 7 + s) as f64 * 0.3 - 2.0).collect())
             .collect();
-        let outcomes = session.run_epochs(&rounds);
+        // Compiled: reports vs the epoch slab, at every lane width.
+        let mut session = Session::builder(network(), spec()).build();
         let slab = session.run_epochs_slab(&rounds);
+        let outcomes = session.run_epochs(&rounds);
         assert_eq!(slab.rounds(), rounds.len());
         assert_eq!(slab.destination_count(), 2);
         for (r, out) in outcomes.iter().enumerate() {
             assert_eq!(slab.round(r), out.results.as_slice());
             assert_eq!(slab.cost(), out.cost);
+        }
+        let reports = session.run_rounds(&rounds);
+        for (r, report) in reports.iter().enumerate() {
+            let row: Vec<Option<f64>> = slab.round(r).iter().copied().map(Some).collect();
+            assert_eq!(report.results(), row.as_slice());
+            assert_eq!(report.cost(), slab.cost());
         }
         // Lane width is a pure throughput knob: identical bits at every
         // width and thread count.
@@ -676,22 +1086,58 @@ mod tests {
                 .build();
             assert_eq!(s.run_epochs_slab(&rounds), slab, "width {w}");
         }
+        // Lossy: wrapper outcomes are the reports' details.
+        let lossy_build = || {
+            Session::builder(network(), spec())
+                .delivery(DeliveryModel::uniform(0.3, 9))
+                .build()
+        };
+        let wrapped = lossy_build().run_rounds_lossy(&rounds);
+        let reports = {
+            let mut s = lossy_build();
+            s.runtime = Runtime::Lossy;
+            s.run_rounds(&rounds)
+        };
+        assert_eq!(
+            wrapped,
+            reports
+                .iter()
+                .map(|r| r.fault().unwrap().clone())
+                .collect::<Vec<_>>()
+        );
+        // Sim: same, with the sim detail.
+        let wrapped = lossy_build().run_rounds_sim(&rounds);
+        let reports = {
+            let mut s = lossy_build();
+            s.runtime = Runtime::Sim;
+            s.run_rounds(&rounds)
+        };
+        assert_eq!(
+            wrapped,
+            reports
+                .iter()
+                .map(|r| r.sim().unwrap().clone())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn sim_rounds_match_the_plain_path_and_record_queue_pressure() {
         use m2m_telemetry::timeseries::{self, EventKind};
-        let mut session = Session::builder(network(), spec())
+        let net = Arc::new(network());
+        let mut plain = Session::builder(Arc::clone(&net), spec()).build();
+        let mut session = Session::builder(net, spec())
+            .runtime(Runtime::Sim)
             .config(Config::builder().obs(true).obs_cap(64).build())
             .build();
         let vals = readings(session.network());
-        let (plain, _) = session.run_round(&vals);
-        let out = session.run_round_sim(&vals);
-        assert!(out.outcome.delivered);
-        assert!(out.events > 0 && out.ticks > 0);
-        let dests: Vec<NodeId> = session.compiled().destinations().collect();
-        for (i, d) in dests.iter().enumerate() {
-            assert_eq!(out.outcome.results[i], Some(plain[d]), "destination {d}");
+        let plain_report = plain.run(&vals);
+        let report = session.run(&vals);
+        assert!(report.delivered());
+        let sim = report.sim().expect("sim detail rides along");
+        assert!(sim.events > 0 && sim.ticks > 0);
+        for (&d, &r) in report.destinations().iter().zip(report.results()) {
+            assert_eq!(r, plain_report.result(d), "destination {d}");
         }
         assert_eq!(session.degradation().rounds(), 1);
         let rec = session.recorder().expect("obs session records");
@@ -704,24 +1150,133 @@ mod tests {
             destination: NodeId(9),
             function: AggregateFunction::weighted_sum([(NodeId(4), 1.0), (NodeId(8), 1.0)]),
         });
-        let out = session.run_round_sim(&vals);
-        assert_eq!(out.outcome.results.len(), 3, "new destination joins");
+        let report = session.run(&vals);
+        assert_eq!(report.results().len(), 3, "new destination joins");
         timeseries::set_obs_enabled(false);
         timeseries::reset_planes();
     }
 
     #[test]
     fn workload_updates_invalidate_the_fault_engine() {
-        let mut session = Session::builder(network(), spec()).build();
+        let mut session = Session::builder(network(), spec())
+            .runtime(Runtime::Lossy)
+            .build();
         let vals = readings(session.network());
-        let out = session.run_round_lossy(&vals);
-        assert_eq!(out.results.len(), 2);
+        let report = session.run(&vals);
+        assert_eq!(report.results().len(), 2);
         session.apply(WorkloadUpdate::AddDestination {
             destination: NodeId(9),
             function: AggregateFunction::weighted_sum([(NodeId(4), 1.0), (NodeId(8), 1.0)]),
         });
-        let out = session.run_round_lossy(&vals);
-        assert_eq!(out.results.len(), 3, "new destination joins the results");
-        assert!(out.delivered);
+        let report = session.run(&vals);
+        assert_eq!(
+            report.results().len(),
+            3,
+            "new destination joins the results"
+        );
+        assert!(report.delivered());
+    }
+
+    #[test]
+    fn substrate_reuse_is_bit_identical_to_a_cold_build() {
+        let net = Arc::new(network());
+        let cold = Session::builder(Arc::clone(&net), spec()).build();
+        let routing = cold.driver().maintainer().routing_arc();
+        let topo = Arc::clone(cold.driver().maintainer().topology());
+        let mut warm = Session::builder(Arc::clone(&net), spec())
+            .substrate(routing, topo)
+            .build();
+        assert_eq!(
+            cold.driver().maintainer().plan().solutions(),
+            warm.driver().maintainer().plan().solutions(),
+            "substrate reuse must reproduce the cold plan bit-for-bit"
+        );
+        let vals = readings(warm.network());
+        let mut cold = cold;
+        assert_eq!(cold.run(&vals), warm.run(&vals));
+    }
+
+    #[test]
+    fn shared_solve_cache_serves_a_twin_session_entirely_from_cache() {
+        let net = Arc::new(network());
+        let cache = Arc::new(Mutex::new(SharedSolveCache::new()));
+        let mut first = Session::builder(Arc::clone(&net), spec())
+            .solve_cache(Arc::clone(&cache))
+            .build();
+        let misses = cache.lock().unwrap().misses();
+        assert!(misses > 0, "the first session solves fresh");
+        assert_eq!(cache.lock().unwrap().hits(), 0);
+        let mut twin = Session::builder(Arc::clone(&net), spec())
+            .solve_cache(Arc::clone(&cache))
+            .build();
+        let c = cache.lock().unwrap();
+        assert_eq!(c.misses(), misses, "the twin adds no fresh solves");
+        assert_eq!(c.hits(), misses, "every twin edge is served cached");
+        drop(c);
+        let vals = readings(first.network());
+        assert_eq!(first.run(&vals), twin.run(&vals));
+        // And against a cache-free build: bit-identical plans.
+        let plain = Session::builder(net, spec()).build();
+        assert_eq!(
+            plain.driver().maintainer().plan().solutions(),
+            twin.driver().maintainer().plan().solutions()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "substrate routing mode")]
+    fn mismatched_substrate_mode_is_rejected() {
+        let net = Arc::new(network());
+        let cold = Session::builder(Arc::clone(&net), spec()).build();
+        let routing = cold.driver().maintainer().routing_arc();
+        let topo = Arc::clone(cold.driver().maintainer().topology());
+        let _ = Session::builder(net, spec())
+            .routing_mode(RoutingMode::SharedSpanningTree)
+            .substrate(routing, topo)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "demanded pairs")]
+    fn mismatched_substrate_spec_is_rejected() {
+        let net = Arc::new(network());
+        let cold = Session::builder(Arc::clone(&net), spec()).build();
+        let routing = cold.driver().maintainer().routing_arc();
+        let topo = Arc::clone(cold.driver().maintainer().topology());
+        let mut other = spec();
+        other.add_function(
+            NodeId(9),
+            AggregateFunction::weighted_sum([(NodeId(4), 1.0)]),
+        );
+        let _ = Session::builder(net, other)
+            .substrate(routing, topo)
+            .build();
+    }
+
+    #[test]
+    fn rounds_cursor_resumes_the_salt_stream() {
+        let build = || {
+            Session::builder(network(), spec())
+                .runtime(Runtime::Lossy)
+                .delivery(DeliveryModel::uniform(0.3, 9))
+                .build()
+        };
+        let slots = build().compiled().sources().len();
+        let rounds: Vec<Vec<f64>> = (0..6)
+            .map(|r| (0..slots).map(|s| (r + s) as f64).collect())
+            .collect();
+        let mut full = build();
+        let all = full.run_rounds(&rounds);
+        // Run the first half, "restart" with the cursor, run the rest.
+        let mut before = build();
+        before.run_rounds(&rounds[..3]);
+        let mut resumed = Session::builder(network(), spec())
+            .runtime(Runtime::Lossy)
+            .delivery(DeliveryModel::uniform(0.3, 9))
+            .rounds_cursor(before.rounds_run())
+            .build();
+        assert_eq!(resumed.rounds_run(), 3);
+        let tail = resumed.run_rounds(&rounds[3..]);
+        assert_eq!(tail, all[3..], "the resumed stream replays the original");
     }
 }

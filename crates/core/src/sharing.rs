@@ -17,11 +17,12 @@
 //! extension would save on a given plan — substantial when destinations
 //! run similar functions, zero when weights differ per destination.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use m2m_graph::NodeId;
 
-use crate::agg::AggregateKind;
+use crate::agg::{AggregateKind, RAW_VALUE_BYTES};
+use crate::edge_opt::DirectedEdge;
 use crate::plan::GlobalPlan;
 use crate::spec::AggregationSpec;
 
@@ -98,6 +99,114 @@ pub fn shared_record_analysis(spec: &AggregationSpec, plan: &GlobalPlan) -> Shar
     }
 }
 
+/// Outcome of the cross-tenant multi-query analysis
+/// ([`multi_query_analysis`]): how much traffic N admitted queries save
+/// by sharing one substrate, against N isolated deployments as the
+/// baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MultiQueryReport {
+    /// Tenant plans analyzed.
+    pub tenants: usize,
+    /// Raw `(edge, source)` units summed over isolated tenants.
+    pub raw_units_isolated: usize,
+    /// Distinct raw `(edge, source)` units across all tenants — a raw
+    /// value multicast on an edge serves every tenant that covers it.
+    pub raw_units_shared: usize,
+    /// Partial records summed over isolated tenants.
+    pub record_units_isolated: usize,
+    /// Distinct `(edge, signature)` record classes across all tenants —
+    /// content-equal records travel once and are copied at divergences.
+    pub record_units_shared: usize,
+    /// Total payload of the isolated tenants (bytes/round).
+    pub payload_bytes_isolated: u64,
+    /// Payload with cross-tenant unit sharing applied (bytes/round).
+    pub payload_bytes_shared: u64,
+}
+
+impl MultiQueryReport {
+    /// Fraction of the isolated payload that sharing saves (0.0 when the
+    /// baseline is zero units — an empty service saves nothing).
+    pub fn savings_fraction(&self) -> f64 {
+        if self.payload_bytes_isolated == 0 {
+            return 0.0;
+        }
+        (self.payload_bytes_isolated - self.payload_bytes_shared) as f64
+            / self.payload_bytes_isolated as f64
+    }
+
+    /// Raw units the shared substrate multicasts once instead of
+    /// per-tenant.
+    pub fn raw_units_saved(&self) -> usize {
+        self.raw_units_isolated - self.raw_units_shared
+    }
+
+    /// Record units merged across (or within) tenants.
+    pub fn record_units_saved(&self) -> usize {
+        self.record_units_isolated - self.record_units_shared
+    }
+}
+
+/// The cross-tenant extension of [`shared_record_analysis`]: given every
+/// admitted tenant's `(spec, plan)`, counts the distinct transmission
+/// units — raw `(edge, source)` multicasts and content-signed partial
+/// records — against the sum of the tenants planned in isolation.
+///
+/// Per Corollary 1 each tenant's per-edge solutions are independent, so
+/// a raw unit two tenants both transmit on an edge is the *same bytes on
+/// the same link* and needs to travel once; records merge exactly when
+/// their [`Signature`]s match (same kind, same accumulated sources, same
+/// bit-exact weights). The tenants' own plans — and hence their results —
+/// are untouched: this prices the substrate-level dedup the service's
+/// shared-unit index exposes, which is why
+/// [`crate::service::PlanService::sharing_report`] can report it while
+/// every tenant stays bit-identical to an isolated session.
+pub fn multi_query_analysis<'a>(
+    tenants: impl IntoIterator<Item = (&'a AggregationSpec, &'a GlobalPlan)>,
+) -> MultiQueryReport {
+    let mut report = MultiQueryReport::default();
+    let mut raw_seen: BTreeSet<(DirectedEdge, NodeId)> = BTreeSet::new();
+    let mut record_seen: BTreeSet<(DirectedEdge, Signature)> = BTreeSet::new();
+    let mut saved_bytes = 0u64;
+
+    for (spec, plan) in tenants {
+        report.tenants += 1;
+        report.payload_bytes_isolated += plan.total_payload_bytes();
+        for (problem, sol) in plan.problems().iter().zip(plan.solutions()) {
+            for &s in &sol.raw {
+                report.raw_units_isolated += 1;
+                if raw_seen.insert((sol.edge, s)) {
+                    report.raw_units_shared += 1;
+                } else {
+                    saved_bytes += u64::from(RAW_VALUE_BYTES);
+                }
+            }
+            for group in &sol.agg {
+                report.record_units_isolated += 1;
+                let f = spec
+                    .function(group.destination)
+                    .expect("destination has a function");
+                let gi = problem
+                    .groups
+                    .binary_search(group)
+                    .expect("solution group comes from the problem");
+                let mut content: Vec<(NodeId, u64)> = problem
+                    .group_sources(gi)
+                    .filter(|&s| !sol.transmits_raw(s))
+                    .map(|s| (s, f.weight(s).expect("pair in spec").to_bits()))
+                    .collect();
+                content.sort_unstable();
+                if record_seen.insert((sol.edge, (f.kind(), content))) {
+                    report.record_units_shared += 1;
+                } else {
+                    saved_bytes += u64::from(f.partial_record_bytes());
+                }
+            }
+        }
+    }
+    report.payload_bytes_shared = report.payload_bytes_isolated - saved_bytes;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +274,85 @@ mod tests {
         assert_eq!(report.redundant_records, 0, "{report:?}");
         assert_eq!(report.payload_bytes, report.payload_bytes_with_sharing);
         assert_eq!(report.savings_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_savings_fraction_is_zero_not_nan() {
+        let empty = SharingReport {
+            records: 0,
+            redundant_records: 0,
+            payload_bytes: 0,
+            payload_bytes_with_sharing: 0,
+        };
+        assert_eq!(empty.savings_fraction(), 0.0, "0/0 must not be NaN");
+        assert!(empty.savings_fraction().is_finite());
+        let empty_mq = MultiQueryReport::default();
+        assert_eq!(empty_mq.savings_fraction(), 0.0);
+        assert!(empty_mq.savings_fraction().is_finite());
+        // And the degenerate live case: an empty spec's plan has no units.
+        let spec = AggregationSpec::new();
+        let g = Graph::new(2);
+        let net = Network::from_graph(g, EnergyModel::mica2());
+        let routing = RoutingTables::build(
+            &net,
+            &spec.source_to_destinations(),
+            RoutingMode::ShortestPathTrees,
+        );
+        let plan = GlobalPlan::build(&net, &spec, &routing);
+        let report = shared_record_analysis(&spec, &plan);
+        assert_eq!(report.payload_bytes, 0);
+        assert_eq!(report.savings_fraction(), 0.0);
+        let mq = multi_query_analysis([(&spec, &plan)]);
+        assert_eq!(mq.savings_fraction(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_tenants_share_every_unit() {
+        let (spec, plan) = twin_destination_setup(
+            [(0, 2.0), (1, 3.0), (2, 1.0), (3, 0.5)],
+            [(0, 2.0), (1, 4.0), (2, 1.0), (3, 0.5)],
+        );
+        let solo = multi_query_analysis([(&spec, &plan)]);
+        let duo = multi_query_analysis([(&spec, &plan), (&spec, &plan)]);
+        assert_eq!(duo.tenants, 2);
+        assert_eq!(
+            duo.raw_units_shared, solo.raw_units_shared,
+            "a clone tenant adds no new raw units"
+        );
+        assert_eq!(duo.record_units_shared, solo.record_units_shared);
+        assert_eq!(duo.raw_units_isolated, 2 * solo.raw_units_isolated);
+        assert_eq!(duo.payload_bytes_isolated, 2 * solo.payload_bytes_isolated);
+        assert_eq!(
+            duo.payload_bytes_shared, solo.payload_bytes_shared,
+            "the second tenant's whole payload rides the first's units"
+        );
+        assert!(duo.savings_fraction() >= 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn disjoint_tenants_share_nothing() {
+        // Same chain, but tenant B aggregates to a different destination
+        // with different weights: signatures and raw duplication both
+        // differ edge-by-edge only where routes overlap with equal
+        // content.
+        let (spec_a, plan_a) = twin_destination_setup(
+            [(0, 2.0), (1, 3.0), (2, 1.0), (3, 0.5)],
+            [(0, 2.0), (1, 4.0), (2, 1.0), (3, 0.5)],
+        );
+        let (spec_b, plan_b) = twin_destination_setup(
+            [(0, 9.0), (1, 8.0), (2, 7.0), (3, 6.0)],
+            [(0, 5.0), (1, 4.5), (2, 3.5), (3, 2.5)],
+        );
+        let mq = multi_query_analysis([(&spec_a, &plan_a), (&spec_b, &plan_b)]);
+        // Raw units can still coincide (same edges, same sources); records
+        // with different weights never merge.
+        assert_eq!(
+            mq.record_units_shared,
+            multi_query_analysis([(&spec_a, &plan_a)]).record_units_shared
+                + multi_query_analysis([(&spec_b, &plan_b)]).record_units_shared,
+            "distinct weights must not merge records"
+        );
+        assert!(mq.payload_bytes_shared <= mq.payload_bytes_isolated);
     }
 
     #[test]

@@ -356,6 +356,25 @@ impl Topology {
     pub fn sources(&self) -> &[NodeId] {
         &self.sources
     }
+
+    /// The `(source, destination)` pairs this snapshot was demanded for,
+    /// sorted ascending. A spec matches this topology exactly when its
+    /// own pair set (every destination of every function, per source)
+    /// equals this one — the check [`crate::session::SessionBuilder`]
+    /// runs before reusing a caller-supplied substrate.
+    pub fn demanded_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut pairs: Vec<(NodeId, NodeId)> = self
+            .trees
+            .iter()
+            .flat_map(|tree| {
+                tree.dest_paths()
+                    .iter()
+                    .map(move |dp| (tree.source(), dp.destination()))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
 }
 
 /// A growable fixed-stride bitset for dirty tracking over dense indices

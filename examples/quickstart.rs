@@ -44,7 +44,7 @@ fn main() {
     // One Session wires routing, the per-edge optimal plan, and the
     // compiled executor together; `Config` would add thread/trace/retry
     // knobs here if the defaults ever need overriding.
-    let session = Session::builder(network, spec.clone())
+    let mut session = Session::builder(network, spec.clone())
         .routing_mode(RoutingMode::ShortestPathTrees)
         .build();
     let plan = session.driver().maintainer().plan();
@@ -63,16 +63,16 @@ fn main() {
         .nodes()
         .map(|v| (v, 20.0 + f64::from(v.0 % 7)))
         .collect();
-    let (results, cost) = session.run_round(&readings);
-    for (dest, value) in &results {
+    let report = session.run(&readings);
+    for (dest, value) in &report.result_map() {
         let expected = spec.function(*dest).unwrap().reference_result(&readings);
         println!("destination {dest}: aggregate = {value:.4} (expected {expected:.4})");
         assert!((value - expected).abs() < 1e-9);
     }
     println!(
         "round energy: {:.2} mJ across {} messages",
-        cost.total_mj(),
-        cost.messages
+        report.cost().total_mj(),
+        report.cost().messages
     );
 
     // Compare with the single-technique baselines.

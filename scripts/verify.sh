@@ -47,6 +47,17 @@
 # (default 5; wall-clock, retried up to 3 times). The committed
 # BENCH_obs.json artifact is schema-checked with `m2m_obs --check`.
 #
+# Service gate: a smoke run of the multi-tenant plan-service benchmark
+# admits a 64-tenant fleet over one shared 1k-node deployment (the run
+# itself asserts shared-substrate tenants are bit-identical to isolated
+# sessions, the 64th admission costs at most 25% of the 1st, and
+# checkpoint→restore→replay is byte-identical and solve-free) and prints
+# `smoke_svc_admits_per_sec=`, held against an absolute M2M_SVC_FLOOR
+# (default 5 admits/sec; ~150 measured on the 1-core reference
+# container). It also prints `smoke_svc_digest=`, an FNV-1a over the
+# final checkpoint text, which must be identical across two back-to-back
+# runs. The committed BENCH_service.json is schema-checked alongside.
+#
 # Simulator gate: a smoke run of the discrete-event benchmark drives a
 # lossy epoch at 1k nodes (the run itself asserts the simulator at p=0
 # is bit-identical to the compiled executor and that the distributed
@@ -208,4 +219,28 @@ BEGIN {
 ./target/release/bench_sim --check BENCH_sim.json
 
 echo "verify: simulator gate OK (epoch digest $sim_digest1)"
+
+./target/release/bench_service --smoke > "$tmpdir/svc1.txt"
+./target/release/bench_service --smoke > "$tmpdir/svc2.txt"
+svc_digest1=$(get svc1 smoke_svc_digest)
+svc_digest2=$(get svc2 smoke_svc_digest)
+if [ "$svc_digest1" != "$svc_digest2" ]; then
+    echo "verify: FAIL — service checkpoint digest drifted between runs" \
+         "($svc_digest1 vs $svc_digest2)" >&2
+    exit 1
+fi
+svc_floor="${M2M_SVC_FLOOR:-5}"
+awk -v a="$(get svc1 smoke_svc_admits_per_sec)" -v floor="$svc_floor" '
+BEGIN {
+    printf "verify: plan service %.2f admits/sec at 1k nodes (floor %s)\n", a, floor
+    exit (a + 0 >= floor + 0) ? 0 : 1
+}' || { echo "verify: FAIL — service admits/sec fell below M2M_SVC_FLOOR" >&2; exit 1; }
+awk -v m="$(get svc1 smoke_svc_marginal_64_pct)" '
+BEGIN {
+    printf "verify: 64th tenant admission at %.2f%% of the 1st (budget 25%%)\n", m
+    exit (m + 0 <= 25.0) ? 0 : 1
+}' || { echo "verify: FAIL — 64th-tenant marginal cost breached the budget" >&2; exit 1; }
+./target/release/bench_service --check BENCH_service.json
+
+echo "verify: plan service gate OK (checkpoint digest $svc_digest1)"
 echo "verify: OK"

@@ -8,7 +8,9 @@
 
 use std::collections::BTreeMap;
 
-use m2m_core::config::{self, Config, BACKOFF_ENV, HYSTERESIS_ENV, MAX_SLOTS_ENV, RETRIES_ENV};
+use m2m_core::config::{
+    self, Config, Runtime, BACKOFF_ENV, HYSTERESIS_ENV, MAX_SLOTS_ENV, RETRIES_ENV,
+};
 use m2m_core::prelude::*;
 
 /// Line network 0-1-2-3-4 with one aggregate at the far end: node 4 sums
@@ -23,6 +25,7 @@ fn line_session(config: Config, delivery: DeliveryModel) -> Session {
     Session::builder(net, spec)
         .routing_mode(RoutingMode::ShortestPathTrees)
         .config(config)
+        .runtime(Runtime::Lossy)
         .delivery(delivery)
         .build()
 }
@@ -42,7 +45,9 @@ fn an_injected_outage_degrades_exactly_the_sources_behind_it() {
     let mut session = line_session(config, DeliveryModel::trace(trace));
     let readings = readings_for(&session);
 
-    let out = session.run_round_lossy(&readings);
+    let report = session.run(&readings);
+    assert!(!report.delivered());
+    let out = report.fault().expect("lossy runtime");
     assert!(!out.delivered);
     assert!(out.dropped_messages >= 1);
     assert_eq!(out.degraded_destinations(), 1);
@@ -69,7 +74,11 @@ fn bounded_budgets_drop_what_unlimited_budgets_deliver() {
     let mut session = line_session(stingy, lossy.clone());
     let readings = readings_for(&session);
     for _ in 0..20 {
-        dropped_total += session.run_round_lossy(&readings).dropped_messages;
+        dropped_total += session
+            .run(&readings)
+            .fault()
+            .expect("lossy runtime")
+            .dropped_messages;
     }
     assert!(
         dropped_total > 0,
@@ -79,7 +88,8 @@ fn bounded_budgets_drop_what_unlimited_budgets_deliver() {
     let mut session = line_session(patient, lossy);
     let readings = readings_for(&session);
     for _ in 0..20 {
-        let out = session.run_round_lossy(&readings);
+        let report = session.run(&readings);
+        let out = report.fault().expect("lossy runtime");
         assert!(out.delivered, "unlimited retries must deliver every round");
         assert_eq!(out.dropped_messages, 0);
         assert_eq!(out.degraded_destinations(), 0);
@@ -95,7 +105,7 @@ fn the_degradation_tracker_accumulates_staleness_per_destination() {
 
     const ROUNDS: u64 = 5;
     for _ in 0..ROUNDS {
-        session.run_round_lossy(&readings);
+        session.run(&readings);
     }
     let tracker = session.degradation();
     assert_eq!(tracker.rounds(), ROUNDS);
@@ -107,7 +117,7 @@ fn the_degradation_tracker_accumulates_staleness_per_destination() {
     let mut session = line_session(config, DeliveryModel::reliable());
     let readings = readings_for(&session);
     for _ in 0..ROUNDS {
-        session.run_round_lossy(&readings);
+        session.run(&readings);
     }
     assert_eq!(session.degradation().max_staleness(), 0);
     assert_eq!(session.degradation().rounds(), ROUNDS);
@@ -160,7 +170,7 @@ fn quality_drift_past_hysteresis_fires_the_churn_loop() {
         .nodes()
         .map(|v| (v, f64::from(v.0) + 0.25))
         .collect();
-    let (results, _) = session.run_round(&readings);
+    let results = session.run(&readings).result_map();
     for (d, v) in &results {
         let expected = session
             .spec()

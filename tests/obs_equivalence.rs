@@ -14,8 +14,8 @@
 //! global: a sibling test flipping it concurrently would race. The
 //! enabled/disabled comparison lives inside each proptest case instead.
 
-use m2m_core::config::Config;
-use m2m_core::exec::EpochOutcome;
+use m2m_core::config::{Config, Runtime};
+use m2m_core::exec::{run_epochs, EpochOutcome};
 use m2m_core::faults::FaultOutcome;
 use m2m_core::session::Session;
 use m2m_core::telemetry::timeseries;
@@ -47,6 +47,7 @@ fn full_pass(
     let mut session = Session::builder(net.clone(), spec.clone())
         .routing_mode(RoutingMode::ShortestPathTrees)
         .config(config)
+        .runtime(Runtime::Lossy)
         .delivery(DeliveryModel::uniform(loss_p, 17))
         .base_salt(value_salt)
         .build();
@@ -65,7 +66,11 @@ fn full_pass(
         })
         .collect();
 
-    let mut outcomes = session.run_rounds_lossy(&batch[..4]);
+    let mut outcomes: Vec<FaultOutcome> = session
+        .run_rounds(&batch[..4])
+        .into_iter()
+        .map(|r| r.fault().expect("lossy runtime").clone())
+        .collect();
     for row in &batch[4..] {
         let readings = session
             .compiled()
@@ -75,10 +80,20 @@ fn full_pass(
             .copied()
             .zip(row.iter().copied())
             .collect();
-        outcomes.push(session.run_round_lossy(&readings));
+        outcomes.push(
+            session
+                .run(&readings)
+                .fault()
+                .expect("lossy runtime")
+                .clone(),
+        );
     }
 
-    let epochs = session.run_epochs(&batch);
+    let epochs = run_epochs(
+        session.compiled(),
+        &batch,
+        session.config().resolved_threads(),
+    );
 
     if obs {
         let rec = session.recorder().expect("obs session has a recorder");
